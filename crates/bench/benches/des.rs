@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the simulation kernel: event queue
+//! throughput, process churn, and fluid-flow rate recomputation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use faaspipe_des::events::{EventQueue, Wake};
+use faaspipe_des::flow::{FlowNet, FlowSpec};
+use faaspipe_des::{Bandwidth, ByteSize, Sim, SimDuration, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(
+                    SimTime::from_nanos((i * 48_271) % 1_000_000),
+                    Wake::Process((i % 64) as u32),
+                );
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_process_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("spawn_sleep_join_200", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new();
+            for i in 0..200u64 {
+                sim.spawn(format!("p{}", i), move |ctx| {
+                    ctx.sleep(SimDuration::from_millis(i));
+                });
+            }
+            sim.run().expect("sim ok")
+        })
+    });
+    g.finish();
+}
+
+fn bench_flow_recompute(c: &mut Criterion) {
+    // 64 NIC-limited flows over one backbone; starting each flow triggers
+    // a max-min recomputation over all active flows.
+    c.bench_function("flow/start_64_shared_backbone", |b| {
+        b.iter(|| {
+            let mut net = FlowNet::new();
+            let backbone = net.add_link(Bandwidth::mib_per_sec(10_000.0));
+            for i in 0..64u32 {
+                let nic = net.add_link(Bandwidth::mib_per_sec(100.0));
+                net.start(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        bytes: ByteSize::mib(64),
+                        links: vec![nic, backbone],
+                    },
+                    i,
+                );
+            }
+            black_box(net.next_completion(SimTime::ZERO))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_process_churn, bench_flow_recompute);
+criterion_main!(benches);

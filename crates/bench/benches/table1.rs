@@ -1,0 +1,30 @@
+//! End-to-end Criterion bench of the Table-1 pipeline runs (small
+//! physical dataset, full modelled scale): how long the *simulator*
+//! takes to reproduce each configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    for (name, mode) in [
+        ("pure_serverless", PipelineMode::PureServerless),
+        ("vm_hybrid", PipelineMode::VmHybrid),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = PipelineConfig::paper_table1();
+                cfg.mode = mode;
+                cfg.physical_records = 20_000;
+                cfg.verify = false;
+                run_methcomp_pipeline(&cfg).expect("pipeline run")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E9 (ablation) — cold-start sensitivity: Table 1's "end-to-end latency
+//! includes startup times". This run compares the pure-serverless
+//! pipeline under cold containers (every stage pays scheduling + runtime
+//! init) against a pre-warmed platform, across cold-start magnitudes.
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin repro_cold_warm
+//! ```
+
+use serde::Serialize;
+
+use faaspipe_bench::{write_json, SWEEP_RECORDS};
+use faaspipe_des::SimDuration;
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+
+#[derive(Serialize)]
+struct Row {
+    cold_start_ms: u64,
+    prewarmed: bool,
+    latency_s: f64,
+    cost_dollars: f64,
+}
+
+fn run(cold_ms: u64, prewarmed: bool) -> (f64, f64) {
+    let mut cfg = PipelineConfig::paper_table1();
+    cfg.mode = PipelineMode::PureServerless;
+    cfg.physical_records = SWEEP_RECORDS;
+    cfg.faas.cold_start = if prewarmed {
+        cfg.faas.warm_start
+    } else {
+        SimDuration::from_millis(cold_ms)
+    };
+    let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+    (
+        outcome.latency.as_secs_f64(),
+        outcome.cost.total().as_dollars(),
+    )
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("cold-start(ms)  cold latency(s)  prewarmed latency(s)");
+    for &ms in &[250u64, 520, 1_000, 2_000, 4_000] {
+        let (cold_l, cold_c) = run(ms, false);
+        let (warm_l, warm_c) = run(ms, true);
+        println!("{:>14}  {:>15.2}  {:>20.2}", ms, cold_l, warm_l);
+        rows.push(Row {
+            cold_start_ms: ms,
+            prewarmed: false,
+            latency_s: cold_l,
+            cost_dollars: cold_c,
+        });
+        rows.push(Row {
+            cold_start_ms: ms,
+            prewarmed: true,
+            latency_s: warm_l,
+            cost_dollars: warm_c,
+        });
+    }
+    // Shape: cold starts add latency monotonically but are NOT billed
+    // (cost stays flat) — warm pools shave seconds for free.
+    let cold: Vec<&Row> = rows.iter().filter(|r| !r.prewarmed).collect();
+    for pair in cold.windows(2) {
+        assert!(
+            pair[1].latency_s >= pair[0].latency_s - 1e-9,
+            "latency must grow with cold-start magnitude"
+        );
+        assert!(
+            (pair[1].cost_dollars - pair[0].cost_dollars).abs() < 2e-4,
+            "cold starts are unbilled: {} vs {}",
+            pair[0].cost_dollars,
+            pair[1].cost_dollars
+        );
+    }
+    let warm = rows.iter().find(|r| r.prewarmed).expect("warm row");
+    let coldest = cold.last().expect("cold rows");
+    assert!(warm.latency_s < coldest.latency_s);
+    write_json("cold_warm", &rows);
+}

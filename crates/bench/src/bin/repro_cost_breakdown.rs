@@ -1,0 +1,75 @@
+//! E6 — The §2.4 tracker display: workflow progress plus the cost broken
+//! down at each stage, for both pipeline configurations.
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin repro_cost_breakdown
+//! ```
+
+use serde::Serialize;
+
+use faaspipe_bench::{write_json, REPRO_RECORDS};
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+
+#[derive(Serialize)]
+struct Row {
+    configuration: String,
+    stage: String,
+    functions_dollars: f64,
+    requests_dollars: f64,
+    vm_dollars: f64,
+    total_dollars: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = mode;
+        cfg.physical_records = REPRO_RECORDS;
+        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+        println!("=== {} ===", mode);
+        println!("{}", outcome.tracker_log);
+        println!("{}", outcome.cost.render());
+        for (stage, c) in &outcome.cost.by_stage {
+            rows.push(Row {
+                configuration: mode.to_string(),
+                stage: stage.clone(),
+                functions_dollars: c.functions.as_dollars(),
+                requests_dollars: c.requests.as_dollars(),
+                vm_dollars: c.vm.as_dollars(),
+                total_dollars: c.total().as_dollars(),
+            });
+        }
+    }
+    // Shape checks: the pure pipeline's money is in functions; the
+    // hybrid's is dominated by the VM.
+    let pure_fn: f64 = rows
+        .iter()
+        .filter(|r| r.configuration.contains("serverless"))
+        .map(|r| r.functions_dollars)
+        .sum();
+    let pure_vm: f64 = rows
+        .iter()
+        .filter(|r| r.configuration.contains("serverless"))
+        .map(|r| r.vm_dollars)
+        .sum();
+    let hybrid_vm: f64 = rows
+        .iter()
+        .filter(|r| r.configuration.contains("VM"))
+        .map(|r| r.vm_dollars)
+        .sum();
+    let hybrid_fn: f64 = rows
+        .iter()
+        .filter(|r| r.configuration.contains("VM"))
+        .map(|r| r.functions_dollars)
+        .sum();
+    assert_eq!(pure_vm, 0.0, "no VM charges in the pure pipeline");
+    assert!(pure_fn > 0.0);
+    assert!(
+        hybrid_vm > hybrid_fn,
+        "hybrid cost should be VM-dominated: vm {} fn {}",
+        hybrid_vm,
+        hybrid_fn
+    );
+    write_json("cost_breakdown", &rows);
+}

@@ -1,0 +1,73 @@
+//! E12 (ablation) — function memory size: the paper "allocate[s] 2GB of
+//! memory to cloud functions". On IBM CF (as on Lambda) CPU scales with
+//! memory, so memory is really a *speed dial priced in GB-seconds*. This
+//! sweep shows why 2 GB is a sensible point for the METHCOMP pipeline:
+//! below it, CPU-bound stages crawl; above it, the extra GB-seconds buy
+//! little because the pipeline turns I/O-bound.
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin repro_memory
+//! ```
+
+use serde::Serialize;
+
+use faaspipe_bench::{write_json, SWEEP_RECORDS};
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+
+#[derive(Serialize)]
+struct Row {
+    memory_mb: u32,
+    cpu_share: f64,
+    latency_s: f64,
+    cost_dollars: f64,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("memory(MB)  vCPU  latency(s)   cost($)");
+    for &mb in &[512u32, 1_024, 2_048, 3_072, 4_096] {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = PipelineMode::PureServerless;
+        cfg.physical_records = SWEEP_RECORDS;
+        cfg.faas = cfg.faas.with_memory_mb(mb);
+        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+        let row = Row {
+            memory_mb: mb,
+            cpu_share: cfg.faas.cpu_share(),
+            latency_s: outcome.latency.as_secs_f64(),
+            cost_dollars: outcome.cost.total().as_dollars(),
+        };
+        println!(
+            "{:>10}  {:>4.2}  {:>10.2}  {:>8.4}",
+            row.memory_mb, row.cpu_share, row.latency_s, row.cost_dollars
+        );
+        rows.push(row);
+    }
+    // Shape: latency is monotone non-increasing in memory; the marginal
+    // gain collapses past 2 GB while cost keeps climbing.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].latency_s <= pair[0].latency_s + 1e-9,
+            "more memory must not slow the pipeline"
+        );
+    }
+    let gain_to_2gb = rows[0].latency_s - rows[2].latency_s;
+    let gain_past_2gb = rows[2].latency_s - rows[4].latency_s;
+    assert!(
+        gain_to_2gb > 3.0 * gain_past_2gb,
+        "most of the speedup must arrive by 2 GB: {:.1}s vs {:.1}s",
+        gain_to_2gb,
+        gain_past_2gb
+    );
+    assert!(
+        rows[4].cost_dollars > rows[2].cost_dollars,
+        "oversizing memory must cost more"
+    );
+    println!(
+        "going 0.5->2 GB buys {:.1}s; 2->4 GB only {:.1}s more while cost rises {:.0}%",
+        gain_to_2gb,
+        gain_past_2gb,
+        (rows[4].cost_dollars / rows[2].cost_dollars - 1.0) * 100.0
+    );
+    write_json("memory", &rows);
+}

@@ -1,0 +1,57 @@
+//! E1 — Reproduces **Table 1**: end-to-end latency and cost of the
+//! METHCOMP pipeline in both configurations (3.5 GB modelled input,
+//! parallelism 8, 2 GB functions, `bx2-8x32` VM).
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin repro_table1
+//! ```
+
+use faaspipe_bench::{write_json, PAPER_TABLE1, REPRO_RECORDS};
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_core::report::{render_table1, Table1Row};
+
+fn main() {
+    let mut rows = Vec::new();
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = mode;
+        cfg.physical_records = REPRO_RECORDS;
+        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+        assert!(outcome.verified, "outputs must verify");
+        println!("--- {} ---", mode);
+        println!("{}", outcome.tracker_log);
+        println!("{}", outcome.cost.render());
+        rows.push(Table1Row::from_outcome(&outcome));
+    }
+
+    println!("== Reproduced Table 1 (this work) ==");
+    println!("{}", render_table1(&rows));
+    println!("== Published Table 1 (paper) ==");
+    let paper: Vec<Table1Row> = PAPER_TABLE1
+        .iter()
+        .map(|&(c, l, d)| Table1Row {
+            configuration: c.to_string(),
+            latency_s: l,
+            cost_dollars: d,
+            verified: true,
+        })
+        .collect();
+    println!("{}", render_table1(&paper));
+
+    let speedup = rows[1].latency_s / rows[0].latency_s;
+    let paper_speedup = PAPER_TABLE1[1].1 / PAPER_TABLE1[0].1;
+    println!(
+        "latency advantage of pure serverless: {:.2}x (paper: {:.2}x)",
+        speedup, paper_speedup
+    );
+    println!(
+        "cost ratio pure/VM: {:.2} (paper: {:.2})",
+        rows[0].cost_dollars / rows[1].cost_dollars,
+        PAPER_TABLE1[0].2 / PAPER_TABLE1[1].2
+    );
+    assert!(
+        rows[0].latency_s < rows[1].latency_s,
+        "the paper's headline must reproduce: serverless wins on latency"
+    );
+    write_json("table1", &rows);
+}

@@ -1,0 +1,159 @@
+//! E3 — The paper's central claim: "object storage is a reasonable
+//! choice for data passing **when the appropriate number of functions is
+//! used** in shuffling stages."
+//!
+//! Sweeps the shuffle worker count, measures pipeline latency and cost at
+//! each point, and compares the Primula-style autotuner's pick against
+//! the empirical optimum.
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin repro_worker_sweep
+//! ```
+
+use serde::Serialize;
+
+use faaspipe_bench::{write_json, SWEEP_RECORDS};
+use faaspipe_core::dag::WorkerChoice;
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_shuffle::{TuningModel, WorkModel};
+
+#[derive(Serialize)]
+struct SweepRow {
+    workers: usize,
+    latency_s: f64,
+    sort_latency_s: f64,
+    model_sort_s: f64,
+    cost_dollars: f64,
+    autotuned: bool,
+}
+
+/// The analytic model instantiated with the sweep's platform parameters
+/// (used to validate the autotuner's predictions against measurements).
+fn analytic_model() -> TuningModel {
+    let cfg = PipelineConfig::paper_table1();
+    let work = WorkModel::default();
+    TuningModel {
+        data_bytes: cfg.modeled_bytes as f64,
+        input_chunks: cfg.parallelism,
+        request_latency_s: cfg.store.first_byte_latency.as_secs_f64(),
+        // Effective per-function bandwidth: the tighter of the store's
+        // per-connection cap and the container NIC.
+        conn_bw: cfg
+            .store
+            .per_connection_bw
+            .as_bytes_per_sec()
+            .min(cfg.faas.nic_bw.as_bytes_per_sec()),
+        agg_bw: cfg.store.aggregate_bw.as_bytes_per_sec(),
+        ops_per_sec: cfg.store.ops_per_sec,
+        startup_s: cfg.faas.cold_start.as_secs_f64(),
+        cpu_share: cfg.faas.cpu_share(),
+        sort_bps: work.sort_mibps * 1024.0 * 1024.0,
+        merge_bps: work.merge_mibps * 1024.0 * 1024.0,
+        max_workers: 128,
+    }
+}
+
+/// Driver-side orchestration on the sort stage's critical path (three
+/// phases), which the per-function model does not cover.
+const ORCHESTRATION_S: f64 = 3.0 * 8.0;
+
+fn run(workers: WorkerChoice) -> (usize, f64, f64, f64) {
+    let mut cfg = PipelineConfig::paper_table1();
+    cfg.mode = PipelineMode::PureServerless;
+    cfg.physical_records = SWEEP_RECORDS;
+    cfg.workers = workers;
+    let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+    let sort = outcome
+        .stages
+        .iter()
+        .find(|s| s.stage == "sort")
+        .expect("sort stage");
+    (
+        outcome.sort_workers,
+        outcome.latency.as_secs_f64(),
+        sort.finished.saturating_duration_since(sort.started).as_secs_f64(),
+        outcome.cost.total().as_dollars(),
+    )
+}
+
+fn main() {
+    let sweep = [1usize, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128];
+    let model = analytic_model();
+    let mut rows = Vec::new();
+    let mut max_model_err: f64 = 0.0;
+    println!("workers  latency(s)  sort(s)  model(s)  err%   cost($)");
+    for &w in &sweep {
+        let (_, latency, sort, cost) = run(WorkerChoice::Fixed(w));
+        let predicted = model.breakdown(w).total_s() + ORCHESTRATION_S;
+        let err = (predicted - sort).abs() / sort * 100.0;
+        max_model_err = max_model_err.max(err);
+        println!(
+            "{:>7}  {:>10.2}  {:>7.2}  {:>8.2}  {:>4.0}%  {:>8.4}",
+            w, latency, sort, predicted, err, cost
+        );
+        rows.push(SweepRow {
+            workers: w,
+            latency_s: latency,
+            sort_latency_s: sort,
+            model_sort_s: predicted,
+            cost_dollars: cost,
+            autotuned: false,
+        });
+    }
+    println!(
+        "analytic model tracks the measured sort stage within {:.0}% across the sweep",
+        max_model_err
+    );
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.latency_s.total_cmp(&b.latency_s))
+        .expect("non-empty sweep");
+    println!(
+        "empirical optimum: {} workers at {:.2}s",
+        best.workers, best.latency_s
+    );
+    let best_workers = best.workers;
+    let best_latency = best.latency_s;
+    let worst_latency = rows
+        .iter()
+        .map(|r| r.latency_s)
+        .fold(f64::MIN, f64::max);
+
+    let (picked, latency, sort, cost) = run(WorkerChoice::Auto);
+    println!(
+        "autotuner picked {} workers: {:.2}s (sort {:.2}s, ${:.4})",
+        picked, latency, sort, cost
+    );
+    rows.push(SweepRow {
+        workers: picked,
+        latency_s: latency,
+        sort_latency_s: sort,
+        model_sort_s: model.breakdown(picked).total_s() + ORCHESTRATION_S,
+        cost_dollars: cost,
+        autotuned: true,
+    });
+    assert!(
+        max_model_err < 30.0,
+        "the analytic model must stay predictive; worst error {:.0}%",
+        max_model_err
+    );
+
+    // The claim: a well-chosen worker count makes object storage
+    // competitive; bad counts are much worse; the autotuner lands near
+    // the optimum.
+    assert!(
+        worst_latency > best_latency * 1.5,
+        "worker count must matter: best {:.1}s worst {:.1}s",
+        best_latency,
+        worst_latency
+    );
+    assert!(
+        latency <= best_latency * 1.25,
+        "autotuner ({} w, {:.1}s) should be within 25% of the oracle ({} w, {:.1}s)",
+        picked,
+        latency,
+        best_workers,
+        best_latency
+    );
+    write_json("worker_sweep", &rows);
+}

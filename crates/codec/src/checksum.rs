@@ -1,0 +1,96 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (the gzip/zip CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { POLY ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 state.
+///
+/// ```
+/// use faaspipe_codec::checksum::Crc32;
+/// let mut crc = Crc32::new();
+/// crc.update(b"123456789");
+/// assert_eq!(crc.finish(), 0xCBF43926); // the classic check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh CRC state.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let t = table();
+        let mut c = self.state;
+        for &b in data {
+            c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+        self.state = c;
+    }
+
+    /// Returns the final checksum value.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414FA339);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let data = b"hello cruel world";
+        let mut c = Crc32::new();
+        c.update(&data[..5]);
+        c.update(&data[5..]);
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(b"\x00\x00\x00\x00");
+        let b = crc32(b"\x00\x00\x00\x01");
+        assert_ne!(a, b);
+    }
+}

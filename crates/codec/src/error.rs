@@ -1,0 +1,92 @@
+//! Codec error type.
+
+use std::fmt;
+
+/// Errors produced while decoding compressed streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the stream was complete.
+    UnexpectedEof,
+    /// A container or block header was malformed.
+    BadHeader {
+        /// What was being parsed.
+        what: &'static str,
+    },
+    /// A symbol fell outside its alphabet or code table.
+    BadSymbol {
+        /// The offending raw value.
+        value: u64,
+    },
+    /// A back-reference pointed before the start of the output.
+    BadDistance {
+        /// The offending distance.
+        distance: usize,
+        /// Output produced so far.
+        produced: usize,
+    },
+    /// The decoded payload failed its checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the stream.
+        expected: u32,
+        /// Checksum of the decoded bytes.
+        actual: u32,
+    },
+    /// A declared length exceeded a sanity bound.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+    },
+    /// A Huffman code table was invalid (over-subscribed or empty).
+    BadCodeTable,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::BadHeader { what } => write!(f, "malformed {} header", what),
+            CodecError::BadSymbol { value } => write!(f, "invalid symbol {}", value),
+            CodecError::BadDistance {
+                distance,
+                produced,
+            } => write!(
+                f,
+                "back-reference distance {} exceeds {} produced bytes",
+                distance, produced
+            ),
+            CodecError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: stored {:08x}, computed {:08x}",
+                expected, actual
+            ),
+            CodecError::LengthOverflow { declared } => {
+                write!(f, "declared length {} exceeds sanity bound", declared)
+            }
+            CodecError::BadCodeTable => write!(f, "invalid prefix-code table"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert!(CodecError::ChecksumMismatch {
+            expected: 0xdeadbeef,
+            actual: 1
+        }
+        .to_string()
+        .contains("deadbeef"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CodecError>();
+    }
+}

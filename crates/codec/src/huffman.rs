@@ -1,0 +1,380 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are computed with the package-merge algorithm (optimal
+//! under a maximum-length constraint), then assigned canonically so a
+//! decoder only needs the length array.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+
+/// Computes optimal code lengths for `freqs` under `max_len` using
+/// package-merge. Zero-frequency symbols get length 0 (no code).
+///
+/// # Panics
+/// Panics if `max_len` is 0 or if the alphabet cannot fit
+/// (`freqs.len() > 2^max_len`).
+pub fn build_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    assert!(max_len > 0, "max_len must be positive");
+    let active: Vec<(usize, u64)> = freqs
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, f)| f > 0)
+        .collect();
+    let n = active.len();
+    let mut lengths = vec![0u8; freqs.len()];
+    match n {
+        0 => return lengths,
+        1 => {
+            lengths[active[0].0] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    assert!(
+        n as u64 <= 1u64 << max_len.min(63),
+        "{} symbols cannot fit in {}-bit codes",
+        n,
+        max_len
+    );
+    // Package-merge. Each entry is (weight, bitmask-of-symbols as index
+    // list). Alphabets here are small (<= ~300 symbols), so Vec<u32>
+    // symbol lists are fine.
+    #[derive(Clone)]
+    struct Pkg {
+        weight: u64,
+        symbols: Vec<u32>,
+    }
+    let mut items: Vec<Pkg> = active
+        .iter()
+        .map(|&(i, f)| Pkg {
+            weight: f,
+            symbols: vec![i as u32],
+        })
+        .collect();
+    items.sort_by_key(|p| p.weight);
+    let mut current = items.clone();
+    for _ in 1..max_len {
+        // Package adjacent pairs of `current`.
+        let mut packaged: Vec<Pkg> = Vec::with_capacity(current.len() / 2);
+        let mut it = current.chunks_exact(2);
+        for pair in &mut it {
+            let mut symbols = pair[0].symbols.clone();
+            symbols.extend_from_slice(&pair[1].symbols);
+            packaged.push(Pkg {
+                weight: pair[0].weight + pair[1].weight,
+                symbols,
+            });
+        }
+        // Merge with the original items (both sorted).
+        let mut merged = Vec::with_capacity(items.len() + packaged.len());
+        let (mut a, mut b) = (0, 0);
+        while a < items.len() || b < packaged.len() {
+            let take_item = match (items.get(a), packaged.get(b)) {
+                (Some(x), Some(y)) => x.weight <= y.weight,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if take_item {
+                merged.push(items[a].clone());
+                a += 1;
+            } else {
+                merged.push(packaged[b].clone());
+                b += 1;
+            }
+        }
+        current = merged;
+    }
+    for pkg in current.iter().take(2 * n - 2) {
+        for &s in &pkg.symbols {
+            lengths[s as usize] += 1;
+        }
+    }
+    debug_assert!(kraft_ok(&lengths), "package-merge produced invalid lengths");
+    lengths
+}
+
+/// Whether the length array satisfies Kraft equality-or-less
+/// (decodable) and is non-degenerate.
+pub fn kraft_ok(lengths: &[u8]) -> bool {
+    let mut sum = 0u128;
+    let mut max = 0u8;
+    for &l in lengths {
+        if l > 0 {
+            max = max.max(l);
+            if l > 64 {
+                return false;
+            }
+            sum += 1u128 << (64 - l as u32);
+        }
+    }
+    max > 0 && sum <= 1u128 << 64
+}
+
+/// A canonical Huffman code table for encoding.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<(u32, u8)>, // (code, length) per symbol; length 0 = absent
+}
+
+impl Encoder {
+    /// Builds the canonical codes from a length array.
+    ///
+    /// # Errors
+    /// [`CodecError::BadCodeTable`] if the lengths are over-subscribed or
+    /// all zero.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Encoder, CodecError> {
+        if !kraft_ok(lengths) {
+            return Err(CodecError::BadCodeTable);
+        }
+        let max_len = *lengths.iter().max().expect("non-empty by kraft_ok");
+        let mut bl_count = vec![0u32; max_len as usize + 1];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        // First canonical code of each length.
+        let mut next_code = vec![0u32; max_len as usize + 2];
+        let mut code = 0u32;
+        for len in 1..=max_len as usize {
+            code = (code + bl_count[len - 1]) << 1;
+            next_code[len] = code;
+        }
+        let mut codes = vec![(0u32, 0u8); lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                codes[sym] = (next_code[l as usize], l);
+                next_code[l as usize] += 1;
+            }
+        }
+        Ok(Encoder { codes })
+    }
+
+    /// Writes `symbol`'s code.
+    ///
+    /// # Panics
+    /// Panics if the symbol has no code (zero frequency at build time).
+    pub fn encode(&self, w: &mut BitWriter, symbol: usize) {
+        let (code, len) = self.codes[symbol];
+        assert!(len > 0, "symbol {} has no code", symbol);
+        w.write_bits(code as u64, len as u32);
+    }
+
+    /// The `(code, length)` pair for a symbol (length 0 = absent).
+    pub fn code(&self, symbol: usize) -> (u32, u8) {
+        self.codes[symbol]
+    }
+
+    /// Total bits this table would use for the given frequency histogram.
+    pub fn cost_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.codes)
+            .map(|(&f, &(_, l))| f * l as u64)
+            .sum()
+    }
+}
+
+/// A canonical Huffman decoder built from the same length array.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    /// count[len] = number of codes with that length.
+    counts: Vec<u32>,
+    max_len: u8,
+}
+
+impl Decoder {
+    /// Builds a decoder from a length array.
+    ///
+    /// # Errors
+    /// [`CodecError::BadCodeTable`] if the lengths are invalid.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Decoder, CodecError> {
+        if !kraft_ok(lengths) {
+            return Err(CodecError::BadCodeTable);
+        }
+        let max_len = *lengths.iter().max().expect("non-empty");
+        let mut counts = vec![0u32; max_len as usize + 1];
+        let mut pairs: Vec<(u8, u32)> = Vec::new();
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                counts[l as usize] += 1;
+                pairs.push((l, sym as u32));
+            }
+        }
+        pairs.sort_unstable();
+        Ok(Decoder {
+            symbols: pairs.into_iter().map(|(_, s)| s).collect(),
+            counts,
+            max_len,
+        })
+    }
+
+    /// Decodes one symbol.
+    ///
+    /// # Errors
+    /// [`CodecError::UnexpectedEof`] on truncation,
+    /// [`CodecError::BadSymbol`] if the bits match no code.
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<usize, CodecError> {
+        let mut code = 0u32;
+        let mut first = 0u32;
+        let mut index = 0u32;
+        for len in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()? as u32;
+            let count = self.counts[len];
+            if code.wrapping_sub(first) < count {
+                return Ok(self.symbols[(index + (code - first)) as usize] as usize);
+            }
+            index += count;
+            first = (first + count) << 1;
+        }
+        Err(CodecError::BadSymbol { value: code as u64 })
+    }
+}
+
+/// Serializes a length array as 4-bit nibbles (requires `max_len <= 15`).
+///
+/// # Panics
+/// Panics if any length exceeds 15.
+pub fn write_lengths(w: &mut BitWriter, lengths: &[u8]) {
+    for &l in lengths {
+        assert!(l <= 15, "length {} exceeds nibble encoding", l);
+        w.write_bits(l as u64, 4);
+    }
+}
+
+/// Reads `n` nibble-encoded lengths.
+///
+/// # Errors
+/// [`CodecError::UnexpectedEof`] on truncation.
+pub fn read_lengths(r: &mut BitReader<'_>, n: usize) -> Result<Vec<u8>, CodecError> {
+    (0..n).map(|_| Ok(r.read_bits(4)? as u8)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(freqs: &[u64], max_len: u8, message: &[usize]) {
+        let lengths = build_lengths(freqs, max_len);
+        let enc = Encoder::from_lengths(&lengths).expect("encoder");
+        let dec = Decoder::from_lengths(&lengths).expect("decoder");
+        let mut w = BitWriter::new();
+        for &s in message {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in message {
+            assert_eq!(dec.decode(&mut r).expect("symbol"), s);
+        }
+    }
+
+    #[test]
+    fn skewed_frequencies_get_short_codes() {
+        let freqs = [1000u64, 10, 10, 1];
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths[0] < lengths[3]);
+        round_trip(&freqs, 15, &[0, 0, 1, 2, 3, 0, 0]);
+    }
+
+    #[test]
+    fn uniform_frequencies_get_balanced_codes() {
+        let freqs = [5u64; 8];
+        let lengths = build_lengths(&freqs, 15);
+        assert!(lengths.iter().all(|&l| l == 3));
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let freqs = [0u64, 42, 0];
+        let lengths = build_lengths(&freqs, 15);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        round_trip(&freqs, 15, &[1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_alphabet_gives_no_codes() {
+        let lengths = build_lengths(&[0u64; 5], 15);
+        assert!(lengths.iter().all(|&l| l == 0));
+        assert!(Encoder::from_lengths(&lengths).is_err());
+    }
+
+    #[test]
+    fn length_limit_is_respected() {
+        // Fibonacci-ish frequencies force deep trees without a limit.
+        let freqs: Vec<u64> = {
+            let mut v = vec![1u64, 1];
+            for i in 2..20 {
+                let next = v[i - 1] + v[i - 2];
+                v.push(next);
+            }
+            v
+        };
+        for limit in [5u8, 8, 15] {
+            let lengths = build_lengths(&freqs, limit);
+            assert!(lengths.iter().all(|&l| l <= limit), "limit {}", limit);
+            assert!(kraft_ok(&lengths));
+        }
+        round_trip(&freqs, 8, &(0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn package_merge_is_near_optimal() {
+        // Entropy lower-bound sanity: cost within ~5% + 1 bit/symbol.
+        let freqs = [900u64, 50, 25, 12, 6, 3, 2, 1, 1];
+        let total: u64 = freqs.iter().sum();
+        let entropy: f64 = freqs
+            .iter()
+            .filter(|&&f| f > 0)
+            .map(|&f| {
+                let p = f as f64 / total as f64;
+                -(p.log2()) * f as f64
+            })
+            .sum();
+        let lengths = build_lengths(&freqs, 15);
+        let enc = Encoder::from_lengths(&lengths).expect("encoder");
+        let cost = enc.cost_bits(&freqs) as f64;
+        assert!(cost < entropy * 1.05 + total as f64, "cost {} entropy {}", cost, entropy);
+    }
+
+    #[test]
+    fn oversubscribed_table_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert!(Decoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(Encoder::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_dangling_code() {
+        // Lengths {1} leaves code '1' unassigned.
+        let lengths = [1u8, 0];
+        let dec = Decoder::from_lengths(&lengths).expect("decoder");
+        let bytes = [0xFFu8];
+        let mut r = BitReader::new(&bytes);
+        assert!(matches!(dec.decode(&mut r), Err(CodecError::BadSymbol { .. })));
+    }
+
+    #[test]
+    fn lengths_serialize_round_trip() {
+        let lengths = build_lengths(&[10u64, 4, 4, 2, 1, 0, 7], 15);
+        let mut w = BitWriter::new();
+        write_lengths(&mut w, &lengths);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        let got = read_lengths(&mut r, lengths.len()).expect("read");
+        assert_eq!(got, lengths);
+    }
+
+    #[test]
+    fn large_alphabet_round_trip() {
+        // 286-symbol deflate-like alphabet with a long-tail distribution.
+        let freqs: Vec<u64> = (0..286u64).map(|i| 1 + (286 - i) * (i % 7 + 1)).collect();
+        let lengths = build_lengths(&freqs, 15);
+        assert!(kraft_ok(&lengths));
+        let msg: Vec<usize> = (0..286).collect();
+        round_trip(&freqs, 15, &msg);
+    }
+}

@@ -1,0 +1,115 @@
+//! Byte-wise run-length encoding: `(value, varint run-length)` pairs.
+//!
+//! Effective on the low-cardinality columnar streams METHCOMP produces
+//! (chromosome ids, strands, interval widths).
+
+use crate::error::CodecError;
+use crate::varint;
+
+/// Encodes `data` as `(byte, varint run)` pairs.
+///
+/// ```
+/// let packed = faaspipe_codec::rle::compress(b"aaaabbc");
+/// let unpacked = faaspipe_codec::rle::decompress(&packed, 1 << 20).unwrap();
+/// assert_eq!(unpacked, b"aaaabbc");
+/// ```
+pub fn compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        out.push(b);
+        varint::write_u64(&mut out, run as u64);
+        i += run;
+    }
+    out
+}
+
+/// Decodes an RLE stream produced by [`compress`].
+///
+/// # Errors
+/// [`CodecError::UnexpectedEof`] on truncation and
+/// [`CodecError::LengthOverflow`] if the declared output exceeds
+/// `max_len` (guarding against decompression bombs).
+pub fn decompress(data: &[u8], max_len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < data.len() {
+        let b = data[pos];
+        pos += 1;
+        let (run, used) = varint::read_u64(&data[pos..])?;
+        pos += used;
+        if run == 0 || out.len() as u64 + run > max_len as u64 {
+            return Err(CodecError::LengthOverflow { declared: run });
+        }
+        out.resize(out.len() + run as usize, b);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_cases() {
+        for case in [
+            &b""[..],
+            b"a",
+            b"aaaa",
+            b"abab",
+            b"aaabbbcccd",
+            b"\x00\x00\xFF\xFF\xFF",
+        ] {
+            let packed = compress(case);
+            let unpacked = decompress(&packed, 1 << 20).expect("round trip");
+            assert_eq!(unpacked, case);
+        }
+    }
+
+    #[test]
+    fn long_runs_compress_well() {
+        let data = vec![7u8; 100_000];
+        let packed = compress(&data);
+        assert!(packed.len() <= 4, "one pair: value + varint run");
+        assert_eq!(decompress(&packed, 1 << 20).expect("ok"), data);
+    }
+
+    #[test]
+    fn alternating_bytes_expand_gracefully() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        let packed = compress(&data);
+        assert_eq!(packed.len(), 2000); // pair per byte
+        assert_eq!(decompress(&packed, 1 << 20).expect("ok"), data);
+    }
+
+    #[test]
+    fn bomb_guard_trips() {
+        let mut packed = Vec::new();
+        packed.push(0u8);
+        varint::write_u64(&mut packed, 1 << 40);
+        assert!(matches!(
+            decompress(&packed, 1 << 20),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_run_is_invalid() {
+        let packed = vec![0u8, 0u8]; // value 0, run 0
+        assert!(matches!(
+            decompress(&packed, 10),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_run_errors() {
+        let packed = vec![0u8]; // value without run
+        assert_eq!(decompress(&packed, 10), Err(CodecError::UnexpectedEof));
+    }
+}

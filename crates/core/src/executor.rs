@@ -1,0 +1,848 @@
+//! Executes a workflow DAG over the simulated cloud.
+//!
+//! One driver process per stage: each joins its dependencies' drivers,
+//! runs the stage (a gang of function invocations, or a VM task), and
+//! publishes a [`StageResult`]. Independent stages overlap naturally.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use faaspipe_des::{Ctx, ProcessId, Sim, SimDuration, SimTime};
+use faaspipe_faas::FunctionPlatform;
+use faaspipe_methcomp::{codec as mc_codec, Dataset, MethRecord};
+use faaspipe_shuffle::{
+    serverless_sort, vm_sort, Autotuner, ExchangeStrategy, SortConfig, SortRecord, VmSortConfig,
+    WorkModel,
+};
+use faaspipe_store::ObjectStore;
+use faaspipe_vm::VmFleet;
+
+use crate::dag::{Dag, EncodeCodec, Stage, StageKind, WorkerChoice};
+use crate::tracker::Tracker;
+
+/// The simulated cloud services a workflow runs on.
+#[derive(Clone)]
+pub struct Services {
+    /// Object storage.
+    pub store: Arc<ObjectStore>,
+    /// Functions platform.
+    pub faas: Arc<FunctionPlatform>,
+    /// VM fleet.
+    pub fleet: VmFleet,
+}
+
+impl std::fmt::Debug for Services {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Services").finish_non_exhaustive()
+    }
+}
+
+/// Outcome of one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageResult {
+    /// Stage name.
+    pub stage: String,
+    /// When the stage driver began (after dependencies).
+    pub started: SimTime,
+    /// When the stage finished.
+    pub finished: SimTime,
+    /// Workers actually used (autotuned shuffles may differ from the
+    /// request).
+    pub workers_used: usize,
+    /// Real output bytes written.
+    pub output_bytes: u64,
+}
+
+type ResultMap = Arc<Mutex<BTreeMap<String, Result<StageResult, String>>>>;
+
+/// Handle to a spawned workflow: join `root` (or run the sim to
+/// completion) and collect results.
+#[derive(Debug)]
+pub struct DagHandle {
+    /// The workflow root process (finishes when every stage does).
+    pub root: ProcessId,
+    results: ResultMap,
+}
+
+impl DagHandle {
+    /// Per-stage results; `Err` holds the failure message.
+    pub fn results(&self) -> BTreeMap<String, Result<StageResult, String>> {
+        self.results.lock().clone()
+    }
+
+    /// Convenience: all stage results, or the first failure.
+    ///
+    /// # Errors
+    /// The first stage error message.
+    pub fn ok_results(&self) -> Result<Vec<StageResult>, String> {
+        let map = self.results.lock();
+        let mut out = Vec::with_capacity(map.len());
+        for (_, r) in map.iter() {
+            match r {
+                Ok(s) => out.push(s.clone()),
+                Err(e) => return Err(e.clone()),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Workflow executor. Construct once per simulation.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// The cloud services.
+    pub services: Services,
+    /// CPU-work calibration (share the store's size scale).
+    pub work: WorkModel,
+    /// Job tracker receiving progress events.
+    pub tracker: Tracker,
+    /// Upper bound the autotuner may pick.
+    pub max_autotune_workers: usize,
+    /// Lithops-style driver orchestration overhead per execution phase
+    /// (job serialization + upload, invoke fan-out, COS future polling).
+    /// Unbilled, but on the critical path.
+    pub orchestration: SimDuration,
+}
+
+impl Executor {
+    /// Creates an executor with the given services and work model.
+    pub fn new(services: Services, work: WorkModel, tracker: Tracker) -> Executor {
+        Executor {
+            services,
+            work,
+            tracker,
+            max_autotune_workers: 64,
+            orchestration: SimDuration::from_millis(8_000),
+        }
+    }
+
+    /// Spawns the workflow's driver processes into `sim`. Run the sim to
+    /// execute; inspect the returned handle afterwards.
+    ///
+    /// # Panics
+    /// Panics if the DAG fails validation (construct via [`Dag::add_stage`]
+    /// to make that impossible).
+    pub fn spawn_dag(&self, sim: &mut Sim, dag: &Dag) -> DagHandle {
+        dag.validate().expect("DAG must be valid");
+        let results: ResultMap = Arc::new(Mutex::new(BTreeMap::new()));
+        let mut pids: Vec<ProcessId> = Vec::with_capacity(dag.len());
+        for stage in dag.stages() {
+            let dep_pids: Vec<ProcessId> = stage.deps.iter().map(|d| pids[d.0]).collect();
+            let dep_names: Vec<String> = stage
+                .deps
+                .iter()
+                .map(|d| dag.stages()[d.0].name.clone())
+                .collect();
+            let stage2 = stage.clone();
+            let bucket = dag.bucket.clone();
+            let exec = self.clone();
+            let results2 = Arc::clone(&results);
+            let pid = sim.spawn(format!("stage:{}", stage.name), move |ctx| {
+                // Wait for dependencies; skip if any failed.
+                for (pid, name) in dep_pids.iter().zip(&dep_names) {
+                    if ctx.join(*pid).is_err() {
+                        results2.lock().insert(
+                            stage2.name.clone(),
+                            Err(format!("dependency driver '{}' crashed", name)),
+                        );
+                        return;
+                    }
+                }
+                {
+                    let map = results2.lock();
+                    for name in &dep_names {
+                        if matches!(map.get(name), Some(Err(_)) | None) {
+                            drop(map);
+                            results2.lock().insert(
+                                stage2.name.clone(),
+                                Err(format!("dependency '{}' failed", name)),
+                            );
+                            return;
+                        }
+                    }
+                }
+                exec.tracker.stage_start(ctx, &stage2.name);
+                let started = ctx.now();
+                let outcome = exec.run_stage(ctx, &bucket, &stage2);
+                exec.tracker.stage_end(ctx, &stage2.name);
+                let finished = ctx.now();
+                let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
+                    stage: stage2.name.clone(),
+                    started,
+                    finished,
+                    workers_used,
+                    output_bytes,
+                });
+                results2.lock().insert(stage2.name.clone(), entry);
+            });
+            pids.push(pid);
+        }
+        // Root process: the workflow completes when every stage driver has.
+        let all = pids.clone();
+        let root = sim.spawn("workflow:root", move |ctx| {
+            for pid in all {
+                let _ = ctx.join(pid);
+            }
+        });
+        DagHandle { root, results }
+    }
+
+    fn run_stage(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &Stage,
+    ) -> Result<(usize, u64), String> {
+        match &stage.kind {
+            StageKind::ShuffleSort {
+                workers,
+                exchange,
+                input,
+                output,
+            } => self.exec_shuffle(ctx, bucket, &stage.name, *workers, *exchange, input, output),
+            StageKind::VmSort {
+                profile,
+                runs,
+                input,
+                output,
+            } => {
+                // Job submission overhead before the VM work starts.
+                ctx.sleep(self.orchestration);
+                let cfg = VmSortConfig {
+                    bucket: bucket.to_string(),
+                    input_prefix: input.clone(),
+                    output_prefix: output.clone(),
+                    runs: *runs,
+                    profile: profile.clone(),
+                    tag: stage.name.clone(),
+                    work: self.work.clone(),
+                    retries: 3,
+                    release: true,
+                    manifest_key: None,
+                };
+                let stats = vm_sort::<MethRecord>(ctx, &self.services.fleet, &self.services.store, &cfg)
+                    .map_err(|e| format!("vm sort failed: {}", e))?;
+                self.tracker.note(
+                    ctx,
+                    &stage.name,
+                    format!(
+                        "vm sort: provision {:.1}s, download {:.1}s, sort {:.1}s, upload {:.1}s",
+                        stats.provision_duration.as_secs_f64(),
+                        stats.download_duration.as_secs_f64(),
+                        stats.sort_duration.as_secs_f64(),
+                        stats.upload_duration.as_secs_f64()
+                    ),
+                );
+                Ok((1, stats.output_bytes))
+            }
+            StageKind::Encode {
+                codec,
+                workers,
+                input,
+                output,
+            } => self.exec_encode(ctx, bucket, &stage.name, *codec, *workers, input, output),
+            StageKind::Decode {
+                workers,
+                input,
+                output,
+            } => self.exec_decode(ctx, bucket, &stage.name, *workers, input, output),
+        }
+    }
+
+    fn exec_decode(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &str,
+        workers: usize,
+        input: &str,
+        output: &str,
+    ) -> Result<(usize, u64), String> {
+        ctx.sleep(self.orchestration);
+        let store = &self.services.store;
+        let client = store.connect(ctx, format!("{}/driver", stage));
+        let inputs = client
+            .list(ctx, bucket, input)
+            .map_err(|e| format!("decode list failed: {}", e))?;
+        if inputs.is_empty() {
+            return Err(format!("no decode inputs under '{}'", input));
+        }
+        let written: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let assigned: Vec<String> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == wi)
+                .map(|(_, o)| o.key.clone())
+                .collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            let store = Arc::clone(store);
+            let work = self.work.clone();
+            let written = Arc::clone(&written);
+            let bucket = bucket.to_string();
+            let stage2 = stage.to_string();
+            let output = output.to_string();
+            let h = self.services.faas.invoke_async(
+                ctx,
+                "decode",
+                format!("{}/dec", stage),
+                move |fctx, env| {
+                    let client = store.connect_via(fctx, format!("{}/dec", stage2), &[env.nic]);
+                    for key in &assigned {
+                        let archive = client
+                            .get(fctx, &bucket, key)
+                            .unwrap_or_else(|e| panic!("decode read failed: {}", e));
+                        let dataset = mc_codec::decompress(&archive)
+                            .unwrap_or_else(|e| panic!("archive corrupt: {}", e));
+                        let data = SortRecord::write_all(&dataset.records);
+                        env.compute(fctx, work.methcomp_decode_time(data.len()));
+                        *written.lock() += data.len() as u64;
+                        let leaf = key.rsplit('/').next().unwrap_or(key);
+                        let out_key = format!("{}{}", output, leaf);
+                        client
+                            .put(fctx, &bucket, &out_key, Bytes::from(data))
+                            .unwrap_or_else(|e| panic!("decode write failed: {}", e));
+                    }
+                },
+            );
+            handles.push(h);
+        }
+        ctx.join_all(&handles)
+            .map_err(|e| format!("decode task failed: {}", e))?;
+        let bytes = *written.lock();
+        Ok((workers.min(inputs.len()), bytes))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_shuffle(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &str,
+        choice: WorkerChoice,
+        exchange: ExchangeStrategy,
+        input: &str,
+        output: &str,
+    ) -> Result<(usize, u64), String> {
+        let workers = match choice {
+            WorkerChoice::Fixed(n) => n,
+            WorkerChoice::Auto => {
+                let store = &self.services.store;
+                let tuner = Autotuner::probe(ctx, store, bucket)
+                    .map_err(|e| format!("autotune probe failed: {}", e))?;
+                let client = store.connect(ctx, format!("{}/autotune", stage));
+                let inputs = client
+                    .list(ctx, bucket, input)
+                    .map_err(|e| format!("autotune list failed: {}", e))?;
+                let modeled: f64 = inputs
+                    .iter()
+                    .map(|o| store.config().scaled_len(o.len.as_u64() as usize) as f64)
+                    .sum();
+                let faas_cfg = self.services.faas.config();
+                // The probe measured the driver's connection; functions
+                // are additionally capped by their container NIC.
+                let tuner = Autotuner {
+                    measured_conn_bw: tuner
+                        .measured_conn_bw
+                        .min(faas_cfg.nic_bw.as_bytes_per_sec()),
+                    ..tuner
+                };
+                let model = tuner.model(
+                    modeled,
+                    inputs.len(),
+                    store,
+                    faas_cfg.cold_start.as_secs_f64(),
+                    faas_cfg.cpu_share(),
+                    self.work.sort_mibps * 1024.0 * 1024.0,
+                    self.work.merge_mibps * 1024.0 * 1024.0,
+                    self.max_autotune_workers,
+                );
+                let w = model.best_workers();
+                self.tracker.note(
+                    ctx,
+                    stage,
+                    format!(
+                        "autotuner picked {} workers (measured {:.0} ms latency, {:.0} MiB/s)",
+                        w,
+                        tuner.measured_latency_s * 1e3,
+                        tuner.measured_conn_bw / (1024.0 * 1024.0)
+                    ),
+                );
+                w
+            }
+        };
+        let cfg = SortConfig {
+            workers,
+            bucket: bucket.to_string(),
+            input_prefix: input.to_string(),
+            output_prefix: output.to_string(),
+            part_prefix: format!("tmp/{}/", stage),
+            sample_capacity: 512,
+            sample_bytes: 64 * 1024,
+            tag: stage.to_string(),
+            work: self.work.clone(),
+            retries: 3,
+            orchestration: self.orchestration,
+            exchange,
+            task_attempts: 2,
+            manifest_key: None,
+        };
+        let stats =
+            serverless_sort::<MethRecord>(ctx, &self.services.faas, &self.services.store, &cfg)
+                .map_err(|e| format!("serverless sort failed: {}", e))?;
+        self.tracker.note(
+            ctx,
+            stage,
+            format!(
+                "shuffle: sample {:.1}s, map {:.1}s, reduce {:.1}s ({} workers)",
+                stats.sample_duration.as_secs_f64(),
+                stats.map_duration.as_secs_f64(),
+                stats.reduce_duration.as_secs_f64(),
+                stats.workers
+            ),
+        );
+        Ok((workers, stats.output_bytes))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_encode(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &str,
+        codec: EncodeCodec,
+        workers: usize,
+        input: &str,
+        output: &str,
+    ) -> Result<(usize, u64), String> {
+        ctx.sleep(self.orchestration);
+        let store = &self.services.store;
+        let client = store.connect(ctx, format!("{}/driver", stage));
+        let inputs = client
+            .list(ctx, bucket, input)
+            .map_err(|e| format!("encode list failed: {}", e))?;
+        if inputs.is_empty() {
+            return Err(format!("no encode inputs under '{}'", input));
+        }
+        let written: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+        let mut handles = Vec::with_capacity(workers);
+        for wi in 0..workers {
+            let assigned: Vec<String> = inputs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == wi)
+                .map(|(_, o)| o.key.clone())
+                .collect();
+            if assigned.is_empty() {
+                continue;
+            }
+            let store = Arc::clone(store);
+            let work = self.work.clone();
+            let written = Arc::clone(&written);
+            let bucket = bucket.to_string();
+            let stage2 = stage.to_string();
+            let output = output.to_string();
+            let h = self.services.faas.invoke_async(
+                ctx,
+                "encode",
+                format!("{}/enc", stage),
+                move |fctx, env| {
+                    let client = store.connect_via(fctx, format!("{}/enc", stage2), &[env.nic]);
+                    for key in &assigned {
+                        let data = client
+                            .get(fctx, &bucket, key)
+                            .unwrap_or_else(|e| panic!("encode read failed: {}", e));
+                        let records: Vec<MethRecord> = SortRecord::read_all(&data)
+                            .unwrap_or_else(|e| panic!("encode decode failed: {}", e));
+                        let dataset = Dataset::new(records);
+                        let packed = match codec {
+                            EncodeCodec::Methcomp => {
+                                env.compute(fctx, work.methcomp_encode_time(data.len()));
+                                mc_codec::compress(&dataset)
+                            }
+                            EncodeCodec::Gzipish => {
+                                env.compute(fctx, work.gzip_encode_time(data.len()));
+                                faaspipe_codec::gzipish::compress(dataset.to_text().as_bytes())
+                            }
+                        };
+                        *written.lock() += packed.len() as u64;
+                        let leaf = key.rsplit('/').next().unwrap_or(key);
+                        let out_key = format!("{}{}", output, leaf);
+                        client
+                            .put(fctx, &bucket, &out_key, Bytes::from(packed))
+                            .unwrap_or_else(|e| panic!("encode write failed: {}", e));
+                    }
+                },
+            );
+            handles.push(h);
+        }
+        ctx.join_all(&handles)
+            .map_err(|e| format!("encode task failed: {}", e))?;
+        let bytes = *written.lock();
+        Ok((workers.min(inputs.len()), bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::SimDuration;
+    use faaspipe_faas::FaasConfig;
+    use faaspipe_methcomp::synth::Synthesizer;
+    use faaspipe_store::StoreConfig;
+    use faaspipe_vm::VmProfile;
+
+    fn setup(records: usize, chunks: usize) -> (Sim, Services, Dataset) {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        let fleet = VmFleet::new();
+        store.create_bucket("data").expect("bucket");
+        let ds = Synthesizer::new(31).generate_shuffled(records);
+        let per = ds.records.len().div_ceil(chunks);
+        for (i, chunk) in ds.records.chunks(per).enumerate() {
+            let data = SortRecord::write_all(chunk);
+            store
+                .put_untimed("data", &format!("in/{:04}", i), Bytes::from(data))
+                .expect("stage input");
+        }
+        (
+            sim,
+            Services { store, faas, fleet },
+            ds,
+        )
+    }
+
+    fn verify_outputs(services: &Services, ds: &Dataset, runs: usize) {
+        // Sorted runs concatenated must equal the sorted input; each
+        // archive must decompress back to its run.
+        let mut expect = ds.clone();
+        expect.sort();
+        let mut all = Vec::new();
+        for j in 0..runs {
+            let run = services
+                .store
+                .peek("data", &format!("sorted/{:05}", j))
+                .expect("run exists");
+            let mut records: Vec<MethRecord> = SortRecord::read_all(&run).expect("decode");
+            let archive = services
+                .store
+                .peek("data", &format!("enc/{:05}", j))
+                .expect("archive exists");
+            let decoded = mc_codec::decompress(&archive).expect("archive decodes");
+            assert_eq!(decoded.records, records, "archive {} round trip", j);
+            all.append(&mut records);
+        }
+        assert_eq!(all, expect.records, "global sort order");
+    }
+
+    #[test]
+    fn linear_methcomp_dag_runs_and_verifies() {
+        let (mut sim, services, ds) = setup(6_000, 4);
+        let tracker = Tracker::new();
+        let exec = Executor::new(services.clone(), WorkModel::default(), tracker.clone());
+        let mut dag = Dag::new("methcomp", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(4),
+                exchange: ExchangeStrategy::Scatter,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "encode",
+            StageKind::Encode {
+                codec: EncodeCodec::Methcomp,
+                workers: 4,
+                input: "sorted/".into(),
+                output: "enc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("encode");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        let results = handle.ok_results().expect("all stages ok");
+        assert_eq!(results.len(), 2);
+        verify_outputs(&services, &ds, 4);
+        let spans = tracker.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].finished <= spans[1].started + SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn vm_dag_runs_and_verifies() {
+        let (mut sim, services, ds) = setup(4_000, 4);
+        let exec = Executor::new(services.clone(), WorkModel::default(), Tracker::new());
+        let mut dag = Dag::new("methcomp-vm", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::VmSort {
+                profile: VmProfile::bx2_8x32(),
+                runs: 4,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "encode",
+            StageKind::Encode {
+                codec: EncodeCodec::Methcomp,
+                workers: 4,
+                input: "sorted/".into(),
+                output: "enc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("encode");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        handle.ok_results().expect("all stages ok");
+        verify_outputs(&services, &ds, 4);
+        assert_eq!(services.fleet.records().len(), 1);
+    }
+
+    #[test]
+    fn autotuned_shuffle_picks_plausible_workers() {
+        let (mut sim, services, _) = setup(6_000, 4);
+        let tracker = Tracker::new();
+        let exec = Executor::new(services.clone(), WorkModel::default(), tracker.clone());
+        let mut dag = Dag::new("auto", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Auto,
+                exchange: ExchangeStrategy::Coalesced,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        let results = handle.ok_results().expect("ok");
+        assert!((1..=64).contains(&results[0].workers_used));
+        assert!(tracker.render().contains("autotuner picked"));
+    }
+
+    #[test]
+    fn round_trip_dag_sort_encode_decode() {
+        // sort -> encode -> decode: the decoded runs must be byte-equal to
+        // the sorted runs (the full producer/consumer loop).
+        let (mut sim, services, _) = setup(4_000, 4);
+        let exec = Executor::new(services.clone(), WorkModel::default(), Tracker::new());
+        let mut dag = Dag::new("roundtrip", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(4),
+                exchange: ExchangeStrategy::Coalesced,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "encode",
+            StageKind::Encode {
+                codec: EncodeCodec::Methcomp,
+                workers: 4,
+                input: "sorted/".into(),
+                output: "enc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("encode");
+        dag.add_stage(
+            "decode",
+            StageKind::Decode {
+                workers: 4,
+                input: "enc/".into(),
+                output: "dec/".into(),
+            },
+            &["encode"],
+        )
+        .expect("decode");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        handle.ok_results().expect("all stages ok");
+        let runs = services.store.keys_untimed("data", "sorted/");
+        assert_eq!(runs.len(), 4);
+        for key in runs {
+            let leaf = key.trim_start_matches("sorted/");
+            let original = services.store.peek("data", &key).expect("run");
+            let decoded = services
+                .store
+                .peek("data", &format!("dec/{}", leaf))
+                .expect("decoded run");
+            assert_eq!(original, decoded, "decode must invert encode for {}", leaf);
+        }
+    }
+
+    #[test]
+    fn diamond_dag_branches_run_concurrently() {
+        // sort -> (encode-mc, encode-gz) both depend on sort and must
+        // overlap in virtual time.
+        let (mut sim, services, _) = setup(4_000, 4);
+        let tracker = Tracker::new();
+        let exec = Executor::new(services.clone(), WorkModel::default(), tracker.clone());
+        let mut dag = Dag::new("diamond", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(4),
+                exchange: ExchangeStrategy::Coalesced,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "mc",
+            StageKind::Encode {
+                codec: EncodeCodec::Methcomp,
+                workers: 4,
+                input: "sorted/".into(),
+                output: "enc-mc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("mc");
+        dag.add_stage(
+            "gz",
+            StageKind::Encode {
+                codec: EncodeCodec::Gzipish,
+                workers: 4,
+                input: "sorted/".into(),
+                output: "enc-gz/".into(),
+            },
+            &["sort"],
+        )
+        .expect("gz");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        let results = handle.ok_results().expect("all stages ok");
+        assert_eq!(results.len(), 3);
+        let span = |name: &str| {
+            results
+                .iter()
+                .find(|s| s.stage == name)
+                .map(|s| (s.started, s.finished))
+                .expect("stage ran")
+        };
+        let (sort_start, sort_end) = span("sort");
+        let (mc_start, mc_end) = span("mc");
+        let (gz_start, gz_end) = span("gz");
+        assert!(sort_start < sort_end);
+        assert!(mc_start >= sort_end && gz_start >= sort_end, "deps respected");
+        // Branches overlap: each starts before the other finishes.
+        assert!(mc_start < gz_end && gz_start < mc_end, "branches must overlap");
+        // Both encodes produced archives for all four runs.
+        assert_eq!(services.store.keys_untimed("data", "enc-mc/").len(), 4);
+        assert_eq!(services.store.keys_untimed("data", "enc-gz/").len(), 4);
+    }
+
+    #[test]
+    fn failed_stage_skips_dependents() {
+        let (mut sim, services, _) = setup(1_000, 2);
+        let exec = Executor::new(services.clone(), WorkModel::default(), Tracker::new());
+        let mut dag = Dag::new("broken", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(2),
+                exchange: ExchangeStrategy::Scatter,
+                input: "missing/".into(), // no such inputs
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "encode",
+            StageKind::Encode {
+                codec: EncodeCodec::Methcomp,
+                workers: 2,
+                input: "sorted/".into(),
+                output: "enc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("encode");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        let results = handle.results();
+        assert!(results["sort"].is_err());
+        let enc_err = results["encode"].as_ref().expect_err("skipped");
+        assert!(enc_err.contains("dependency"), "{}", enc_err);
+    }
+
+    #[test]
+    fn gzip_encode_stage_works() {
+        let (mut sim, services, ds) = setup(3_000, 2);
+        let exec = Executor::new(services.clone(), WorkModel::default(), Tracker::new());
+        let mut dag = Dag::new("gz", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(2),
+                exchange: ExchangeStrategy::Coalesced,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        dag.add_stage(
+            "encode",
+            StageKind::Encode {
+                codec: EncodeCodec::Gzipish,
+                workers: 2,
+                input: "sorted/".into(),
+                output: "enc/".into(),
+            },
+            &["sort"],
+        )
+        .expect("encode");
+        let handle = exec.spawn_dag(&mut sim, &dag);
+        sim.run().expect("sim ok");
+        handle.ok_results().expect("ok");
+        // Archives decompress to the text of each sorted run.
+        let mut total = 0usize;
+        for j in 0..2 {
+            let run = services
+                .store
+                .peek("data", &format!("sorted/{:05}", j))
+                .expect("run");
+            let records: Vec<MethRecord> = SortRecord::read_all(&run).expect("decode");
+            let text = Dataset::new(records).to_text();
+            let archive = services
+                .store
+                .peek("data", &format!("enc/{:05}", j))
+                .expect("archive");
+            let unpacked = faaspipe_codec::gzipish::decompress(&archive).expect("gz decodes");
+            assert_eq!(unpacked, text.as_bytes());
+            total += unpacked.len();
+        }
+        assert_eq!(total, {
+            let mut sorted = ds.clone();
+            sorted.sort();
+            sorted.to_text().len()
+        });
+    }
+}

@@ -1,0 +1,236 @@
+//! The job tracker: live per-stage progress and notes.
+//!
+//! Stands in for the paper's "IPython interface for job tracking in real
+//! time, which displays the workflow progress and breaks the cost down at
+//! each stage" (§2.4) — here an event log with text rendering; the cost
+//! breakdown itself comes from [`crate::pricing::CostReport`].
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use faaspipe_des::{Ctx, SimDuration, SimTime};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackKind {
+    /// A stage began executing.
+    StageStart,
+    /// A stage finished.
+    StageEnd,
+    /// Free-form progress note (e.g. "autotuner picked 13 workers").
+    Note(String),
+}
+
+/// One tracker event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Stage the event belongs to.
+    pub stage: String,
+    /// Event payload.
+    pub kind: TrackKind,
+}
+
+/// Completed span of one stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// Stage name.
+    pub stage: String,
+    /// Start time.
+    pub started: SimTime,
+    /// End time.
+    pub finished: SimTime,
+}
+
+impl StageSpan {
+    /// The stage's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.finished.saturating_duration_since(self.started)
+    }
+}
+
+/// Shared, cheaply clonable job tracker.
+#[derive(Debug, Clone, Default)]
+pub struct Tracker {
+    events: Arc<Mutex<Vec<TrackEvent>>>,
+}
+
+impl Tracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Tracker {
+        Tracker::default()
+    }
+
+    /// Records a stage start at the current virtual time.
+    pub fn stage_start(&self, ctx: &Ctx, stage: &str) {
+        self.push(ctx.now(), stage, TrackKind::StageStart);
+    }
+
+    /// Records a stage end at the current virtual time.
+    pub fn stage_end(&self, ctx: &Ctx, stage: &str) {
+        self.push(ctx.now(), stage, TrackKind::StageEnd);
+    }
+
+    /// Records a free-form note.
+    pub fn note(&self, ctx: &Ctx, stage: &str, message: impl Into<String>) {
+        self.push(ctx.now(), stage, TrackKind::Note(message.into()));
+    }
+
+    fn push(&self, time: SimTime, stage: &str, kind: TrackKind) {
+        self.events.lock().push(TrackEvent {
+            time,
+            stage: stage.to_string(),
+            kind,
+        });
+    }
+
+    /// All events so far, in order.
+    pub fn events(&self) -> Vec<TrackEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Completed stage spans, in start order.
+    pub fn spans(&self) -> Vec<StageSpan> {
+        let events = self.events.lock();
+        let mut spans = Vec::new();
+        for e in events.iter() {
+            if matches!(e.kind, TrackKind::StageStart) {
+                let end = events.iter().find(|e2| {
+                    e2.stage == e.stage && matches!(e2.kind, TrackKind::StageEnd)
+                });
+                if let Some(end) = end {
+                    spans.push(StageSpan {
+                        stage: e.stage.clone(),
+                        started: e.time,
+                        finished: end.time,
+                    });
+                }
+            }
+        }
+        spans
+    }
+
+    /// Renders the progress log as text (the tracker display).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events.lock().iter() {
+            let what = match &e.kind {
+                TrackKind::StageStart => "started".to_string(),
+                TrackKind::StageEnd => "finished".to_string(),
+                TrackKind::Note(msg) => msg.clone(),
+            };
+            out.push_str(&format!(
+                "[{:>10.3}s] {:<12} {}\n",
+                e.time.as_secs_f64(),
+                e.stage,
+                what
+            ));
+        }
+        out
+    }
+}
+
+impl Tracker {
+    /// Renders completed stage spans as an ASCII Gantt chart (the
+    /// tracker's "workflow progress" display, and the executable stand-in
+    /// for the paper's Figure 1 timelines).
+    pub fn render_gantt(&self, width: usize) -> String {
+        let spans = self.spans();
+        let Some(total_end) = spans.iter().map(|s| s.finished).max() else {
+            return String::new();
+        };
+        let total = total_end.as_secs_f64().max(1e-9);
+        let mut out = String::new();
+        for s in &spans {
+            let a = ((s.started.as_secs_f64() / total) * width as f64) as usize;
+            let b = (((s.finished.as_secs_f64() / total) * width as f64) as usize).max(a + 1);
+            let a = a.min(width);
+            let b = b.min(width);
+            out.push_str(&format!(
+                "{:<12} [{}{}{}] {:>8.2}s..{:>8.2}s
+",
+                s.stage,
+                " ".repeat(a),
+                "#".repeat(b - a),
+                " ".repeat(width - b),
+                s.started.as_secs_f64(),
+                s.finished.as_secs_f64(),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::Sim;
+
+    #[test]
+    fn records_spans_and_renders() {
+        let tracker = Tracker::new();
+        let t2 = tracker.clone();
+        let mut sim = Sim::new();
+        sim.spawn("driver", move |ctx| {
+            t2.stage_start(ctx, "sort");
+            ctx.sleep(SimDuration::from_secs(3));
+            t2.note(ctx, "sort", "autotuner picked 13 workers");
+            ctx.sleep(SimDuration::from_secs(2));
+            t2.stage_end(ctx, "sort");
+            t2.stage_start(ctx, "encode");
+            ctx.sleep(SimDuration::from_secs(1));
+            t2.stage_end(ctx, "encode");
+        });
+        sim.run().expect("sim ok");
+        let spans = tracker.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "sort");
+        assert_eq!(spans[0].duration(), SimDuration::from_secs(5));
+        assert_eq!(spans[1].stage, "encode");
+        assert_eq!(spans[1].duration(), SimDuration::from_secs(1));
+        let rendered = tracker.render();
+        assert!(rendered.contains("sort"));
+        assert!(rendered.contains("autotuner picked 13 workers"));
+        assert!(rendered.contains("finished"));
+        assert_eq!(tracker.events().len(), 5);
+    }
+
+    #[test]
+    fn gantt_renders_proportional_bars() {
+        let tracker = Tracker::new();
+        let t2 = tracker.clone();
+        let mut sim = Sim::new();
+        sim.spawn("driver", move |ctx| {
+            t2.stage_start(ctx, "sort");
+            ctx.sleep(SimDuration::from_secs(8));
+            t2.stage_end(ctx, "sort");
+            t2.stage_start(ctx, "encode");
+            ctx.sleep(SimDuration::from_secs(2));
+            t2.stage_end(ctx, "encode");
+        });
+        sim.run().expect("sim ok");
+        let gantt = tracker.render_gantt(40);
+        let lines: Vec<&str> = gantt.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("sort"));
+        // Sort occupies ~80% of the width, encode ~20%.
+        let sort_hashes = lines[0].matches('#').count();
+        let enc_hashes = lines[1].matches('#').count();
+        assert!(sort_hashes > enc_hashes * 3, "{} vs {}", sort_hashes, enc_hashes);
+        // Empty tracker renders empty.
+        assert_eq!(Tracker::new().render_gantt(40), "");
+    }
+
+    #[test]
+    fn unfinished_stage_has_no_span() {
+        let tracker = Tracker::new();
+        let t2 = tracker.clone();
+        let mut sim = Sim::new();
+        sim.spawn("driver", move |ctx| {
+            t2.stage_start(ctx, "sort");
+        });
+        sim.run().expect("sim ok");
+        assert!(tracker.spans().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! The simulation event queue.
+//!
+//! A thin priority queue keyed by `(time, sequence)` with O(log n) insert
+//! and pop and O(1) cancellation. Cancellation is implemented by tombstoning:
+//! a cancelled entry stays in the heap and is skipped when popped. Sequence
+//! numbers make the ordering of simultaneous events FIFO and therefore
+//! deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::units::SimTime;
+
+/// A handle to a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// What the scheduler should do when an event fires.
+///
+/// The set of wake targets is deliberately small: processes resume, and the
+/// kernel-owned resources (flow network, rate limiters) get ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// Resume the process with this index.
+    Process(u32),
+    /// Re-evaluate the fluid-flow network (a flow is due to complete).
+    FlowTick,
+    /// Re-evaluate a token-bucket rate limiter's wait queue.
+    LimiterTick(u32),
+}
+
+#[derive(Debug)]
+struct Entry {
+    time: SimTime,
+    seq: u64,
+    id: EventId,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Deterministic, cancellable event queue.
+///
+/// ```
+/// use faaspipe_des::events::{EventQueue, Wake};
+/// use faaspipe_des::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// let a = q.schedule(SimTime::from_nanos(10), Wake::Process(0));
+/// q.schedule(SimTime::from_nanos(10), Wake::Process(1));
+/// q.cancel(a);
+/// assert_eq!(q.pop(), Some((SimTime::from_nanos(10), Wake::Process(1))));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Payloads for live events, indexed densely by EventId. `None` means
+    /// the event was cancelled or already fired.
+    live: Vec<Option<Wake>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `wake` to fire at `time`. Events scheduled for the same
+    /// instant fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, wake: Wake) -> EventId {
+        let id = EventId(self.live.len() as u64);
+        self.live.push(Some(wake));
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, id }));
+        id
+    }
+
+    /// Cancels a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        if let Some(slot) = self.live.get_mut(id.0 as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Pops the next live event, skipping tombstones.
+    pub fn pop(&mut self) -> Option<(SimTime, Wake)> {
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if let Some(wake) = self.live[entry.id.0 as usize].take() {
+                return Some((entry.time, wake));
+            }
+        }
+        None
+    }
+
+    /// The number of live (non-cancelled) events still queued.
+    pub fn live_len(&self) -> usize {
+        self.live.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(t(30), Wake::Process(3));
+        q.schedule(t(10), Wake::Process(1));
+        q.schedule(t(20), Wake::Process(2));
+        assert_eq!(q.pop(), Some((t(10), Wake::Process(1))));
+        assert_eq!(q.pop(), Some((t(20), Wake::Process(2))));
+        assert_eq!(q.pop(), Some((t(30), Wake::Process(3))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(t(5), Wake::Process(i));
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), Wake::Process(i))));
+        }
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), Wake::Process(0));
+        let b = q.schedule(t(2), Wake::FlowTick);
+        q.cancel(a);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop(), Some((t(2), Wake::FlowTick)));
+        // Cancelling after fire is a no-op.
+        q.cancel(b);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), Wake::LimiterTick(7));
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(t(10), Wake::Process(1));
+        assert_eq!(q.pop(), Some((t(10), Wake::Process(1))));
+        q.schedule(t(5), Wake::Process(2));
+        q.schedule(t(15), Wake::Process(3));
+        assert_eq!(q.pop(), Some((t(5), Wake::Process(2))));
+        assert_eq!(q.pop(), Some((t(15), Wake::Process(3))));
+    }
+}

@@ -1,0 +1,470 @@
+//! Max-min fair fluid-flow network.
+//!
+//! Data transfers in the simulated cloud are modelled as *fluid flows*: a
+//! flow has a byte count and traverses a set of capacity-constrained links
+//! (e.g. a function's NIC, the object store's per-connection cap, the
+//! store's aggregate backbone). At any instant each flow progresses at its
+//! **max-min fair** rate given all concurrently active flows; rates are
+//! recomputed whenever a flow starts or finishes (progressive filling /
+//! water-filling algorithm).
+//!
+//! This is what makes "the huge aggregated bandwidth of object storage" —
+//! the paper's central performance argument — an emergent, measurable
+//! property of the simulation: adding more functions adds more NIC links,
+//! and aggregate throughput grows until the store's backbone saturates.
+
+use crate::units::{Bandwidth, ByteSize, SimDuration, SimTime};
+
+/// Identifies a capacity-constrained link in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub(crate) u32);
+
+/// Identifies an active flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey(usize);
+
+/// Description of a transfer: how many bytes, across which links.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Total bytes the flow must move.
+    pub bytes: ByteSize,
+    /// Every link the flow traverses; its rate is bounded by each of them.
+    pub links: Vec<LinkId>,
+}
+
+#[derive(Debug)]
+struct Link {
+    capacity: f64, // bytes/sec, may be infinite
+}
+
+#[derive(Debug)]
+struct Flow {
+    remaining: f64, // bytes
+    links: Vec<LinkId>,
+    waker: u32, // process index to resume on completion
+    rate: f64,  // current fair-share rate, bytes/sec
+}
+
+/// Bytes of slack under which a flow counts as complete (guards float
+/// round-off in settle arithmetic).
+const EPSILON_BYTES: f64 = 1e-6;
+
+/// The fluid-flow network. Owned by the simulation scheduler; processes
+/// interact with it through [`Ctx::transfer`](crate::Ctx::transfer).
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    links: Vec<Link>,
+    flows: Vec<Option<Flow>>,
+    free: Vec<usize>,
+    last_settle: SimTime,
+    active: usize,
+}
+
+impl FlowNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        FlowNet::default()
+    }
+
+    /// Adds a link with the given capacity and returns its id.
+    pub fn add_link(&mut self, capacity: Bandwidth) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            capacity: capacity.as_bytes_per_sec(),
+        });
+        id
+    }
+
+    /// Number of flows currently in progress.
+    pub fn active_flows(&self) -> usize {
+        self.active
+    }
+
+    /// The instantaneous aggregate rate through `link`, in bytes/sec.
+    /// Useful for instrumentation (e.g. the aggregate-bandwidth experiment).
+    pub fn link_rate(&self, link: LinkId) -> f64 {
+        self.flows
+            .iter()
+            .flatten()
+            .filter(|f| f.links.contains(&link))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Starts a new flow owned by process `waker`. Call
+    /// [`FlowNet::next_completion`] afterwards to reschedule the tick.
+    ///
+    /// # Panics
+    /// Panics if the spec references an unknown link.
+    pub fn start(&mut self, now: SimTime, spec: FlowSpec, waker: u32) -> FlowKey {
+        for l in &spec.links {
+            assert!(
+                (l.0 as usize) < self.links.len(),
+                "flow references unknown link {:?}",
+                l
+            );
+        }
+        self.settle(now);
+        let flow = Flow {
+            remaining: spec.bytes.as_f64(),
+            links: spec.links,
+            waker,
+            rate: 0.0,
+        };
+        let key = match self.free.pop() {
+            Some(i) => {
+                self.flows[i] = Some(flow);
+                FlowKey(i)
+            }
+            None => {
+                self.flows.push(Some(flow));
+                FlowKey(self.flows.len() - 1)
+            }
+        };
+        self.active += 1;
+        self.recompute();
+        key
+    }
+
+    /// Advances flow progress to `now`, removes completed flows, and
+    /// returns the process indices to resume (in deterministic flow order).
+    pub fn tick(&mut self, now: SimTime) -> Vec<u32> {
+        self.settle(now);
+        let mut done = Vec::new();
+        for i in 0..self.flows.len() {
+            let completed = matches!(&self.flows[i], Some(f) if f.remaining <= EPSILON_BYTES || f.rate.is_infinite());
+            if completed {
+                let f = self.flows[i].take().expect("flow checked above");
+                done.push(f.waker);
+                self.free.push(i);
+                self.active -= 1;
+            }
+        }
+        if !done.is_empty() {
+            self.recompute();
+        }
+        done
+    }
+
+    /// When the earliest active flow will complete, if any.
+    pub fn next_completion(&self, now: SimTime) -> Option<SimTime> {
+        let mut best: Option<SimDuration> = None;
+        for f in self.flows.iter().flatten() {
+            let d = if f.remaining <= EPSILON_BYTES || f.rate.is_infinite() {
+                SimDuration::ZERO
+            } else if f.rate <= 0.0 {
+                continue; // stalled; cannot complete (should not happen)
+            } else {
+                // Round *up* and pad by 1 ns so the settle at the scheduled
+                // instant always clears the flow; rounding down can strand
+                // a sub-nanosecond sliver of bytes and loop forever at one
+                // timestamp.
+                let ns = (f.remaining / f.rate * 1e9).ceil();
+                if ns >= u64::MAX as f64 {
+                    SimDuration::MAX
+                } else {
+                    SimDuration::from_nanos((ns as u64).saturating_add(1))
+                }
+            };
+            best = Some(match best {
+                Some(b) if b <= d => b,
+                _ => d,
+            });
+        }
+        best.map(|d| now.saturating_add(d))
+    }
+
+    /// Advances all remaining-byte counters to `now` at current rates.
+    fn settle(&mut self, now: SimTime) {
+        let dt = now.saturating_duration_since(self.last_settle).as_secs_f64();
+        self.last_settle = now;
+        if dt <= 0.0 {
+            return;
+        }
+        for f in self.flows.iter_mut().flatten() {
+            if f.rate.is_infinite() {
+                f.remaining = 0.0;
+            } else {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
+            }
+        }
+    }
+
+    /// Recomputes max-min fair rates with progressive filling.
+    fn recompute(&mut self) {
+        let n_links = self.links.len();
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        // Indices of unfrozen active flows.
+        let mut unfrozen: Vec<usize> = self
+            .flows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|_| i))
+            .collect();
+        // Flows on links with no finite capacity anywhere get infinite rate.
+        loop {
+            if unfrozen.is_empty() {
+                break;
+            }
+            // Count unfrozen flows per link.
+            let mut counts = vec![0usize; n_links];
+            for &fi in &unfrozen {
+                for l in &self.flows[fi].as_ref().expect("unfrozen flow exists").links {
+                    counts[l.0 as usize] += 1;
+                }
+            }
+            // Find the bottleneck link: min fair share among finite links
+            // with unfrozen flows.
+            let mut bottleneck: Option<(usize, f64)> = None;
+            for (li, link) in self.links.iter().enumerate() {
+                if counts[li] == 0 || link.capacity.is_infinite() {
+                    continue;
+                }
+                let share = residual[li] / counts[li] as f64;
+                match bottleneck {
+                    Some((_, s)) if s <= share => {}
+                    _ => bottleneck = Some((li, share)),
+                }
+            }
+            match bottleneck {
+                None => {
+                    // Remaining flows are unconstrained.
+                    for &fi in &unfrozen {
+                        self.flows[fi].as_mut().expect("unfrozen flow exists").rate =
+                            f64::INFINITY;
+                    }
+                    break;
+                }
+                Some((bli, share)) => {
+                    let share = share.max(0.0);
+                    // Freeze all unfrozen flows crossing the bottleneck.
+                    let mut still = Vec::with_capacity(unfrozen.len());
+                    for &fi in &unfrozen {
+                        let crosses = self.flows[fi]
+                            .as_ref()
+                            .expect("unfrozen flow exists")
+                            .links
+                            .iter()
+                            .any(|l| l.0 as usize == bli);
+                        if crosses {
+                            let f = self.flows[fi].as_mut().expect("unfrozen flow exists");
+                            f.rate = share;
+                            for l in &f.links {
+                                residual[l.0 as usize] =
+                                    (residual[l.0 as usize] - share).max(0.0);
+                            }
+                        } else {
+                            still.push(fi);
+                        }
+                    }
+                    unfrozen = still;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn rates(net: &FlowNet) -> Vec<f64> {
+        net.flows.iter().flatten().map(|f| f.rate).collect()
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(200),
+                links: vec![l],
+            },
+            0,
+        );
+        assert_eq!(rates(&net), vec![100.0]);
+        let done_at = net.next_completion(t(0)).expect("one active flow");
+        assert!(done_at.as_nanos().abs_diff(t(2000).as_nanos()) <= 2);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        let spec = |b| FlowSpec {
+            bytes: ByteSize::new(b),
+            links: vec![l],
+        };
+        net.start(t(0), spec(100), 0);
+        net.start(t(0), spec(100), 1);
+        assert_eq!(rates(&net), vec![50.0, 50.0]);
+    }
+
+    #[test]
+    fn bottleneck_elsewhere_frees_capacity() {
+        // Flow A limited by its private 10 B/s NIC; flow B shares the
+        // 100 B/s backbone with A and should get the residual 90 B/s.
+        let mut net = FlowNet::new();
+        let nic = net.add_link(Bandwidth::bytes_per_sec(10.0));
+        let backbone = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(1000),
+                links: vec![nic, backbone],
+            },
+            0,
+        );
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(1000),
+                links: vec![backbone],
+            },
+            1,
+        );
+        let r = rates(&net);
+        assert_eq!(r[0], 10.0);
+        assert_eq!(r[1], 90.0);
+    }
+
+    #[test]
+    fn rates_rebalance_when_a_flow_finishes() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(50),
+                links: vec![l],
+            },
+            0,
+        );
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(500),
+                links: vec![l],
+            },
+            1,
+        );
+        // Both at 50 B/s; flow 0 finishes at t=1s.
+        let first = net.next_completion(t(0)).expect("two active flows");
+        assert!(first.as_nanos().abs_diff(t(1000).as_nanos()) <= 2);
+        let woken = net.tick(first);
+        assert_eq!(woken, vec![0]);
+        // Flow 1 had 500-50=450 left, now at full 100 B/s.
+        assert_eq!(rates(&net), vec![100.0]);
+        let second = net.next_completion(first).expect("one active flow");
+        assert!(second.as_nanos().abs_diff(t(1000 + 4500).as_nanos()) <= 4);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        net.start(
+            t(5),
+            FlowSpec {
+                bytes: ByteSize::ZERO,
+                links: vec![l],
+            },
+            7,
+        );
+        assert_eq!(net.next_completion(t(5)), Some(t(5)));
+        assert_eq!(net.tick(t(5)), vec![7]);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn unconstrained_flow_is_instantaneous() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::UNLIMITED);
+        net.start(
+            t(1),
+            FlowSpec {
+                bytes: ByteSize::gib(10),
+                links: vec![l],
+            },
+            3,
+        );
+        assert_eq!(net.next_completion(t(1)), Some(t(1)));
+        assert_eq!(net.tick(t(1)), vec![3]);
+    }
+
+    #[test]
+    fn aggregate_link_rate_reports_sum() {
+        let mut net = FlowNet::new();
+        let backbone = net.add_link(Bandwidth::bytes_per_sec(1000.0));
+        for i in 0..4 {
+            let nic = net.add_link(Bandwidth::bytes_per_sec(100.0));
+            net.start(
+                t(0),
+                FlowSpec {
+                    bytes: ByteSize::new(10_000),
+                    links: vec![nic, backbone],
+                },
+                i,
+            );
+        }
+        // 4 NIC-limited flows at 100 B/s each => 400 B/s on the backbone.
+        assert!((net.link_rate(backbone) - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backbone_saturation_caps_aggregate() {
+        let mut net = FlowNet::new();
+        let backbone = net.add_link(Bandwidth::bytes_per_sec(250.0));
+        for i in 0..4 {
+            let nic = net.add_link(Bandwidth::bytes_per_sec(100.0));
+            net.start(
+                t(0),
+                FlowSpec {
+                    bytes: ByteSize::new(10_000),
+                    links: vec![nic, backbone],
+                },
+                i,
+            );
+        }
+        // Fair share on the backbone is 62.5 B/s < NIC cap.
+        for r in rates(&net) {
+            assert!((r - 62.5).abs() < 1e-9);
+        }
+        assert!((net.link_rate(backbone) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn unknown_link_panics() {
+        let mut net = FlowNet::new();
+        net.start(
+            t(0),
+            FlowSpec {
+                bytes: ByteSize::new(1),
+                links: vec![LinkId(9)],
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn flow_slots_are_reused() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(Bandwidth::bytes_per_sec(100.0));
+        let spec = FlowSpec {
+            bytes: ByteSize::new(100),
+            links: vec![l],
+        };
+        net.start(t(0), spec.clone(), 0);
+        let done = net.next_completion(t(0)).expect("one flow");
+        net.tick(done);
+        net.start(done, spec, 1);
+        assert_eq!(net.flows.len(), 1, "slot should be recycled");
+    }
+}

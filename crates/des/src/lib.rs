@@ -1,0 +1,46 @@
+//! # faaspipe-des — deterministic discrete-event simulation kernel
+//!
+//! This crate is the timing substrate for the whole `faaspipe` workspace. It
+//! provides a virtual clock, an event queue, *thread-backed simulation
+//! processes* with an imperative blocking API, FIFO semaphores, token-bucket
+//! rate limiters (in virtual time), and a max-min fair fluid-flow network for
+//! modelling shared bandwidth.
+//!
+//! ## Model
+//!
+//! A [`Sim`] owns a virtual clock that only advances when an event fires.
+//! Simulated activities are **processes**: ordinary Rust closures running on
+//! their own OS thread, which block on simulation primitives through a
+//! [`Ctx`] handle. The scheduler and processes run in strict rendezvous —
+//! at any instant at most one of them executes — so simulations are
+//! deterministic regardless of host scheduling.
+//!
+//! ## Example
+//!
+//! ```
+//! use faaspipe_des::{Sim, SimDuration};
+//!
+//! # fn main() -> Result<(), faaspipe_des::SimError> {
+//! let mut sim = Sim::new();
+//! sim.spawn("hello", |ctx| {
+//!     ctx.sleep(SimDuration::from_secs(3));
+//!     assert_eq!(ctx.now().as_secs_f64(), 3.0);
+//! });
+//! let report = sim.run()?;
+//! assert_eq!(report.end_time.as_secs_f64(), 3.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod events;
+pub mod flow;
+pub mod process;
+pub mod resources;
+pub mod sim;
+pub mod units;
+
+pub use flow::{FlowSpec, LinkId};
+pub use process::{is_shutdown_payload, Ctx, JoinError, ProcessId};
+pub use resources::{LimiterId, SemId};
+pub use sim::{Sim, SimConfig, SimError, SimReport};
+pub use units::{Bandwidth, ByteSize, Money, SimDuration, SimTime};

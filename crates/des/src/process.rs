@@ -1,0 +1,313 @@
+//! Thread-backed simulation processes and the [`Ctx`] handle they use to
+//! interact with the simulation kernel.
+//!
+//! Every process runs on its own OS thread but executes in strict
+//! rendezvous with the scheduler: the scheduler resumes exactly one process
+//! at a time and the process hands control back whenever it performs a
+//! simulation operation. Host thread scheduling therefore never influences
+//! simulation outcomes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::flow::{FlowSpec, LinkId};
+use crate::resources::{LimiterId, SemId};
+use crate::units::{Bandwidth, ByteSize, SimDuration, SimTime};
+
+/// Identifies a process within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub(crate) u32);
+
+impl ProcessId {
+    /// The dense index of this process.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Error returned by [`Ctx::join`] when the joined process panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinError {
+    /// Name of the process that failed.
+    pub process: String,
+    /// Rendered panic payload.
+    pub message: String,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "process '{}' panicked: {}", self.process, self.message)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// The body of a simulation process.
+pub type ProcessFn = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
+
+/// Requests a process sends to the scheduler. Every request is acknowledged
+/// before the process continues; "blocking" requests are acknowledged only
+/// when the condition is met.
+pub(crate) enum YieldMsg {
+    Sleep(SimDuration),
+    SemCreate(u64),
+    SemAcquire(SemId, u64),
+    SemRelease(SemId, u64),
+    LimiterCreate { rate: f64, burst: f64 },
+    LimiterAcquire(LimiterId, f64),
+    LinkCreate(Bandwidth),
+    Transfer(FlowSpec),
+    Spawn { name: String, body: ProcessFn },
+    Join(ProcessId),
+    Finished(Result<(), String>),
+}
+
+/// Scheduler replies.
+#[derive(Debug, Clone)]
+pub(crate) enum ResumeMsg {
+    Go,
+    Sem(SemId),
+    Limiter(LimiterId),
+    Link(LinkId),
+    Pid(ProcessId),
+    JoinResult(Result<(), JoinError>),
+    Shutdown,
+}
+
+/// Marker panic payload used to unwind process threads on teardown.
+pub(crate) struct ShutdownSignal;
+
+/// Whether a caught panic payload is the kernel's teardown signal.
+///
+/// Services that wrap user closures in `catch_unwind` (e.g. to release a
+/// resource on crash) must *not* touch simulation primitives when this
+/// returns `true` — the scheduler is shutting down — and should simply
+/// resume unwinding.
+pub fn is_shutdown_payload(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload.downcast_ref::<ShutdownSignal>().is_some()
+}
+
+/// Handle through which a process body interacts with the simulation.
+///
+/// All methods that model the passage of time or contention **block in
+/// virtual time**: the calling closure is suspended until the scheduler
+/// reaches the corresponding instant.
+pub struct Ctx {
+    pid: ProcessId,
+    name: String,
+    clock: Arc<AtomicU64>,
+    yield_tx: Sender<(u32, YieldMsg)>,
+    resume_rx: Receiver<ResumeMsg>,
+    rng: SmallRng,
+}
+
+impl std::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl Ctx {
+    pub(crate) fn new(
+        pid: ProcessId,
+        name: String,
+        clock: Arc<AtomicU64>,
+        yield_tx: Sender<(u32, YieldMsg)>,
+        resume_rx: Receiver<ResumeMsg>,
+        seed: u64,
+    ) -> Self {
+        let stream = seed ^ (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Ctx {
+            pid,
+            name,
+            clock,
+            yield_tx,
+            resume_rx,
+            rng: SmallRng::seed_from_u64(stream),
+        }
+    }
+
+    /// This process's id.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// This process's name (given at spawn time).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock.load(Ordering::SeqCst))
+    }
+
+    /// A deterministic per-process random stream (seeded from the sim seed
+    /// and the process id).
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn call(&self, msg: YieldMsg) -> ResumeMsg {
+        // The scheduler only ever drops our channel on teardown; in that
+        // case unwind quietly.
+        if self.yield_tx.send((self.pid.0, msg)).is_err() {
+            std::panic::panic_any(ShutdownSignal);
+        }
+        match self.resume_rx.recv() {
+            Ok(ResumeMsg::Shutdown) | Err(_) => std::panic::panic_any(ShutdownSignal),
+            Ok(other) => other,
+        }
+    }
+
+    /// Advances this process's virtual time by `d`.
+    pub fn sleep(&self, d: SimDuration) {
+        match self.call(YieldMsg::Sleep(d)) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sleep: {:?}", other),
+        }
+    }
+
+    /// Charges `d` of virtual CPU time. Identical to [`Ctx::sleep`]; the
+    /// distinct name keeps call sites self-describing.
+    pub fn compute(&self, d: SimDuration) {
+        self.sleep(d);
+    }
+
+    /// Creates a counting semaphore with `permits` initial permits.
+    pub fn sem_create(&self, permits: u64) -> SemId {
+        match self.call(YieldMsg::SemCreate(permits)) {
+            ResumeMsg::Sem(id) => id,
+            other => unreachable!("unexpected resume for sem_create: {:?}", other),
+        }
+    }
+
+    /// Acquires `n` permits, blocking in virtual time until granted (FIFO).
+    pub fn sem_acquire(&self, id: SemId, n: u64) {
+        match self.call(YieldMsg::SemAcquire(id, n)) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sem_acquire: {:?}", other),
+        }
+    }
+
+    /// Releases `n` permits.
+    pub fn sem_release(&self, id: SemId, n: u64) {
+        match self.call(YieldMsg::SemRelease(id, n)) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sem_release: {:?}", other),
+        }
+    }
+
+    /// Creates a token-bucket rate limiter refilling at `rate` tokens/sec
+    /// with capacity `burst`.
+    pub fn limiter_create(&self, rate: f64, burst: f64) -> LimiterId {
+        match self.call(YieldMsg::LimiterCreate { rate, burst }) {
+            ResumeMsg::Limiter(id) => id,
+            other => unreachable!("unexpected resume for limiter_create: {:?}", other),
+        }
+    }
+
+    /// Takes `tokens` from the limiter, blocking in virtual time until they
+    /// have accrued (FIFO).
+    pub fn limiter_acquire(&self, id: LimiterId, tokens: f64) {
+        match self.call(YieldMsg::LimiterAcquire(id, tokens)) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for limiter_acquire: {:?}", other),
+        }
+    }
+
+    /// Creates a bandwidth-constrained link in the fluid-flow network.
+    pub fn link_create(&self, capacity: Bandwidth) -> LinkId {
+        match self.call(YieldMsg::LinkCreate(capacity)) {
+            ResumeMsg::Link(id) => id,
+            other => unreachable!("unexpected resume for link_create: {:?}", other),
+        }
+    }
+
+    /// Moves `bytes` across `links`, sharing each link's capacity max-min
+    /// fairly with all concurrent transfers. Blocks in virtual time until
+    /// the transfer completes.
+    pub fn transfer(&self, bytes: ByteSize, links: &[LinkId]) {
+        match self.call(YieldMsg::Transfer(FlowSpec {
+            bytes,
+            links: links.to_vec(),
+        })) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for transfer: {:?}", other),
+        }
+    }
+
+    /// Spawns a child process that starts at the current virtual time.
+    pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        match self.call(YieldMsg::Spawn {
+            name: name.into(),
+            body: Box::new(body),
+        }) {
+            ResumeMsg::Pid(pid) => pid,
+            other => unreachable!("unexpected resume for spawn: {:?}", other),
+        }
+    }
+
+    /// Blocks in virtual time until `pid` finishes.
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] if the joined process panicked.
+    pub fn join(&self, pid: ProcessId) -> Result<(), JoinError> {
+        match self.call(YieldMsg::Join(pid)) {
+            ResumeMsg::JoinResult(res) => res,
+            other => unreachable!("unexpected resume for join: {:?}", other),
+        }
+    }
+
+    /// Joins every process in `pids`, returning the first error if any
+    /// panicked (all are still awaited).
+    pub fn join_all(&self, pids: &[ProcessId]) -> Result<(), JoinError> {
+        let mut first_err = None;
+        for &pid in pids {
+            if let Err(e) = self.join(pid) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    pub(crate) fn resume_rx_recv(&self) -> Option<ResumeMsg> {
+        self.resume_rx.recv().ok()
+    }
+
+    pub(crate) fn finish(&self, result: Result<(), String>) {
+        // Best-effort: on teardown the scheduler may be gone already.
+        let _ = self.yield_tx.send((self.pid.0, YieldMsg::Finished(result)));
+    }
+}
+
+/// Renders a panic payload into a human-readable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}

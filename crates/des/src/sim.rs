@@ -1,0 +1,848 @@
+//! The simulation scheduler: owns the clock, event queue, resources and
+//! process table, and runs the event loop to completion.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::events::{EventId, EventQueue, Wake};
+use crate::flow::{FlowNet, LinkId};
+use crate::process::{
+    panic_message, Ctx, JoinError, ProcessFn, ProcessId, ResumeMsg, ShutdownSignal, YieldMsg,
+};
+use crate::resources::{LimiterId, RateLimiter, SemId, Semaphore};
+use crate::units::{Bandwidth, SimTime};
+
+/// Configuration for a [`Sim`].
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for all per-process random streams.
+    pub seed: u64,
+    /// Stack size for process threads, in bytes.
+    pub stack_size: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0xFAA5_0001,
+            stack_size: 2 * 1024 * 1024,
+        }
+    }
+}
+
+/// Error terminating a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A process panicked and nobody [`Ctx::join`]ed it to observe the
+    /// failure.
+    ProcessPanicked {
+        /// Name of the failing process.
+        process: String,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The event queue drained while processes were still blocked.
+    Deadlock {
+        /// Names of the blocked processes.
+        blocked: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProcessPanicked { process, message } => {
+                write!(f, "process '{}' panicked: {}", process, message)
+            }
+            SimError::Deadlock { blocked } => {
+                write!(f, "simulation deadlocked; blocked processes: {:?}", blocked)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary statistics of a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// Virtual time at which the last event fired.
+    pub end_time: SimTime,
+    /// Total number of processes that ran.
+    pub processes: usize,
+    /// Total number of events dispatched.
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PState {
+    Ready,
+    Blocked,
+    Finished(Result<(), String>),
+}
+
+struct Slot {
+    name: String,
+    resume_tx: Sender<ResumeMsg>,
+    state: PState,
+    /// What to send when this blocked process is next woken.
+    resume_with: ResumeMsg,
+    join_waiters: Vec<u32>,
+    thread: Option<JoinHandle<()>>,
+    /// Whether a panic in this process has been delivered to a joiner.
+    panic_observed: bool,
+}
+
+/// A deterministic discrete-event simulation.
+///
+/// See the [crate docs](crate) for the execution model and an example.
+pub struct Sim {
+    cfg: SimConfig,
+    clock: Arc<AtomicU64>,
+    queue: EventQueue,
+    procs: Vec<Slot>,
+    sems: Vec<Semaphore>,
+    limiters: Vec<RateLimiter>,
+    limiter_events: Vec<Option<EventId>>,
+    flownet: FlowNet,
+    flow_event: Option<EventId>,
+    yield_tx: Sender<(u32, YieldMsg)>,
+    yield_rx: Receiver<(u32, YieldMsg)>,
+    events_dispatched: u64,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now())
+            .field("processes", &self.procs.len())
+            .field("events_dispatched", &self.events_dispatched)
+            .finish()
+    }
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Sim::new()
+    }
+}
+
+impl Sim {
+    /// Creates a simulation with default configuration.
+    pub fn new() -> Self {
+        Sim::with_config(SimConfig::default())
+    }
+
+    /// Creates a simulation with the given configuration.
+    pub fn with_config(cfg: SimConfig) -> Self {
+        let (yield_tx, yield_rx) = mpsc::channel();
+        Sim {
+            cfg,
+            clock: Arc::new(AtomicU64::new(0)),
+            queue: EventQueue::new(),
+            procs: Vec::new(),
+            sems: Vec::new(),
+            limiters: Vec::new(),
+            limiter_events: Vec::new(),
+            flownet: FlowNet::new(),
+            flow_event: None,
+            yield_tx,
+            yield_rx,
+            events_dispatched: 0,
+            finished: false,
+        }
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.clock.load(Ordering::SeqCst))
+    }
+
+    /// Creates a semaphore before the run starts (services use this during
+    /// setup; processes use [`Ctx::sem_create`]).
+    pub fn create_semaphore(&mut self, permits: u64) -> SemId {
+        let id = SemId(self.sems.len() as u32);
+        self.sems.push(Semaphore::new(permits));
+        id
+    }
+
+    /// Creates a rate limiter before the run starts.
+    pub fn create_limiter(&mut self, rate: f64, burst: f64) -> LimiterId {
+        let id = LimiterId(self.limiters.len() as u32);
+        self.limiters.push(RateLimiter::new(rate, burst));
+        self.limiter_events.push(None);
+        id
+    }
+
+    /// Creates a bandwidth link before the run starts.
+    pub fn create_link(&mut self, capacity: Bandwidth) -> LinkId {
+        self.flownet.add_link(capacity)
+    }
+
+    /// Spawns a root process that starts at the current virtual time.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ProcessId
+    where
+        F: FnOnce(&mut Ctx) + Send + 'static,
+    {
+        let pid = self.create_process(name.into(), Box::new(body));
+        self.queue.schedule(self.now(), Wake::Process(pid.0));
+        pid
+    }
+
+    fn create_process(&mut self, name: String, body: ProcessFn) -> ProcessId {
+        let pid = ProcessId(self.procs.len() as u32);
+        let (resume_tx, resume_rx) = mpsc::channel::<ResumeMsg>();
+        let mut ctx = Ctx::new(
+            pid,
+            name.clone(),
+            Arc::clone(&self.clock),
+            self.yield_tx.clone(),
+            resume_rx,
+            self.cfg.seed,
+        );
+        let thread = std::thread::Builder::new()
+            .name(format!("sim-{}", name))
+            .stack_size(self.cfg.stack_size)
+            .spawn(move || {
+                // Wait for the first resume before running the body.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    match ctx.first_resume() {
+                        true => body(&mut ctx),
+                        false => std::panic::panic_any(ShutdownSignal),
+                    }
+                }));
+                match result {
+                    Ok(()) => ctx.finish(Ok(())),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                            // Quiet teardown.
+                        } else {
+                            ctx.finish(Err(panic_message(payload.as_ref())));
+                        }
+                    }
+                }
+            })
+            .expect("failed to spawn simulation process thread");
+        self.procs.push(Slot {
+            name,
+            resume_tx,
+            state: PState::Ready,
+            resume_with: ResumeMsg::Go,
+            join_waiters: Vec::new(),
+            thread: Some(thread),
+            panic_observed: false,
+        });
+        pid
+    }
+
+    /// Runs the simulation until no events remain.
+    ///
+    /// # Errors
+    /// Returns [`SimError::ProcessPanicked`] if any process panicked without
+    /// a joiner observing it, and [`SimError::Deadlock`] if the event queue
+    /// drained while processes were still blocked.
+    pub fn run(mut self) -> Result<SimReport, SimError> {
+        while let Some((time, wake)) = self.queue.pop() {
+            debug_assert!(time >= self.now(), "time must be monotone");
+            self.clock.store(time.as_nanos(), Ordering::SeqCst);
+            self.events_dispatched += 1;
+            match wake {
+                Wake::Process(pidx) => self.run_process(pidx),
+                Wake::FlowTick => {
+                    self.flow_event = None;
+                    let woken = self.flownet.tick(time);
+                    for pidx in woken {
+                        self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                        self.schedule_wake(pidx);
+                    }
+                    self.reschedule_flow_tick();
+                }
+                Wake::LimiterTick(li) => {
+                    self.limiter_events[li as usize] = None;
+                    let woken = self.limiters[li as usize].tick(time);
+                    for pidx in woken {
+                        self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                        self.schedule_wake(pidx);
+                    }
+                    self.reschedule_limiter_tick(li);
+                }
+            }
+        }
+        self.finished = true;
+        let end_time = self.now();
+        // Surface unobserved panics.
+        for slot in &self.procs {
+            if let PState::Finished(Err(message)) = &slot.state {
+                if !slot.panic_observed {
+                    let err = SimError::ProcessPanicked {
+                        process: slot.name.clone(),
+                        message: message.clone(),
+                    };
+                    self.teardown();
+                    return Err(err);
+                }
+            }
+        }
+        // Detect deadlock: blocked processes with no pending events.
+        let blocked: Vec<String> = self
+            .procs
+            .iter()
+            .filter(|s| !matches!(s.state, PState::Finished(_)))
+            .map(|s| s.name.clone())
+            .collect();
+        if !blocked.is_empty() {
+            self.teardown();
+            return Err(SimError::Deadlock { blocked });
+        }
+        let report = SimReport {
+            end_time,
+            processes: self.procs.len(),
+            events: self.events_dispatched,
+        };
+        self.teardown();
+        Ok(report)
+    }
+
+    fn schedule_wake(&mut self, pidx: u32) {
+        self.procs[pidx as usize].state = PState::Ready;
+        self.queue.schedule(self.now(), Wake::Process(pidx));
+    }
+
+    fn reschedule_flow_tick(&mut self) {
+        if let Some(ev) = self.flow_event.take() {
+            self.queue.cancel(ev);
+        }
+        if let Some(at) = self.flownet.next_completion(self.now()) {
+            self.flow_event = Some(self.queue.schedule(at, Wake::FlowTick));
+        }
+    }
+
+    fn reschedule_limiter_tick(&mut self, li: u32) {
+        if let Some(ev) = self.limiter_events[li as usize].take() {
+            self.queue.cancel(ev);
+        }
+        let now = self.now();
+        if let Some(at) = self.limiters[li as usize].next_ready(now) {
+            self.limiter_events[li as usize] =
+                Some(self.queue.schedule(at, Wake::LimiterTick(li)));
+        }
+    }
+
+    /// Resumes process `pidx` and services its requests until it blocks or
+    /// finishes.
+    fn run_process(&mut self, pidx: u32) {
+        {
+            let slot = &mut self.procs[pidx as usize];
+            if matches!(slot.state, PState::Finished(_)) {
+                return;
+            }
+            let msg = std::mem::replace(&mut slot.resume_with, ResumeMsg::Go);
+            if slot.resume_tx.send(msg).is_err() {
+                // Thread died unexpectedly; treat as panic without message.
+                slot.state = PState::Finished(Err("process thread exited".into()));
+                return;
+            }
+        }
+        loop {
+            let (from, msg) = self
+                .yield_rx
+                .recv()
+                .expect("process channel closed while running");
+            debug_assert_eq!(from, pidx, "yield from unexpected process");
+            match self.handle_yield(pidx, msg) {
+                Flow::Continue => continue,
+                Flow::Blocked => {
+                    self.procs[pidx as usize].state = PState::Blocked;
+                    break;
+                }
+                Flow::Done => break,
+            }
+        }
+    }
+
+    fn reply(&self, pidx: u32, msg: ResumeMsg) {
+        self.procs[pidx as usize]
+            .resume_tx
+            .send(msg)
+            .expect("process vanished while awaiting reply");
+    }
+
+    fn handle_yield(&mut self, pidx: u32, msg: YieldMsg) -> Flow {
+        let now = self.now();
+        match msg {
+            YieldMsg::Sleep(d) => {
+                self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                self.queue.schedule(now + d, Wake::Process(pidx));
+                Flow::Blocked
+            }
+            YieldMsg::SemCreate(permits) => {
+                let id = SemId(self.sems.len() as u32);
+                self.sems.push(Semaphore::new(permits));
+                self.reply(pidx, ResumeMsg::Sem(id));
+                Flow::Continue
+            }
+            YieldMsg::SemAcquire(id, n) => {
+                if self.sems[id.0 as usize].acquire(pidx, n) {
+                    self.reply(pidx, ResumeMsg::Go);
+                    Flow::Continue
+                } else {
+                    self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                    Flow::Blocked
+                }
+            }
+            YieldMsg::SemRelease(id, n) => {
+                let woken = self.sems[id.0 as usize].release(n);
+                for w in woken {
+                    self.procs[w as usize].resume_with = ResumeMsg::Go;
+                    self.schedule_wake(w);
+                }
+                self.reply(pidx, ResumeMsg::Go);
+                Flow::Continue
+            }
+            YieldMsg::LimiterCreate { rate, burst } => {
+                let id = LimiterId(self.limiters.len() as u32);
+                self.limiters.push(RateLimiter::new(rate, burst));
+                self.limiter_events.push(None);
+                self.reply(pidx, ResumeMsg::Limiter(id));
+                Flow::Continue
+            }
+            YieldMsg::LimiterAcquire(id, tokens) => {
+                if self.limiters[id.0 as usize].acquire(now, pidx, tokens) {
+                    self.reply(pidx, ResumeMsg::Go);
+                    Flow::Continue
+                } else {
+                    self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                    self.reschedule_limiter_tick(id.0);
+                    Flow::Blocked
+                }
+            }
+            YieldMsg::LinkCreate(bw) => {
+                let id = self.flownet.add_link(bw);
+                self.reply(pidx, ResumeMsg::Link(id));
+                Flow::Continue
+            }
+            YieldMsg::Transfer(spec) => {
+                self.flownet.start(now, spec, pidx);
+                self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                self.reschedule_flow_tick();
+                Flow::Blocked
+            }
+            YieldMsg::Spawn { name, body } => {
+                let pid = self.create_process(name, body);
+                self.queue.schedule(now, Wake::Process(pid.0));
+                self.reply(pidx, ResumeMsg::Pid(pid));
+                Flow::Continue
+            }
+            YieldMsg::Join(target) => {
+                assert!(
+                    (target.0 as usize) < self.procs.len(),
+                    "join on unknown process {:?}",
+                    target
+                );
+                let result = match &self.procs[target.index()].state {
+                    PState::Finished(res) => Some(res.clone()),
+                    _ => None,
+                };
+                match result {
+                    Some(res) => {
+                        let jr = self.join_result(target, res);
+                        self.reply(pidx, ResumeMsg::JoinResult(jr));
+                        Flow::Continue
+                    }
+                    None => {
+                        self.procs[target.index()].join_waiters.push(pidx);
+                        Flow::Blocked
+                    }
+                }
+            }
+            YieldMsg::Finished(result) => {
+                // Reap the thread: it exits right after sending this.
+                if let Some(handle) = self.procs[pidx as usize].thread.take() {
+                    let _ = handle.join();
+                }
+                self.procs[pidx as usize].state = PState::Finished(result.clone());
+                let waiters = std::mem::take(&mut self.procs[pidx as usize].join_waiters);
+                for w in waiters {
+                    let jr = self.join_result(ProcessId(pidx), result.clone());
+                    self.procs[w as usize].resume_with = ResumeMsg::JoinResult(jr);
+                    self.schedule_wake(w);
+                }
+                Flow::Done
+            }
+        }
+    }
+
+    fn join_result(
+        &mut self,
+        target: ProcessId,
+        res: Result<(), String>,
+    ) -> Result<(), JoinError> {
+        match res {
+            Ok(()) => Ok(()),
+            Err(message) => {
+                self.procs[target.index()].panic_observed = true;
+                Err(JoinError {
+                    process: self.procs[target.index()].name.clone(),
+                    message,
+                })
+            }
+        }
+    }
+
+    fn teardown(&mut self) {
+        for slot in &mut self.procs {
+            if !matches!(slot.state, PState::Finished(_)) {
+                let _ = slot.resume_tx.send(ResumeMsg::Shutdown);
+            }
+            if let Some(handle) = slot.thread.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Sim {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.teardown();
+        }
+    }
+}
+
+enum Flow {
+    Continue,
+    Blocked,
+    Done,
+}
+
+impl Ctx {
+    /// Blocks until the scheduler delivers the initial resume. Returns
+    /// `false` when the simulation is shutting down before we ever ran.
+    pub(crate) fn first_resume(&self) -> bool {
+        match self.resume_rx_recv() {
+            Some(ResumeMsg::Go) => true,
+            Some(ResumeMsg::Shutdown) | None => false,
+            Some(other) => unreachable!("unexpected first resume: {:?}", other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::{Bandwidth, ByteSize, SimDuration};
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    #[test]
+    fn empty_sim_completes() {
+        let report = Sim::new().run().expect("empty sim");
+        assert_eq!(report.end_time, SimTime::ZERO);
+        assert_eq!(report.processes, 0);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let mut sim = Sim::new();
+        sim.spawn("sleeper", |ctx| {
+            ctx.sleep(SimDuration::from_secs(5));
+            ctx.sleep(SimDuration::from_millis(250));
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time.as_nanos(), 5_250_000_000);
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        for i in 0..3u64 {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("p{}", i), move |ctx| {
+                ctx.sleep(SimDuration::from_millis(10 * (3 - i)));
+                log.lock().unwrap().push(i);
+            });
+        }
+        sim.run().expect("run");
+        assert_eq!(*log.lock().unwrap(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn spawn_and_join_child() {
+        let out = Arc::new(Mutex::new(0u64));
+        let mut sim = Sim::new();
+        let out2 = Arc::clone(&out);
+        sim.spawn("parent", move |ctx| {
+            let out3 = Arc::clone(&out2);
+            let child = ctx.spawn("child", move |cctx| {
+                cctx.sleep(SimDuration::from_secs(1));
+                *out3.lock().unwrap() = 42;
+            });
+            ctx.join(child).expect("child ok");
+            assert_eq!(ctx.now().as_secs_f64(), 1.0);
+            assert_eq!(*out2.lock().unwrap(), 42);
+        });
+        sim.run().expect("run");
+        assert_eq!(*out.lock().unwrap(), 42);
+    }
+
+    #[test]
+    fn join_already_finished_child() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("quick", |_| {});
+            ctx.sleep(SimDuration::from_secs(1));
+            ctx.join(child).expect("quick ok");
+            assert_eq!(ctx.now().as_secs_f64(), 1.0, "join must not add time");
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn join_observes_child_panic() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            let child = ctx.spawn("bad", |_| panic!("boom"));
+            let err = ctx.join(child).expect_err("child panicked");
+            assert_eq!(err.process, "bad");
+            assert!(err.message.contains("boom"));
+        });
+        sim.run().expect("observed panic is not a sim error");
+    }
+
+    #[test]
+    fn unobserved_panic_fails_run() {
+        let mut sim = Sim::new();
+        sim.spawn("bad", |_| panic!("kaboom"));
+        let err = sim.run().expect_err("must fail");
+        match err {
+            SimError::ProcessPanicked { process, message } => {
+                assert_eq!(process, "bad");
+                assert!(message.contains("kaboom"));
+            }
+            other => panic!("unexpected error {:?}", other),
+        }
+    }
+
+    #[test]
+    fn semaphore_serializes_critical_section() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        let sem = sim.create_semaphore(1);
+        for i in 0..4u64 {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("w{}", i), move |ctx| {
+                ctx.sem_acquire(sem, 1);
+                log.lock().unwrap().push((i, ctx.now()));
+                ctx.sleep(SimDuration::from_secs(1));
+                ctx.sem_release(sem, 1);
+            });
+        }
+        sim.run().expect("run");
+        let log = log.lock().unwrap();
+        // FIFO: worker i enters at t = i seconds.
+        for (i, (w, at)) in log.iter().enumerate() {
+            assert_eq!(*w, i as u64);
+            assert_eq!(at.as_secs_f64(), i as f64);
+        }
+    }
+
+    #[test]
+    fn limiter_throttles_ops() {
+        let mut sim = Sim::new();
+        let lim = sim.create_limiter(10.0, 1.0); // 10 ops/s, burst 1
+        sim.spawn("client", move |ctx| {
+            for _ in 0..5 {
+                ctx.limiter_acquire(lim, 1.0);
+            }
+            // First op free (full bucket), remaining 4 at 0.1 s apart.
+            assert!((ctx.now().as_secs_f64() - 0.4).abs() < 1e-6);
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn transfer_times_follow_fair_share() {
+        let mut sim = Sim::new();
+        let link = sim.create_link(Bandwidth::bytes_per_sec(100.0));
+        let done = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u64 {
+            let done = Arc::clone(&done);
+            sim.spawn(format!("t{}", i), move |ctx| {
+                ctx.transfer(ByteSize::new(100), &[link]);
+                done.lock().unwrap().push((i, ctx.now()));
+            });
+        }
+        sim.run().expect("run");
+        let done = done.lock().unwrap();
+        // Two 100-byte flows share 100 B/s: both complete at t=2s.
+        for (_, at) in done.iter() {
+            assert!((at.as_secs_f64() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transfer_rebalances_after_completion() {
+        let mut sim = Sim::new();
+        let link = sim.create_link(Bandwidth::bytes_per_sec(100.0));
+        let done = Arc::new(Mutex::new(HashMap::new()));
+        let d1 = Arc::clone(&done);
+        sim.spawn("small", move |ctx| {
+            ctx.transfer(ByteSize::new(50), &[link]);
+            d1.lock().unwrap().insert("small", ctx.now().as_secs_f64());
+        });
+        let d2 = Arc::clone(&done);
+        sim.spawn("large", move |ctx| {
+            ctx.transfer(ByteSize::new(500), &[link]);
+            d2.lock().unwrap().insert("large", ctx.now().as_secs_f64());
+        });
+        sim.run().expect("run");
+        let done = done.lock().unwrap();
+        // Shared 50 B/s until small finishes at 1 s; large then runs at
+        // 100 B/s for its remaining 450 B => 1 + 4.5 = 5.5 s.
+        assert!((done["small"] - 1.0).abs() < 1e-6);
+        assert!((done["large"] - 5.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deadlock_is_reported() {
+        let mut sim = Sim::new();
+        let sem = sim.create_semaphore(0);
+        sim.spawn("stuck", move |ctx| {
+            ctx.sem_acquire(sem, 1);
+        });
+        let err = sim.run().expect_err("deadlock");
+        match err {
+            SimError::Deadlock { blocked } => assert_eq!(blocked, vec!["stuck".to_string()]),
+            other => panic!("unexpected error {:?}", other),
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_across_runs() {
+        fn draw() -> Vec<u64> {
+            use rand::Rng;
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Sim::new();
+            let out2 = Arc::clone(&out);
+            sim.spawn("r", move |ctx| {
+                let v: Vec<u64> = (0..8).map(|_| ctx.rng().gen()).collect();
+                out2.lock().unwrap().extend(v);
+            });
+            sim.run().expect("run");
+            let v = out.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(draw(), draw());
+    }
+
+    #[test]
+    fn join_all_aggregates() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            let kids: Vec<_> = (0..4)
+                .map(|i| {
+                    ctx.spawn(format!("k{}", i), move |c| {
+                        c.sleep(SimDuration::from_secs(i + 1));
+                    })
+                })
+                .collect();
+            ctx.join_all(&kids).expect("all ok");
+            assert_eq!(ctx.now().as_secs_f64(), 4.0);
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn different_sim_seeds_change_random_streams() {
+        fn draw(seed: u64) -> u64 {
+            use rand::Rng;
+            let out = Arc::new(Mutex::new(0u64));
+            let mut sim = Sim::with_config(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            let out2 = Arc::clone(&out);
+            sim.spawn("r", move |ctx| {
+                *out2.lock().unwrap() = ctx.rng().gen();
+            });
+            sim.run().expect("run");
+            let v = *out.lock().unwrap();
+            v
+        }
+        assert_eq!(draw(1), draw(1));
+        assert_ne!(draw(1), draw(2));
+    }
+
+    #[test]
+    fn deep_spawn_trees_work() {
+        // Each process spawns a child, 50 levels deep, each sleeping 1 ms.
+        fn spawn_level(ctx: &mut Ctx, level: u64) {
+            ctx.sleep(SimDuration::from_millis(1));
+            if level > 0 {
+                let child = ctx.spawn(format!("level{}", level), move |c| {
+                    spawn_level(c, level - 1);
+                });
+                ctx.join(child).expect("child ok");
+            }
+        }
+        let mut sim = Sim::new();
+        sim.spawn("root", |ctx| spawn_level(ctx, 50));
+        let report = sim.run().expect("run");
+        assert_eq!(report.processes, 51);
+        assert_eq!(report.end_time.as_nanos(), 51 * 1_000_000);
+    }
+
+    #[test]
+    fn custom_stack_size_is_honored() {
+        let mut sim = Sim::with_config(SimConfig {
+            stack_size: 512 * 1024,
+            ..SimConfig::default()
+        });
+        sim.spawn("small-stack", |ctx| {
+            // Use a modest amount of stack to prove the thread works.
+            let buf = [0u8; 64 * 1024];
+            ctx.sleep(SimDuration::from_nanos(buf[0] as u64 + 1));
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn sleeping_zero_is_a_yield_not_a_noop() {
+        // Two processes alternating zero-sleeps interleave fairly.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        for who in 0..2u64 {
+            let log = Arc::clone(&log);
+            sim.spawn(format!("p{}", who), move |ctx| {
+                for _ in 0..3 {
+                    log.lock().unwrap().push(who);
+                    ctx.sleep(SimDuration::ZERO);
+                }
+            });
+        }
+        sim.run().expect("run");
+        let log = log.lock().unwrap();
+        assert_eq!(*log, vec![0, 1, 0, 1, 0, 1], "zero-sleep yields round-robin");
+    }
+
+    #[test]
+    fn many_processes_scale() {
+        let mut sim = Sim::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..200u64 {
+            let counter = Arc::clone(&counter);
+            sim.spawn(format!("n{}", i), move |ctx| {
+                ctx.sleep(SimDuration::from_millis(i));
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let report = sim.run().expect("run");
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+        assert_eq!(report.processes, 200);
+    }
+}

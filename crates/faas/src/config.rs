@@ -1,0 +1,96 @@
+//! FaaS platform configuration.
+
+use faaspipe_des::{Bandwidth, SimDuration};
+
+/// Performance model of the functions platform.
+///
+/// Defaults approximate IBM Cloud Functions circa 2021 with 2 GB actions,
+/// the configuration the paper uses ("We will allocate 2GB of memory to
+/// cloud functions").
+#[derive(Debug, Clone)]
+pub struct FaasConfig {
+    /// Memory allocated per function instance, in MiB.
+    pub memory_mb: u32,
+    /// Scheduling + runtime-init delay when no warm container exists.
+    pub cold_start: SimDuration,
+    /// Dispatch delay when a warm container is reused.
+    pub warm_start: SimDuration,
+    /// How long an idle container stays warm.
+    pub keep_alive: SimDuration,
+    /// Account-wide concurrent-invocation limit.
+    pub max_concurrency: u64,
+    /// Per-container network bandwidth.
+    pub nic_bw: Bandwidth,
+    /// vCPUs granted at 2048 MiB; CPU scales linearly with memory.
+    pub cpu_at_2048mb: f64,
+    /// Probability an invocation crashes (for failure-injection tests).
+    pub failure_rate: f64,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        FaasConfig {
+            memory_mb: 2048,
+            cold_start: SimDuration::from_millis(520),
+            warm_start: SimDuration::from_millis(28),
+            keep_alive: SimDuration::from_secs(600),
+            max_concurrency: 1_000,
+            nic_bw: Bandwidth::mib_per_sec(80.0),
+            cpu_at_2048mb: 1.0,
+            failure_rate: 0.0,
+        }
+    }
+}
+
+impl FaasConfig {
+    /// The vCPU share for this memory size.
+    pub fn cpu_share(&self) -> f64 {
+        self.memory_mb as f64 / 2048.0 * self.cpu_at_2048mb
+    }
+
+    /// Returns the config with a different memory size.
+    ///
+    /// # Panics
+    /// Panics if `memory_mb` is zero.
+    pub fn with_memory_mb(mut self, memory_mb: u32) -> Self {
+        assert!(memory_mb > 0, "memory must be positive");
+        self.memory_mb = memory_mb;
+        self
+    }
+
+    /// Returns the config with a different failure rate.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_failure_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "failure_rate must be in [0,1]");
+        self.failure_rate = rate;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let c = FaasConfig::default();
+        assert_eq!(c.memory_mb, 2048, "paper allocates 2GB to functions");
+        assert!((c.cpu_share() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cpu_share_scales_with_memory() {
+        let c = FaasConfig::default().with_memory_mb(1024);
+        assert!((c.cpu_share() - 0.5).abs() < 1e-12);
+        let c = FaasConfig::default().with_memory_mb(4096);
+        assert!((c.cpu_share() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "memory")]
+    fn rejects_zero_memory() {
+        FaasConfig::default().with_memory_mb(0);
+    }
+}

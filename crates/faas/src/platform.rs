@@ -1,0 +1,490 @@
+//! The functions platform: container pool, invoker, and billing records.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::Rng;
+
+use faaspipe_des::{Ctx, LinkId, ProcessId, SemId, Sim, SimDuration, SimTime};
+
+use crate::config::FaasConfig;
+
+/// A warm container parked in the pool.
+#[derive(Debug, Clone, Copy)]
+struct WarmContainer {
+    nic: LinkId,
+    expires: SimTime,
+}
+
+/// Billing span of one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvocationRecord {
+    /// Registered function name.
+    pub function: String,
+    /// Attribution tag (typically the pipeline stage).
+    pub tag: String,
+    /// When the invocation was requested.
+    pub requested: SimTime,
+    /// When the body began executing (after cold/warm start).
+    pub started: SimTime,
+    /// When the body finished.
+    pub finished: SimTime,
+    /// Memory configured for the instance, in MiB.
+    pub memory_mb: u32,
+    /// Whether this invocation paid a cold start.
+    pub cold: bool,
+}
+
+impl InvocationRecord {
+    /// The billed execution duration (providers bill body time only).
+    pub fn billed_duration(&self) -> SimDuration {
+        self.finished.saturating_duration_since(self.started)
+    }
+
+    /// Billed gigabyte-seconds.
+    pub fn gb_seconds(&self) -> f64 {
+        (self.memory_mb as f64 / 1024.0) * self.billed_duration().as_secs_f64()
+    }
+}
+
+/// Execution environment handed to a function body.
+#[derive(Debug)]
+pub struct FunctionEnv {
+    /// The container's NIC link; pass it to
+    /// `ObjectStore::connect_via` so store traffic contends for it.
+    pub nic: LinkId,
+    /// vCPU share of this instance.
+    pub cpu_share: f64,
+    /// Memory configured for the instance, in MiB.
+    pub memory_mb: u32,
+    /// Whether this instance was cold-started.
+    pub cold: bool,
+}
+
+impl FunctionEnv {
+    /// Charges `work` of single-vCPU compute time, scaled by this
+    /// instance's CPU share (half a vCPU takes twice as long).
+    pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
+        ctx.compute(work.mul_f64(1.0 / self.cpu_share));
+    }
+}
+
+/// The simulated functions platform.
+///
+/// See the [crate docs](crate) for the model and an example.
+pub struct FunctionPlatform {
+    cfg: FaasConfig,
+    concurrency: SemId,
+    pool: Mutex<HashMap<String, Vec<WarmContainer>>>,
+    records: Mutex<Vec<InvocationRecord>>,
+}
+
+impl std::fmt::Debug for FunctionPlatform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionPlatform")
+            .field("cfg", &self.cfg)
+            .field("invocations", &self.records.lock().len())
+            .finish()
+    }
+}
+
+impl FunctionPlatform {
+    /// Creates the platform and registers its concurrency limit with the
+    /// simulation.
+    pub fn install(sim: &mut Sim, cfg: FaasConfig) -> Arc<FunctionPlatform> {
+        let concurrency = sim.create_semaphore(cfg.max_concurrency);
+        Arc::new(FunctionPlatform {
+            cfg,
+            concurrency,
+            pool: Mutex::new(HashMap::new()),
+            records: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The platform configuration.
+    pub fn config(&self) -> &FaasConfig {
+        &self.cfg
+    }
+
+    /// Snapshot of all invocation billing records so far.
+    pub fn records(&self) -> Vec<InvocationRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of warm containers currently parked for `function`.
+    /// (Expired containers are evicted lazily, on the next invoke.)
+    pub fn warm_count(&self, function: &str) -> usize {
+        self.pool.lock().get(function).map_or(0, |v| v.len())
+    }
+
+    /// Drops all warm containers (simulates a platform-wide reset, used by
+    /// the cold-vs-warm experiment).
+    pub fn flush_pool(&self) {
+        self.pool.lock().clear();
+    }
+
+    /// Invokes `function` asynchronously from the calling process and
+    /// returns the child process id; `ctx.join` it to rendezvous.
+    ///
+    /// The invocation acquires a platform concurrency slot (FIFO), pays a
+    /// cold or warm start, runs `body`, then parks its container back in
+    /// the warm pool.
+    pub fn invoke_async<F>(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        function: impl Into<String>,
+        tag: impl Into<String>,
+        body: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(&mut Ctx, &FunctionEnv) + Send + 'static,
+    {
+        let platform = Arc::clone(self);
+        let function = function.into();
+        let tag = tag.into();
+        let requested = ctx.now();
+        let pname = format!("fn:{}:{}", function, tag);
+        ctx.spawn(pname, move |fctx| {
+            platform.run_invocation(fctx, function, tag, requested, body);
+        })
+    }
+
+    /// Invokes `function` and blocks the calling process until it returns.
+    ///
+    /// # Errors
+    /// Propagates a panic in the function body as a
+    /// [`JoinError`](faaspipe_des::JoinError).
+    pub fn invoke<F>(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        function: impl Into<String>,
+        tag: impl Into<String>,
+        body: F,
+    ) -> Result<(), faaspipe_des::JoinError>
+    where
+        F: FnOnce(&mut Ctx, &FunctionEnv) + Send + 'static,
+    {
+        let h = self.invoke_async(ctx, function, tag, body);
+        ctx.join(h)
+    }
+
+    fn run_invocation<F>(
+        self: Arc<Self>,
+        ctx: &mut Ctx,
+        function: String,
+        tag: String,
+        requested: SimTime,
+        body: F,
+    ) where
+        F: FnOnce(&mut Ctx, &FunctionEnv) + Send + 'static,
+    {
+        ctx.sem_acquire(self.concurrency, 1);
+        // Claim a warm container or cold-start a new one.
+        let now = ctx.now();
+        let warm = {
+            let mut pool = self.pool.lock();
+            let slot = pool.entry(function.clone()).or_default();
+            slot.retain(|c| c.expires >= now);
+            slot.pop()
+        };
+        let (nic, cold) = match warm {
+            Some(c) => {
+                ctx.sleep(self.cfg.warm_start);
+                (c.nic, false)
+            }
+            None => {
+                ctx.sleep(self.cfg.cold_start);
+                (ctx.link_create(self.cfg.nic_bw), true)
+            }
+        };
+        if self.cfg.failure_rate > 0.0 && ctx.rng().gen::<f64>() < self.cfg.failure_rate {
+            // Crash before user code, releasing the slot first so the
+            // platform is not poisoned.
+            ctx.sem_release(self.concurrency, 1);
+            panic!("injected invocation failure for '{}'", function);
+        }
+        let env = FunctionEnv {
+            nic,
+            cpu_share: self.cfg.cpu_share(),
+            memory_mb: self.cfg.memory_mb,
+            cold,
+        };
+        let started = ctx.now();
+        // A crashing body must still release the platform's concurrency
+        // slot (its container dies with it and is not parked).
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx, &env)));
+        if let Err(payload) = result {
+            if !faaspipe_des::is_shutdown_payload(payload.as_ref()) {
+                ctx.sem_release(self.concurrency, 1);
+            }
+            std::panic::resume_unwind(payload);
+        }
+        let finished = ctx.now();
+        // Park the container and release the slot.
+        {
+            let mut pool = self.pool.lock();
+            pool.entry(function.clone()).or_default().push(WarmContainer {
+                nic,
+                expires: finished + self.cfg.keep_alive,
+            });
+        }
+        ctx.sem_release(self.concurrency, 1);
+        self.records.lock().push(InvocationRecord {
+            function,
+            tag,
+            requested,
+            started,
+            finished,
+            memory_mb: self.cfg.memory_mb,
+            cold,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::{Sim, SimDuration};
+    use std::sync::Mutex as StdMutex;
+
+    fn platform_sim(cfg: FaasConfig) -> (Sim, Arc<FunctionPlatform>) {
+        let mut sim = Sim::new();
+        let faas = FunctionPlatform::install(&mut sim, cfg);
+        (sim, faas)
+    }
+
+    #[test]
+    fn cold_then_warm_start() {
+        let cfg = FaasConfig {
+            cold_start: SimDuration::from_millis(500),
+            warm_start: SimDuration::from_millis(20),
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "a", |_, env| assert!(env.cold)).unwrap();
+            p.invoke(ctx, "f", "b", |_, env| assert!(!env.cold)).unwrap();
+        });
+        sim.run().expect("run");
+        let recs = faas.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs[0].cold);
+        assert!(!recs[1].cold);
+        assert_eq!(recs[0].started.as_nanos(), 500_000_000);
+        // Second starts 20 ms after the first finished.
+        assert_eq!(
+            recs[1].started.as_nanos() - recs[0].finished.as_nanos(),
+            20_000_000
+        );
+    }
+
+    #[test]
+    fn keep_alive_expiry_forces_cold() {
+        let cfg = FaasConfig {
+            keep_alive: SimDuration::from_secs(1),
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "a", |_, _| {}).unwrap();
+            ctx.sleep(SimDuration::from_secs(5));
+            p.invoke(ctx, "f", "b", |_, env| assert!(env.cold)).unwrap();
+        });
+        sim.run().expect("run");
+        assert!(faas.records().iter().all(|r| r.cold));
+    }
+
+    #[test]
+    fn parallel_invocations_reuse_separate_containers() {
+        let (mut sim, faas) = platform_sim(FaasConfig::default());
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    p.invoke_async(ctx, "f", format!("t{}", i), |fctx, env| {
+                        env.compute(fctx, SimDuration::from_secs(1));
+                    })
+                })
+                .collect();
+            ctx.join_all(&hs).unwrap();
+        });
+        sim.run().expect("run");
+        let recs = faas.records();
+        assert_eq!(recs.len(), 4);
+        // All four run concurrently: every one pays a cold start.
+        assert!(recs.iter().all(|r| r.cold));
+        assert_eq!(faas.warm_count("f"), 4);
+    }
+
+    #[test]
+    fn concurrency_limit_queues_fifo() {
+        let cfg = FaasConfig {
+            max_concurrency: 1,
+            cold_start: SimDuration::ZERO,
+            warm_start: SimDuration::ZERO,
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        let order2 = Arc::clone(&order);
+        sim.spawn("driver", move |ctx| {
+            let hs: Vec<_> = (0..3u64)
+                .map(|i| {
+                    let order = Arc::clone(&order2);
+                    p.invoke_async(ctx, "f", format!("t{}", i), move |fctx, _| {
+                        order.lock().unwrap().push((i, fctx.now().as_secs_f64()));
+                        fctx.sleep(SimDuration::from_secs(1));
+                    })
+                })
+                .collect();
+            ctx.join_all(&hs).unwrap();
+        });
+        sim.run().expect("run");
+        let order = order.lock().unwrap();
+        for (i, (who, at)) in order.iter().enumerate() {
+            assert_eq!(*who, i as u64);
+            assert!((at - i as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn compute_scales_with_memory() {
+        let cfg = FaasConfig::default().with_memory_mb(1024); // 0.5 vCPU
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "t", |fctx, env| {
+                let before = fctx.now();
+                env.compute(fctx, SimDuration::from_secs(1));
+                let took = fctx.now().saturating_duration_since(before);
+                assert!((took.as_secs_f64() - 2.0).abs() < 1e-9);
+            })
+            .unwrap();
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn billed_duration_excludes_cold_start() {
+        let cfg = FaasConfig {
+            cold_start: SimDuration::from_secs(3),
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "t", |fctx, _| fctx.sleep(SimDuration::from_secs(2)))
+                .unwrap();
+        });
+        sim.run().expect("run");
+        let rec = &faas.records()[0];
+        assert_eq!(rec.billed_duration(), SimDuration::from_secs(2));
+        // 2 GiB * 2 s = 4 GB-s.
+        assert!((rec.gb_seconds() - 4.0).abs() < 1e-9);
+        assert_eq!(rec.requested, SimTime::ZERO);
+        assert_eq!(rec.started.as_secs_f64(), 3.0);
+    }
+
+    #[test]
+    fn injected_failures_surface_via_join() {
+        let cfg = FaasConfig::default().with_failure_rate(1.0);
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            let err = p.invoke(ctx, "f", "t", |_, _| {}).expect_err("must crash");
+            assert!(err.message.contains("injected invocation failure"));
+        });
+        sim.run().expect("observed failure is fine");
+        assert!(faas.records().is_empty(), "crashed invocations are not billed");
+    }
+
+    #[test]
+    fn failed_invocations_release_concurrency() {
+        // One slot + guaranteed failure: a second invocation must still run.
+        let cfg = FaasConfig {
+            max_concurrency: 1,
+            ..FaasConfig::default().with_failure_rate(1.0)
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            let _ = p.invoke(ctx, "f", "a", |_, _| {});
+            let _ = p.invoke(ctx, "f", "b", |_, _| {});
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn warm_container_reuses_its_nic_link() {
+        use std::sync::Mutex as StdMutex;
+        let (mut sim, faas) = platform_sim(FaasConfig::default());
+        let p = faas.clone();
+        let nics = Arc::new(StdMutex::new(Vec::new()));
+        let nics2 = Arc::clone(&nics);
+        sim.spawn("driver", move |ctx| {
+            for _ in 0..2 {
+                let nics = Arc::clone(&nics2);
+                p.invoke(ctx, "f", "t", move |_, env| {
+                    nics.lock().unwrap().push(env.nic);
+                })
+                .unwrap();
+            }
+        });
+        sim.run().expect("run");
+        let nics = nics.lock().unwrap();
+        assert_eq!(nics[0], nics[1], "warm start must reuse the container NIC");
+    }
+
+    #[test]
+    fn records_carry_function_and_tag() {
+        let (mut sim, faas) = platform_sim(FaasConfig::default());
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "mapper", "sort/map", |_, _| {}).unwrap();
+        });
+        sim.run().expect("run");
+        let recs = faas.records();
+        assert_eq!(recs[0].function, "mapper");
+        assert_eq!(recs[0].tag, "sort/map");
+        assert!(recs[0].requested <= recs[0].started);
+        assert!(recs[0].started <= recs[0].finished);
+    }
+
+    #[test]
+    fn crashing_body_releases_slot_and_destroys_container() {
+        // One slot; a body panic must release it AND not park the
+        // container (the next invoke cold-starts).
+        let cfg = FaasConfig {
+            max_concurrency: 1,
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            let err = p
+                .invoke(ctx, "f", "a", |_, _| panic!("body exploded"))
+                .expect_err("crash observed");
+            assert!(err.message.contains("body exploded"));
+            // Slot free again and the crashed container is gone -> cold.
+            p.invoke(ctx, "f", "b", |_, env| assert!(env.cold)).unwrap();
+        });
+        sim.run().expect("run");
+        assert_eq!(faas.warm_count("f"), 1, "only the healthy container parked");
+    }
+
+    #[test]
+    fn flush_pool_forces_cold_again() {
+        let (mut sim, faas) = platform_sim(FaasConfig::default());
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "a", |_, _| {}).unwrap();
+            p.flush_pool();
+            p.invoke(ctx, "f", "b", |_, env| assert!(env.cold)).unwrap();
+        });
+        sim.run().expect("run");
+    }
+}

@@ -1,0 +1,424 @@
+//! The METHCOMP-style columnar compressor.
+//!
+//! Following Peng et al., the (sorted) records are decomposed into
+//! per-field streams, each coded with a model matched to its
+//! distribution, all multiplexed over one adaptive range coder:
+//!
+//! | field       | model |
+//! |-------------|-------|
+//! | chromosome  | change bit + id byte (runs are nearly free) |
+//! | start       | zigzag delta from the previous start, adaptive width |
+//! | width       | `end - start - 1`, adaptive width (almost always 0) |
+//! | strand      | one bit, conditioned on the previous strand (captures +/- pairing) |
+//! | coverage    | adaptive integer model |
+//! | methylation | byte model conditioned on the previous level's band (captures island structure) |
+//!
+//! Derived bedMethyl columns (`name`, `score`, `thickStart`, `thickEnd`,
+//! `itemRgb`) are recomputed on decode, so the canonical text
+//! round-trips exactly. The compressor does not require sorted input
+//! (deltas are signed), but sorted input is what makes it effective —
+//! which is precisely why the pipeline's sort stage exists.
+
+use faaspipe_codec::checksum::Crc32;
+use faaspipe_codec::range::{BitModel, ByteModel, RangeDecoder, RangeEncoder, UIntModel};
+use faaspipe_codec::{varint, CodecError};
+
+use crate::bed::{Dataset, MethRecord, Strand, CHROM_NAMES};
+
+const MAGIC: &[u8; 4] = b"MC01";
+/// Sanity bound on declared record counts (decompression-bomb guard).
+const MAX_RECORDS: u64 = 1 << 33;
+
+fn meth_band(pct: u8) -> usize {
+    match pct {
+        0..=19 => 0,
+        20..=69 => 1,
+        _ => 2,
+    }
+}
+
+fn digest_record(crc: &mut Crc32, r: &MethRecord) {
+    crc.update(&[r.chrom]);
+    crc.update(&r.start.to_le_bytes());
+    crc.update(&r.end.to_le_bytes());
+    crc.update(&[r.strand.as_char() as u8]);
+    crc.update(&r.coverage.to_le_bytes());
+    crc.update(&[r.meth_pct]);
+}
+
+struct Models {
+    chrom_change: BitModel,
+    chrom_id: ByteModel,
+    delta: UIntModel,
+    width: UIntModel,
+    strand: [BitModel; 2],
+    coverage: UIntModel,
+    meth: [ByteModel; 3],
+}
+
+impl Models {
+    fn new() -> Models {
+        Models {
+            chrom_change: BitModel::new(),
+            chrom_id: ByteModel::new(),
+            delta: UIntModel::new(),
+            width: UIntModel::new(),
+            strand: [BitModel::new(), BitModel::new()],
+            coverage: UIntModel::new(),
+            meth: [ByteModel::new(), ByteModel::new(), ByteModel::new()],
+        }
+    }
+}
+
+/// Compresses a dataset into a METHCOMP archive.
+pub fn compress(dataset: &Dataset) -> Vec<u8> {
+    let mut out = Vec::with_capacity(dataset.len() / 2 + 64);
+    out.extend_from_slice(MAGIC);
+    varint::write_u64(&mut out, dataset.len() as u64);
+
+    let mut enc = RangeEncoder::new();
+    let mut m = Models::new();
+    let mut crc = Crc32::new();
+    let mut prev_chrom: u8 = 0;
+    let mut prev_start: u64 = 0;
+    let mut prev_strand = Strand::Plus;
+    let mut prev_meth: u8 = 80;
+    for r in &dataset.records {
+        digest_record(&mut crc, r);
+        let changed = r.chrom != prev_chrom;
+        enc.encode_bit(&mut m.chrom_change, changed);
+        if changed {
+            m.chrom_id.encode(&mut enc, r.chrom);
+            prev_start = 0;
+        }
+        let delta = r.start as i64 - prev_start as i64;
+        m.delta.encode(&mut enc, varint::zigzag(delta));
+        m.width.encode(&mut enc, r.end - r.start - 1);
+        let sctx = (prev_strand == Strand::Minus) as usize;
+        enc.encode_bit(&mut m.strand[sctx], r.strand == Strand::Minus);
+        m.coverage.encode(&mut enc, r.coverage as u64);
+        m.meth[meth_band(prev_meth)].encode(&mut enc, r.meth_pct);
+        prev_chrom = r.chrom;
+        prev_start = r.start;
+        prev_strand = r.strand;
+        prev_meth = r.meth_pct;
+    }
+    out.extend_from_slice(&enc.finish());
+    out.extend_from_slice(&crc.finish().to_le_bytes());
+    out
+}
+
+/// Decompresses a METHCOMP archive.
+///
+/// # Errors
+/// [`CodecError`] on bad magic, truncation, invalid field values, or
+/// checksum mismatch.
+pub fn decompress(input: &[u8]) -> Result<Dataset, CodecError> {
+    if input.len() < 4 || &input[..4] != MAGIC {
+        return Err(CodecError::BadHeader { what: "methcomp magic" });
+    }
+    let (count, used) = varint::read_u64(&input[4..])?;
+    if count > MAX_RECORDS {
+        return Err(CodecError::LengthOverflow { declared: count });
+    }
+    let body_start = 4 + used;
+    if input.len() < body_start + 4 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let (body, trailer) = input[body_start..].split_at(input.len() - body_start - 4);
+    let stored_crc = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+
+    let mut records = Vec::with_capacity(count as usize);
+    if count > 0 {
+        let mut dec = RangeDecoder::new(body)?;
+        let mut m = Models::new();
+        let mut prev_chrom: u8 = 0;
+        let mut prev_start: u64 = 0;
+        let mut prev_strand = Strand::Plus;
+        let mut prev_meth: u8 = 80;
+        for _ in 0..count {
+            let changed = dec.decode_bit(&mut m.chrom_change)?;
+            let chrom = if changed {
+                let c = m.chrom_id.decode(&mut dec)?;
+                if c as usize >= CHROM_NAMES.len() {
+                    return Err(CodecError::BadSymbol { value: c as u64 });
+                }
+                prev_start = 0;
+                c
+            } else {
+                prev_chrom
+            };
+            let delta = varint::unzigzag(m.delta.decode(&mut dec)?);
+            let start = prev_start as i64 + delta;
+            if start < 0 {
+                return Err(CodecError::BadSymbol {
+                    value: delta as u64,
+                });
+            }
+            let start = start as u64;
+            let width = m.width.decode(&mut dec)?;
+            let end = start
+                .checked_add(width + 1)
+                .ok_or(CodecError::LengthOverflow { declared: width })?;
+            let sctx = (prev_strand == Strand::Minus) as usize;
+            let strand = if dec.decode_bit(&mut m.strand[sctx])? {
+                Strand::Minus
+            } else {
+                Strand::Plus
+            };
+            let coverage = m.coverage.decode(&mut dec)?;
+            if coverage > u32::MAX as u64 {
+                return Err(CodecError::LengthOverflow { declared: coverage });
+            }
+            let meth_pct = m.meth[meth_band(prev_meth)].decode(&mut dec)?;
+            if meth_pct > 100 {
+                return Err(CodecError::BadSymbol {
+                    value: meth_pct as u64,
+                });
+            }
+            let record = MethRecord {
+                chrom,
+                start,
+                end,
+                strand,
+                coverage: coverage as u32,
+                meth_pct,
+            };
+            prev_chrom = chrom;
+            prev_start = start;
+            prev_strand = strand;
+            prev_meth = meth_pct;
+            records.push(record);
+        }
+    }
+    let mut crc = Crc32::new();
+    for r in &records {
+        digest_record(&mut crc, r);
+    }
+    let actual = crc.finish();
+    if actual != stored_crc {
+        return Err(CodecError::ChecksumMismatch {
+            expected: stored_crc,
+            actual,
+        });
+    }
+    Ok(Dataset::new(records))
+}
+
+/// Merges several archives of *sorted* datasets into one archive of the
+/// globally sorted union (k-way merge by the canonical sort key).
+///
+/// This is how a consumer folds the pipeline's per-run archives into a
+/// single file without re-sorting from scratch.
+///
+/// # Errors
+/// [`CodecError`] if any input archive is invalid.
+pub fn merge_archives(archives: &[&[u8]]) -> Result<Vec<u8>, CodecError> {
+    let mut datasets = Vec::with_capacity(archives.len());
+    for a in archives {
+        datasets.push(decompress(a)?);
+    }
+    let total: usize = datasets.iter().map(Dataset::len).sum();
+    let mut cursors = vec![0usize; datasets.len()];
+    let mut merged = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, ds) in datasets.iter().enumerate() {
+            if cursors[i] >= ds.len() {
+                continue;
+            }
+            let candidate = &ds.records[cursors[i]];
+            best = match best {
+                None => Some(i),
+                Some(b) if candidate.sort_key() < datasets[b].records[cursors[b]].sort_key() => {
+                    Some(i)
+                }
+                other => other,
+            };
+        }
+        match best {
+            None => break,
+            Some(i) => {
+                merged.push(datasets[i].records[cursors[i]]);
+                cursors[i] += 1;
+            }
+        }
+    }
+    Ok(compress(&Dataset::new(merged)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::Synthesizer;
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let ds = Dataset::default();
+        let packed = compress(&ds);
+        assert_eq!(decompress(&packed).expect("empty"), ds);
+    }
+
+    #[test]
+    fn synthetic_round_trip() {
+        let ds = Synthesizer::new(11).generate_records(20_000);
+        let packed = compress(&ds);
+        let got = decompress(&packed).expect("round trip");
+        assert_eq!(got, ds);
+        // Canonical text round-trips through the archive too.
+        assert_eq!(got.to_text(), ds.to_text());
+    }
+
+    #[test]
+    fn unsorted_input_still_round_trips() {
+        let ds = Synthesizer::new(12).generate_shuffled(5_000);
+        let packed = compress(&ds);
+        assert_eq!(decompress(&packed).expect("round trip"), ds);
+    }
+
+    #[test]
+    fn sorted_compresses_much_better_than_unsorted() {
+        let sorted = Synthesizer::new(13).generate_records(20_000);
+        let shuffled = Synthesizer::new(13).generate_shuffled(20_000);
+        let a = compress(&sorted).len();
+        let b = compress(&shuffled).len();
+        assert!(
+            (a as f64) < 0.65 * b as f64,
+            "sorted {} should be well under shuffled {}",
+            a,
+            b
+        );
+    }
+
+    #[test]
+    fn compression_ratio_beats_10x_on_text() {
+        let ds = Synthesizer::new(14).generate_records(50_000);
+        let text = ds.to_text();
+        let packed = compress(&ds);
+        let ratio = text.len() as f64 / packed.len() as f64;
+        assert!(ratio > 10.0, "methcomp ratio {:.1}x", ratio);
+    }
+
+    #[test]
+    fn beats_gzipish_by_large_factor() {
+        let ds = Synthesizer::new(15).generate_records(50_000);
+        let text = ds.to_text();
+        let gz = faaspipe_codec::gzipish::compress(text.as_bytes());
+        let mc = compress(&ds);
+        let advantage = gz.len() as f64 / mc.len() as f64;
+        assert!(
+            advantage > 4.0,
+            "expected methcomp << gzipish, got {:.1}x ({} vs {})",
+            advantage,
+            mc.len(),
+            gz.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let ds = Synthesizer::new(16).generate_records(100);
+        let mut packed = compress(&ds);
+        packed[0] = b'X';
+        assert!(matches!(
+            decompress(&packed),
+            Err(CodecError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let ds = Synthesizer::new(17).generate_records(1_000);
+        let packed = compress(&ds);
+        for cut in [3usize, 6, packed.len() / 2] {
+            assert!(decompress(&packed[..cut]).is_err(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let ds = Synthesizer::new(18).generate_records(2_000);
+        let packed = compress(&ds);
+        let mut corrupt = packed.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        // Either a structural error or a checksum mismatch — never a
+        // silent wrong answer.
+        match decompress(&corrupt) {
+            Err(_) => {}
+            Ok(got) => assert_ne!(got, ds, "corruption must not round-trip"),
+        }
+    }
+
+    #[test]
+    fn bomb_guard_on_record_count() {
+        let mut packed = Vec::new();
+        packed.extend_from_slice(MAGIC);
+        varint::write_u64(&mut packed, u64::MAX / 2);
+        packed.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            decompress(&packed),
+            Err(CodecError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn single_record_round_trip() {
+        let ds = Dataset::new(vec![MethRecord {
+            chrom: 5,
+            start: 123_456_789,
+            end: 123_456_790,
+            strand: Strand::Minus,
+            coverage: 1_000_000,
+            meth_pct: 100,
+        }]);
+        let packed = compress(&ds);
+        assert_eq!(decompress(&packed).expect("round trip"), ds);
+    }
+
+    #[test]
+    fn merge_archives_produces_the_global_sort() {
+        let full = Synthesizer::new(19).generate_records(6_000);
+        // Split round-robin so each piece is itself sorted but interleaved.
+        let mut pieces: Vec<Dataset> = (0..3).map(|_| Dataset::default()).collect();
+        for (i, r) in full.records.iter().enumerate() {
+            pieces[i % 3].records.push(*r);
+        }
+        let archives: Vec<Vec<u8>> = pieces.iter().map(compress).collect();
+        let refs: Vec<&[u8]> = archives.iter().map(Vec::as_slice).collect();
+        let merged = merge_archives(&refs).expect("merge");
+        let decoded = decompress(&merged).expect("decode");
+        assert_eq!(decoded, full, "merge must reproduce the global order");
+        // And the merged archive is about as tight as compressing whole.
+        let direct = compress(&full);
+        assert!(merged.len() <= direct.len() + direct.len() / 20);
+    }
+
+    #[test]
+    fn merge_rejects_corrupt_member() {
+        let ds = Synthesizer::new(20).generate_records(100);
+        let good = compress(&ds);
+        let bad = b"MCxx not an archive".to_vec();
+        assert!(merge_archives(&[&good, &bad]).is_err());
+        // Merging nothing yields an empty archive.
+        let empty = merge_archives(&[]).expect("empty merge");
+        assert_eq!(decompress(&empty).expect("decode"), Dataset::default());
+    }
+
+    #[test]
+    fn all_chromosomes_round_trip() {
+        let records: Vec<MethRecord> = (0..24u8)
+            .map(|c| MethRecord {
+                chrom: c,
+                start: 1000 + c as u64,
+                end: 1001 + c as u64,
+                strand: Strand::Plus,
+                coverage: 7,
+                meth_pct: 50,
+            })
+            .collect();
+        let ds = Dataset::new(records);
+        let packed = compress(&ds);
+        assert_eq!(decompress(&packed).expect("round trip"), ds);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shuffle operator errors.
+
+use std::fmt;
+
+use faaspipe_store::StoreError;
+
+/// Errors from the shuffle/sort operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShuffleError {
+    /// An object-store request failed (possibly after retries).
+    Store(StoreError),
+    /// Intermediate data failed to deserialize.
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The configuration is unusable (zero workers, no input, ...).
+    BadConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A task (function invocation) kept failing after re-invocations.
+    TaskFailed {
+        /// Which phase the task belonged to.
+        phase: &'static str,
+        /// The final failure message.
+        message: String,
+    },
+}
+
+impl fmt::Display for ShuffleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShuffleError::Store(e) => write!(f, "store error: {}", e),
+            ShuffleError::Corrupt { what } => write!(f, "corrupt {} data", what),
+            ShuffleError::BadConfig { reason } => write!(f, "bad shuffle config: {}", reason),
+            ShuffleError::TaskFailed { phase, message } => {
+                write!(f, "{} task failed after retries: {}", phase, message)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShuffleError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShuffleError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ShuffleError {
+    fn from(e: StoreError) -> Self {
+        ShuffleError::Store(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = ShuffleError::from(StoreError::NoSuchBucket {
+            bucket: "b".into(),
+        });
+        assert!(e.to_string().contains("no such bucket"));
+        assert!(e.source().is_some());
+        let e = ShuffleError::BadConfig {
+            reason: "zero workers".into(),
+        };
+        assert!(e.to_string().contains("zero workers"));
+    }
+}

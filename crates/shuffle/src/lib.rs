@@ -1,0 +1,41 @@
+//! # faaspipe-shuffle — a Primula-like serverless shuffle/sort operator
+//!
+//! Reproduces the mechanism of *Primula: A Practical Shuffle/Sort Operator
+//! for Serverless Computing* (Sánchez-Artigas et al., Middleware'20), the
+//! operator the paper's "purely serverless" pipeline uses for its
+//! all-to-all sort stage:
+//!
+//! * **sample → range-partition → map → reduce** through object storage:
+//!   mappers locally sort their chunk and scatter `W` partition objects;
+//!   reducers gather `W` objects each and k-way merge them into globally
+//!   ordered runs ([`sort`]);
+//! * **worker-count autotuning** ([`autotune`]): an analytic makespan
+//!   model over the measured storage parameters picks "the optimal number
+//!   of functions for a given shuffle data size on the fly" — the paper's
+//!   central claim is that object storage performs well *iff* this number
+//!   is chosen appropriately;
+//! * a **VM-driven baseline** ([`vmsort`]): download everything into one
+//!   big instance, sort with all cores, upload — the hybrid pipeline's
+//!   shuffle stage.
+//!
+//! The operator is generic over [`SortRecord`]; an implementation for
+//! methylation BED records is provided (the paper's workload).
+
+pub mod autotune;
+pub mod error;
+pub mod partitioner;
+pub mod plan;
+pub mod record;
+pub mod sampler;
+pub mod sort;
+pub mod vmsort;
+pub mod work;
+
+pub use autotune::{Autotuner, CostBreakdown, TuningModel, TuningPrices};
+pub use error::ShuffleError;
+pub use partitioner::RangePartitioner;
+pub use plan::{RunInfo, SortManifest};
+pub use record::SortRecord;
+pub use sort::{serverless_sort, with_retry, ExchangeStrategy, SortConfig, SortStats};
+pub use vmsort::{vm_sort, VmSortConfig, VmSortStats};
+pub use work::WorkModel;

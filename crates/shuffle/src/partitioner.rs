@@ -1,0 +1,148 @@
+//! Range partitioning from sampled keys.
+
+/// Routes keys to `n` contiguous ranges split by `n - 1` boundary keys.
+///
+/// Partition `i` receives keys in `[boundaries[i-1], boundaries[i])`
+/// (first partition unbounded below, last unbounded above), so
+/// concatenating sorted partitions in index order yields a globally
+/// sorted sequence.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner<K> {
+    boundaries: Vec<K>,
+}
+
+impl<K: Ord + Clone> RangePartitioner<K> {
+    /// Builds a partitioner for `parts` partitions from a *sample* of
+    /// keys, by picking evenly spaced quantiles.
+    ///
+    /// Works with any sample size (including empty — everything then
+    /// routes to partition 0).
+    ///
+    /// # Panics
+    /// Panics if `parts` is zero.
+    pub fn from_sample(mut sample: Vec<K>, parts: usize) -> RangePartitioner<K> {
+        assert!(parts > 0, "cannot partition into zero parts");
+        sample.sort_unstable();
+        let mut boundaries = Vec::with_capacity(parts.saturating_sub(1));
+        if !sample.is_empty() {
+            for i in 1..parts {
+                let idx = (i * sample.len()) / parts;
+                boundaries.push(sample[idx.min(sample.len() - 1)].clone());
+            }
+        }
+        boundaries.dedup();
+        RangePartitioner { boundaries }
+    }
+
+    /// Number of partitions this partitioner routes to (may be fewer than
+    /// requested if the sample had few distinct keys).
+    pub fn parts(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The partition index for `key`.
+    pub fn part(&self, key: &K) -> usize {
+        // First boundary strictly greater than key = partition index.
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    /// The boundary keys (exclusive upper bounds of each partition but the
+    /// last).
+    pub fn boundaries(&self) -> &[K] {
+        &self.boundaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_keys_in_order() {
+        let p = RangePartitioner::from_sample((0..100u64).collect(), 4);
+        assert_eq!(p.parts(), 4);
+        // Partition indices are monotone in the key.
+        let mut last = 0;
+        for k in 0..100u64 {
+            let part = p.part(&k);
+            assert!(part >= last);
+            last = part;
+        }
+        assert_eq!(p.part(&0), 0);
+        assert_eq!(p.part(&99), 3);
+    }
+
+    #[test]
+    fn quantiles_balance_uniform_keys() {
+        let sample: Vec<u64> = (0..10_000).collect();
+        let p = RangePartitioner::from_sample(sample, 8);
+        let mut counts = vec![0usize; p.parts()];
+        for k in 0..10_000u64 {
+            counts[p.part(&k)] += 1;
+        }
+        let min = *counts.iter().min().expect("non-empty");
+        let max = *counts.iter().max().expect("non-empty");
+        assert!(max - min <= 10_000 / 8 / 4, "imbalance: {:?}", counts);
+    }
+
+    #[test]
+    fn empty_sample_routes_everything_to_zero() {
+        let p = RangePartitioner::from_sample(Vec::<u64>::new(), 5);
+        assert_eq!(p.parts(), 1);
+        assert_eq!(p.part(&123), 0);
+    }
+
+    #[test]
+    fn single_partition() {
+        let p = RangePartitioner::from_sample(vec![5u64, 1, 9], 1);
+        assert_eq!(p.parts(), 1);
+        for k in [0u64, 5, 100] {
+            assert_eq!(p.part(&k), 0);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_sample_dedups_boundaries() {
+        let sample = vec![7u64; 1000];
+        let p = RangePartitioner::from_sample(sample, 8);
+        assert_eq!(p.parts(), 2, "one distinct boundary survives");
+        assert_eq!(p.part(&3), 0);
+        assert_eq!(p.part(&7), 1);
+        assert_eq!(p.part(&9), 1);
+    }
+
+    #[test]
+    fn boundary_key_goes_right() {
+        let p = RangePartitioner::from_sample(vec![10u64, 20, 30, 40], 2);
+        let b = p.boundaries()[0];
+        assert_eq!(p.part(&(b - 1)), 0);
+        assert_eq!(p.part(&b), 1);
+    }
+
+    #[test]
+    fn tuple_keys_work() {
+        let sample: Vec<(u8, u64)> = (0..100).map(|i| (i as u8 % 4, i as u64)).collect();
+        let p = RangePartitioner::from_sample(sample, 4);
+        assert!(p.part(&(0, 0)) <= p.part(&(3, 99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn zero_parts_panics() {
+        RangePartitioner::from_sample(vec![1u64], 0);
+    }
+
+    #[test]
+    fn skewed_sample_still_monotone() {
+        // 90% of keys identical: partitioner must stay consistent.
+        let mut sample: Vec<u64> = vec![50; 900];
+        sample.extend(0..100u64);
+        let p = RangePartitioner::from_sample(sample, 10);
+        let mut last = 0;
+        for k in 0..200u64 {
+            let part = p.part(&k);
+            assert!(part >= last, "monotonicity at {}", k);
+            last = part;
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! The record abstraction the shuffle operator sorts, and its
+//! implementations.
+
+use faaspipe_methcomp::{MethRecord, Strand};
+
+use crate::error::ShuffleError;
+
+/// A fixed-size binary record with a totally ordered key.
+///
+/// Implementations define how records serialize into the intermediate
+/// partition objects exchanged through the store.
+pub trait SortRecord: Clone + Send + Sync + 'static {
+    /// The sort key.
+    type Key: Ord + Clone + Send + Sync + 'static;
+
+    /// Extracts the sort key.
+    fn key(&self) -> Self::Key;
+
+    /// Serialized size in bytes (fixed per type).
+    const WIRE_SIZE: usize;
+
+    /// Appends the wire form to `out`.
+    fn write_to(&self, out: &mut Vec<u8>);
+
+    /// Parses one record from exactly [`SortRecord::WIRE_SIZE`] bytes.
+    ///
+    /// # Errors
+    /// [`ShuffleError::Corrupt`] if the bytes are not a valid record.
+    fn read_from(bytes: &[u8]) -> Result<Self, ShuffleError>;
+
+    /// Parses a whole buffer of concatenated records.
+    ///
+    /// # Errors
+    /// [`ShuffleError::Corrupt`] if the length is not a multiple of the
+    /// wire size or any record is invalid.
+    fn read_all(data: &[u8]) -> Result<Vec<Self>, ShuffleError> {
+        if !data.len().is_multiple_of(Self::WIRE_SIZE) {
+            return Err(ShuffleError::Corrupt {
+                what: "record buffer length",
+            });
+        }
+        data.chunks_exact(Self::WIRE_SIZE).map(Self::read_from).collect()
+    }
+
+    /// Serializes a whole slice of records.
+    fn write_all(records: &[Self]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(records.len() * Self::WIRE_SIZE);
+        for r in records {
+            r.write_to(&mut out);
+        }
+        out
+    }
+}
+
+/// Test/bench record: a plain `u64` sorted by value (8-byte LE).
+impl SortRecord for u64 {
+    type Key = u64;
+    const WIRE_SIZE: usize = 8;
+
+    fn key(&self) -> u64 {
+        *self
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+
+    fn read_from(bytes: &[u8]) -> Result<Self, ShuffleError> {
+        let arr: [u8; 8] = bytes.try_into().map_err(|_| ShuffleError::Corrupt {
+            what: "u64 record",
+        })?;
+        Ok(u64::from_le_bytes(arr))
+    }
+}
+
+/// Methylation records sort by `(chrom, start, end, strand)` — the
+/// pipeline's canonical genome order. Wire form: 23 bytes LE.
+impl SortRecord for MethRecord {
+    type Key = (u8, u64, u64, u8);
+    const WIRE_SIZE: usize = 23;
+
+    fn key(&self) -> Self::Key {
+        (
+            self.chrom,
+            self.start,
+            self.end,
+            matches!(self.strand, Strand::Minus) as u8,
+        )
+    }
+
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(self.chrom);
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.end.to_le_bytes());
+        out.push(matches!(self.strand, Strand::Minus) as u8);
+        out.extend_from_slice(&self.coverage.to_le_bytes());
+        out.push(self.meth_pct);
+    }
+
+    fn read_from(bytes: &[u8]) -> Result<Self, ShuffleError> {
+        if bytes.len() != Self::WIRE_SIZE {
+            return Err(ShuffleError::Corrupt {
+                what: "meth record size",
+            });
+        }
+        let chrom = bytes[0];
+        let start = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let end = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        let strand = match bytes[17] {
+            0 => Strand::Plus,
+            1 => Strand::Minus,
+            _ => {
+                return Err(ShuffleError::Corrupt {
+                    what: "meth record strand",
+                })
+            }
+        };
+        let coverage = u32::from_le_bytes(bytes[18..22].try_into().expect("4 bytes"));
+        let meth_pct = bytes[22];
+        if meth_pct > 100 || end <= start {
+            return Err(ShuffleError::Corrupt {
+                what: "meth record fields",
+            });
+        }
+        Ok(MethRecord {
+            chrom,
+            start,
+            end,
+            strand,
+            coverage,
+            meth_pct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_methcomp::synth::Synthesizer;
+
+    #[test]
+    fn u64_round_trip() {
+        let records: Vec<u64> = vec![0, 1, u64::MAX, 42];
+        let bytes = SortRecord::write_all(&records);
+        assert_eq!(bytes.len(), 32);
+        let got: Vec<u64> = SortRecord::read_all(&bytes).expect("round trip");
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn meth_record_round_trip() {
+        let ds = Synthesizer::new(21).generate_records(2_000);
+        let bytes = SortRecord::write_all(&ds.records);
+        assert_eq!(bytes.len(), 2_000 * MethRecord::WIRE_SIZE);
+        let got: Vec<MethRecord> = SortRecord::read_all(&bytes).expect("round trip");
+        assert_eq!(got, ds.records);
+    }
+
+    #[test]
+    fn meth_key_matches_dataset_order() {
+        let mut ds = Synthesizer::new(22).generate_shuffled(1_000);
+        let mut by_trait = ds.records.clone();
+        by_trait.sort_by_key(SortRecord::key);
+        ds.sort();
+        assert_eq!(by_trait, ds.records);
+    }
+
+    #[test]
+    fn ragged_buffer_rejected() {
+        let err = <u64 as SortRecord>::read_all(&[1, 2, 3]).expect_err("ragged");
+        assert!(matches!(err, ShuffleError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn corrupt_strand_rejected() {
+        let ds = Synthesizer::new(23).generate_records(1);
+        let mut bytes = SortRecord::write_all(&ds.records);
+        bytes[17] = 9;
+        assert!(<MethRecord as SortRecord>::read_all(&bytes).is_err());
+    }
+}

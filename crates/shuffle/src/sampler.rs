@@ -1,0 +1,121 @@
+//! Reservoir sampling of sort keys.
+
+use rand::Rng;
+
+/// A fixed-capacity uniform reservoir sample.
+///
+/// Mappers feed every key they see; the reservoir keeps a uniform sample
+/// of bounded size regardless of stream length (Vitter's algorithm R).
+#[derive(Debug, Clone)]
+pub struct Reservoir<K> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<K>,
+}
+
+impl<K> Reservoir<K> {
+    /// Creates a reservoir keeping at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Reservoir<K> {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one key.
+    pub fn offer(&mut self, key: K, rng: &mut impl Rng) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(key);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = key;
+            }
+        }
+    }
+
+    /// Keys seen so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Consumes the reservoir, returning the sample.
+    pub fn into_items(self) -> Vec<K> {
+        self.items
+    }
+
+    /// Current sample size.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut r = Reservoir::new(100);
+        for k in 0..50u64 {
+            r.offer(k, &mut rng);
+        }
+        let mut items = r.into_items();
+        items.sort_unstable();
+        assert_eq!(items, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn caps_at_capacity() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut r = Reservoir::new(64);
+        for k in 0..10_000u64 {
+            r.offer(k, &mut rng);
+        }
+        assert_eq!(r.len(), 64);
+        assert_eq!(r.seen(), 10_000);
+    }
+
+    #[test]
+    fn sample_is_roughly_uniform() {
+        // Mean of a uniform sample over 0..n should be near n/2.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut means = Vec::new();
+        for trial in 0..20 {
+            let mut r = Reservoir::new(200);
+            for k in 0..100_000u64 {
+                r.offer(k, &mut rng);
+            }
+            let items = r.into_items();
+            let mean: f64 = items.iter().map(|&k| k as f64).sum::<f64>() / items.len() as f64;
+            means.push(mean);
+            let _ = trial;
+        }
+        let grand: f64 = means.iter().sum::<f64>() / means.len() as f64;
+        assert!(
+            (grand - 50_000.0).abs() < 5_000.0,
+            "grand mean {} far from 50000",
+            grand
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        Reservoir::<u64>::new(0);
+    }
+}

@@ -1,0 +1,992 @@
+//! The serverless shuffle/sort operator (Primula's data path).
+//!
+//! ```text
+//!   inputs (unsorted chunks)          intermediates              outputs
+//!   in/0 in/1 ... in/N-1      part/{mapper}/{reducer}      out/0 ... out/W-1
+//!        │   sample                  (W × W objects)            (sorted runs)
+//!        ▼                                                        ▲
+//!   W mapper functions ── local sort ── range partition ── W reducer functions
+//!                            (all data exchanged through the object store)
+//! ```
+//!
+//! Every byte of intermediate data really moves through the simulated
+//! store, contending for its per-connection bandwidth, aggregate
+//! backbone, and operations/s budget — the paper's object-storage
+//! data-exchange pattern, end to end.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use faaspipe_des::{Ctx, SimDuration, SimTime};
+use faaspipe_faas::FunctionPlatform;
+use faaspipe_store::{ObjectStore, StoreError};
+
+use crate::error::ShuffleError;
+use crate::partitioner::RangePartitioner;
+use crate::plan::{RunInfo, SortManifest};
+use crate::record::SortRecord;
+use crate::sampler::Reservoir;
+use crate::work::WorkModel;
+
+/// How mappers hand partitions to reducers through the store.
+///
+/// `Scatter` is the naive pattern: W² small objects. `Coalesced` is the
+/// Primula-style I/O optimization: each mapper writes **one** object with
+/// its partitions concatenated, and reducers issue byte-range GETs — the
+/// same data volume with W× fewer class-A (write) requests and one
+/// request-latency hit per mapper instead of W.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeStrategy {
+    /// One object per (mapper, reducer) pair.
+    #[default]
+    Scatter,
+    /// One object per mapper; reducers range-read their slice.
+    Coalesced,
+}
+
+/// Configuration of one serverless sort run.
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Number of mapper functions (equal to the number of reducers) — the
+    /// "number of functions in the shuffle stage" the paper tunes.
+    pub workers: usize,
+    /// Bucket holding inputs, intermediates, and outputs.
+    pub bucket: String,
+    /// Prefix of the input chunk objects (binary records).
+    pub input_prefix: String,
+    /// Prefix written with the sorted run objects (`{prefix}{j:05}`).
+    pub output_prefix: String,
+    /// Prefix for intermediate partition objects.
+    pub part_prefix: String,
+    /// Reservoir capacity per sampler.
+    pub sample_capacity: usize,
+    /// Bytes range-read from each input chunk when sampling.
+    pub sample_bytes: u64,
+    /// Metrics/billing tag.
+    pub tag: String,
+    /// CPU-work calibration.
+    pub work: WorkModel,
+    /// Attempts per store request (fault-injection resilience).
+    pub retries: u32,
+    /// Driver-side orchestration overhead charged at the start of each
+    /// phase: job serialization/upload, invocation fan-out, and the
+    /// COS-polling result detection of a Lithops-style client. Unbilled
+    /// (the driver is not a function), but on the critical path.
+    pub orchestration: SimDuration,
+    /// All-to-all exchange pattern.
+    pub exchange: ExchangeStrategy,
+    /// Invocation attempts per task: crashed functions are re-invoked up
+    /// to this many times (Lithops-style task retry), on top of the
+    /// per-request `retries`.
+    pub task_attempts: u32,
+    /// When set, a [`SortManifest`] is written to this key after the runs
+    /// (one extra timed PUT).
+    pub manifest_key: Option<String>,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        SortConfig {
+            workers: 8,
+            bucket: "data".to_string(),
+            input_prefix: "in/".to_string(),
+            output_prefix: "out/".to_string(),
+            part_prefix: "part/".to_string(),
+            sample_capacity: 512,
+            sample_bytes: 64 * 1024,
+            tag: "sort".to_string(),
+            work: WorkModel::default(),
+            retries: 3,
+            orchestration: SimDuration::ZERO,
+            exchange: ExchangeStrategy::default(),
+            task_attempts: 2,
+            manifest_key: None,
+        }
+    }
+}
+
+/// Outcome of a serverless sort.
+#[derive(Debug, Clone)]
+pub struct SortStats {
+    /// Workers used.
+    pub workers: usize,
+    /// Total input bytes (real, unscaled).
+    pub input_bytes: u64,
+    /// Total output bytes (real, unscaled).
+    pub output_bytes: u64,
+    /// Keys of the sorted run objects, in global order.
+    pub runs: Vec<String>,
+    /// Virtual duration of the sampling phase.
+    pub sample_duration: SimDuration,
+    /// Virtual duration of the map (sort + scatter) phase.
+    pub map_duration: SimDuration,
+    /// Virtual duration of the reduce (gather + merge) phase.
+    pub reduce_duration: SimDuration,
+    /// When the operator started.
+    pub started: SimTime,
+    /// When the operator finished.
+    pub finished: SimTime,
+}
+
+impl SortStats {
+    /// Total wall-clock of the operator.
+    pub fn total_duration(&self) -> SimDuration {
+        self.finished.saturating_duration_since(self.started)
+    }
+}
+
+/// Retries `op` up to `attempts` times on injected store faults; other
+/// errors surface immediately.
+///
+/// # Errors
+/// The last injected fault if every attempt failed, or the first
+/// non-retryable error.
+pub fn with_retry<T>(
+    attempts: u32,
+    mut op: impl FnMut() -> Result<T, StoreError>,
+) -> Result<T, StoreError> {
+    let mut last = None;
+    for _ in 0..attempts.max(1) {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e @ StoreError::Injected { .. }) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// K-way merge of individually sorted runs into one sorted vector.
+pub(crate) fn kway_merge<R: SortRecord>(runs: Vec<Vec<R>>) -> Vec<R> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq, Eq)]
+    struct Head<K: Ord>(K, usize);
+    impl<K: Ord> PartialOrd for Head<K> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord> Ord for Head<K> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (&self.0, self.1).cmp(&(&other.0, other.1))
+        }
+    }
+
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        if let Some(r) = run.first() {
+            heap.push(Reverse(Head(r.key(), i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(Head(_, i))) = heap.pop() {
+        let rec = runs[i][cursors[i]].clone();
+        cursors[i] += 1;
+        out.push(rec);
+        if cursors[i] < runs[i].len() {
+            heap.push(Reverse(Head(runs[i][cursors[i]].key(), i)));
+        }
+    }
+    out
+}
+
+/// Runs the full serverless sort from the calling (driver) process.
+///
+/// Inputs under `cfg.input_prefix` must be objects of concatenated
+/// [`SortRecord`] wire forms. On success the bucket holds
+/// `cfg.workers` sorted run objects whose concatenation in key order of
+/// `runs` is the globally sorted dataset.
+///
+/// # Errors
+/// [`ShuffleError`] on configuration problems, store failures that
+/// survive retries, or corrupt intermediate data.
+pub fn serverless_sort<R: SortRecord>(
+    ctx: &mut Ctx,
+    faas: &Arc<FunctionPlatform>,
+    store: &Arc<ObjectStore>,
+    cfg: &SortConfig,
+) -> Result<SortStats, ShuffleError> {
+    if cfg.workers == 0 {
+        return Err(ShuffleError::BadConfig {
+            reason: "workers must be positive".to_string(),
+        });
+    }
+    let started = ctx.now();
+    let driver = store.connect(ctx, format!("{}/driver", cfg.tag));
+    let inputs = driver.list(ctx, &cfg.bucket, &cfg.input_prefix)?;
+    if inputs.is_empty() {
+        return Err(ShuffleError::BadConfig {
+            reason: format!("no inputs under '{}'", cfg.input_prefix),
+        });
+    }
+    let input_keys: Vec<String> = inputs.iter().map(|o| o.key.clone()).collect();
+    let input_bytes: u64 = inputs.iter().map(|o| o.len.as_u64()).sum();
+    let w = cfg.workers;
+    let cfg = Arc::new(cfg.clone());
+
+    // ---- Phase 0: sample keys with range reads (one fn per mapper). ----
+    ctx.sleep(cfg.orchestration);
+    let samples: Arc<Mutex<Vec<R::Key>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut tasks: Vec<TaskFactory> = Vec::new();
+    for m in 0..w {
+        let assigned: Arc<Vec<(String, u64)>> = Arc::new(
+            input_keys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % w == m)
+                .map(|(i, k)| (k.clone(), inputs[i].len.as_u64()))
+                .collect(),
+        );
+        if assigned.is_empty() {
+            continue;
+        }
+        let faas = Arc::clone(faas);
+        let store = Arc::clone(store);
+        let samples = Arc::clone(&samples);
+        let cfg = Arc::clone(&cfg);
+        tasks.push(Box::new(move |ctx| {
+            let store = Arc::clone(&store);
+            let samples = Arc::clone(&samples);
+            let cfg = Arc::clone(&cfg);
+            let assigned = Arc::clone(&assigned);
+            faas.invoke_async(ctx, "sample", format!("{}/sample", cfg.tag), move |fctx, env| {
+                let client = store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
+                let mut reservoir = Reservoir::new(cfg.sample_capacity);
+                for (key, len) in assigned.iter() {
+                    let span = cfg.sample_bytes.min(*len);
+                    let span = span - span % R::WIRE_SIZE as u64;
+                    if span == 0 {
+                        continue;
+                    }
+                    let data = with_retry(cfg.retries, || {
+                        client.get_range(fctx, &cfg.bucket, key, 0, span)
+                    })
+                    .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                    let records: Vec<R> = SortRecord::read_all(&data)
+                        .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
+                    env.compute(fctx, cfg.work.parse_time(data.len()));
+                    for r in &records {
+                        reservoir.offer(r.key(), fctx.rng());
+                    }
+                }
+                samples.lock().extend(reservoir.into_items());
+            })
+        }));
+    }
+    run_phase(ctx, "sample", cfg.task_attempts, &tasks)?;
+    let sample_done = ctx.now();
+    let sample = std::mem::take(&mut *samples.lock());
+    let partitioner = Arc::new(RangePartitioner::from_sample(sample, w));
+
+    // ---- Phase 1: map — local sort, range partition, scatter. ----
+    ctx.sleep(cfg.orchestration);
+    let map_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    // Coalesced mode: per-mapper partition offset tables, returned to the
+    // driver through the invocation-result path (Lithops result objects).
+    let offsets: SharedOffsets = Arc::new(Mutex::new(vec![Vec::new(); w]));
+    // Byte-range input assignment: every mapper reads an equal,
+    // record-aligned slice of the input space regardless of how the data
+    // is chunked into objects — the map phase parallelises with W, not
+    // with the object count (Primula reads partitions with range GETs).
+    let spans = assign_spans(&inputs, w, R::WIRE_SIZE as u64);
+    let mut tasks: Vec<TaskFactory> = Vec::new();
+    for (m, span) in spans.iter().enumerate() {
+        let assigned: Arc<Vec<(String, u64, u64)>> = Arc::new(span.clone());
+        let faas = Arc::clone(faas);
+        let store = Arc::clone(store);
+        let partitioner = Arc::clone(&partitioner);
+        let cfg = Arc::clone(&cfg);
+        let map_bytes = Arc::clone(&map_bytes);
+        let offsets = Arc::clone(&offsets);
+        tasks.push(Box::new(move |ctx| {
+            let store = Arc::clone(&store);
+            let partitioner = Arc::clone(&partitioner);
+            let cfg = Arc::clone(&cfg);
+            let map_bytes = Arc::clone(&map_bytes);
+            let offsets = Arc::clone(&offsets);
+            let assigned = Arc::clone(&assigned);
+            faas.invoke_async(ctx, "map", format!("{}/map", cfg.tag), move |fctx, env| {
+                let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
+                let mut records: Vec<R> = Vec::new();
+                let mut read_bytes = 0usize;
+                for (key, off, len) in assigned.iter() {
+                    let data = with_retry(cfg.retries, || {
+                        client.get_range(fctx, &cfg.bucket, key, *off, *len)
+                    })
+                    .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                    read_bytes += data.len();
+                    let mut chunk: Vec<R> = SortRecord::read_all(&data)
+                        .unwrap_or_else(|e| panic!("map decode failed: {}", e));
+                    records.append(&mut chunk);
+                }
+                env.compute(fctx, cfg.work.sort_time(read_bytes));
+                records.sort_by_key(|r| r.key());
+                env.compute(fctx, cfg.work.partition_time(read_bytes));
+                // Scatter: records are sorted, so partitions are contiguous.
+                let mut buckets: Vec<Vec<u8>> = (0..w).map(|_| Vec::new()).collect();
+                for r in &records {
+                    let p = partitioner.part(&r.key()).min(w - 1);
+                    r.write_to(&mut buckets[p]);
+                }
+                let mut written = 0u64;
+                match cfg.exchange {
+                    ExchangeStrategy::Scatter => {
+                        for (j, bucket_data) in buckets.into_iter().enumerate() {
+                            written += bucket_data.len() as u64;
+                            let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
+                            with_retry(cfg.retries, || {
+                                client.put(fctx, &cfg.bucket, &key, Bytes::from(bucket_data.clone()))
+                            })
+                            .unwrap_or_else(|e| panic!("map scatter failed: {}", e));
+                        }
+                    }
+                    ExchangeStrategy::Coalesced => {
+                        let mut table = Vec::with_capacity(buckets.len());
+                        let total: usize = buckets.iter().map(Vec::len).sum();
+                        let mut blob = Vec::with_capacity(total);
+                        for bucket_data in &buckets {
+                            table.push((blob.len() as u64, bucket_data.len() as u64));
+                            blob.extend_from_slice(bucket_data);
+                        }
+                        written += blob.len() as u64;
+                        let key = format!("{}{:05}", cfg.part_prefix, m);
+                        with_retry(cfg.retries, || {
+                            client.put(fctx, &cfg.bucket, &key, Bytes::from(blob.clone()))
+                        })
+                        .unwrap_or_else(|e| panic!("map coalesce failed: {}", e));
+                        offsets.lock()[m] = table;
+                    }
+                }
+                *map_bytes.lock() += written;
+            })
+        }));
+    }
+    run_phase(ctx, "map", cfg.task_attempts, &tasks)?;
+    let map_done = ctx.now();
+
+    // ---- Phase 2: reduce — gather, k-way merge, write runs. ----
+    ctx.sleep(cfg.orchestration);
+    let out_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
+    let run_infos: Arc<Mutex<Vec<Option<RunInfo>>>> = Arc::new(Mutex::new(vec![None; w]));
+    let offsets_snapshot: Arc<Vec<Vec<(u64, u64)>>> =
+        Arc::new(std::mem::take(&mut *offsets.lock()));
+    let mut tasks: Vec<TaskFactory> = Vec::new();
+    for j in 0..w {
+        let faas = Arc::clone(faas);
+        let store = Arc::clone(store);
+        let cfg = Arc::clone(&cfg);
+        let out_bytes = Arc::clone(&out_bytes);
+        let run_infos = Arc::clone(&run_infos);
+        let offsets = Arc::clone(&offsets_snapshot);
+        tasks.push(Box::new(move |ctx| {
+            let store = Arc::clone(&store);
+            let cfg = Arc::clone(&cfg);
+            let out_bytes = Arc::clone(&out_bytes);
+            let run_infos = Arc::clone(&run_infos);
+            let offsets = Arc::clone(&offsets);
+            faas.invoke_async(ctx, "reduce", format!("{}/reduce", cfg.tag), move |fctx, env| {
+                let client = store.connect_via(fctx, format!("{}/reduce", cfg.tag), &[env.nic]);
+                let mut runs: Vec<Vec<R>> = Vec::with_capacity(w);
+                let mut gathered = 0usize;
+                for m in 0..w {
+                    let data = match cfg.exchange {
+                        ExchangeStrategy::Scatter => {
+                            let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
+                            with_retry(cfg.retries, || client.get(fctx, &cfg.bucket, &key))
+                                .unwrap_or_else(|e| panic!("reduce gather failed: {}", e))
+                        }
+                        ExchangeStrategy::Coalesced => {
+                            let (off, len) = offsets[m][j];
+                            let key = format!("{}{:05}", cfg.part_prefix, m);
+                            if len == 0 {
+                                Bytes::new()
+                            } else {
+                                with_retry(cfg.retries, || {
+                                    client.get_range(fctx, &cfg.bucket, &key, off, len)
+                                })
+                                .unwrap_or_else(|e| panic!("reduce range gather failed: {}", e))
+                            }
+                        }
+                    };
+                    gathered += data.len();
+                    runs.push(
+                        SortRecord::read_all(&data)
+                            .unwrap_or_else(|e| panic!("reduce decode failed: {}", e)),
+                    );
+                }
+                env.compute(fctx, cfg.work.merge_time(gathered));
+                let merged = kway_merge(runs);
+                let data = SortRecord::write_all(&merged);
+                *out_bytes.lock() += data.len() as u64;
+                let key = format!("{}{:05}", cfg.output_prefix, j);
+                run_infos.lock()[j] = Some(RunInfo {
+                    key: key.clone(),
+                    records: merged.len() as u64,
+                    bytes: data.len() as u64,
+                });
+                with_retry(cfg.retries, || {
+                    client.put(fctx, &cfg.bucket, &key, Bytes::from(data.clone()))
+                })
+                .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
+            })
+        }));
+    }
+    run_phase(ctx, "reduce", cfg.task_attempts, &tasks)?;
+    let output_bytes = *out_bytes.lock();
+    if let Some(manifest_key) = &cfg.manifest_key {
+        let manifest = SortManifest {
+            operator: "serverless".to_string(),
+            workers: w,
+            input_bytes,
+            output_bytes,
+            runs: run_infos
+                .lock()
+                .iter()
+                .flatten()
+                .cloned()
+                .collect(),
+        };
+        manifest.write(ctx, &driver, &cfg.bucket, manifest_key)?;
+    }
+    let finished = ctx.now();
+
+    Ok(SortStats {
+        workers: w,
+        input_bytes,
+        output_bytes,
+        runs: (0..w).map(|j| format!("{}{:05}", cfg.output_prefix, j)).collect(),
+        sample_duration: sample_done.saturating_duration_since(started),
+        map_duration: map_done.saturating_duration_since(sample_done),
+        reduce_duration: finished.saturating_duration_since(map_done),
+        started,
+        finished,
+    })
+}
+
+/// Splits the input objects into `w` equal, record-aligned byte spans:
+/// mapper `m` receives a list of `(key, offset, len)` range reads. Spans
+/// never split a record (all lengths are multiples of `record_size`).
+fn assign_spans(
+    inputs: &[faaspipe_store::ObjectSummary],
+    w: usize,
+    record_size: u64,
+) -> Vec<Vec<(String, u64, u64)>> {
+    let total: u64 = inputs.iter().map(|o| o.len.as_u64()).sum();
+    let total_records = total / record_size;
+    let per = total_records.div_ceil(w as u64).max(1) * record_size;
+    let mut spans: Vec<Vec<(String, u64, u64)>> = vec![Vec::new(); w];
+    let mut global = 0u64;
+    for obj in inputs {
+        let len = obj.len.as_u64() - obj.len.as_u64() % record_size;
+        let mut off = 0u64;
+        while off < len {
+            let m = ((global / per) as usize).min(w - 1);
+            let room = per - global % per;
+            let take = room.min(len - off);
+            spans[m].push((obj.key.clone(), off, take));
+            off += take;
+            global += take;
+        }
+    }
+    spans
+}
+
+/// Per-mapper `(offset, length)` tables for the coalesced exchange.
+type SharedOffsets = Arc<Mutex<Vec<Vec<(u64, u64)>>>>;
+
+/// A re-invocable task: every call spawns a fresh invocation of the same
+/// work (all captured state is shared and idempotent).
+type TaskFactory = Box<dyn Fn(&Ctx) -> faaspipe_des::ProcessId>;
+
+/// Spawns every task, joins them, and re-invokes crashed tasks up to
+/// `attempts` total tries each — the Lithops-style task retry that makes
+/// the operator survive injected invocation failures.
+fn run_phase(
+    ctx: &Ctx,
+    phase: &'static str,
+    attempts: u32,
+    tasks: &[TaskFactory],
+) -> Result<(), ShuffleError> {
+    let attempts = attempts.max(1);
+    let mut pending: Vec<(usize, faaspipe_des::ProcessId)> = tasks
+        .iter()
+        .enumerate()
+        .map(|(i, spawn)| (i, spawn(ctx)))
+        .collect();
+    let mut last_error = String::new();
+    for attempt in 1..=attempts {
+        let mut failed = Vec::new();
+        for (i, pid) in pending.drain(..) {
+            if let Err(e) = ctx.join(pid) {
+                last_error = e.to_string();
+                failed.push(i);
+            }
+        }
+        if failed.is_empty() {
+            return Ok(());
+        }
+        if attempt < attempts {
+            pending = failed.into_iter().map(|i| (i, tasks[i](ctx))).collect();
+        }
+    }
+    Err(ShuffleError::TaskFailed {
+        phase,
+        message: last_error,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::type_complexity)]
+mod tests {
+    use super::*;
+    use faaspipe_des::Sim;
+    use faaspipe_faas::FaasConfig;
+    use faaspipe_store::StoreConfig;
+
+    fn upload_chunks(
+        sim: &mut Sim,
+        store: &Arc<ObjectStore>,
+        values: &[u64],
+        chunks: usize,
+    ) {
+        store.create_bucket("data").expect("bucket");
+        let per = values.len().div_ceil(chunks);
+        let store = Arc::clone(store);
+        let values = values.to_vec();
+        sim.spawn("uploader", move |ctx| {
+            let client = store.connect(ctx, "upload");
+            for (i, chunk) in values.chunks(per).enumerate() {
+                let data = SortRecord::write_all(chunk);
+                client
+                    .put(ctx, "data", &format!("in/{:04}", i), Bytes::from(data))
+                    .expect("upload");
+            }
+        });
+    }
+
+    fn run_sort(
+        values: Vec<u64>,
+        chunks: usize,
+        workers: usize,
+    ) -> (Vec<u64>, SortStats, Arc<ObjectStore>) {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        upload_chunks(&mut sim, &store, &values, chunks);
+        let result: Arc<Mutex<Option<(Vec<u64>, SortStats)>>> = Arc::new(Mutex::new(None));
+        let store2 = Arc::clone(&store);
+        let result2 = Arc::clone(&result);
+        sim.spawn("driver", move |ctx| {
+            // Let the uploader finish first.
+            ctx.sleep(SimDuration::from_secs(120));
+            let cfg = SortConfig {
+                workers,
+                ..SortConfig::default()
+            };
+            let stats =
+                serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort succeeds");
+            // Gather all runs in order and check global order.
+            let client = store2.connect(ctx, "verify");
+            let mut all = Vec::new();
+            for run in &stats.runs {
+                let data = client.get(ctx, "data", run).expect("run exists");
+                let mut records: Vec<u64> = SortRecord::read_all(&data).expect("decode");
+                all.append(&mut records);
+            }
+            *result2.lock() = Some((all, stats));
+        });
+        sim.run().expect("sim ok");
+        let (all, stats) = result.lock().take().expect("driver ran");
+        (all, stats, store)
+    }
+
+    #[test]
+    fn sorts_small_dataset_globally() {
+        let mut values: Vec<u64> = (0..4_000u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let (sorted, stats, _) = run_sort(values.clone(), 4, 4);
+        values.sort_unstable();
+        assert_eq!(sorted, values, "output must be the sorted input");
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.output_bytes, 4_000 * 8);
+    }
+
+    #[test]
+    fn single_worker_degenerate_case() {
+        let values: Vec<u64> = (0..500u64).rev().collect();
+        let (sorted, stats, _) = run_sort(values, 2, 1);
+        assert_eq!(sorted, (0..500u64).collect::<Vec<_>>());
+        assert_eq!(stats.runs.len(), 1);
+    }
+
+    #[test]
+    fn more_workers_than_chunks() {
+        let values: Vec<u64> = (0..2_000u64).map(|i| 2_000 - i).collect();
+        let (sorted, _, _) = run_sort(values, 2, 8);
+        assert_eq!(sorted, (1..=2_000u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicate_keys_preserved() {
+        let values: Vec<u64> = (0..3_000u64).map(|i| i % 7).collect();
+        let (sorted, _, _) = run_sort(values.clone(), 3, 4);
+        let mut expect = values;
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn phase_durations_are_positive_and_ordered() {
+        let values: Vec<u64> = (0..5_000u64).rev().collect();
+        let (_, stats, _) = run_sort(values, 4, 4);
+        assert!(stats.sample_duration > SimDuration::ZERO);
+        assert!(stats.map_duration > SimDuration::ZERO);
+        assert!(stats.reduce_duration > SimDuration::ZERO);
+        assert_eq!(
+            stats.total_duration(),
+            stats.sample_duration + stats.map_duration + stats.reduce_duration
+        );
+    }
+
+    #[test]
+    fn intermediate_objects_are_w_squared(){
+        let values: Vec<u64> = (0..2_000u64).rev().collect();
+        let (_, _, store) = run_sort(values, 4, 4);
+        // part/{m}/{j}: 16 objects.
+        let count = (0..4)
+            .flat_map(|m| (0..4).map(move |j| (m, j)))
+            .filter(|(m, j)| {
+                store
+                    .peek("data", &format!("part/{:05}/{:05}", m, j))
+                    .is_some()
+            })
+            .count();
+        assert_eq!(count, 16);
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        store.create_bucket("data").expect("bucket");
+        sim.spawn("driver", move |ctx| {
+            let cfg = SortConfig {
+                workers: 0,
+                ..SortConfig::default()
+            };
+            let err = serverless_sort::<u64>(ctx, &faas, &store, &cfg).expect_err("bad cfg");
+            assert!(matches!(err, ShuffleError::BadConfig { .. }));
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn missing_inputs_rejected() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        store.create_bucket("data").expect("bucket");
+        sim.spawn("driver", move |ctx| {
+            let err = serverless_sort::<u64>(ctx, &faas, &store, &SortConfig::default())
+                .expect_err("no inputs");
+            assert!(matches!(err, ShuffleError::BadConfig { .. }));
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn survives_injected_store_faults_with_retries() {
+        use faaspipe_store::FailurePolicy;
+        let mut sim = Sim::new();
+        let cfg = StoreConfig::default().with_failure(FailurePolicy::with_error_rate(0.05));
+        let store = ObjectStore::install(&mut sim, cfg);
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        let values: Vec<u64> = (0..3_000u64).rev().collect();
+        upload_chunks(&mut sim, &store, &values, 4);
+        let ok = Arc::new(Mutex::new(false));
+        let ok2 = Arc::clone(&ok);
+        let store2 = Arc::clone(&store);
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(300));
+            let cfg = SortConfig {
+                workers: 4,
+                retries: 12,
+                ..SortConfig::default()
+            };
+            let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg)
+                .expect("sort survives 5% faults with retries");
+            assert_eq!(stats.output_bytes, 3_000 * 8);
+            *ok2.lock() = true;
+        });
+        sim.run().expect("sim ok");
+        assert!(*ok.lock());
+    }
+
+    #[test]
+    fn spans_cover_everything_exactly_once_and_balance() {
+        use faaspipe_des::{ByteSize, SimTime};
+        use faaspipe_store::ObjectSummary;
+        let inputs: Vec<ObjectSummary> = [800u64, 160, 2_400, 8]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| ObjectSummary {
+                key: format!("in/{}", i),
+                len: ByteSize::new(len),
+                etag: 0,
+                created: SimTime::ZERO,
+            })
+            .collect();
+        let w = 7;
+        let spans = assign_spans(&inputs, w, 8);
+        // Coverage: per key, spans are contiguous from 0 and record-aligned.
+        let mut covered = std::collections::HashMap::new();
+        for mapper in &spans {
+            for (key, off, len) in mapper {
+                assert_eq!(off % 8, 0);
+                assert_eq!(len % 8, 0);
+                assert!(*len > 0);
+                covered
+                    .entry(key.clone())
+                    .or_insert_with(Vec::new)
+                    .push((*off, *len));
+            }
+        }
+        for obj in &inputs {
+            let mut ranges = covered.remove(&obj.key).unwrap_or_default();
+            ranges.sort_unstable();
+            let mut cursor = 0u64;
+            for (off, len) in ranges {
+                assert_eq!(off, cursor, "no gaps/overlaps in {}", obj.key);
+                cursor += len;
+            }
+            assert_eq!(cursor, obj.len.as_u64(), "full coverage of {}", obj.key);
+        }
+        // Balance: no mapper holds more than ceil(total/w) + one record.
+        let total: u64 = inputs.iter().map(|o| o.len.as_u64()).sum();
+        let per = (total / 8).div_ceil(w as u64) * 8;
+        for mapper in &spans {
+            let bytes: u64 = mapper.iter().map(|(_, _, l)| l).sum();
+            assert!(bytes <= per, "mapper holds {} > {}", bytes, per);
+        }
+    }
+
+    #[test]
+    fn map_parallelism_exceeds_chunk_count() {
+        // 16 workers over 2 chunks: byte-range assignment must give every
+        // mapper work (the old chunk-granular assignment gave 2).
+        let values: Vec<u64> = (0..4_000u64).rev().collect();
+        let (sorted, stats, store) = run_sort(values, 2, 16);
+        assert_eq!(sorted, (0..4_000u64).collect::<Vec<_>>());
+        assert_eq!(stats.workers, 16);
+        // Every mapper wrote a partition row (scatter mode).
+        for m in 0..16 {
+            assert!(
+                store.peek("data", &format!("part/{:05}/{:05}", m, 0)).is_some(),
+                "mapper {} must have participated",
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_describes_the_runs() {
+        let values: Vec<u64> = (0..2_000u64).rev().collect();
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        upload_chunks(&mut sim, &store, &values, 4);
+        let store2 = Arc::clone(&store);
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(120));
+            let cfg = SortConfig {
+                workers: 4,
+                manifest_key: Some("out/_manifest.json".to_string()),
+                ..SortConfig::default()
+            };
+            serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort");
+            let client = store2.connect(ctx, "verify");
+            let manifest = SortManifest::read(ctx, &client, "data", "out/_manifest.json")
+                .expect("manifest readable");
+            assert_eq!(manifest.operator, "serverless");
+            assert_eq!(manifest.workers, 4);
+            assert_eq!(manifest.total_records(), 2_000);
+            assert_eq!(manifest.runs.len(), 4);
+            assert_eq!(manifest.output_bytes, 2_000 * 8);
+            // Every run the manifest names exists with the declared size.
+            for run in &manifest.runs {
+                let data = client.get(ctx, "data", &run.key).expect("run exists");
+                assert_eq!(data.len() as u64, run.bytes);
+            }
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn survives_injected_function_crashes_with_task_retries() {
+        // 40% of invocations crash before user code; task-level
+        // re-invocation must still complete the sort correctly.
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(
+            &mut sim,
+            FaasConfig::default().with_failure_rate(0.4),
+        );
+        let values: Vec<u64> = (0..3_000u64).rev().collect();
+        upload_chunks(&mut sim, &store, &values, 4);
+        let ok = Arc::new(Mutex::new(false));
+        let ok2 = Arc::clone(&ok);
+        let store2 = Arc::clone(&store);
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(300));
+            let cfg = SortConfig {
+                workers: 4,
+                task_attempts: 12,
+                ..SortConfig::default()
+            };
+            let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg)
+                .expect("sort survives crashing functions");
+            let client = store2.connect(ctx, "verify");
+            let mut all = Vec::new();
+            for run in &stats.runs {
+                let data = client.get(ctx, "data", run).expect("run exists");
+                let mut records: Vec<u64> = SortRecord::read_all(&data).expect("decode");
+                all.append(&mut records);
+            }
+            assert_eq!(all, (0..3_000u64).collect::<Vec<_>>());
+            *ok2.lock() = true;
+        });
+        sim.run().expect("sim ok");
+        assert!(*ok.lock());
+    }
+
+    #[test]
+    fn exhausted_task_attempts_surface_as_task_failed() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(
+            &mut sim,
+            FaasConfig::default().with_failure_rate(1.0), // always crash
+        );
+        let values: Vec<u64> = (0..500u64).collect();
+        upload_chunks(&mut sim, &store, &values, 2);
+        let saw = Arc::new(Mutex::new(false));
+        let saw2 = Arc::clone(&saw);
+        let store2 = Arc::clone(&store);
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(60));
+            let cfg = SortConfig {
+                workers: 2,
+                task_attempts: 3,
+                ..SortConfig::default()
+            };
+            let err = serverless_sort::<u64>(ctx, &faas, &store2, &cfg)
+                .expect_err("certain crashes must exhaust retries");
+            assert!(matches!(err, ShuffleError::TaskFailed { phase: "sample", .. }));
+            *saw2.lock() = true;
+        });
+        sim.run().expect("sim ok");
+        assert!(*saw.lock());
+    }
+
+    #[test]
+    fn kway_merge_correctness() {
+        let runs: Vec<Vec<u64>> = vec![vec![1, 4, 7], vec![2, 5, 8], vec![0, 3, 6, 9, 10]];
+        assert_eq!(kway_merge(runs), (0..=10).collect::<Vec<_>>());
+        assert_eq!(kway_merge::<u64>(vec![]), Vec::<u64>::new());
+        assert_eq!(kway_merge(vec![vec![], vec![5u64], vec![]]), vec![5]);
+    }
+
+    #[test]
+    fn coalesced_exchange_sorts_identically() {
+        let values: Vec<u64> = (0..4_000u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        // Run with the coalesced strategy through the same harness.
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+        upload_chunks(&mut sim, &store, &values, 4);
+        let result: Arc<Mutex<Option<(Vec<u64>, SortStats)>>> = Arc::new(Mutex::new(None));
+        let store2 = Arc::clone(&store);
+        let result2 = Arc::clone(&result);
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(120));
+            let cfg = SortConfig {
+                workers: 4,
+                exchange: ExchangeStrategy::Coalesced,
+                ..SortConfig::default()
+            };
+            let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort");
+            let client = store2.connect(ctx, "verify");
+            let mut all = Vec::new();
+            for run in &stats.runs {
+                let data = client.get(ctx, "data", run).expect("run exists");
+                let mut records: Vec<u64> = SortRecord::read_all(&data).expect("decode");
+                all.append(&mut records);
+            }
+            *result2.lock() = Some((all, stats));
+        });
+        sim.run().expect("sim ok");
+        let (sorted, _) = result.lock().take().expect("driver ran");
+        assert_eq!(sorted, expect);
+        // One coalesced object per mapper, not W^2 scatter objects.
+        assert!(store.peek("data", "part/00000").is_some());
+        assert!(store.peek("data", "part/00000/00000").is_none());
+    }
+
+    #[test]
+    fn coalesced_exchange_issues_fewer_class_a_requests() {
+        fn class_a(exchange: ExchangeStrategy) -> u64 {
+            let values: Vec<u64> = (0..2_000u64).rev().collect();
+            let mut sim = Sim::new();
+            let store = ObjectStore::install(&mut sim, StoreConfig::default());
+            let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+            upload_chunks(&mut sim, &store, &values, 4);
+            let store2 = Arc::clone(&store);
+            sim.spawn("driver", move |ctx| {
+                ctx.sleep(SimDuration::from_secs(120));
+                let cfg = SortConfig {
+                    workers: 8,
+                    exchange,
+                    ..SortConfig::default()
+                };
+                serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort");
+            });
+            sim.run().expect("sim ok");
+            store.metrics().total().class_a
+        }
+        let scatter = class_a(ExchangeStrategy::Scatter);
+        let coalesced = class_a(ExchangeStrategy::Coalesced);
+        // Scatter: 64 partition PUTs; coalesced: 8. The other class-A
+        // requests (runs, lists) are identical.
+        assert_eq!(scatter - coalesced, 8 * 8 - 8);
+    }
+
+    #[test]
+    fn retry_helper_gives_up_after_attempts() {
+        let mut calls = 0;
+        let result: Result<(), StoreError> = with_retry(3, || {
+            calls += 1;
+            Err(StoreError::Injected { op: "GET" })
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 3);
+        // Non-injected errors do not retry.
+        let mut calls = 0;
+        let result: Result<(), StoreError> = with_retry(3, || {
+            calls += 1;
+            Err(StoreError::NoSuchKey {
+                bucket: "b".into(),
+                key: "k".into(),
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1);
+    }
+}

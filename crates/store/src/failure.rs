@@ -1,0 +1,139 @@
+//! Fault injection for the object store.
+
+use rand::Rng;
+
+/// Probabilistic fault injection applied to every request.
+///
+/// Used by failure-injection tests and the resilience experiments: a
+/// request may fail outright (the client sees
+/// [`StoreError::Injected`](crate::StoreError::Injected)) or be slowed
+/// down by a multiplicative factor on its first-byte latency.
+#[derive(Debug, Clone)]
+pub struct FailurePolicy {
+    /// Probability in `[0, 1]` that a request fails.
+    pub error_rate: f64,
+    /// Probability in `[0, 1]` that a request is slowed down.
+    pub slow_rate: f64,
+    /// Latency multiplier applied to slowed requests.
+    pub slow_factor: f64,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            error_rate: 0.0,
+            slow_rate: 0.0,
+            slow_factor: 1.0,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// A policy that never injects faults.
+    pub fn none() -> Self {
+        FailurePolicy::default()
+    }
+
+    /// A policy failing requests with probability `rate`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]`.
+    pub fn with_error_rate(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "error_rate must be in [0,1]");
+        FailurePolicy {
+            error_rate: rate,
+            ..FailurePolicy::default()
+        }
+    }
+
+    /// A policy slowing requests with probability `rate` by `factor`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is outside `[0, 1]` or `factor < 1`.
+    pub fn with_slowdown(rate: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "slow_rate must be in [0,1]");
+        assert!(factor >= 1.0, "slow_factor must be >= 1");
+        FailurePolicy {
+            slow_rate: rate,
+            slow_factor: factor,
+            ..FailurePolicy::default()
+        }
+    }
+
+    /// Whether any fault can ever fire (fast path check).
+    pub fn is_active(&self) -> bool {
+        self.error_rate > 0.0 || self.slow_rate > 0.0
+    }
+
+    /// Draws the fate of one request.
+    pub fn draw(&self, rng: &mut impl Rng) -> Fate {
+        if !self.is_active() {
+            return Fate::Ok;
+        }
+        if self.error_rate > 0.0 && rng.gen::<f64>() < self.error_rate {
+            return Fate::Fail;
+        }
+        if self.slow_rate > 0.0 && rng.gen::<f64>() < self.slow_rate {
+            return Fate::Slow(self.slow_factor);
+        }
+        Fate::Ok
+    }
+}
+
+/// Outcome drawn for a single request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fate {
+    /// Proceed normally.
+    Ok,
+    /// Fail with an injected error.
+    Fail,
+    /// Proceed with first-byte latency multiplied by the factor.
+    Slow(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn inactive_policy_never_fails() {
+        let p = FailurePolicy::none();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(p.draw(&mut rng), Fate::Ok);
+        }
+    }
+
+    #[test]
+    fn full_error_rate_always_fails() {
+        let p = FailurePolicy::with_error_rate(1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(p.draw(&mut rng), Fate::Fail);
+        }
+    }
+
+    #[test]
+    fn slowdown_distribution_roughly_matches_rate() {
+        let p = FailurePolicy::with_slowdown(0.5, 3.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let slow = (0..10_000)
+            .filter(|_| matches!(p.draw(&mut rng), Fate::Slow(_)))
+            .count();
+        assert!((4_000..6_000).contains(&slow), "got {}", slow);
+    }
+
+    #[test]
+    #[should_panic(expected = "error_rate")]
+    fn rejects_bad_rate() {
+        FailurePolicy::with_error_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "slow_factor")]
+    fn rejects_bad_factor() {
+        FailurePolicy::with_slowdown(0.5, 0.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Objects, buckets, and related value types.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use faaspipe_des::{ByteSize, SimTime};
+
+/// FNV-1a 64-bit hash used for ETags (stable, dependency-free).
+pub(crate) fn etag_of(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// A stored object.
+#[derive(Debug, Clone)]
+pub(crate) struct Object {
+    pub data: Bytes,
+    pub etag: u64,
+    pub created: SimTime,
+}
+
+/// A bucket: an ordered key → object map plus in-flight multipart uploads.
+#[derive(Debug, Default)]
+pub(crate) struct Bucket {
+    pub objects: BTreeMap<String, Object>,
+    pub uploads: BTreeMap<u64, PartialUpload>,
+}
+
+/// An in-progress multipart upload.
+#[derive(Debug, Default)]
+pub(crate) struct PartialUpload {
+    pub key: String,
+    pub parts: BTreeMap<u32, Bytes>,
+}
+
+/// Result of a successful PUT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutResult {
+    /// Content hash of the stored object.
+    pub etag: u64,
+    /// Real (unscaled) stored size.
+    pub len: ByteSize,
+}
+
+/// Listing entry returned by `list`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectSummary {
+    /// Object key.
+    pub key: String,
+    /// Real (unscaled) stored size.
+    pub len: ByteSize,
+    /// Content hash.
+    pub etag: u64,
+    /// Virtual time the object was written.
+    pub created: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn etag_distinguishes_content() {
+        assert_ne!(etag_of(b"abc"), etag_of(b"abd"));
+        assert_eq!(etag_of(b"abc"), etag_of(b"abc"));
+        assert_ne!(etag_of(b""), etag_of(b"\0"));
+    }
+
+    #[test]
+    fn etag_known_vector() {
+        // FNV-1a 64 of empty input is the offset basis.
+        assert_eq!(etag_of(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

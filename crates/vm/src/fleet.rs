@@ -1,0 +1,196 @@
+//! VM provisioning, execution helpers, and billing records.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use faaspipe_des::{Ctx, LinkId, SimDuration, SimTime};
+
+use crate::profile::VmProfile;
+
+/// Billing span of one VM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmRecord {
+    /// Instance id within the fleet.
+    pub id: u64,
+    /// Profile provisioned.
+    pub profile: VmProfile,
+    /// When provisioning was requested (billing starts here).
+    pub requested: SimTime,
+    /// When the instance became usable.
+    pub ready: SimTime,
+    /// When the instance was released; `None` while still running.
+    pub released: Option<SimTime>,
+}
+
+impl VmRecord {
+    /// Billed wall-clock (request → release). Unreleased VMs bill to
+    /// `upto`.
+    pub fn billed_duration(&self, upto: SimTime) -> SimDuration {
+        self.released
+            .unwrap_or(upto)
+            .saturating_duration_since(self.requested)
+    }
+}
+
+/// A provisioned, usable VM.
+#[derive(Debug)]
+pub struct VmInstance {
+    /// Instance id within the fleet.
+    pub id: u64,
+    /// Profile of this instance.
+    pub profile: VmProfile,
+    /// The VM's single NIC link; pass it to
+    /// `ObjectStore::connect_via` so store traffic contends for it.
+    pub nic: LinkId,
+}
+
+impl VmInstance {
+    /// Charges single-threaded compute time.
+    pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
+        ctx.compute(work);
+    }
+
+    /// Charges `work` of single-vCPU compute parallelised across
+    /// `threads` threads, with the profile's parallel efficiency.
+    pub fn compute_parallel(&self, ctx: &Ctx, work: SimDuration, threads: u32) {
+        ctx.compute(work.mul_f64(1.0 / self.profile.speedup(threads)));
+    }
+}
+
+/// A fleet of VMs: the provisioning front-end plus billing records.
+///
+/// Cheap to clone (`Arc` inside); see the [crate docs](crate) for an
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct VmFleet {
+    inner: Arc<FleetInner>,
+}
+
+#[derive(Debug, Default)]
+struct FleetInner {
+    next_id: AtomicU64,
+    records: Mutex<Vec<VmRecord>>,
+}
+
+impl VmFleet {
+    /// Creates an empty fleet.
+    pub fn new() -> VmFleet {
+        VmFleet::default()
+    }
+
+    /// Provisions an instance, blocking the calling process for the
+    /// profile's provisioning delay. Billing starts at the request.
+    pub fn provision(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
+        let requested = ctx.now();
+        ctx.sleep(profile.provisioning);
+        let nic = ctx.link_create(profile.nic_bw);
+        let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        self.inner.records.lock().push(VmRecord {
+            id,
+            profile: profile.clone(),
+            requested,
+            ready: ctx.now(),
+            released: None,
+        });
+        VmInstance { id, profile, nic }
+    }
+
+    /// Releases an instance, ending its billing span.
+    ///
+    /// # Panics
+    /// Panics if the instance was already released (double release is a
+    /// billing bug).
+    pub fn release(&self, ctx: &Ctx, vm: VmInstance) {
+        let mut records = self.inner.records.lock();
+        let rec = records
+            .iter_mut()
+            .find(|r| r.id == vm.id)
+            .expect("released VM must have a record");
+        assert!(rec.released.is_none(), "VM {} released twice", vm.id);
+        rec.released = Some(ctx.now());
+    }
+
+    /// Snapshot of all VM billing records.
+    pub fn records(&self) -> Vec<VmRecord> {
+        self.inner.records.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::Sim;
+
+    #[test]
+    fn provision_charges_boot_time_and_bills_from_request() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(10));
+            let vm = f.provision(ctx, VmProfile::bx2_8x32());
+            assert_eq!(ctx.now().as_secs_f64(), 10.0 + 44.0);
+            ctx.sleep(SimDuration::from_secs(5));
+            f.release(ctx, vm);
+        });
+        sim.run().expect("run");
+        let rec = &fleet.records()[0];
+        assert_eq!(rec.requested.as_secs_f64(), 10.0);
+        assert_eq!(rec.ready.as_secs_f64(), 54.0);
+        assert_eq!(
+            rec.billed_duration(SimTime::MAX),
+            SimDuration::from_secs(49)
+        );
+    }
+
+    #[test]
+    fn unreleased_vm_bills_to_checkpoint() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            let _vm = f.provision(ctx, VmProfile::bx2_4x16());
+            ctx.sleep(SimDuration::from_secs(8));
+        });
+        sim.run().expect("run");
+        let rec = &fleet.records()[0];
+        assert!(rec.released.is_none());
+        let at = SimTime::ZERO + SimDuration::from_secs(60);
+        assert_eq!(rec.billed_duration(at), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn compute_parallel_uses_profile_speedup() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            let vm = f.provision(ctx, VmProfile::bx2_8x32());
+            let before = ctx.now();
+            vm.compute_parallel(ctx, SimDuration::from_secs(656), 8);
+            let took = ctx.now().saturating_duration_since(before).as_secs_f64();
+            // 656 s / (8 * 0.82) = 100 s.
+            assert!((took - 100.0).abs() < 1e-6);
+            f.release(ctx, vm);
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn fleet_ids_are_unique() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            let a = f.provision(ctx, VmProfile::bx2_4x16());
+            let b = f.provision(ctx, VmProfile::bx2_4x16());
+            assert_ne!(a.id, b.id);
+            f.release(ctx, a);
+            f.release(ctx, b);
+        });
+        sim.run().expect("run");
+        assert_eq!(fleet.records().len(), 2);
+    }
+}

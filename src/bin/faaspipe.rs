@@ -1,0 +1,329 @@
+//! The `faaspipe` command-line tool.
+//!
+//! ```text
+//! faaspipe table1 [--records N]           reproduce the paper's Table 1
+//! faaspipe run <spec.json> [--records N] [--seed S]
+//!                                         execute a JSON workflow spec
+//! faaspipe synth --records N --out F      generate synthetic WGBS bedMethyl
+//! faaspipe compress <in.bed> <out.mc>     METHCOMP-compress a bedMethyl file
+//! faaspipe decompress <in.mc> <out.bed>   decompress a METHCOMP archive
+//! faaspipe tune --gb X [--chunks N]       recommend a shuffle worker count
+//! ```
+//!
+//! Exit status is non-zero on any error; messages go to stderr.
+
+use std::process::ExitCode;
+
+use bytes::Bytes;
+
+use faaspipe::core::executor::{Executor, Services};
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe::core::pricing::PriceBook;
+use faaspipe::core::report::{render_table1, Table1Row};
+use faaspipe::core::spec::PipelineSpec;
+use faaspipe::core::tracker::Tracker;
+use faaspipe::des::Sim;
+use faaspipe::faas::{FaasConfig, FunctionPlatform};
+use faaspipe::methcomp::codec as mc;
+use faaspipe::methcomp::synth::Synthesizer;
+use faaspipe::methcomp::Dataset;
+use faaspipe::shuffle::{SortRecord, TuningModel, TuningPrices, WorkModel};
+use faaspipe::store::{ObjectStore, StoreConfig};
+use faaspipe::vm::VmFleet;
+
+const USAGE: &str = "usage:
+  faaspipe table1 [--records N]
+  faaspipe run <spec.json> [--records N] [--seed S]
+  faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
+  faaspipe compress <input.bed> <output.mc>
+  faaspipe decompress <input.mc> <output.bed>
+  faaspipe index <input.bed> <output.mcx>
+  faaspipe query <archive.mcx> <chrom> <start> <end>
+  faaspipe tune --gb <size> [--chunks N] [--max-workers N] [--budget $]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("table1") => cmd_table1(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("decompress") => cmd_decompress(&args[1..]),
+        Some("index") => cmd_index(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("tune") => cmd_tune(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            println!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{}'\n{}", other, USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {}", message);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls `--flag value` out of an argument list.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value '{}' for {}", v, name)),
+    }
+}
+
+fn cmd_table1(args: &[String]) -> Result<(), String> {
+    let records: usize = flag_parse(args, "--records", 150_000)?;
+    let mut rows = Vec::new();
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = mode;
+        cfg.physical_records = records;
+        let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
+        eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);
+        rows.push(Table1Row::from_outcome(&outcome));
+    }
+    println!("{}", render_table1(&rows));
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("run requires a spec file")?;
+    let records: usize = flag_parse(args, "--records", 50_000)?;
+    let seed: u64 = flag_parse(args, "--seed", 7)?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
+    let spec = PipelineSpec::from_json(&text).map_err(|e| e.to_string())?;
+    let dag = spec.to_dag().map_err(|e| e.to_string())?;
+
+    let mut sim = Sim::new();
+    let store = ObjectStore::install(&mut sim, StoreConfig::default());
+    let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+    let fleet = VmFleet::new();
+    store.create_bucket(&dag.bucket).map_err(|e| e.to_string())?;
+
+    // Stage synthetic input under the first stage's input prefix.
+    let input_prefix = match dag.stages().first().map(|s| &s.kind) {
+        Some(faaspipe::core::StageKind::ShuffleSort { input, .. })
+        | Some(faaspipe::core::StageKind::VmSort { input, .. })
+        | Some(faaspipe::core::StageKind::Encode { input, .. })
+        | Some(faaspipe::core::StageKind::Decode { input, .. }) => input.clone(),
+        None => return Err("workflow has no stages".into()),
+    };
+    let dataset = Synthesizer::new(seed).generate_shuffled(records);
+    let chunks = 8usize;
+    for (i, chunk) in dataset
+        .records
+        .chunks(records.div_ceil(chunks).max(1))
+        .enumerate()
+    {
+        store
+            .put_untimed(
+                &dag.bucket,
+                &format!("{}{:04}", input_prefix, i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
+            .map_err(|e| e.to_string())?;
+    }
+
+    let tracker = Tracker::new();
+    let executor = Executor::new(
+        Services {
+            store: store.clone(),
+            faas: faas.clone(),
+            fleet: fleet.clone(),
+        },
+        WorkModel::default(),
+        tracker.clone(),
+    );
+    let handle = executor.spawn_dag(&mut sim, &dag);
+    let report = sim.run().map_err(|e| e.to_string())?;
+    let results = handle.ok_results()?;
+    println!("{}", tracker.render());
+    for s in &results {
+        println!(
+            "stage '{}': {} ({} workers, {} output bytes)",
+            s.stage,
+            s.finished.saturating_duration_since(s.started),
+            s.workers_used,
+            s.output_bytes
+        );
+    }
+    let cost = PriceBook::default().assemble(
+        &faas.records(),
+        &store.metrics(),
+        &fleet.records(),
+        report.end_time,
+    );
+    println!("{}", cost.render());
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let records: usize = flag_parse(args, "--records", 0)?;
+    if records == 0 {
+        return Err("synth requires --records N".into());
+    }
+    let out = flag(args, "--out").ok_or("synth requires --out <file>")?;
+    let seed: u64 = flag_parse(args, "--seed", 7)?;
+    let shuffled = args.iter().any(|a| a == "--shuffled");
+    let mut synth = Synthesizer::new(seed);
+    let ds = if shuffled {
+        synth.generate_shuffled(records)
+    } else {
+        synth.generate_records(records)
+    };
+    std::fs::write(&out, ds.to_text()).map_err(|e| format!("{}: {}", out, e))?;
+    eprintln!("wrote {} records ({} bytes) to {}", ds.len(), ds.to_text().len(), out);
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> Result<(), String> {
+    let [input, output] = two_paths(args, "compress")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{}: {}", input, e))?;
+    let ds = Dataset::from_text(&text).map_err(|e| e.to_string())?;
+    let packed = mc::compress(&ds);
+    std::fs::write(&output, &packed).map_err(|e| format!("{}: {}", output, e))?;
+    eprintln!(
+        "{} records: {} -> {} bytes ({:.1}x)",
+        ds.len(),
+        text.len(),
+        packed.len(),
+        text.len() as f64 / packed.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_decompress(args: &[String]) -> Result<(), String> {
+    let [input, output] = two_paths(args, "decompress")?;
+    let packed = std::fs::read(&input).map_err(|e| format!("{}: {}", input, e))?;
+    let ds = mc::decompress(&packed).map_err(|e| e.to_string())?;
+    std::fs::write(&output, ds.to_text()).map_err(|e| format!("{}: {}", output, e))?;
+    eprintln!("restored {} records to {}", ds.len(), output);
+    Ok(())
+}
+
+fn cmd_index(args: &[String]) -> Result<(), String> {
+    let [input, output] = two_paths(args, "index")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("{}: {}", input, e))?;
+    let mut ds = Dataset::from_text(&text).map_err(|e| e.to_string())?;
+    ds.sort();
+    let packed = faaspipe::methcomp::index::compress_indexed(
+        &ds,
+        faaspipe::methcomp::index::DEFAULT_BLOCK_RECORDS,
+    )
+    .map_err(|e| e.to_string())?;
+    std::fs::write(&output, &packed).map_err(|e| format!("{}: {}", output, e))?;
+    let idx = faaspipe::methcomp::index::read_index(&packed).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} records in {} blocks: {} -> {} bytes ({:.1}x)",
+        ds.len(),
+        idx.blocks.len(),
+        text.len(),
+        packed.len(),
+        text.len() as f64 / packed.len() as f64
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [archive_path, chrom_name, start, end] = positional.as_slice() else {
+        return Err("query requires <archive.mcx> <chrom> <start> <end>".into());
+    };
+    let chrom = faaspipe::methcomp::bed::chrom_id(chrom_name)
+        .ok_or_else(|| format!("unknown chromosome '{}'", chrom_name))?;
+    let start: u64 = start.parse().map_err(|_| format!("bad start '{}'", start))?;
+    let end: u64 = end.parse().map_err(|_| format!("bad end '{}'", end))?;
+    let archive =
+        std::fs::read(archive_path.as_str()).map_err(|e| format!("{}: {}", archive_path, e))?;
+    let (hits, decoded) = faaspipe::methcomp::index::query_region(&archive, chrom, start, end)
+        .map_err(|e| e.to_string())?;
+    for r in &hits {
+        println!("{}", r.to_line());
+    }
+    eprintln!(
+        "{} records in {}:{}..{} ({} blocks decoded)",
+        hits.len(),
+        chrom_name,
+        start,
+        end,
+        decoded
+    );
+    Ok(())
+}
+
+fn two_paths(args: &[String], cmd: &str) -> Result<[String; 2], String> {
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match paths.as_slice() {
+        [a, b] => Ok([(*a).clone(), (*b).clone()]),
+        _ => Err(format!("{} requires <input> <output>", cmd)),
+    }
+}
+
+fn cmd_tune(args: &[String]) -> Result<(), String> {
+    let gb: f64 = flag_parse(args, "--gb", 0.0)?;
+    if gb <= 0.0 {
+        return Err("tune requires --gb <size>".into());
+    }
+    let chunks: usize = flag_parse(args, "--chunks", 8)?;
+    let max_workers: usize = flag_parse(args, "--max-workers", 128)?;
+    let store_cfg = StoreConfig::default();
+    let faas_cfg = FaasConfig::default();
+    let work = WorkModel::default();
+    let model = TuningModel {
+        data_bytes: gb * 1e9,
+        input_chunks: chunks,
+        request_latency_s: store_cfg.first_byte_latency.as_secs_f64(),
+        conn_bw: store_cfg.per_connection_bw.as_bytes_per_sec(),
+        agg_bw: store_cfg.aggregate_bw.as_bytes_per_sec(),
+        ops_per_sec: store_cfg.ops_per_sec,
+        startup_s: faas_cfg.cold_start.as_secs_f64(),
+        cpu_share: faas_cfg.cpu_share(),
+        sort_bps: work.sort_mibps * 1024.0 * 1024.0,
+        merge_bps: work.merge_mibps * 1024.0 * 1024.0,
+        max_workers,
+    };
+    let prices = TuningPrices::default();
+    let best = match flag(args, "--budget") {
+        None => model.best_workers(),
+        Some(v) => {
+            let budget: f64 = v
+                .parse()
+                .map_err(|_| format!("invalid value '{}' for --budget", v))?;
+            model.best_workers_under_budget(budget, &prices)
+        }
+    };
+    let b = model.breakdown(best);
+    println!(
+        "recommended workers for a {:.1} GB shuffle: {}",
+        gb, best
+    );
+    println!(
+        "modelled makespan {:.1}s (startup {:.1}, transfer {:.1}, requests {:.1}, compute {:.1})",
+        b.total_s(),
+        b.startup_s,
+        b.transfer_s,
+        b.request_s,
+        b.compute_s
+    );
+    println!("modelled cost ${:.4}", model.cost_with(best, &prices));
+    println!("pareto frontier (workers, latency s, cost $):");
+    for (w, l, c) in model.pareto(&prices) {
+        println!("  {:>4}  {:>7.1}  {:>8.4}", w, l, c);
+    }
+    Ok(())
+}

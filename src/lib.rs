@@ -1,0 +1,22 @@
+//! # faaspipe — serverless FaaS pipelines, object storage- vs VM-driven data exchange
+//!
+//! Umbrella crate re-exporting the whole workspace. See the README for the
+//! architecture overview and `DESIGN.md` for the paper-reproduction map.
+//!
+//! - [`des`] — deterministic discrete-event simulation kernel
+//! - [`store`] — simulated object storage (IBM COS stand-in)
+//! - [`faas`] — simulated cloud-functions platform
+//! - [`vm`] — simulated VM instances
+//! - [`codec`] — compression substrate (bit I/O, Huffman, LZ77, range coder)
+//! - [`methcomp`] — DNA-methylation BED model, synthesizer, and METHCOMP codec
+//! - [`shuffle`] — Primula-like serverless shuffle/sort operator
+//! - [`core`] — workflow DAGs, JSON pipeline specs, executor, tracker, pricing
+
+pub use faaspipe_codec as codec;
+pub use faaspipe_core as core;
+pub use faaspipe_des as des;
+pub use faaspipe_faas as faas;
+pub use faaspipe_methcomp as methcomp;
+pub use faaspipe_shuffle as shuffle;
+pub use faaspipe_store as store;
+pub use faaspipe_vm as vm;

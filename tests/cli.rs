@@ -1,0 +1,155 @@
+//! Integration tests of the `faaspipe` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_faaspipe"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("faaspipe-cli-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().arg("--help").output().expect("run");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn synth_compress_decompress_round_trip() {
+    let bed = tmp("rt.bed");
+    let mc = tmp("rt.mc");
+    let back = tmp("rt.back.bed");
+    let out = bin()
+        .args(["synth", "--records", "5000", "--out"])
+        .arg(&bed)
+        .args(["--seed", "3"])
+        .output()
+        .expect("synth");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin().arg("compress").arg(&bed).arg(&mc).output().expect("compress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let packed = std::fs::metadata(&mc).expect("archive").len();
+    let original = std::fs::metadata(&bed).expect("bed").len();
+    assert!(packed * 5 < original, "must compress well: {} vs {}", packed, original);
+
+    let out = bin().arg("decompress").arg(&mc).arg(&back).output().expect("decompress");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let a = std::fs::read(&bed).expect("bed");
+    let b = std::fs::read(&back).expect("back");
+    assert_eq!(a, b, "byte-exact text round trip");
+}
+
+#[test]
+fn compress_rejects_malformed_bed() {
+    let bad = tmp("bad.bed");
+    std::fs::write(&bad, "this is not bed\n").expect("write");
+    let out = bin()
+        .arg("compress")
+        .arg(&bad)
+        .arg(tmp("bad.mc"))
+        .output()
+        .expect("compress");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn index_and_query_round_trip() {
+    let bed = tmp("iq.bed");
+    let mcx = tmp("iq.mcx");
+    let out = bin()
+        .args(["synth", "--records", "20000", "--out"])
+        .arg(&bed)
+        .args(["--seed", "9"])
+        .output()
+        .expect("synth");
+    assert!(out.status.success());
+    let out = bin().arg("index").arg(&bed).arg(&mcx).output().expect("index");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("query")
+        .arg(&mcx)
+        .args(["chr1", "0", "400000"])
+        .output()
+        .expect("query");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let hits = text.lines().count();
+    assert!(hits > 0, "window must contain records");
+    assert!(text.lines().all(|l| l.starts_with("chr1\t")));
+    // Records are valid bedMethyl and inside the window.
+    for line in text.lines() {
+        let cols: Vec<&str> = line.split('\t').collect();
+        let start: u64 = cols[1].parse().expect("start");
+        assert!(start < 400_000);
+    }
+    // Unknown chromosome errors cleanly.
+    let out = bin()
+        .arg("query")
+        .arg(&mcx)
+        .args(["chrMT", "0", "10"])
+        .output()
+        .expect("query");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn tune_recommends_workers() {
+    let out = bin().args(["tune", "--gb", "3.5"]).output().expect("tune");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recommended workers"));
+    assert!(text.contains("modelled makespan"));
+}
+
+#[test]
+fn run_executes_a_spec_file() {
+    let spec = tmp("spec.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "cli-test", "bucket": "data",
+            "stages": [
+                { "name": "sort", "kind": "shuffle_sort", "workers": 2,
+                  "exchange": "coalesced", "input": "in/", "output": "sorted/" },
+                { "name": "encode", "kind": "encode", "codec": "methcomp",
+                  "workers": 2, "input": "sorted/", "output": "enc/",
+                  "deps": ["sort"] }
+            ]
+        }"#,
+    )
+    .expect("write spec");
+    let out = bin()
+        .arg("run")
+        .arg(&spec)
+        .args(["--records", "4000"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("stage 'sort'"));
+    assert!(text.contains("stage 'encode'"));
+    assert!(text.contains("TOTAL"));
+}
+
+#[test]
+fn run_rejects_bad_spec() {
+    let spec = tmp("bad-spec.json");
+    std::fs::write(&spec, "{\"name\": \"x\"").expect("write");
+    let out = bin().arg("run").arg(&spec).output().expect("run");
+    assert!(!out.status.success());
+}

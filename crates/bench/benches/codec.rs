@@ -32,7 +32,9 @@ fn bench_methcomp(c: &mut Criterion) {
     let packed = mc::compress(&ds);
     let mut g = c.benchmark_group("methcomp");
     g.throughput(Throughput::Bytes(text.len() as u64));
-    g.bench_function("compress_bed_1mb", |b| b.iter(|| mc::compress(black_box(&ds))));
+    g.bench_function("compress_bed_1mb", |b| {
+        b.iter(|| mc::compress(black_box(&ds)))
+    });
     g.bench_function("decompress_bed_1mb", |b| {
         b.iter(|| mc::decompress(black_box(&packed)).expect("round trip"))
     });
@@ -40,7 +42,9 @@ fn bench_methcomp(c: &mut Criterion) {
 }
 
 fn bench_huffman(c: &mut Criterion) {
-    let freqs: Vec<u64> = (0..286u64).map(|i| 1 + (i * 2_654_435_761) % 10_000).collect();
+    let freqs: Vec<u64> = (0..286u64)
+        .map(|i| 1 + (i * 2_654_435_761) % 10_000)
+        .collect();
     c.bench_function("huffman/build_lengths_286", |b| {
         b.iter(|| huffman::build_lengths(black_box(&freqs), 15))
     });

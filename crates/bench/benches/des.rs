@@ -69,5 +69,10 @@ fn bench_flow_recompute(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_process_churn, bench_flow_recompute);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_process_churn,
+    bench_flow_recompute
+);
 criterion_main!(benches);

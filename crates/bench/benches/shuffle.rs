@@ -9,7 +9,9 @@ use faaspipe_methcomp::MethRecord;
 use faaspipe_shuffle::{RangePartitioner, SortRecord, TuningModel};
 
 fn bench_partitioner(c: &mut Criterion) {
-    let keys: Vec<u64> = (0..100_000u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+    let keys: Vec<u64> = (0..100_000u64)
+        .map(|i| (i * 2_654_435_761) % 1_000_000)
+        .collect();
     c.bench_function("partitioner/from_sample_100k_x64", |b| {
         b.iter(|| RangePartitioner::from_sample(black_box(keys.clone()), 64))
     });
@@ -61,5 +63,10 @@ fn bench_tuning_model(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_partitioner, bench_record_wire, bench_tuning_model);
+criterion_group!(
+    benches,
+    bench_partitioner,
+    bench_record_wire,
+    bench_tuning_model
+);
 criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Tracing overhead on the Table-1 pipeline: no-op sink vs recording.
+//!
+//! Guards the zero-cost-when-disabled claim — the `disabled` series must
+//! stay within a few percent of the pre-tracing baseline, and `recording`
+//! shows what full span/counter capture costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+
+fn quick_config(mode: PipelineMode, trace: bool) -> PipelineConfig {
+    let mut cfg = PipelineConfig::paper_table1();
+    cfg.mode = mode;
+    cfg.physical_records = 20_000;
+    // Match benches/table1.rs so `disabled` is directly comparable to
+    // the pre-tracing baseline.
+    cfg.verify = false;
+    cfg.trace = trace;
+    cfg
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let tag = match mode {
+            PipelineMode::PureServerless => "serverless",
+            PipelineMode::VmHybrid => "hybrid",
+        };
+        g.bench_function(&format!("{}/disabled", tag), |b| {
+            b.iter(|| run_methcomp_pipeline(&quick_config(mode, false)).expect("pipeline runs"))
+        });
+        g.bench_function(&format!("{}/recording", tag), |b| {
+            b.iter(|| run_methcomp_pipeline(&quick_config(mode, true)).expect("pipeline runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

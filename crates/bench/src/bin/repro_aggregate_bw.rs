@@ -4,7 +4,10 @@
 //! but the backbone is wide.
 //!
 //! Measures achieved aggregate GET throughput vs the number of
-//! concurrent functions, and the single-connection VM equivalent.
+//! concurrent functions, and the single-connection VM equivalent. The
+//! store's traced counters (`store.bandwidth_in_use`,
+//! `store.inflight_flows`) for the widest fan-out are dumped as CSV to
+//! `results/aggregate_bw_counters.csv`.
 //!
 //! ```text
 //! cargo run --release -p faaspipe-bench --bin repro_aggregate_bw
@@ -14,21 +17,22 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::Mutex;
-use serde::Serialize;
 
-use faaspipe_bench::write_json;
+use faaspipe_bench::{results_dir, write_json};
 use faaspipe_core::executor::Services;
 use faaspipe_des::{Sim, SimTime};
 use faaspipe_faas::{FaasConfig, FunctionPlatform};
 use faaspipe_store::{ObjectStore, StoreConfig};
+use faaspipe_trace::{counters_csv, TraceData, TraceSink};
 use faaspipe_vm::VmFleet;
 
-#[derive(Serialize)]
 struct Row {
     consumers: usize,
     kind: String,
     aggregate_mib_s: f64,
 }
+
+faaspipe_json::json_object! { Row { req consumers, req kind, req aggregate_mib_s } }
 
 /// Modelled object size each consumer downloads.
 const OBJECT_MIB: usize = 256;
@@ -57,10 +61,12 @@ fn setup(consumers: usize) -> (Sim, Services) {
     )
 }
 
-fn functions_aggregate(consumers: usize) -> f64 {
+fn functions_aggregate(consumers: usize) -> (f64, TraceData) {
     let (mut sim, services) = setup(consumers);
-    let span: Arc<Mutex<(SimTime, SimTime)>> =
-        Arc::new(Mutex::new((SimTime::MAX, SimTime::ZERO)));
+    let sink = TraceSink::recording();
+    services.store.set_trace_sink(sink.clone());
+    services.faas.set_trace_sink(sink.clone());
+    let span: Arc<Mutex<(SimTime, SimTime)>> = Arc::new(Mutex::new((SimTime::MAX, SimTime::ZERO)));
     let faas = services.faas.clone();
     let store = services.store.clone();
     let span2 = Arc::clone(&span);
@@ -87,14 +93,13 @@ fn functions_aggregate(consumers: usize) -> f64 {
     sim.run().expect("sim ok");
     let (t0, t1) = *span.lock();
     let secs = t1.saturating_duration_since(t0).as_secs_f64();
-    (consumers * OBJECT_MIB) as f64 / secs
+    ((consumers * OBJECT_MIB) as f64 / secs, sink.snapshot())
 }
 
 fn vm_single_connection(consumers: usize) -> f64 {
     // The same total bytes pulled by one VM over one connection.
     let (mut sim, services) = setup(consumers);
-    let span: Arc<Mutex<(SimTime, SimTime)>> =
-        Arc::new(Mutex::new((SimTime::MAX, SimTime::ZERO)));
+    let span: Arc<Mutex<(SimTime, SimTime)>> = Arc::new(Mutex::new((SimTime::MAX, SimTime::ZERO)));
     let fleet = services.fleet.clone();
     let store = services.store.clone();
     let span2 = Arc::clone(&span);
@@ -121,8 +126,10 @@ fn main() {
     let mut rows = Vec::new();
     println!("consumers  functions-aggregate(MiB/s)   vm-single-conn(MiB/s)");
     let mut last_fn = 0.0;
+    let mut widest_trace = TraceData::default();
     for &n in &[1usize, 2, 4, 8, 16, 32, 64] {
-        let fn_bw = functions_aggregate(n);
+        let (fn_bw, trace) = functions_aggregate(n);
+        widest_trace = trace;
         let vm_bw = vm_single_connection(n);
         println!("{:>9}  {:>26.0}   {:>21.0}", n, fn_bw, vm_bw);
         rows.push(Row {
@@ -153,5 +160,22 @@ fn main() {
         one,
         last_fn
     );
+    let peak_bw = widest_trace
+        .counter("store.bandwidth_in_use")
+        .map(|c| c.points.iter().map(|&(_, v)| v).fold(0.0, f64::max))
+        .unwrap_or(0.0);
+    let peak_flows = widest_trace
+        .counter("store.inflight_flows")
+        .map(|c| c.points.iter().map(|&(_, v)| v).fold(0.0, f64::max))
+        .unwrap_or(0.0);
+    println!(
+        "traced peak at 64 functions: {:.0} MiB/s in use across {:.0} concurrent flows",
+        peak_bw / (1024.0 * 1024.0),
+        peak_flows
+    );
+    assert!(peak_flows >= 32.0, "wide fan-out must overlap flows");
+    let csv_path = results_dir().join("aggregate_bw_counters.csv");
+    std::fs::write(&csv_path, counters_csv(&widest_trace)).expect("write counters csv");
+    eprintln!("wrote {}", csv_path.display());
     write_json("aggregate_bw", &rows);
 }

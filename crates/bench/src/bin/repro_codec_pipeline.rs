@@ -10,13 +10,10 @@
 //! cargo run --release -p faaspipe-bench --bin repro_codec_pipeline
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::EncodeCodec;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 
-#[derive(Serialize)]
 struct Row {
     codec: String,
     latency_s: f64,
@@ -25,6 +22,8 @@ struct Row {
     modeled_output_gb: f64,
     compression_ratio: f64,
 }
+
+faaspipe_json::json_object! { Row { req codec, req latency_s, req encode_stage_s, req cost_dollars, req modeled_output_gb, req compression_ratio } }
 
 fn run(codec: EncodeCodec) -> Row {
     let mut cfg = PipelineConfig::paper_table1();
@@ -58,7 +57,11 @@ fn main() {
         let r = run(codec);
         println!(
             "{:<8}  {:>10.2}  {:>9.2}  {:>8.4}  {:>10.3}  {:>9.1}x",
-            r.codec, r.latency_s, r.encode_stage_s, r.cost_dollars, r.modeled_output_gb,
+            r.codec,
+            r.latency_s,
+            r.encode_stage_s,
+            r.cost_dollars,
+            r.modeled_output_gb,
             r.compression_ratio
         );
         rows.push(r);

@@ -7,19 +7,18 @@
 //! cargo run --release -p faaspipe-bench --bin repro_cold_warm
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
-use faaspipe_des::SimDuration;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_des::SimDuration;
 
-#[derive(Serialize)]
 struct Row {
     cold_start_ms: u64,
     prewarmed: bool,
     latency_s: f64,
     cost_dollars: f64,
 }
+
+faaspipe_json::json_object! { Row { req cold_start_ms, req prewarmed, req latency_s, req cost_dollars } }
 
 fn run(cold_ms: u64, prewarmed: bool) -> (f64, f64) {
     let mut cfg = PipelineConfig::paper_table1();

@@ -9,14 +9,11 @@
 //! cargo run --release -p faaspipe-bench --bin repro_compression
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::write_json;
 use faaspipe_codec::gzipish;
 use faaspipe_methcomp::codec as mc;
 use faaspipe_methcomp::synth::Synthesizer;
 
-#[derive(Serialize)]
 struct Row {
     records: usize,
     text_bytes: usize,
@@ -26,6 +23,8 @@ struct Row {
     methcomp_ratio: f64,
     advantage: f64,
 }
+
+faaspipe_json::json_object! { Row { req records, req text_bytes, req gzipish_bytes, req methcomp_bytes, req gzipish_ratio, req methcomp_ratio, req advantage } }
 
 fn main() {
     let mut rows = Vec::new();

@@ -5,12 +5,9 @@
 //! cargo run --release -p faaspipe-bench --bin repro_cost_breakdown
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, REPRO_RECORDS};
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 
-#[derive(Serialize)]
 struct Row {
     configuration: String,
     stage: String,
@@ -19,6 +16,8 @@ struct Row {
     vm_dollars: f64,
     total_dollars: f64,
 }
+
+faaspipe_json::json_object! { Row { req configuration, req stage, req functions_dollars, req requests_dollars, req vm_dollars, req total_dollars } }
 
 fn main() {
     let mut rows = Vec::new();

@@ -10,14 +10,11 @@
 //! cargo run --release -p faaspipe-bench --bin repro_exchange
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::ExchangeStrategy;
 
-#[derive(Serialize)]
 struct Row {
     workers: usize,
     strategy: String,
@@ -25,6 +22,8 @@ struct Row {
     sort_latency_s: f64,
     cost_dollars: f64,
 }
+
+faaspipe_json::json_object! { Row { req workers, req strategy, req latency_s, req sort_latency_s, req cost_dollars } }
 
 fn run(workers: usize, exchange: ExchangeStrategy) -> Row {
     let mut cfg = PipelineConfig::paper_table1();

@@ -4,18 +4,20 @@
 //!
 //! The paper's figure is an architecture diagram; the faithful executable
 //! equivalent is the stage topology plus where every byte moved, which
-//! this binary prints as an annotated timeline per configuration.
+//! this binary prints as an annotated timeline per configuration, plus
+//! the recorded execution trace: a per-stage timeline, the critical-path
+//! makespan attribution, and a Chrome-trace/Perfetto JSON covering both
+//! topologies (`--trace-out <path>`, default
+//! `results/figure1_trace.json`).
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_figure1
+//! cargo run --release -p faaspipe-bench --bin repro_figure1 [-- --trace-out trace.json]
 //! ```
 
-use serde::Serialize;
-
-use faaspipe_bench::{write_json, REPRO_RECORDS};
+use faaspipe_bench::{results_dir, write_json, REPRO_RECORDS};
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_trace::{chrome_trace_json, critical_path, render_timeline, TraceData};
 
-#[derive(Serialize)]
 struct StageSpan {
     configuration: String,
     stage: String,
@@ -24,6 +26,8 @@ struct StageSpan {
     workers: usize,
     modeled_output_gb: f64,
 }
+
+faaspipe_json::json_object! { StageSpan { req configuration, req stage, req start_s, req end_s, req workers, req modeled_output_gb } }
 
 fn bar(start: f64, end: f64, total: f64, width: usize) -> String {
     let a = ((start / total) * width as f64) as usize;
@@ -37,7 +41,15 @@ fn bar(start: f64, end: f64, total: f64, width: usize) -> String {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_out = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("figure1_trace.json"));
     let mut spans = Vec::new();
+    let mut traces: Vec<(&str, TraceData)> = Vec::new();
     for (label, mode) in [
         ("A: hybrid (VM sort)", PipelineMode::VmHybrid),
         ("B: purely serverless", PipelineMode::PureServerless),
@@ -45,6 +57,7 @@ fn main() {
         let mut cfg = PipelineConfig::paper_table1();
         cfg.mode = mode;
         cfg.physical_records = REPRO_RECORDS;
+        cfg.trace = true;
         let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
         let total = outcome.latency.as_secs_f64();
         println!("=== Figure 1 {} — {:.2}s end to end ===", label, total);
@@ -70,6 +83,21 @@ fn main() {
             });
         }
         println!("{}", outcome.tracker_log);
+        println!("traced stage timeline:");
+        print!("{}", render_timeline(&outcome.trace));
+        let breakdown = critical_path(&outcome.trace).expect("traced run has a breakdown");
+        assert_eq!(
+            breakdown.total(),
+            breakdown.makespan,
+            "critical-path buckets must sum to the makespan"
+        );
+        println!("{}", breakdown.render());
+        traces.push((label, outcome.trace));
     }
+    let labelled: Vec<(&str, &TraceData)> =
+        traces.iter().map(|(label, data)| (*label, data)).collect();
+    let chrome = chrome_trace_json(&TraceData::merged(&labelled));
+    std::fs::write(&trace_out, &chrome).expect("write chrome trace");
+    eprintln!("wrote {}", trace_out.display());
     write_json("figure1", &spans);
 }

@@ -9,18 +9,17 @@
 //! cargo run --release -p faaspipe-bench --bin repro_memory
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 
-#[derive(Serialize)]
 struct Row {
     memory_mb: u32,
     cpu_share: f64,
     latency_s: f64,
     cost_dollars: f64,
 }
+
+faaspipe_json::json_object! { Row { req memory_mb, req cpu_share, req latency_s, req cost_dollars } }
 
 fn main() {
     let mut rows = Vec::new();

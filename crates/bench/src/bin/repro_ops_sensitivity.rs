@@ -9,13 +9,10 @@
 //! cargo run --release -p faaspipe-bench --bin repro_ops_sensitivity
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 
-#[derive(Serialize)]
 struct Row {
     ops_per_sec: f64,
     workers: usize,
@@ -23,6 +20,8 @@ struct Row {
     autotuned_workers: usize,
     autotuned_latency_s: f64,
 }
+
+faaspipe_json::json_object! { Row { req ops_per_sec, req workers, req latency_s, req autotuned_workers, req autotuned_latency_s } }
 
 fn run(ops: f64, workers: WorkerChoice) -> (usize, f64) {
     let mut cfg = PipelineConfig::paper_table1();
@@ -41,7 +40,10 @@ fn main() {
     for &ops in &budgets {
         let (_, fixed) = run(ops, WorkerChoice::Fixed(64));
         let (auto_w, auto_l) = run(ops, WorkerChoice::Auto);
-        println!("{:>6.0}  {:>19.2}   {:>9} -> {:>7.2}", ops, fixed, auto_w, auto_l);
+        println!(
+            "{:>6.0}  {:>19.2}   {:>9} -> {:>7.2}",
+            ops, fixed, auto_w, auto_l
+        );
         rows.push(Row {
             ops_per_sec: ops,
             workers: 64,

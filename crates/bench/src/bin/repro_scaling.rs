@@ -6,18 +6,17 @@
 //! cargo run --release -p faaspipe-bench --bin repro_scaling
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 
-#[derive(Serialize)]
 struct Row {
     modeled_gb: f64,
     configuration: String,
     latency_s: f64,
     cost_dollars: f64,
 }
+
+faaspipe_json::json_object! { Row { req modeled_gb, req configuration, req latency_s, req cost_dollars } }
 
 fn main() {
     let sizes_gb = [0.5f64, 1.0, 2.0, 3.5, 5.0, 8.0];

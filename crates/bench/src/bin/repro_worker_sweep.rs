@@ -10,14 +10,12 @@
 //! cargo run --release -p faaspipe-bench --bin repro_worker_sweep
 //! ```
 
-use serde::Serialize;
-
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::{TuningModel, WorkModel};
+use faaspipe_trace::{critical_path, Breakdown};
 
-#[derive(Serialize)]
 struct SweepRow {
     workers: usize,
     latency_s: f64,
@@ -25,7 +23,14 @@ struct SweepRow {
     model_sort_s: f64,
     cost_dollars: f64,
     autotuned: bool,
+    compute_s: f64,
+    store_io_s: f64,
+    cold_start_s: f64,
+    queueing_s: f64,
+    other_s: f64,
 }
+
+faaspipe_json::json_object! { SweepRow { req workers, req latency_s, req sort_latency_s, req model_sort_s, req cost_dollars, req autotuned, req compute_s, req store_io_s, req cold_start_s, req queueing_s, req other_s } }
 
 /// The analytic model instantiated with the sweep's platform parameters
 /// (used to validate the autotuner's predictions against measurements).
@@ -57,22 +62,32 @@ fn analytic_model() -> TuningModel {
 /// phases), which the per-function model does not cover.
 const ORCHESTRATION_S: f64 = 3.0 * 8.0;
 
-fn run(workers: WorkerChoice) -> (usize, f64, f64, f64) {
+fn run(workers: WorkerChoice) -> (usize, f64, f64, f64, Breakdown) {
     let mut cfg = PipelineConfig::paper_table1();
     cfg.mode = PipelineMode::PureServerless;
     cfg.physical_records = SWEEP_RECORDS;
     cfg.workers = workers;
+    cfg.trace = true;
     let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
     let sort = outcome
         .stages
         .iter()
         .find(|s| s.stage == "sort")
         .expect("sort stage");
+    let breakdown = critical_path(&outcome.trace).expect("traced run has a breakdown");
+    assert_eq!(
+        breakdown.total(),
+        breakdown.makespan,
+        "critical-path buckets must sum to the makespan"
+    );
     (
         outcome.sort_workers,
         outcome.latency.as_secs_f64(),
-        sort.finished.saturating_duration_since(sort.started).as_secs_f64(),
+        sort.finished
+            .saturating_duration_since(sort.started)
+            .as_secs_f64(),
         outcome.cost.total().as_dollars(),
+        breakdown,
     )
 }
 
@@ -81,15 +96,29 @@ fn main() {
     let model = analytic_model();
     let mut rows = Vec::new();
     let mut max_model_err: f64 = 0.0;
-    println!("workers  latency(s)  sort(s)  model(s)  err%   cost($)");
+    println!(
+        "workers  latency(s)  sort(s)  model(s)  err%   cost($)  \
+         | measured: compute  store-io  cold  queue  other"
+    );
     for &w in &sweep {
-        let (_, latency, sort, cost) = run(WorkerChoice::Fixed(w));
+        let (_, latency, sort, cost, b) = run(WorkerChoice::Fixed(w));
         let predicted = model.breakdown(w).total_s() + ORCHESTRATION_S;
         let err = (predicted - sort).abs() / sort * 100.0;
         max_model_err = max_model_err.max(err);
         println!(
-            "{:>7}  {:>10.2}  {:>7.2}  {:>8.2}  {:>4.0}%  {:>8.4}",
-            w, latency, sort, predicted, err, cost
+            "{:>7}  {:>10.2}  {:>7.2}  {:>8.2}  {:>4.0}%  {:>8.4}  \
+             | {:>16.2} {:>9.2} {:>5.2} {:>6.2} {:>6.2}",
+            w,
+            latency,
+            sort,
+            predicted,
+            err,
+            cost,
+            b.compute.as_secs_f64(),
+            b.store_io.as_secs_f64(),
+            b.cold_start.as_secs_f64(),
+            b.queueing.as_secs_f64(),
+            b.other.as_secs_f64()
         );
         rows.push(SweepRow {
             workers: w,
@@ -98,6 +127,11 @@ fn main() {
             model_sort_s: predicted,
             cost_dollars: cost,
             autotuned: false,
+            compute_s: b.compute.as_secs_f64(),
+            store_io_s: b.store_io.as_secs_f64(),
+            cold_start_s: b.cold_start.as_secs_f64(),
+            queueing_s: b.queueing.as_secs_f64(),
+            other_s: b.other.as_secs_f64(),
         });
     }
     println!(
@@ -114,16 +148,14 @@ fn main() {
     );
     let best_workers = best.workers;
     let best_latency = best.latency_s;
-    let worst_latency = rows
-        .iter()
-        .map(|r| r.latency_s)
-        .fold(f64::MIN, f64::max);
+    let worst_latency = rows.iter().map(|r| r.latency_s).fold(f64::MIN, f64::max);
 
-    let (picked, latency, sort, cost) = run(WorkerChoice::Auto);
+    let (picked, latency, sort, cost, b) = run(WorkerChoice::Auto);
     println!(
         "autotuner picked {} workers: {:.2}s (sort {:.2}s, ${:.4})",
         picked, latency, sort, cost
     );
+    println!("{}", b.render());
     rows.push(SweepRow {
         workers: picked,
         latency_s: latency,
@@ -131,6 +163,11 @@ fn main() {
         model_sort_s: model.breakdown(picked).total_s() + ORCHESTRATION_S,
         cost_dollars: cost,
         autotuned: true,
+        compute_s: b.compute.as_secs_f64(),
+        store_io_s: b.store_io.as_secs_f64(),
+        cold_start_s: b.cold_start.as_secs_f64(),
+        queueing_s: b.queueing.as_secs_f64(),
+        other_s: b.other.as_secs_f64(),
     });
     assert!(
         max_model_err < 30.0,

@@ -21,7 +21,7 @@
 
 use std::path::PathBuf;
 
-use serde::Serialize;
+use faaspipe_json::ToJson;
 
 /// Returns the directory experiment outputs are archived in, creating it
 /// if needed. Respects `FAASPIPE_RESULTS_DIR`.
@@ -34,9 +34,9 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Archives `rows` as pretty JSON under `results/<name>.json`.
-pub fn write_json<T: Serialize>(name: &str, rows: &T) {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, rows: &T) {
     let path = results_dir().join(format!("{}.json", name));
-    let json = serde_json::to_string_pretty(rows).expect("serialize results");
+    let json = faaspipe_json::to_string_pretty(rows);
     std::fs::write(&path, json).expect("write results file");
     eprintln!("wrote {}", path.display());
 }

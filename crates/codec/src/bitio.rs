@@ -187,7 +187,15 @@ mod tests {
 
     #[test]
     fn multi_bit_values_round_trip() {
-        let values = [(0u64, 1u32), (1, 1), (5, 3), (255, 8), (1023, 10), (0x1FFFFF, 21), (42, 57)];
+        let values = [
+            (0u64, 1u32),
+            (1, 1),
+            (5, 3),
+            (255, 8),
+            (1023, 10),
+            (0x1FFFFF, 21),
+            (42, 57),
+        ];
         let mut w = BitWriter::new();
         for &(v, n) in &values {
             w.write_bits(v, n);

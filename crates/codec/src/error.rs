@@ -46,10 +46,7 @@ impl fmt::Display for CodecError {
             CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
             CodecError::BadHeader { what } => write!(f, "malformed {} header", what),
             CodecError::BadSymbol { value } => write!(f, "invalid symbol {}", value),
-            CodecError::BadDistance {
-                distance,
-                produced,
-            } => write!(
+            CodecError::BadDistance { distance, produced } => write!(
                 f,
                 "back-reference distance {} exceeds {} produced bytes",
                 distance, produced
@@ -75,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(CodecError::UnexpectedEof.to_string(), "unexpected end of input");
+        assert_eq!(
+            CodecError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
         assert!(CodecError::ChecksumMismatch {
             expected: 0xdeadbeef,
             actual: 1

@@ -31,8 +31,8 @@ const EOB: usize = 256;
 
 /// DEFLATE length-code base values for symbols 257..=285.
 const LEN_BASE: [u16; 29] = [
-    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
-    131, 163, 195, 227, 258,
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
 ];
 /// Extra bits per length code.
 const LEN_EXTRA: [u8; 29] = [
@@ -45,8 +45,8 @@ const DIST_BASE: [u16; 30] = [
 ];
 /// Extra bits per distance code.
 const DIST_EXTRA: [u8; 30] = [
-    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
-    13, 13,
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
 ];
 
 fn length_symbol(len: u16) -> (usize, u8, u16) {
@@ -145,9 +145,7 @@ fn write_block(w: &mut BitWriter, block: &[u8], is_final: bool, cfg: &Lz77Config
     // Estimate whether the Huffman block actually wins over stored.
     let header_bits = 4 * (LITLEN_SYMS + DIST_SYMS) as u64;
     let body_bits = lit_enc.cost_bits(&lit_freq)
-        + dist_enc
-            .as_ref()
-            .map_or(0, |e| e.cost_bits(&dist_freq))
+        + dist_enc.as_ref().map_or(0, |e| e.cost_bits(&dist_freq))
         + extra_bits;
     let huff_bits = header_bits + body_bits;
     let stored_bits = (block.len() as u64 + 10) * 8;
@@ -260,14 +258,12 @@ pub fn decompress(input: &[u8]) -> Result<Vec<u8>, CodecError> {
                 if li >= LEN_BASE.len() {
                     return Err(CodecError::BadSymbol { value: sym as u64 });
                 }
-                let len =
-                    LEN_BASE[li] as usize + r.read_bits(LEN_EXTRA[li] as u32)? as usize;
+                let len = LEN_BASE[li] as usize + r.read_bits(LEN_EXTRA[li] as u32)? as usize;
                 let dist_dec = dist_dec
                     .as_ref()
                     .ok_or(CodecError::BadHeader { what: "dist table" })?;
                 let ds = dist_dec.decode(&mut r)?;
-                let dist =
-                    DIST_BASE[ds] as usize + r.read_bits(DIST_EXTRA[ds] as u32)? as usize;
+                let dist = DIST_BASE[ds] as usize + r.read_bits(DIST_EXTRA[ds] as u32)? as usize;
                 if dist == 0 || dist > out.len() {
                     return Err(CodecError::BadDistance {
                         distance: dist,

@@ -337,7 +337,12 @@ mod tests {
         let lengths = build_lengths(&freqs, 15);
         let enc = Encoder::from_lengths(&lengths).expect("encoder");
         let cost = enc.cost_bits(&freqs) as f64;
-        assert!(cost < entropy * 1.05 + total as f64, "cost {} entropy {}", cost, entropy);
+        assert!(
+            cost < entropy * 1.05 + total as f64,
+            "cost {} entropy {}",
+            cost,
+            entropy
+        );
     }
 
     #[test]
@@ -354,7 +359,10 @@ mod tests {
         let dec = Decoder::from_lengths(&lengths).expect("decoder");
         let bytes = [0xFFu8];
         let mut r = BitReader::new(&bytes);
-        assert!(matches!(dec.decode(&mut r), Err(CodecError::BadSymbol { .. })));
+        assert!(matches!(
+            dec.decode(&mut r),
+            Err(CodecError::BadSymbol { .. })
+        ));
     }
 
     #[test]

@@ -239,7 +239,11 @@ mod tests {
     fn run_of_one_byte_overlapping_copy() {
         let data = vec![7u8; 1000];
         let tokens = tokenize(&data, &Lz77Config::default());
-        assert!(tokens.len() < 20, "run should collapse, got {}", tokens.len());
+        assert!(
+            tokens.len() < 20,
+            "run should collapse, got {}",
+            tokens.len()
+        );
         assert_eq!(expand(&tokens), data);
     }
 
@@ -304,7 +308,12 @@ mod tests {
                 ..Lz77Config::default()
             },
         );
-        assert!(lazy.len() <= greedy.len() + 2, "lazy {} greedy {}", lazy.len(), greedy.len());
+        assert!(
+            lazy.len() <= greedy.len() + 2,
+            "lazy {} greedy {}",
+            lazy.len(),
+            greedy.len()
+        );
         assert_eq!(expand(&lazy), data);
         assert_eq!(expand(&greedy), data);
     }

@@ -413,7 +413,13 @@ mod tests {
 
     #[test]
     fn direct_bits_round_trip() {
-        let values = [(0u64, 1u32), (1, 1), (0xDEAD, 16), (0xFFFF_FFFF, 32), ((1 << 57) - 1, 57)];
+        let values = [
+            (0u64, 1u32),
+            (1, 1),
+            (0xDEAD, 16),
+            (0xFFFF_FFFF, 32),
+            ((1 << 57) - 1, 57),
+        ];
         let mut enc = RangeEncoder::new();
         for &(v, n) in &values {
             enc.encode_direct(v, n);
@@ -427,14 +433,20 @@ mod tests {
 
     #[test]
     fn byte_model_round_trip_and_adapts() {
-        let data: Vec<u8> = (0..5000).map(|i| if i % 10 == 0 { 7 } else { 42 }).collect();
+        let data: Vec<u8> = (0..5000)
+            .map(|i| if i % 10 == 0 { 7 } else { 42 })
+            .collect();
         let mut enc = RangeEncoder::new();
         let mut m = ByteModel::new();
         for &b in &data {
             m.encode(&mut enc, b);
         }
         let packed = enc.finish();
-        assert!(packed.len() < data.len() / 4, "two-valued bytes: {}", packed.len());
+        assert!(
+            packed.len() < data.len() / 4,
+            "two-valued bytes: {}",
+            packed.len()
+        );
         let mut dec = RangeDecoder::new(&packed).expect("stream");
         let mut m = ByteModel::new();
         for &b in &data {
@@ -481,7 +493,17 @@ mod tests {
 
     #[test]
     fn uint_model_round_trip_edges() {
-        let values = [0u64, 1, 2, 3, 127, 128, 1_000_000, u32::MAX as u64, u64::MAX];
+        let values = [
+            0u64,
+            1,
+            2,
+            3,
+            127,
+            128,
+            1_000_000,
+            u32::MAX as u64,
+            u64::MAX,
+        ];
         let mut enc = RangeEncoder::new();
         let mut m = UIntModel::new();
         for &v in &values {
@@ -503,7 +525,11 @@ mod tests {
             m.encode(&mut enc, 1);
         }
         let packed = enc.finish();
-        assert!(packed.len() < 400, "constant small ints: {} bytes", packed.len());
+        assert!(
+            packed.len() < 400,
+            "constant small ints: {} bytes",
+            packed.len()
+        );
     }
 
     #[test]

@@ -122,7 +122,17 @@ mod tests {
 
     #[test]
     fn u64_round_trip_edges() {
-        for v in [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut buf = Vec::new();
             write_u64(&mut buf, v);
             let (got, used) = read_u64(&buf).expect("valid varint");

@@ -227,7 +227,12 @@ fn validate_kind(name: &str, kind: &StageKind) -> Result<(), DagError> {
         reason: reason.to_string(),
     };
     match kind {
-        StageKind::ShuffleSort { workers, input, output, .. } => {
+        StageKind::ShuffleSort {
+            workers,
+            input,
+            output,
+            ..
+        } => {
             if matches!(workers, WorkerChoice::Fixed(0)) {
                 return Err(bad("zero workers"));
             }
@@ -238,7 +243,12 @@ fn validate_kind(name: &str, kind: &StageKind) -> Result<(), DagError> {
                 return Err(bad("input and output prefixes must differ"));
             }
         }
-        StageKind::VmSort { runs, input, output, .. } => {
+        StageKind::VmSort {
+            runs,
+            input,
+            output,
+            ..
+        } => {
             if *runs == 0 {
                 return Err(bad("zero runs"));
             }
@@ -249,8 +259,17 @@ fn validate_kind(name: &str, kind: &StageKind) -> Result<(), DagError> {
                 return Err(bad("input and output prefixes must differ"));
             }
         }
-        StageKind::Encode { workers, input, output, .. }
-        | StageKind::Decode { workers, input, output } => {
+        StageKind::Encode {
+            workers,
+            input,
+            output,
+            ..
+        }
+        | StageKind::Decode {
+            workers,
+            input,
+            output,
+        } => {
             if *workers == 0 {
                 return Err(bad("zero workers"));
             }
@@ -291,7 +310,8 @@ mod tests {
     fn linear_pipeline_builds() {
         let mut dag = Dag::new("methcomp", "data");
         dag.add_stage("sort", sort_kind(), &[]).expect("sort");
-        dag.add_stage("encode", encode_kind(), &["sort"]).expect("encode");
+        dag.add_stage("encode", encode_kind(), &["sort"])
+            .expect("encode");
         assert_eq!(dag.len(), 2);
         assert_eq!(dag.stages()[1].deps, vec![StageId(0)]);
         dag.validate().expect("valid");

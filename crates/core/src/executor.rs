@@ -18,6 +18,7 @@ use faaspipe_shuffle::{
     WorkModel,
 };
 use faaspipe_store::ObjectStore;
+use faaspipe_trace::Category;
 use faaspipe_vm::VmFleet;
 
 use crate::dag::{Dag, EncodeCodec, Stage, StageKind, WorkerChoice};
@@ -190,6 +191,28 @@ impl Executor {
         DagHandle { root, results }
     }
 
+    /// Charges one driver orchestration phase (job serialization,
+    /// invoke fan-out, future polling), recording it as an
+    /// [`Category::Orchestration`] span when tracing is on.
+    fn orchestrate(&self, ctx: &Ctx) {
+        let trace = self.services.store.trace_sink();
+        if !trace.is_enabled() {
+            ctx.sleep(self.orchestration);
+            return;
+        }
+        let parent = trace.current(ctx.pid());
+        let span = trace.span_start(
+            Category::Orchestration,
+            "orchestration",
+            "driver",
+            "driver",
+            parent,
+            ctx.now(),
+        );
+        ctx.sleep(self.orchestration);
+        trace.span_end(span, ctx.now());
+    }
+
     fn run_stage(
         &self,
         ctx: &mut Ctx,
@@ -210,7 +233,7 @@ impl Executor {
                 output,
             } => {
                 // Job submission overhead before the VM work starts.
-                ctx.sleep(self.orchestration);
+                self.orchestrate(ctx);
                 let cfg = VmSortConfig {
                     bucket: bucket.to_string(),
                     input_prefix: input.clone(),
@@ -223,8 +246,9 @@ impl Executor {
                     release: true,
                     manifest_key: None,
                 };
-                let stats = vm_sort::<MethRecord>(ctx, &self.services.fleet, &self.services.store, &cfg)
-                    .map_err(|e| format!("vm sort failed: {}", e))?;
+                let stats =
+                    vm_sort::<MethRecord>(ctx, &self.services.fleet, &self.services.store, &cfg)
+                        .map_err(|e| format!("vm sort failed: {}", e))?;
                 self.tracker.note(
                     ctx,
                     &stage.name,
@@ -261,7 +285,7 @@ impl Executor {
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
-        ctx.sleep(self.orchestration);
+        self.orchestrate(ctx);
         let store = &self.services.store;
         let client = store.connect(ctx, format!("{}/driver", stage));
         let inputs = client
@@ -421,7 +445,7 @@ impl Executor {
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
-        ctx.sleep(self.orchestration);
+        self.orchestrate(ctx);
         let store = &self.services.store;
         let client = store.connect(ctx, format!("{}/driver", stage));
         let inputs = client
@@ -512,11 +536,7 @@ mod tests {
                 .put_untimed("data", &format!("in/{:04}", i), Bytes::from(data))
                 .expect("stage input");
         }
-        (
-            sim,
-            Services { store, faas, fleet },
-            ds,
-        )
+        (sim, Services { store, faas, fleet }, ds)
     }
 
     fn verify_outputs(services: &Services, ds: &Dataset, runs: usize) {
@@ -749,9 +769,15 @@ mod tests {
         let (mc_start, mc_end) = span("mc");
         let (gz_start, gz_end) = span("gz");
         assert!(sort_start < sort_end);
-        assert!(mc_start >= sort_end && gz_start >= sort_end, "deps respected");
+        assert!(
+            mc_start >= sort_end && gz_start >= sort_end,
+            "deps respected"
+        );
         // Branches overlap: each starts before the other finishes.
-        assert!(mc_start < gz_end && gz_start < mc_end, "branches must overlap");
+        assert!(
+            mc_start < gz_end && gz_start < mc_end,
+            "branches must overlap"
+        );
         // Both encodes produced archives for all four runs.
         assert_eq!(services.store.keys_untimed("data", "enc-mc/").len(), 4);
         assert_eq!(services.store.keys_untimed("data", "enc-gz/").len(), 4);

@@ -17,13 +17,14 @@ use std::fmt;
 
 use bytes::Bytes;
 
-use faaspipe_des::{Money, Sim, SimDuration, SimError};
+use faaspipe_des::{Money, Sim, SimDuration, SimError, SimTime};
 use faaspipe_faas::{FaasConfig, FunctionPlatform};
 use faaspipe_methcomp::codec as mc_codec;
 use faaspipe_methcomp::synth::Synthesizer;
 use faaspipe_methcomp::MethRecord;
 use faaspipe_shuffle::{ExchangeStrategy, SortRecord, WorkModel};
 use faaspipe_store::{ObjectStore, StoreConfig};
+use faaspipe_trace::{Category, SpanId, TraceData, TraceSink};
 use faaspipe_vm::{VmFleet, VmProfile};
 
 use crate::dag::{Dag, EncodeCodec, StageKind, WorkerChoice};
@@ -82,6 +83,10 @@ pub struct PipelineConfig {
     /// Codec for the encode stage (METHCOMP, or the gzip-class baseline
     /// for the end-to-end codec comparison).
     pub encode_codec: EncodeCodec,
+    /// Record a full execution trace (spans + counters) into
+    /// [`PipelineOutcome::trace`]. Off by default: the disabled sink
+    /// keeps instrumentation out of the hot path.
+    pub trace: bool,
 }
 
 impl PipelineConfig {
@@ -103,6 +108,7 @@ impl PipelineConfig {
             verify: true,
             exchange: ExchangeStrategy::Scatter,
             encode_codec: EncodeCodec::Methcomp,
+            trace: false,
         }
     }
 
@@ -180,6 +186,8 @@ pub struct PipelineOutcome {
     pub verified: bool,
     /// Rendered tracker log.
     pub tracker_log: String,
+    /// Full execution trace (empty unless [`PipelineConfig::trace`]).
+    pub trace: TraceData,
 }
 
 /// Runs one METHCOMP pipeline measurement end to end.
@@ -195,15 +203,14 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
     }
     let scale = cfg.size_scale();
     let mut sim = Sim::new();
-    let store = ObjectStore::install(
-        &mut sim,
-        cfg.store.clone().with_size_scale(scale),
-    );
+    let store = ObjectStore::install(&mut sim, cfg.store.clone().with_size_scale(scale));
     let faas = FunctionPlatform::install(&mut sim, cfg.faas.clone());
     let fleet = VmFleet::new();
-    store.create_bucket("data").map_err(|e| PipelineError::BadConfig {
-        reason: e.to_string(),
-    })?;
+    store
+        .create_bucket("data")
+        .map_err(|e| PipelineError::BadConfig {
+            reason: e.to_string(),
+        })?;
 
     // Stage the input dataset (already "in COS" when the pipeline starts).
     let dataset = Synthesizer::new(cfg.seed).generate_shuffled(cfg.physical_records);
@@ -217,8 +224,38 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
             })?;
     }
 
-    // Build the two-stage DAG of Figure 1.
-    let tracker = Tracker::new();
+    // Build the two-stage DAG of Figure 1. When tracing, every service
+    // records into one shared sink under a root Run span; otherwise the
+    // services keep their default disabled sinks and only the tracker's
+    // private sink (for the rendered log) is live.
+    let sink = if cfg.trace {
+        TraceSink::recording()
+    } else {
+        TraceSink::disabled()
+    };
+    let run = if cfg.trace {
+        let run = sink.span_start(
+            Category::Run,
+            "methcomp",
+            "driver",
+            "driver",
+            SpanId::NONE,
+            SimTime::ZERO,
+        );
+        sink.attr(run, "mode", cfg.mode.to_string());
+        sink.attr(run, "seed", cfg.seed);
+        store.set_trace_sink(sink.clone());
+        faas.set_trace_sink(sink.clone());
+        fleet.set_trace_sink(sink.clone());
+        run
+    } else {
+        SpanId::NONE
+    };
+    let tracker = if cfg.trace {
+        Tracker::with_sink(sink.clone(), run)
+    } else {
+        Tracker::new()
+    };
     let services = Services {
         store: store.clone(),
         faas: faas.clone(),
@@ -242,7 +279,9 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         },
     };
     dag.add_stage("sort", sort_kind, &[])
-        .map_err(|e| PipelineError::BadConfig { reason: e.to_string() })?;
+        .map_err(|e| PipelineError::BadConfig {
+            reason: e.to_string(),
+        })?;
     dag.add_stage(
         "encode",
         StageKind::Encode {
@@ -253,18 +292,29 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         },
         &["sort"],
     )
-    .map_err(|e| PipelineError::BadConfig { reason: e.to_string() })?;
+    .map_err(|e| PipelineError::BadConfig {
+        reason: e.to_string(),
+    })?;
 
     let handle = executor.spawn_dag(&mut sim, &dag);
     let report = sim.run()?;
+    sink.span_end(run, report.end_time);
     let mut stages = handle
         .ok_results()
         .map_err(|message| PipelineError::Stage { message })?;
     stages.sort_by_key(|s| s.started);
 
     // Latency: first stage start to last stage end (includes startups).
-    let started = stages.iter().map(|s| s.started).min().expect("stages exist");
-    let finished = stages.iter().map(|s| s.finished).max().expect("stages exist");
+    let started = stages
+        .iter()
+        .map(|s| s.started)
+        .min()
+        .expect("stages exist");
+    let finished = stages
+        .iter()
+        .map(|s| s.finished)
+        .max()
+        .expect("stages exist");
     let latency = finished.saturating_duration_since(started);
 
     let cost = cfg.pricing.assemble(
@@ -307,11 +357,11 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
                 SortRecord::read_all(&run).map_err(|e| PipelineError::Verification {
                     message: format!("sorted run {} corrupt: {}", j, e),
                 })?;
-            let archive = store
-                .peek("data", &format!("enc/{}", j))
-                .ok_or_else(|| PipelineError::Verification {
+            let archive = store.peek("data", &format!("enc/{}", j)).ok_or_else(|| {
+                PipelineError::Verification {
                     message: format!("missing archive {}", j),
-                })?;
+                }
+            })?;
             archive_bytes += archive.len();
             match cfg.encode_codec {
                 EncodeCodec::Methcomp => {
@@ -333,8 +383,7 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
                             message: format!("archive {} corrupt: {}", j, e),
                         }
                     })?;
-                    let expect_text =
-                        faaspipe_methcomp::Dataset::new(records.clone()).to_text();
+                    let expect_text = faaspipe_methcomp::Dataset::new(records.clone()).to_text();
                     if text != expect_text.as_bytes() {
                         return Err(PipelineError::Verification {
                             message: format!("archive {} does not round-trip", j),
@@ -368,6 +417,7 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         },
         verified,
         tracker_log: tracker.render(),
+        trace: sink.snapshot(),
     })
 }
 
@@ -395,8 +445,8 @@ mod tests {
 
     #[test]
     fn pure_serverless_pipeline_runs_and_verifies() {
-        let outcome = run_methcomp_pipeline(&quick(PipelineMode::PureServerless))
-            .expect("pipeline ok");
+        let outcome =
+            run_methcomp_pipeline(&quick(PipelineMode::PureServerless)).expect("pipeline ok");
         assert!(outcome.verified);
         assert_eq!(outcome.stages.len(), 2);
         assert_eq!(outcome.sort_workers, 8);
@@ -409,8 +459,7 @@ mod tests {
 
     #[test]
     fn vm_hybrid_pipeline_runs_and_verifies() {
-        let outcome =
-            run_methcomp_pipeline(&quick(PipelineMode::VmHybrid)).expect("pipeline ok");
+        let outcome = run_methcomp_pipeline(&quick(PipelineMode::VmHybrid)).expect("pipeline ok");
         assert!(outcome.verified);
         assert!(outcome.cost.vm > Money::ZERO, "VM must be billed");
         // Provisioning alone is ~52 s.
@@ -419,10 +468,8 @@ mod tests {
 
     #[test]
     fn serverless_beats_vm_on_latency_table1_shape() {
-        let pure = run_methcomp_pipeline(&quick(PipelineMode::PureServerless))
-            .expect("pure ok");
-        let hybrid =
-            run_methcomp_pipeline(&quick(PipelineMode::VmHybrid)).expect("hybrid ok");
+        let pure = run_methcomp_pipeline(&quick(PipelineMode::PureServerless)).expect("pure ok");
+        let hybrid = run_methcomp_pipeline(&quick(PipelineMode::VmHybrid)).expect("hybrid ok");
         assert!(
             pure.latency < hybrid.latency,
             "paper's headline: {} vs {}",
@@ -441,6 +488,47 @@ mod tests {
     }
 
     #[test]
+    fn traced_run_records_spans_and_critical_path_tiles_makespan() {
+        let mut cfg = quick(PipelineMode::VmHybrid);
+        cfg.trace = true;
+        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline ok");
+        let data = &outcome.trace;
+        let run = data.run_span().expect("run span");
+        assert!(run.end.is_some(), "run span must be closed");
+        for cat in [
+            Category::Stage,
+            Category::VmTask,
+            Category::Invocation,
+            Category::StoreRequest,
+            Category::Compute,
+            Category::ColdStart,
+            Category::Orchestration,
+        ] {
+            assert!(
+                data.spans.iter().any(|s| s.category == cat),
+                "missing {:?} spans",
+                cat
+            );
+        }
+        let b = faaspipe_trace::critical_path(data).expect("breakdown");
+        assert_eq!(b.total(), b.makespan, "buckets must tile the makespan");
+        assert_eq!(
+            b.makespan,
+            run.duration().expect("run duration"),
+            "attribution window is the run span"
+        );
+        assert!(
+            b.cold_start >= SimDuration::from_secs(44),
+            "VM provisioning"
+        );
+
+        // Untraced runs stay empty (and cheap).
+        let untraced = run_methcomp_pipeline(&quick(PipelineMode::VmHybrid)).expect("pipeline ok");
+        assert!(untraced.trace.spans.is_empty());
+        assert!(untraced.trace.counters.is_empty());
+    }
+
+    #[test]
     fn bad_config_rejected() {
         let mut cfg = quick(PipelineMode::PureServerless);
         cfg.parallelism = 0;
@@ -452,8 +540,8 @@ mod tests {
 
     #[test]
     fn table1_row_shape() {
-        let outcome = run_methcomp_pipeline(&quick(PipelineMode::PureServerless))
-            .expect("pipeline ok");
+        let outcome =
+            run_methcomp_pipeline(&quick(PipelineMode::PureServerless)).expect("pipeline ok");
         let (config, latency, cost) = outcome.table1_row();
         assert!(config.contains("serverless"));
         assert!(latency > 0.0);

@@ -234,14 +234,23 @@ mod tests {
         let fns = vec![rec("sort/map", 10, 2048), rec("encode/enc", 5, 2048)];
         let mut metrics = StoreMetrics::new();
         for _ in 0..1000 {
-            metrics.record("sort/map", faaspipe_store::RequestClass::ClassA, 0, 0, false);
+            metrics.record(
+                "sort/map",
+                faaspipe_store::RequestClass::ClassA,
+                0,
+                0,
+                false,
+            );
         }
         let report = book.assemble(&fns, &metrics, &[], SimTime::ZERO);
         assert_eq!(report.by_stage.len(), 2);
         let sort = &report.by_stage["sort"];
         assert_eq!(sort.requests, Money::from_dollars(0.005));
         assert_eq!(sort.functions, Money::from_dollars(0.00034));
-        assert_eq!(report.total(), report.functions + report.requests + report.vm);
+        assert_eq!(
+            report.total(),
+            report.functions + report.requests + report.vm
+        );
         let rendered = report.render();
         assert!(rendered.contains("sort"));
         assert!(rendered.contains("TOTAL"));

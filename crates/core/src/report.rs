@@ -1,13 +1,12 @@
 //! Experiment reports: Table-1 rendering and machine-readable emitters.
 
-use serde::Serialize;
-
 use faaspipe_des::Money;
+use faaspipe_json::ToJson;
 
 use crate::pipeline::PipelineOutcome;
 
 /// One row of a Table-1-style report.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Row {
     /// Configuration name.
     pub configuration: String,
@@ -17,6 +16,10 @@ pub struct Table1Row {
     pub cost_dollars: f64,
     /// Whether outputs were verified.
     pub verified: bool,
+}
+
+faaspipe_json::json_object! {
+    Table1Row { req configuration, req latency_s, req cost_dollars, req verified }
 }
 
 impl Table1Row {
@@ -48,8 +51,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
 
 /// Renders any serializable result set as a JSON document (for the
 /// bench harness to archive).
-pub fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string_pretty(value).expect("report serializes")
+pub fn to_json<T: ToJson + ?Sized>(value: &T) -> String {
+    faaspipe_json::to_string_pretty(value)
 }
 
 /// Renders `(x, y)` series as CSV with a header.

@@ -18,17 +18,16 @@
 //! }
 //! ```
 
-use serde::{Deserialize, Serialize};
-
+use faaspipe_json::{FromJson, Json, JsonError, ToJson};
 use faaspipe_vm::VmProfile;
 
 use faaspipe_shuffle::ExchangeStrategy;
 
 use crate::dag::{Dag, DagError, EncodeCodec, StageKind, WorkerChoice};
 
-/// Worker policy as written in JSON: a number or `"auto"`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(untagged)]
+/// Worker policy as written in JSON: a number or `"auto"` (an untagged
+/// value — the JSON type discriminates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WorkersSpec {
     /// Fixed worker count.
     Fixed(usize),
@@ -37,11 +36,32 @@ pub enum WorkersSpec {
 }
 
 /// The literal `"auto"`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AutoTag {
     /// Autotuned worker count.
-    #[serde(rename = "auto")]
     Auto,
+}
+
+impl ToJson for WorkersSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            WorkersSpec::Fixed(n) => Json::UInt(*n as u64),
+            WorkersSpec::Auto(_) => Json::Str("auto".to_string()),
+        }
+    }
+}
+
+impl FromJson for WorkersSpec {
+    fn from_json(v: &Json) -> Result<WorkersSpec, JsonError> {
+        match v {
+            Json::Str(s) if s == "auto" => Ok(WorkersSpec::Auto(AutoTag::Auto)),
+            Json::UInt(_) | Json::Int(_) => usize::from_json(v).map(WorkersSpec::Fixed),
+            other => Err(JsonError::new(format!(
+                "expected worker count or \"auto\", found {}",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 impl From<WorkersSpec> for WorkerChoice {
@@ -54,39 +74,48 @@ impl From<WorkersSpec> for WorkerChoice {
 }
 
 /// One stage in the JSON spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StageSpec {
     /// Unique stage name.
     pub name: String,
     /// `"shuffle_sort"`, `"vm_sort"`, `"encode"`, or `"decode"`.
     pub kind: String,
     /// Worker policy (`shuffle_sort`, `encode`).
-    #[serde(default)]
     pub workers: Option<WorkersSpec>,
     /// Codec name for `encode`: `"methcomp"` or `"gzipish"`.
-    #[serde(default)]
     pub codec: Option<String>,
     /// VM profile name for `vm_sort` (e.g. `"bx2-8x32"`).
-    #[serde(default)]
     pub profile: Option<String>,
     /// Output runs for `vm_sort`.
-    #[serde(default)]
     pub runs: Option<usize>,
     /// Exchange pattern for `shuffle_sort`: `"scatter"` (default) or
     /// `"coalesced"` (the Primula I/O optimization).
-    #[serde(default)]
     pub exchange: Option<String>,
     /// Input prefix.
     pub input: String,
     /// Output prefix.
     pub output: String,
     /// Names of stages this one depends on.
-    #[serde(default)]
     pub deps: Vec<String>,
 }
 
+faaspipe_json::json_object! {
+    StageSpec {
+        req name,
+        req kind,
+        opt workers,
+        opt codec,
+        opt profile,
+        opt runs,
+        opt exchange,
+        req input,
+        req output,
+        opt deps,
+    }
+}
+
 /// A whole pipeline spec.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PipelineSpec {
     /// Workflow name.
     pub name: String,
@@ -95,6 +124,8 @@ pub struct PipelineSpec {
     /// The stages, in an order where dependencies come first.
     pub stages: Vec<StageSpec>,
 }
+
+faaspipe_json::json_object! { PipelineSpec { req name, req bucket, req stages } }
 
 /// Errors converting a spec into a DAG.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,14 +172,14 @@ impl PipelineSpec {
     /// # Errors
     /// [`SpecError::Json`] with the parser's message.
     pub fn from_json(text: &str) -> Result<PipelineSpec, SpecError> {
-        serde_json::from_str(text).map_err(|e| SpecError::Json {
+        faaspipe_json::from_str(text).map_err(|e| SpecError::Json {
             message: e.to_string(),
         })
     }
 
     /// Serializes the spec back to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("spec serializes")
+        faaspipe_json::to_string_pretty(self)
     }
 
     /// Converts into a validated [`Dag`].
@@ -201,9 +232,7 @@ impl PipelineSpec {
                     let codec = match s.codec.as_deref() {
                         None | Some("methcomp") => EncodeCodec::Methcomp,
                         Some("gzipish") | Some("gzip") => EncodeCodec::Gzipish,
-                        Some(other) => {
-                            return Err(invalid(&format!("unknown codec '{}'", other)))
-                        }
+                        Some(other) => return Err(invalid(&format!("unknown codec '{}'", other))),
                     };
                     let workers = match s.workers {
                         Some(WorkersSpec::Fixed(n)) => n,
@@ -380,7 +409,10 @@ mod tests {
             "\"kind\": \"shuffle_sort\",",
             "\"kind\": \"shuffle_sort\", \"exchange\": \"quantum\",",
         );
-        assert!(PipelineSpec::from_json(&bad).expect("parse").to_dag().is_err());
+        assert!(PipelineSpec::from_json(&bad)
+            .expect("parse")
+            .to_dag()
+            .is_err());
     }
 
     #[test]

@@ -4,11 +4,19 @@
 //! time, which displays the workflow progress and breaks the cost down at
 //! each stage" (§2.4) — here an event log with text rendering; the cost
 //! breakdown itself comes from [`crate::pricing::CostReport`].
+//!
+//! Since the introduction of `faaspipe-trace`, the tracker is a thin
+//! front-end over a [`TraceSink`]: stage starts/ends become
+//! [`Category::Stage`] spans and notes become zero-length annotation
+//! spans, so a traced pipeline gets the tracker's view for free in its
+//! exports. A standalone `Tracker::new()` records into a private sink and
+//! behaves exactly as before.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
 
 use faaspipe_des::{Ctx, SimDuration, SimTime};
+use faaspipe_trace::{Category, SpanId, TraceSink, Value};
 
 /// What happened.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,71 +58,177 @@ impl StageSpan {
     }
 }
 
-/// Shared, cheaply clonable job tracker.
-#[derive(Debug, Clone, Default)]
+/// Shared, cheaply clonable job tracker backed by a [`TraceSink`].
+#[derive(Clone)]
 pub struct Tracker {
-    events: Arc<Mutex<Vec<TrackEvent>>>,
+    sink: TraceSink,
+    parent: SpanId,
+    open: Arc<Mutex<Vec<(String, SpanId)>>>,
+}
+
+impl std::fmt::Debug for Tracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracker").field("sink", &self.sink).finish()
+    }
+}
+
+impl Default for Tracker {
+    fn default() -> Tracker {
+        Tracker::new()
+    }
 }
 
 impl Tracker {
-    /// Creates an empty tracker.
+    /// Creates a standalone tracker recording into a private sink.
     pub fn new() -> Tracker {
-        Tracker::default()
+        Tracker::with_sink(TraceSink::recording(), SpanId::NONE)
     }
 
-    /// Records a stage start at the current virtual time.
+    /// Creates a tracker recording into `sink`, parenting stage spans to
+    /// `parent` (typically the pipeline's run span). With a disabled sink
+    /// the tracker records nothing — pass a recording sink if the
+    /// rendered log is wanted.
+    pub fn with_sink(sink: TraceSink, parent: SpanId) -> Tracker {
+        Tracker {
+            sink,
+            parent,
+            open: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The sink this tracker records through.
+    pub fn sink(&self) -> &TraceSink {
+        &self.sink
+    }
+
+    /// Records a stage start at the current virtual time. The stage span
+    /// is also pushed onto the calling process's open-span stack so
+    /// service-level spans (invocations, store requests) parent to it.
     pub fn stage_start(&self, ctx: &Ctx, stage: &str) {
-        self.push(ctx.now(), stage, TrackKind::StageStart);
+        let id = self.sink.span_start(
+            Category::Stage,
+            stage,
+            "driver",
+            "driver",
+            self.parent,
+            ctx.now(),
+        );
+        self.sink.enter(ctx.pid(), id);
+        self.open.lock().push((stage.to_string(), id));
     }
 
     /// Records a stage end at the current virtual time.
     pub fn stage_end(&self, ctx: &Ctx, stage: &str) {
-        self.push(ctx.now(), stage, TrackKind::StageEnd);
+        let id = {
+            let mut open = self.open.lock();
+            match open.iter().rposition(|(name, _)| name == stage) {
+                Some(pos) => open.remove(pos).1,
+                None => return,
+            }
+        };
+        self.sink.span_end(id, ctx.now());
+        self.sink.exit(ctx.pid());
     }
 
-    /// Records a free-form note.
+    /// Records a free-form note (a zero-length annotation span).
     pub fn note(&self, ctx: &Ctx, stage: &str, message: impl Into<String>) {
-        self.push(ctx.now(), stage, TrackKind::Note(message.into()));
-    }
-
-    fn push(&self, time: SimTime, stage: &str, kind: TrackKind) {
-        self.events.lock().push(TrackEvent {
-            time,
-            stage: stage.to_string(),
-            kind,
-        });
+        let parent = self
+            .open
+            .lock()
+            .iter()
+            .rev()
+            .find(|(name, _)| name == stage)
+            .map_or(self.parent, |(_, id)| *id);
+        let now = ctx.now();
+        let id = self.sink.span_start(
+            Category::Orchestration,
+            stage,
+            "driver",
+            "driver",
+            parent,
+            now,
+        );
+        self.sink.attr(id, "note", message.into());
+        self.sink.span_end(id, now);
     }
 
     /// All events so far, in order.
     pub fn events(&self) -> Vec<TrackEvent> {
-        self.events.lock().clone()
+        let data = self.sink.snapshot();
+        // Rank orders simultaneous events the way the live log did:
+        // a stage's end precedes the next stage's start at the same time.
+        let mut keyed: Vec<(SimTime, u8, u64, TrackEvent)> = Vec::new();
+        for span in &data.spans {
+            match span.category {
+                Category::Stage if span.track == "driver" => {
+                    keyed.push((
+                        span.start,
+                        2,
+                        span.id.as_u64(),
+                        TrackEvent {
+                            time: span.start,
+                            stage: span.name.clone(),
+                            kind: TrackKind::StageStart,
+                        },
+                    ));
+                    if let Some(end) = span.end {
+                        keyed.push((
+                            end,
+                            0,
+                            span.id.as_u64(),
+                            TrackEvent {
+                                time: end,
+                                stage: span.name.clone(),
+                                kind: TrackKind::StageEnd,
+                            },
+                        ));
+                    }
+                }
+                Category::Orchestration => {
+                    if let Some((_, Value::Str(msg))) = span.attrs.iter().find(|(k, _)| k == "note")
+                    {
+                        keyed.push((
+                            span.start,
+                            1,
+                            span.id.as_u64(),
+                            TrackEvent {
+                                time: span.start,
+                                stage: span.name.clone(),
+                                kind: TrackKind::Note(msg.clone()),
+                            },
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        keyed.sort_by_key(|(time, rank, id, _)| (*time, *rank, *id));
+        keyed.into_iter().map(|(_, _, _, e)| e).collect()
     }
 
     /// Completed stage spans, in start order.
     pub fn spans(&self) -> Vec<StageSpan> {
-        let events = self.events.lock();
-        let mut spans = Vec::new();
-        for e in events.iter() {
-            if matches!(e.kind, TrackKind::StageStart) {
-                let end = events.iter().find(|e2| {
-                    e2.stage == e.stage && matches!(e2.kind, TrackKind::StageEnd)
-                });
-                if let Some(end) = end {
-                    spans.push(StageSpan {
-                        stage: e.stage.clone(),
-                        started: e.time,
-                        finished: end.time,
-                    });
-                }
-            }
-        }
+        let data = self.sink.snapshot();
+        let mut spans: Vec<StageSpan> = data
+            .spans
+            .iter()
+            .filter(|s| s.category == Category::Stage && s.track == "driver")
+            .filter_map(|s| {
+                Some(StageSpan {
+                    stage: s.name.clone(),
+                    started: s.start,
+                    finished: s.end?,
+                })
+            })
+            .collect();
+        spans.sort_by_key(|s| s.started);
         spans
     }
 
     /// Renders the progress log as text (the tracker display).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for e in self.events.lock().iter() {
+        for e in self.events() {
             let what = match &e.kind {
                 TrackKind::StageStart => "started".to_string(),
                 TrackKind::StageEnd => "finished".to_string(),
@@ -217,7 +331,12 @@ mod tests {
         // Sort occupies ~80% of the width, encode ~20%.
         let sort_hashes = lines[0].matches('#').count();
         let enc_hashes = lines[1].matches('#').count();
-        assert!(sort_hashes > enc_hashes * 3, "{} vs {}", sort_hashes, enc_hashes);
+        assert!(
+            sort_hashes > enc_hashes * 3,
+            "{} vs {}",
+            sort_hashes,
+            enc_hashes
+        );
         // Empty tracker renders empty.
         assert_eq!(Tracker::new().render_gantt(40), "");
     }
@@ -232,5 +351,35 @@ mod tests {
         });
         sim.run().expect("sim ok");
         assert!(tracker.spans().is_empty());
+    }
+
+    #[test]
+    fn stage_spans_land_in_a_shared_sink() {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(
+            Category::Run,
+            "run",
+            "driver",
+            "driver",
+            SpanId::NONE,
+            SimTime::ZERO,
+        );
+        let tracker = Tracker::with_sink(sink.clone(), run);
+        let t2 = tracker.clone();
+        let mut sim = Sim::new();
+        sim.spawn("driver", move |ctx| {
+            t2.stage_start(ctx, "sort");
+            ctx.sleep(SimDuration::from_secs(1));
+            t2.stage_end(ctx, "sort");
+        });
+        sim.run().expect("sim ok");
+        let data = sink.snapshot();
+        let stage = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::Stage)
+            .expect("stage span recorded");
+        assert_eq!(stage.parent, Some(run));
+        assert_eq!(tracker.spans().len(), 1);
     }
 }

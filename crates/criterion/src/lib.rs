@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/struct surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `Throughput`, `black_box` — backed
+//! by a simple wall-clock harness: each benchmark is warmed up, then
+//! timed over `sample_size` batches, and the per-iteration mean, min and
+//! max are printed. No statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, used to report a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample of `iters` consecutive calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{} ns", ns)
+    } else if ns < 1_000_000 {
+        format!("{:.2} \u{00b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(units: u64, per: Duration, label: &str) -> String {
+    let secs = per.as_secs_f64();
+    if secs <= 0.0 {
+        return String::new();
+    }
+    let rate = units as f64 / secs;
+    if label == "B" {
+        if rate >= 1e9 {
+            format!(" ({:.2} GiB/s)", rate / (1u64 << 30) as f64)
+        } else {
+            format!(" ({:.2} MiB/s)", rate / (1u64 << 20) as f64)
+        }
+    } else if rate >= 1e6 {
+        format!(" ({:.2} Melem/s)", rate / 1e6)
+    } else {
+        format!(" ({:.2} Kelem/s)", rate / 1e3)
+    }
+}
+
+#[derive(Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl Default for GroupConfig {
+    fn default() -> GroupConfig {
+        GroupConfig {
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+fn run_benchmark(full_id: &str, cfg: GroupConfig, f: &mut dyn FnMut(&mut Bencher)) {
+    // One calibration pass: how many iterations fit in ~20 ms per sample?
+    let mut cal = Bencher {
+        iters: 1,
+        samples: Vec::new(),
+    };
+    f(&mut cal);
+    let per_iter = cal.samples.first().copied().unwrap_or(Duration::ZERO);
+    let target = Duration::from_millis(20);
+    let iters = if per_iter.is_zero() {
+        1_000
+    } else {
+        (target.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64
+    };
+
+    let mut b = Bencher {
+        iters,
+        samples: Vec::new(),
+    };
+    for _ in 0..cfg.sample_size.max(1) {
+        f(&mut b);
+    }
+
+    let per_sample: Vec<Duration> = b
+        .samples
+        .iter()
+        .map(|d| Duration::from_nanos((d.as_nanos() / iters as u128) as u64))
+        .collect();
+    let total: Duration = per_sample.iter().sum();
+    let mean = total / per_sample.len().max(1) as u32;
+    let min = per_sample.iter().min().copied().unwrap_or(Duration::ZERO);
+    let max = per_sample.iter().max().copied().unwrap_or(Duration::ZERO);
+
+    let rate = match cfg.throughput {
+        Some(Throughput::Bytes(n)) => fmt_rate(n, mean, "B"),
+        Some(Throughput::Elements(n)) => fmt_rate(n, mean, "elem"),
+        None => String::new(),
+    };
+
+    println!(
+        "{:<44} time: [{} {} {}]{}",
+        full_id,
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        rate
+    );
+}
+
+/// Namespaced collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    cfg: GroupConfig,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Declares the units processed per iteration.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.cfg.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.cfg, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            cfg: GroupConfig::default(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_benchmark(id, GroupConfig::default(), &mut f);
+        self
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.throughput(Throughput::Bytes(1024));
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert!(runs > 0);
+        c.bench_function("standalone", |b| b.iter(|| black_box(3 + 4)));
+    }
+}

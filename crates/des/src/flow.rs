@@ -176,7 +176,9 @@ impl FlowNet {
 
     /// Advances all remaining-byte counters to `now` at current rates.
     fn settle(&mut self, now: SimTime) {
-        let dt = now.saturating_duration_since(self.last_settle).as_secs_f64();
+        let dt = now
+            .saturating_duration_since(self.last_settle)
+            .as_secs_f64();
         self.last_settle = now;
         if dt <= 0.0 {
             return;
@@ -230,8 +232,7 @@ impl FlowNet {
                 None => {
                     // Remaining flows are unconstrained.
                     for &fi in &unfrozen {
-                        self.flows[fi].as_mut().expect("unfrozen flow exists").rate =
-                            f64::INFINITY;
+                        self.flows[fi].as_mut().expect("unfrozen flow exists").rate = f64::INFINITY;
                     }
                     break;
                 }
@@ -250,8 +251,7 @@ impl FlowNet {
                             let f = self.flows[fi].as_mut().expect("unfrozen flow exists");
                             f.rate = share;
                             for l in &f.links {
-                                residual[l.0 as usize] =
-                                    (residual[l.0 as usize] - share).max(0.0);
+                                residual[l.0 as usize] = (residual[l.0 as usize] - share).max(0.0);
                             }
                         } else {
                             still.push(fi);

@@ -119,7 +119,9 @@ impl RateLimiter {
     }
 
     fn refill(&mut self, now: SimTime) {
-        let dt = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        let dt = now
+            .saturating_duration_since(self.last_refill)
+            .as_secs_f64();
         self.last_refill = now;
         if dt > 0.0 {
             self.tokens = (self.tokens + dt * self.rate).min(self.burst);
@@ -236,7 +238,11 @@ mod tests {
         assert!(!l.acquire(t(0), 1, 3.0));
         // 3 tokens accrue in 0.3 s.
         let ready = l.next_ready(t(0)).expect("waiter queued");
-        assert!(ready.as_nanos().abs_diff(t(300).as_nanos()) <= 2, "ready {:?}", ready);
+        assert!(
+            ready.as_nanos().abs_diff(t(300).as_nanos()) <= 2,
+            "ready {:?}",
+            ready
+        );
         assert_eq!(l.tick(t(300)), vec![1]);
         assert!(l.next_ready(t(300)).is_none());
     }

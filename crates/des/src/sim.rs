@@ -209,11 +209,9 @@ impl Sim {
             .stack_size(self.cfg.stack_size)
             .spawn(move || {
                 // Wait for the first resume before running the body.
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    match ctx.first_resume() {
-                        true => body(&mut ctx),
-                        false => std::panic::panic_any(ShutdownSignal),
-                    }
+                let result = catch_unwind(AssertUnwindSafe(|| match ctx.first_resume() {
+                    true => body(&mut ctx),
+                    false => std::panic::panic_any(ShutdownSignal),
                 }));
                 match result {
                     Ok(()) => ctx.finish(Ok(())),
@@ -327,8 +325,7 @@ impl Sim {
         }
         let now = self.now();
         if let Some(at) = self.limiters[li as usize].next_ready(now) {
-            self.limiter_events[li as usize] =
-                Some(self.queue.schedule(at, Wake::LimiterTick(li)));
+            self.limiter_events[li as usize] = Some(self.queue.schedule(at, Wake::LimiterTick(li)));
         }
     }
 
@@ -476,11 +473,7 @@ impl Sim {
         }
     }
 
-    fn join_result(
-        &mut self,
-        target: ProcessId,
-        res: Result<(), String>,
-    ) -> Result<(), JoinError> {
+    fn join_result(&mut self, target: ProcessId, res: Result<(), String>) -> Result<(), JoinError> {
         match res {
             Ok(()) => Ok(()),
             Err(message) => {
@@ -827,7 +820,11 @@ mod tests {
         }
         sim.run().expect("run");
         let log = log.lock().unwrap();
-        assert_eq!(*log, vec![0, 1, 0, 1, 0, 1], "zero-sleep yields round-robin");
+        assert_eq!(
+            *log,
+            vec![0, 1, 0, 1, 0, 1],
+            "zero-sleep yields round-robin"
+        );
     }
 
     #[test]

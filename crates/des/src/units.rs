@@ -513,7 +513,10 @@ mod tests {
     fn sim_time_arithmetic() {
         let t = SimTime::ZERO + SimDuration::from_secs(5);
         assert_eq!(t.as_nanos(), 5_000_000_000);
-        assert_eq!(t - SimTime::from_nanos(1_000_000_000), SimDuration::from_secs(4));
+        assert_eq!(
+            t - SimTime::from_nanos(1_000_000_000),
+            SimDuration::from_secs(4)
+        );
         assert_eq!(t.duration_since(t), SimDuration::ZERO);
     }
 
@@ -560,7 +563,10 @@ mod tests {
         let bw = Bandwidth::mib_per_sec(10.0);
         let t = bw.transfer_time(ByteSize::mib(30));
         assert!((t.as_secs_f64() - 3.0).abs() < 1e-9);
-        assert_eq!(Bandwidth::UNLIMITED.transfer_time(ByteSize::gib(1)), SimDuration::ZERO);
+        assert_eq!(
+            Bandwidth::UNLIMITED.transfer_time(ByteSize::gib(1)),
+            SimDuration::ZERO
+        );
         assert_eq!(
             Bandwidth::bytes_per_sec(0.0).transfer_time(ByteSize::new(1)),
             SimDuration::MAX

@@ -1,12 +1,14 @@
 //! The functions platform: container pool, invoker, and billing records.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::Rng;
 
 use faaspipe_des::{Ctx, LinkId, ProcessId, SemId, Sim, SimDuration, SimTime};
+use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::config::FaasConfig;
 
@@ -60,13 +62,29 @@ pub struct FunctionEnv {
     pub memory_mb: u32,
     /// Whether this instance was cold-started.
     pub cold: bool,
+    trace: TraceSink,
+    span: SpanId,
+    lane: String,
 }
 
 impl FunctionEnv {
     /// Charges `work` of single-vCPU compute time, scaled by this
     /// instance's CPU share (half a vCPU takes twice as long).
     pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
+        let span = if self.trace.is_enabled() {
+            self.trace.span_start(
+                Category::Compute,
+                "compute",
+                "faas",
+                &self.lane,
+                self.span,
+                ctx.now(),
+            )
+        } else {
+            SpanId::NONE
+        };
         ctx.compute(work.mul_f64(1.0 / self.cpu_share));
+        self.trace.span_end(span, ctx.now());
     }
 }
 
@@ -78,6 +96,10 @@ pub struct FunctionPlatform {
     concurrency: SemId,
     pool: Mutex<HashMap<String, Vec<WarmContainer>>>,
     records: Mutex<Vec<InvocationRecord>>,
+    trace: Mutex<TraceSink>,
+    next_inv: AtomicU64,
+    queued: AtomicU64,
+    running: AtomicU64,
 }
 
 impl std::fmt::Debug for FunctionPlatform {
@@ -99,7 +121,22 @@ impl FunctionPlatform {
             concurrency,
             pool: Mutex::new(HashMap::new()),
             records: Mutex::new(Vec::new()),
+            trace: Mutex::new(TraceSink::disabled()),
+            next_inv: AtomicU64::new(1),
+            queued: AtomicU64::new(0),
+            running: AtomicU64::new(0),
         })
+    }
+
+    /// Routes invocation spans and pool counters to `sink`. The default
+    /// sink is disabled.
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        *self.trace.lock() = sink;
+    }
+
+    /// Total warm containers parked across all functions.
+    fn pool_size(&self) -> usize {
+        self.pool.lock().values().map(|v| v.len()).sum()
     }
 
     /// The platform configuration.
@@ -144,9 +181,14 @@ impl FunctionPlatform {
         let function = function.into();
         let tag = tag.into();
         let requested = ctx.now();
+        // Parent the invocation to whatever span the *caller* is inside
+        // (typically the driver's stage span), captured before the hop to
+        // the invocation's own process.
+        let trace = self.trace.lock().clone();
+        let parent = trace.current(ctx.pid());
         let pname = format!("fn:{}:{}", function, tag);
         ctx.spawn(pname, move |fctx| {
-            platform.run_invocation(fctx, function, tag, requested, body);
+            platform.run_invocation(fctx, function, tag, requested, trace, parent, body);
         })
     }
 
@@ -169,17 +211,51 @@ impl FunctionPlatform {
         ctx.join(h)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_invocation<F>(
         self: Arc<Self>,
         ctx: &mut Ctx,
         function: String,
         tag: String,
         requested: SimTime,
+        trace: TraceSink,
+        parent: SpanId,
         body: F,
     ) where
         F: FnOnce(&mut Ctx, &FunctionEnv) + Send + 'static,
     {
+        let tracing = trace.is_enabled();
+        let (inv, lane) = if tracing {
+            let seq = self.next_inv.fetch_add(1, Ordering::SeqCst);
+            let lane = format!("inv-{}", seq);
+            let inv = trace.span_start(
+                Category::Invocation,
+                &function,
+                "faas",
+                &lane,
+                parent,
+                requested,
+            );
+            trace.attr(inv, "function", function.as_str());
+            trace.attr(inv, "tag", tag.as_str());
+            trace.attr(inv, "memory_mb", self.cfg.memory_mb);
+            (inv, lane)
+        } else {
+            (SpanId::NONE, String::new())
+        };
+        let queue = if tracing {
+            let q = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+            trace.gauge("faas.queued_invocations", requested, q as f64);
+            trace.span_start(Category::Queue, "queue", "faas", &lane, inv, requested)
+        } else {
+            SpanId::NONE
+        };
         ctx.sem_acquire(self.concurrency, 1);
+        if tracing {
+            let q = self.queued.fetch_sub(1, Ordering::SeqCst) - 1;
+            trace.gauge("faas.queued_invocations", ctx.now(), q as f64);
+            trace.span_end(queue, ctx.now());
+        }
         // Claim a warm container or cold-start a new one.
         let now = ctx.now();
         let warm = {
@@ -188,6 +264,10 @@ impl FunctionPlatform {
             slot.retain(|c| c.expires >= now);
             slot.pop()
         };
+        if tracing {
+            trace.gauge("faas.warm_containers", now, self.pool_size() as f64);
+        }
+        let start_at = ctx.now();
         let (nic, cold) = match warm {
             Some(c) => {
                 ctx.sleep(self.cfg.warm_start);
@@ -198,10 +278,24 @@ impl FunctionPlatform {
                 (ctx.link_create(self.cfg.nic_bw), true)
             }
         };
+        if tracing {
+            let category = if cold {
+                Category::ColdStart
+            } else {
+                Category::WarmStart
+            };
+            let name = if cold { "cold-start" } else { "warm-start" };
+            let s = trace.span_start(category, name, "faas", &lane, inv, start_at);
+            trace.span_end(s, ctx.now());
+        }
         if self.cfg.failure_rate > 0.0 && ctx.rng().gen::<f64>() < self.cfg.failure_rate {
             // Crash before user code, releasing the slot first so the
             // platform is not poisoned.
             ctx.sem_release(self.concurrency, 1);
+            if tracing {
+                trace.attr(inv, "failed", true);
+                trace.span_end(inv, ctx.now());
+            }
             panic!("injected invocation failure for '{}'", function);
         }
         let env = FunctionEnv {
@@ -209,14 +303,32 @@ impl FunctionPlatform {
             cpu_share: self.cfg.cpu_share(),
             memory_mb: self.cfg.memory_mb,
             cold,
+            trace: trace.clone(),
+            span: inv,
+            lane,
         };
         let started = ctx.now();
+        if tracing {
+            let r = self.running.fetch_add(1, Ordering::SeqCst) + 1;
+            trace.gauge("faas.running_containers", started, r as f64);
+            // Store requests issued by the body parent to this invocation.
+            trace.enter(ctx.pid(), inv);
+        }
         // A crashing body must still release the platform's concurrency
         // slot (its container dies with it and is not parked).
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx, &env)));
+        if tracing {
+            trace.exit(ctx.pid());
+            let r = self.running.fetch_sub(1, Ordering::SeqCst) - 1;
+            trace.gauge("faas.running_containers", ctx.now(), r as f64);
+        }
         if let Err(payload) = result {
             if !faaspipe_des::is_shutdown_payload(payload.as_ref()) {
                 ctx.sem_release(self.concurrency, 1);
+            }
+            if tracing {
+                trace.attr(inv, "failed", true);
+                trace.span_end(inv, ctx.now());
             }
             std::panic::resume_unwind(payload);
         }
@@ -224,12 +336,19 @@ impl FunctionPlatform {
         // Park the container and release the slot.
         {
             let mut pool = self.pool.lock();
-            pool.entry(function.clone()).or_default().push(WarmContainer {
-                nic,
-                expires: finished + self.cfg.keep_alive,
-            });
+            pool.entry(function.clone())
+                .or_default()
+                .push(WarmContainer {
+                    nic,
+                    expires: finished + self.cfg.keep_alive,
+                });
         }
         ctx.sem_release(self.concurrency, 1);
+        if tracing {
+            trace.gauge("faas.warm_containers", finished, self.pool_size() as f64);
+            trace.attr(inv, "cold", cold);
+            trace.span_end(inv, finished);
+        }
         self.records.lock().push(InvocationRecord {
             function,
             tag,
@@ -265,7 +384,8 @@ mod tests {
         let p = faas.clone();
         sim.spawn("driver", move |ctx| {
             p.invoke(ctx, "f", "a", |_, env| assert!(env.cold)).unwrap();
-            p.invoke(ctx, "f", "b", |_, env| assert!(!env.cold)).unwrap();
+            p.invoke(ctx, "f", "b", |_, env| assert!(!env.cold))
+                .unwrap();
         });
         sim.run().expect("run");
         let recs = faas.records();
@@ -377,8 +497,10 @@ mod tests {
         let (mut sim, faas) = platform_sim(cfg);
         let p = faas.clone();
         sim.spawn("driver", move |ctx| {
-            p.invoke(ctx, "f", "t", |fctx, _| fctx.sleep(SimDuration::from_secs(2)))
-                .unwrap();
+            p.invoke(ctx, "f", "t", |fctx, _| {
+                fctx.sleep(SimDuration::from_secs(2))
+            })
+            .unwrap();
         });
         sim.run().expect("run");
         let rec = &faas.records()[0];
@@ -399,7 +521,10 @@ mod tests {
             assert!(err.message.contains("injected invocation failure"));
         });
         sim.run().expect("observed failure is fine");
-        assert!(faas.records().is_empty(), "crashed invocations are not billed");
+        assert!(
+            faas.records().is_empty(),
+            "crashed invocations are not billed"
+        );
     }
 
     #[test]
@@ -474,6 +599,48 @@ mod tests {
         });
         sim.run().expect("run");
         assert_eq!(faas.warm_count("f"), 1, "only the healthy container parked");
+    }
+
+    #[test]
+    fn traced_invocation_records_queue_start_and_compute_spans() {
+        let cfg = FaasConfig {
+            cold_start: SimDuration::from_millis(500),
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let sink = TraceSink::recording();
+        faas.set_trace_sink(sink.clone());
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "t", |fctx, env| {
+                env.compute(fctx, SimDuration::from_secs(1));
+            })
+            .unwrap();
+        });
+        sim.run().expect("run");
+        let data = sink.snapshot();
+        let inv = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::Invocation)
+            .expect("invocation span");
+        assert_eq!(inv.name, "f");
+        assert_eq!(inv.lane, "inv-1");
+        assert!(inv.end.is_some());
+        let cold = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::ColdStart)
+            .expect("cold-start span");
+        assert_eq!(cold.parent, Some(inv.id));
+        assert_eq!(cold.duration().unwrap(), SimDuration::from_millis(500));
+        let compute = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::Compute)
+            .expect("compute span");
+        assert_eq!(compute.parent, Some(inv.id));
+        assert!(data.spans.iter().any(|s| s.category == Category::Queue));
     }
 
     #[test]

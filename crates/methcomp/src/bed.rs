@@ -107,9 +107,7 @@ impl MethRecord {
     pub fn parse_line(line: &str) -> Result<MethRecord, BedError> {
         let cols: Vec<&str> = line.split('\t').collect();
         if cols.len() != 11 {
-            return Err(BedError::ColumnCount {
-                found: cols.len(),
-            });
+            return Err(BedError::ColumnCount { found: cols.len() });
         }
         let chrom = chrom_id(cols[0]).ok_or_else(|| BedError::UnknownChrom {
             name: cols[0].to_string(),
@@ -265,7 +263,9 @@ impl Dataset {
 
     /// Whether records are sorted by the canonical key.
     pub fn is_sorted(&self) -> bool {
-        self.records.windows(2).all(|w| w[0].sort_key() <= w[1].sort_key())
+        self.records
+            .windows(2)
+            .all(|w| w[0].sort_key() <= w[1].sort_key())
     }
 }
 
@@ -327,7 +327,10 @@ mod tests {
         let line = "chr1\tx\t2\t.\t5\t+\t1\t2\t0,0,0\t5\t50";
         assert!(matches!(
             MethRecord::parse_line(line),
-            Err(BedError::BadField { column: "start", .. })
+            Err(BedError::BadField {
+                column: "start",
+                ..
+            })
         ));
         let line = "chr1\t5\t5\t.\t5\t+\t5\t5\t0,0,0\t5\t50";
         assert!(matches!(
@@ -337,12 +340,18 @@ mod tests {
         let line = "chr1\t1\t2\t.\t5\t*\t1\t2\t0,0,0\t5\t50";
         assert!(matches!(
             MethRecord::parse_line(line),
-            Err(BedError::BadField { column: "strand", .. })
+            Err(BedError::BadField {
+                column: "strand",
+                ..
+            })
         ));
         let line = "chr1\t1\t2\t.\t5\t+\t1\t2\t0,0,0\t5\t101";
         assert!(matches!(
             MethRecord::parse_line(line),
-            Err(BedError::BadField { column: "methPct", .. })
+            Err(BedError::BadField {
+                column: "methPct",
+                ..
+            })
         ));
     }
 
@@ -354,7 +363,11 @@ mod tests {
                 chrom: (i % 3) as u8,
                 start: 100 + i * 7,
                 end: 101 + i * 7,
-                strand: if i % 2 == 0 { Strand::Plus } else { Strand::Minus },
+                strand: if i % 2 == 0 {
+                    Strand::Plus
+                } else {
+                    Strand::Minus
+                },
                 coverage: (i % 60) as u32 + 1,
                 meth_pct: (i % 101) as u8,
             });

@@ -115,7 +115,9 @@ pub fn compress(dataset: &Dataset) -> Vec<u8> {
 /// checksum mismatch.
 pub fn decompress(input: &[u8]) -> Result<Dataset, CodecError> {
     if input.len() < 4 || &input[..4] != MAGIC {
-        return Err(CodecError::BadHeader { what: "methcomp magic" });
+        return Err(CodecError::BadHeader {
+            what: "methcomp magic",
+        });
     }
     let (count, used) = varint::read_u64(&input[4..])?;
     if count > MAX_RECORDS {

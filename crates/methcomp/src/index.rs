@@ -18,8 +18,6 @@
 //! fetch the fixed-size trailer, then the index, then only the blocks
 //! they need.)
 
-use serde::{Deserialize, Serialize};
-
 use faaspipe_codec::checksum::crc32;
 use faaspipe_codec::{varint, CodecError};
 
@@ -31,7 +29,7 @@ const MAGIC: &[u8; 4] = b"MX01";
 pub const DEFAULT_BLOCK_RECORDS: usize = 4_096;
 
 /// One block's entry in the index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BlockInfo {
     /// Chromosome id all the block's records share.
     pub chrom: u8,
@@ -48,13 +46,18 @@ pub struct BlockInfo {
 }
 
 /// The footer index.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ArchiveIndex {
     /// Total records in the archive.
     pub total_records: u64,
     /// Blocks in genome order.
     pub blocks: Vec<BlockInfo>,
 }
+
+faaspipe_json::json_object! {
+    BlockInfo { req chrom, req min_start, req max_start, req records, req offset, req len }
+}
+faaspipe_json::json_object! { ArchiveIndex { req total_records, req blocks } }
 
 /// Compresses a **sorted** dataset into an indexed archive.
 ///
@@ -99,7 +102,7 @@ pub fn compress_indexed(dataset: &Dataset, block_records: usize) -> Result<Vec<u
         total_records: dataset.len() as u64,
         blocks,
     };
-    let index_json = serde_json::to_vec(&index).expect("index serializes");
+    let index_json = faaspipe_json::to_vec(&index);
     let index_crc = crc32(&index_json);
     out.extend_from_slice(&index_json);
     let mut trailer = Vec::new();
@@ -116,15 +119,17 @@ pub fn compress_indexed(dataset: &Dataset, block_records: usize) -> Result<Vec<u
 /// [`CodecError`] on bad magic, truncation, or index corruption.
 pub fn read_index(archive: &[u8]) -> Result<ArchiveIndex, CodecError> {
     if archive.len() < 9 || &archive[..4] != MAGIC {
-        return Err(CodecError::BadHeader { what: "indexed archive magic" });
+        return Err(CodecError::BadHeader {
+            what: "indexed archive magic",
+        });
     }
     let crc_start = archive.len() - 4;
-    let stored_crc = u32::from_le_bytes(
-        archive[crc_start..].try_into().expect("4 bytes"),
-    );
+    let stored_crc = u32::from_le_bytes(archive[crc_start..].try_into().expect("4 bytes"));
     let varlen = archive[crc_start - 1] as usize;
     if varlen == 0 || crc_start < 1 + varlen {
-        return Err(CodecError::BadHeader { what: "indexed archive trailer" });
+        return Err(CodecError::BadHeader {
+            what: "indexed archive trailer",
+        });
     }
     let var_start = crc_start - 1 - varlen;
     let (index_len, _) = varint::read_u64(&archive[var_start..crc_start - 1])?;
@@ -139,7 +144,7 @@ pub fn read_index(archive: &[u8]) -> Result<ArchiveIndex, CodecError> {
             actual,
         });
     }
-    serde_json::from_slice(index_json).map_err(|_| CodecError::BadHeader {
+    faaspipe_json::from_slice(index_json).map_err(|_| CodecError::BadHeader {
         what: "indexed archive index",
     })
 }
@@ -233,9 +238,7 @@ mod tests {
         }
         // Blocks are in genome order and tile the archive contiguously.
         for pair in index.blocks.windows(2) {
-            assert!(
-                (pair[0].chrom, pair[0].min_start) <= (pair[1].chrom, pair[1].min_start)
-            );
+            assert!((pair[0].chrom, pair[0].min_start) <= (pair[1].chrom, pair[1].min_start));
             assert_eq!(pair[0].offset + pair[0].len, pair[1].offset);
         }
         assert_eq!(index.total_records, 30_000);

@@ -17,15 +17,15 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::bed::{Dataset, MethRecord, Strand};
 #[cfg(test)]
 use crate::bed::CHROM_NAMES;
+use crate::bed::{Dataset, MethRecord, Strand};
 
 /// Approximate hg38 chromosome lengths in megabases, same order as
 /// [`CHROM_NAMES`].
 const CHROM_MB: [u32; 24] = [
-    249, 242, 198, 190, 182, 171, 159, 145, 138, 134, 135, 133, 114, 107, 102, 90, 83, 80, 59,
-    64, 47, 51, 156, 57,
+    249, 242, 198, 190, 182, 171, 159, 145, 138, 134, 135, 133, 114, 107, 102, 90, 83, 80, 59, 64,
+    47, 51, 156, 57,
 ];
 
 /// Average serialized bytes per bedMethyl record (used to size datasets by
@@ -195,8 +195,7 @@ mod tests {
     #[test]
     fn coverage_is_realistic() {
         let ds = Synthesizer::new(3).generate_records(20_000);
-        let mean: f64 = ds.records.iter().map(|r| r.coverage as f64).sum::<f64>()
-            / ds.len() as f64;
+        let mean: f64 = ds.records.iter().map(|r| r.coverage as f64).sum::<f64>() / ds.len() as f64;
         assert!((20.0..40.0).contains(&mean), "mean coverage {}", mean);
         assert!(ds.records.iter().all(|r| r.coverage >= 1));
     }

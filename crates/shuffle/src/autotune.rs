@@ -181,11 +181,7 @@ impl TuningModel {
     /// The latency-optimal worker count whose modelled cost stays within
     /// `budget_dollars`. Falls back to the overall cheapest count when no
     /// worker count fits the budget.
-    pub fn best_workers_under_budget(
-        &self,
-        budget_dollars: f64,
-        prices: &TuningPrices,
-    ) -> usize {
+    pub fn best_workers_under_budget(&self, budget_dollars: f64, prices: &TuningPrices) -> usize {
         let mut best: Option<(usize, f64)> = None;
         let mut cheapest = (1usize, f64::INFINITY);
         for w in 1..=self.max_workers.max(1) {
@@ -340,7 +336,10 @@ mod tests {
         let t_best = m.breakdown(best).total_s();
         let t_max = m.breakdown(m.max_workers).total_s();
         assert!(best > 1, "one worker cannot be optimal for 3.5 GB");
-        assert!(best < m.max_workers, "request overhead must bite eventually");
+        assert!(
+            best < m.max_workers,
+            "request overhead must bite eventually"
+        );
         assert!(t_best < t1, "optimum beats too-few");
         assert!(t_best < t_max, "optimum beats too-many");
     }

@@ -63,9 +63,7 @@ mod tests {
     #[test]
     fn display_and_source() {
         use std::error::Error;
-        let e = ShuffleError::from(StoreError::NoSuchBucket {
-            bucket: "b".into(),
-        });
+        let e = ShuffleError::from(StoreError::NoSuchBucket { bucket: "b".into() });
         assert!(e.to_string().contains("no such bucket"));
         assert!(e.source().is_some());
         let e = ShuffleError::BadConfig {

@@ -6,8 +6,6 @@
 //! inputs without relying on key-format conventions (the same role
 //! Lithops' result objects play for the paper's pipeline).
 
-use serde::{Deserialize, Serialize};
-
 use bytes::Bytes;
 use faaspipe_des::Ctx;
 use faaspipe_store::StoreClient;
@@ -15,7 +13,7 @@ use faaspipe_store::StoreClient;
 use crate::error::ShuffleError;
 
 /// One sorted run in a manifest.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunInfo {
     /// Object key of the run.
     pub key: String,
@@ -26,7 +24,7 @@ pub struct RunInfo {
 }
 
 /// The manifest of one sort execution.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SortManifest {
     /// Operator that produced the runs (`"serverless"` or `"vm"`).
     pub operator: String,
@@ -41,6 +39,11 @@ pub struct SortManifest {
     pub runs: Vec<RunInfo>,
 }
 
+faaspipe_json::json_object! { RunInfo { req key, req records, req bytes } }
+faaspipe_json::json_object! {
+    SortManifest { req operator, req workers, req input_bytes, req output_bytes, req runs }
+}
+
 impl SortManifest {
     /// Total records across all runs.
     pub fn total_records(&self) -> u64 {
@@ -49,7 +52,7 @@ impl SortManifest {
 
     /// Serializes to JSON bytes.
     pub fn to_bytes(&self) -> Vec<u8> {
-        serde_json::to_vec_pretty(self).expect("manifest serializes")
+        faaspipe_json::to_vec_pretty(self)
     }
 
     /// Parses from JSON bytes.
@@ -57,7 +60,7 @@ impl SortManifest {
     /// # Errors
     /// [`ShuffleError::Corrupt`] if the JSON is not a manifest.
     pub fn from_bytes(data: &[u8]) -> Result<SortManifest, ShuffleError> {
-        serde_json::from_slice(data).map_err(|_| ShuffleError::Corrupt { what: "manifest" })
+        faaspipe_json::from_slice(data).map_err(|_| ShuffleError::Corrupt { what: "manifest" })
     }
 
     /// Writes the manifest through a store client (one timed PUT).
@@ -144,7 +147,8 @@ mod tests {
         sim.spawn("driver", move |ctx| {
             let client = store2.connect(ctx, "manifest");
             let m = sample();
-            m.write(ctx, &client, "data", "out/_manifest.json").expect("write");
+            m.write(ctx, &client, "data", "out/_manifest.json")
+                .expect("write");
             *got2.lock() =
                 Some(SortManifest::read(ctx, &client, "data", "out/_manifest.json").expect("read"));
         });

@@ -39,7 +39,9 @@ pub trait SortRecord: Clone + Send + Sync + 'static {
                 what: "record buffer length",
             });
         }
-        data.chunks_exact(Self::WIRE_SIZE).map(Self::read_from).collect()
+        data.chunks_exact(Self::WIRE_SIZE)
+            .map(Self::read_from)
+            .collect()
     }
 
     /// Serializes a whole slice of records.
@@ -66,9 +68,9 @@ impl SortRecord for u64 {
     }
 
     fn read_from(bytes: &[u8]) -> Result<Self, ShuffleError> {
-        let arr: [u8; 8] = bytes.try_into().map_err(|_| ShuffleError::Corrupt {
-            what: "u64 record",
-        })?;
+        let arr: [u8; 8] = bytes
+            .try_into()
+            .map_err(|_| ShuffleError::Corrupt { what: "u64 record" })?;
         Ok(u64::from_le_bytes(arr))
     }
 }

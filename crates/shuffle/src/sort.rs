@@ -22,6 +22,7 @@ use parking_lot::Mutex;
 use faaspipe_des::{Ctx, SimDuration, SimTime};
 use faaspipe_faas::FunctionPlatform;
 use faaspipe_store::{ObjectStore, StoreError};
+use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::error::ShuffleError;
 use crate::partitioner::RangePartitioner;
@@ -228,10 +229,13 @@ pub fn serverless_sort<R: SortRecord>(
     let input_keys: Vec<String> = inputs.iter().map(|o| o.key.clone()).collect();
     let input_bytes: u64 = inputs.iter().map(|o| o.len.as_u64()).sum();
     let w = cfg.workers;
+    // Phase spans nest under whatever span the driver is inside (the
+    // stage span when run from the executor).
+    let trace = store.trace_sink();
     let cfg = Arc::new(cfg.clone());
 
     // ---- Phase 0: sample keys with range reads (one fn per mapper). ----
-    ctx.sleep(cfg.orchestration);
+    let p_sample = phase_begin(ctx, &trace, "sample", cfg.orchestration);
     let samples: Arc<Mutex<Vec<R::Key>>> = Arc::new(Mutex::new(Vec::new()));
     let mut tasks: Vec<TaskFactory> = Vec::new();
     for m in 0..w {
@@ -255,37 +259,43 @@ pub fn serverless_sort<R: SortRecord>(
             let samples = Arc::clone(&samples);
             let cfg = Arc::clone(&cfg);
             let assigned = Arc::clone(&assigned);
-            faas.invoke_async(ctx, "sample", format!("{}/sample", cfg.tag), move |fctx, env| {
-                let client = store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
-                let mut reservoir = Reservoir::new(cfg.sample_capacity);
-                for (key, len) in assigned.iter() {
-                    let span = cfg.sample_bytes.min(*len);
-                    let span = span - span % R::WIRE_SIZE as u64;
-                    if span == 0 {
-                        continue;
+            faas.invoke_async(
+                ctx,
+                "sample",
+                format!("{}/sample", cfg.tag),
+                move |fctx, env| {
+                    let client = store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
+                    let mut reservoir = Reservoir::new(cfg.sample_capacity);
+                    for (key, len) in assigned.iter() {
+                        let span = cfg.sample_bytes.min(*len);
+                        let span = span - span % R::WIRE_SIZE as u64;
+                        if span == 0 {
+                            continue;
+                        }
+                        let data = with_retry(cfg.retries, || {
+                            client.get_range(fctx, &cfg.bucket, key, 0, span)
+                        })
+                        .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                        let records: Vec<R> = SortRecord::read_all(&data)
+                            .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
+                        env.compute(fctx, cfg.work.parse_time(data.len()));
+                        for r in &records {
+                            reservoir.offer(r.key(), fctx.rng());
+                        }
                     }
-                    let data = with_retry(cfg.retries, || {
-                        client.get_range(fctx, &cfg.bucket, key, 0, span)
-                    })
-                    .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                    let records: Vec<R> = SortRecord::read_all(&data)
-                        .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
-                    env.compute(fctx, cfg.work.parse_time(data.len()));
-                    for r in &records {
-                        reservoir.offer(r.key(), fctx.rng());
-                    }
-                }
-                samples.lock().extend(reservoir.into_items());
-            })
+                    samples.lock().extend(reservoir.into_items());
+                },
+            )
         }));
     }
     run_phase(ctx, "sample", cfg.task_attempts, &tasks)?;
+    phase_end(ctx, &trace, p_sample);
     let sample_done = ctx.now();
     let sample = std::mem::take(&mut *samples.lock());
     let partitioner = Arc::new(RangePartitioner::from_sample(sample, w));
 
     // ---- Phase 1: map — local sort, range partition, scatter. ----
-    ctx.sleep(cfg.orchestration);
+    let p_map = phase_begin(ctx, &trace, "map", cfg.orchestration);
     let map_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
     // Coalesced mode: per-mapper partition offset tables, returned to the
     // driver through the invocation-result path (Lithops result objects).
@@ -341,7 +351,12 @@ pub fn serverless_sort<R: SortRecord>(
                             written += bucket_data.len() as u64;
                             let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
                             with_retry(cfg.retries, || {
-                                client.put(fctx, &cfg.bucket, &key, Bytes::from(bucket_data.clone()))
+                                client.put(
+                                    fctx,
+                                    &cfg.bucket,
+                                    &key,
+                                    Bytes::from(bucket_data.clone()),
+                                )
                             })
                             .unwrap_or_else(|e| panic!("map scatter failed: {}", e));
                         }
@@ -368,10 +383,11 @@ pub fn serverless_sort<R: SortRecord>(
         }));
     }
     run_phase(ctx, "map", cfg.task_attempts, &tasks)?;
+    phase_end(ctx, &trace, p_map);
     let map_done = ctx.now();
 
     // ---- Phase 2: reduce — gather, k-way merge, write runs. ----
-    ctx.sleep(cfg.orchestration);
+    let p_reduce = phase_begin(ctx, &trace, "reduce", cfg.orchestration);
     let out_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
     let run_infos: Arc<Mutex<Vec<Option<RunInfo>>>> = Arc::new(Mutex::new(vec![None; w]));
     let offsets_snapshot: Arc<Vec<Vec<(u64, u64)>>> =
@@ -390,54 +406,60 @@ pub fn serverless_sort<R: SortRecord>(
             let out_bytes = Arc::clone(&out_bytes);
             let run_infos = Arc::clone(&run_infos);
             let offsets = Arc::clone(&offsets);
-            faas.invoke_async(ctx, "reduce", format!("{}/reduce", cfg.tag), move |fctx, env| {
-                let client = store.connect_via(fctx, format!("{}/reduce", cfg.tag), &[env.nic]);
-                let mut runs: Vec<Vec<R>> = Vec::with_capacity(w);
-                let mut gathered = 0usize;
-                for m in 0..w {
-                    let data = match cfg.exchange {
-                        ExchangeStrategy::Scatter => {
-                            let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
-                            with_retry(cfg.retries, || client.get(fctx, &cfg.bucket, &key))
-                                .unwrap_or_else(|e| panic!("reduce gather failed: {}", e))
-                        }
-                        ExchangeStrategy::Coalesced => {
-                            let (off, len) = offsets[m][j];
-                            let key = format!("{}{:05}", cfg.part_prefix, m);
-                            if len == 0 {
-                                Bytes::new()
-                            } else {
-                                with_retry(cfg.retries, || {
-                                    client.get_range(fctx, &cfg.bucket, &key, off, len)
-                                })
-                                .unwrap_or_else(|e| panic!("reduce range gather failed: {}", e))
+            faas.invoke_async(
+                ctx,
+                "reduce",
+                format!("{}/reduce", cfg.tag),
+                move |fctx, env| {
+                    let client = store.connect_via(fctx, format!("{}/reduce", cfg.tag), &[env.nic]);
+                    let mut runs: Vec<Vec<R>> = Vec::with_capacity(w);
+                    let mut gathered = 0usize;
+                    for m in 0..w {
+                        let data = match cfg.exchange {
+                            ExchangeStrategy::Scatter => {
+                                let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
+                                with_retry(cfg.retries, || client.get(fctx, &cfg.bucket, &key))
+                                    .unwrap_or_else(|e| panic!("reduce gather failed: {}", e))
                             }
-                        }
-                    };
-                    gathered += data.len();
-                    runs.push(
-                        SortRecord::read_all(&data)
-                            .unwrap_or_else(|e| panic!("reduce decode failed: {}", e)),
-                    );
-                }
-                env.compute(fctx, cfg.work.merge_time(gathered));
-                let merged = kway_merge(runs);
-                let data = SortRecord::write_all(&merged);
-                *out_bytes.lock() += data.len() as u64;
-                let key = format!("{}{:05}", cfg.output_prefix, j);
-                run_infos.lock()[j] = Some(RunInfo {
-                    key: key.clone(),
-                    records: merged.len() as u64,
-                    bytes: data.len() as u64,
-                });
-                with_retry(cfg.retries, || {
-                    client.put(fctx, &cfg.bucket, &key, Bytes::from(data.clone()))
-                })
-                .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
-            })
+                            ExchangeStrategy::Coalesced => {
+                                let (off, len) = offsets[m][j];
+                                let key = format!("{}{:05}", cfg.part_prefix, m);
+                                if len == 0 {
+                                    Bytes::new()
+                                } else {
+                                    with_retry(cfg.retries, || {
+                                        client.get_range(fctx, &cfg.bucket, &key, off, len)
+                                    })
+                                    .unwrap_or_else(|e| panic!("reduce range gather failed: {}", e))
+                                }
+                            }
+                        };
+                        gathered += data.len();
+                        runs.push(
+                            SortRecord::read_all(&data)
+                                .unwrap_or_else(|e| panic!("reduce decode failed: {}", e)),
+                        );
+                    }
+                    env.compute(fctx, cfg.work.merge_time(gathered));
+                    let merged = kway_merge(runs);
+                    let data = SortRecord::write_all(&merged);
+                    *out_bytes.lock() += data.len() as u64;
+                    let key = format!("{}{:05}", cfg.output_prefix, j);
+                    run_infos.lock()[j] = Some(RunInfo {
+                        key: key.clone(),
+                        records: merged.len() as u64,
+                        bytes: data.len() as u64,
+                    });
+                    with_retry(cfg.retries, || {
+                        client.put(fctx, &cfg.bucket, &key, Bytes::from(data.clone()))
+                    })
+                    .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
+                },
+            )
         }));
     }
     run_phase(ctx, "reduce", cfg.task_attempts, &tasks)?;
+    phase_end(ctx, &trace, p_reduce);
     let output_bytes = *out_bytes.lock();
     if let Some(manifest_key) = &cfg.manifest_key {
         let manifest = SortManifest {
@@ -445,12 +467,7 @@ pub fn serverless_sort<R: SortRecord>(
             workers: w,
             input_bytes,
             output_bytes,
-            runs: run_infos
-                .lock()
-                .iter()
-                .flatten()
-                .cloned()
-                .collect(),
+            runs: run_infos.lock().iter().flatten().cloned().collect(),
         };
         manifest.write(ctx, &driver, &cfg.bucket, manifest_key)?;
     }
@@ -460,7 +477,9 @@ pub fn serverless_sort<R: SortRecord>(
         workers: w,
         input_bytes,
         output_bytes,
-        runs: (0..w).map(|j| format!("{}{:05}", cfg.output_prefix, j)).collect(),
+        runs: (0..w)
+            .map(|j| format!("{}{:05}", cfg.output_prefix, j))
+            .collect(),
         sample_duration: sample_done.saturating_duration_since(started),
         map_duration: map_done.saturating_duration_since(sample_done),
         reduce_duration: finished.saturating_duration_since(map_done),
@@ -495,6 +514,50 @@ fn assign_spans(
         }
     }
     spans
+}
+
+/// Opens a [`Category::Phase`] span on the calling (driver) process and
+/// charges the phase's orchestration overhead inside it as an
+/// [`Category::Orchestration`] leaf. The phase is pushed onto the
+/// driver's open-span stack so invocations spawned during it nest under
+/// it. Pair with [`phase_end`].
+pub(crate) fn phase_begin(
+    ctx: &Ctx,
+    trace: &TraceSink,
+    name: &str,
+    orchestration: SimDuration,
+) -> SpanId {
+    if !trace.is_enabled() {
+        ctx.sleep(orchestration);
+        return SpanId::NONE;
+    }
+    let parent = trace.current(ctx.pid());
+    let span = trace.span_start(Category::Phase, name, "driver", "driver", parent, ctx.now());
+    trace.enter(ctx.pid(), span);
+    let sleep = if orchestration > SimDuration::ZERO {
+        trace.span_start(
+            Category::Orchestration,
+            "orchestration",
+            "driver",
+            "driver",
+            span,
+            ctx.now(),
+        )
+    } else {
+        SpanId::NONE
+    };
+    ctx.sleep(orchestration);
+    trace.span_end(sleep, ctx.now());
+    span
+}
+
+/// Closes a phase span opened by [`phase_begin`].
+pub(crate) fn phase_end(ctx: &Ctx, trace: &TraceSink, span: SpanId) {
+    if span.is_none() {
+        return;
+    }
+    trace.exit(ctx.pid());
+    trace.span_end(span, ctx.now());
 }
 
 /// Per-mapper `(offset, length)` tables for the coalesced exchange.
@@ -549,12 +612,7 @@ mod tests {
     use faaspipe_faas::FaasConfig;
     use faaspipe_store::StoreConfig;
 
-    fn upload_chunks(
-        sim: &mut Sim,
-        store: &Arc<ObjectStore>,
-        values: &[u64],
-        chunks: usize,
-    ) {
+    fn upload_chunks(sim: &mut Sim, store: &Arc<ObjectStore>, values: &[u64], chunks: usize) {
         store.create_bucket("data").expect("bucket");
         let per = values.len().div_ceil(chunks);
         let store = Arc::clone(store);
@@ -589,8 +647,7 @@ mod tests {
                 workers,
                 ..SortConfig::default()
             };
-            let stats =
-                serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort succeeds");
+            let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort succeeds");
             // Gather all runs in order and check global order.
             let client = store2.connect(ctx, "verify");
             let mut all = Vec::new();
@@ -608,7 +665,9 @@ mod tests {
 
     #[test]
     fn sorts_small_dataset_globally() {
-        let mut values: Vec<u64> = (0..4_000u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let mut values: Vec<u64> = (0..4_000u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_000)
+            .collect();
         let (sorted, stats, _) = run_sort(values.clone(), 4, 4);
         values.sort_unstable();
         assert_eq!(sorted, values, "output must be the sorted input");
@@ -654,7 +713,7 @@ mod tests {
     }
 
     #[test]
-    fn intermediate_objects_are_w_squared(){
+    fn intermediate_objects_are_w_squared() {
         let values: Vec<u64> = (0..2_000u64).rev().collect();
         let (_, _, store) = run_sort(values, 4, 4);
         // part/{m}/{j}: 16 objects.
@@ -787,7 +846,9 @@ mod tests {
         // Every mapper wrote a partition row (scatter mode).
         for m in 0..16 {
             assert!(
-                store.peek("data", &format!("part/{:05}/{:05}", m, 0)).is_some(),
+                store
+                    .peek("data", &format!("part/{:05}/{:05}", m, 0))
+                    .is_some(),
                 "mapper {} must have participated",
                 m
             );
@@ -833,10 +894,8 @@ mod tests {
         // re-invocation must still complete the sort correctly.
         let mut sim = Sim::new();
         let store = ObjectStore::install(&mut sim, StoreConfig::default());
-        let faas = FunctionPlatform::install(
-            &mut sim,
-            FaasConfig::default().with_failure_rate(0.4),
-        );
+        let faas =
+            FunctionPlatform::install(&mut sim, FaasConfig::default().with_failure_rate(0.4));
         let values: Vec<u64> = (0..3_000u64).rev().collect();
         upload_chunks(&mut sim, &store, &values, 4);
         let ok = Arc::new(Mutex::new(false));
@@ -887,7 +946,13 @@ mod tests {
             };
             let err = serverless_sort::<u64>(ctx, &faas, &store2, &cfg)
                 .expect_err("certain crashes must exhaust retries");
-            assert!(matches!(err, ShuffleError::TaskFailed { phase: "sample", .. }));
+            assert!(matches!(
+                err,
+                ShuffleError::TaskFailed {
+                    phase: "sample",
+                    ..
+                }
+            ));
             *saw2.lock() = true;
         });
         sim.run().expect("sim ok");
@@ -904,7 +969,9 @@ mod tests {
 
     #[test]
     fn coalesced_exchange_sorts_identically() {
-        let values: Vec<u64> = (0..4_000u64).map(|i| (i * 2_654_435_761) % 1_000_000).collect();
+        let values: Vec<u64> = (0..4_000u64)
+            .map(|i| (i * 2_654_435_761) % 1_000_000)
+            .collect();
         let mut expect = values.clone();
         expect.sort_unstable();
         // Run with the coalesced strategy through the same harness.

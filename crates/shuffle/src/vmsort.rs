@@ -17,7 +17,7 @@ use faaspipe_vm::{VmFleet, VmProfile};
 use crate::error::ShuffleError;
 use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
-use crate::sort::with_retry;
+use crate::sort::{phase_begin, phase_end, with_retry};
 use crate::work::WorkModel;
 
 /// Configuration of one VM-driven sort.
@@ -109,11 +109,13 @@ pub fn vm_sort<R: SortRecord>(
         });
     }
     let started = ctx.now();
+    let trace = store.trace_sink();
     let vm = fleet.provision(ctx, cfg.profile.clone());
     let provisioned = ctx.now();
     // All VM traffic flows through the instance's single NIC.
     let client = store.connect_via(ctx, cfg.tag.clone(), &[vm.nic]);
 
+    let p_download = phase_begin(ctx, &trace, "download", SimDuration::ZERO);
     let inputs = client.list(ctx, &cfg.bucket, &cfg.input_prefix)?;
     if inputs.is_empty() {
         return Err(ShuffleError::BadConfig {
@@ -128,18 +130,22 @@ pub fn vm_sort<R: SortRecord>(
         let mut chunk: Vec<R> = SortRecord::read_all(&data)?;
         records.append(&mut chunk);
     }
+    phase_end(ctx, &trace, p_download);
     let downloaded = ctx.now();
 
     // In-memory sort using every core.
+    let p_sort = phase_begin(ctx, &trace, "sort", SimDuration::ZERO);
     vm.compute_parallel(
         ctx,
         cfg.work.sort_time(input_bytes as usize),
         cfg.profile.vcpus,
     );
     records.sort_by_key(|r| r.key());
+    phase_end(ctx, &trace, p_sort);
     let sorted = ctx.now();
 
     // Upload equal-size record ranges as the sorted runs.
+    let p_upload = phase_begin(ctx, &trace, "upload", SimDuration::ZERO);
     let mut run_keys = Vec::with_capacity(cfg.runs);
     let mut run_infos = Vec::with_capacity(cfg.runs);
     let per = records.len().div_ceil(cfg.runs).max(1);
@@ -170,6 +176,7 @@ pub fn vm_sort<R: SortRecord>(
         };
         manifest.write(ctx, &client, &cfg.bucket, manifest_key)?;
     }
+    phase_end(ctx, &trace, p_upload);
     let finished = ctx.now();
     if cfg.release {
         fleet.release(ctx, vm);
@@ -289,7 +296,11 @@ mod tests {
         let fleet = VmFleet::new();
         store.create_bucket("data").expect("bucket");
         store
-            .put_untimed("data", "in/0000", Bytes::from(SortRecord::write_all(&values)))
+            .put_untimed(
+                "data",
+                "in/0000",
+                Bytes::from(SortRecord::write_all(&values)),
+            )
             .expect("stage");
         let store2 = Arc::clone(&store);
         sim.spawn("driver", move |ctx| {
@@ -321,7 +332,9 @@ mod tests {
         sim.spawn("uploader", move |ctx| {
             let client = store_up.connect(ctx, "upload");
             let data = SortRecord::write_all(&v2);
-            client.put(ctx, "data", "in/0000", Bytes::from(data)).expect("upload");
+            client
+                .put(ctx, "data", "in/0000", Bytes::from(data))
+                .expect("upload");
         });
         let fleet2 = fleet.clone();
         let store2 = Arc::clone(&store);

@@ -89,10 +89,7 @@ mod tests {
     #[test]
     fn display_messages() {
         assert_eq!(
-            StoreError::NoSuchBucket {
-                bucket: "b".into()
-            }
-            .to_string(),
+            StoreError::NoSuchBucket { bucket: "b".into() }.to_string(),
             "no such bucket 'b'"
         );
         assert_eq!(
@@ -112,7 +109,10 @@ mod tests {
             .to_string(),
             "invalid range [10, 15) for object of 12 bytes"
         );
-        assert_eq!(StoreError::Injected { op: "GET" }.to_string(), "injected GET failure");
+        assert_eq!(
+            StoreError::Injected { op: "GET" }.to_string(),
+            "injected GET failure"
+        );
     }
 
     #[test]

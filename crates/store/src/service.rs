@@ -7,6 +7,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use faaspipe_des::{ByteSize, Ctx, LimiterId, LinkId, Sim, SimTime};
+use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::config::StoreConfig;
 use crate::error::StoreError;
@@ -30,6 +31,8 @@ pub struct ObjectStore {
     aggregate: LinkId,
     ops: LimiterId,
     next_upload: AtomicU64,
+    trace: Mutex<TraceSink>,
+    inflight: AtomicU64,
 }
 
 impl std::fmt::Debug for ObjectStore {
@@ -54,7 +57,20 @@ impl ObjectStore {
             aggregate,
             ops,
             next_upload: AtomicU64::new(1),
+            trace: Mutex::new(TraceSink::disabled()),
+            inflight: AtomicU64::new(0),
         })
+    }
+
+    /// Routes per-request spans and counters to `sink`. Clients created
+    /// after this call record; the default sink is disabled.
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        *self.trace.lock() = sink;
+    }
+
+    /// A clone of the store's current trace sink (disabled by default).
+    pub fn trace_sink(&self) -> TraceSink {
+        self.trace.lock().clone()
     }
 
     /// The service configuration.
@@ -99,6 +115,7 @@ impl ObjectStore {
             store: Arc::clone(self),
             links,
             tag: tag.into(),
+            trace: self.trace.lock().clone(),
         }
     }
 
@@ -198,11 +215,14 @@ pub struct StoreClient {
     store: Arc<ObjectStore>,
     links: Vec<LinkId>,
     tag: String,
+    trace: TraceSink,
 }
 
 impl std::fmt::Debug for StoreClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StoreClient").field("tag", &self.tag).finish()
+        f.debug_struct("StoreClient")
+            .field("tag", &self.tag)
+            .finish()
     }
 }
 
@@ -242,9 +262,101 @@ impl StoreClient {
         Ok(())
     }
 
-    fn transfer_scaled(&self, ctx: &Ctx, real_len: usize) {
+    /// Opens a [`Category::StoreRequest`] span for one operation,
+    /// parented to the calling process's innermost open span (the
+    /// invocation or stage issuing the request). Free when disabled.
+    fn trace_begin(&self, ctx: &Ctx, op: &'static str, key: &str) -> SpanId {
+        if !self.trace.is_enabled() {
+            return SpanId::NONE;
+        }
+        let parent = self.trace.current(ctx.pid());
+        let span = self.trace.span_start(
+            Category::StoreRequest,
+            op,
+            "store",
+            &self.tag,
+            parent,
+            ctx.now(),
+        );
+        if !key.is_empty() {
+            self.trace.attr(span, "key", key);
+        }
+        span
+    }
+
+    /// Books the operation in the metrics AND closes its span with the
+    /// billing class and wire byte counts.
+    fn finish(
+        &self,
+        ctx: &Ctx,
+        span: SpanId,
+        class: RequestClass,
+        bytes_in: u64,
+        bytes_out: u64,
+        failed: bool,
+    ) {
+        self.store
+            .record(&self.tag, class, bytes_in, bytes_out, failed);
+        if span.is_none() {
+            return;
+        }
+        let class_name = match class {
+            RequestClass::ClassA => "class-a",
+            RequestClass::ClassB => "class-b",
+            RequestClass::Delete => "delete",
+        };
+        self.trace.attr(span, "class", class_name);
+        if bytes_in > 0 {
+            self.trace.attr(span, "bytes_in", bytes_in);
+        }
+        if bytes_out > 0 {
+            self.trace.attr(span, "bytes_out", bytes_out);
+        }
+        if failed {
+            self.trace.attr(span, "failed", true);
+        }
+        self.trace.span_end(span, ctx.now());
+    }
+
+    /// Estimated aggregate bandwidth in use with `flows` concurrent
+    /// transfers: each flow is capped by its connection, the total by
+    /// the backbone.
+    fn bandwidth_estimate(&self, flows: u64) -> f64 {
+        let per_conn = self.store.cfg.per_connection_bw.as_bytes_per_sec();
+        (flows as f64 * per_conn).min(self.store.cfg.aggregate_bw.as_bytes_per_sec())
+    }
+
+    fn transfer_scaled(&self, ctx: &Ctx, real_len: usize, parent: SpanId) {
         let wire = self.store.cfg.scaled_len(real_len);
+        let flow = if self.trace.is_enabled() {
+            let flows = self.store.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+            let now = ctx.now();
+            self.trace.gauge("store.inflight_flows", now, flows as f64);
+            self.trace.gauge(
+                "store.bandwidth_in_use",
+                now,
+                self.bandwidth_estimate(flows),
+            );
+            let flow =
+                self.trace
+                    .span_start(Category::Flow, "xfer", "store", &self.tag, parent, now);
+            self.trace.attr(flow, "wire_bytes", wire);
+            flow
+        } else {
+            SpanId::NONE
+        };
         ctx.transfer(ByteSize::new(wire), &self.links);
+        if !flow.is_none() {
+            let flows = self.store.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+            let now = ctx.now();
+            self.trace.gauge("store.inflight_flows", now, flows as f64);
+            self.trace.gauge(
+                "store.bandwidth_in_use",
+                now,
+                self.bandwidth_estimate(flows),
+            );
+            self.trace.span_end(flow, now);
+        }
     }
 
     /// Uploads an object, replacing any existing value at the key.
@@ -260,14 +372,14 @@ impl StoreClient {
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
         let wire = self.store.cfg.scaled_len(data.len());
+        let span = self.trace_begin(ctx, "PUT", key);
         if let Err(e) = self.request_overhead(ctx, "PUT") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
-        self.transfer_scaled(ctx, data.len());
+        self.transfer_scaled(ctx, data.len(), span);
         let result = self.commit_put(ctx, bucket, key, data);
-        self.store
-            .record(&self.tag, RequestClass::ClassA, wire, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, wire, 0, result.is_err());
         result
     }
 
@@ -309,12 +421,13 @@ impl StoreClient {
         key: &str,
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
+        let span = self.trace_begin(ctx, "PUT", key);
         if let Err(e) = self.request_overhead(ctx, "PUT") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let wire = self.store.cfg.scaled_len(data.len());
-        self.transfer_scaled(ctx, data.len());
+        self.transfer_scaled(ctx, data.len(), span);
         // Validated atomically at commit (see put_if_match): checking
         // before the blocking transfer would let two creators race.
         let result = {
@@ -344,8 +457,7 @@ impl StoreClient {
                 }
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, wire, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, wire, 0, result.is_err());
         result
     }
 
@@ -366,12 +478,13 @@ impl StoreClient {
         expected_etag: u64,
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
+        let span = self.trace_begin(ctx, "PUT", key);
         if let Err(e) = self.request_overhead(ctx, "PUT") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let wire = self.store.cfg.scaled_len(data.len());
-        self.transfer_scaled(ctx, data.len());
+        self.transfer_scaled(ctx, data.len(), span);
         // The condition is validated atomically at commit time — checking
         // before the (blocking, virtual-time) transfer would be a TOCTOU
         // hole letting two writers race past each other.
@@ -401,8 +514,7 @@ impl StoreClient {
                 },
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, wire, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, wire, 0, result.is_err());
         result
     }
 
@@ -412,21 +524,21 @@ impl StoreClient {
     /// [`StoreError::NoSuchBucket`] / [`StoreError::NoSuchKey`] when
     /// missing; [`StoreError::Injected`] under fault injection.
     pub fn get(&self, ctx: &mut Ctx, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        let span = self.trace_begin(ctx, "GET", key);
         if let Err(e) = self.request_overhead(ctx, "GET") {
-            self.store.record(&self.tag, RequestClass::ClassB, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
         let data = self.lookup(bucket, key);
         match data {
             Err(e) => {
-                self.store.record(&self.tag, RequestClass::ClassB, 0, 0, true);
+                self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
                 Err(e)
             }
             Ok(data) => {
                 let wire = self.store.cfg.scaled_len(data.len());
-                self.transfer_scaled(ctx, data.len());
-                self.store
-                    .record(&self.tag, RequestClass::ClassB, 0, wire, false);
+                self.transfer_scaled(ctx, data.len(), span);
+                self.finish(ctx, span, RequestClass::ClassB, 0, wire, false);
                 Ok(data)
             }
         }
@@ -444,8 +556,9 @@ impl StoreClient {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, StoreError> {
+        let span = self.trace_begin(ctx, "GET", key);
         if let Err(e) = self.request_overhead(ctx, "GET") {
-            self.store.record(&self.tag, RequestClass::ClassB, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
         let result = self.lookup(bucket, key).and_then(|data| {
@@ -463,14 +576,13 @@ impl StoreClient {
         });
         match result {
             Err(e) => {
-                self.store.record(&self.tag, RequestClass::ClassB, 0, 0, true);
+                self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
                 Err(e)
             }
             Ok(slice) => {
                 let wire = self.store.cfg.scaled_len(slice.len());
-                self.transfer_scaled(ctx, slice.len());
-                self.store
-                    .record(&self.tag, RequestClass::ClassB, 0, wire, false);
+                self.transfer_scaled(ctx, slice.len(), span);
+                self.finish(ctx, span, RequestClass::ClassB, 0, wire, false);
                 Ok(slice)
             }
         }
@@ -478,9 +590,11 @@ impl StoreClient {
 
     fn lookup(&self, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
         let buckets = self.store.buckets.lock();
-        let b = buckets.get(bucket).ok_or_else(|| StoreError::NoSuchBucket {
-            bucket: bucket.to_string(),
-        })?;
+        let b = buckets
+            .get(bucket)
+            .ok_or_else(|| StoreError::NoSuchBucket {
+                bucket: bucket.to_string(),
+            })?;
         b.objects
             .get(key)
             .map(|o| o.data.clone())
@@ -500,8 +614,9 @@ impl StoreClient {
         bucket: &str,
         key: &str,
     ) -> Result<ObjectSummary, StoreError> {
+        let span = self.trace_begin(ctx, "HEAD", key);
         if let Err(e) = self.request_overhead(ctx, "HEAD") {
-            self.store.record(&self.tag, RequestClass::ClassB, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -526,8 +641,7 @@ impl StoreClient {
                         })
                 })
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassB, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassB, 0, 0, result.is_err());
         result
     }
 
@@ -554,8 +668,9 @@ impl StoreClient {
         bucket: &str,
         prefix: &str,
     ) -> Result<Vec<ObjectSummary>, StoreError> {
+        let span = self.trace_begin(ctx, "LIST", prefix);
         if let Err(e) = self.request_overhead(ctx, "LIST") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -578,8 +693,7 @@ impl StoreClient {
                         .collect::<Vec<_>>()
                 })
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
         result
     }
 
@@ -600,8 +714,9 @@ impl StoreClient {
         start_after: &str,
         max_keys: usize,
     ) -> Result<(Vec<ObjectSummary>, Option<String>), StoreError> {
+        let span = self.trace_begin(ctx, "LIST", prefix);
         if let Err(e) = self.request_overhead(ctx, "LIST") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -640,8 +755,7 @@ impl StoreClient {
                     (page, token)
                 })
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
         result
     }
 
@@ -650,8 +764,9 @@ impl StoreClient {
     /// # Errors
     /// [`StoreError::NoSuchBucket`] if the bucket is unknown.
     pub fn delete(&self, ctx: &mut Ctx, bucket: &str, key: &str) -> Result<(), StoreError> {
+        let span = self.trace_begin(ctx, "DELETE", key);
         if let Err(e) = self.request_overhead(ctx, "DELETE") {
-            self.store.record(&self.tag, RequestClass::Delete, 0, 0, true);
+            self.finish(ctx, span, RequestClass::Delete, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -666,8 +781,7 @@ impl StoreClient {
                 }
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::Delete, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::Delete, 0, 0, result.is_err());
         result
     }
 
@@ -685,23 +799,33 @@ impl StoreClient {
         dst_bucket: &str,
         dst_key: &str,
     ) -> Result<PutResult, StoreError> {
+        let span = self.trace_begin(ctx, "COPY", src_key);
         if let Err(e) = self.request_overhead(ctx, "COPY") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let data = match self.lookup(src_bucket, src_key) {
             Ok(d) => d,
             Err(e) => {
-                self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+                self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
                 return Err(e);
             }
         };
         // Internal move: backbone only.
         let wire = self.store.cfg.scaled_len(data.len());
+        let flow = if self.trace.is_enabled() {
+            let flow =
+                self.trace
+                    .span_start(Category::Flow, "copy", "store", &self.tag, span, ctx.now());
+            self.trace.attr(flow, "wire_bytes", wire);
+            flow
+        } else {
+            SpanId::NONE
+        };
         ctx.transfer(ByteSize::new(wire), &self.links[1..2]);
+        self.trace.span_end(flow, ctx.now());
         let result = self.commit_put(ctx, dst_bucket, dst_key, data);
-        self.store
-            .record(&self.tag, RequestClass::ClassA, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
         result
     }
 
@@ -715,8 +839,9 @@ impl StoreClient {
         bucket: &str,
         key: &str,
     ) -> Result<MultipartUpload, StoreError> {
+        let span = self.trace_begin(ctx, "POST", key);
         if let Err(e) = self.request_overhead(ctx, "POST") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -738,8 +863,7 @@ impl StoreClient {
                 }
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
         result
     }
 
@@ -757,11 +881,14 @@ impl StoreClient {
         data: Bytes,
     ) -> Result<(), StoreError> {
         let wire = self.store.cfg.scaled_len(data.len());
+        let span = self.trace_begin(ctx, "PUT", "");
+        self.trace.attr(span, "upload_id", upload.id);
+        self.trace.attr(span, "part", part_number);
         if let Err(e) = self.request_overhead(ctx, "PUT") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
-        self.transfer_scaled(ctx, data.len());
+        self.transfer_scaled(ctx, data.len(), span);
         let result = {
             let mut buckets = self.store.buckets.lock();
             match buckets.get_mut(bucket) {
@@ -779,8 +906,7 @@ impl StoreClient {
                 },
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, wire, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, wire, 0, result.is_err());
         result
     }
 
@@ -795,8 +921,10 @@ impl StoreClient {
         bucket: &str,
         upload: MultipartUpload,
     ) -> Result<PutResult, StoreError> {
+        let span = self.trace_begin(ctx, "POST", "");
+        self.trace.attr(span, "upload_id", upload.id);
         if let Err(e) = self.request_overhead(ctx, "POST") {
-            self.store.record(&self.tag, RequestClass::ClassA, 0, 0, true);
+            self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let assembled = {
@@ -824,8 +952,7 @@ impl StoreClient {
             Err(e) => Err(e),
             Ok((key, data)) => self.commit_put(ctx, bucket, &key, data),
         };
-        self.store
-            .record(&self.tag, RequestClass::ClassA, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
         result
     }
 
@@ -840,8 +967,10 @@ impl StoreClient {
         bucket: &str,
         upload: MultipartUpload,
     ) -> Result<(), StoreError> {
+        let span = self.trace_begin(ctx, "DELETE", "");
+        self.trace.attr(span, "upload_id", upload.id);
         if let Err(e) = self.request_overhead(ctx, "DELETE") {
-            self.store.record(&self.tag, RequestClass::Delete, 0, 0, true);
+            self.finish(ctx, span, RequestClass::Delete, 0, 0, true);
             return Err(e);
         }
         let result = {
@@ -856,8 +985,7 @@ impl StoreClient {
                 }
             }
         };
-        self.store
-            .record(&self.tag, RequestClass::Delete, 0, 0, result.is_err());
+        self.finish(ctx, span, RequestClass::Delete, 0, 0, result.is_err());
         result
     }
 }
@@ -934,7 +1062,8 @@ mod tests {
     #[test]
     fn put_if_absent_enforces_precondition() {
         run_with(quiet_config(), |ctx, c| {
-            c.put_if_absent(ctx, "b", "k", Bytes::from("x")).expect("first");
+            c.put_if_absent(ctx, "b", "k", Bytes::from("x"))
+                .expect("first");
             let err = c
                 .put_if_absent(ctx, "b", "k", Bytes::from("y"))
                 .expect_err("second");
@@ -1006,11 +1135,10 @@ mod tests {
                 for _ in 0..5 {
                     loop {
                         let meta = c.head(ctx, "b", "counter").expect("head");
-                        let cur: u64 = String::from_utf8_lossy(
-                            &c.get(ctx, "b", "counter").expect("get"),
-                        )
-                        .parse()
-                        .expect("number");
+                        let cur: u64 =
+                            String::from_utf8_lossy(&c.get(ctx, "b", "counter").expect("get"))
+                                .parse()
+                                .expect("number");
                         let next = Bytes::from((cur + 1).to_string());
                         match c.put_if_match(ctx, "b", "counter", meta.etag, next) {
                             Ok(_) => break,
@@ -1029,13 +1157,17 @@ mod tests {
     #[test]
     fn range_get_slices_and_validates() {
         run_with(quiet_config(), |ctx, c| {
-            c.put(ctx, "b", "k", Bytes::from("0123456789")).expect("put");
+            c.put(ctx, "b", "k", Bytes::from("0123456789"))
+                .expect("put");
             let part = c.get_range(ctx, "b", "k", 2, 3).expect("range");
             assert_eq!(&part[..], b"234");
             let whole = c.get_range(ctx, "b", "k", 0, 10).expect("full range");
             assert_eq!(whole.len(), 10);
             let err = c.get_range(ctx, "b", "k", 8, 5).expect_err("overrun");
-            assert!(matches!(err, StoreError::InvalidRange { object_len: 10, .. }));
+            assert!(matches!(
+                err,
+                StoreError::InvalidRange { object_len: 10, .. }
+            ));
         });
     }
 
@@ -1057,16 +1189,15 @@ mod tests {
     fn paginated_listing_walks_all_keys() {
         run_with(quiet_config(), |ctx, c| {
             for i in 0..23 {
-                c.put(ctx, "b", &format!("p/{:03}", i), Bytes::from("x")).expect("put");
+                c.put(ctx, "b", &format!("p/{:03}", i), Bytes::from("x"))
+                    .expect("put");
             }
             c.put(ctx, "b", "q/other", Bytes::from("x")).expect("put");
             let mut seen = Vec::new();
             let mut after = String::new();
             let mut pages = 0;
             loop {
-                let (page, token) = c
-                    .list_page(ctx, "b", "p/", &after, 10)
-                    .expect("page");
+                let (page, token) = c.list_page(ctx, "b", "p/", &after, 10).expect("page");
                 assert!(page.len() <= 10);
                 seen.extend(page.iter().map(|o| o.key.clone()));
                 pages += 1;
@@ -1086,7 +1217,8 @@ mod tests {
     fn pagination_exact_page_boundary_has_no_extra_page() {
         run_with(quiet_config(), |ctx, c| {
             for i in 0..10 {
-                c.put(ctx, "b", &format!("p/{:03}", i), Bytes::from("x")).expect("put");
+                c.put(ctx, "b", &format!("p/{:03}", i), Bytes::from("x"))
+                    .expect("put");
             }
             let (page, token) = c.list_page(ctx, "b", "p/", "", 10).expect("page");
             assert_eq!(page.len(), 10);
@@ -1098,11 +1230,16 @@ mod tests {
     fn pagination_counts_class_a_per_page() {
         let (store, _) = run_with(quiet_config(), |ctx, c| {
             for i in 0..5 {
-                c.put(ctx, "b", &format!("p/{}", i), Bytes::from("x")).expect("put");
+                c.put(ctx, "b", &format!("p/{}", i), Bytes::from("x"))
+                    .expect("put");
             }
             let (_, t) = c.list_page(ctx, "b", "p/", "", 2).expect("p1");
-            let (_, t) = c.list_page(ctx, "b", "p/", &t.expect("more"), 2).expect("p2");
-            let (_, t) = c.list_page(ctx, "b", "p/", &t.expect("more"), 2).expect("p3");
+            let (_, t) = c
+                .list_page(ctx, "b", "p/", &t.expect("more"), 2)
+                .expect("p2");
+            let (_, t) = c
+                .list_page(ctx, "b", "p/", &t.expect("more"), 2)
+                .expect("p3");
             assert!(t.is_none());
         });
         // 5 puts + 3 list pages.
@@ -1144,8 +1281,10 @@ mod tests {
         run_with(quiet_config(), |ctx, c| {
             let up = c.create_multipart(ctx, "b", "big").expect("create");
             // Upload out of order.
-            c.upload_part(ctx, "b", up, 2, Bytes::from("world")).expect("p2");
-            c.upload_part(ctx, "b", up, 1, Bytes::from("hello ")).expect("p1");
+            c.upload_part(ctx, "b", up, 2, Bytes::from("world"))
+                .expect("p2");
+            c.upload_part(ctx, "b", up, 1, Bytes::from("hello "))
+                .expect("p1");
             let done = c.complete_multipart(ctx, "b", up).expect("complete");
             assert_eq!(done.len.as_u64(), 11);
             assert_eq!(&c.get(ctx, "b", "big").expect("get")[..], b"hello world");
@@ -1156,7 +1295,8 @@ mod tests {
     fn multipart_abort_discards() {
         let (store, _) = run_with(quiet_config(), |ctx, c| {
             let up = c.create_multipart(ctx, "b", "gone").expect("create");
-            c.upload_part(ctx, "b", up, 1, Bytes::from("x")).expect("p1");
+            c.upload_part(ctx, "b", up, 1, Bytes::from("x"))
+                .expect("p1");
             c.abort_multipart(ctx, "b", up).expect("abort");
             let err = c.complete_multipart(ctx, "b", up).expect_err("aborted");
             assert!(matches!(err, StoreError::NoSuchUpload { .. }));
@@ -1184,7 +1324,8 @@ mod tests {
             ..quiet_config()
         };
         let (_, end) = run_with(cfg, |ctx, c| {
-            c.put(ctx, "b", "k", Bytes::from(vec![0u8; 2000])).expect("put");
+            c.put(ctx, "b", "k", Bytes::from(vec![0u8; 2000]))
+                .expect("put");
         });
         assert!((end.as_secs_f64() - 2.0).abs() < 1e-7);
     }
@@ -1198,7 +1339,8 @@ mod tests {
         };
         let (_, end) = run_with(cfg, |ctx, c| {
             for i in 0..11 {
-                c.put(ctx, "b", &format!("k{}", i), Bytes::new()).expect("put");
+                c.put(ctx, "b", &format!("k{}", i), Bytes::new())
+                    .expect("put");
             }
         });
         // First request rides the burst; the next 10 wait 0.1 s each.
@@ -1213,7 +1355,8 @@ mod tests {
         }
         .with_size_scale(10.0);
         let (store, end) = run_with(cfg, |ctx, c| {
-            c.put(ctx, "b", "k", Bytes::from(vec![7u8; 100])).expect("put");
+            c.put(ctx, "b", "k", Bytes::from(vec![7u8; 100]))
+                .expect("put");
             let data = c.get(ctx, "b", "k").expect("get");
             assert_eq!(data.len(), 100, "real content is unscaled");
         });
@@ -1246,7 +1389,9 @@ mod tests {
     fn injected_failures_surface_and_count() {
         let cfg = quiet_config().with_failure(FailurePolicy::with_error_rate(1.0));
         let (store, _) = run_with(cfg, |ctx, c| {
-            let err = c.put(ctx, "b", "k", Bytes::from("x")).expect_err("injected");
+            let err = c
+                .put(ctx, "b", "k", Bytes::from("x"))
+                .expect_err("injected");
             assert!(matches!(err, StoreError::Injected { op: "PUT" }));
         });
         assert_eq!(store.object_count("b"), 0, "failed put must not commit");

@@ -1,0 +1,233 @@
+//! Critical-path analysis over the span DAG.
+//!
+//! Attributes the pipeline makespan to cost buckets (compute,
+//! store-I/O, cold-start, queueing, other) by walking backwards from the
+//! run span's end: at every instant the walk follows the *attributable
+//! leaf span* (a span whose [`Category::bucket`] is `Some`) that covers
+//! that instant and reaches furthest back, charging the covered interval
+//! to the span's bucket; instants covered by no attributable span are
+//! charged to [`CostBucket::Other`]. The buckets therefore tile the
+//! makespan exactly — their sum equals the makespan to the nanosecond.
+
+use faaspipe_des::{SimDuration, SimTime};
+
+use crate::sink::TraceData;
+use crate::span::CostBucket;
+
+/// Makespan attribution produced by [`critical_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Total run-span duration being attributed.
+    pub makespan: SimDuration,
+    /// Time charged to CPU work.
+    pub compute: SimDuration,
+    /// Time charged to object-storage requests / transfers.
+    pub store_io: SimDuration,
+    /// Time charged to cold starts / VM provisioning.
+    pub cold_start: SimDuration,
+    /// Time charged to waiting for invocation capacity.
+    pub queueing: SimDuration,
+    /// Orchestration gaps and uncovered time.
+    pub other: SimDuration,
+}
+
+impl Breakdown {
+    /// Sum of all buckets (equals [`Breakdown::makespan`] exactly).
+    pub fn total(&self) -> SimDuration {
+        self.compute + self.store_io + self.cold_start + self.queueing + self.other
+    }
+
+    /// The bucket durations in a stable order, paired with their names.
+    pub fn buckets(&self) -> [(CostBucket, SimDuration); 5] {
+        [
+            (CostBucket::Compute, self.compute),
+            (CostBucket::StoreIo, self.store_io),
+            (CostBucket::ColdStart, self.cold_start),
+            (CostBucket::Queueing, self.queueing),
+            (CostBucket::Other, self.other),
+        ]
+    }
+
+    /// One-line human-readable rendering with percentages.
+    pub fn render(&self) -> String {
+        let total = self.makespan.as_secs_f64().max(1e-12);
+        let mut parts = Vec::new();
+        for (bucket, d) in self.buckets() {
+            parts.push(format!(
+                "{} {:.2}s ({:.0}%)",
+                bucket.as_str(),
+                d.as_secs_f64(),
+                100.0 * d.as_secs_f64() / total
+            ));
+        }
+        format!("critical path: {}", parts.join(", "))
+    }
+}
+
+fn bucket_slot(b: &mut Breakdown, bucket: CostBucket) -> &mut SimDuration {
+    match bucket {
+        CostBucket::Compute => &mut b.compute,
+        CostBucket::StoreIo => &mut b.store_io,
+        CostBucket::ColdStart => &mut b.cold_start,
+        CostBucket::Queueing => &mut b.queueing,
+        CostBucket::Other => &mut b.other,
+    }
+}
+
+/// Computes the makespan attribution for the recorded trace.
+///
+/// The attributed window is the run span if one exists, otherwise the
+/// extent `[earliest start, latest end]` of all finished spans. Returns
+/// `None` when the trace holds no finished spans.
+pub fn critical_path(data: &TraceData) -> Option<Breakdown> {
+    let (t0, t1) = match data.run_span() {
+        Some(run) => (run.start, run.end?),
+        None => {
+            let t0 = data.spans.iter().map(|s| s.start).min()?;
+            let t1 = data.spans.iter().filter_map(|s| s.end).max()?;
+            (t0, t1)
+        }
+    };
+
+    // Attributable leaves, clipped to the window, sorted so the
+    // backward walk can binary-search by end time.
+    struct Leaf {
+        start: SimTime,
+        end: SimTime,
+        bucket: CostBucket,
+    }
+    let mut leaves: Vec<Leaf> = data
+        .spans
+        .iter()
+        .filter_map(|s| {
+            let bucket = s.category.bucket()?;
+            let end = s.end?.min(t1);
+            let start = s.start.max(t0);
+            if start >= end {
+                return None;
+            }
+            Some(Leaf { start, end, bucket })
+        })
+        .collect();
+    leaves.sort_by_key(|l| (l.start, l.end));
+
+    let mut breakdown = Breakdown {
+        makespan: t1.saturating_duration_since(t0),
+        compute: SimDuration::ZERO,
+        store_io: SimDuration::ZERO,
+        cold_start: SimDuration::ZERO,
+        queueing: SimDuration::ZERO,
+        other: SimDuration::ZERO,
+    };
+
+    let mut cur = t1;
+    while cur > t0 {
+        // Among leaves covering `cur` (start < cur <= end), follow the
+        // one reaching furthest back; order in `leaves` makes the
+        // earliest-started (then earliest-ending) one win ties.
+        let covering = leaves
+            .iter()
+            .filter(|l| l.start < cur && l.end >= cur)
+            .min_by_key(|l| (l.start, l.end));
+        match covering {
+            Some(leaf) => {
+                *bucket_slot(&mut breakdown, leaf.bucket) +=
+                    cur.saturating_duration_since(leaf.start);
+                cur = leaf.start;
+            }
+            None => {
+                // Gap: charge up to the latest end below `cur` to Other.
+                let gap_floor = leaves
+                    .iter()
+                    .map(|l| l.end)
+                    .filter(|&e| e < cur)
+                    .max()
+                    .unwrap_or(t0)
+                    .max(t0);
+                breakdown.other += cur.saturating_duration_since(gap_floor);
+                cur = gap_floor;
+            }
+        }
+    }
+
+    Some(breakdown)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use crate::span::{Category, SpanId};
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn span(sink: &TraceSink, cat: Category, name: &str, a: u64, b: u64, parent: SpanId) -> SpanId {
+        let id = sink.span_start(cat, name, "x", "y", parent, t(a));
+        sink.span_end(id, t(b));
+        id
+    }
+
+    #[test]
+    fn buckets_tile_the_makespan() {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(Category::Run, "run", "d", "d", SpanId::NONE, t(0));
+        span(&sink, Category::ColdStart, "cold", 0, 2, run);
+        span(&sink, Category::StoreRequest, "get", 2, 5, run);
+        span(&sink, Category::Compute, "sort", 5, 9, run);
+        // Gap 9..10, then a queued wait.
+        span(&sink, Category::Queue, "queue", 10, 12, run);
+        sink.span_end(run, t(12));
+
+        let b = critical_path(&sink.snapshot()).expect("breakdown");
+        assert_eq!(b.makespan.as_secs_f64(), 12.0);
+        assert_eq!(b.cold_start.as_secs_f64(), 2.0);
+        assert_eq!(b.store_io.as_secs_f64(), 3.0);
+        assert_eq!(b.compute.as_secs_f64(), 4.0);
+        assert_eq!(b.queueing.as_secs_f64(), 2.0);
+        assert_eq!(b.other.as_secs_f64(), 1.0);
+        assert_eq!(b.total(), b.makespan);
+    }
+
+    #[test]
+    fn overlapping_leaves_still_tile_exactly() {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(Category::Run, "run", "d", "d", SpanId::NONE, t(0));
+        // Eight overlapping store requests and an overlapping compute.
+        for i in 0..8u64 {
+            span(&sink, Category::StoreRequest, "get", i, i + 3, run);
+        }
+        span(&sink, Category::Compute, "sort", 2, 9, run);
+        sink.span_end(run, t(11));
+
+        let b = critical_path(&sink.snapshot()).expect("breakdown");
+        assert_eq!(b.total(), b.makespan);
+        assert_eq!(b.makespan.as_secs_f64(), 11.0);
+        // Covered interval is 0..10; tail 10..11 is a gap.
+        assert_eq!(b.other.as_secs_f64(), 1.0);
+        assert!(b.store_io > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn spans_outside_the_run_window_are_clipped() {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(Category::Run, "run", "d", "d", SpanId::NONE, t(5));
+        span(&sink, Category::Compute, "early", 0, 7, run);
+        span(&sink, Category::StoreRequest, "late", 8, 20, run);
+        sink.span_end(run, t(10));
+
+        let b = critical_path(&sink.snapshot()).expect("breakdown");
+        assert_eq!(b.makespan.as_secs_f64(), 5.0);
+        assert_eq!(b.compute.as_secs_f64(), 2.0);
+        assert_eq!(b.store_io.as_secs_f64(), 2.0);
+        assert_eq!(b.other.as_secs_f64(), 1.0);
+        assert_eq!(b.total(), b.makespan);
+    }
+
+    #[test]
+    fn empty_trace_has_no_breakdown() {
+        assert!(critical_path(&TraceSink::recording().snapshot()).is_none());
+        assert!(critical_path(&TraceSink::disabled().snapshot()).is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! Exporters: Chrome-trace JSON, per-stage text timeline, counter CSV.
+//!
+//! All exporters are deterministic functions of the recorded
+//! [`TraceData`]: identical simulations produce byte-identical output.
+
+use std::collections::BTreeMap;
+
+use faaspipe_json::Json;
+
+use crate::sink::TraceData;
+use crate::span::Category;
+
+/// Renders the trace in Chrome trace-event JSON (the format understood
+/// by `chrome://tracing` and Perfetto).
+///
+/// Track names map to Chrome *processes* (pids in first-seen order) and
+/// lanes to *threads*; spans become complete (`"ph": "X"`) events with
+/// microsecond timestamps, attributes in `args`, and counters become
+/// `"ph": "C"` events on a dedicated `counters` process.
+pub fn chrome_trace_json(data: &TraceData) -> String {
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    let mut events: Vec<Json> = Vec::new();
+
+    // Assign pids/tids in first-seen (creation) order so the mapping is
+    // deterministic, then emit naming metadata.
+    for span in &data.spans {
+        if !pids.contains_key(span.track.as_str()) {
+            pids.insert(span.track.as_str(), pids.len() as u64);
+        }
+        let key = (span.track.as_str(), span.lane.as_str());
+        if !tids.contains_key(&key) {
+            let tid = tids
+                .iter()
+                .filter(|((track, _), _)| *track == span.track)
+                .count() as u64;
+            tids.insert(key, tid);
+        }
+    }
+
+    let mut meta: Vec<(u64, Option<u64>, String)> = pids
+        .iter()
+        .map(|(track, &pid)| (pid, None, track.to_string()))
+        .collect();
+    for ((track, lane), &tid) in &tids {
+        meta.push((pids[track], Some(tid), lane.to_string()));
+    }
+    meta.sort_by_key(|m| (m.0, m.1));
+    for (pid, tid, name) in meta {
+        let mut fields = vec![
+            (
+                "name".to_string(),
+                Json::Str(
+                    if tid.is_some() {
+                        "thread_name"
+                    } else {
+                        "process_name"
+                    }
+                    .into(),
+                ),
+            ),
+            ("ph".to_string(), Json::Str("M".into())),
+            ("pid".to_string(), Json::UInt(pid)),
+        ];
+        if let Some(tid) = tid {
+            fields.push(("tid".to_string(), Json::UInt(tid)));
+        }
+        fields.push((
+            "args".to_string(),
+            Json::Object(vec![("name".to_string(), Json::Str(name))]),
+        ));
+        events.push(Json::Object(fields));
+    }
+
+    let counter_pid = pids.len() as u64;
+    if !data.counters.is_empty() {
+        events.push(Json::Object(vec![
+            ("name".to_string(), Json::Str("process_name".into())),
+            ("ph".to_string(), Json::Str("M".into())),
+            ("pid".to_string(), Json::UInt(counter_pid)),
+            (
+                "args".to_string(),
+                Json::Object(vec![("name".to_string(), Json::Str("counters".into()))]),
+            ),
+        ]));
+    }
+
+    for span in &data.spans {
+        let pid = pids[span.track.as_str()];
+        let tid = tids[&(span.track.as_str(), span.lane.as_str())];
+        let ts_us = span.start.as_nanos() as f64 / 1_000.0;
+        let dur_us = span
+            .end
+            .map(|e| e.saturating_duration_since(span.start).as_nanos() as f64 / 1_000.0)
+            .unwrap_or(0.0);
+        let mut args: Vec<(String, Json)> =
+            vec![("span_id".to_string(), Json::UInt(span.id.as_u64()))];
+        if let Some(parent) = span.parent {
+            args.push(("parent_id".to_string(), Json::UInt(parent.as_u64())));
+        }
+        if span.end.is_none() {
+            args.push(("unfinished".to_string(), Json::Bool(true)));
+        }
+        for (k, v) in &span.attrs {
+            args.push((k.clone(), crate::value_to_json(v)));
+        }
+        events.push(Json::Object(vec![
+            ("name".to_string(), Json::Str(span.name.clone())),
+            ("cat".to_string(), Json::Str(span.category.as_str().into())),
+            ("ph".to_string(), Json::Str("X".into())),
+            ("ts".to_string(), Json::Float(ts_us)),
+            ("dur".to_string(), Json::Float(dur_us)),
+            ("pid".to_string(), Json::UInt(pid)),
+            ("tid".to_string(), Json::UInt(tid)),
+            ("args".to_string(), Json::Object(args)),
+        ]));
+    }
+
+    for series in &data.counters {
+        for &(t, v) in &series.points {
+            events.push(Json::Object(vec![
+                ("name".to_string(), Json::Str(series.name.clone())),
+                ("cat".to_string(), Json::Str(series.kind.as_str().into())),
+                ("ph".to_string(), Json::Str("C".into())),
+                ("ts".to_string(), Json::Float(t.as_nanos() as f64 / 1_000.0)),
+                ("pid".to_string(), Json::UInt(counter_pid)),
+                (
+                    "args".to_string(),
+                    Json::Object(vec![("value".to_string(), Json::Float(v))]),
+                ),
+            ]));
+        }
+    }
+
+    Json::Object(vec![
+        ("traceEvents".to_string(), Json::Array(events)),
+        ("displayTimeUnit".to_string(), Json::Str("ms".into())),
+    ])
+    .to_compact()
+}
+
+/// Renders stage spans as an ASCII timeline, one bar per stage span,
+/// grouped under the enclosing run span (or the data's time extent).
+pub fn render_timeline(data: &TraceData) -> String {
+    const WIDTH: usize = 56;
+    let stages: Vec<_> = data
+        .spans
+        .iter()
+        .filter(|s| s.category == Category::Stage && s.end.is_some())
+        .collect();
+    if stages.is_empty() {
+        return String::from("(no stage spans recorded)\n");
+    }
+    let t0 = data
+        .run_span()
+        .map(|r| r.start)
+        .unwrap_or_else(|| stages.iter().map(|s| s.start).min().unwrap());
+    let t1 = data
+        .run_span()
+        .and_then(|r| r.end)
+        .unwrap_or_else(|| stages.iter().filter_map(|s| s.end).max().unwrap());
+    let total = t1.saturating_duration_since(t0).as_secs_f64().max(1e-9);
+
+    let mut out = String::new();
+    for span in stages {
+        let start = span.start.saturating_duration_since(t0).as_secs_f64();
+        let end = span
+            .end
+            .unwrap()
+            .saturating_duration_since(t0)
+            .as_secs_f64();
+        let a = ((start / total) * WIDTH as f64).round() as usize;
+        let b = (((end / total) * WIDTH as f64).round() as usize).clamp(a + 1, WIDTH);
+        let mut bar = String::with_capacity(WIDTH);
+        for i in 0..WIDTH {
+            bar.push(if i >= a && i < b { '#' } else { '.' });
+        }
+        out.push_str(&format!(
+            "{:<18} |{}| {:>7.2}s – {:>7.2}s\n",
+            span.name, bar, start, end
+        ));
+    }
+    out
+}
+
+/// Dumps every counter series as CSV:
+/// `counter,kind,t_s,value` rows ordered by name then time.
+pub fn counters_csv(data: &TraceData) -> String {
+    let mut out = String::from("counter,kind,t_s,value\n");
+    for series in &data.counters {
+        for &(t, v) in &series.points {
+            out.push_str(&format!(
+                "{},{},{:.9},{}\n",
+                series.name,
+                series.kind.as_str(),
+                t.as_secs_f64(),
+                v
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+    use crate::span::SpanId;
+    use faaspipe_des::SimTime;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    fn sample() -> TraceData {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(Category::Run, "run", "driver", "driver", SpanId::NONE, t(0));
+        let stage = sink.span_start(Category::Stage, "sort", "driver", "driver", run, t(0));
+        let inv = sink.span_start(Category::Invocation, "map-0", "faas", "fn-0", stage, t(1));
+        sink.attr(inv, "bytes", 1024u64);
+        sink.span_end(inv, t(3));
+        sink.span_end(stage, t(4));
+        let enc = sink.span_start(Category::Stage, "encode", "driver", "driver", run, t(4));
+        sink.span_end(enc, t(5));
+        sink.span_end(run, t(5));
+        sink.gauge("store.flows", t(1), 1.0);
+        sink.gauge("store.flows", t(3), 0.0);
+        sink.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_pid_mapping() {
+        let text = chrome_trace_json(&sample());
+        let v: Json = text.parse().expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("events");
+        // 2 tracks + 2 lanes named + counters process = 5 metadata events.
+        let metas = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("M"))
+            .count();
+        assert_eq!(metas, 5);
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 4);
+        // The invocation should be on the second process (pid 1).
+        let inv = xs
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("map-0"))
+            .expect("invocation event");
+        assert_eq!(inv.get("pid"), Some(&Json::UInt(1)));
+        assert_eq!(inv.get("dur"), Some(&Json::Float(2_000_000.0)));
+        let counters = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("C"))
+            .count();
+        assert_eq!(counters, 2);
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(chrome_trace_json(&a), chrome_trace_json(&b));
+        assert_eq!(render_timeline(&a), render_timeline(&b));
+        assert_eq!(counters_csv(&a), counters_csv(&b));
+    }
+
+    #[test]
+    fn timeline_covers_stages() {
+        let text = render_timeline(&sample());
+        assert!(text.contains("sort"));
+        assert!(text.contains("encode"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let text = counters_csv(&sample());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("counter,kind,t_s,value"));
+        assert_eq!(lines.count(), 2);
+        assert!(text.contains("store.flows,gauge"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # faaspipe-trace — virtual-time tracing for the simulator
+//!
+//! Records what a simulated pipeline *did* — spans nesting
+//! `run → stage → invocation / vm-task → store-request / flow` plus
+//! counter timeseries — all timestamped in virtual time, and turns the
+//! recording into artifacts:
+//!
+//! * [`chrome_trace_json`] — Chrome trace-event / Perfetto JSON
+//!   (`trace.json`), tracks mapped to processes, lanes to threads;
+//! * [`render_timeline`] — per-stage ASCII timeline;
+//! * [`counters_csv`] — counter dump (bandwidth in use, in-flight flows,
+//!   warm/cold pool sizes, queued invocations);
+//! * [`critical_path`] — makespan attribution to compute / store-I/O /
+//!   cold-start / queueing buckets that sums exactly to the makespan.
+//!
+//! Everything is recorded through a cheaply-clonable [`TraceSink`]. The
+//! default [`TraceSink::disabled`] handle drops every call after a
+//! single branch, so instrumented code pays nothing when tracing is off;
+//! with [`TraceSink::recording`], identical simulations (same seed)
+//! produce byte-identical exports.
+
+mod counter;
+mod critical;
+mod export;
+mod sink;
+mod span;
+
+pub use counter::{CounterKind, CounterSeries};
+pub use critical::{critical_path, Breakdown};
+pub use export::{chrome_trace_json, counters_csv, render_timeline};
+pub use sink::{TraceData, TraceSink};
+pub use span::{Category, CostBucket, Span, SpanId, Value};
+
+/// Converts a span attribute into a JSON value for exporters.
+pub(crate) fn value_to_json(v: &Value) -> faaspipe_json::Json {
+    use faaspipe_json::Json;
+    match v {
+        Value::Str(s) => Json::Str(s.clone()),
+        Value::U64(u) => Json::UInt(*u),
+        Value::I64(i) => Json::Int(*i),
+        Value::F64(x) => Json::Float(*x),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}

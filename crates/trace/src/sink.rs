@@ -1,0 +1,332 @@
+//! The recording handle: [`TraceSink`].
+//!
+//! A `TraceSink` is cheap to clone (an `Option<Arc<..>>`) and is threaded
+//! through every simulated service. The disabled sink is a `None` — each
+//! recording call is then a single branch and no allocation, which keeps
+//! tracing zero-cost for untraced runs.
+
+use std::collections::BTreeMap;
+
+use faaspipe_des::{ProcessId, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+use crate::counter::{CounterKind, CounterSeries};
+use crate::span::{Category, Span, SpanId, Value};
+
+#[derive(Default)]
+struct State {
+    spans: Vec<Span>,
+    counters: BTreeMap<String, CounterSeries>,
+    /// Per-process stack of open spans, used to parent cross-crate
+    /// recordings (a store request made inside a function body parents
+    /// to that invocation's span without threading ids through APIs).
+    stacks: BTreeMap<usize, Vec<SpanId>>,
+}
+
+/// Cheaply-clonable handle through which all trace data is recorded.
+#[derive(Clone, Default)]
+pub struct TraceSink {
+    inner: Option<Arc<Mutex<State>>>,
+}
+
+impl TraceSink {
+    /// A sink that drops everything (the default).
+    pub fn disabled() -> TraceSink {
+        TraceSink { inner: None }
+    }
+
+    /// A sink that records spans and counters in memory.
+    pub fn recording() -> TraceSink {
+        TraceSink {
+            inner: Some(Arc::new(Mutex::new(State::default()))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span at virtual time `at`; returns its id
+    /// ([`SpanId::NONE`] when disabled).
+    pub fn span_start(
+        &self,
+        category: Category,
+        name: impl Into<String>,
+        track: &str,
+        lane: &str,
+        parent: SpanId,
+        at: SimTime,
+    ) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        let mut state = inner.lock();
+        let id = SpanId(state.spans.len() as u64 + 1);
+        state.spans.push(Span {
+            id,
+            parent: if parent.is_none() { None } else { Some(parent) },
+            category,
+            name: name.into(),
+            track: track.to_string(),
+            lane: lane.to_string(),
+            start: at,
+            end: None,
+            attrs: Vec::new(),
+        });
+        id
+    }
+
+    /// Closes span `id` at virtual time `at`. Ignores the null id and
+    /// double-closes.
+    pub fn span_end(&self, id: SpanId, at: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut state = inner.lock();
+        if let Some(span) = state.spans.get_mut(id.0 as usize - 1) {
+            if span.end.is_none() {
+                span.end = Some(at.max(span.start));
+            }
+        }
+    }
+
+    /// Attaches a key/value attribute to span `id` (no-op for the null
+    /// id; replaces an existing value for the same key).
+    pub fn attr(&self, id: SpanId, key: &str, value: impl Into<Value>) {
+        let Some(inner) = &self.inner else { return };
+        if id.is_none() {
+            return;
+        }
+        let mut state = inner.lock();
+        if let Some(span) = state.spans.get_mut(id.0 as usize - 1) {
+            let value = value.into();
+            match span.attrs.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value,
+                None => span.attrs.push((key.to_string(), value)),
+            }
+        }
+    }
+
+    /// Sets a gauge counter to `value` at time `at` (recorded only when
+    /// the value changes).
+    pub fn gauge(&self, name: &str, at: SimTime, value: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        state
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| CounterSeries::new(name, CounterKind::Gauge))
+            .record(at, value);
+    }
+
+    /// Adds `delta` to a cumulative counter at time `at`.
+    pub fn add(&self, name: &str, at: SimTime, delta: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        let series = state
+            .counters
+            .entry(name.to_string())
+            .or_insert_with(|| CounterSeries::new(name, CounterKind::Cumulative));
+        let next = series.last_value() + delta;
+        series.record(at, next);
+    }
+
+    /// Pushes span `id` onto `pid`'s open-span stack; spans recorded
+    /// from that process via [`TraceSink::current`] parent to it.
+    pub fn enter(&self, pid: ProcessId, id: SpanId) {
+        let Some(inner) = &self.inner else { return };
+        if id.is_none() {
+            return;
+        }
+        inner.lock().stacks.entry(pid.index()).or_default().push(id);
+    }
+
+    /// Pops the top of `pid`'s open-span stack.
+    pub fn exit(&self, pid: ProcessId) {
+        let Some(inner) = &self.inner else { return };
+        let mut state = inner.lock();
+        if let Some(stack) = state.stacks.get_mut(&pid.index()) {
+            stack.pop();
+            if stack.is_empty() {
+                state.stacks.remove(&pid.index());
+            }
+        }
+    }
+
+    /// The innermost open span registered for `pid` via
+    /// [`TraceSink::enter`], or [`SpanId::NONE`].
+    pub fn current(&self, pid: ProcessId) -> SpanId {
+        let Some(inner) = &self.inner else {
+            return SpanId::NONE;
+        };
+        inner
+            .lock()
+            .stacks
+            .get(&pid.index())
+            .and_then(|s| s.last().copied())
+            .unwrap_or(SpanId::NONE)
+    }
+
+    /// Latest value of counter `name` (0.0 if never recorded).
+    pub fn counter_value(&self, name: &str) -> f64 {
+        let Some(inner) = &self.inner else { return 0.0 };
+        inner
+            .lock()
+            .counters
+            .get(name)
+            .map_or(0.0, |c| c.last_value())
+    }
+
+    /// Copies out everything recorded so far (empty for a disabled
+    /// sink). Exporters and the analyzer work on this snapshot.
+    pub fn snapshot(&self) -> TraceData {
+        match &self.inner {
+            None => TraceData::default(),
+            Some(inner) => {
+                let state = inner.lock();
+                TraceData {
+                    spans: state.spans.clone(),
+                    counters: state.counters.values().cloned().collect(),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("TraceSink(disabled)"),
+            Some(inner) => {
+                let state = inner.lock();
+                write!(
+                    f,
+                    "TraceSink({} spans, {} counters)",
+                    state.spans.len(),
+                    state.counters.len()
+                )
+            }
+        }
+    }
+}
+
+/// An immutable snapshot of recorded trace data.
+#[derive(Debug, Clone, Default)]
+pub struct TraceData {
+    /// All spans in creation order (id order).
+    pub spans: Vec<Span>,
+    /// All counter series, sorted by name.
+    pub counters: Vec<CounterSeries>,
+}
+
+impl TraceData {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty()
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&Span> {
+        if id.is_none() {
+            return None;
+        }
+        self.spans.get(id.0 as usize - 1)
+    }
+
+    /// Looks up a counter series by name.
+    pub fn counter(&self, name: &str) -> Option<&CounterSeries> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
+    /// The root run span, if one was recorded.
+    pub fn run_span(&self) -> Option<&Span> {
+        self.spans.iter().find(|s| s.category == Category::Run)
+    }
+
+    /// Combines several labelled recordings into one trace: span ids are
+    /// renumbered, and track and counter names get a `label/` prefix so
+    /// the runs land on distinct processes in the Chrome export.
+    pub fn merged(runs: &[(&str, &TraceData)]) -> TraceData {
+        let mut out = TraceData::default();
+        for (label, data) in runs {
+            let base = out.spans.len() as u64;
+            for span in &data.spans {
+                let mut s = span.clone();
+                s.id = SpanId(s.id.0 + base);
+                s.parent = s.parent.map(|p| SpanId(p.0 + base));
+                s.track = format!("{}/{}", label, s.track);
+                out.spans.push(s);
+            }
+            for series in &data.counters {
+                let mut c = series.clone();
+                c.name = format!("{}/{}", label, c.name);
+                out.counters.push(c);
+            }
+        }
+        out.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_nanos(s * 1_000_000_000)
+    }
+
+    #[test]
+    fn disabled_sink_is_inert() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        let id = sink.span_start(Category::Run, "run", "driver", "driver", SpanId::NONE, t(0));
+        assert!(id.is_none());
+        sink.attr(id, "k", 1u64);
+        sink.span_end(id, t(1));
+        sink.gauge("g", t(0), 1.0);
+        sink.add("c", t(0), 2.0);
+        assert!(sink.snapshot().is_empty());
+    }
+
+    #[test]
+    fn records_spans_with_parents_and_attrs() {
+        let sink = TraceSink::recording();
+        let run = sink.span_start(Category::Run, "run", "driver", "driver", SpanId::NONE, t(0));
+        let stage = sink.span_start(Category::Stage, "sort", "driver", "driver", run, t(1));
+        sink.attr(stage, "workers", 8u64);
+        sink.attr(stage, "workers", 9u64); // replaces
+        sink.span_end(stage, t(5));
+        sink.span_end(run, t(6));
+
+        let data = sink.snapshot();
+        assert_eq!(data.spans.len(), 2);
+        let s = data.span(stage).unwrap();
+        assert_eq!(s.parent, Some(run));
+        assert_eq!(s.attrs, vec![("workers".to_string(), Value::U64(9))]);
+        assert_eq!(s.duration().unwrap().as_secs_f64(), 4.0);
+        assert_eq!(data.run_span().unwrap().id, run);
+    }
+
+    #[test]
+    fn clones_share_the_recorder() {
+        let sink = TraceSink::recording();
+        let clone = sink.clone();
+        clone.span_start(Category::Compute, "x", "a", "b", SpanId::NONE, t(0));
+        assert_eq!(sink.snapshot().spans.len(), 1);
+    }
+
+    #[test]
+    fn cumulative_counters_accumulate() {
+        let sink = TraceSink::recording();
+        sink.add("bytes", t(1), 10.0);
+        sink.add("bytes", t(2), 5.0);
+        let data = sink.snapshot();
+        let c = data.counter("bytes").unwrap();
+        assert_eq!(c.kind, CounterKind::Cumulative);
+        assert_eq!(c.last_value(), 15.0);
+    }
+}

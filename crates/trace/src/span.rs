@@ -1,0 +1,218 @@
+//! The span model: ids, parent links, categories, and attributes.
+//!
+//! Spans nest `run → stage → invocation / vm-task → store-request / flow`
+//! (plus fine-grained leaves like compute bursts and cold starts), all
+//! timestamped in **virtual** simulation time.
+
+use faaspipe_des::SimTime;
+
+/// Identifier of a recorded span.
+///
+/// `SpanId::NONE` (the zero id) is what a disabled sink hands out; it is
+/// accepted and ignored everywhere, which is what makes instrumentation
+/// free to call unconditionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub(crate) u64);
+
+impl SpanId {
+    /// The null id produced by a disabled sink.
+    pub const NONE: SpanId = SpanId(0);
+
+    /// Whether this is the null id.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw numeric value (1-based for real spans).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+/// What kind of activity a span covers. Determines the Chrome-trace
+/// category string and how the critical-path analyzer buckets the time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Whole pipeline run (the root).
+    Run,
+    /// One DAG stage.
+    Stage,
+    /// One execution phase within a stage (sample/map/reduce rounds,
+    /// VM download/sort/upload). Structural, like [`Category::Stage`].
+    Phase,
+    /// One serverless function invocation (request to completion).
+    Invocation,
+    /// One VM task (provision to release).
+    VmTask,
+    /// One object-storage request (PUT/GET/DELETE/LIST).
+    StoreRequest,
+    /// One modelled network flow / transfer.
+    Flow,
+    /// Container cold-start delay before a function runs.
+    ColdStart,
+    /// Warm-container pickup (duration is the reuse latency, usually 0).
+    WarmStart,
+    /// Time an invocation spent queued for platform capacity.
+    Queue,
+    /// A compute burst (sorting, encoding, merging, VM compute).
+    Compute,
+    /// Driver orchestration (phase gaps, polling cadence).
+    Orchestration,
+}
+
+impl Category {
+    /// Stable lowercase name used in exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Category::Run => "run",
+            Category::Stage => "stage",
+            Category::Phase => "phase",
+            Category::Invocation => "invocation",
+            Category::VmTask => "vm-task",
+            Category::StoreRequest => "store-request",
+            Category::Flow => "flow",
+            Category::ColdStart => "cold-start",
+            Category::WarmStart => "warm-start",
+            Category::Queue => "queue",
+            Category::Compute => "compute",
+            Category::Orchestration => "orchestration",
+        }
+    }
+
+    /// The cost bucket this category contributes to on the critical
+    /// path, or `None` for structural spans (run/stage/invocation/…)
+    /// whose time is explained by their children.
+    pub fn bucket(self) -> Option<CostBucket> {
+        match self {
+            Category::Compute => Some(CostBucket::Compute),
+            Category::StoreRequest | Category::Flow => Some(CostBucket::StoreIo),
+            Category::ColdStart => Some(CostBucket::ColdStart),
+            Category::Queue => Some(CostBucket::Queueing),
+            Category::Orchestration => Some(CostBucket::Other),
+            _ => None,
+        }
+    }
+}
+
+/// Where makespan time is attributed by the critical-path analyzer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostBucket {
+    /// CPU work (sort, partition, merge, encode, VM compute).
+    Compute,
+    /// Object-storage requests and modelled transfers.
+    StoreIo,
+    /// Container cold starts and VM provisioning.
+    ColdStart,
+    /// Waiting for platform invocation capacity.
+    Queueing,
+    /// Orchestration gaps and everything else.
+    Other,
+}
+
+impl CostBucket {
+    /// Stable name used in report columns.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CostBucket::Compute => "compute",
+            CostBucket::StoreIo => "store-io",
+            CostBucket::ColdStart => "cold-start",
+            CostBucket::Queueing => "queueing",
+            CostBucket::Other => "other",
+        }
+    }
+}
+
+/// An attribute value attached to a span.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Text.
+    Str(String),
+    /// Unsigned integer (byte counts, worker ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// This span's id (1-based creation order).
+    pub id: SpanId,
+    /// Enclosing span, if any.
+    pub parent: Option<SpanId>,
+    /// Activity kind.
+    pub category: Category,
+    /// Display name (e.g. `"sort/map"`, `"GET data/in/0003"`).
+    pub name: String,
+    /// Coarse grouping — exported as the Chrome-trace *process*
+    /// (e.g. `"driver"`, `"faas"`, `"store"`, `"vm-fleet"`).
+    pub track: String,
+    /// Fine grouping within the track — exported as the Chrome-trace
+    /// *thread* (e.g. `"fn-3"`, `"vm-1"`, `"driver"`).
+    pub lane: String,
+    /// Virtual start time.
+    pub start: SimTime,
+    /// Virtual end time; `None` while open (or if never closed).
+    pub end: Option<SimTime>,
+    /// Key/value attributes in insertion order.
+    pub attrs: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// Duration, if the span was closed.
+    pub fn duration(&self) -> Option<faaspipe_des::SimDuration> {
+        self.end.map(|e| e.saturating_duration_since(self.start))
+    }
+}

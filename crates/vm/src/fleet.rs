@@ -1,11 +1,13 @@
 //! VM provisioning, execution helpers, and billing records.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use faaspipe_des::{Ctx, LinkId, SimDuration, SimTime};
+use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::profile::VmProfile;
 
@@ -44,18 +46,40 @@ pub struct VmInstance {
     /// The VM's single NIC link; pass it to
     /// `ObjectStore::connect_via` so store traffic contends for it.
     pub nic: LinkId,
+    trace: TraceSink,
+    span: SpanId,
 }
 
 impl VmInstance {
     /// Charges single-threaded compute time.
     pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
+        let span = self.compute_span(ctx, 1);
         ctx.compute(work);
+        self.trace.span_end(span, ctx.now());
     }
 
     /// Charges `work` of single-vCPU compute parallelised across
     /// `threads` threads, with the profile's parallel efficiency.
     pub fn compute_parallel(&self, ctx: &Ctx, work: SimDuration, threads: u32) {
+        let span = self.compute_span(ctx, threads);
         ctx.compute(work.mul_f64(1.0 / self.profile.speedup(threads)));
+        self.trace.span_end(span, ctx.now());
+    }
+
+    fn compute_span(&self, ctx: &Ctx, threads: u32) -> SpanId {
+        if !self.trace.is_enabled() {
+            return SpanId::NONE;
+        }
+        let span = self.trace.span_start(
+            Category::Compute,
+            "compute",
+            "vm",
+            &format!("vm-{}", self.id),
+            self.span,
+            ctx.now(),
+        );
+        self.trace.attr(span, "threads", threads);
+        span
     }
 }
 
@@ -72,6 +96,10 @@ pub struct VmFleet {
 struct FleetInner {
     next_id: AtomicU64,
     records: Mutex<Vec<VmRecord>>,
+    trace: Mutex<TraceSink>,
+    /// Open [`Category::VmTask`] spans by instance id.
+    open: Mutex<BTreeMap<u64, SpanId>>,
+    active: AtomicU64,
 }
 
 impl VmFleet {
@@ -80,13 +108,51 @@ impl VmFleet {
         VmFleet::default()
     }
 
+    /// Routes per-VM spans and the active-instance gauge to `sink`. The
+    /// default sink is disabled.
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        *self.inner.trace.lock() = sink;
+    }
+
     /// Provisions an instance, blocking the calling process for the
     /// profile's provisioning delay. Billing starts at the request.
     pub fn provision(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
         let requested = ctx.now();
+        let trace = self.inner.trace.lock().clone();
+        let parent = trace.current(ctx.pid());
         ctx.sleep(profile.provisioning);
         let nic = ctx.link_create(profile.nic_bw);
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let span = if trace.is_enabled() {
+            let ready = ctx.now();
+            let lane = format!("vm-{}", id);
+            let task = trace.span_start(
+                Category::VmTask,
+                &profile.name,
+                "vm",
+                &lane,
+                parent,
+                requested,
+            );
+            trace.attr(task, "vcpus", profile.vcpus);
+            // The provisioning delay is the VM's cold start on the
+            // critical path.
+            let boot = trace.span_start(
+                Category::ColdStart,
+                "vm-provision",
+                "vm",
+                &lane,
+                task,
+                requested,
+            );
+            trace.span_end(boot, ready);
+            self.inner.open.lock().insert(id, task);
+            let active = self.inner.active.fetch_add(1, Ordering::SeqCst) + 1;
+            trace.gauge("vm.active", ready, active as f64);
+            task
+        } else {
+            SpanId::NONE
+        };
         self.inner.records.lock().push(VmRecord {
             id,
             profile: profile.clone(),
@@ -94,7 +160,13 @@ impl VmFleet {
             ready: ctx.now(),
             released: None,
         });
-        VmInstance { id, profile, nic }
+        VmInstance {
+            id,
+            profile,
+            nic,
+            trace,
+            span,
+        }
     }
 
     /// Releases an instance, ending its billing span.
@@ -110,6 +182,11 @@ impl VmFleet {
             .expect("released VM must have a record");
         assert!(rec.released.is_none(), "VM {} released twice", vm.id);
         rec.released = Some(ctx.now());
+        if let Some(task) = self.inner.open.lock().remove(&vm.id) {
+            vm.trace.span_end(task, ctx.now());
+            let active = self.inner.active.fetch_sub(1, Ordering::SeqCst) - 1;
+            vm.trace.gauge("vm.active", ctx.now(), active as f64);
+        }
     }
 
     /// Snapshot of all VM billing records.
@@ -176,6 +253,38 @@ mod tests {
             f.release(ctx, vm);
         });
         sim.run().expect("run");
+    }
+
+    #[test]
+    fn traced_vm_records_task_and_provision_spans() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let sink = TraceSink::recording();
+        fleet.set_trace_sink(sink.clone());
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            let vm = f.provision(ctx, VmProfile::bx2_8x32());
+            vm.compute(ctx, SimDuration::from_secs(3));
+            f.release(ctx, vm);
+        });
+        sim.run().expect("run");
+        let data = sink.snapshot();
+        let task = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::VmTask)
+            .expect("vm-task span");
+        assert_eq!(task.lane, "vm-0");
+        assert!(task.end.is_some());
+        let boot = data
+            .spans
+            .iter()
+            .find(|s| s.category == Category::ColdStart)
+            .expect("provision span");
+        assert_eq!(boot.parent, Some(task.id));
+        assert_eq!(boot.duration().unwrap(), SimDuration::from_secs(44));
+        assert!(data.spans.iter().any(|s| s.category == Category::Compute));
+        assert_eq!(sink.counter_value("vm.active"), 0.0);
     }
 
     #[test]

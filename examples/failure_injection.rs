@@ -27,9 +27,15 @@ fn run(error_rate: f64) -> Result<(f64, u64), Box<dyn std::error::Error>> {
     store.create_bucket("data")?;
 
     // 40k pseudo-random u64 records across 4 chunks.
-    let values: Vec<u64> = (0..40_000u64).map(|i| (i * 2_654_435_761) % 10_000_000).collect();
+    let values: Vec<u64> = (0..40_000u64)
+        .map(|i| (i * 2_654_435_761) % 10_000_000)
+        .collect();
     for (i, chunk) in values.chunks(10_000).enumerate() {
-        store.put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))?;
+        store.put_untimed(
+            "data",
+            &format!("in/{:04}", i),
+            Bytes::from(SortRecord::write_all(chunk)),
+        )?;
     }
 
     let out: Arc<Mutex<Option<SimDuration>>> = Arc::new(Mutex::new(None));

@@ -59,7 +59,11 @@ fn run_spec(json: &str) -> Result<(), Box<dyn std::error::Error>> {
     // Stage ~50k unsorted methylation records as 8 input chunks.
     let dataset = Synthesizer::new(7).generate_shuffled(50_000);
     for (i, chunk) in dataset.records.chunks(50_000usize.div_ceil(8)).enumerate() {
-        store.put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))?;
+        store.put_untimed(
+            "data",
+            &format!("in/{:04}", i),
+            Bytes::from(SortRecord::write_all(chunk)),
+        )?;
     }
 
     let tracker = Tracker::new();

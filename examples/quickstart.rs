@@ -30,15 +30,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 let store = Arc::clone(&store2);
-                faas2.invoke_async(ctx, "worker", format!("quickstart/{}", i), move |fctx, env| {
-                    let client = store.connect_via(fctx, "quickstart", &[env.nic]);
-                    let key = format!("greeting/{}", i);
-                    let body = Bytes::from(vec![i as u8; 8 << 20]); // 8 MiB
-                    client.put(fctx, "data", &key, body).expect("put");
-                    let back = client.get(fctx, "data", &key).expect("get");
-                    assert_eq!(back.len(), 8 << 20);
-                    env.compute(fctx, SimDuration::from_millis(150));
-                })
+                faas2.invoke_async(
+                    ctx,
+                    "worker",
+                    format!("quickstart/{}", i),
+                    move |fctx, env| {
+                        let client = store.connect_via(fctx, "quickstart", &[env.nic]);
+                        let key = format!("greeting/{}", i);
+                        let body = Bytes::from(vec![i as u8; 8 << 20]); // 8 MiB
+                        client.put(fctx, "data", &key, body).expect("put");
+                        let back = client.get(fctx, "data", &key).expect("get");
+                        assert_eq!(back.len(), 8 << 20);
+                        env.compute(fctx, SimDuration::from_millis(150));
+                    },
+                )
             })
             .collect();
         ctx.join_all(&handles).expect("workers ok");

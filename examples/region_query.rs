@@ -90,13 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(hits, expect, "range-read query must match a full scan");
     println!(
         "query {}:{}..{} -> {} records, fetching {} of {} archive bytes in {:.3}s virtual",
-        CHROM_NAMES[chrom as usize],
-        lo,
-        hi,
-        hits,
-        bytes,
-        archive_len,
-        secs
+        CHROM_NAMES[chrom as usize], lo, hi, hits, bytes, archive_len, secs
     );
     println!(
         "({}x less data moved than downloading the whole archive)",

@@ -39,8 +39,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         3.5e9,
         8,
         &store,
-        0.52,  // cold start, s
-        1.0,   // vCPU share at 2 GB
+        0.52, // cold start, s
+        1.0,  // vCPU share at 2 GB
         95.0 * 1024.0 * 1024.0,
         180.0 * 1024.0 * 1024.0,
         128,

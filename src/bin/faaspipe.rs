@@ -1,8 +1,9 @@
 //! The `faaspipe` command-line tool.
 //!
 //! ```text
-//! faaspipe table1 [--records N]           reproduce the paper's Table 1
-//! faaspipe run <spec.json> [--records N] [--seed S]
+//! faaspipe table1 [--records N] [--trace-out F]
+//!                                         reproduce the paper's Table 1
+//! faaspipe run <spec.json> [--records N] [--seed S] [--trace-out F]
 //!                                         execute a JSON workflow spec
 //! faaspipe synth --records N --out F      generate synthetic WGBS bedMethyl
 //! faaspipe compress <in.bed> <out.mc>     METHCOMP-compress a bedMethyl file
@@ -22,18 +23,19 @@ use faaspipe::core::pricing::PriceBook;
 use faaspipe::core::report::{render_table1, Table1Row};
 use faaspipe::core::spec::PipelineSpec;
 use faaspipe::core::tracker::Tracker;
-use faaspipe::des::Sim;
+use faaspipe::des::{Sim, SimTime};
 use faaspipe::faas::{FaasConfig, FunctionPlatform};
 use faaspipe::methcomp::codec as mc;
 use faaspipe::methcomp::synth::Synthesizer;
 use faaspipe::methcomp::Dataset;
 use faaspipe::shuffle::{SortRecord, TuningModel, TuningPrices, WorkModel};
 use faaspipe::store::{ObjectStore, StoreConfig};
+use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceData, TraceSink};
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N]
-  faaspipe run <spec.json> [--records N] [--seed S]
+  faaspipe table1 [--records N] [--trace-out <trace.json>]
+  faaspipe run <spec.json> [--records N] [--seed S] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>
   faaspipe decompress <input.mc> <output.bed>
@@ -67,15 +69,20 @@ fn main() -> ExitCode {
     }
 }
 
-/// Pulls `--flag value` out of an argument list.
-fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+/// Pulls `--flag value` out of an argument list; a trailing flag with no
+/// value is an error rather than silently ignored.
+fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{} requires a value", name)),
+        },
+    }
 }
 
 fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
-    match flag(args, name) {
+    match flag(args, name)? {
         None => Ok(default),
         Some(v) => v
             .parse()
@@ -85,16 +92,34 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 
 fn cmd_table1(args: &[String]) -> Result<(), String> {
     let records: usize = flag_parse(args, "--records", 150_000)?;
+    let trace_out = flag(args, "--trace-out")?;
     let mut rows = Vec::new();
+    let mut traces: Vec<(String, TraceData)> = Vec::new();
     for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
         let mut cfg = PipelineConfig::paper_table1();
         cfg.mode = mode;
         cfg.physical_records = records;
+        cfg.trace = trace_out.is_some();
         let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
         eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);
+        if cfg.trace {
+            let breakdown =
+                critical_path(&outcome.trace).ok_or("traced run produced no breakdown")?;
+            eprintln!("{}", breakdown.render());
+            traces.push((mode.to_string(), outcome.trace.clone()));
+        }
         rows.push(Table1Row::from_outcome(&outcome));
     }
     println!("{}", render_table1(&rows));
+    if let Some(path) = trace_out {
+        let labelled: Vec<(&str, &TraceData)> = traces
+            .iter()
+            .map(|(label, data)| (label.as_str(), data))
+            .collect();
+        let chrome = chrome_trace_json(&TraceData::merged(&labelled));
+        std::fs::write(&path, chrome).map_err(|e| format!("{}: {}", path, e))?;
+        eprintln!("wrote {}", path);
+    }
     Ok(())
 }
 
@@ -105,6 +130,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("run requires a spec file")?;
     let records: usize = flag_parse(args, "--records", 50_000)?;
     let seed: u64 = flag_parse(args, "--seed", 7)?;
+    let trace_out = flag(args, "--trace-out")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
     let spec = PipelineSpec::from_json(&text).map_err(|e| e.to_string())?;
     let dag = spec.to_dag().map_err(|e| e.to_string())?;
@@ -113,7 +139,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     let store = ObjectStore::install(&mut sim, StoreConfig::default());
     let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
     let fleet = VmFleet::new();
-    store.create_bucket(&dag.bucket).map_err(|e| e.to_string())?;
+    store
+        .create_bucket(&dag.bucket)
+        .map_err(|e| e.to_string())?;
 
     // Stage synthetic input under the first stage's input prefix.
     let input_prefix = match dag.stages().first().map(|s| &s.kind) {
@@ -139,7 +167,33 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
     }
 
-    let tracker = Tracker::new();
+    let sink = if trace_out.is_some() {
+        TraceSink::recording()
+    } else {
+        TraceSink::disabled()
+    };
+    let run_span = if trace_out.is_some() {
+        let run = sink.span_start(
+            Category::Run,
+            &dag.name,
+            "driver",
+            "driver",
+            SpanId::NONE,
+            SimTime::ZERO,
+        );
+        sink.attr(run, "seed", seed);
+        store.set_trace_sink(sink.clone());
+        faas.set_trace_sink(sink.clone());
+        fleet.set_trace_sink(sink.clone());
+        run
+    } else {
+        SpanId::NONE
+    };
+    let tracker = if trace_out.is_some() {
+        Tracker::with_sink(sink.clone(), run_span)
+    } else {
+        Tracker::new()
+    };
     let executor = Executor::new(
         Services {
             store: store.clone(),
@@ -151,6 +205,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     );
     let handle = executor.spawn_dag(&mut sim, &dag);
     let report = sim.run().map_err(|e| e.to_string())?;
+    sink.span_end(run_span, report.end_time);
     let results = handle.ok_results()?;
     println!("{}", tracker.render());
     for s in &results {
@@ -169,6 +224,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         report.end_time,
     );
     println!("{}", cost.render());
+    if let Some(path) = trace_out {
+        let data = sink.snapshot();
+        if let Some(breakdown) = critical_path(&data) {
+            println!("{}", breakdown.render());
+        }
+        std::fs::write(&path, chrome_trace_json(&data)).map_err(|e| format!("{}: {}", path, e))?;
+        eprintln!("wrote {}", path);
+    }
     Ok(())
 }
 
@@ -177,7 +240,7 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     if records == 0 {
         return Err("synth requires --records N".into());
     }
-    let out = flag(args, "--out").ok_or("synth requires --out <file>")?;
+    let out = flag(args, "--out")?.ok_or("synth requires --out <file>")?;
     let seed: u64 = flag_parse(args, "--seed", 7)?;
     let shuffled = args.iter().any(|a| a == "--shuffled");
     let mut synth = Synthesizer::new(seed);
@@ -187,7 +250,12 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
         synth.generate_records(records)
     };
     std::fs::write(&out, ds.to_text()).map_err(|e| format!("{}: {}", out, e))?;
-    eprintln!("wrote {} records ({} bytes) to {}", ds.len(), ds.to_text().len(), out);
+    eprintln!(
+        "wrote {} records ({} bytes) to {}",
+        ds.len(),
+        ds.to_text().len(),
+        out
+    );
     Ok(())
 }
 
@@ -246,7 +314,9 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let chrom = faaspipe::methcomp::bed::chrom_id(chrom_name)
         .ok_or_else(|| format!("unknown chromosome '{}'", chrom_name))?;
-    let start: u64 = start.parse().map_err(|_| format!("bad start '{}'", start))?;
+    let start: u64 = start
+        .parse()
+        .map_err(|_| format!("bad start '{}'", start))?;
     let end: u64 = end.parse().map_err(|_| format!("bad end '{}'", end))?;
     let archive =
         std::fs::read(archive_path.as_str()).map_err(|e| format!("{}: {}", archive_path, e))?;
@@ -298,7 +368,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         max_workers,
     };
     let prices = TuningPrices::default();
-    let best = match flag(args, "--budget") {
+    let best = match flag(args, "--budget")? {
         None => model.best_workers(),
         Some(v) => {
             let budget: f64 = v
@@ -308,10 +378,7 @@ fn cmd_tune(args: &[String]) -> Result<(), String> {
         }
     };
     let b = model.breakdown(best);
-    println!(
-        "recommended workers for a {:.1} GB shuffle: {}",
-        gb, best
-    );
+    println!("recommended workers for a {:.1} GB shuffle: {}", gb, best);
     println!(
         "modelled makespan {:.1}s (startup {:.1}, transfer {:.1}, requests {:.1}, compute {:.1})",
         b.total_s(),

@@ -11,6 +11,7 @@
 //! - [`methcomp`] — DNA-methylation BED model, synthesizer, and METHCOMP codec
 //! - [`shuffle`] — Primula-like serverless shuffle/sort operator
 //! - [`core`] — workflow DAGs, JSON pipeline specs, executor, tracker, pricing
+//! - [`trace`] — virtual-time tracing: spans, counters, exporters, critical path
 
 pub use faaspipe_codec as codec;
 pub use faaspipe_core as core;
@@ -19,4 +20,5 @@ pub use faaspipe_faas as faas;
 pub use faaspipe_methcomp as methcomp;
 pub use faaspipe_shuffle as shuffle;
 pub use faaspipe_store as store;
+pub use faaspipe_trace as trace;
 pub use faaspipe_vm as vm;

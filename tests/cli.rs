@@ -38,16 +38,43 @@ fn synth_compress_decompress_round_trip() {
         .args(["--seed", "3"])
         .output()
         .expect("synth");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
-    let out = bin().arg("compress").arg(&bed).arg(&mc).output().expect("compress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("compress")
+        .arg(&bed)
+        .arg(&mc)
+        .output()
+        .expect("compress");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let packed = std::fs::metadata(&mc).expect("archive").len();
     let original = std::fs::metadata(&bed).expect("bed").len();
-    assert!(packed * 5 < original, "must compress well: {} vs {}", packed, original);
+    assert!(
+        packed * 5 < original,
+        "must compress well: {} vs {}",
+        packed,
+        original
+    );
 
-    let out = bin().arg("decompress").arg(&mc).arg(&back).output().expect("decompress");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("decompress")
+        .arg(&mc)
+        .arg(&back)
+        .output()
+        .expect("decompress");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let a = std::fs::read(&bed).expect("bed");
     let b = std::fs::read(&back).expect("back");
     assert_eq!(a, b, "byte-exact text round trip");
@@ -78,15 +105,28 @@ fn index_and_query_round_trip() {
         .output()
         .expect("synth");
     assert!(out.status.success());
-    let out = bin().arg("index").arg(&bed).arg(&mcx).output().expect("index");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .arg("index")
+        .arg(&bed)
+        .arg(&mcx)
+        .output()
+        .expect("index");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let out = bin()
         .arg("query")
         .arg(&mcx)
         .args(["chr1", "0", "400000"])
         .output()
         .expect("query");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     let hits = text.lines().count();
     assert!(hits > 0, "window must contain records");
@@ -139,7 +179,11 @@ fn run_executes_a_spec_file() {
         .args(["--records", "4000"])
         .output()
         .expect("run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("stage 'sort'"));
     assert!(text.contains("stage 'encode'"));

@@ -5,9 +5,7 @@
 use bytes::Bytes;
 
 use faaspipe::core::executor::{Executor, Services};
-use faaspipe::core::pipeline::{
-    run_methcomp_pipeline, PipelineConfig, PipelineMode,
-};
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe::core::pricing::PriceBook;
 use faaspipe::core::spec::PipelineSpec;
 use faaspipe::core::tracker::Tracker;
@@ -81,7 +79,10 @@ fn json_spec_drives_the_same_pipeline() {
               "deps": ["sort"] }
         ]
     }"#;
-    let dag = PipelineSpec::from_json(SPEC).expect("parse").to_dag().expect("dag");
+    let dag = PipelineSpec::from_json(SPEC)
+        .expect("parse")
+        .to_dag()
+        .expect("dag");
 
     let mut sim = Sim::new();
     let store = ObjectStore::install(&mut sim, StoreConfig::default());
@@ -91,7 +92,11 @@ fn json_spec_drives_the_same_pipeline() {
     let dataset = Synthesizer::new(99).generate_shuffled(8_000);
     for (i, chunk) in dataset.records.chunks(2_000).enumerate() {
         store
-            .put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))
+            .put_untimed(
+                "data",
+                &format!("in/{:04}", i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
             .expect("stage input");
     }
     let tracker = Tracker::new();
@@ -116,7 +121,9 @@ fn json_spec_drives_the_same_pipeline() {
         let run = store.peek("data", &key).expect("run");
         let records: Vec<MethRecord> = SortRecord::read_all(&run).expect("decode");
         let leaf = key.trim_start_matches("sorted/");
-        let archive = store.peek("data", &format!("enc/{}", leaf)).expect("archive");
+        let archive = store
+            .peek("data", &format!("enc/{}", leaf))
+            .expect("archive");
         let decoded = mc::decompress(&archive).expect("lossless");
         assert_eq!(decoded.records, records);
         all.extend(records);
@@ -148,7 +155,10 @@ fn gzip_encode_pipeline_spec_also_runs() {
               "deps": ["sort"] }
         ]
     }"#;
-    let dag = PipelineSpec::from_json(SPEC).expect("parse").to_dag().expect("dag");
+    let dag = PipelineSpec::from_json(SPEC)
+        .expect("parse")
+        .to_dag()
+        .expect("dag");
     let mut sim = Sim::new();
     let store = ObjectStore::install(&mut sim, StoreConfig::default());
     let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
@@ -156,7 +166,11 @@ fn gzip_encode_pipeline_spec_also_runs() {
     let dataset = Synthesizer::new(5).generate_shuffled(4_000);
     for (i, chunk) in dataset.records.chunks(2_000).enumerate() {
         store
-            .put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))
+            .put_untimed(
+                "data",
+                &format!("in/{:04}", i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
             .expect("stage input");
     }
     let executor = Executor::new(
@@ -177,7 +191,9 @@ fn gzip_encode_pipeline_spec_also_runs() {
         let records: Vec<MethRecord> = SortRecord::read_all(&run).expect("decode");
         let text = faaspipe::methcomp::Dataset::new(records).to_text();
         let leaf = key.trim_start_matches("sorted/");
-        let archive = store.peek("data", &format!("enc/{}", leaf)).expect("archive");
+        let archive = store
+            .peek("data", &format!("enc/{}", leaf))
+            .expect("archive");
         let unpacked = faaspipe::codec::gzipish::decompress(&archive).expect("gz");
         assert_eq!(unpacked, text.as_bytes());
     }

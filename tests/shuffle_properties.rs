@@ -50,7 +50,11 @@ fn serverless_output(values: &[u64], chunks: usize, workers: usize) -> Vec<u64> 
     let per = values.len().div_ceil(chunks).max(1);
     for (i, chunk) in values.chunks(per).enumerate() {
         store
-            .put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))
+            .put_untimed(
+                "data",
+                &format!("in/{:04}", i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
             .expect("stage");
     }
     let out: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -65,9 +69,8 @@ fn serverless_output(values: &[u64], chunks: usize, workers: usize) -> Vec<u64> 
         let client = store2.connect(ctx, "verify");
         for run in &stats.runs {
             let data = client.get(ctx, "data", run).expect("run");
-            out2.lock().extend(
-                <u64 as SortRecord>::read_all(&data).expect("decode"),
-            );
+            out2.lock()
+                .extend(<u64 as SortRecord>::read_all(&data).expect("decode"));
         }
     });
     sim.run().expect("sim ok");
@@ -83,7 +86,11 @@ fn vm_output(values: &[u64], chunks: usize, runs: usize) -> Vec<u64> {
     let per = values.len().div_ceil(chunks).max(1);
     for (i, chunk) in values.chunks(per).enumerate() {
         store
-            .put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))
+            .put_untimed(
+                "data",
+                &format!("in/{:04}", i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
             .expect("stage");
     }
     let out: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -98,9 +105,8 @@ fn vm_output(values: &[u64], chunks: usize, runs: usize) -> Vec<u64> {
         let client = store2.connect(ctx, "verify");
         for run in &stats.runs {
             let data = client.get(ctx, "data", run).expect("run");
-            out2.lock().extend(
-                <u64 as SortRecord>::read_all(&data).expect("decode"),
-            );
+            out2.lock()
+                .extend(<u64 as SortRecord>::read_all(&data).expect("decode"));
         }
     });
     sim.run().expect("sim ok");
@@ -144,15 +150,16 @@ fn more_workers_reduce_latency_when_bandwidth_bound() {
     fn latency(workers: usize) -> SimDuration {
         let values: Vec<u64> = (0..60_000u64).map(|i| (i * 48_271) % 1_000_003).collect();
         let mut sim = Sim::new();
-        let store = ObjectStore::install(
-            &mut sim,
-            StoreConfig::default().with_size_scale(1_000.0),
-        );
+        let store = ObjectStore::install(&mut sim, StoreConfig::default().with_size_scale(1_000.0));
         let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
         store.create_bucket("data").expect("bucket");
         for (i, chunk) in values.chunks(7_500).enumerate() {
             store
-                .put_untimed("data", &format!("in/{:04}", i), Bytes::from(SortRecord::write_all(chunk)))
+                .put_untimed(
+                    "data",
+                    &format!("in/{:04}", i),
+                    Bytes::from(SortRecord::write_all(chunk)),
+                )
                 .expect("stage");
         }
         let out: Arc<Mutex<Option<SimDuration>>> = Arc::new(Mutex::new(None));

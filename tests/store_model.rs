@@ -118,7 +118,8 @@ fn run_simulated(ops: Vec<Op>) -> Vec<Observed> {
         for op in &ops {
             let obs = match op {
                 Op::Put(k, d) => {
-                    c.put(ctx, "b", &key(*k), Bytes::from(d.clone())).expect("put");
+                    c.put(ctx, "b", &key(*k), Bytes::from(d.clone()))
+                        .expect("put");
                     Observed::Unit
                 }
                 Op::PutIfAbsent(k, d) => {

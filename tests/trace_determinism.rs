@@ -1,0 +1,81 @@
+//! Trace determinism and critical-path invariants across the full
+//! Table-1 pipeline: identical seeds must yield byte-identical exports,
+//! and the makespan attribution must tile the run span exactly.
+
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe::trace::{
+    chrome_trace_json, counters_csv, critical_path, render_timeline, Category, TraceData,
+};
+
+fn traced(mode: PipelineMode) -> TraceData {
+    let mut cfg = PipelineConfig::paper_table1();
+    cfg.mode = mode;
+    cfg.physical_records = 15_000;
+    cfg.trace = true;
+    run_methcomp_pipeline(&cfg).expect("pipeline ok").trace
+}
+
+#[test]
+fn same_seed_table1_runs_export_byte_identical_traces() {
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let a = traced(mode);
+        let b = traced(mode);
+        assert_eq!(
+            chrome_trace_json(&a),
+            chrome_trace_json(&b),
+            "{:?}: chrome export must be byte-identical",
+            mode
+        );
+        assert_eq!(counters_csv(&a), counters_csv(&b));
+        assert_eq!(render_timeline(&a), render_timeline(&b));
+    }
+}
+
+#[test]
+fn critical_path_durations_sum_to_the_makespan() {
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        let data = traced(mode);
+        let run = data.run_span().expect("run span");
+        let breakdown = critical_path(&data).expect("breakdown");
+        assert_eq!(
+            breakdown.total(),
+            breakdown.makespan,
+            "{:?}: buckets must tile the makespan to the nanosecond",
+            mode
+        );
+        assert_eq!(
+            breakdown.makespan,
+            run.duration().expect("closed run span"),
+            "{:?}: attribution window is the run span",
+            mode
+        );
+    }
+}
+
+#[test]
+fn traced_table1_covers_both_data_exchange_paths() {
+    let pure = traced(PipelineMode::PureServerless);
+    assert!(pure
+        .spans
+        .iter()
+        .any(|s| s.category == Category::Invocation));
+    assert!(!pure.spans.iter().any(|s| s.category == Category::VmTask));
+    assert!(pure.counter("faas.running_containers").is_some());
+    assert!(pure.counter("store.inflight_flows").is_some());
+
+    let hybrid = traced(PipelineMode::VmHybrid);
+    assert!(hybrid.spans.iter().any(|s| s.category == Category::VmTask));
+    assert!(hybrid.counter("vm.active").is_some());
+
+    // Merging the two topologies keeps every span addressable under a
+    // prefixed track, as the Figure-1 artifact relies on.
+    let merged = TraceData::merged(&[("A", &hybrid), ("B", &pure)]);
+    assert_eq!(merged.spans.len(), hybrid.spans.len() + pure.spans.len());
+    assert!(merged
+        .spans
+        .iter()
+        .all(|s| { s.track.starts_with("A/") || s.track.starts_with("B/") }));
+    let json = chrome_trace_json(&merged);
+    let parsed: faaspipe_json::Json = json.parse().expect("merged export is valid JSON");
+    assert!(parsed.get("traceEvents").is_some());
+}

@@ -13,7 +13,7 @@
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
-use faaspipe_shuffle::ExchangeStrategy;
+use faaspipe_shuffle::ExchangeKind;
 
 struct Row {
     workers: usize,
@@ -25,7 +25,7 @@ struct Row {
 
 faaspipe_json::json_object! { Row { req workers, req strategy, req latency_s, req sort_latency_s, req cost_dollars } }
 
-fn run(workers: usize, exchange: ExchangeStrategy) -> Row {
+fn run(workers: usize, exchange: ExchangeKind) -> Row {
     let mut cfg = PipelineConfig::paper_table1();
     cfg.mode = PipelineMode::PureServerless;
     cfg.physical_records = SWEEP_RECORDS;
@@ -53,8 +53,8 @@ fn main() {
     let mut rows = Vec::new();
     println!("workers  scatter(s)   coalesced(s)   scatter($)  coalesced($)");
     for &w in &[8usize, 16, 32, 64] {
-        let a = run(w, ExchangeStrategy::Scatter);
-        let b = run(w, ExchangeStrategy::Coalesced);
+        let a = run(w, ExchangeKind::Scatter);
+        let b = run(w, ExchangeKind::Coalesced);
         println!(
             "{:>7}  {:>10.2}  {:>13.2}  {:>10.4}  {:>12.4}",
             w, a.latency_s, b.latency_s, a.cost_dollars, b.cost_dollars

@@ -1,4 +1,4 @@
-//! E12 (ablation) — function memory size: the paper "allocate[s] 2GB of
+//! E12 (ablation) — function memory size: the paper "allocate\[s\] 2GB of
 //! memory to cloud functions". On IBM CF (as on Lambda) CPU scales with
 //! memory, so memory is really a *speed dial priced in GB-seconds*. This
 //! sweep shows why 2 GB is a sensible point for the METHCOMP pipeline:

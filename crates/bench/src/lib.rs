@@ -14,6 +14,10 @@
 //! | `repro_scaling` | E7 — input-size scaling (ablation) |
 //! | `repro_ops_sensitivity` | E8 — ops/s throttle sensitivity (ablation) |
 //! | `repro_cold_warm` | E9 — cold vs pre-warmed containers (ablation) |
+//! | `repro_exchange` | E10 — coalesced vs scatter all-to-all exchange (ablation) |
+//! | `repro_memory` | E12 — function memory sizing (ablation) |
+//! | `repro_codec_pipeline` | E13 — codec choice at pipeline level (ablation) |
+//! | `repro_exchange_backends` | E15 — exchange backends: object storage vs VM relay vs direct |
 //!
 //! Every binary prints a human-readable table and writes the raw rows as
 //! JSON under `results/` (created on demand) so EXPERIMENTS.md can cite

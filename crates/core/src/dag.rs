@@ -7,7 +7,7 @@
 
 use std::fmt;
 
-use faaspipe_shuffle::ExchangeStrategy;
+use faaspipe_exchange::ExchangeKind;
 use faaspipe_vm::VmProfile;
 
 /// Index of a stage within its DAG.
@@ -40,8 +40,10 @@ pub enum StageKind {
     ShuffleSort {
         /// Worker-count policy.
         workers: WorkerChoice,
-        /// All-to-all exchange pattern (scatter vs Primula's coalesced).
-        exchange: ExchangeStrategy,
+        /// Intermediate data-exchange backend: an object-store layout
+        /// (scatter vs Primula's coalesced), a VM relay, or direct
+        /// function-to-function streaming.
+        exchange: ExchangeKind,
         /// Input prefix of binary record chunks.
         input: String,
         /// Output prefix for sorted runs.
@@ -291,7 +293,7 @@ mod tests {
     fn sort_kind() -> StageKind {
         StageKind::ShuffleSort {
             workers: WorkerChoice::Fixed(8),
-            exchange: ExchangeStrategy::Scatter,
+            exchange: ExchangeKind::Scatter,
             input: "in/".into(),
             output: "sorted/".into(),
         }
@@ -352,7 +354,7 @@ mod tests {
                 "s",
                 StageKind::ShuffleSort {
                     workers: WorkerChoice::Fixed(0),
-                    exchange: ExchangeStrategy::Scatter,
+                    exchange: ExchangeKind::Scatter,
                     input: "in/".into(),
                     output: "out/".into(),
                 },

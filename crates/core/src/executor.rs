@@ -11,11 +11,13 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use faaspipe_des::{Ctx, ProcessId, Sim, SimDuration, SimTime};
+use faaspipe_exchange::{
+    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, VmRelayExchange,
+};
 use faaspipe_faas::FunctionPlatform;
 use faaspipe_methcomp::{codec as mc_codec, Dataset, MethRecord};
 use faaspipe_shuffle::{
-    serverless_sort, vm_sort, Autotuner, ExchangeStrategy, SortConfig, SortRecord, VmSortConfig,
-    WorkModel,
+    serverless_sort, vm_sort, Autotuner, SortConfig, SortRecord, VmSortConfig, WorkModel,
 };
 use faaspipe_store::ObjectStore;
 use faaspipe_trace::Category;
@@ -343,6 +345,41 @@ impl Executor {
         Ok((workers.min(inputs.len()), bytes))
     }
 
+    /// Builds the intermediate data-exchange backend a shuffle stage
+    /// asked for. Object-store layouts return `None` — the sort operator
+    /// constructs its default [`ObjectStoreExchange`]
+    /// (faaspipe_exchange::ObjectStoreExchange) over the stage's own
+    /// `part_prefix`. The relay and direct backends share the store's
+    /// size scale so wire bytes stay comparable, and the relay VM comes
+    /// from the executor's fleet so its billing lands in the cost report.
+    fn exchange_backend(&self, exchange: ExchangeKind) -> Option<Arc<dyn DataExchange>> {
+        let scale = self.services.store.config().size_scale;
+        let trace = self.services.store.trace_sink();
+        match exchange {
+            ExchangeKind::Scatter | ExchangeKind::Coalesced => None,
+            ExchangeKind::VmRelay => {
+                let relay = VmRelayExchange::new(
+                    self.services.fleet.clone(),
+                    RelayConfig {
+                        size_scale: scale,
+                        ..RelayConfig::default()
+                    },
+                )
+                .with_trace(trace);
+                Some(Arc::new(relay))
+            }
+            ExchangeKind::Direct => {
+                let direct = DirectExchange::new(DirectConfig {
+                    keep_alive: self.services.faas.config().keep_alive,
+                    size_scale: scale,
+                    ..DirectConfig::default()
+                })
+                .with_trace(trace);
+                Some(Arc::new(direct))
+            }
+        }
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn exec_shuffle(
         &self,
@@ -350,7 +387,7 @@ impl Executor {
         bucket: &str,
         stage: &str,
         choice: WorkerChoice,
-        exchange: ExchangeStrategy,
+        exchange: ExchangeKind,
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
@@ -413,7 +450,8 @@ impl Executor {
             work: self.work.clone(),
             retries: 3,
             orchestration: self.orchestration,
-            exchange,
+            exchange: exchange.layout(),
+            backend: self.exchange_backend(exchange),
             task_attempts: 2,
             manifest_key: None,
         };
@@ -572,7 +610,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
-                exchange: ExchangeStrategy::Scatter,
+                exchange: ExchangeKind::Scatter,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -644,7 +682,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Auto,
-                exchange: ExchangeStrategy::Coalesced,
+                exchange: ExchangeKind::Coalesced,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -669,7 +707,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
-                exchange: ExchangeStrategy::Coalesced,
+                exchange: ExchangeKind::Coalesced,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -725,7 +763,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
-                exchange: ExchangeStrategy::Coalesced,
+                exchange: ExchangeKind::Coalesced,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -792,7 +830,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(2),
-                exchange: ExchangeStrategy::Scatter,
+                exchange: ExchangeKind::Scatter,
                 input: "missing/".into(), // no such inputs
                 output: "sorted/".into(),
             },
@@ -827,7 +865,7 @@ mod tests {
             "sort",
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(2),
-                exchange: ExchangeStrategy::Coalesced,
+                exchange: ExchangeKind::Coalesced,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },

@@ -18,11 +18,12 @@ use std::fmt;
 use bytes::Bytes;
 
 use faaspipe_des::{Money, Sim, SimDuration, SimError, SimTime};
+use faaspipe_exchange::ExchangeKind;
 use faaspipe_faas::{FaasConfig, FunctionPlatform};
 use faaspipe_methcomp::codec as mc_codec;
 use faaspipe_methcomp::synth::Synthesizer;
 use faaspipe_methcomp::MethRecord;
-use faaspipe_shuffle::{ExchangeStrategy, SortRecord, WorkModel};
+use faaspipe_shuffle::{SortRecord, WorkModel};
 use faaspipe_store::{ObjectStore, StoreConfig};
 use faaspipe_trace::{Category, SpanId, TraceData, TraceSink};
 use faaspipe_vm::{VmFleet, VmProfile};
@@ -78,8 +79,9 @@ pub struct PipelineConfig {
     pub pricing: PriceBook,
     /// Verify outputs against the input (decode every archive).
     pub verify: bool,
-    /// All-to-all exchange pattern for the serverless shuffle.
-    pub exchange: ExchangeStrategy,
+    /// Intermediate data-exchange backend for the serverless shuffle
+    /// (object-store scatter/coalesced, VM relay, or direct streaming).
+    pub exchange: ExchangeKind,
     /// Codec for the encode stage (METHCOMP, or the gzip-class baseline
     /// for the end-to-end codec comparison).
     pub encode_codec: EncodeCodec,
@@ -106,7 +108,7 @@ impl PipelineConfig {
             work: WorkModel::default(),
             pricing: PriceBook::default(),
             verify: true,
-            exchange: ExchangeStrategy::Scatter,
+            exchange: ExchangeKind::Scatter,
             encode_codec: EncodeCodec::Methcomp,
             trace: false,
         }

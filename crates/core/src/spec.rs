@@ -21,7 +21,7 @@
 use faaspipe_json::{FromJson, Json, JsonError, ToJson};
 use faaspipe_vm::VmProfile;
 
-use faaspipe_shuffle::ExchangeStrategy;
+use faaspipe_exchange::ExchangeKind;
 
 use crate::dag::{Dag, DagError, EncodeCodec, StageKind, WorkerChoice};
 
@@ -88,8 +88,10 @@ pub struct StageSpec {
     pub profile: Option<String>,
     /// Output runs for `vm_sort`.
     pub runs: Option<usize>,
-    /// Exchange pattern for `shuffle_sort`: `"scatter"` (default) or
-    /// `"coalesced"` (the Primula I/O optimization).
+    /// Exchange backend for `shuffle_sort`: `"scatter"` (default),
+    /// `"coalesced"` (the Primula I/O optimization), `"vm_relay"`
+    /// (Pocket-style in-memory relay VM), or `"direct"`
+    /// (function-to-function streaming).
     pub exchange: Option<String>,
     /// Input prefix.
     pub input: String,
@@ -196,11 +198,8 @@ impl PipelineSpec {
             let kind = match s.kind.as_str() {
                 "shuffle_sort" => {
                     let exchange = match s.exchange.as_deref() {
-                        None | Some("scatter") => ExchangeStrategy::Scatter,
-                        Some("coalesced") => ExchangeStrategy::Coalesced,
-                        Some(other) => {
-                            return Err(invalid(&format!("unknown exchange '{}'", other)))
-                        }
+                        None => ExchangeKind::Scatter,
+                        Some(name) => name.parse::<ExchangeKind>().map_err(|e| invalid(&e))?,
                     };
                     StageKind::ShuffleSort {
                         workers: s
@@ -401,10 +400,26 @@ mod tests {
         assert!(matches!(
             dag.stages()[0].kind,
             StageKind::ShuffleSort {
-                exchange: ExchangeStrategy::Coalesced,
+                exchange: ExchangeKind::Coalesced,
                 ..
             }
         ));
+        for (name, kind) in [
+            ("vm_relay", ExchangeKind::VmRelay),
+            ("direct", ExchangeKind::Direct),
+        ] {
+            let json = GOOD.replace(
+                "\"kind\": \"shuffle_sort\",",
+                &format!("\"kind\": \"shuffle_sort\", \"exchange\": \"{}\",", name),
+            );
+            let dag = PipelineSpec::from_json(&json)
+                .expect("parse")
+                .to_dag()
+                .expect("dag");
+            assert!(
+                matches!(&dag.stages()[0].kind, StageKind::ShuffleSort { exchange, .. } if *exchange == kind)
+            );
+        }
         let bad = GOOD.replace(
             "\"kind\": \"shuffle_sort\",",
             "\"kind\": \"shuffle_sort\", \"exchange\": \"quantum\",",

@@ -1,0 +1,227 @@
+//! The [`DataExchange`] trait and backend selection types.
+
+use std::fmt;
+use std::str::FromStr;
+
+use bytes::Bytes;
+use faaspipe_des::{Ctx, LinkId};
+
+use crate::error::ExchangeError;
+
+/// How an object-store backend lays intermediates out across keys.
+///
+/// `Scatter` is the naive pattern: W² small objects. `Coalesced` is the
+/// Primula-style I/O optimization: each mapper writes **one** object with
+/// its partitions concatenated, and reducers issue byte-range GETs — the
+/// same data volume with W× fewer class-A (write) requests and one
+/// request-latency hit per mapper instead of W.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeStrategy {
+    /// One object per (mapper, reducer) pair.
+    #[default]
+    Scatter,
+    /// One object per mapper; reducers range-read their slice.
+    Coalesced,
+}
+
+/// The full exchange-backend menu a pipeline stage can pick from: the
+/// two object-store layouts plus the VM-relay and direct-streaming
+/// backends. This is the value that flows through DAG specs, pipeline
+/// configs, and the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangeKind {
+    /// Object store, one object per (mapper, reducer) pair.
+    #[default]
+    Scatter,
+    /// Object store, one coalesced object per mapper.
+    Coalesced,
+    /// Pocket-style in-memory relay on a provisioned VM.
+    VmRelay,
+    /// Rendezvous function-to-function streaming.
+    Direct,
+}
+
+impl ExchangeKind {
+    /// Every kind, in sweep order.
+    pub const ALL: [ExchangeKind; 4] = [
+        ExchangeKind::Scatter,
+        ExchangeKind::Coalesced,
+        ExchangeKind::VmRelay,
+        ExchangeKind::Direct,
+    ];
+
+    /// The spec-file / CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExchangeKind::Scatter => "scatter",
+            ExchangeKind::Coalesced => "coalesced",
+            ExchangeKind::VmRelay => "vm_relay",
+            ExchangeKind::Direct => "direct",
+        }
+    }
+
+    /// The object-store layout this kind implies. Non-store backends
+    /// report `Scatter` (the layout is then unused).
+    pub fn layout(self) -> ExchangeStrategy {
+        match self {
+            ExchangeKind::Coalesced => ExchangeStrategy::Coalesced,
+            _ => ExchangeStrategy::Scatter,
+        }
+    }
+}
+
+impl fmt::Display for ExchangeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for ExchangeKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scatter" => Ok(ExchangeKind::Scatter),
+            "coalesced" => Ok(ExchangeKind::Coalesced),
+            "vm_relay" => Ok(ExchangeKind::VmRelay),
+            "direct" => Ok(ExchangeKind::Direct),
+            other => Err(format!(
+                "unknown exchange '{}' (expected scatter | coalesced | vm_relay | direct)",
+                other
+            )),
+        }
+    }
+}
+
+impl From<ExchangeStrategy> for ExchangeKind {
+    fn from(s: ExchangeStrategy) -> Self {
+        match s {
+            ExchangeStrategy::Scatter => ExchangeKind::Scatter,
+            ExchangeStrategy::Coalesced => ExchangeKind::Coalesced,
+        }
+    }
+}
+
+/// Per-caller context a backend needs to charge the right resources:
+/// which NIC links the traffic traverses, how requests are tagged for
+/// metrics/billing, and the retry budget.
+#[derive(Debug, Clone)]
+pub struct ExchangeEnv {
+    /// Links on the caller's side of every transfer (e.g. the function
+    /// container's NIC). Empty for driver-side calls.
+    pub host_links: Vec<LinkId>,
+    /// Metrics/billing tag, `"{sort-tag}/{phase}"` by convention.
+    pub tag: String,
+    /// Attempts per exchange request (fed to
+    /// [`with_retry`](crate::with_retry)).
+    pub retries: u32,
+}
+
+impl ExchangeEnv {
+    /// An env for driver-side calls (no NIC, a bare tag, `retries`
+    /// attempts).
+    pub fn driver(tag: impl Into<String>, retries: u32) -> ExchangeEnv {
+        ExchangeEnv {
+            host_links: Vec::new(),
+            tag: tag.into(),
+            retries,
+        }
+    }
+}
+
+/// An all-to-all intermediate data exchange between W mappers and W
+/// reducers.
+///
+/// The shuffle calls [`prepare`](DataExchange::prepare) once from the
+/// driver, then every mapper hands its partition vector to
+/// [`write_partitions`](DataExchange::write_partitions), every reducer
+/// pulls its column with [`read_partition`](DataExchange::read_partition),
+/// and the driver ends with [`cleanup`](DataExchange::cleanup). All
+/// methods charge virtual time (latency, bandwidth via the fluid-flow
+/// network, provisioning where applicable) and record trace spans; all
+/// transient faults are absorbed by the shared retry helper using
+/// `env.retries`.
+///
+/// Implementations must be idempotent under re-invocation: a crashed
+/// mapper's re-run re-writes the same partitions, a reducer may read the
+/// same partition twice.
+pub trait DataExchange: fmt::Debug + Send + Sync {
+    /// A short stable name for traces and tables (e.g. `"cos"`,
+    /// `"vm-relay"`, `"direct"`).
+    fn name(&self) -> &'static str;
+
+    /// Driver-side setup before the map phase: allocates bookkeeping for
+    /// a `maps` × `parts` exchange and provisions backing resources (the
+    /// VM-relay backend pays its provisioning delay here).
+    fn prepare(&self, ctx: &mut Ctx, maps: usize, parts: usize) -> Result<(), ExchangeError>;
+
+    /// Stores mapper `map`'s partitions (`parts[j]` goes to reducer
+    /// `j`). Returns the number of payload bytes written.
+    fn write_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        parts: Vec<Bytes>,
+    ) -> Result<u64, ExchangeError>;
+
+    /// Fetches the partition mapper `map` wrote for reducer `part`.
+    fn read_partition(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> Result<Bytes, ExchangeError>;
+
+    /// Lists the exchange's current intermediate objects (diagnostic).
+    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError>;
+
+    /// Driver-side teardown after the reduce phase: releases backing
+    /// resources (the VM-relay backend stops its billing clock here).
+    fn cleanup(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<(), ExchangeError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_strings() {
+        for kind in ExchangeKind::ALL {
+            assert_eq!(kind.as_str().parse::<ExchangeKind>().unwrap(), kind);
+        }
+        assert!("quantum".parse::<ExchangeKind>().is_err());
+    }
+
+    #[test]
+    fn kind_layouts() {
+        assert_eq!(ExchangeKind::Scatter.layout(), ExchangeStrategy::Scatter);
+        assert_eq!(
+            ExchangeKind::Coalesced.layout(),
+            ExchangeStrategy::Coalesced
+        );
+        assert_eq!(ExchangeKind::VmRelay.layout(), ExchangeStrategy::Scatter);
+        assert_eq!(ExchangeKind::Direct.layout(), ExchangeStrategy::Scatter);
+    }
+
+    #[test]
+    fn kind_from_strategy() {
+        assert_eq!(
+            ExchangeKind::from(ExchangeStrategy::Coalesced),
+            ExchangeKind::Coalesced
+        );
+        assert_eq!(
+            ExchangeKind::from(ExchangeStrategy::Scatter),
+            ExchangeKind::Scatter
+        );
+    }
+
+    #[test]
+    fn driver_env_has_no_links() {
+        let env = ExchangeEnv::driver("sort/driver", 3);
+        assert!(env.host_links.is_empty());
+        assert_eq!(env.tag, "sort/driver");
+        assert_eq!(env.retries, 3);
+    }
+}

@@ -1,0 +1,38 @@
+//! # faaspipe-exchange — pluggable intermediate data-exchange backends
+//!
+//! The paper's central question is *how* pipeline stages exchange
+//! intermediate data: through object storage or through a VM. This crate
+//! makes that choice a first-class, pluggable subsystem: the
+//! [`DataExchange`] trait models the all-to-all partition hand-off between
+//! mappers and reducers, and three backends span the design space:
+//!
+//! - [`ObjectStoreExchange`] — the paper's serverless pattern: every byte
+//!   moves through the simulated COS, either as W² scatter objects or as
+//!   W coalesced blobs with byte-range reads
+//!   ([`ExchangeStrategy`]).
+//! - [`VmRelayExchange`] — a Pocket-style in-memory relay hosted on a
+//!   simulated VM: provisioning delay, per-second billing, its own NIC
+//!   bandwidth, and a capacity limit with disk spill.
+//! - [`DirectExchange`] — rendezvous function-to-function streaming
+//!   through the DES fluid-flow network, gated on the sender's container
+//!   still being warm.
+//!
+//! All backends charge virtual time for every operation, record
+//! [`faaspipe_trace`] spans on the same `StoreRequest`/`Flow` categories
+//! the store uses (so critical-path attribution keeps working), and route
+//! every fallible request through the shared [`with_retry`] helper with
+//! exponential backoff and deterministic jitter drawn from the DES rng.
+
+mod api;
+mod direct;
+mod error;
+mod object_store;
+mod retry;
+mod vm_relay;
+
+pub use api::{DataExchange, ExchangeEnv, ExchangeKind, ExchangeStrategy};
+pub use direct::{DirectConfig, DirectExchange};
+pub use error::ExchangeError;
+pub use object_store::ObjectStoreExchange;
+pub use retry::{with_retry, Retryable};
+pub use vm_relay::{RelayConfig, VmRelayExchange};

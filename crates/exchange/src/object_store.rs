@@ -1,0 +1,309 @@
+//! The paper's serverless exchange: every byte through object storage.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use faaspipe_des::Ctx;
+use faaspipe_store::ObjectStore;
+use parking_lot::Mutex;
+
+use crate::api::{DataExchange, ExchangeEnv, ExchangeStrategy};
+use crate::error::ExchangeError;
+use crate::retry::with_retry;
+
+/// Exchange through the simulated COS, in either the `Scatter` (W²
+/// objects) or `Coalesced` (W objects + byte-range reads) layout.
+///
+/// Coalesced offset tables travel through the backend itself, modelling
+/// the Lithops result objects that carry them back to the orchestrator.
+/// [`cleanup`](DataExchange::cleanup) intentionally leaves the
+/// intermediate objects in place — the paper's pipelines rely on bucket
+/// lifecycle expiry, and keeping them lets experiments inspect the
+/// layout after a run.
+pub struct ObjectStoreExchange {
+    store: Arc<ObjectStore>,
+    bucket: String,
+    prefix: String,
+    layout: ExchangeStrategy,
+    /// Per-mapper `(offset, length)` tables for the coalesced layout.
+    offsets: Mutex<Vec<Vec<(u64, u64)>>>,
+}
+
+impl std::fmt::Debug for ObjectStoreExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectStoreExchange")
+            .field("bucket", &self.bucket)
+            .field("prefix", &self.prefix)
+            .field("layout", &self.layout)
+            .finish()
+    }
+}
+
+impl ObjectStoreExchange {
+    /// Creates a backend writing intermediates under
+    /// `{prefix}{map:05}[/{part:05}]` in `bucket`.
+    pub fn new(
+        store: Arc<ObjectStore>,
+        bucket: impl Into<String>,
+        prefix: impl Into<String>,
+        layout: ExchangeStrategy,
+    ) -> ObjectStoreExchange {
+        ObjectStoreExchange {
+            store,
+            bucket: bucket.into(),
+            prefix: prefix.into(),
+            layout,
+            offsets: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn scatter_key(&self, map: usize, part: usize) -> String {
+        format!("{}{:05}/{:05}", self.prefix, map, part)
+    }
+
+    fn coalesced_key(&self, map: usize) -> String {
+        format!("{}{:05}", self.prefix, map)
+    }
+}
+
+impl DataExchange for ObjectStoreExchange {
+    fn name(&self) -> &'static str {
+        match self.layout {
+            ExchangeStrategy::Scatter => "cos-scatter",
+            ExchangeStrategy::Coalesced => "cos-coalesced",
+        }
+    }
+
+    fn prepare(&self, _ctx: &mut Ctx, maps: usize, _parts: usize) -> Result<(), ExchangeError> {
+        *self.offsets.lock() = vec![Vec::new(); maps];
+        Ok(())
+    }
+
+    fn write_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        parts: Vec<Bytes>,
+    ) -> Result<u64, ExchangeError> {
+        let client = self
+            .store
+            .connect_via(ctx, env.tag.clone(), &env.host_links);
+        let mut written = 0u64;
+        match self.layout {
+            ExchangeStrategy::Scatter => {
+                for (j, data) in parts.into_iter().enumerate() {
+                    written += data.len() as u64;
+                    let key = self.scatter_key(map, j);
+                    with_retry(ctx, env.retries, |c| {
+                        client.put(c, &self.bucket, &key, data.clone())
+                    })?;
+                }
+            }
+            ExchangeStrategy::Coalesced => {
+                let mut table = Vec::with_capacity(parts.len());
+                let total: usize = parts.iter().map(Bytes::len).sum();
+                let mut blob = Vec::with_capacity(total);
+                for data in &parts {
+                    table.push((blob.len() as u64, data.len() as u64));
+                    blob.extend_from_slice(data);
+                }
+                written += blob.len() as u64;
+                let key = self.coalesced_key(map);
+                let blob = Bytes::from(blob);
+                with_retry(ctx, env.retries, |c| {
+                    client.put(c, &self.bucket, &key, blob.clone())
+                })?;
+                let mut offsets = self.offsets.lock();
+                if offsets.len() <= map {
+                    offsets.resize(map + 1, Vec::new());
+                }
+                offsets[map] = table;
+            }
+        }
+        Ok(written)
+    }
+
+    fn read_partition(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> Result<Bytes, ExchangeError> {
+        let client = self
+            .store
+            .connect_via(ctx, env.tag.clone(), &env.host_links);
+        match self.layout {
+            ExchangeStrategy::Scatter => {
+                let key = self.scatter_key(map, part);
+                Ok(with_retry(ctx, env.retries, |c| {
+                    client.get(c, &self.bucket, &key)
+                })?)
+            }
+            ExchangeStrategy::Coalesced => {
+                let (off, len) = *self
+                    .offsets
+                    .lock()
+                    .get(map)
+                    .and_then(|table| table.get(part))
+                    .ok_or(ExchangeError::MissingPartition { map, part })?;
+                if len == 0 {
+                    // Nothing to fetch; skip the request entirely (the
+                    // coalesced layout's request saving in action).
+                    return Ok(Bytes::new());
+                }
+                let key = self.coalesced_key(map);
+                Ok(with_retry(ctx, env.retries, |c| {
+                    client.get_range(c, &self.bucket, &key, off, len)
+                })?)
+            }
+        }
+    }
+
+    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
+        let client = self
+            .store
+            .connect_via(ctx, env.tag.clone(), &env.host_links);
+        let objects = with_retry(ctx, env.retries, |c| {
+            client.list(c, &self.bucket, &self.prefix)
+        })?;
+        Ok(objects.into_iter().map(|o| o.key).collect())
+    }
+
+    fn cleanup(&self, _ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
+        // Intentionally retained: see the type-level docs.
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::Sim;
+    use faaspipe_store::StoreConfig;
+
+    fn roundtrip(layout: ExchangeStrategy) -> (Arc<ObjectStore>, Vec<String>) {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        store.create_bucket("data").expect("bucket");
+        let ex = Arc::new(ObjectStoreExchange::new(
+            Arc::clone(&store),
+            "data",
+            "part/",
+            layout,
+        ));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 3);
+            ex2.prepare(ctx, 2, 2).expect("prepare");
+            for m in 0..2usize {
+                let parts = vec![
+                    Bytes::from(format!("m{}p0", m)),
+                    Bytes::from(format!("m{}p1", m)),
+                ];
+                let written = ex2.write_partitions(ctx, &env, m, parts).expect("write");
+                assert_eq!(written, 8);
+            }
+            for m in 0..2usize {
+                for j in 0..2usize {
+                    let data = ex2.read_partition(ctx, &env, m, j).expect("read");
+                    assert_eq!(data, Bytes::from(format!("m{}p{}", m, j)));
+                }
+            }
+            ex2.cleanup(ctx, &env).expect("cleanup");
+        });
+        sim.run().expect("sim ok");
+        let keys = store.keys_untimed("data", "part/");
+        (store, keys)
+    }
+
+    #[test]
+    fn scatter_layout_writes_w_squared_objects() {
+        let (_, keys) = roundtrip(ExchangeStrategy::Scatter);
+        assert_eq!(
+            keys,
+            vec![
+                "part/00000/00000",
+                "part/00000/00001",
+                "part/00001/00000",
+                "part/00001/00001"
+            ]
+        );
+    }
+
+    #[test]
+    fn coalesced_layout_writes_one_object_per_mapper() {
+        let (store, keys) = roundtrip(ExchangeStrategy::Coalesced);
+        assert_eq!(keys, vec!["part/00000", "part/00001"]);
+        // Far fewer class-A requests than scatter: 2 PUTs, not 4.
+        assert_eq!(store.metrics().total().class_a, 2);
+    }
+
+    #[test]
+    fn coalesced_empty_partition_reads_skip_the_request() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        store.create_bucket("data").expect("bucket");
+        let ex = Arc::new(ObjectStoreExchange::new(
+            Arc::clone(&store),
+            "data",
+            "part/",
+            ExchangeStrategy::Coalesced,
+        ));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 3);
+            ex2.prepare(ctx, 1, 2).expect("prepare");
+            ex2.write_partitions(ctx, &env, 0, vec![Bytes::from("xy"), Bytes::new()])
+                .expect("write");
+            let before = store.metrics().total().class_b;
+            let data = ex2.read_partition(ctx, &env, 0, 1).expect("read empty");
+            assert!(data.is_empty());
+            assert_eq!(store.metrics().total().class_b, before, "no GET issued");
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn unwritten_coalesced_partition_is_missing() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        store.create_bucket("data").expect("bucket");
+        let ex = ObjectStoreExchange::new(
+            Arc::clone(&store),
+            "data",
+            "part/",
+            ExchangeStrategy::Coalesced,
+        );
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 3);
+            ex.prepare(ctx, 1, 1).expect("prepare");
+            let err = ex.read_partition(ctx, &env, 0, 0).expect_err("missing");
+            assert_eq!(err, ExchangeError::MissingPartition { map: 0, part: 0 });
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn list_names_the_intermediates() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        store.create_bucket("data").expect("bucket");
+        let ex = ObjectStoreExchange::new(
+            Arc::clone(&store),
+            "data",
+            "part/",
+            ExchangeStrategy::Scatter,
+        );
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 3);
+            ex.prepare(ctx, 1, 1).expect("prepare");
+            ex.write_partitions(ctx, &env, 0, vec![Bytes::from("a")])
+                .expect("write");
+            let keys = ex.list(ctx, &env).expect("list");
+            assert_eq!(keys, vec!["part/00000/00000"]);
+        });
+        sim.run().expect("sim ok");
+    }
+}

@@ -1,0 +1,539 @@
+//! A Pocket-style in-memory relay hosted on a simulated VM.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use faaspipe_des::{Bandwidth, ByteSize, Ctx, LinkId, SimDuration};
+use faaspipe_store::failure::Fate;
+use faaspipe_store::FailurePolicy;
+use faaspipe_trace::{Category, SpanId, TraceSink};
+use faaspipe_vm::{VmFleet, VmInstance, VmProfile};
+use parking_lot::Mutex;
+
+use crate::api::{DataExchange, ExchangeEnv};
+use crate::error::ExchangeError;
+use crate::retry::with_retry;
+
+/// Tuning of the [`VmRelayExchange`].
+#[derive(Debug, Clone)]
+pub struct RelayConfig {
+    /// VM shape the relay runs on (provisioning delay, NIC, billing).
+    pub profile: VmProfile,
+    /// Fixed overhead per relay request. An in-memory key/value server
+    /// answers far faster than COS's first-byte latency — that is the
+    /// relay's selling point.
+    pub request_latency: SimDuration,
+    /// In-memory capacity; objects past it spill to local disk.
+    pub memory_capacity: ByteSize,
+    /// Local-disk bandwidth paid on top of the network for spilled
+    /// objects (once on write, once on every read).
+    pub disk_bw: Bandwidth,
+    /// Wire-size scale factor, mirroring
+    /// [`StoreConfig::size_scale`](faaspipe_store::StoreConfig::size_scale)
+    /// so modelled datasets load both paths equally.
+    pub size_scale: f64,
+    /// Probabilistic fault injection on relay requests. Failed requests
+    /// are transient ([`ExchangeError::RelayUnavailable`]) and retried.
+    pub failure: FailurePolicy,
+    /// When set, the relay VM crashes irrecoverably after this many
+    /// requests, losing its contents: subsequent requests fail with the
+    /// non-retryable [`ExchangeError::RelayDown`].
+    pub crash_after_requests: Option<u64>,
+}
+
+impl Default for RelayConfig {
+    fn default() -> Self {
+        RelayConfig {
+            profile: VmProfile::bx2_8x32(),
+            request_latency: SimDuration::from_millis(2),
+            memory_capacity: ByteSize::gib(24),
+            disk_bw: Bandwidth::mib_per_sec(350.0),
+            size_scale: 1.0,
+            failure: FailurePolicy::none(),
+            crash_after_requests: None,
+        }
+    }
+}
+
+/// One object held by the relay.
+#[derive(Debug)]
+struct StoredPart {
+    data: Bytes,
+    /// Scaled wire size (what moved over the network).
+    wire: u64,
+    /// Whether the object lives on the relay's disk instead of memory.
+    spilled: bool,
+}
+
+#[derive(Debug, Default)]
+struct RelayState {
+    vm: Option<VmInstance>,
+    objects: BTreeMap<(usize, usize), StoredPart>,
+    /// Scaled bytes currently held in memory.
+    mem_used: u64,
+    /// Total requests served (drives `crash_after_requests`).
+    requests: u64,
+    crashed: bool,
+}
+
+/// Exchange through an in-memory relay server on a provisioned VM — the
+/// Pocket/ephemeral-storage point in the design space.
+///
+/// [`prepare`](DataExchange::prepare) provisions the VM through the
+/// [`VmFleet`] (charging the profile's provisioning delay and starting
+/// its billing clock); [`cleanup`](DataExchange::cleanup) releases it.
+/// Every request pays a small fixed latency plus a fluid-flow transfer
+/// that contends for the caller's NIC **and** the relay VM's NIC — at
+/// high fan-in, the single relay NIC is the bottleneck the paper's
+/// VM-driven exchange runs into. Objects beyond `memory_capacity` spill
+/// to the VM's disk and pay `disk_bw` on both sides.
+pub struct VmRelayExchange {
+    fleet: VmFleet,
+    cfg: RelayConfig,
+    trace: TraceSink,
+    state: Mutex<RelayState>,
+}
+
+impl std::fmt::Debug for VmRelayExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("VmRelayExchange")
+            .field("cfg", &self.cfg)
+            .field("objects", &state.objects.len())
+            .field("mem_used", &state.mem_used)
+            .field("crashed", &state.crashed)
+            .finish()
+    }
+}
+
+impl VmRelayExchange {
+    /// Creates a relay backend provisioning through `fleet`.
+    pub fn new(fleet: VmFleet, cfg: RelayConfig) -> VmRelayExchange {
+        VmRelayExchange {
+            fleet,
+            cfg,
+            trace: TraceSink::default(),
+            state: Mutex::new(RelayState::default()),
+        }
+    }
+
+    /// Routes the relay's request spans and gauges to `sink`.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    fn scaled(&self, real_len: usize) -> u64 {
+        (real_len as f64 * self.cfg.size_scale).round() as u64
+    }
+
+    /// Charges the fixed request overhead and bumps the request counter.
+    /// Returns the relay's NIC. Fails without touching state on injected
+    /// faults or after a crash.
+    fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<LinkId, ExchangeError> {
+        let nic = {
+            let mut state = self.state.lock();
+            if state.crashed {
+                return Err(ExchangeError::RelayDown { op });
+            }
+            let nic = state
+                .vm
+                .as_ref()
+                .map(|vm| vm.nic)
+                .ok_or(ExchangeError::NotPrepared {
+                    backend: "vm-relay",
+                })?;
+            state.requests += 1;
+            if let Some(limit) = self.cfg.crash_after_requests {
+                if state.requests > limit {
+                    // The relay process dies and its memory is gone.
+                    state.crashed = true;
+                    state.objects.clear();
+                    state.mem_used = 0;
+                    return Err(ExchangeError::RelayDown { op });
+                }
+            }
+            nic
+        };
+        let fate = self.cfg.failure.draw(ctx.rng());
+        let latency = match fate {
+            Fate::Slow(factor) => self.cfg.request_latency.mul_f64(factor),
+            _ => self.cfg.request_latency,
+        };
+        ctx.sleep(latency);
+        if matches!(fate, Fate::Fail) {
+            return Err(ExchangeError::RelayUnavailable { op });
+        }
+        Ok(nic)
+    }
+
+    fn span_begin(
+        &self,
+        ctx: &Ctx,
+        op: &'static str,
+        tag: &str,
+        map: usize,
+        part: usize,
+    ) -> SpanId {
+        if !self.trace.is_enabled() {
+            return SpanId::NONE;
+        }
+        let parent = self.trace.current(ctx.pid());
+        let span =
+            self.trace
+                .span_start(Category::StoreRequest, op, "relay", tag, parent, ctx.now());
+        self.trace
+            .attr(span, "key", format!("relay/{:05}/{:05}", map, part));
+        span
+    }
+
+    fn span_end(&self, ctx: &Ctx, span: SpanId, bytes: u64, failed: bool) {
+        if span.is_none() {
+            return;
+        }
+        if bytes > 0 {
+            self.trace.attr(span, "bytes", bytes);
+        }
+        if failed {
+            self.trace.attr(span, "failed", true);
+        }
+        self.trace.span_end(span, ctx.now());
+    }
+
+    /// Moves `wire` scaled bytes between the caller and the relay,
+    /// recording a flow span.
+    fn transfer(&self, ctx: &Ctx, env: &ExchangeEnv, nic: LinkId, wire: u64, parent: SpanId) {
+        let mut links = env.host_links.clone();
+        links.push(nic);
+        let flow = if self.trace.is_enabled() {
+            let flow =
+                self.trace
+                    .span_start(Category::Flow, "xfer", "relay", &env.tag, parent, ctx.now());
+            self.trace.attr(flow, "wire_bytes", wire);
+            flow
+        } else {
+            SpanId::NONE
+        };
+        ctx.transfer(ByteSize::new(wire), &links);
+        if !flow.is_none() {
+            self.trace.span_end(flow, ctx.now());
+        }
+    }
+
+    fn put_part(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        part: usize,
+        data: &Bytes,
+    ) -> Result<(), ExchangeError> {
+        let span = self.span_begin(ctx, "PUT", &env.tag, map, part);
+        let nic = match self.request_overhead(ctx, "PUT") {
+            Ok(nic) => nic,
+            Err(e) => {
+                self.span_end(ctx, span, 0, true);
+                return Err(e);
+            }
+        };
+        let wire = self.scaled(data.len());
+        self.transfer(ctx, env, nic, wire, span);
+        let spilled = {
+            let mut state = self.state.lock();
+            // Idempotent overwrite: drop the old copy's accounting first.
+            if let Some(old) = state.objects.remove(&(map, part)) {
+                if !old.spilled {
+                    state.mem_used -= old.wire;
+                }
+            }
+            let spilled = state.mem_used + wire > self.cfg.memory_capacity.as_u64();
+            if !spilled {
+                state.mem_used += wire;
+            }
+            state.objects.insert(
+                (map, part),
+                StoredPart {
+                    data: data.clone(),
+                    wire,
+                    spilled,
+                },
+            );
+            if self.trace.is_enabled() {
+                self.trace
+                    .gauge("relay.mem_bytes", ctx.now(), state.mem_used as f64);
+                if spilled {
+                    self.trace
+                        .add("relay.spilled_bytes", ctx.now(), wire as f64);
+                }
+            }
+            spilled
+        };
+        if spilled {
+            ctx.sleep(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)));
+        }
+        self.span_end(ctx, span, wire, false);
+        Ok(())
+    }
+
+    fn get_part(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> Result<Bytes, ExchangeError> {
+        let span = self.span_begin(ctx, "GET", &env.tag, map, part);
+        let nic = match self.request_overhead(ctx, "GET") {
+            Ok(nic) => nic,
+            Err(e) => {
+                self.span_end(ctx, span, 0, true);
+                return Err(e);
+            }
+        };
+        let (data, wire, spilled) = {
+            let state = self.state.lock();
+            match state.objects.get(&(map, part)) {
+                Some(p) => (p.data.clone(), p.wire, p.spilled),
+                None => {
+                    drop(state);
+                    self.span_end(ctx, span, 0, true);
+                    return Err(ExchangeError::MissingPartition { map, part });
+                }
+            }
+        };
+        if spilled {
+            ctx.sleep(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)));
+        }
+        self.transfer(ctx, env, nic, wire, span);
+        self.span_end(ctx, span, wire, false);
+        Ok(data)
+    }
+}
+
+impl DataExchange for VmRelayExchange {
+    fn name(&self) -> &'static str {
+        "vm-relay"
+    }
+
+    fn prepare(&self, ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
+        let already = self.state.lock().vm.is_some();
+        if already {
+            return Ok(());
+        }
+        // Provisioning charges the profile's delay and opens the VM's
+        // billing + trace spans through the fleet.
+        let vm = self.fleet.provision(ctx, self.cfg.profile.clone());
+        self.state.lock().vm = Some(vm);
+        Ok(())
+    }
+
+    fn write_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        parts: Vec<Bytes>,
+    ) -> Result<u64, ExchangeError> {
+        let mut written = 0u64;
+        for (j, data) in parts.into_iter().enumerate() {
+            written += data.len() as u64;
+            with_retry(ctx, env.retries, |c| self.put_part(c, env, map, j, &data))?;
+        }
+        Ok(written)
+    }
+
+    fn read_partition(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> Result<Bytes, ExchangeError> {
+        with_retry(ctx, env.retries, |c| self.get_part(c, env, map, part))
+    }
+
+    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
+        let _ = env;
+        ctx.sleep(self.cfg.request_latency);
+        let state = self.state.lock();
+        if state.crashed {
+            return Err(ExchangeError::RelayDown { op: "LIST" });
+        }
+        Ok(state
+            .objects
+            .keys()
+            .map(|(m, j)| format!("relay/{:05}/{:05}", m, j))
+            .collect())
+    }
+
+    fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
+        let vm = {
+            let mut state = self.state.lock();
+            state.objects.clear();
+            state.mem_used = 0;
+            state.vm.take()
+        };
+        if let Some(vm) = vm {
+            // Billing stops here; unreleased (crashed mid-run) relays
+            // keep billing to the end checkpoint, like real forgotten VMs.
+            self.fleet.release(ctx, vm);
+        }
+        if self.trace.is_enabled() {
+            self.trace.gauge("relay.mem_bytes", ctx.now(), 0.0);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::Sim;
+    use std::sync::Arc;
+
+    fn driver_env() -> ExchangeEnv {
+        ExchangeEnv::driver("test", 3)
+    }
+
+    #[test]
+    fn roundtrips_partitions_and_bills_the_vm() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let ex = Arc::new(VmRelayExchange::new(fleet.clone(), RelayConfig::default()));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = driver_env();
+            ex2.prepare(ctx, 2, 2).expect("prepare");
+            assert_eq!(ctx.now().as_secs_f64(), 44.0, "provisioning charged");
+            for m in 0..2usize {
+                let parts = vec![Bytes::from(vec![m as u8; 100]), Bytes::from(vec![0u8; 50])];
+                let written = ex2.write_partitions(ctx, &env, m, parts).expect("write");
+                assert_eq!(written, 150);
+            }
+            assert_eq!(
+                ex2.list(ctx, &env).expect("list"),
+                vec![
+                    "relay/00000/00000",
+                    "relay/00000/00001",
+                    "relay/00001/00000",
+                    "relay/00001/00001"
+                ]
+            );
+            let data = ex2.read_partition(ctx, &env, 1, 0).expect("read");
+            assert_eq!(data, Bytes::from(vec![1u8; 100]));
+            ex2.cleanup(ctx, &env).expect("cleanup");
+        });
+        sim.run().expect("sim ok");
+        let records = fleet.records();
+        assert_eq!(records.len(), 1, "one relay VM provisioned");
+        assert!(records[0].released.is_some(), "cleanup released it");
+    }
+
+    #[test]
+    fn over_capacity_objects_spill_to_disk_and_cost_more() {
+        fn read_time(capacity: ByteSize) -> f64 {
+            let mut sim = Sim::new();
+            let cfg = RelayConfig {
+                memory_capacity: capacity,
+                ..RelayConfig::default()
+            };
+            let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+            let out: Arc<Mutex<f64>> = Arc::new(Mutex::new(0.0));
+            let out2 = Arc::clone(&out);
+            let ex2 = Arc::clone(&ex);
+            sim.spawn("driver", move |ctx| {
+                let env = driver_env();
+                ex2.prepare(ctx, 1, 1).expect("prepare");
+                let blob = Bytes::from(vec![7u8; 8 * 1024 * 1024]);
+                ex2.write_partitions(ctx, &env, 0, vec![blob])
+                    .expect("write");
+                let before = ctx.now();
+                ex2.read_partition(ctx, &env, 0, 0).expect("read");
+                *out2.lock() = ctx.now().saturating_duration_since(before).as_secs_f64();
+            });
+            sim.run().expect("sim ok");
+            let took = *out.lock();
+            took
+        }
+        let in_memory = read_time(ByteSize::gib(1));
+        let spilled = read_time(ByteSize::new(1024));
+        // 8 MiB at 350 MiB/s disk ≈ 23 ms extra.
+        assert!(
+            spilled > in_memory + 0.02,
+            "spilled read {} must exceed in-memory {} by the disk time",
+            spilled,
+            in_memory
+        );
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let mut sim = Sim::new();
+        let cfg = RelayConfig {
+            failure: FailurePolicy::with_error_rate(0.3),
+            ..RelayConfig::default()
+        };
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 20);
+            ex2.prepare(ctx, 4, 4).expect("prepare");
+            for m in 0..4usize {
+                let parts = (0..4).map(|_| Bytes::from(vec![1u8; 64])).collect();
+                ex2.write_partitions(ctx, &env, m, parts)
+                    .expect("writes survive 30% faults");
+            }
+            for m in 0..4usize {
+                for j in 0..4usize {
+                    ex2.read_partition(ctx, &env, m, j)
+                        .expect("reads survive 30% faults");
+                }
+            }
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn crash_is_permanent_and_loses_data() {
+        let mut sim = Sim::new();
+        let cfg = RelayConfig {
+            crash_after_requests: Some(3),
+            ..RelayConfig::default()
+        };
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 5);
+            ex2.prepare(ctx, 1, 4).expect("prepare");
+            let parts = (0..4).map(|_| Bytes::from(vec![1u8; 16])).collect();
+            let err = ex2
+                .write_partitions(ctx, &env, 0, parts)
+                .expect_err("crash kills the exchange");
+            assert_eq!(err, ExchangeError::RelayDown { op: "PUT" });
+            // Retries cannot resurrect a dead relay.
+            let err = ex2.read_partition(ctx, &env, 0, 0).expect_err("still down");
+            assert_eq!(err, ExchangeError::RelayDown { op: "GET" });
+        });
+        sim.run().expect("sim ok");
+    }
+
+    #[test]
+    fn unprepared_relay_is_rejected() {
+        let mut sim = Sim::new();
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), RelayConfig::default()));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = driver_env();
+            let err = ex2
+                .write_partitions(ctx, &env, 0, vec![Bytes::from("x")])
+                .expect_err("not prepared");
+            assert_eq!(
+                err,
+                ExchangeError::NotPrepared {
+                    backend: "vm-relay"
+                }
+            );
+        });
+        sim.run().expect("sim ok");
+    }
+}

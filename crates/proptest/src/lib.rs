@@ -205,7 +205,7 @@ pub mod collection {
     use rand::rngs::SmallRng;
     use rand::Rng;
 
-    /// Length bounds for [`vec`], half-open `[lo, hi)`.
+    /// Length bounds for [`vec()`], half-open `[lo, hi)`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use faaspipe_exchange::ExchangeError;
 use faaspipe_store::StoreError;
 
 /// Errors from the shuffle/sort operators.
@@ -9,6 +10,8 @@ use faaspipe_store::StoreError;
 pub enum ShuffleError {
     /// An object-store request failed (possibly after retries).
     Store(StoreError),
+    /// A data-exchange backend failed (possibly after retries).
+    Exchange(ExchangeError),
     /// Intermediate data failed to deserialize.
     Corrupt {
         /// What was being decoded.
@@ -32,6 +35,7 @@ impl fmt::Display for ShuffleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShuffleError::Store(e) => write!(f, "store error: {}", e),
+            ShuffleError::Exchange(e) => write!(f, "exchange error: {}", e),
             ShuffleError::Corrupt { what } => write!(f, "corrupt {} data", what),
             ShuffleError::BadConfig { reason } => write!(f, "bad shuffle config: {}", reason),
             ShuffleError::TaskFailed { phase, message } => {
@@ -45,6 +49,7 @@ impl std::error::Error for ShuffleError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ShuffleError::Store(e) => Some(e),
+            ShuffleError::Exchange(e) => Some(e),
             _ => None,
         }
     }
@@ -53,6 +58,12 @@ impl std::error::Error for ShuffleError {
 impl From<StoreError> for ShuffleError {
     fn from(e: StoreError) -> Self {
         ShuffleError::Store(e)
+    }
+}
+
+impl From<ExchangeError> for ShuffleError {
+    fn from(e: ExchangeError) -> Self {
+        ShuffleError::Exchange(e)
     }
 }
 

@@ -33,9 +33,14 @@ pub mod work;
 
 pub use autotune::{Autotuner, CostBreakdown, TuningModel, TuningPrices};
 pub use error::ShuffleError;
+// Re-exported so downstream callers keep their `faaspipe_shuffle::{...}`
+// paths after the exchange machinery moved into its own crate.
+pub use faaspipe_exchange::{
+    with_retry, DataExchange, ExchangeEnv, ExchangeError, ExchangeKind, ExchangeStrategy,
+};
 pub use partitioner::RangePartitioner;
 pub use plan::{RunInfo, SortManifest};
 pub use record::SortRecord;
-pub use sort::{serverless_sort, with_retry, ExchangeStrategy, SortConfig, SortStats};
+pub use sort::{serverless_sort, SortConfig, SortStats};
 pub use vmsort::{vm_sort, VmSortConfig, VmSortStats};
 pub use work::WorkModel;

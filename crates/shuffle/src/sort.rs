@@ -6,13 +6,16 @@
 //!        │   sample                  (W × W objects)            (sorted runs)
 //!        ▼                                                        ▲
 //!   W mapper functions ── local sort ── range partition ── W reducer functions
-//!                            (all data exchanged through the object store)
+//!                     (partitions move through a DataExchange backend)
 //! ```
 //!
-//! Every byte of intermediate data really moves through the simulated
-//! store, contending for its per-connection bandwidth, aggregate
-//! backbone, and operations/s budget — the paper's object-storage
-//! data-exchange pattern, end to end.
+//! The all-to-all hand-off between mappers and reducers goes through a
+//! pluggable [`DataExchange`] backend (see [`faaspipe_exchange`]). The
+//! default is the paper's object-storage pattern: every byte of
+//! intermediate data really moves through the simulated store, contending
+//! for its per-connection bandwidth, aggregate backbone, and
+//! operations/s budget. Alternative backends relay through a provisioned
+//! VM or stream function-to-function.
 
 use std::sync::Arc;
 
@@ -20,8 +23,11 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 
 use faaspipe_des::{Ctx, SimDuration, SimTime};
+use faaspipe_exchange::{
+    with_retry, DataExchange, ExchangeEnv, ExchangeStrategy, ObjectStoreExchange,
+};
 use faaspipe_faas::FunctionPlatform;
-use faaspipe_store::{ObjectStore, StoreError};
+use faaspipe_store::ObjectStore;
 use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::error::ShuffleError;
@@ -30,22 +36,6 @@ use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
 use crate::sampler::Reservoir;
 use crate::work::WorkModel;
-
-/// How mappers hand partitions to reducers through the store.
-///
-/// `Scatter` is the naive pattern: W² small objects. `Coalesced` is the
-/// Primula-style I/O optimization: each mapper writes **one** object with
-/// its partitions concatenated, and reducers issue byte-range GETs — the
-/// same data volume with W× fewer class-A (write) requests and one
-/// request-latency hit per mapper instead of W.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ExchangeStrategy {
-    /// One object per (mapper, reducer) pair.
-    #[default]
-    Scatter,
-    /// One object per mapper; reducers range-read their slice.
-    Coalesced,
-}
 
 /// Configuration of one serverless sort run.
 #[derive(Debug, Clone)]
@@ -76,8 +66,15 @@ pub struct SortConfig {
     /// COS-polling result detection of a Lithops-style client. Unbilled
     /// (the driver is not a function), but on the critical path.
     pub orchestration: SimDuration,
-    /// All-to-all exchange pattern.
+    /// Object-store layout used when `backend` is `None` (the default
+    /// [`ObjectStoreExchange`] path).
     pub exchange: ExchangeStrategy,
+    /// The intermediate data-exchange backend. `None` (the default)
+    /// exchanges through the object store under `part_prefix` with the
+    /// `exchange` layout; pass a [`VmRelayExchange`](faaspipe_exchange::VmRelayExchange)
+    /// or [`DirectExchange`](faaspipe_exchange::DirectExchange) to move
+    /// the shuffle off the store.
+    pub backend: Option<Arc<dyn DataExchange>>,
     /// Invocation attempts per task: crashed functions are re-invoked up
     /// to this many times (Lithops-style task retry), on top of the
     /// per-request `retries`.
@@ -102,6 +99,7 @@ impl Default for SortConfig {
             retries: 3,
             orchestration: SimDuration::ZERO,
             exchange: ExchangeStrategy::default(),
+            backend: None,
             task_attempts: 2,
             manifest_key: None,
         }
@@ -136,27 +134,6 @@ impl SortStats {
     pub fn total_duration(&self) -> SimDuration {
         self.finished.saturating_duration_since(self.started)
     }
-}
-
-/// Retries `op` up to `attempts` times on injected store faults; other
-/// errors surface immediately.
-///
-/// # Errors
-/// The last injected fault if every attempt failed, or the first
-/// non-retryable error.
-pub fn with_retry<T>(
-    attempts: u32,
-    mut op: impl FnMut() -> Result<T, StoreError>,
-) -> Result<T, StoreError> {
-    let mut last = None;
-    for _ in 0..attempts.max(1) {
-        match op() {
-            Ok(v) => return Ok(v),
-            Err(e @ StoreError::Injected { .. }) => last = Some(e),
-            Err(e) => return Err(e),
-        }
-    }
-    Err(last.expect("at least one attempt"))
 }
 
 /// K-way merge of individually sorted runs into one sorted vector.
@@ -233,6 +210,19 @@ pub fn serverless_sort<R: SortRecord>(
     // stage span when run from the executor).
     let trace = store.trace_sink();
     let cfg = Arc::new(cfg.clone());
+    // The exchange backend carries all mapper→reducer intermediates.
+    // Backing resources (the relay VM's provisioning delay, for one) are
+    // paid here, before any function is invoked.
+    let backend: Arc<dyn DataExchange> = match &cfg.backend {
+        Some(b) => Arc::clone(b),
+        None => Arc::new(ObjectStoreExchange::new(
+            Arc::clone(store),
+            cfg.bucket.as_str(),
+            cfg.part_prefix.as_str(),
+            cfg.exchange,
+        )),
+    };
+    backend.prepare(ctx, w, w)?;
 
     // ---- Phase 0: sample keys with range reads (one fn per mapper). ----
     let p_sample = phase_begin(ctx, &trace, "sample", cfg.orchestration);
@@ -272,8 +262,8 @@ pub fn serverless_sort<R: SortRecord>(
                         if span == 0 {
                             continue;
                         }
-                        let data = with_retry(cfg.retries, || {
-                            client.get_range(fctx, &cfg.bucket, key, 0, span)
+                        let data = with_retry(fctx, cfg.retries, |c| {
+                            client.get_range(c, &cfg.bucket, key, 0, span)
                         })
                         .unwrap_or_else(|e| panic!("sample read failed: {}", e));
                         let records: Vec<R> = SortRecord::read_all(&data)
@@ -294,12 +284,9 @@ pub fn serverless_sort<R: SortRecord>(
     let sample = std::mem::take(&mut *samples.lock());
     let partitioner = Arc::new(RangePartitioner::from_sample(sample, w));
 
-    // ---- Phase 1: map — local sort, range partition, scatter. ----
+    // ---- Phase 1: map — local sort, range partition, exchange write. ----
     let p_map = phase_begin(ctx, &trace, "map", cfg.orchestration);
     let map_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
-    // Coalesced mode: per-mapper partition offset tables, returned to the
-    // driver through the invocation-result path (Lithops result objects).
-    let offsets: SharedOffsets = Arc::new(Mutex::new(vec![Vec::new(); w]));
     // Byte-range input assignment: every mapper reads an equal,
     // record-aligned slice of the input space regardless of how the data
     // is chunked into objects — the map phase parallelises with W, not
@@ -313,21 +300,21 @@ pub fn serverless_sort<R: SortRecord>(
         let partitioner = Arc::clone(&partitioner);
         let cfg = Arc::clone(&cfg);
         let map_bytes = Arc::clone(&map_bytes);
-        let offsets = Arc::clone(&offsets);
+        let backend = Arc::clone(&backend);
         tasks.push(Box::new(move |ctx| {
             let store = Arc::clone(&store);
             let partitioner = Arc::clone(&partitioner);
             let cfg = Arc::clone(&cfg);
             let map_bytes = Arc::clone(&map_bytes);
-            let offsets = Arc::clone(&offsets);
+            let backend = Arc::clone(&backend);
             let assigned = Arc::clone(&assigned);
             faas.invoke_async(ctx, "map", format!("{}/map", cfg.tag), move |fctx, env| {
                 let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
                 let mut records: Vec<R> = Vec::new();
                 let mut read_bytes = 0usize;
                 for (key, off, len) in assigned.iter() {
-                    let data = with_retry(cfg.retries, || {
-                        client.get_range(fctx, &cfg.bucket, key, *off, *len)
+                    let data = with_retry(fctx, cfg.retries, |c| {
+                        client.get_range(c, &cfg.bucket, key, *off, *len)
                     })
                     .unwrap_or_else(|e| panic!("map read failed: {}", e));
                     read_bytes += data.len();
@@ -338,46 +325,21 @@ pub fn serverless_sort<R: SortRecord>(
                 env.compute(fctx, cfg.work.sort_time(read_bytes));
                 records.sort_by_key(|r| r.key());
                 env.compute(fctx, cfg.work.partition_time(read_bytes));
-                // Scatter: records are sorted, so partitions are contiguous.
+                // Records are sorted, so partitions are contiguous.
                 let mut buckets: Vec<Vec<u8>> = (0..w).map(|_| Vec::new()).collect();
                 for r in &records {
                     let p = partitioner.part(&r.key()).min(w - 1);
                     r.write_to(&mut buckets[p]);
                 }
-                let mut written = 0u64;
-                match cfg.exchange {
-                    ExchangeStrategy::Scatter => {
-                        for (j, bucket_data) in buckets.into_iter().enumerate() {
-                            written += bucket_data.len() as u64;
-                            let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
-                            with_retry(cfg.retries, || {
-                                client.put(
-                                    fctx,
-                                    &cfg.bucket,
-                                    &key,
-                                    Bytes::from(bucket_data.clone()),
-                                )
-                            })
-                            .unwrap_or_else(|e| panic!("map scatter failed: {}", e));
-                        }
-                    }
-                    ExchangeStrategy::Coalesced => {
-                        let mut table = Vec::with_capacity(buckets.len());
-                        let total: usize = buckets.iter().map(Vec::len).sum();
-                        let mut blob = Vec::with_capacity(total);
-                        for bucket_data in &buckets {
-                            table.push((blob.len() as u64, bucket_data.len() as u64));
-                            blob.extend_from_slice(bucket_data);
-                        }
-                        written += blob.len() as u64;
-                        let key = format!("{}{:05}", cfg.part_prefix, m);
-                        with_retry(cfg.retries, || {
-                            client.put(fctx, &cfg.bucket, &key, Bytes::from(blob.clone()))
-                        })
-                        .unwrap_or_else(|e| panic!("map coalesce failed: {}", e));
-                        offsets.lock()[m] = table;
-                    }
-                }
+                let parts: Vec<Bytes> = buckets.into_iter().map(Bytes::from).collect();
+                let xenv = ExchangeEnv {
+                    host_links: vec![env.nic],
+                    tag: format!("{}/map", cfg.tag),
+                    retries: cfg.retries,
+                };
+                let written = backend
+                    .write_partitions(fctx, &xenv, m, parts)
+                    .unwrap_or_else(|e| panic!("map exchange write failed: {}", e));
                 *map_bytes.lock() += written;
             })
         }));
@@ -390,8 +352,6 @@ pub fn serverless_sort<R: SortRecord>(
     let p_reduce = phase_begin(ctx, &trace, "reduce", cfg.orchestration);
     let out_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
     let run_infos: Arc<Mutex<Vec<Option<RunInfo>>>> = Arc::new(Mutex::new(vec![None; w]));
-    let offsets_snapshot: Arc<Vec<Vec<(u64, u64)>>> =
-        Arc::new(std::mem::take(&mut *offsets.lock()));
     let mut tasks: Vec<TaskFactory> = Vec::new();
     for j in 0..w {
         let faas = Arc::clone(faas);
@@ -399,41 +359,30 @@ pub fn serverless_sort<R: SortRecord>(
         let cfg = Arc::clone(&cfg);
         let out_bytes = Arc::clone(&out_bytes);
         let run_infos = Arc::clone(&run_infos);
-        let offsets = Arc::clone(&offsets_snapshot);
+        let backend = Arc::clone(&backend);
         tasks.push(Box::new(move |ctx| {
             let store = Arc::clone(&store);
             let cfg = Arc::clone(&cfg);
             let out_bytes = Arc::clone(&out_bytes);
             let run_infos = Arc::clone(&run_infos);
-            let offsets = Arc::clone(&offsets);
+            let backend = Arc::clone(&backend);
             faas.invoke_async(
                 ctx,
                 "reduce",
                 format!("{}/reduce", cfg.tag),
                 move |fctx, env| {
                     let client = store.connect_via(fctx, format!("{}/reduce", cfg.tag), &[env.nic]);
+                    let xenv = ExchangeEnv {
+                        host_links: vec![env.nic],
+                        tag: format!("{}/reduce", cfg.tag),
+                        retries: cfg.retries,
+                    };
                     let mut runs: Vec<Vec<R>> = Vec::with_capacity(w);
                     let mut gathered = 0usize;
                     for m in 0..w {
-                        let data = match cfg.exchange {
-                            ExchangeStrategy::Scatter => {
-                                let key = format!("{}{:05}/{:05}", cfg.part_prefix, m, j);
-                                with_retry(cfg.retries, || client.get(fctx, &cfg.bucket, &key))
-                                    .unwrap_or_else(|e| panic!("reduce gather failed: {}", e))
-                            }
-                            ExchangeStrategy::Coalesced => {
-                                let (off, len) = offsets[m][j];
-                                let key = format!("{}{:05}", cfg.part_prefix, m);
-                                if len == 0 {
-                                    Bytes::new()
-                                } else {
-                                    with_retry(cfg.retries, || {
-                                        client.get_range(fctx, &cfg.bucket, &key, off, len)
-                                    })
-                                    .unwrap_or_else(|e| panic!("reduce range gather failed: {}", e))
-                                }
-                            }
-                        };
+                        let data = backend
+                            .read_partition(fctx, &xenv, m, j)
+                            .unwrap_or_else(|e| panic!("reduce gather failed: {}", e));
                         gathered += data.len();
                         runs.push(
                             SortRecord::read_all(&data)
@@ -450,8 +399,8 @@ pub fn serverless_sort<R: SortRecord>(
                         records: merged.len() as u64,
                         bytes: data.len() as u64,
                     });
-                    with_retry(cfg.retries, || {
-                        client.put(fctx, &cfg.bucket, &key, Bytes::from(data.clone()))
+                    with_retry(fctx, cfg.retries, |c| {
+                        client.put(c, &cfg.bucket, &key, Bytes::from(data.clone()))
                     })
                     .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
                 },
@@ -460,6 +409,10 @@ pub fn serverless_sort<R: SortRecord>(
     }
     run_phase(ctx, "reduce", cfg.task_attempts, &tasks)?;
     phase_end(ctx, &trace, p_reduce);
+    // Release exchange resources (the relay VM stops billing here; the
+    // object-store backend keeps its intermediates for inspection).
+    let xenv = ExchangeEnv::driver(format!("{}/driver", cfg.tag), cfg.retries);
+    backend.cleanup(ctx, &xenv)?;
     let output_bytes = *out_bytes.lock();
     if let Some(manifest_key) = &cfg.manifest_key {
         let manifest = SortManifest {
@@ -559,9 +512,6 @@ pub(crate) fn phase_end(ctx: &Ctx, trace: &TraceSink, span: SpanId) {
     trace.exit(ctx.pid());
     trace.span_end(span, ctx.now());
 }
-
-/// Per-mapper `(offset, length)` tables for the coalesced exchange.
-type SharedOffsets = Arc<Mutex<Vec<Vec<(u64, u64)>>>>;
 
 /// A re-invocable task: every call spawns a fresh invocation of the same
 /// work (all captured state is shared and idempotent).
@@ -1033,27 +983,5 @@ mod tests {
         // Scatter: 64 partition PUTs; coalesced: 8. The other class-A
         // requests (runs, lists) are identical.
         assert_eq!(scatter - coalesced, 8 * 8 - 8);
-    }
-
-    #[test]
-    fn retry_helper_gives_up_after_attempts() {
-        let mut calls = 0;
-        let result: Result<(), StoreError> = with_retry(3, || {
-            calls += 1;
-            Err(StoreError::Injected { op: "GET" })
-        });
-        assert!(result.is_err());
-        assert_eq!(calls, 3);
-        // Non-injected errors do not retry.
-        let mut calls = 0;
-        let result: Result<(), StoreError> = with_retry(3, || {
-            calls += 1;
-            Err(StoreError::NoSuchKey {
-                bucket: "b".into(),
-                key: "k".into(),
-            })
-        });
-        assert!(result.is_err());
-        assert_eq!(calls, 1);
     }
 }

@@ -17,8 +17,9 @@ use faaspipe_vm::{VmFleet, VmProfile};
 use crate::error::ShuffleError;
 use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
-use crate::sort::{phase_begin, phase_end, with_retry};
+use crate::sort::{phase_begin, phase_end};
 use crate::work::WorkModel;
+use faaspipe_exchange::with_retry;
 
 /// Configuration of one VM-driven sort.
 #[derive(Debug, Clone)]
@@ -125,7 +126,7 @@ pub fn vm_sort<R: SortRecord>(
     let mut records: Vec<R> = Vec::new();
     let mut input_bytes = 0u64;
     for obj in &inputs {
-        let data = with_retry(cfg.retries, || client.get(ctx, &cfg.bucket, &obj.key))?;
+        let data = with_retry(ctx, cfg.retries, |c| client.get(c, &cfg.bucket, &obj.key))?;
         input_bytes += data.len() as u64;
         let mut chunk: Vec<R> = SortRecord::read_all(&data)?;
         records.append(&mut chunk);
@@ -161,8 +162,8 @@ pub fn vm_sort<R: SortRecord>(
             records: (hi - lo) as u64,
             bytes: data.len() as u64,
         });
-        with_retry(cfg.retries, || {
-            client.put(ctx, &cfg.bucket, &key, Bytes::from(data.clone()))
+        with_retry(ctx, cfg.retries, |c| {
+            client.put(c, &cfg.bucket, &key, Bytes::from(data.clone()))
         })?;
         run_keys.push(key);
     }

@@ -1,0 +1,136 @@
+//! Failure injection against the non-store exchange backends: transient
+//! faults must be absorbed by the shared retry helper, terminal faults
+//! (relay VM crash, expired direct-stream peer) must fail the sort
+//! loudly instead of producing silent corruption.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use faaspipe_des::{Sim, SimDuration};
+use faaspipe_exchange::{DataExchange, DirectConfig, DirectExchange, RelayConfig, VmRelayExchange};
+use faaspipe_faas::{FaasConfig, FunctionPlatform};
+use faaspipe_shuffle::{serverless_sort, ShuffleError, SortConfig, SortRecord};
+use faaspipe_store::{FailurePolicy, ObjectStore, StoreConfig};
+use faaspipe_vm::VmFleet;
+
+fn upload(store: &Arc<ObjectStore>, values: &[u64], chunks: usize) {
+    store.create_bucket("data").expect("bucket");
+    let per = values.len().div_ceil(chunks);
+    for (i, chunk) in values.chunks(per).enumerate() {
+        let data = SortRecord::write_all(chunk);
+        store
+            .put_untimed("data", &format!("in/{:04}", i), Bytes::from(data))
+            .expect("upload");
+    }
+}
+
+type SortOutcome = Result<Vec<u64>, ShuffleError>;
+
+/// Runs a 4-worker sort over `backend` and returns the result (the
+/// concatenated output on success).
+fn sort_with(backend: Arc<dyn DataExchange>, retries: u32, task_attempts: u32) -> SortOutcome {
+    let mut sim = Sim::new();
+    let store = ObjectStore::install(&mut sim, StoreConfig::default());
+    let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+    let values: Vec<u64> = (0..3_000u64).rev().collect();
+    upload(&store, &values, 4);
+    let out: Arc<Mutex<Option<SortOutcome>>> = Arc::new(Mutex::new(None));
+    let out2 = Arc::clone(&out);
+    let store2 = Arc::clone(&store);
+    sim.spawn("driver", move |ctx| {
+        let cfg = SortConfig {
+            workers: 4,
+            retries,
+            task_attempts,
+            backend: Some(backend),
+            ..SortConfig::default()
+        };
+        let result = serverless_sort::<u64>(ctx, &faas, &store2, &cfg).map(|stats| {
+            let client = store2.connect(ctx, "verify");
+            let mut all = Vec::new();
+            for run in &stats.runs {
+                let data = client.get(ctx, "data", run).expect("run exists");
+                let mut records: Vec<u64> = SortRecord::read_all(&data).expect("decode");
+                all.append(&mut records);
+            }
+            all
+        });
+        *out2.lock() = Some(result);
+    });
+    sim.run().expect("sim ok");
+    let result = out.lock().take().expect("driver ran");
+    result
+}
+
+#[test]
+fn relay_transient_faults_recover_through_retries() {
+    let relay = VmRelayExchange::new(
+        VmFleet::new(),
+        RelayConfig {
+            failure: FailurePolicy::with_error_rate(0.2),
+            ..RelayConfig::default()
+        },
+    );
+    let sorted = sort_with(Arc::new(relay), 20, 2).expect("retries absorb 20% relay faults");
+    assert_eq!(sorted, (0..3_000u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn relay_crash_mid_shuffle_fails_loudly() {
+    // The relay VM dies after a handful of requests; the crash is
+    // terminal (RelayDown is not retryable), so task re-invocation
+    // cannot save the phase and the sort must surface TaskFailed.
+    let relay = VmRelayExchange::new(
+        VmFleet::new(),
+        RelayConfig {
+            crash_after_requests: Some(6),
+            ..RelayConfig::default()
+        },
+    );
+    let err = sort_with(Arc::new(relay), 8, 3).expect_err("crashed relay cannot complete");
+    match err {
+        ShuffleError::TaskFailed { message, .. } => {
+            assert!(
+                message.contains("relay"),
+                "failure must name the relay: {}",
+                message
+            );
+        }
+        other => panic!("expected TaskFailed, got {:?}", other),
+    }
+}
+
+#[test]
+fn direct_peer_timeouts_recover_through_retries() {
+    let direct = DirectExchange::new(DirectConfig {
+        failure: FailurePolicy::with_error_rate(0.3),
+        ..DirectConfig::default()
+    });
+    let sorted = sort_with(Arc::new(direct), 20, 2).expect("retries absorb 30% peer timeouts");
+    assert_eq!(sorted, (0..3_000u64).collect::<Vec<_>>());
+}
+
+#[test]
+fn direct_expired_senders_fail_loudly() {
+    // With a keep-alive far shorter than the gap between the map and
+    // reduce phases, every sender is cold by the time reducers stream:
+    // PeerGone is terminal and the reduce phase must fail loudly.
+    let direct = DirectExchange::new(DirectConfig {
+        keep_alive: SimDuration::from_millis(1),
+        ..DirectConfig::default()
+    });
+    let err = sort_with(Arc::new(direct), 3, 2).expect_err("cold senders cannot stream");
+    match err {
+        ShuffleError::TaskFailed { phase, message } => {
+            assert_eq!(phase, "reduce");
+            assert!(
+                message.contains("no longer warm") || message.contains("gather"),
+                "failure must explain the cold peer: {}",
+                message
+            );
+        }
+        other => panic!("expected TaskFailed, got {:?}", other),
+    }
+}

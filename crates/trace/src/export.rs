@@ -1,10 +1,12 @@
-//! Exporters: Chrome-trace JSON, per-stage text timeline, counter CSV.
+//! Exporters: Chrome-trace JSON, per-stage text timeline, counter CSV,
+//! and span-level flame aggregation.
 //!
 //! All exporters are deterministic functions of the recorded
 //! [`TraceData`]: identical simulations produce byte-identical output.
 
 use std::collections::BTreeMap;
 
+use faaspipe_des::SimDuration;
 use faaspipe_json::Json;
 
 use crate::sink::TraceData;
@@ -183,6 +185,92 @@ pub fn render_timeline(data: &TraceData) -> String {
     out
 }
 
+/// One row of the flame aggregation: every closed span sharing a
+/// `(category, name)` pair, folded together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlameRow {
+    /// Activity kind the spans share.
+    pub category: Category,
+    /// Span name the group folds on (function name, request class, ...).
+    pub name: String,
+    /// Number of spans folded into this row.
+    pub count: u64,
+    /// Summed wall durations of the folded spans.
+    pub total: SimDuration,
+    /// Summed *self* time: each span's duration minus the durations of
+    /// its direct closed children. Children that overlap each other (a
+    /// gang of parallel invocations under one phase) can cover more than
+    /// their parent's wall clock; such spans contribute zero self time
+    /// rather than underflowing.
+    pub self_time: SimDuration,
+}
+
+/// Folds all closed spans by `(category, name)` — a flame-graph-style
+/// aggregation answering "where did the simulated time go, by activity".
+///
+/// Rows are sorted by descending total time, then category, then name,
+/// so the output is deterministic for identical traces.
+pub fn flame_rows(data: &TraceData) -> Vec<FlameRow> {
+    // Direct-child wall time per parent, for self-time attribution.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in &data.spans {
+        if let (Some(parent), Some(d)) = (span.parent, span.duration()) {
+            *child_ns.entry(parent.as_u64()).or_default() += d.as_nanos();
+        }
+    }
+    let mut groups: BTreeMap<(&'static str, &str), (Category, u64, u64, u64)> = BTreeMap::new();
+    for span in &data.spans {
+        let Some(dur) = span.duration() else { continue };
+        let covered = child_ns.get(&span.id.as_u64()).copied().unwrap_or(0);
+        let self_ns = dur.as_nanos().saturating_sub(covered);
+        let entry = groups
+            .entry((span.category.as_str(), span.name.as_str()))
+            .or_insert((span.category, 0, 0, 0));
+        entry.1 += 1;
+        entry.2 += dur.as_nanos();
+        entry.3 += self_ns;
+    }
+    let mut rows: Vec<FlameRow> = groups
+        .into_iter()
+        .map(|((_, name), (category, count, total, self_ns))| FlameRow {
+            category,
+            name: name.to_string(),
+            count,
+            total: SimDuration::from_nanos(total),
+            self_time: SimDuration::from_nanos(self_ns),
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.total
+            .cmp(&a.total)
+            .then_with(|| a.category.as_str().cmp(b.category.as_str()))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    rows
+}
+
+/// Renders [`flame_rows`] as an aligned text table
+/// (`category  name  count  total_s  self_s`).
+pub fn render_flame(data: &TraceData) -> String {
+    let rows = flame_rows(data);
+    if rows.is_empty() {
+        return String::from("(no closed spans recorded)\n");
+    }
+    let mut out =
+        String::from("category      name                      count   total_s    self_s\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12}  {:<24}  {:>5}  {:>8.3}  {:>8.3}\n",
+            r.category.as_str(),
+            r.name,
+            r.count,
+            r.total.as_secs_f64(),
+            r.self_time.as_secs_f64()
+        ));
+    }
+    out
+}
+
 /// Dumps every counter series as CSV:
 /// `counter,kind,t_s,value` rows ordered by name then time.
 pub fn counters_csv(data: &TraceData) -> String {
@@ -276,6 +364,79 @@ mod tests {
         assert!(text.contains("sort"));
         assert!(text.contains("encode"));
         assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn flame_rows_fold_totals_and_self_time() {
+        let rows = flame_rows(&sample());
+        // run(5s), sort(4s), encode(1s), map-0(2s) — 4 groups.
+        assert_eq!(rows.len(), 4);
+        let find = |name: &str| rows.iter().find(|r| r.name == name).expect("row");
+        let run = find("run");
+        assert_eq!(run.count, 1);
+        assert_eq!(run.total, SimDuration::from_secs(5));
+        // run covers sort(4)+encode(1) entirely: zero self time.
+        assert_eq!(run.self_time, SimDuration::ZERO);
+        let sort = find("sort");
+        assert_eq!(sort.total, SimDuration::from_secs(4));
+        assert_eq!(sort.self_time, SimDuration::from_secs(2), "minus map-0");
+        let inv = find("map-0");
+        assert_eq!(inv.category, Category::Invocation);
+        assert_eq!(inv.total, inv.self_time, "leaf spans keep everything");
+        // Descending by total: the run span leads.
+        assert_eq!(rows[0].name, "run");
+    }
+
+    #[test]
+    fn flame_self_time_saturates_on_overlapping_children() {
+        // Two parallel 10 s children under a 10 s parent: covered time
+        // (20 s) exceeds the parent's wall clock; self time clamps to 0.
+        let sink = TraceSink::recording();
+        let p = sink.span_start(
+            Category::Phase,
+            "map",
+            "driver",
+            "driver",
+            SpanId::NONE,
+            t(0),
+        );
+        let a = sink.span_start(Category::Invocation, "fn", "faas", "fn-0", p, t(0));
+        let b = sink.span_start(Category::Invocation, "fn", "faas", "fn-1", p, t(0));
+        sink.span_end(a, t(10));
+        sink.span_end(b, t(10));
+        sink.span_end(p, t(10));
+        let rows = flame_rows(&sink.snapshot());
+        let fold = rows.iter().find(|r| r.name == "fn").expect("folded");
+        assert_eq!(fold.count, 2);
+        assert_eq!(fold.total, SimDuration::from_secs(20));
+        let parent = rows.iter().find(|r| r.name == "map").expect("parent");
+        assert_eq!(parent.self_time, SimDuration::ZERO);
+        // Open spans are excluded entirely.
+        let open = sink.span_start(
+            Category::Phase,
+            "open",
+            "driver",
+            "driver",
+            SpanId::NONE,
+            t(0),
+        );
+        assert!(!open.is_none());
+        assert!(!flame_rows(&sink.snapshot())
+            .iter()
+            .any(|r| r.name == "open"));
+    }
+
+    #[test]
+    fn render_flame_is_deterministic_and_aligned() {
+        let a = render_flame(&sample());
+        let b = render_flame(&sample());
+        assert_eq!(a, b);
+        assert!(a.starts_with("category"));
+        assert!(a.contains("map-0"));
+        assert_eq!(
+            render_flame(&TraceData::default()),
+            "(no closed spans recorded)\n"
+        );
     }
 
     #[test]

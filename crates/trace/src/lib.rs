@@ -27,7 +27,9 @@ mod span;
 
 pub use counter::{CounterKind, CounterSeries};
 pub use critical::{critical_path, Breakdown};
-pub use export::{chrome_trace_json, counters_csv, render_timeline};
+pub use export::{
+    chrome_trace_json, counters_csv, flame_rows, render_flame, render_timeline, FlameRow,
+};
 pub use sink::{TraceData, TraceSink};
 pub use span::{Category, CostBucket, Span, SpanId, Value};
 

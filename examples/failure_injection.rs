@@ -53,7 +53,7 @@ fn run(error_rate: f64) -> Result<(f64, u64), Box<dyn std::error::Error>> {
         let client = store2.connect(ctx, "verify");
         let mut all = Vec::new();
         for run in &stats.runs {
-            let data = with_retry(10, || client.get(ctx, "data", run)).expect("run readable");
+            let data = with_retry(ctx, 10, |c| client.get(c, "data", run)).expect("run readable");
             let mut records: Vec<u64> = SortRecord::read_all(&data).expect("decode");
             all.append(&mut records);
         }

@@ -1,7 +1,7 @@
 //! The `faaspipe` command-line tool.
 //!
 //! ```text
-//! faaspipe table1 [--records N] [--trace-out F]
+//! faaspipe table1 [--records N] [--exchange B] [--trace-out F]
 //!                                         reproduce the paper's Table 1
 //! faaspipe run <spec.json> [--records N] [--seed S] [--trace-out F]
 //!                                         execute a JSON workflow spec
@@ -24,6 +24,7 @@ use faaspipe::core::report::{render_table1, Table1Row};
 use faaspipe::core::spec::PipelineSpec;
 use faaspipe::core::tracker::Tracker;
 use faaspipe::des::{Sim, SimTime};
+use faaspipe::exchange::ExchangeKind;
 use faaspipe::faas::{FaasConfig, FunctionPlatform};
 use faaspipe::methcomp::codec as mc;
 use faaspipe::methcomp::synth::Synthesizer;
@@ -34,7 +35,7 @@ use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceD
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N] [--trace-out <trace.json>]
+  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct] [--trace-out <trace.json>]
   faaspipe run <spec.json> [--records N] [--seed S] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>
@@ -92,6 +93,7 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 
 fn cmd_table1(args: &[String]) -> Result<(), String> {
     let records: usize = flag_parse(args, "--records", 150_000)?;
+    let exchange: ExchangeKind = flag_parse(args, "--exchange", ExchangeKind::Scatter)?;
     let trace_out = flag(args, "--trace-out")?;
     let mut rows = Vec::new();
     let mut traces: Vec<(String, TraceData)> = Vec::new();
@@ -99,6 +101,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         let mut cfg = PipelineConfig::paper_table1();
         cfg.mode = mode;
         cfg.physical_records = records;
+        cfg.exchange = exchange;
         cfg.trace = trace_out.is_some();
         let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
         eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);

@@ -10,12 +10,15 @@
 //! - [`codec`] — compression substrate (bit I/O, Huffman, LZ77, range coder)
 //! - [`methcomp`] — DNA-methylation BED model, synthesizer, and METHCOMP codec
 //! - [`shuffle`] — Primula-like serverless shuffle/sort operator
+//! - [`exchange`] — pluggable intermediate data-exchange backends
+//!   (object storage, VM relay, direct function-to-function streaming)
 //! - [`core`] — workflow DAGs, JSON pipeline specs, executor, tracker, pricing
 //! - [`trace`] — virtual-time tracing: spans, counters, exporters, critical path
 
 pub use faaspipe_codec as codec;
 pub use faaspipe_core as core;
 pub use faaspipe_des as des;
+pub use faaspipe_exchange as exchange;
 pub use faaspipe_faas as faas;
 pub use faaspipe_methcomp as methcomp;
 pub use faaspipe_shuffle as shuffle;

@@ -191,6 +191,55 @@ fn run_executes_a_spec_file() {
 }
 
 #[test]
+fn table1_accepts_an_exchange_backend() {
+    let out = bin()
+        .args(["table1", "--records", "4000", "--exchange", "vm_relay"])
+        .output()
+        .expect("table1");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Purely"));
+
+    let out = bin()
+        .args(["table1", "--exchange", "carrier_pigeon"])
+        .output()
+        .expect("table1");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--exchange"));
+}
+
+#[test]
+fn run_executes_a_spec_with_a_direct_exchange() {
+    let spec = tmp("spec-direct.json");
+    std::fs::write(
+        &spec,
+        r#"{
+            "name": "cli-direct", "bucket": "data",
+            "stages": [
+                { "name": "sort", "kind": "shuffle_sort", "workers": 2,
+                  "exchange": "direct", "input": "in/", "output": "sorted/" }
+            ]
+        }"#,
+    )
+    .expect("write spec");
+    let out = bin()
+        .arg("run")
+        .arg(&spec)
+        .args(["--records", "4000"])
+        .output()
+        .expect("run");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("stage 'sort'"));
+}
+
+#[test]
 fn run_rejects_bad_spec() {
     let spec = tmp("bad-spec.json");
     std::fs::write(&spec, "{\"name\": \"x\"").expect("write");

@@ -1,0 +1,133 @@
+//! Cross-backend properties of the data-exchange subsystem: all four
+//! exchange backends must produce byte-identical sorted output for the
+//! same input, and every backend must be trace-deterministic — two runs
+//! with the same seed export byte-identical traces.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe::des::Sim;
+use faaspipe::exchange::{
+    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, VmRelayExchange,
+};
+use faaspipe::faas::{FaasConfig, FunctionPlatform};
+use faaspipe::shuffle::{serverless_sort, SortConfig, SortRecord};
+use faaspipe::store::{ObjectStore, StoreConfig};
+use faaspipe::trace::{chrome_trace_json, counters_csv};
+use faaspipe::vm::VmFleet;
+
+/// Runs the serverless sort through `kind` and returns the raw bytes of
+/// every sorted-run object, in run order.
+fn run_bytes(kind: ExchangeKind, values: &[u64], chunks: usize, workers: usize) -> Vec<Bytes> {
+    let mut sim = Sim::new();
+    let store = ObjectStore::install(&mut sim, StoreConfig::default());
+    let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
+    store.create_bucket("data").expect("bucket");
+    let per = values.len().div_ceil(chunks).max(1);
+    for (i, chunk) in values.chunks(per).enumerate() {
+        store
+            .put_untimed(
+                "data",
+                &format!("in/{:04}", i),
+                Bytes::from(SortRecord::write_all(chunk)),
+            )
+            .expect("stage");
+    }
+    let backend: Option<Arc<dyn DataExchange>> = match kind {
+        ExchangeKind::Scatter | ExchangeKind::Coalesced => None,
+        ExchangeKind::VmRelay => Some(Arc::new(VmRelayExchange::new(
+            VmFleet::new(),
+            RelayConfig::default(),
+        ))),
+        ExchangeKind::Direct => Some(Arc::new(DirectExchange::new(DirectConfig::default()))),
+    };
+    let out: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
+    let out2 = Arc::clone(&out);
+    let store2 = Arc::clone(&store);
+    sim.spawn("driver", move |ctx| {
+        let cfg = SortConfig {
+            workers,
+            exchange: kind.layout(),
+            backend,
+            ..SortConfig::default()
+        };
+        let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort");
+        let client = store2.connect(ctx, "verify");
+        for run in &stats.runs {
+            out2.lock().push(client.get(ctx, "data", run).expect("run"));
+        }
+    });
+    sim.run().expect("sim ok");
+    let v = out.lock().clone();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any input, chunking, and worker count, all four backends
+    /// produce byte-identical sorted-run objects: the exchange is a pure
+    /// transport, never a transform.
+    #[test]
+    fn all_backends_produce_byte_identical_sorted_output(
+        values in vec(any::<u64>(), 1..2_000),
+        chunks in 1usize..5,
+        workers in 2usize..8,
+    ) {
+        let reference = run_bytes(ExchangeKind::Scatter, &values, chunks, workers);
+        let mut expect = values.clone();
+        expect.sort_unstable();
+        let decoded: Vec<u64> = reference
+            .iter()
+            .flat_map(|b| <u64 as SortRecord>::read_all(b).expect("decode"))
+            .collect();
+        prop_assert_eq!(&decoded, &expect, "scatter output is a sorted permutation");
+        for kind in [ExchangeKind::Coalesced, ExchangeKind::VmRelay, ExchangeKind::Direct] {
+            let got = run_bytes(kind, &values, chunks, workers);
+            prop_assert_eq!(
+                &got,
+                &reference,
+                "{} must match the scatter byte stream",
+                kind
+            );
+        }
+    }
+}
+
+/// Two identically-seeded pipeline runs must export byte-identical
+/// traces, whichever exchange backend carries the shuffle.
+#[test]
+fn same_seed_runs_are_trace_deterministic_for_every_backend() {
+    for kind in ExchangeKind::ALL {
+        let traced = || {
+            let mut cfg = PipelineConfig::paper_table1();
+            cfg.mode = PipelineMode::PureServerless;
+            cfg.physical_records = 15_000;
+            cfg.exchange = kind;
+            cfg.trace = true;
+            run_methcomp_pipeline(&cfg).expect("pipeline ok")
+        };
+        let a = traced();
+        let b = traced();
+        assert!(a.verified, "{}: output must verify", kind);
+        assert_eq!(
+            chrome_trace_json(&a.trace),
+            chrome_trace_json(&b.trace),
+            "{}: chrome export must be byte-identical",
+            kind
+        );
+        assert_eq!(
+            counters_csv(&a.trace),
+            counters_csv(&b.trace),
+            "{}: counter export must be byte-identical",
+            kind
+        );
+        assert_eq!(a.latency, b.latency, "{}: same-seed latency", kind);
+        assert_eq!(a.cost.total(), b.cost.total(), "{}: same-seed cost", kind);
+    }
+}

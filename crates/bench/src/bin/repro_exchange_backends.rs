@@ -15,8 +15,11 @@
 //! skips persistence but gates on rendezvous.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_exchange_backends
+//! cargo run --release -p faaspipe-bench --bin repro_exchange_backends [-- --quick]
 //! ```
+//!
+//! `--quick` shrinks the sweep to a CI smoke run (small W, few records,
+//! no tuned-bracket assertions).
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
@@ -54,10 +57,10 @@ faaspipe_json::json_object! {
 
 const WORKERS: [usize; 5] = [4, 8, 16, 32, 64];
 
-fn run(workers: usize, backend: ExchangeKind) -> (Row, TraceData) {
+fn run(workers: usize, records: usize, backend: ExchangeKind) -> (Row, TraceData) {
     let mut cfg = PipelineConfig::paper_table1();
     cfg.mode = PipelineMode::PureServerless;
-    cfg.physical_records = SWEEP_RECORDS;
+    cfg.physical_records = records;
     cfg.workers = WorkerChoice::Fixed(workers);
     cfg.exchange = backend;
     cfg.trace = true;
@@ -88,6 +91,12 @@ fn run(workers: usize, backend: ExchangeKind) -> (Row, TraceData) {
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (worker_sweep, records): (&[usize], usize) = if quick {
+        (&[4, 8], 8_000)
+    } else {
+        (&WORKERS, SWEEP_RECORDS)
+    };
     let mut rows: Vec<Row> = Vec::new();
     let mut best: Vec<(ExchangeKind, Row, TraceData)> = Vec::new();
     println!("latency seconds (cost $) by backend:");
@@ -95,10 +104,10 @@ fn main() {
         "{:>7}  {:>20}  {:>20}  {:>20}  {:>20}",
         "workers", "scatter", "coalesced", "vm_relay", "direct"
     );
-    for &w in &WORKERS {
+    for &w in worker_sweep {
         let mut cells = Vec::new();
         for kind in ExchangeKind::ALL {
-            let (row, trace) = run(w, kind);
+            let (row, trace) = run(w, records, kind);
             cells.push(format!("{:.2} (${:.4})", row.latency_s, row.cost_dollars));
             match best.iter_mut().find(|(k, _, _)| *k == kind) {
                 Some(slot) if slot.1.latency_s <= row.latency_s => {}
@@ -148,7 +157,9 @@ fn main() {
     }
 
     // The Table-1 bracket: the tuned serverless (coalesced object store)
-    // exchange beats the tuned VM relay on latency AND cost.
+    // exchange beats the tuned VM relay on latency AND cost. Quick runs
+    // sweep too little of the space for "tuned" to mean anything, so
+    // only the provisioning invariant is checked there.
     let tuned = |kind: ExchangeKind| -> &Row {
         &best
             .iter()
@@ -167,14 +178,16 @@ fn main() {
         relay.cost_dollars,
         relay.workers
     );
-    assert!(
-        cos.latency_s < relay.latency_s,
-        "tuned object storage must beat the relay VM on latency"
-    );
-    assert!(
-        cos.cost_dollars < relay.cost_dollars,
-        "tuned object storage must beat the relay VM on cost"
-    );
+    if !quick {
+        assert!(
+            cos.latency_s < relay.latency_s,
+            "tuned object storage must beat the relay VM on latency"
+        );
+        assert!(
+            cos.cost_dollars < relay.cost_dollars,
+            "tuned object storage must beat the relay VM on cost"
+        );
+    }
     // The relay pays its provisioning on the critical path.
     assert!(
         relay.cold_start_s >= 44.0,

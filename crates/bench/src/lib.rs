@@ -18,6 +18,7 @@
 //! | `repro_memory` | E12 — function memory sizing (ablation) |
 //! | `repro_codec_pipeline` | E13 — codec choice at pipeline level (ablation) |
 //! | `repro_exchange_backends` | E15 — exchange backends: object storage vs VM relay vs direct |
+//! | `repro_relay_sharding` | E16 — sharded relay fleet: W × shards frontier, cold vs pre-warmed |
 //!
 //! Every binary prints a human-readable table and writes the raw rows as
 //! JSON under `results/` (created on demand) so EXPERIMENTS.md can cite

@@ -12,7 +12,8 @@ use parking_lot::Mutex;
 
 use faaspipe_des::{Ctx, ProcessId, Sim, SimDuration, SimTime};
 use faaspipe_exchange::{
-    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, VmRelayExchange,
+    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, ShardedRelayConfig,
+    ShardedRelayExchange, VmRelayExchange,
 };
 use faaspipe_faas::FunctionPlatform;
 use faaspipe_methcomp::{codec as mc_codec, Dataset, MethRecord};
@@ -377,6 +378,21 @@ impl Executor {
                 .with_trace(trace);
                 Some(Arc::new(direct))
             }
+            ExchangeKind::ShardedRelay { shards, prewarm } => {
+                let sharded = ShardedRelayExchange::new(
+                    self.services.fleet.clone(),
+                    ShardedRelayConfig {
+                        relay: RelayConfig {
+                            size_scale: scale,
+                            ..RelayConfig::default()
+                        },
+                        shards,
+                        prewarm,
+                    },
+                )
+                .with_trace(trace);
+                Some(Arc::new(sharded))
+            }
         }
     }
 
@@ -446,6 +462,7 @@ impl Executor {
             part_prefix: format!("tmp/{}/", stage),
             sample_capacity: 512,
             sample_bytes: 64 * 1024,
+            sample_seed: SortConfig::default().sample_seed,
             tag: stage.to_string(),
             work: self.work.clone(),
             retries: 3,

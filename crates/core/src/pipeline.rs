@@ -80,7 +80,8 @@ pub struct PipelineConfig {
     /// Verify outputs against the input (decode every archive).
     pub verify: bool,
     /// Intermediate data-exchange backend for the serverless shuffle
-    /// (object-store scatter/coalesced, VM relay, or direct streaming).
+    /// (object-store scatter/coalesced, VM relay, sharded relay fleet —
+    /// optionally pre-warmed — or direct streaming).
     pub exchange: ExchangeKind,
     /// Codec for the encode stage (METHCOMP, or the gzip-class baseline
     /// for the end-to-end codec comparison).

@@ -407,6 +407,20 @@ mod tests {
         for (name, kind) in [
             ("vm_relay", ExchangeKind::VmRelay),
             ("direct", ExchangeKind::Direct),
+            (
+                "sharded_relay:8:prewarm",
+                ExchangeKind::ShardedRelay {
+                    shards: 8,
+                    prewarm: true,
+                },
+            ),
+            (
+                "sharded_relay",
+                ExchangeKind::ShardedRelay {
+                    shards: 4,
+                    prewarm: false,
+                },
+            ),
         ] {
             let json = GOOD.replace(
                 "\"kind\": \"shuffle_sort\",",

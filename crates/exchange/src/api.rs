@@ -39,10 +39,20 @@ pub enum ExchangeKind {
     VmRelay,
     /// Rendezvous function-to-function streaming.
     Direct,
+    /// A fleet of relay VMs with hashed partition routing; `prewarm`
+    /// overlaps provisioning with the caller's next phase.
+    ShardedRelay {
+        /// Number of relay VMs (clamped to at least 1).
+        shards: usize,
+        /// Boot the shards in the background instead of blocking
+        /// `prepare`.
+        prewarm: bool,
+    },
 }
 
 impl ExchangeKind {
-    /// Every kind, in sweep order.
+    /// Every parameterless kind, in sweep order. `ShardedRelay` takes
+    /// parameters and is swept explicitly where needed (E16).
     pub const ALL: [ExchangeKind; 4] = [
         ExchangeKind::Scatter,
         ExchangeKind::Coalesced,
@@ -50,13 +60,16 @@ impl ExchangeKind {
         ExchangeKind::Direct,
     ];
 
-    /// The spec-file / CLI spelling.
+    /// The base spec-file / CLI spelling, without parameters — see
+    /// [`Display`](fmt::Display) for the full round-trippable form
+    /// (`sharded_relay:4:prewarm`).
     pub fn as_str(self) -> &'static str {
         match self {
             ExchangeKind::Scatter => "scatter",
             ExchangeKind::Coalesced => "coalesced",
             ExchangeKind::VmRelay => "vm_relay",
             ExchangeKind::Direct => "direct",
+            ExchangeKind::ShardedRelay { .. } => "sharded_relay",
         }
     }
 
@@ -72,7 +85,16 @@ impl ExchangeKind {
 
 impl fmt::Display for ExchangeKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
+        match *self {
+            ExchangeKind::ShardedRelay { shards, prewarm } => {
+                write!(f, "sharded_relay:{}", shards)?;
+                if prewarm {
+                    f.write_str(":prewarm")?;
+                }
+                Ok(())
+            }
+            kind => f.write_str(kind.as_str()),
+        }
     }
 }
 
@@ -85,10 +107,40 @@ impl FromStr for ExchangeKind {
             "coalesced" => Ok(ExchangeKind::Coalesced),
             "vm_relay" => Ok(ExchangeKind::VmRelay),
             "direct" => Ok(ExchangeKind::Direct),
-            other => Err(format!(
-                "unknown exchange '{}' (expected scatter | coalesced | vm_relay | direct)",
-                other
-            )),
+            other => {
+                // `sharded_relay[:N][:prewarm]` — e.g. `sharded_relay`,
+                // `sharded_relay:8`, `sharded_relay:4:prewarm`.
+                let mut parts = other.split(':');
+                if parts.next() == Some("sharded_relay") {
+                    let mut shards = 4usize;
+                    let mut prewarm = false;
+                    for part in parts {
+                        if part == "prewarm" {
+                            prewarm = true;
+                        } else if let Ok(n) = part.parse::<usize>() {
+                            if n == 0 {
+                                return Err(format!(
+                                    "exchange '{}': shard count must be at least 1",
+                                    other
+                                ));
+                            }
+                            shards = n;
+                        } else {
+                            return Err(format!(
+                                "exchange '{}': unknown parameter '{}' \
+                                 (expected a shard count or 'prewarm')",
+                                other, part
+                            ));
+                        }
+                    }
+                    return Ok(ExchangeKind::ShardedRelay { shards, prewarm });
+                }
+                Err(format!(
+                    "unknown exchange '{}' (expected scatter | coalesced | vm_relay | direct \
+                     | sharded_relay[:N][:prewarm])",
+                    other
+                ))
+            }
         }
     }
 }
@@ -189,9 +241,49 @@ mod tests {
     #[test]
     fn kind_round_trips_through_strings() {
         for kind in ExchangeKind::ALL {
-            assert_eq!(kind.as_str().parse::<ExchangeKind>().unwrap(), kind);
+            assert_eq!(kind.to_string().parse::<ExchangeKind>().unwrap(), kind);
         }
         assert!("quantum".parse::<ExchangeKind>().is_err());
+    }
+
+    #[test]
+    fn sharded_kind_round_trips_with_parameters() {
+        for (shards, prewarm) in [(1, false), (4, true), (8, false), (8, true)] {
+            let kind = ExchangeKind::ShardedRelay { shards, prewarm };
+            assert_eq!(kind.to_string().parse::<ExchangeKind>().unwrap(), kind);
+        }
+        assert_eq!(
+            "sharded_relay:4:prewarm".to_string(),
+            ExchangeKind::ShardedRelay {
+                shards: 4,
+                prewarm: true
+            }
+            .to_string()
+        );
+        // Bare and partial spellings default to 4 shards, no prewarm.
+        assert_eq!(
+            "sharded_relay".parse::<ExchangeKind>().unwrap(),
+            ExchangeKind::ShardedRelay {
+                shards: 4,
+                prewarm: false
+            }
+        );
+        assert_eq!(
+            "sharded_relay:prewarm".parse::<ExchangeKind>().unwrap(),
+            ExchangeKind::ShardedRelay {
+                shards: 4,
+                prewarm: true
+            }
+        );
+        assert_eq!(
+            "sharded_relay:2".parse::<ExchangeKind>().unwrap(),
+            ExchangeKind::ShardedRelay {
+                shards: 2,
+                prewarm: false
+            }
+        );
+        assert!("sharded_relay:0".parse::<ExchangeKind>().is_err());
+        assert!("sharded_relay:fast".parse::<ExchangeKind>().is_err());
     }
 
     #[test]
@@ -203,6 +295,14 @@ mod tests {
         );
         assert_eq!(ExchangeKind::VmRelay.layout(), ExchangeStrategy::Scatter);
         assert_eq!(ExchangeKind::Direct.layout(), ExchangeStrategy::Scatter);
+        assert_eq!(
+            ExchangeKind::ShardedRelay {
+                shards: 4,
+                prewarm: true
+            }
+            .layout(),
+            ExchangeStrategy::Scatter
+        );
     }
 
     #[test]

@@ -16,6 +16,11 @@
 //! - [`DirectExchange`] — rendezvous function-to-function streaming
 //!   through the DES fluid-flow network, gated on the sender's container
 //!   still being warm.
+//! - [`ShardedRelayExchange`] — N relay VMs behind one exchange with
+//!   deterministic `(map, part)` → shard routing, so aggregate relay NIC
+//!   bandwidth scales with the shard count; its pre-warming mode overlaps
+//!   provisioning with the caller's next phase instead of blocking
+//!   `prepare`.
 //!
 //! All backends charge virtual time for every operation, record
 //! [`faaspipe_trace`] spans on the same `StoreRequest`/`Flow` categories
@@ -28,6 +33,7 @@ mod direct;
 mod error;
 mod object_store;
 mod retry;
+mod sharded;
 mod vm_relay;
 
 pub use api::{DataExchange, ExchangeEnv, ExchangeKind, ExchangeStrategy};
@@ -35,4 +41,5 @@ pub use direct::{DirectConfig, DirectExchange};
 pub use error::ExchangeError;
 pub use object_store::ObjectStoreExchange;
 pub use retry::{with_retry, Retryable};
+pub use sharded::{ShardedRelayConfig, ShardedRelayExchange};
 pub use vm_relay::{RelayConfig, VmRelayExchange};

@@ -1,9 +1,16 @@
 //! A Pocket-style in-memory relay hosted on a simulated VM.
+//!
+//! The per-VM mechanics — provisioning lifecycle, request overhead with
+//! failure injection, memory capacity with disk spill — live in
+//! [`RelayShard`] so that [`ShardedRelayExchange`](crate::ShardedRelayExchange)
+//! can run N of them behind one exchange. [`VmRelayExchange`] is the
+//! single-shard backend from the paper's comparison.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
-use faaspipe_des::{Bandwidth, ByteSize, Ctx, LinkId, SimDuration};
+use faaspipe_des::{Bandwidth, ByteSize, Ctx, LinkId, ProcessId, SimDuration};
 use faaspipe_store::failure::Fate;
 use faaspipe_store::FailurePolicy;
 use faaspipe_trace::{Category, SpanId, TraceSink};
@@ -14,7 +21,8 @@ use crate::api::{DataExchange, ExchangeEnv};
 use crate::error::ExchangeError;
 use crate::retry::with_retry;
 
-/// Tuning of the [`VmRelayExchange`].
+/// Tuning of the [`VmRelayExchange`] (and, per shard, of the
+/// [`ShardedRelayExchange`](crate::ShardedRelayExchange)).
 #[derive(Debug, Clone)]
 pub struct RelayConfig {
     /// VM shape the relay runs on (provisioning delay, NIC, billing).
@@ -68,6 +76,12 @@ struct StoredPart {
 #[derive(Debug, Default)]
 struct RelayState {
     vm: Option<VmInstance>,
+    /// Provisioner process to [`Ctx::join`] while the VM boots. This is
+    /// the double-provisioning guard: a second `prepare` caller that
+    /// arrives during the 44 s boot finds the in-flight provisioner
+    /// here and waits on it instead of provisioning (and billing) a
+    /// second VM.
+    provisioning: Option<ProcessId>,
     objects: BTreeMap<(usize, usize), StoredPart>,
     /// Scaled bytes currently held in memory.
     mem_used: u64,
@@ -76,84 +90,163 @@ struct RelayState {
     crashed: bool,
 }
 
-/// Exchange through an in-memory relay server on a provisioned VM — the
-/// Pocket/ephemeral-storage point in the design space.
+/// One relay VM plus its object table: the unit of sharding.
 ///
-/// [`prepare`](DataExchange::prepare) provisions the VM through the
-/// [`VmFleet`] (charging the profile's provisioning delay and starting
-/// its billing clock); [`cleanup`](DataExchange::cleanup) releases it.
-/// Every request pays a small fixed latency plus a fluid-flow transfer
-/// that contends for the caller's NIC **and** the relay VM's NIC — at
-/// high fan-in, the single relay NIC is the bottleneck the paper's
-/// VM-driven exchange runs into. Objects beyond `memory_capacity` spill
-/// to the VM's disk and pay `disk_bw` on both sides.
-pub struct VmRelayExchange {
+/// [`VmRelayExchange`] wraps a single shard; the sharded exchange routes
+/// partitions across many. All virtual-time charging (provisioning,
+/// request latency, NIC transfers, disk spill) happens here so the two
+/// backends cannot drift apart.
+pub(crate) struct RelayShard {
     fleet: VmFleet,
-    cfg: RelayConfig,
+    cfg: Arc<RelayConfig>,
     trace: TraceSink,
-    state: Mutex<RelayState>,
+    /// Key prefix / trace lane: `"relay"` or `"relay-03"`.
+    label: String,
+    /// Backend name reported in [`ExchangeError::NotPrepared`].
+    backend: &'static str,
+    /// `"{label}.mem_bytes"` / `"{label}.spilled_bytes"`, precomputed —
+    /// the put path is hot.
+    mem_gauge: String,
+    spill_counter: String,
+    /// Shared with the provisioner process, which stores the booted VM.
+    state: Arc<Mutex<RelayState>>,
 }
 
-impl std::fmt::Debug for VmRelayExchange {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.state.lock();
-        f.debug_struct("VmRelayExchange")
-            .field("cfg", &self.cfg)
-            .field("objects", &state.objects.len())
-            .field("mem_used", &state.mem_used)
-            .field("crashed", &state.crashed)
-            .finish()
-    }
-}
-
-impl VmRelayExchange {
-    /// Creates a relay backend provisioning through `fleet`.
-    pub fn new(fleet: VmFleet, cfg: RelayConfig) -> VmRelayExchange {
-        VmRelayExchange {
+impl RelayShard {
+    pub(crate) fn new(
+        fleet: VmFleet,
+        cfg: Arc<RelayConfig>,
+        label: String,
+        backend: &'static str,
+    ) -> RelayShard {
+        RelayShard {
             fleet,
             cfg,
             trace: TraceSink::default(),
-            state: Mutex::new(RelayState::default()),
+            mem_gauge: format!("{}.mem_bytes", label),
+            spill_counter: format!("{}.spilled_bytes", label),
+            label,
+            backend,
+            state: Arc::new(Mutex::new(RelayState::default())),
         }
     }
 
-    /// Routes the relay's request spans and gauges to `sink`.
-    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+    pub(crate) fn set_trace(&mut self, sink: TraceSink) {
         self.trace = sink;
-        self
+    }
+
+    #[cfg(test)]
+    pub(crate) fn label(&self) -> &str {
+        &self.label
     }
 
     fn scaled(&self, real_len: usize) -> u64 {
         (real_len as f64 * self.cfg.size_scale).round() as u64
     }
 
+    /// Starts this shard's VM boot unless one is ready or already in
+    /// flight. Returns the provisioner to [`Ctx::join`] on, or `None`
+    /// when the VM is already usable. With `background` the boot goes
+    /// through [`VmFleet::provision_prewarmed`] so an overlapped boot
+    /// does not claim the critical path — the residual wait is
+    /// attributed where a request actually blocks
+    /// ([`RelayShard::await_ready`]).
+    pub(crate) fn begin_provision(&self, ctx: &Ctx, background: bool) -> Option<ProcessId> {
+        {
+            let state = self.state.lock();
+            if state.vm.is_some() {
+                return None;
+            }
+            if let Some(pid) = state.provisioning {
+                return Some(pid);
+            }
+        }
+        // Between the check above and the bookkeeping below nothing
+        // yields to the scheduler (`spawn` replies without advancing
+        // virtual time or running the child), so a second process
+        // cannot slip in and start a duplicate boot.
+        let fleet = self.fleet.clone();
+        let profile = self.cfg.profile.clone();
+        let shared = Arc::clone(&self.state);
+        let trace = self.trace.clone();
+        let parent = trace.current(ctx.pid());
+        let pid = ctx.spawn(format!("{}/provision", self.label), move |pctx| {
+            // Parent the fleet's spans to whoever kicked the boot off.
+            trace.enter(pctx.pid(), parent);
+            let vm = if background {
+                fleet.provision_prewarmed(pctx, profile)
+            } else {
+                fleet.provision(pctx, profile)
+            };
+            trace.exit(pctx.pid());
+            let mut state = shared.lock();
+            state.vm = Some(vm);
+            state.provisioning = None;
+        });
+        self.state.lock().provisioning = Some(pid);
+        Some(pid)
+    }
+
+    /// Blocks until the shard's VM is usable when a boot is in flight,
+    /// charging the wait to the critical path as a cold start (this is
+    /// the part of a pre-warmed boot that foreground work could *not*
+    /// hide).
+    pub(crate) fn await_ready(&self, ctx: &Ctx) {
+        let pending = { self.state.lock().provisioning };
+        let Some(pid) = pending else { return };
+        let span = if self.trace.is_enabled() {
+            let parent = self.trace.current(ctx.pid());
+            self.trace.span_start(
+                Category::ColdStart,
+                "relay-wait",
+                "relay",
+                &self.label,
+                parent,
+                ctx.now(),
+            )
+        } else {
+            SpanId::NONE
+        };
+        let _ = ctx.join(pid);
+        self.trace.span_end(span, ctx.now());
+    }
+
     /// Charges the fixed request overhead and bumps the request counter.
-    /// Returns the relay's NIC. Fails without touching state on injected
-    /// faults or after a crash.
+    /// Returns the relay's NIC. A request against a dead or absent relay
+    /// still pays the round-trip latency before the failure is observed
+    /// — retry storms against a crashed relay are not free.
     fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<LinkId, ExchangeError> {
-        let nic = {
+        self.await_ready(ctx);
+        let outcome = {
             let mut state = self.state.lock();
             if state.crashed {
-                return Err(ExchangeError::RelayDown { op });
-            }
-            let nic = state
-                .vm
-                .as_ref()
-                .map(|vm| vm.nic)
-                .ok_or(ExchangeError::NotPrepared {
-                    backend: "vm-relay",
-                })?;
-            state.requests += 1;
-            if let Some(limit) = self.cfg.crash_after_requests {
-                if state.requests > limit {
-                    // The relay process dies and its memory is gone.
-                    state.crashed = true;
-                    state.objects.clear();
-                    state.mem_used = 0;
-                    return Err(ExchangeError::RelayDown { op });
+                Err(ExchangeError::RelayDown { op })
+            } else if let Some(nic) = state.vm.as_ref().map(|vm| vm.nic) {
+                state.requests += 1;
+                match self.cfg.crash_after_requests {
+                    Some(limit) if state.requests > limit => {
+                        // The relay process dies and its memory is gone.
+                        state.crashed = true;
+                        state.objects.clear();
+                        state.mem_used = 0;
+                        Err(ExchangeError::RelayDown { op })
+                    }
+                    _ => Ok(nic),
                 }
+            } else {
+                Err(ExchangeError::NotPrepared {
+                    backend: self.backend,
+                })
             }
-            nic
+        };
+        let nic = match outcome {
+            Ok(nic) => nic,
+            Err(e) => {
+                // The caller learns of the failure only after the wire
+                // round-trip (a dead relay looks like a timeout).
+                ctx.sleep(self.cfg.request_latency);
+                return Err(e);
+            }
         };
         let fate = self.cfg.failure.draw(ctx.rng());
         let latency = match fate {
@@ -172,8 +265,7 @@ impl VmRelayExchange {
         ctx: &Ctx,
         op: &'static str,
         tag: &str,
-        map: usize,
-        part: usize,
+        key: Option<(usize, usize)>,
     ) -> SpanId {
         if !self.trace.is_enabled() {
             return SpanId::NONE;
@@ -182,8 +274,13 @@ impl VmRelayExchange {
         let span =
             self.trace
                 .span_start(Category::StoreRequest, op, "relay", tag, parent, ctx.now());
-        self.trace
-            .attr(span, "key", format!("relay/{:05}/{:05}", map, part));
+        if let Some((map, part)) = key {
+            self.trace.attr(
+                span,
+                "key",
+                format!("{}/{:05}/{:05}", self.label, map, part),
+            );
+        }
         span
     }
 
@@ -220,7 +317,7 @@ impl VmRelayExchange {
         }
     }
 
-    fn put_part(
+    pub(crate) fn put_part(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
@@ -228,7 +325,7 @@ impl VmRelayExchange {
         part: usize,
         data: &Bytes,
     ) -> Result<(), ExchangeError> {
-        let span = self.span_begin(ctx, "PUT", &env.tag, map, part);
+        let span = self.span_begin(ctx, "PUT", &env.tag, Some((map, part)));
         let nic = match self.request_overhead(ctx, "PUT") {
             Ok(nic) => nic,
             Err(e) => {
@@ -260,10 +357,9 @@ impl VmRelayExchange {
             );
             if self.trace.is_enabled() {
                 self.trace
-                    .gauge("relay.mem_bytes", ctx.now(), state.mem_used as f64);
+                    .gauge(&self.mem_gauge, ctx.now(), state.mem_used as f64);
                 if spilled {
-                    self.trace
-                        .add("relay.spilled_bytes", ctx.now(), wire as f64);
+                    self.trace.add(&self.spill_counter, ctx.now(), wire as f64);
                 }
             }
             spilled
@@ -275,14 +371,14 @@ impl VmRelayExchange {
         Ok(())
     }
 
-    fn get_part(
+    pub(crate) fn get_part(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
         map: usize,
         part: usize,
     ) -> Result<Bytes, ExchangeError> {
-        let span = self.span_begin(ctx, "GET", &env.tag, map, part);
+        let span = self.span_begin(ctx, "GET", &env.tag, Some((map, part)));
         let nic = match self.request_overhead(ctx, "GET") {
             Ok(nic) => nic,
             Err(e) => {
@@ -308,6 +404,121 @@ impl VmRelayExchange {
         self.span_end(ctx, span, wire, false);
         Ok(data)
     }
+
+    /// Lists this shard's objects as one metered relay request: it
+    /// requires a live VM, bumps the request counter (so it can trip
+    /// `crash_after_requests`), and is subject to failure injection —
+    /// exactly like PUT/GET.
+    pub(crate) fn list_keys(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+    ) -> Result<Vec<String>, ExchangeError> {
+        let span = self.span_begin(ctx, "LIST", &env.tag, None);
+        if let Err(e) = self.request_overhead(ctx, "LIST") {
+            self.span_end(ctx, span, 0, true);
+            return Err(e);
+        }
+        let keys: Vec<String> = self
+            .state
+            .lock()
+            .objects
+            .keys()
+            .map(|(m, j)| format!("{}/{:05}/{:05}", self.label, m, j))
+            .collect();
+        self.span_end(ctx, span, 0, false);
+        Ok(keys)
+    }
+
+    /// Waits out any in-flight boot (releasing mid-boot would leak the
+    /// billing record), clears the object table, and releases the VM.
+    pub(crate) fn shutdown(&self, ctx: &Ctx) {
+        self.await_ready(ctx);
+        let vm = {
+            let mut state = self.state.lock();
+            state.objects.clear();
+            state.mem_used = 0;
+            state.provisioning = None;
+            state.vm.take()
+        };
+        if let Some(vm) = vm {
+            // Billing stops here; unreleased (crashed mid-run) relays
+            // keep billing to the end checkpoint, like real forgotten
+            // VMs.
+            self.fleet.release(ctx, vm);
+        }
+        if self.trace.is_enabled() {
+            self.trace.gauge(&self.mem_gauge, ctx.now(), 0.0);
+        }
+    }
+
+    pub(crate) fn debug_entry(&self, f: &mut std::fmt::DebugStruct<'_, '_>) {
+        let state = self.state.lock();
+        f.field("label", &self.label)
+            .field("objects", &state.objects.len())
+            .field("mem_used", &state.mem_used)
+            .field("crashed", &state.crashed);
+    }
+
+    #[cfg(test)]
+    pub(crate) fn mem_used(&self) -> u64 {
+        self.state.lock().mem_used
+    }
+
+    #[cfg(test)]
+    pub(crate) fn object_count(&self) -> usize {
+        self.state.lock().objects.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_spilled(&self, map: usize, part: usize) -> Option<bool> {
+        self.state
+            .lock()
+            .objects
+            .get(&(map, part))
+            .map(|p| p.spilled)
+    }
+}
+
+/// Exchange through an in-memory relay server on a provisioned VM — the
+/// Pocket/ephemeral-storage point in the design space.
+///
+/// [`prepare`](DataExchange::prepare) provisions the VM through the
+/// [`VmFleet`] (charging the profile's provisioning delay and starting
+/// its billing clock); concurrent `prepare` callers share the one boot.
+/// [`cleanup`](DataExchange::cleanup) releases it. Every request pays a
+/// small fixed latency plus a fluid-flow transfer that contends for the
+/// caller's NIC **and** the relay VM's NIC — at high fan-in, the single
+/// relay NIC is the bottleneck the paper's VM-driven exchange runs into
+/// (see [`ShardedRelayExchange`](crate::ShardedRelayExchange) for the
+/// scale-out counterfactual). Objects beyond `memory_capacity` spill to
+/// the VM's disk and pay `disk_bw` on both sides.
+pub struct VmRelayExchange {
+    shard: RelayShard,
+}
+
+impl std::fmt::Debug for VmRelayExchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("VmRelayExchange");
+        d.field("cfg", &self.shard.cfg);
+        self.shard.debug_entry(&mut d);
+        d.finish()
+    }
+}
+
+impl VmRelayExchange {
+    /// Creates a relay backend provisioning through `fleet`.
+    pub fn new(fleet: VmFleet, cfg: RelayConfig) -> VmRelayExchange {
+        VmRelayExchange {
+            shard: RelayShard::new(fleet, Arc::new(cfg), "relay".to_string(), "vm-relay"),
+        }
+    }
+
+    /// Routes the relay's request spans and gauges to `sink`.
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.shard.set_trace(sink);
+        self
+    }
 }
 
 impl DataExchange for VmRelayExchange {
@@ -316,14 +527,14 @@ impl DataExchange for VmRelayExchange {
     }
 
     fn prepare(&self, ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
-        let already = self.state.lock().vm.is_some();
-        if already {
-            return Ok(());
-        }
         // Provisioning charges the profile's delay and opens the VM's
-        // billing + trace spans through the fleet.
-        let vm = self.fleet.provision(ctx, self.cfg.profile.clone());
-        self.state.lock().vm = Some(vm);
+        // billing + trace spans through the fleet. The boot runs in a
+        // provisioner process so that every concurrent caller — not
+        // just the first — waits on the *same* VM instead of racing to
+        // provision its own.
+        if let Some(pid) = self.shard.begin_provision(ctx, false) {
+            let _ = ctx.join(pid);
+        }
         Ok(())
     }
 
@@ -337,7 +548,9 @@ impl DataExchange for VmRelayExchange {
         let mut written = 0u64;
         for (j, data) in parts.into_iter().enumerate() {
             written += data.len() as u64;
-            with_retry(ctx, env.retries, |c| self.put_part(c, env, map, j, &data))?;
+            with_retry(ctx, env.retries, |c| {
+                self.shard.put_part(c, env, map, j, &data)
+            })?;
         }
         Ok(written)
     }
@@ -349,38 +562,15 @@ impl DataExchange for VmRelayExchange {
         map: usize,
         part: usize,
     ) -> Result<Bytes, ExchangeError> {
-        with_retry(ctx, env.retries, |c| self.get_part(c, env, map, part))
+        with_retry(ctx, env.retries, |c| self.shard.get_part(c, env, map, part))
     }
 
     fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        let _ = env;
-        ctx.sleep(self.cfg.request_latency);
-        let state = self.state.lock();
-        if state.crashed {
-            return Err(ExchangeError::RelayDown { op: "LIST" });
-        }
-        Ok(state
-            .objects
-            .keys()
-            .map(|(m, j)| format!("relay/{:05}/{:05}", m, j))
-            .collect())
+        self.shard.list_keys(ctx, env)
     }
 
     fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
-        let vm = {
-            let mut state = self.state.lock();
-            state.objects.clear();
-            state.mem_used = 0;
-            state.vm.take()
-        };
-        if let Some(vm) = vm {
-            // Billing stops here; unreleased (crashed mid-run) relays
-            // keep billing to the end checkpoint, like real forgotten VMs.
-            self.fleet.release(ctx, vm);
-        }
-        if self.trace.is_enabled() {
-            self.trace.gauge("relay.mem_bytes", ctx.now(), 0.0);
-        }
+        self.shard.shutdown(ctx);
         Ok(())
     }
 }
@@ -389,7 +579,6 @@ impl DataExchange for VmRelayExchange {
 mod tests {
     use super::*;
     use faaspipe_des::Sim;
-    use std::sync::Arc;
 
     fn driver_env() -> ExchangeEnv {
         ExchangeEnv::driver("test", 3)
@@ -429,6 +618,121 @@ mod tests {
         assert!(records[0].released.is_some(), "cleanup released it");
     }
 
+    /// Regression (lifecycle bug 1): two processes calling `prepare`
+    /// concurrently used to both observe `vm: None`, both provision,
+    /// and double-bill — one VM leaked unreleased. The in-flight guard
+    /// must make the second caller wait on the first boot.
+    #[test]
+    fn concurrent_prepares_provision_exactly_one_vm() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let ex = Arc::new(VmRelayExchange::new(fleet.clone(), RelayConfig::default()));
+        for name in ["worker-a", "worker-b"] {
+            let ex2 = Arc::clone(&ex);
+            sim.spawn(name, move |ctx| {
+                ex2.prepare(ctx, 2, 2).expect("prepare");
+                assert_eq!(
+                    ctx.now().as_secs_f64(),
+                    44.0,
+                    "both callers resume when the shared VM is ready"
+                );
+            });
+        }
+        sim.run().expect("sim ok");
+        assert_eq!(fleet.records().len(), 1, "exactly one VM provisioned");
+    }
+
+    /// Regression (lifecycle bug 2): `list` used to answer before
+    /// `prepare` (returning `Ok(vec![])` instead of `NotPrepared`) and
+    /// bypassed the request counter, so it could never trip
+    /// `crash_after_requests`. It must be metered like PUT/GET.
+    #[test]
+    fn list_requires_prepare_and_counts_toward_crash() {
+        let mut sim = Sim::new();
+        let cfg = RelayConfig {
+            crash_after_requests: Some(2),
+            ..RelayConfig::default()
+        };
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = driver_env();
+            let err = ex2.list(ctx, &env).expect_err("list before prepare");
+            assert_eq!(
+                err,
+                ExchangeError::NotPrepared {
+                    backend: "vm-relay"
+                }
+            );
+            ex2.prepare(ctx, 1, 1).expect("prepare");
+            ex2.write_partitions(ctx, &env, 0, vec![Bytes::from("x")])
+                .expect("request 1");
+            assert_eq!(ex2.list(ctx, &env).expect("request 2").len(), 1);
+            let err = ex2.list(ctx, &env).expect_err("request 3 trips the crash");
+            assert_eq!(err, ExchangeError::RelayDown { op: "LIST" });
+        });
+        sim.run().expect("sim ok");
+    }
+
+    /// Regression (lifecycle bug 3): failure paths in the request
+    /// overhead used to return before `ctx.sleep(request_latency)`, so
+    /// retry storms against a crashed (or never-prepared) relay cost
+    /// nothing in virtual time. A caller must pay the round-trip before
+    /// observing the failure.
+    #[test]
+    fn requests_against_a_dead_relay_still_pay_latency() {
+        let mut sim = Sim::new();
+        let cfg = RelayConfig {
+            crash_after_requests: Some(0),
+            ..RelayConfig::default()
+        };
+        let latency = cfg.request_latency.as_secs_f64();
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+        let unprepared = Arc::new(VmRelayExchange::new(VmFleet::new(), RelayConfig::default()));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 1);
+            ex2.prepare(ctx, 1, 1).expect("prepare");
+            let before = ctx.now();
+            let err = ex2
+                .read_partition(ctx, &env, 0, 0)
+                .expect_err("first request crashes the relay");
+            assert_eq!(err, ExchangeError::RelayDown { op: "GET" });
+            let paid = ctx.now().saturating_duration_since(before).as_secs_f64();
+            assert!(
+                (paid - latency).abs() < 1e-9,
+                "crashing request paid {}s, want the {}s round-trip",
+                paid,
+                latency
+            );
+            let before = ctx.now();
+            let err = ex2
+                .read_partition(ctx, &env, 0, 0)
+                .expect_err("relay stays down");
+            assert_eq!(err, ExchangeError::RelayDown { op: "GET" });
+            let paid = ctx.now().saturating_duration_since(before).as_secs_f64();
+            assert!(
+                (paid - latency).abs() < 1e-9,
+                "dead-relay request paid {}s, want {}s",
+                paid,
+                latency
+            );
+            // NotPrepared pays the round-trip too.
+            let before = ctx.now();
+            unprepared
+                .write_partitions(ctx, &env, 0, vec![Bytes::from("x")])
+                .expect_err("not prepared");
+            let paid = ctx.now().saturating_duration_since(before).as_secs_f64();
+            assert!(
+                (paid - latency).abs() < 1e-9,
+                "unprepared request paid {}s, want {}s",
+                paid,
+                latency
+            );
+        });
+        sim.run().expect("sim ok");
+    }
+
     #[test]
     fn over_capacity_objects_spill_to_disk_and_cost_more() {
         fn read_time(capacity: ByteSize) -> f64 {
@@ -464,6 +768,89 @@ mod tests {
             spilled,
             in_memory
         );
+    }
+
+    /// Overwrites must keep the memory ledger exact whichever side of
+    /// the spill boundary the old and new copies land on: a spilled
+    /// object's re-write cannot double-free memory it never held, and a
+    /// resident object's re-write frees its bytes before re-admitting.
+    #[test]
+    fn overwriting_a_spilled_object_keeps_accounting_exact() {
+        let mut sim = Sim::new();
+        let cfg = RelayConfig {
+            memory_capacity: ByteSize::new(100),
+            ..RelayConfig::default()
+        };
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = driver_env();
+            ex2.prepare(ctx, 1, 2).expect("prepare");
+            let put = |ctx: &mut Ctx, part: usize, len: usize| {
+                ex2.shard
+                    .put_part(ctx, &driver_env(), 0, part, &Bytes::from(vec![9u8; len]))
+                    .expect("put");
+            };
+            let _ = env;
+            put(ctx, 0, 100); // fills memory exactly
+            assert_eq!(ex2.shard.mem_used(), 100);
+            assert_eq!(ex2.shard.is_spilled(0, 0), Some(false));
+            put(ctx, 1, 80); // over capacity → disk
+            assert_eq!(ex2.shard.mem_used(), 100, "spill leaves memory untouched");
+            assert_eq!(ex2.shard.is_spilled(0, 1), Some(true));
+            put(ctx, 1, 80); // overwrite of the spilled copy
+            assert_eq!(ex2.shard.mem_used(), 100, "no double-free of spilled bytes");
+            assert_eq!(ex2.shard.is_spilled(0, 1), Some(true));
+            put(ctx, 0, 60); // resident overwrite shrinks the ledger
+            assert_eq!(ex2.shard.mem_used(), 60);
+            put(ctx, 1, 40); // now fits: the spilled key comes back resident
+            assert_eq!(ex2.shard.mem_used(), 100);
+            assert_eq!(ex2.shard.is_spilled(0, 1), Some(false));
+            assert_eq!(ex2.shard.object_count(), 2);
+        });
+        sim.run().expect("sim ok");
+    }
+
+    /// The `relay.mem_bytes` gauge must never exceed the configured
+    /// capacity (overwrites included) and must return to zero on
+    /// cleanup.
+    #[test]
+    fn mem_gauge_stays_within_capacity_and_resets_on_cleanup() {
+        let mut sim = Sim::new();
+        let capacity = 100u64;
+        let cfg = RelayConfig {
+            memory_capacity: ByteSize::new(capacity),
+            ..RelayConfig::default()
+        };
+        let sink = TraceSink::recording();
+        let ex = Arc::new(VmRelayExchange::new(VmFleet::new(), cfg).with_trace(sink.clone()));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = driver_env();
+            ex2.prepare(ctx, 2, 2).expect("prepare");
+            for round in 0..3usize {
+                for m in 0..2usize {
+                    let parts = vec![
+                        Bytes::from(vec![round as u8; 40]),
+                        Bytes::from(vec![round as u8; 35]),
+                    ];
+                    ex2.write_partitions(ctx, &env, m, parts).expect("write");
+                }
+            }
+            ex2.cleanup(ctx, &env).expect("cleanup");
+        });
+        sim.run().expect("sim ok");
+        let data = sink.snapshot();
+        let series = data.counter("relay.mem_bytes").expect("gauge recorded");
+        assert!(
+            series
+                .points
+                .iter()
+                .all(|&(_, v)| v >= 0.0 && v <= capacity as f64),
+            "gauge must stay within [0, capacity]: {:?}",
+            series.points
+        );
+        assert_eq!(series.last_value(), 0.0, "cleanup resets the gauge");
     }
 
     #[test]

@@ -29,6 +29,8 @@ use faaspipe_exchange::{
 use faaspipe_faas::FunctionPlatform;
 use faaspipe_store::ObjectStore;
 use faaspipe_trace::{Category, SpanId, TraceSink};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 use crate::error::ShuffleError;
 use crate::partitioner::RangePartitioner;
@@ -36,6 +38,15 @@ use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
 use crate::sampler::Reservoir;
 use crate::work::WorkModel;
+
+/// SplitMix64 finalizer — spreads small integers (mapper indices) into
+/// well-mixed rng seeds.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
 
 /// Configuration of one serverless sort run.
 #[derive(Debug, Clone)]
@@ -55,6 +66,14 @@ pub struct SortConfig {
     pub sample_capacity: usize,
     /// Bytes range-read from each input chunk when sampling.
     pub sample_bytes: u64,
+    /// Seed for the samplers' reservoir draws. Each mapper derives its
+    /// rng from this seed and its *logical* index — never from its
+    /// process id — so the partition boundaries are a pure function of
+    /// input data and configuration. That keeps sorted output
+    /// byte-identical across exchange backends even when a backend runs
+    /// helper processes (relay provisioners) that perturb process-id
+    /// allocation, and makes re-invoked sample tasks idempotent.
+    pub sample_seed: u64,
     /// Metrics/billing tag.
     pub tag: String,
     /// CPU-work calibration.
@@ -94,6 +113,7 @@ impl Default for SortConfig {
             part_prefix: "part/".to_string(),
             sample_capacity: 512,
             sample_bytes: 64 * 1024,
+            sample_seed: 0x5A3D_5EED,
             tag: "sort".to_string(),
             work: WorkModel::default(),
             retries: 3,
@@ -212,7 +232,10 @@ pub fn serverless_sort<R: SortRecord>(
     let cfg = Arc::new(cfg.clone());
     // The exchange backend carries all mapper→reducer intermediates.
     // Backing resources (the relay VM's provisioning delay, for one) are
-    // paid here, before any function is invoked.
+    // paid here, before any function is invoked — unless the backend
+    // pre-warms, in which case `prepare` returns immediately and the
+    // boot overlaps the sample phase below; the first map-phase request
+    // then blocks for whatever boot time the sampling didn't hide.
     let backend: Arc<dyn DataExchange> = match &cfg.backend {
         Some(b) => Arc::clone(b),
         None => Arc::new(ObjectStoreExchange::new(
@@ -256,6 +279,7 @@ pub fn serverless_sort<R: SortRecord>(
                 move |fctx, env| {
                     let client = store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
                     let mut reservoir = Reservoir::new(cfg.sample_capacity);
+                    let mut rng = SmallRng::seed_from_u64(cfg.sample_seed ^ splitmix(m as u64));
                     for (key, len) in assigned.iter() {
                         let span = cfg.sample_bytes.min(*len);
                         let span = span - span % R::WIRE_SIZE as u64;
@@ -270,7 +294,7 @@ pub fn serverless_sort<R: SortRecord>(
                             .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
                         env.compute(fctx, cfg.work.parse_time(data.len()));
                         for r in &records {
-                            reservoir.offer(r.key(), fctx.rng());
+                            reservoir.offer(r.key(), &mut rng);
                         }
                     }
                     samples.lock().extend(reservoir.into_items());

@@ -117,6 +117,19 @@ impl VmFleet {
     /// Provisions an instance, blocking the calling process for the
     /// profile's provisioning delay. Billing starts at the request.
     pub fn provision(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
+        self.provision_inner(ctx, profile, true)
+    }
+
+    /// Like [`VmFleet::provision`] — same delay, billing, and `VmTask`
+    /// span — but records no [`Category::ColdStart`] leaf, so the boot
+    /// does not claim the critical path. For capacity warmed in the
+    /// background while other work runs: the caller attributes the
+    /// *residual* wait it actually suffers at the point it blocks.
+    pub fn provision_prewarmed(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
+        self.provision_inner(ctx, profile, false)
+    }
+
+    fn provision_inner(&self, ctx: &Ctx, profile: VmProfile, on_critical_path: bool) -> VmInstance {
         let requested = ctx.now();
         let trace = self.inner.trace.lock().clone();
         let parent = trace.current(ctx.pid());
@@ -135,17 +148,19 @@ impl VmFleet {
                 requested,
             );
             trace.attr(task, "vcpus", profile.vcpus);
-            // The provisioning delay is the VM's cold start on the
-            // critical path.
-            let boot = trace.span_start(
-                Category::ColdStart,
-                "vm-provision",
-                "vm",
-                &lane,
-                task,
-                requested,
-            );
-            trace.span_end(boot, ready);
+            if on_critical_path {
+                // The provisioning delay is the VM's cold start on the
+                // critical path.
+                let boot = trace.span_start(
+                    Category::ColdStart,
+                    "vm-provision",
+                    "vm",
+                    &lane,
+                    task,
+                    requested,
+                );
+                trace.span_end(boot, ready);
+            }
             self.inner.open.lock().insert(id, task);
             let active = self.inner.active.fetch_add(1, Ordering::SeqCst) + 1;
             trace.gauge("vm.active", ready, active as f64);
@@ -285,6 +300,33 @@ mod tests {
         assert_eq!(boot.duration().unwrap(), SimDuration::from_secs(44));
         assert!(data.spans.iter().any(|s| s.category == Category::Compute));
         assert_eq!(sink.counter_value("vm.active"), 0.0);
+    }
+
+    #[test]
+    fn prewarmed_provision_bills_identically_without_a_cold_start_span() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let sink = TraceSink::recording();
+        fleet.set_trace_sink(sink.clone());
+        let f = fleet.clone();
+        sim.spawn("driver", move |ctx| {
+            let vm = f.provision_prewarmed(ctx, VmProfile::bx2_8x32());
+            assert_eq!(ctx.now().as_secs_f64(), 44.0, "same delay as provision");
+            f.release(ctx, vm);
+        });
+        sim.run().expect("run");
+        let rec = &fleet.records()[0];
+        assert_eq!(rec.requested.as_secs_f64(), 0.0);
+        assert_eq!(rec.ready.as_secs_f64(), 44.0, "billing is unchanged");
+        let data = sink.snapshot();
+        assert!(
+            data.spans.iter().any(|s| s.category == Category::VmTask),
+            "the task span is still recorded"
+        );
+        assert!(
+            !data.spans.iter().any(|s| s.category == Category::ColdStart),
+            "a background boot must not claim the critical path"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceD
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct] [--trace-out <trace.json>]
+  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]] [--trace-out <trace.json>]
   faaspipe run <spec.json> [--records N] [--seed S] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>

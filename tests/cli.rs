@@ -212,6 +212,32 @@ fn table1_accepts_an_exchange_backend() {
 }
 
 #[test]
+fn table1_accepts_a_parameterized_sharded_exchange() {
+    let out = bin()
+        .args([
+            "table1",
+            "--records",
+            "4000",
+            "--exchange",
+            "sharded_relay:2:prewarm",
+        ])
+        .output()
+        .expect("table1");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Purely"));
+
+    let out = bin()
+        .args(["table1", "--exchange", "sharded_relay:0"])
+        .output()
+        .expect("table1");
+    assert!(!out.status.success(), "zero shards must be rejected");
+}
+
+#[test]
 fn run_executes_a_spec_with_a_direct_exchange() {
     let spec = tmp("spec-direct.json");
     std::fs::write(

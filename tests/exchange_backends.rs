@@ -1,5 +1,5 @@
-//! Cross-backend properties of the data-exchange subsystem: all four
-//! exchange backends must produce byte-identical sorted output for the
+//! Cross-backend properties of the data-exchange subsystem: every
+//! exchange backend must produce byte-identical sorted output for the
 //! same input, and every backend must be trace-deterministic — two runs
 //! with the same seed export byte-identical traces.
 
@@ -11,14 +11,15 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
-use faaspipe::des::Sim;
+use faaspipe::des::{Money, Sim};
 use faaspipe::exchange::{
-    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, VmRelayExchange,
+    DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, ShardedRelayConfig,
+    ShardedRelayExchange, VmRelayExchange,
 };
 use faaspipe::faas::{FaasConfig, FunctionPlatform};
 use faaspipe::shuffle::{serverless_sort, SortConfig, SortRecord};
 use faaspipe::store::{ObjectStore, StoreConfig};
-use faaspipe::trace::{chrome_trace_json, counters_csv};
+use faaspipe::trace::{chrome_trace_json, counters_csv, Category};
 use faaspipe::vm::VmFleet;
 
 /// Runs the serverless sort through `kind` and returns the raw bytes of
@@ -45,6 +46,16 @@ fn run_bytes(kind: ExchangeKind, values: &[u64], chunks: usize, workers: usize) 
             RelayConfig::default(),
         ))),
         ExchangeKind::Direct => Some(Arc::new(DirectExchange::new(DirectConfig::default()))),
+        ExchangeKind::ShardedRelay { shards, prewarm } => {
+            Some(Arc::new(ShardedRelayExchange::new(
+                VmFleet::new(),
+                ShardedRelayConfig {
+                    relay: RelayConfig::default(),
+                    shards,
+                    prewarm,
+                },
+            )))
+        }
     };
     let out: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
     let out2 = Arc::clone(&out);
@@ -70,9 +81,10 @@ fn run_bytes(kind: ExchangeKind, values: &[u64], chunks: usize, workers: usize) 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// For any input, chunking, and worker count, all four backends
-    /// produce byte-identical sorted-run objects: the exchange is a pure
-    /// transport, never a transform.
+    /// For any input, chunking, and worker count, every backend —
+    /// sharded relays included, warm or cold — produces byte-identical
+    /// sorted-run objects: the exchange is a pure transport, never a
+    /// transform.
     #[test]
     fn all_backends_produce_byte_identical_sorted_output(
         values in vec(any::<u64>(), 1..2_000),
@@ -87,7 +99,13 @@ proptest! {
             .flat_map(|b| <u64 as SortRecord>::read_all(b).expect("decode"))
             .collect();
         prop_assert_eq!(&decoded, &expect, "scatter output is a sorted permutation");
-        for kind in [ExchangeKind::Coalesced, ExchangeKind::VmRelay, ExchangeKind::Direct] {
+        for kind in [
+            ExchangeKind::Coalesced,
+            ExchangeKind::VmRelay,
+            ExchangeKind::Direct,
+            ExchangeKind::ShardedRelay { shards: 3, prewarm: false },
+            ExchangeKind::ShardedRelay { shards: 2, prewarm: true },
+        ] {
             let got = run_bytes(kind, &values, chunks, workers);
             prop_assert_eq!(
                 &got,
@@ -100,10 +118,21 @@ proptest! {
 }
 
 /// Two identically-seeded pipeline runs must export byte-identical
-/// traces, whichever exchange backend carries the shuffle.
+/// traces, whichever exchange backend carries the shuffle — the sharded
+/// fleet's hashed routing and background boots included.
 #[test]
 fn same_seed_runs_are_trace_deterministic_for_every_backend() {
-    for kind in ExchangeKind::ALL {
+    let kinds = ExchangeKind::ALL.into_iter().chain([
+        ExchangeKind::ShardedRelay {
+            shards: 4,
+            prewarm: false,
+        },
+        ExchangeKind::ShardedRelay {
+            shards: 4,
+            prewarm: true,
+        },
+    ]);
+    for kind in kinds {
         let traced = || {
             let mut cfg = PipelineConfig::paper_table1();
             cfg.mode = PipelineMode::PureServerless;
@@ -130,4 +159,42 @@ fn same_seed_runs_are_trace_deterministic_for_every_backend() {
         assert_eq!(a.latency, b.latency, "{}: same-seed latency", kind);
         assert_eq!(a.cost.total(), b.cost.total(), "{}: same-seed cost", kind);
     }
+}
+
+/// An end-to-end sharded run provisions (and bills) one VM per shard,
+/// and a pre-warmed run is strictly faster than a cold one of the same
+/// shape — the boot overlaps the sample phase instead of serializing in
+/// front of it.
+#[test]
+fn sharded_pipeline_bills_every_shard_and_prewarm_is_faster() {
+    let run = |prewarm: bool| {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = PipelineMode::PureServerless;
+        cfg.physical_records = 15_000;
+        cfg.exchange = ExchangeKind::ShardedRelay { shards: 2, prewarm };
+        cfg.trace = true;
+        run_methcomp_pipeline(&cfg).expect("pipeline ok")
+    };
+    let cold = run(false);
+    let warm = run(true);
+    assert!(cold.verified && warm.verified, "both runs verify");
+    for outcome in [&cold, &warm] {
+        let vms = outcome
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.category == Category::VmTask)
+            .count();
+        assert_eq!(vms, 2, "one VM task (and billing span) per shard");
+    }
+    assert!(
+        warm.cost.vm > Money::ZERO,
+        "shard VM seconds land in the cost report"
+    );
+    assert!(
+        warm.latency < cold.latency,
+        "prewarm must hide boot time: warm {:?} vs cold {:?}",
+        warm.latency,
+        cold.latency
+    );
 }

@@ -1,0 +1,80 @@
+//! BENCH_sim — wall-clock cost of the simulator itself.
+//!
+//! Times (host wall clock, not virtual time) a small fixed batch of
+//! pipeline runs shaped like the E15 `--quick` smoke: both object-store
+//! exchange layouts at two worker counts, traced, with the default I/O
+//! window. Writes `results/BENCH_sim.json` so successive commits can be
+//! compared for simulator-performance regressions.
+//!
+//! Numbers are host-dependent by construction; CI runs this step
+//! non-gating and only archives the artifact.
+//!
+//! ```text
+//! cargo run --release -p faaspipe-bench --bin bench_sim_wallclock
+//! ```
+
+use std::time::Instant;
+
+use faaspipe_bench::write_json;
+use faaspipe_core::dag::WorkerChoice;
+use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_shuffle::ExchangeKind;
+
+struct Row {
+    backend: String,
+    workers: usize,
+    records: usize,
+    wall_ms: f64,
+    sim_latency_s: f64,
+    spans: usize,
+}
+
+faaspipe_json::json_object! {
+    Row {
+        req backend,
+        req workers,
+        req records,
+        req wall_ms,
+        req sim_latency_s,
+        req spans,
+    }
+}
+
+const RECORDS: usize = 8_000;
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    println!("simulator wall-clock (host time per traced pipeline run):");
+    println!(
+        "{:<10} {:>3}  {:>9}  {:>12}  {:>7}",
+        "backend", "W", "wall", "sim-latency", "spans"
+    );
+    for backend in [ExchangeKind::Scatter, ExchangeKind::Coalesced] {
+        for workers in [4usize, 8] {
+            let mut cfg = PipelineConfig::paper_table1();
+            cfg.mode = PipelineMode::PureServerless;
+            cfg.physical_records = RECORDS;
+            cfg.workers = WorkerChoice::Fixed(workers);
+            cfg.exchange = backend;
+            cfg.trace = true;
+            let start = Instant::now();
+            let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+            let wall = start.elapsed();
+            assert!(outcome.verified, "{} W={} must verify", backend, workers);
+            let row = Row {
+                backend: backend.to_string(),
+                workers,
+                records: RECORDS,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                sim_latency_s: outcome.latency.as_secs_f64(),
+                spans: outcome.trace.spans.len(),
+            };
+            println!(
+                "{:<10} {:>3}  {:>7.0}ms  {:>11.2}s  {:>7}",
+                row.backend, row.workers, row.wall_ms, row.sim_latency_s, row.spans
+            );
+            rows.push(row);
+        }
+    }
+    write_json("BENCH_sim", &rows);
+}

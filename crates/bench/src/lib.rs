@@ -19,6 +19,8 @@
 //! | `repro_codec_pipeline` | E13 — codec choice at pipeline level (ablation) |
 //! | `repro_exchange_backends` | E15 — exchange backends: object storage vs VM relay vs direct |
 //! | `repro_relay_sharding` | E16 — sharded relay fleet: W × shards frontier, cold vs pre-warmed |
+//! | `repro_io_concurrency` | E17 — intra-function parallel I/O: makespan vs the per-function I/O window |
+//! | `bench_sim_wallclock` | BENCH_sim — host wall-clock cost of the simulator itself (non-gating) |
 //!
 //! Every binary prints a human-readable table and writes the raw rows as
 //! JSON under `results/` (created on demand) so EXPERIMENTS.md can cite

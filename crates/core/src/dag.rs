@@ -44,6 +44,10 @@ pub enum StageKind {
         /// (scatter vs Primula's coalesced), a VM relay, or direct
         /// function-to-function streaming.
         exchange: ExchangeKind,
+        /// Per-function I/O window for store reads and exchange
+        /// transfers (`None` = the executor's default). `Some(1)`
+        /// reproduces the historical strictly-sequential data plane.
+        io_concurrency: Option<usize>,
         /// Input prefix of binary record chunks.
         input: String,
         /// Output prefix for sorted runs.
@@ -231,12 +235,16 @@ fn validate_kind(name: &str, kind: &StageKind) -> Result<(), DagError> {
     match kind {
         StageKind::ShuffleSort {
             workers,
+            io_concurrency,
             input,
             output,
             ..
         } => {
             if matches!(workers, WorkerChoice::Fixed(0)) {
                 return Err(bad("zero workers"));
+            }
+            if *io_concurrency == Some(0) {
+                return Err(bad("zero io_concurrency"));
             }
             if input.is_empty() || output.is_empty() {
                 return Err(bad("empty prefix"));
@@ -294,6 +302,7 @@ mod tests {
         StageKind::ShuffleSort {
             workers: WorkerChoice::Fixed(8),
             exchange: ExchangeKind::Scatter,
+            io_concurrency: None,
             input: "in/".into(),
             output: "sorted/".into(),
         }
@@ -355,6 +364,7 @@ mod tests {
                 StageKind::ShuffleSort {
                     workers: WorkerChoice::Fixed(0),
                     exchange: ExchangeKind::Scatter,
+                    io_concurrency: None,
                     input: "in/".into(),
                     output: "out/".into(),
                 },

@@ -105,6 +105,10 @@ pub struct Executor {
     pub tracker: Tracker,
     /// Upper bound the autotuner may pick.
     pub max_autotune_workers: usize,
+    /// Default per-function I/O window for shuffle stages that don't
+    /// pin one (`StageKind::ShuffleSort::io_concurrency`). `1` is the
+    /// historical strictly-sequential data plane.
+    pub io_concurrency: usize,
     /// Lithops-style driver orchestration overhead per execution phase
     /// (job serialization + upload, invoke fan-out, COS future polling).
     /// Unbilled, but on the critical path.
@@ -119,8 +123,17 @@ impl Executor {
             work,
             tracker,
             max_autotune_workers: 64,
+            io_concurrency: SortConfig::default().io_concurrency,
             orchestration: SimDuration::from_millis(8_000),
         }
+    }
+
+    /// Sets the default shuffle I/O window (see
+    /// [`Executor::io_concurrency`]).
+    #[must_use]
+    pub fn with_io_concurrency(mut self, io_concurrency: usize) -> Executor {
+        self.io_concurrency = io_concurrency.max(1);
+        self
     }
 
     /// Spawns the workflow's driver processes into `sim`. Run the sim to
@@ -226,9 +239,19 @@ impl Executor {
             StageKind::ShuffleSort {
                 workers,
                 exchange,
+                io_concurrency,
                 input,
                 output,
-            } => self.exec_shuffle(ctx, bucket, &stage.name, *workers, *exchange, input, output),
+            } => self.exec_shuffle(
+                ctx,
+                bucket,
+                &stage.name,
+                *workers,
+                *exchange,
+                io_concurrency.unwrap_or(self.io_concurrency),
+                input,
+                output,
+            ),
             StageKind::VmSort {
                 profile,
                 runs,
@@ -397,6 +420,7 @@ impl Executor {
     }
 
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn exec_shuffle(
         &self,
         ctx: &mut Ctx,
@@ -404,6 +428,7 @@ impl Executor {
         stage: &str,
         choice: WorkerChoice,
         exchange: ExchangeKind,
+        io_concurrency: usize,
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
@@ -470,6 +495,7 @@ impl Executor {
             exchange: exchange.layout(),
             backend: self.exchange_backend(exchange),
             task_attempts: 2,
+            io_concurrency: io_concurrency.max(1),
             manifest_key: None,
         };
         let stats =
@@ -628,6 +654,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
                 exchange: ExchangeKind::Scatter,
+                io_concurrency: None,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -700,6 +727,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Auto,
                 exchange: ExchangeKind::Coalesced,
+                io_concurrency: None,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -725,6 +753,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
                 exchange: ExchangeKind::Coalesced,
+                io_concurrency: None,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -781,6 +810,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(4),
                 exchange: ExchangeKind::Coalesced,
+                io_concurrency: None,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },
@@ -848,6 +878,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(2),
                 exchange: ExchangeKind::Scatter,
+                io_concurrency: None,
                 input: "missing/".into(), // no such inputs
                 output: "sorted/".into(),
             },
@@ -883,6 +914,7 @@ mod tests {
             StageKind::ShuffleSort {
                 workers: WorkerChoice::Fixed(2),
                 exchange: ExchangeKind::Coalesced,
+                io_concurrency: None,
                 input: "in/".into(),
                 output: "sorted/".into(),
             },

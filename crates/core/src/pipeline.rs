@@ -23,7 +23,7 @@ use faaspipe_faas::{FaasConfig, FunctionPlatform};
 use faaspipe_methcomp::codec as mc_codec;
 use faaspipe_methcomp::synth::Synthesizer;
 use faaspipe_methcomp::MethRecord;
-use faaspipe_shuffle::{SortRecord, WorkModel};
+use faaspipe_shuffle::{SortConfig, SortRecord, WorkModel};
 use faaspipe_store::{ObjectStore, StoreConfig};
 use faaspipe_trace::{Category, SpanId, TraceData, TraceSink};
 use faaspipe_vm::{VmFleet, VmProfile};
@@ -83,6 +83,10 @@ pub struct PipelineConfig {
     /// (object-store scatter/coalesced, VM relay, sharded relay fleet —
     /// optionally pre-warmed — or direct streaming).
     pub exchange: ExchangeKind,
+    /// Per-function I/O window for the serverless shuffle: how many
+    /// store reads / exchange transfers each function keeps in flight.
+    /// `1` reproduces the historical strictly-sequential data plane.
+    pub io_concurrency: usize,
     /// Codec for the encode stage (METHCOMP, or the gzip-class baseline
     /// for the end-to-end codec comparison).
     pub encode_codec: EncodeCodec,
@@ -110,6 +114,7 @@ impl PipelineConfig {
             pricing: PriceBook::default(),
             verify: true,
             exchange: ExchangeKind::Scatter,
+            io_concurrency: SortConfig::default().io_concurrency,
             encode_codec: EncodeCodec::Methcomp,
             trace: false,
         }
@@ -271,6 +276,7 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         PipelineMode::PureServerless => StageKind::ShuffleSort {
             workers: cfg.workers,
             exchange: cfg.exchange,
+            io_concurrency: Some(cfg.io_concurrency.max(1)),
             input: "in/".into(),
             output: "sorted/".into(),
         },

@@ -93,6 +93,10 @@ pub struct StageSpec {
     /// (Pocket-style in-memory relay VM), or `"direct"`
     /// (function-to-function streaming).
     pub exchange: Option<String>,
+    /// Per-function I/O window for `shuffle_sort` (how many store
+    /// reads / exchange transfers each function keeps in flight).
+    /// Omitted = the executor's default; `1` = strictly sequential.
+    pub io_concurrency: Option<usize>,
     /// Input prefix.
     pub input: String,
     /// Output prefix.
@@ -110,6 +114,7 @@ faaspipe_json::json_object! {
         opt profile,
         opt runs,
         opt exchange,
+        opt io_concurrency,
         req input,
         req output,
         opt deps,
@@ -207,6 +212,7 @@ impl PipelineSpec {
                             .map(WorkerChoice::from)
                             .unwrap_or(WorkerChoice::Auto),
                         exchange,
+                        io_concurrency: s.io_concurrency,
                         input: s.input.clone(),
                         output: s.output.clone(),
                     }
@@ -320,6 +326,29 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn io_concurrency_field_parses_and_roundtrips() {
+        let json = GOOD.replace(
+            "\"kind\": \"shuffle_sort\",",
+            "\"kind\": \"shuffle_sort\", \"io_concurrency\": 8,",
+        );
+        let spec = PipelineSpec::from_json(&json).expect("parse");
+        assert_eq!(spec.stages[0].io_concurrency, Some(8));
+        let dag = spec.to_dag().expect("dag");
+        assert!(matches!(
+            dag.stages()[0].kind,
+            StageKind::ShuffleSort {
+                io_concurrency: Some(8),
+                ..
+            }
+        ));
+        // Omitted in the original spec: defers to the executor default.
+        let spec = PipelineSpec::from_json(GOOD).expect("parse");
+        assert_eq!(spec.stages[0].io_concurrency, None);
+        let reparsed = PipelineSpec::from_json(&spec.to_json()).expect("roundtrip");
+        assert_eq!(reparsed.stages[0].io_concurrency, None);
     }
 
     #[test]

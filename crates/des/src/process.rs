@@ -291,6 +291,65 @@ impl Ctx {
         }
     }
 
+    /// Runs `jobs` with at most `window` of them in flight, then returns
+    /// their results in job order.
+    ///
+    /// Spawns `min(window, jobs.len())` worker processes — not one per
+    /// job, so a thousand-job fan-out costs `window` OS threads, never a
+    /// thousand — that greedily pull jobs off a shared queue in job
+    /// order: the moment a worker finishes one job it starts the next,
+    /// so the virtual-time schedule is the same greedy one a
+    /// semaphore-per-job design yields. Workers are spawned in job-queue
+    /// order (deterministic pid assignment) and named `"{name}#{w}"`.
+    ///
+    /// A window of `0` is treated as `1`.
+    ///
+    /// # Errors
+    /// Returns the first [`JoinError`] if any job panicked. A panic
+    /// kills the worker that ran the job — queued jobs that worker would
+    /// have pulled later may never run — but sibling workers keep
+    /// draining the queue and every worker is awaited, so the fan-out
+    /// itself never deadlocks.
+    pub fn fan_out<T, F>(
+        &self,
+        name: &str,
+        window: usize,
+        jobs: Vec<F>,
+    ) -> Result<Vec<T>, JoinError>
+    where
+        T: Send + 'static,
+        F: FnOnce(&mut Ctx) -> T + Send + 'static,
+    {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = jobs.len();
+        let workers = window.max(1).min(total);
+        let queue: Arc<std::sync::Mutex<std::collections::VecDeque<(usize, F)>>> = Arc::new(
+            std::sync::Mutex::new(jobs.into_iter().enumerate().collect()),
+        );
+        let results: Arc<std::sync::Mutex<Vec<Option<T>>>> =
+            Arc::new(std::sync::Mutex::new((0..total).map(|_| None).collect()));
+        let mut pids = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queue = Arc::clone(&queue);
+            let slot = Arc::clone(&results);
+            let pid = self.spawn(format!("{}#{}", name, w), move |cctx| loop {
+                let next = queue.lock().expect("fan_out queue").pop_front();
+                let Some((i, job)) = next else { break };
+                let value = job(cctx);
+                slot.lock().expect("fan_out slot")[i] = Some(value);
+            });
+            pids.push(pid);
+        }
+        self.join_all(&pids)?;
+        let mut slots = results.lock().expect("fan_out results");
+        Ok(slots
+            .iter_mut()
+            .map(|s| s.take().expect("fan_out job finished without a result"))
+            .collect())
+    }
+
     pub(crate) fn resume_rx_recv(&self) -> Option<ResumeMsg> {
         self.resume_rx.recv().ok()
     }

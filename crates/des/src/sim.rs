@@ -842,4 +842,91 @@ mod tests {
         assert_eq!(counter.load(Ordering::SeqCst), 200);
         assert_eq!(report.processes, 200);
     }
+
+    #[test]
+    fn fan_out_returns_results_in_job_order() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            let jobs: Vec<_> = (0..6u64)
+                .map(|i| {
+                    move |cctx: &mut Ctx| {
+                        // Later jobs finish earlier; order must still hold.
+                        cctx.sleep(SimDuration::from_millis(60 - 10 * i));
+                        i * 2
+                    }
+                })
+                .collect();
+            let out = ctx.fan_out("job", 6, jobs).expect("fan_out ok");
+            assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        });
+        sim.run().expect("run");
+    }
+
+    #[test]
+    fn fan_out_window_bounds_concurrency() {
+        // 4 one-second jobs through a window of 2 take exactly 2 s, and
+        // never more than 2 run at once.
+        let inflight = Arc::new(Mutex::new((0u32, 0u32))); // (current, peak)
+        let mut sim = Sim::new();
+        let inflight2 = Arc::clone(&inflight);
+        sim.spawn("parent", move |ctx| {
+            let jobs: Vec<_> = (0..4)
+                .map(|_| {
+                    let inflight = Arc::clone(&inflight2);
+                    move |cctx: &mut Ctx| {
+                        {
+                            let mut g = inflight.lock().unwrap();
+                            g.0 += 1;
+                            g.1 = g.1.max(g.0);
+                        }
+                        cctx.sleep(SimDuration::from_secs(1));
+                        inflight.lock().unwrap().0 -= 1;
+                    }
+                })
+                .collect();
+            ctx.fan_out("bounded", 2, jobs).expect("fan_out ok");
+            assert_eq!(ctx.now().as_secs_f64(), 2.0, "2 waves of 2 jobs");
+        });
+        sim.run().expect("run");
+        assert_eq!(inflight.lock().unwrap().1, 2, "window caps concurrency");
+    }
+
+    #[test]
+    fn fan_out_panic_surfaces_without_deadlocking_siblings() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            // Worker 0 pulls the panicking job and dies; worker 1 keeps
+            // draining the queue, so the surviving job still runs and
+            // the fan-out returns (first error) instead of hanging.
+            type BoxedJob = Box<dyn FnOnce(&mut Ctx) -> u32 + Send>;
+            let jobs: Vec<BoxedJob> = vec![
+                Box::new(|_: &mut Ctx| panic!("job zero failed")),
+                Box::new(|cctx: &mut Ctx| {
+                    cctx.sleep(SimDuration::from_millis(5));
+                    7
+                }),
+            ];
+            let err = ctx.fan_out("mixed", 2, jobs).expect_err("panic surfaces");
+            assert_eq!(err.process, "mixed#0");
+            assert!(err.message.contains("job zero failed"));
+            assert!(
+                ctx.now().as_secs_f64() >= 0.005,
+                "sibling still ran to completion"
+            );
+        });
+        sim.run().expect("observed panic is not a sim error");
+    }
+
+    #[test]
+    fn fan_out_empty_and_zero_window() {
+        let mut sim = Sim::new();
+        sim.spawn("parent", |ctx| {
+            let none: Vec<fn(&mut Ctx) -> u8> = Vec::new();
+            assert_eq!(ctx.fan_out("empty", 4, none).expect("empty ok"), vec![]);
+            // Window 0 is clamped to 1 rather than deadlocking.
+            let jobs: Vec<_> = (0..2u8).map(|i| move |_: &mut Ctx| i).collect();
+            assert_eq!(ctx.fan_out("clamped", 0, jobs).expect("ok"), vec![0, 1]);
+        });
+        sim.run().expect("run");
+    }
 }

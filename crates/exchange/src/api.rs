@@ -167,16 +167,24 @@ pub struct ExchangeEnv {
     /// Attempts per exchange request (fed to
     /// [`with_retry`](crate::with_retry)).
     pub retries: u32,
+    /// Maximum concurrent in-flight requests a batched exchange call
+    /// ([`DataExchange::read_partitions`], and the batched write paths)
+    /// may keep open at once. `1` (the historical behavior) means
+    /// strictly sequential requests on the caller's process — backends
+    /// must not spawn helpers in that case so request ordering and rng
+    /// draws are bit-identical to the pre-windowed code.
+    pub io_window: usize,
 }
 
 impl ExchangeEnv {
     /// An env for driver-side calls (no NIC, a bare tag, `retries`
-    /// attempts).
+    /// attempts, sequential I/O).
     pub fn driver(tag: impl Into<String>, retries: u32) -> ExchangeEnv {
         ExchangeEnv {
             host_links: Vec::new(),
             tag: tag.into(),
             retries,
+            io_window: 1,
         }
     }
 }
@@ -225,6 +233,25 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         map: usize,
         part: usize,
     ) -> Result<Bytes, ExchangeError>;
+
+    /// Fetches a batch of partitions, `reqs[i] = (map, part)`, returning
+    /// the payloads in request order.
+    ///
+    /// The default implementation is today's sequential loop. Backends
+    /// override it to keep up to `env.io_window` requests in flight
+    /// concurrently (sharing the caller's NIC links); with
+    /// `env.io_window <= 1` every implementation must fall back to the
+    /// exact sequential behavior.
+    fn read_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        reqs: &[(usize, usize)],
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        reqs.iter()
+            .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+            .collect()
+    }
 
     /// Lists the exchange's current intermediate objects (diagnostic).
     fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError>;
@@ -323,5 +350,6 @@ mod tests {
         assert!(env.host_links.is_empty());
         assert_eq!(env.tag, "sort/driver");
         assert_eq!(env.retries, 3);
+        assert_eq!(env.io_window, 1, "driver calls stay sequential");
     }
 }

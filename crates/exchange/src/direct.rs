@@ -83,16 +83,24 @@ struct DirectState {
 /// [`ExchangeError::PeerGone`]. That fragility is exactly the trade-off
 /// the Bauplan-style zero-copy argument makes.
 pub struct DirectExchange {
-    cfg: DirectConfig,
+    core: DirectCore,
+}
+
+/// The shareable innards of [`DirectExchange`]: cloning is cheap and
+/// shares the rendezvous table, so the windowed read path can hand a
+/// clone to each fan-out child.
+#[derive(Clone)]
+struct DirectCore {
+    cfg: std::sync::Arc<DirectConfig>,
     trace: TraceSink,
-    state: Mutex<DirectState>,
+    state: std::sync::Arc<Mutex<DirectState>>,
 }
 
 impl std::fmt::Debug for DirectExchange {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = self.state.lock();
+        let state = self.core.state.lock();
         f.debug_struct("DirectExchange")
-            .field("cfg", &self.cfg)
+            .field("cfg", &self.core.cfg)
             .field("parts", &state.parts.len())
             .field("buffered", &state.buffered)
             .finish()
@@ -103,18 +111,22 @@ impl DirectExchange {
     /// Creates a direct-streaming backend.
     pub fn new(cfg: DirectConfig) -> DirectExchange {
         DirectExchange {
-            cfg,
-            trace: TraceSink::default(),
-            state: Mutex::new(DirectState::default()),
+            core: DirectCore {
+                cfg: std::sync::Arc::new(cfg),
+                trace: TraceSink::default(),
+                state: std::sync::Arc::new(Mutex::new(DirectState::default())),
+            },
         }
     }
 
     /// Routes the backend's spans and gauges to `sink`.
     pub fn with_trace(mut self, sink: TraceSink) -> Self {
-        self.trace = sink;
+        self.core.trace = sink;
         self
     }
+}
 
+impl DirectCore {
     fn scaled(&self, real_len: usize) -> u64 {
         (real_len as f64 * self.cfg.size_scale).round() as u64
     }
@@ -227,7 +239,7 @@ impl DataExchange for DirectExchange {
     }
 
     fn prepare(&self, _ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
-        let mut state = self.state.lock();
+        let mut state = self.core.state.lock();
         state.parts.clear();
         state.buffered = 0;
         Ok(())
@@ -241,17 +253,20 @@ impl DataExchange for DirectExchange {
         parts: Vec<Bytes>,
     ) -> Result<u64, ExchangeError> {
         // Registration is one cheap rendezvous call: the data itself
-        // stays in the sender's memory, so no bytes move here.
-        let span = self.span_begin(ctx, "REGISTER", &env.tag, map, parts.len());
-        ctx.sleep(self.cfg.handshake);
+        // stays in the sender's memory, so no bytes move here (and
+        // there is nothing to parallelize — `io_window` is moot).
+        let span = self
+            .core
+            .span_begin(ctx, "REGISTER", &env.tag, map, parts.len());
+        ctx.sleep(self.core.cfg.handshake);
         let sender_nic = env.host_links.first().copied();
         let now = ctx.now();
         let mut written = 0u64;
         {
-            let mut state = self.state.lock();
+            let mut state = self.core.state.lock();
             for (j, data) in parts.into_iter().enumerate() {
                 written += data.len() as u64;
-                let wire = self.scaled(data.len());
+                let wire = self.core.scaled(data.len());
                 // Idempotent overwrite for re-invoked mappers.
                 if let Some(old) = state.parts.remove(&(map, j)) {
                     state.buffered -= old.wire;
@@ -267,12 +282,13 @@ impl DataExchange for DirectExchange {
                     },
                 );
             }
-            if self.trace.is_enabled() {
-                self.trace
+            if self.core.trace.is_enabled() {
+                self.core
+                    .trace
                     .gauge("direct.buffered_bytes", now, state.buffered as f64);
             }
         }
-        self.span_end(ctx, span, written, false);
+        self.core.span_end(ctx, span, written, false);
         Ok(written)
     }
 
@@ -283,12 +299,51 @@ impl DataExchange for DirectExchange {
         map: usize,
         part: usize,
     ) -> Result<Bytes, ExchangeError> {
-        with_retry(ctx, env.retries, |c| self.stream_part(c, env, map, part))
+        with_retry(ctx, env.retries, |c| {
+            self.core.stream_part(c, env, map, part)
+        })
+    }
+
+    fn read_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        reqs: &[(usize, usize)],
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        if env.io_window <= 1 || reqs.len() <= 1 {
+            return reqs
+                .iter()
+                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .collect();
+        }
+        let trace = self.core.trace.clone();
+        let parent = trace.current(ctx.pid());
+        let jobs: Vec<_> = reqs
+            .iter()
+            .map(|&(map, part)| {
+                let core = self.core.clone();
+                let env = env.clone();
+                let trace = trace.clone();
+                move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
+                    trace.enter(cctx.pid(), parent);
+                    let res =
+                        with_retry(cctx, env.retries, |c| core.stream_part(c, &env, map, part));
+                    trace.exit(cctx.pid());
+                    res
+                }
+            })
+            .collect();
+        let name = format!("{}-get", env.tag);
+        ctx.fan_out(&name, env.io_window, jobs)
+            .unwrap_or_else(|e| panic!("windowed direct read crashed: {}", e))
+            .into_iter()
+            .collect()
     }
 
     fn list(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        ctx.sleep(self.cfg.handshake);
+        ctx.sleep(self.core.cfg.handshake);
         Ok(self
+            .core
             .state
             .lock()
             .parts
@@ -298,11 +353,13 @@ impl DataExchange for DirectExchange {
     }
 
     fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
-        let mut state = self.state.lock();
+        let mut state = self.core.state.lock();
         state.parts.clear();
         state.buffered = 0;
-        if self.trace.is_enabled() {
-            self.trace.gauge("direct.buffered_bytes", ctx.now(), 0.0);
+        if self.core.trace.is_enabled() {
+            self.core
+                .trace
+                .gauge("direct.buffered_bytes", ctx.now(), 0.0);
         }
         Ok(())
     }

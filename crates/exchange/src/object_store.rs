@@ -64,6 +64,64 @@ impl ObjectStoreExchange {
     fn coalesced_key(&self, map: usize) -> String {
         format!("{}{:05}", self.prefix, map)
     }
+
+    /// Runs one store request per fetch plan in child processes, at most
+    /// `env.io_window` in flight, each on its own store connection (so
+    /// aggregate throughput scales with the window until the caller's
+    /// NIC or the store's aggregate cap saturates). Results come back in
+    /// plan order.
+    fn fetch_windowed(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        plans: Vec<Fetch>,
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        let trace = self.store.trace_sink();
+        let parent = trace.current(ctx.pid());
+        let jobs: Vec<_> = plans
+            .into_iter()
+            .map(|plan| {
+                let store = Arc::clone(&self.store);
+                let bucket = self.bucket.clone();
+                let tag = env.tag.clone();
+                let links = env.host_links.clone();
+                let retries = env.retries;
+                let trace = trace.clone();
+                move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
+                    trace.enter(cctx.pid(), parent);
+                    let client = store.connect_via(cctx, tag, &links);
+                    let res = match plan {
+                        Fetch::Empty => Ok(Bytes::new()),
+                        Fetch::Get(key) => {
+                            with_retry(cctx, retries, |c| client.get(c, &bucket, &key))
+                                .map_err(ExchangeError::from)
+                        }
+                        Fetch::Range(key, off, len) => with_retry(cctx, retries, |c| {
+                            client.get_range(c, &bucket, &key, off, len)
+                        })
+                        .map_err(ExchangeError::from),
+                    };
+                    trace.exit(cctx.pid());
+                    res
+                }
+            })
+            .collect();
+        let name = format!("{}-get", env.tag);
+        let results = ctx
+            .fan_out(&name, env.io_window, jobs)
+            .unwrap_or_else(|e| panic!("windowed store read crashed: {}", e));
+        results.into_iter().collect()
+    }
+}
+
+/// A resolved read plan for one `(map, part)` request.
+enum Fetch {
+    /// Whole-object GET (scatter layout).
+    Get(String),
+    /// Byte-range GET (coalesced layout).
+    Range(String, u64, u64),
+    /// Zero-length coalesced partition: no request at all.
+    Empty,
 }
 
 impl DataExchange for ObjectStoreExchange {
@@ -86,12 +144,46 @@ impl DataExchange for ObjectStoreExchange {
         map: usize,
         parts: Vec<Bytes>,
     ) -> Result<u64, ExchangeError> {
-        let client = self
-            .store
-            .connect_via(ctx, env.tag.clone(), &env.host_links);
         let mut written = 0u64;
         match self.layout {
+            ExchangeStrategy::Scatter if env.io_window > 1 && parts.len() > 1 => {
+                written = parts.iter().map(|d| d.len() as u64).sum();
+                let trace = self.store.trace_sink();
+                let parent = trace.current(ctx.pid());
+                let jobs: Vec<_> = parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, data)| {
+                        let store = Arc::clone(&self.store);
+                        let bucket = self.bucket.clone();
+                        let key = self.scatter_key(map, j);
+                        let tag = env.tag.clone();
+                        let links = env.host_links.clone();
+                        let retries = env.retries;
+                        let trace = trace.clone();
+                        move |cctx: &mut Ctx| -> Result<(), ExchangeError> {
+                            trace.enter(cctx.pid(), parent);
+                            let client = store.connect_via(cctx, tag, &links);
+                            let res = with_retry(cctx, retries, |c| {
+                                client.put(c, &bucket, &key, data.clone())
+                            })
+                            .map(|_| ())
+                            .map_err(ExchangeError::from);
+                            trace.exit(cctx.pid());
+                            res
+                        }
+                    })
+                    .collect();
+                let name = format!("{}-put", env.tag);
+                ctx.fan_out(&name, env.io_window, jobs)
+                    .unwrap_or_else(|e| panic!("windowed store write crashed: {}", e))
+                    .into_iter()
+                    .collect::<Result<Vec<()>, ExchangeError>>()?;
+            }
             ExchangeStrategy::Scatter => {
+                let client = self
+                    .store
+                    .connect_via(ctx, env.tag.clone(), &env.host_links);
                 for (j, data) in parts.into_iter().enumerate() {
                     written += data.len() as u64;
                     let key = self.scatter_key(map, j);
@@ -101,6 +193,9 @@ impl DataExchange for ObjectStoreExchange {
                 }
             }
             ExchangeStrategy::Coalesced => {
+                let client = self
+                    .store
+                    .connect_via(ctx, env.tag.clone(), &env.host_links);
                 let mut table = Vec::with_capacity(parts.len());
                 let total: usize = parts.iter().map(Bytes::len).sum();
                 let mut blob = Vec::with_capacity(total);
@@ -159,6 +254,43 @@ impl DataExchange for ObjectStoreExchange {
                 })?)
             }
         }
+    }
+
+    fn read_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        reqs: &[(usize, usize)],
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        if env.io_window <= 1 || reqs.len() <= 1 {
+            return reqs
+                .iter()
+                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .collect();
+        }
+        // Resolve every request to a fetch plan up front (the coalesced
+        // offset lookups can fail, and zero-length partitions must skip
+        // the request even on the windowed path).
+        let plans = reqs
+            .iter()
+            .map(|&(map, part)| match self.layout {
+                ExchangeStrategy::Scatter => Ok(Fetch::Get(self.scatter_key(map, part))),
+                ExchangeStrategy::Coalesced => {
+                    let (off, len) = *self
+                        .offsets
+                        .lock()
+                        .get(map)
+                        .and_then(|table| table.get(part))
+                        .ok_or(ExchangeError::MissingPartition { map, part })?;
+                    Ok(if len == 0 {
+                        Fetch::Empty
+                    } else {
+                        Fetch::Range(self.coalesced_key(map), off, len)
+                    })
+                }
+            })
+            .collect::<Result<Vec<Fetch>, ExchangeError>>()?;
+        self.fetch_windowed(ctx, env, plans)
     }
 
     fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {

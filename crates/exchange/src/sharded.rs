@@ -22,7 +22,7 @@ use faaspipe_vm::VmFleet;
 use crate::api::{DataExchange, ExchangeEnv};
 use crate::error::ExchangeError;
 use crate::retry::with_retry;
-use crate::vm_relay::{RelayConfig, RelayShard};
+use crate::vm_relay::{relay_gets_windowed, relay_puts_windowed, RelayConfig, RelayShard};
 
 /// Tuning of the [`ShardedRelayExchange`].
 #[derive(Debug, Clone)]
@@ -149,9 +149,20 @@ impl DataExchange for ShardedRelayExchange {
         map: usize,
         parts: Vec<Bytes>,
     ) -> Result<u64, ExchangeError> {
-        let mut written = 0u64;
+        let written = parts.iter().map(|d| d.len() as u64).sum();
+        if env.io_window > 1 && parts.len() > 1 {
+            // Routing happens here in the caller; children only move
+            // bytes, so the cell→shard mapping stays identical to the
+            // sequential path.
+            let items = parts
+                .into_iter()
+                .enumerate()
+                .map(|(j, data)| (self.route(map, j).clone(), map, j, data))
+                .collect();
+            relay_puts_windowed(ctx, env, items)?;
+            return Ok(written);
+        }
         for (j, data) in parts.into_iter().enumerate() {
-            written += data.len() as u64;
             let shard = self.route(map, j);
             with_retry(ctx, env.retries, |c| shard.put_part(c, env, map, j, &data))?;
         }
@@ -167,6 +178,25 @@ impl DataExchange for ShardedRelayExchange {
     ) -> Result<Bytes, ExchangeError> {
         let shard = self.route(map, part);
         with_retry(ctx, env.retries, |c| shard.get_part(c, env, map, part))
+    }
+
+    fn read_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        reqs: &[(usize, usize)],
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        if env.io_window <= 1 || reqs.len() <= 1 {
+            return reqs
+                .iter()
+                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .collect();
+        }
+        let items = reqs
+            .iter()
+            .map(|&(map, part)| (self.route(map, part).clone(), map, part))
+            .collect();
+        relay_gets_windowed(ctx, env, items)
     }
 
     fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {

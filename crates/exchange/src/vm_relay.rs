@@ -96,6 +96,10 @@ struct RelayState {
 /// partitions across many. All virtual-time charging (provisioning,
 /// request latency, NIC transfers, disk spill) happens here so the two
 /// backends cannot drift apart.
+///
+/// Cloning a shard is cheap and shares the underlying VM/object table —
+/// the windowed read/write paths clone it into fan-out children.
+#[derive(Clone)]
 pub(crate) struct RelayShard {
     fleet: VmFleet,
     cfg: Arc<RelayConfig>,
@@ -521,6 +525,75 @@ impl VmRelayExchange {
     }
 }
 
+/// Windowed relay PUTs: runs one retried [`RelayShard::put_part`] per
+/// item in child processes, at most `env.io_window` in flight. Items
+/// carry their target shard so the sharded backend can mix shards in
+/// one batch. Request spans parent to the caller's current span.
+pub(crate) fn relay_puts_windowed(
+    ctx: &mut Ctx,
+    env: &ExchangeEnv,
+    items: Vec<(RelayShard, usize, usize, Bytes)>,
+) -> Result<(), ExchangeError> {
+    let Some((first, ..)) = items.first() else {
+        return Ok(());
+    };
+    let trace = first.trace.clone();
+    let parent = trace.current(ctx.pid());
+    let name = format!("{}-put", env.tag);
+    let jobs: Vec<_> = items
+        .into_iter()
+        .map(|(shard, map, part, data)| {
+            let env = env.clone();
+            let trace = trace.clone();
+            move |cctx: &mut Ctx| -> Result<(), ExchangeError> {
+                trace.enter(cctx.pid(), parent);
+                let res = with_retry(cctx, env.retries, |c| {
+                    shard.put_part(c, &env, map, part, &data)
+                });
+                trace.exit(cctx.pid());
+                res
+            }
+        })
+        .collect();
+    ctx.fan_out(&name, env.io_window, jobs)
+        .unwrap_or_else(|e| panic!("windowed relay write crashed: {}", e))
+        .into_iter()
+        .collect::<Result<Vec<()>, ExchangeError>>()?;
+    Ok(())
+}
+
+/// Windowed relay GETs: one retried [`RelayShard::get_part`] per item,
+/// at most `env.io_window` in flight; payloads return in item order.
+pub(crate) fn relay_gets_windowed(
+    ctx: &mut Ctx,
+    env: &ExchangeEnv,
+    items: Vec<(RelayShard, usize, usize)>,
+) -> Result<Vec<Bytes>, ExchangeError> {
+    let Some((first, ..)) = items.first() else {
+        return Ok(Vec::new());
+    };
+    let trace = first.trace.clone();
+    let parent = trace.current(ctx.pid());
+    let name = format!("{}-get", env.tag);
+    let jobs: Vec<_> = items
+        .into_iter()
+        .map(|(shard, map, part)| {
+            let env = env.clone();
+            let trace = trace.clone();
+            move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
+                trace.enter(cctx.pid(), parent);
+                let res = with_retry(cctx, env.retries, |c| shard.get_part(c, &env, map, part));
+                trace.exit(cctx.pid());
+                res
+            }
+        })
+        .collect();
+    ctx.fan_out(&name, env.io_window, jobs)
+        .unwrap_or_else(|e| panic!("windowed relay read crashed: {}", e))
+        .into_iter()
+        .collect()
+}
+
 impl DataExchange for VmRelayExchange {
     fn name(&self) -> &'static str {
         "vm-relay"
@@ -545,9 +618,17 @@ impl DataExchange for VmRelayExchange {
         map: usize,
         parts: Vec<Bytes>,
     ) -> Result<u64, ExchangeError> {
-        let mut written = 0u64;
+        let written = parts.iter().map(|d| d.len() as u64).sum();
+        if env.io_window > 1 && parts.len() > 1 {
+            let items = parts
+                .into_iter()
+                .enumerate()
+                .map(|(j, data)| (self.shard.clone(), map, j, data))
+                .collect();
+            relay_puts_windowed(ctx, env, items)?;
+            return Ok(written);
+        }
         for (j, data) in parts.into_iter().enumerate() {
-            written += data.len() as u64;
             with_retry(ctx, env.retries, |c| {
                 self.shard.put_part(c, env, map, j, &data)
             })?;
@@ -563,6 +644,25 @@ impl DataExchange for VmRelayExchange {
         part: usize,
     ) -> Result<Bytes, ExchangeError> {
         with_retry(ctx, env.retries, |c| self.shard.get_part(c, env, map, part))
+    }
+
+    fn read_partitions(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        reqs: &[(usize, usize)],
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        if env.io_window <= 1 || reqs.len() <= 1 {
+            return reqs
+                .iter()
+                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .collect();
+        }
+        let items = reqs
+            .iter()
+            .map(|&(map, part)| (self.shard.clone(), map, part))
+            .collect();
+        relay_gets_windowed(ctx, env, items)
     }
 
     fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {

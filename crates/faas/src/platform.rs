@@ -51,7 +51,12 @@ impl InvocationRecord {
 }
 
 /// Execution environment handed to a function body.
-#[derive(Debug)]
+///
+/// Cloning is cheap (the sink is refcounted) and hands the same NIC,
+/// CPU share, and trace lane to helper processes the body fans out —
+/// [`FunctionEnv::compute`] in a clone still parents its span to the
+/// invocation.
+#[derive(Debug, Clone)]
 pub struct FunctionEnv {
     /// The container's NIC link; pass it to
     /// `ObjectStore::connect_via` so store traffic contends for it.

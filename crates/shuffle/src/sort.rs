@@ -101,6 +101,14 @@ pub struct SortConfig {
     /// When set, a [`SortManifest`] is written to this key after the runs
     /// (one extra timed PUT).
     pub manifest_key: Option<String>,
+    /// Concurrent transfers per function (the intra-function parallel
+    /// I/O window). `1` reproduces the historical strictly-sequential
+    /// data plane bit-for-bit; higher values fan sample range-reads
+    /// out, overlap mapper chunk downloads with decode/sort compute,
+    /// window reducer gathers, and parallelise exchange writes — each
+    /// connection gets its own store link, so per-function throughput
+    /// climbs toward the NIC cap (or the store's aggregate cap).
+    pub io_concurrency: usize,
 }
 
 impl Default for SortConfig {
@@ -122,6 +130,7 @@ impl Default for SortConfig {
             backend: None,
             task_attempts: 2,
             manifest_key: None,
+            io_concurrency: 4,
         }
     }
 }
@@ -156,7 +165,10 @@ impl SortStats {
     }
 }
 
-/// K-way merge of individually sorted runs into one sorted vector.
+/// Naive k-way merge of individually sorted runs into one sorted
+/// vector. Kept as the reference implementation the streaming merge's
+/// property test compares against.
+#[cfg(test)]
 pub(crate) fn kway_merge<R: SortRecord>(runs: Vec<Vec<R>>) -> Vec<R> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
@@ -192,6 +204,93 @@ pub(crate) fn kway_merge<R: SortRecord>(runs: Vec<Vec<R>>) -> Vec<R> {
         }
     }
     out
+}
+
+/// Streaming k-way merge straight over the runs' wire bytes: a cursor
+/// per run and a binary heap of run heads, copying each record's wire
+/// form directly into the output buffer. Never materializes the decoded
+/// record vectors, so peak memory is one key per run plus the output —
+/// the difference between O(total records) and O(runs) scratch on
+/// W=128 sweeps. Ties break on run index, making the output identical
+/// to [`kway_merge`] over the decoded runs.
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if any run is not a whole number of valid
+/// records.
+pub(crate) fn streaming_merge<R: SortRecord>(runs: &[Bytes]) -> Result<Vec<u8>, ShuffleError> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let rec = R::WIRE_SIZE;
+    let mut total = 0usize;
+    for run in runs {
+        if !run.len().is_multiple_of(rec) {
+            return Err(ShuffleError::Corrupt {
+                what: "record buffer length",
+            });
+        }
+        total += run.len();
+    }
+
+    #[derive(PartialEq, Eq)]
+    struct Head<K: Ord>(K, usize);
+    impl<K: Ord> PartialOrd for Head<K> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord> Ord for Head<K> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            (&self.0, self.1).cmp(&(&other.0, other.1))
+        }
+    }
+
+    let key_at = |run: &Bytes, cursor: usize| -> Result<R::Key, ShuffleError> {
+        Ok(R::read_from(&run[cursor..cursor + rec])?.key())
+    };
+
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (i, run) in runs.iter().enumerate() {
+        if !run.is_empty() {
+            heap.push(Reverse(Head(key_at(run, 0)?, i)));
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(Head(_, i))) = heap.pop() {
+        let cursor = cursors[i];
+        out.extend_from_slice(&runs[i][cursor..cursor + rec]);
+        cursors[i] = cursor + rec;
+        if cursors[i] < runs[i].len() {
+            heap.push(Reverse(Head(key_at(&runs[i], cursors[i])?, i)));
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a mapper's assigned `(key, offset, len)` spans into
+/// record-aligned download chunks sized so a window of `k` transfers
+/// yields roughly two chunks per slot (`total / 2k`) — small enough to
+/// keep the pipeline full, large enough to amortize per-request
+/// latency. Spans are split in order, so concatenating the chunk
+/// payloads reproduces the sequential read byte for byte.
+fn split_chunks(assigned: &[(String, u64, u64)], k: usize, rec: u64) -> Vec<(String, u64, u64)> {
+    let total: u64 = assigned.iter().map(|(_, _, len)| len).sum();
+    let target = total
+        .div_ceil((k * 2) as u64)
+        .max(rec)
+        .div_ceil(rec)
+        .saturating_mul(rec);
+    let mut chunks = Vec::new();
+    for (key, off, len) in assigned {
+        let mut cursor = 0u64;
+        while cursor < *len {
+            let take = target.min(len - cursor);
+            chunks.push((key.clone(), off + cursor, take));
+            cursor += take;
+        }
+    }
+    chunks
 }
 
 /// Runs the full serverless sort from the calling (driver) process.
@@ -277,24 +376,79 @@ pub fn serverless_sort<R: SortRecord>(
                 "sample",
                 format!("{}/sample", cfg.tag),
                 move |fctx, env| {
-                    let client = store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
                     let mut reservoir = Reservoir::new(cfg.sample_capacity);
+                    // Seeded from the logical mapper index, and offered
+                    // to in assignment order on both I/O paths below, so
+                    // the partition boundaries are invariant to
+                    // `io_concurrency`.
                     let mut rng = SmallRng::seed_from_u64(cfg.sample_seed ^ splitmix(m as u64));
-                    for (key, len) in assigned.iter() {
-                        let span = cfg.sample_bytes.min(*len);
-                        let span = span - span % R::WIRE_SIZE as u64;
-                        if span == 0 {
-                            continue;
+                    if cfg.io_concurrency <= 1 {
+                        let client =
+                            store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
+                        for (key, len) in assigned.iter() {
+                            let span = cfg.sample_bytes.min(*len);
+                            let span = span - span % R::WIRE_SIZE as u64;
+                            if span == 0 {
+                                continue;
+                            }
+                            let data = with_retry(fctx, cfg.retries, |c| {
+                                client.get_range(c, &cfg.bucket, key, 0, span)
+                            })
+                            .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                            let records: Vec<R> = SortRecord::read_all(&data)
+                                .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
+                            env.compute(fctx, cfg.work.parse_time(data.len()));
+                            for r in &records {
+                                reservoir.offer(r.key(), &mut rng);
+                            }
                         }
-                        let data = with_retry(fctx, cfg.retries, |c| {
-                            client.get_range(c, &cfg.bucket, key, 0, span)
-                        })
-                        .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                        let records: Vec<R> = SortRecord::read_all(&data)
-                            .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
-                        env.compute(fctx, cfg.work.parse_time(data.len()));
-                        for r in &records {
-                            reservoir.offer(r.key(), &mut rng);
+                    } else {
+                        // Fan the per-input range reads out; parsing
+                        // serializes on the single vCPU while other
+                        // reads stream in. The reservoir draws stay on
+                        // this process, in assignment order.
+                        let trace = store.trace_sink();
+                        let parent = trace.current(fctx.pid());
+                        let cpu = fctx.sem_create(1);
+                        let mut jobs = Vec::new();
+                        for (key, len) in assigned.iter() {
+                            let span = cfg.sample_bytes.min(*len);
+                            let span = span - span % R::WIRE_SIZE as u64;
+                            if span == 0 {
+                                continue;
+                            }
+                            let store = Arc::clone(&store);
+                            let cfg = Arc::clone(&cfg);
+                            let env = env.clone();
+                            let trace = trace.clone();
+                            let key = key.clone();
+                            jobs.push(move |cctx: &mut Ctx| -> Vec<R> {
+                                trace.enter(cctx.pid(), parent);
+                                let client = store.connect_via(
+                                    cctx,
+                                    format!("{}/sample", cfg.tag),
+                                    &[env.nic],
+                                );
+                                let data = with_retry(cctx, cfg.retries, |c| {
+                                    client.get_range(c, &cfg.bucket, &key, 0, span)
+                                })
+                                .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                                cctx.sem_acquire(cpu, 1);
+                                env.compute(cctx, cfg.work.parse_time(data.len()));
+                                cctx.sem_release(cpu, 1);
+                                trace.exit(cctx.pid());
+                                SortRecord::read_all(&data)
+                                    .unwrap_or_else(|e| panic!("sample decode failed: {}", e))
+                            });
+                        }
+                        let name = format!("{}/sample-io", cfg.tag);
+                        let chunks = fctx
+                            .fan_out(&name, cfg.io_concurrency, jobs)
+                            .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                        for records in &chunks {
+                            for r in records {
+                                reservoir.offer(r.key(), &mut rng);
+                            }
                         }
                     }
                     samples.lock().extend(reservoir.into_items());
@@ -333,20 +487,68 @@ pub fn serverless_sort<R: SortRecord>(
             let backend = Arc::clone(&backend);
             let assigned = Arc::clone(&assigned);
             faas.invoke_async(ctx, "map", format!("{}/map", cfg.tag), move |fctx, env| {
-                let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
                 let mut records: Vec<R> = Vec::new();
                 let mut read_bytes = 0usize;
-                for (key, off, len) in assigned.iter() {
-                    let data = with_retry(fctx, cfg.retries, |c| {
-                        client.get_range(c, &cfg.bucket, key, *off, *len)
-                    })
-                    .unwrap_or_else(|e| panic!("map read failed: {}", e));
-                    read_bytes += data.len();
-                    let mut chunk: Vec<R> = SortRecord::read_all(&data)
-                        .unwrap_or_else(|e| panic!("map decode failed: {}", e));
-                    records.append(&mut chunk);
+                if cfg.io_concurrency <= 1 {
+                    let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
+                    for (key, off, len) in assigned.iter() {
+                        let data = with_retry(fctx, cfg.retries, |c| {
+                            client.get_range(c, &cfg.bucket, key, *off, *len)
+                        })
+                        .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                        read_bytes += data.len();
+                        let mut chunk: Vec<R> = SortRecord::read_all(&data)
+                            .unwrap_or_else(|e| panic!("map decode failed: {}", e));
+                        records.append(&mut chunk);
+                    }
+                    env.compute(fctx, cfg.work.sort_time(read_bytes));
+                } else {
+                    // Double-buffered pipeline: split the assignment into
+                    // ~2·K record-aligned chunks, keep K downloads in
+                    // flight on separate store connections, and charge
+                    // each chunk's share of the sort compute on the
+                    // single vCPU as it lands — downloads overlap
+                    // compute, compute never overlaps itself. The chunks
+                    // concatenate in assignment order, so the record
+                    // sequence (and after the stable sort below, the
+                    // output bytes) is identical to the sequential path.
+                    let chunks = split_chunks(&assigned, cfg.io_concurrency, R::WIRE_SIZE as u64);
+                    let trace = store.trace_sink();
+                    let parent = trace.current(fctx.pid());
+                    let cpu = fctx.sem_create(1);
+                    let jobs: Vec<_> = chunks
+                        .into_iter()
+                        .map(|(key, off, len)| {
+                            let store = Arc::clone(&store);
+                            let cfg = Arc::clone(&cfg);
+                            let env = env.clone();
+                            let trace = trace.clone();
+                            move |cctx: &mut Ctx| -> Vec<R> {
+                                trace.enter(cctx.pid(), parent);
+                                let client =
+                                    store.connect_via(cctx, format!("{}/map", cfg.tag), &[env.nic]);
+                                let data = with_retry(cctx, cfg.retries, |c| {
+                                    client.get_range(c, &cfg.bucket, &key, off, len)
+                                })
+                                .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                                cctx.sem_acquire(cpu, 1);
+                                env.compute(cctx, cfg.work.sort_time(data.len()));
+                                cctx.sem_release(cpu, 1);
+                                trace.exit(cctx.pid());
+                                SortRecord::read_all(&data)
+                                    .unwrap_or_else(|e| panic!("map decode failed: {}", e))
+                            }
+                        })
+                        .collect();
+                    let name = format!("{}/map-io", cfg.tag);
+                    let downloaded = fctx
+                        .fan_out(&name, cfg.io_concurrency, jobs)
+                        .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                    for mut chunk in downloaded {
+                        read_bytes += chunk.len() * R::WIRE_SIZE;
+                        records.append(&mut chunk);
+                    }
                 }
-                env.compute(fctx, cfg.work.sort_time(read_bytes));
                 records.sort_by_key(|r| r.key());
                 env.compute(fctx, cfg.work.partition_time(read_bytes));
                 // Records are sorted, so partitions are contiguous.
@@ -360,6 +562,7 @@ pub fn serverless_sort<R: SortRecord>(
                     host_links: vec![env.nic],
                     tag: format!("{}/map", cfg.tag),
                     retries: cfg.retries,
+                    io_window: cfg.io_concurrency.max(1),
                 };
                 let written = backend
                     .write_partitions(fctx, &xenv, m, parts)
@@ -400,31 +603,34 @@ pub fn serverless_sort<R: SortRecord>(
                         host_links: vec![env.nic],
                         tag: format!("{}/reduce", cfg.tag),
                         retries: cfg.retries,
+                        io_window: cfg.io_concurrency.max(1),
                     };
-                    let mut runs: Vec<Vec<R>> = Vec::with_capacity(w);
-                    let mut gathered = 0usize;
-                    for m in 0..w {
-                        let data = backend
-                            .read_partition(fctx, &xenv, m, j)
-                            .unwrap_or_else(|e| panic!("reduce gather failed: {}", e));
-                        gathered += data.len();
-                        runs.push(
-                            SortRecord::read_all(&data)
-                                .unwrap_or_else(|e| panic!("reduce decode failed: {}", e)),
-                        );
-                    }
+                    // Gather the W map outputs for this partition through
+                    // the backend's windowed batch read (a sequential loop
+                    // when io_concurrency == 1), keeping the raw wire
+                    // bytes so the merge can stream without decoding
+                    // whole runs up front.
+                    let reqs: Vec<(usize, usize)> = (0..w).map(|m| (m, j)).collect();
+                    let runs = backend
+                        .read_partitions(fctx, &xenv, &reqs)
+                        .unwrap_or_else(|e| panic!("reduce gather failed: {}", e));
+                    let gathered: usize = runs.iter().map(Bytes::len).sum();
                     env.compute(fctx, cfg.work.merge_time(gathered));
-                    let merged = kway_merge(runs);
-                    let data = SortRecord::write_all(&merged);
+                    let merged = streaming_merge::<R>(&runs)
+                        .unwrap_or_else(|e| panic!("reduce decode failed: {}", e));
+                    let records = (merged.len() / R::WIRE_SIZE) as u64;
+                    // One shared buffer: `Bytes::clone` inside the retry
+                    // loop is a refcount bump, not a copy of the run.
+                    let data = Bytes::from(merged);
                     *out_bytes.lock() += data.len() as u64;
                     let key = format!("{}{:05}", cfg.output_prefix, j);
                     run_infos.lock()[j] = Some(RunInfo {
                         key: key.clone(),
-                        records: merged.len() as u64,
+                        records,
                         bytes: data.len() as u64,
                     });
                     with_retry(fctx, cfg.retries, |c| {
-                        client.put(c, &cfg.bucket, &key, Bytes::from(data.clone()))
+                        client.put(c, &cfg.bucket, &key, data.clone())
                     })
                     .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
                 },
@@ -939,6 +1145,64 @@ mod tests {
         assert_eq!(kway_merge(runs), (0..=10).collect::<Vec<_>>());
         assert_eq!(kway_merge::<u64>(vec![]), Vec::<u64>::new());
         assert_eq!(kway_merge(vec![vec![], vec![5u64], vec![]]), vec![5]);
+    }
+
+    #[test]
+    fn streaming_merge_matches_naive_on_edge_cases() {
+        // No runs, all-empty runs, single run, duplicate keys.
+        assert_eq!(
+            streaming_merge::<u64>(&[]).expect("empty"),
+            Vec::<u8>::new()
+        );
+        let empty = [Bytes::new(), Bytes::new()];
+        assert_eq!(
+            streaming_merge::<u64>(&empty).expect("empties"),
+            Vec::<u8>::new()
+        );
+        let runs = vec![vec![1u64, 1, 3], vec![1u64, 2, 2], vec![]];
+        let encoded: Vec<Bytes> = runs
+            .iter()
+            .map(|r| Bytes::from(SortRecord::write_all(r)))
+            .collect();
+        let merged = streaming_merge::<u64>(&encoded).expect("merge");
+        let expect = SortRecord::write_all(&kway_merge(runs));
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn streaming_merge_rejects_torn_records() {
+        let torn = [Bytes::from_static(&[0u8; 7])];
+        assert!(matches!(
+            streaming_merge::<u64>(&torn),
+            Err(ShuffleError::Corrupt { .. })
+        ));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The byte-streaming merge must agree with the naive
+        /// decode-everything merge on arbitrary pre-sorted runs,
+        /// including the tie-break order between runs.
+        #[test]
+        fn streaming_merge_equals_naive_merge(
+            runs in proptest::collection::vec(
+                proptest::collection::vec(0u64..50, 0..40),
+                0..6,
+            )
+        ) {
+            let runs: Vec<Vec<u64>> = runs
+                .into_iter()
+                .map(|mut r| { r.sort_unstable(); r })
+                .collect();
+            let encoded: Vec<Bytes> = runs
+                .iter()
+                .map(|r| Bytes::from(SortRecord::write_all(r)))
+                .collect();
+            let merged = streaming_merge::<u64>(&encoded).expect("merge");
+            let expect = SortRecord::write_all(&kway_merge(runs));
+            proptest::prop_assert_eq!(merged, expect);
+        }
     }
 
     #[test]

@@ -1,9 +1,9 @@
 //! The `faaspipe` command-line tool.
 //!
 //! ```text
-//! faaspipe table1 [--records N] [--exchange B] [--trace-out F]
+//! faaspipe table1 [--records N] [--exchange B] [--io-concurrency K] [--trace-out F]
 //!                                         reproduce the paper's Table 1
-//! faaspipe run <spec.json> [--records N] [--seed S] [--trace-out F]
+//! faaspipe run <spec.json> [--records N] [--seed S] [--io-concurrency K] [--trace-out F]
 //!                                         execute a JSON workflow spec
 //! faaspipe synth --records N --out F      generate synthetic WGBS bedMethyl
 //! faaspipe compress <in.bed> <out.mc>     METHCOMP-compress a bedMethyl file
@@ -29,14 +29,14 @@ use faaspipe::faas::{FaasConfig, FunctionPlatform};
 use faaspipe::methcomp::codec as mc;
 use faaspipe::methcomp::synth::Synthesizer;
 use faaspipe::methcomp::Dataset;
-use faaspipe::shuffle::{SortRecord, TuningModel, TuningPrices, WorkModel};
+use faaspipe::shuffle::{SortConfig, SortRecord, TuningModel, TuningPrices, WorkModel};
 use faaspipe::store::{ObjectStore, StoreConfig};
 use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceData, TraceSink};
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]] [--trace-out <trace.json>]
-  faaspipe run <spec.json> [--records N] [--seed S] [--trace-out <trace.json>]
+  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]] [--io-concurrency K] [--trace-out <trace.json>]
+  faaspipe run <spec.json> [--records N] [--seed S] [--io-concurrency K] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>
   faaspipe decompress <input.mc> <output.bed>
@@ -94,6 +94,14 @@ fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> 
 fn cmd_table1(args: &[String]) -> Result<(), String> {
     let records: usize = flag_parse(args, "--records", 150_000)?;
     let exchange: ExchangeKind = flag_parse(args, "--exchange", ExchangeKind::Scatter)?;
+    let io_concurrency: usize = flag_parse(
+        args,
+        "--io-concurrency",
+        SortConfig::default().io_concurrency,
+    )?;
+    if io_concurrency == 0 {
+        return Err("--io-concurrency must be at least 1".into());
+    }
     let trace_out = flag(args, "--trace-out")?;
     let mut rows = Vec::new();
     let mut traces: Vec<(String, TraceData)> = Vec::new();
@@ -102,6 +110,7 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         cfg.mode = mode;
         cfg.physical_records = records;
         cfg.exchange = exchange;
+        cfg.io_concurrency = io_concurrency;
         cfg.trace = trace_out.is_some();
         let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
         eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);
@@ -133,6 +142,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .ok_or("run requires a spec file")?;
     let records: usize = flag_parse(args, "--records", 50_000)?;
     let seed: u64 = flag_parse(args, "--seed", 7)?;
+    let io_concurrency: usize = flag_parse(
+        args,
+        "--io-concurrency",
+        SortConfig::default().io_concurrency,
+    )?;
+    if io_concurrency == 0 {
+        return Err("--io-concurrency must be at least 1".into());
+    }
     let trace_out = flag(args, "--trace-out")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {}", path, e))?;
     let spec = PipelineSpec::from_json(&text).map_err(|e| e.to_string())?;
@@ -205,7 +222,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         },
         WorkModel::default(),
         tracker.clone(),
-    );
+    )
+    .with_io_concurrency(io_concurrency);
     let handle = executor.spawn_dag(&mut sim, &dag);
     let report = sim.run().map_err(|e| e.to_string())?;
     sink.span_end(run_span, report.end_time);

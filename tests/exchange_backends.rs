@@ -22,9 +22,26 @@ use faaspipe::store::{ObjectStore, StoreConfig};
 use faaspipe::trace::{chrome_trace_json, counters_csv, Category};
 use faaspipe::vm::VmFleet;
 
-/// Runs the serverless sort through `kind` and returns the raw bytes of
-/// every sorted-run object, in run order.
+/// Runs the serverless sort through `kind` with the default I/O window
+/// and returns the raw bytes of every sorted-run object, in run order.
 fn run_bytes(kind: ExchangeKind, values: &[u64], chunks: usize, workers: usize) -> Vec<Bytes> {
+    run_bytes_k(
+        kind,
+        values,
+        chunks,
+        workers,
+        SortConfig::default().io_concurrency,
+    )
+}
+
+/// [`run_bytes`] with an explicit per-function I/O window.
+fn run_bytes_k(
+    kind: ExchangeKind,
+    values: &[u64],
+    chunks: usize,
+    workers: usize,
+    io_concurrency: usize,
+) -> Vec<Bytes> {
     let mut sim = Sim::new();
     let store = ObjectStore::install(&mut sim, StoreConfig::default());
     let faas = FunctionPlatform::install(&mut sim, FaasConfig::default());
@@ -65,6 +82,7 @@ fn run_bytes(kind: ExchangeKind, values: &[u64], chunks: usize, workers: usize) 
             workers,
             exchange: kind.layout(),
             backend,
+            io_concurrency,
             ..SortConfig::default()
         };
         let stats = serverless_sort::<u64>(ctx, &faas, &store2, &cfg).expect("sort");
@@ -117,6 +135,41 @@ proptest! {
     }
 }
 
+/// The I/O window is a schedule knob, not a data transform: whatever
+/// `io_concurrency` each function runs with — strictly sequential,
+/// moderately windowed, or far past saturation — every backend must
+/// emit byte-identical sorted runs. Covers the windowed store reads,
+/// the chunked mapper downloads, the fan-out exchange writes, and the
+/// streaming reduce gather in one sweep.
+#[test]
+fn io_window_never_changes_output_bytes() {
+    let values: Vec<u64> = (0..3_000u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+    for kind in [
+        ExchangeKind::Scatter,
+        ExchangeKind::Coalesced,
+        ExchangeKind::VmRelay,
+        ExchangeKind::Direct,
+        ExchangeKind::ShardedRelay {
+            shards: 3,
+            prewarm: false,
+        },
+        ExchangeKind::ShardedRelay {
+            shards: 2,
+            prewarm: true,
+        },
+    ] {
+        let sequential = run_bytes_k(kind, &values, 4, 4, 1);
+        for k in [4usize, 16] {
+            let windowed = run_bytes_k(kind, &values, 4, 4, k);
+            assert_eq!(
+                windowed, sequential,
+                "{}: K={} output differs from the sequential data plane",
+                kind, k
+            );
+        }
+    }
+}
+
 /// Two identically-seeded pipeline runs must export byte-identical
 /// traces, whichever exchange backend carries the shuffle — the sharded
 /// fleet's hashed routing and background boots included.
@@ -138,6 +191,9 @@ fn same_seed_runs_are_trace_deterministic_for_every_backend() {
             cfg.mode = PipelineMode::PureServerless;
             cfg.physical_records = 15_000;
             cfg.exchange = kind;
+            // Pin a parallel data plane: determinism must hold with
+            // windowed I/O, not just the sequential fallback.
+            cfg.io_concurrency = 4;
             cfg.trace = true;
             run_methcomp_pipeline(&cfg).expect("pipeline ok")
         };

@@ -1,0 +1,31 @@
+//! `io_concurrency = 1` must reproduce the pre-parallel-I/O data plane
+//! *exactly* — same event interleaving, same retry RNG draws, same
+//! virtual timestamps. These golden numbers were captured from the tree
+//! immediately before the windowed data plane landed; any drift means
+//! the K=1 path is no longer the verbatim sequential code.
+
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe::exchange::ExchangeKind;
+
+#[test]
+fn sequential_io_reproduces_pre_parallel_data_plane_exactly() {
+    for (kind, golden_latency_ns) in [
+        (ExchangeKind::Scatter, 84_896_272_944u64),
+        (ExchangeKind::Coalesced, 84_700_272_934u64),
+    ] {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = PipelineMode::PureServerless;
+        cfg.physical_records = 15_000;
+        cfg.exchange = kind;
+        cfg.io_concurrency = 1;
+        cfg.trace = true;
+        let out = run_methcomp_pipeline(&cfg).expect("pipeline ok");
+        assert!(out.verified, "{}: output verification failed", kind);
+        assert_eq!(
+            out.latency.as_nanos(),
+            golden_latency_ns,
+            "{}: K=1 latency drifted from the pre-PR golden value",
+            kind
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the zero-copy shuffle kernels against
+//! the decode-sort-encode path they replaced: wire-record sort +
+//! partition, the streaming k-way merge, and the raw key scan.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use faaspipe_methcomp::synth::Synthesizer;
+use faaspipe_methcomp::MethRecord;
+use faaspipe_shuffle::{
+    partition_sorted, scan_keys, sort_concat, streaming_merge, RangePartitioner, SortRecord,
+};
+
+const RECORDS: usize = 50_000;
+const CHUNKS: usize = 8;
+const PARTS: usize = 16;
+
+fn meth_chunks(seed: u64) -> Vec<Bytes> {
+    let ds = Synthesizer::new(seed).generate_shuffled(RECORDS);
+    let per = RECORDS.div_ceil(CHUNKS);
+    ds.records
+        .chunks(per)
+        .map(|c| Bytes::from(SortRecord::write_all(c)))
+        .collect()
+}
+
+/// The pre-kernel mapper inner loop: decode every chunk, stable-sort the
+/// records, re-encode partition by partition.
+fn decode_sort_encode(
+    chunks: &[Bytes],
+    p: &RangePartitioner<<MethRecord as SortRecord>::Key>,
+) -> Vec<Vec<u8>> {
+    let mut records: Vec<MethRecord> = Vec::new();
+    for chunk in chunks {
+        records.append(&mut SortRecord::read_all(chunk).expect("decode"));
+    }
+    records.sort_by_key(SortRecord::key);
+    let mut buckets: Vec<Vec<u8>> = (0..PARTS).map(|_| Vec::new()).collect();
+    for r in &records {
+        let part = p.part(&r.key()).min(PARTS - 1);
+        r.write_to(&mut buckets[part]);
+    }
+    buckets
+}
+
+fn bench_wire_sort(c: &mut Criterion) {
+    let chunks = meth_chunks(91);
+    let total_bytes: usize = chunks.iter().map(Bytes::len).sum();
+    let sample: Vec<_> = chunks[0]
+        .chunks_exact(MethRecord::WIRE_SIZE)
+        .step_by(11)
+        .map(|w| MethRecord::key_from_wire(w).expect("valid"))
+        .collect();
+    let p = RangePartitioner::from_sample(sample, PARTS);
+
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("partition_sorted_50k", |b| {
+        b.iter(|| {
+            partition_sorted::<MethRecord>(black_box(&chunks), PARTS, |k| p.part(k))
+                .expect("kernel")
+        })
+    });
+    g.bench_function("decode_sort_encode_50k", |b| {
+        b.iter(|| decode_sort_encode(black_box(&chunks), &p))
+    });
+    g.bench_function("sort_concat_50k", |b| {
+        b.iter(|| sort_concat::<MethRecord>(black_box(&chunks)).expect("kernel"))
+    });
+    g.bench_function("scan_keys_50k", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for chunk in &chunks {
+                scan_keys::<MethRecord>(black_box(chunk), |k| acc ^= k.1).expect("scan");
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_streaming_merge(c: &mut Criterion) {
+    // W pre-sorted runs, as a reducer gathers them from W mappers.
+    let ds = Synthesizer::new(92).generate_shuffled(RECORDS);
+    let per = RECORDS.div_ceil(PARTS);
+    let runs: Vec<Bytes> = ds
+        .records
+        .chunks(per)
+        .map(|c| {
+            let mut sorted = c.to_vec();
+            sorted.sort_by_key(SortRecord::key);
+            Bytes::from(SortRecord::write_all(&sorted))
+        })
+        .collect();
+    let total_bytes: usize = runs.iter().map(Bytes::len).sum();
+
+    let mut g = c.benchmark_group("merge");
+    g.throughput(Throughput::Bytes(total_bytes as u64));
+    g.bench_function("streaming_16way_50k", |b| {
+        b.iter(|| streaming_merge::<MethRecord>(black_box(&runs)).expect("merge"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire_sort, bench_streaming_merge);
+criterion_main!(benches);

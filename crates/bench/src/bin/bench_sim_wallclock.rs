@@ -1,53 +1,138 @@
-//! BENCH_sim — wall-clock cost of the simulator itself.
+//! BENCH_sim / BENCH_host — wall-clock cost of the simulator itself.
 //!
-//! Times (host wall clock, not virtual time) a small fixed batch of
-//! pipeline runs shaped like the E15 `--quick` smoke: both object-store
-//! exchange layouts at two worker counts, traced, with the default I/O
-//! window. Writes `results/BENCH_sim.json` so successive commits can be
-//! compared for simulator-performance regressions.
+//! Two host-time (not virtual-time) measurements of the simulator:
+//!
+//! * **BENCH_sim** — a small fixed batch of *traced* pipeline runs shaped
+//!   like the E15 `--quick` smoke: both object-store exchange layouts at
+//!   two worker counts. Catches tracing-path regressions.
+//! * **BENCH_host** — the scaling trajectory the pooled scheduler is
+//!   sized for: untraced coalesced runs at W ∈ {64, 256, 1024}. Each row
+//!   records the wall clock plus the simulator's own gauges
+//!   (events dispatched, peak live processes, pool threads) and the
+//!   host's CPU/context-switch counters, so a slowdown can be split into
+//!   "more work" vs "same work, slower".
 //!
 //! Numbers are host-dependent by construction; CI runs this step
-//! non-gating and only archives the artifact.
+//! non-gating (`--check` against the checked-in baseline, warn-only) and
+//! archives the artifact.
 //!
 //! ```text
 //! cargo run --release -p faaspipe-bench --bin bench_sim_wallclock
+//! cargo run --release -p faaspipe-bench --bin bench_sim_wallclock -- \
+//!     --check [baseline.json]   # exit 1 if wall-clock regressed >1.5x
 //! ```
 
 use std::time::Instant;
 
-use faaspipe_bench::write_json;
+use faaspipe_bench::{results_dir, write_json};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::ExchangeKind;
 
-struct Row {
+struct SimRow {
     backend: String,
     workers: usize,
     records: usize,
     wall_ms: f64,
     sim_latency_s: f64,
     spans: usize,
+    events: u64,
+    peak_live_processes: usize,
+    pool_workers: usize,
 }
 
 faaspipe_json::json_object! {
-    Row {
+    SimRow {
         req backend,
         req workers,
         req records,
         req wall_ms,
         req sim_latency_s,
         req spans,
+        req events,
+        req peak_live_processes,
+        req pool_workers,
+    }
+}
+
+struct HostRow {
+    workers: usize,
+    records: usize,
+    wall_ms: f64,
+    sim_latency_s: f64,
+    events: u64,
+    peak_live_processes: usize,
+    pool_workers: usize,
+    user_cpu_s: f64,
+    sys_cpu_s: f64,
+    ctx_switches: u64,
+}
+
+faaspipe_json::json_object! {
+    HostRow {
+        req workers,
+        req records,
+        req wall_ms,
+        req sim_latency_s,
+        req events,
+        req peak_live_processes,
+        req pool_workers,
+        req user_cpu_s,
+        req sys_cpu_s,
+        req ctx_switches,
     }
 }
 
 const RECORDS: usize = 8_000;
+const HOST_WIDTHS: [usize; 3] = [64, 256, 1024];
 
-fn main() {
-    let mut rows: Vec<Row> = Vec::new();
-    println!("simulator wall-clock (host time per traced pipeline run):");
+/// Wall-clock regression factor that triggers the `--check` warning.
+/// Generous on purpose: shared CI runners jitter, and the check is
+/// warn-only — its job is to flag order-of-magnitude scheduler
+/// regressions, not 10% noise.
+const CHECK_FACTOR: f64 = 1.5;
+
+/// Process-wide (user, system) CPU seconds from `/proc/self/stat`.
+fn cpu_times() -> (f64, f64) {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    let fields: Vec<&str> = stat.split_whitespace().collect();
+    let tick = 100.0; // CLK_TCK
+    let ut: f64 = fields.get(13).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    let st: f64 = fields.get(14).and_then(|s| s.parse().ok()).unwrap_or(0.0);
+    (ut / tick, st / tick)
+}
+
+/// Total context switches (voluntary + involuntary) across all live
+/// threads of this process. Under-counts switches charged to already
+/// exited threads, which is fine for a before/after delta within one run.
+fn ctx_switches() -> u64 {
+    let mut total = 0u64;
+    if let Ok(tasks) = std::fs::read_dir("/proc/self/task") {
+        for t in tasks.flatten() {
+            if let Ok(s) = std::fs::read_to_string(t.path().join("status")) {
+                for line in s.lines() {
+                    if line.starts_with("voluntary_ctxt_switches")
+                        || line.starts_with("nonvoluntary_ctxt_switches")
+                    {
+                        total += line
+                            .split_whitespace()
+                            .last()
+                            .and_then(|v| v.parse::<u64>().ok())
+                            .unwrap_or(0);
+                    }
+                }
+            }
+        }
+    }
+    total
+}
+
+fn bench_sim() -> Vec<SimRow> {
+    let mut rows: Vec<SimRow> = Vec::new();
+    println!("BENCH_sim — traced pipeline runs (host wall clock):");
     println!(
-        "{:<10} {:>3}  {:>9}  {:>12}  {:>7}",
-        "backend", "W", "wall", "sim-latency", "spans"
+        "{:<10} {:>4}  {:>9}  {:>12}  {:>7}  {:>9}  {:>5}  {:>5}",
+        "backend", "W", "wall", "sim-latency", "spans", "events", "peak", "pool"
     );
     for backend in [ExchangeKind::Scatter, ExchangeKind::Coalesced] {
         for workers in [4usize, 8] {
@@ -61,20 +146,160 @@ fn main() {
             let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
             let wall = start.elapsed();
             assert!(outcome.verified, "{} W={} must verify", backend, workers);
-            let row = Row {
+            let row = SimRow {
                 backend: backend.to_string(),
                 workers,
                 records: RECORDS,
                 wall_ms: wall.as_secs_f64() * 1e3,
                 sim_latency_s: outcome.latency.as_secs_f64(),
                 spans: outcome.trace.spans.len(),
+                events: outcome.sim.events,
+                peak_live_processes: outcome.sim.peak_live_processes,
+                pool_workers: outcome.sim.pool_workers,
             };
             println!(
-                "{:<10} {:>3}  {:>7.0}ms  {:>11.2}s  {:>7}",
-                row.backend, row.workers, row.wall_ms, row.sim_latency_s, row.spans
+                "{:<10} {:>4}  {:>7.0}ms  {:>11.2}s  {:>7}  {:>9}  {:>5}  {:>5}",
+                row.backend,
+                row.workers,
+                row.wall_ms,
+                row.sim_latency_s,
+                row.spans,
+                row.events,
+                row.peak_live_processes,
+                row.pool_workers
             );
             rows.push(row);
         }
     }
-    write_json("BENCH_sim", &rows);
+    rows
+}
+
+fn bench_host() -> Vec<HostRow> {
+    let mut rows: Vec<HostRow> = Vec::new();
+    println!();
+    println!("BENCH_host — untraced coalesced scaling trajectory:");
+    println!(
+        "{:<5}  {:>10}  {:>12}  {:>9}  {:>5}  {:>5}  {:>7}  {:>7}  {:>9}",
+        "W", "wall", "sim-latency", "events", "peak", "pool", "user", "sys", "ctxsw"
+    );
+    for workers in HOST_WIDTHS {
+        let mut cfg = PipelineConfig::paper_table1();
+        cfg.mode = PipelineMode::PureServerless;
+        cfg.physical_records = RECORDS;
+        cfg.workers = WorkerChoice::Fixed(workers);
+        cfg.exchange = ExchangeKind::Coalesced;
+        cfg.trace = false;
+        let (u0, s0) = cpu_times();
+        let c0 = ctx_switches();
+        let start = Instant::now();
+        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+        let wall = start.elapsed();
+        let (u1, s1) = cpu_times();
+        let c1 = ctx_switches();
+        assert!(outcome.verified, "W={} must verify", workers);
+        let row = HostRow {
+            workers,
+            records: RECORDS,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            sim_latency_s: outcome.latency.as_secs_f64(),
+            events: outcome.sim.events,
+            peak_live_processes: outcome.sim.peak_live_processes,
+            pool_workers: outcome.sim.pool_workers,
+            user_cpu_s: u1 - u0,
+            sys_cpu_s: s1 - s0,
+            ctx_switches: c1.saturating_sub(c0),
+        };
+        println!(
+            "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}",
+            row.workers,
+            row.wall_ms,
+            row.sim_latency_s,
+            row.events,
+            row.peak_live_processes,
+            row.pool_workers,
+            row.user_cpu_s,
+            row.sys_cpu_s,
+            row.ctx_switches
+        );
+        rows.push(row);
+    }
+    rows
+}
+
+/// Compares fresh host rows against a checked-in baseline. Returns the
+/// number of regressed points (wall clock above `CHECK_FACTOR` × the
+/// baseline for the same worker count).
+fn check_against(baseline: &[HostRow], current: &[HostRow]) -> usize {
+    let mut regressed = 0;
+    for row in current {
+        let Some(base) = baseline
+            .iter()
+            .find(|b| b.workers == row.workers && b.records == row.records)
+        else {
+            eprintln!(
+                "warning: no baseline point for W={} records={}; skipping",
+                row.workers, row.records
+            );
+            continue;
+        };
+        if row.events != base.events {
+            eprintln!(
+                "warning: W={} dispatched {} events vs baseline {} — workload drifted, \
+                 wall-clock comparison is apples-to-oranges (re-capture the baseline)",
+                row.workers, row.events, base.events
+            );
+        }
+        let limit = base.wall_ms * CHECK_FACTOR;
+        if row.wall_ms > limit {
+            eprintln!(
+                "warning: wall-clock regression at W={}: {:.0}ms > {:.1}x baseline {:.0}ms",
+                row.workers, row.wall_ms, CHECK_FACTOR, base.wall_ms
+            );
+            regressed += 1;
+        } else {
+            println!(
+                "check ok at W={}: {:.0}ms <= {:.1}x baseline {:.0}ms",
+                row.workers, row.wall_ms, CHECK_FACTOR, base.wall_ms
+            );
+        }
+    }
+    regressed
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.first().map(String::as_str) == Some("--check");
+
+    // In check mode the baseline must be read before measuring: the
+    // fresh rows overwrite `results/BENCH_host.json` afterwards (that
+    // file is both the checked-in baseline and the uploaded artifact).
+    let baseline: Option<Vec<HostRow>> = if check {
+        let path = args
+            .get(1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("BENCH_host.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read baseline {}: {}", path.display(), e));
+        Some(faaspipe_json::from_str(&text).expect("parse baseline BENCH_host.json"))
+    } else {
+        None
+    };
+
+    let sim_rows = bench_sim();
+    let host_rows = bench_host();
+    write_json("BENCH_sim", &sim_rows);
+    write_json("BENCH_host", &host_rows);
+
+    if let Some(baseline) = baseline {
+        let regressed = check_against(&baseline, &host_rows);
+        if regressed > 0 {
+            eprintln!(
+                "{} of {} trajectory points regressed (warn-only; CI does not gate on this)",
+                regressed,
+                host_rows.len()
+            );
+            std::process::exit(1);
+        }
+        println!("wall-clock check passed for all {} points", host_rows.len());
+    }
 }

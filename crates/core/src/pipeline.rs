@@ -17,7 +17,7 @@ use std::fmt;
 
 use bytes::Bytes;
 
-use faaspipe_des::{Money, Sim, SimDuration, SimError, SimTime};
+use faaspipe_des::{Money, Sim, SimDuration, SimError, SimReport, SimTime};
 use faaspipe_exchange::ExchangeKind;
 use faaspipe_faas::{FaasConfig, FunctionPlatform};
 use faaspipe_methcomp::codec as mc_codec;
@@ -196,6 +196,10 @@ pub struct PipelineOutcome {
     pub tracker_log: String,
     /// Full execution trace (empty unless [`PipelineConfig::trace`]).
     pub trace: TraceData,
+    /// The simulator's own execution report: events dispatched, peak
+    /// live processes, pool threads — the gauges the wall-clock
+    /// regression harness records alongside host timings.
+    pub sim: SimReport,
 }
 
 /// Runs one METHCOMP pipeline measurement end to end.
@@ -427,6 +431,7 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         verified,
         tracker_log: tracker.render(),
         trace: sink.snapshot(),
+        sim: report,
     })
 }
 

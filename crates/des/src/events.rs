@@ -5,6 +5,11 @@
 //! a cancelled entry stays in the heap and is skipped when popped. Sequence
 //! numbers make the ordering of simultaneous events FIFO and therefore
 //! deterministic.
+//!
+//! Payload slots are recycled through a free list instead of growing a
+//! dense vector for the life of the run: an [`EventId`] packs a slot index
+//! with a per-slot generation, so a handle to an event that already fired
+//! (or was cancelled) can never alias a later event that reused its slot.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -12,8 +17,25 @@ use std::collections::BinaryHeap;
 use crate::units::SimTime;
 
 /// A handle to a scheduled event, usable to cancel it.
+///
+/// Packs `generation << 32 | slot`; stale handles are detected by a
+/// generation mismatch and ignored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        self.0 as u32 as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// What the scheduler should do when an event fires.
 ///
@@ -53,6 +75,12 @@ impl Ord for Entry {
     }
 }
 
+#[derive(Debug)]
+struct Slot {
+    gen: u32,
+    wake: Option<Wake>,
+}
+
 /// Deterministic, cancellable event queue.
 ///
 /// ```
@@ -69,9 +97,9 @@ impl Ord for Entry {
 #[derive(Debug, Default)]
 pub struct EventQueue {
     heap: BinaryHeap<Reverse<Entry>>,
-    /// Payloads for live events, indexed densely by EventId. `None` means
-    /// the event was cancelled or already fired.
-    live: Vec<Option<Wake>>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
     next_seq: u64,
 }
 
@@ -84,40 +112,64 @@ impl EventQueue {
     /// Schedules `wake` to fire at `time`. Events scheduled for the same
     /// instant fire in scheduling order.
     pub fn schedule(&mut self, time: SimTime, wake: Wake) -> EventId {
-        let id = EventId(self.live.len() as u64);
-        self.live.push(Some(wake));
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(Slot { gen: 0, wake: None });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.slots[slot as usize].wake = Some(wake);
+        let id = EventId::new(slot, self.slots[slot as usize].gen);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Entry { time, seq, id }));
+        self.live += 1;
         id
+    }
+
+    /// Releases `slot` for reuse, bumping its generation so any
+    /// still-circulating handle (or heap entry) for it goes stale.
+    fn release(&mut self, slot: usize) {
+        self.slots[slot].gen = self.slots[slot].gen.wrapping_add(1);
+        self.free.push(slot as u32);
+        self.live -= 1;
     }
 
     /// Cancels a previously scheduled event. Cancelling an event that has
     /// already fired (or was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        if let Some(slot) = self.live.get_mut(id.0 as usize) {
-            *slot = None;
+        let slot = id.slot();
+        if self.slots[slot].gen == id.generation() && self.slots[slot].wake.take().is_some() {
+            self.release(slot);
         }
     }
 
     /// Pops the next live event, skipping tombstones.
     pub fn pop(&mut self) -> Option<(SimTime, Wake)> {
         while let Some(Reverse(entry)) = self.heap.pop() {
-            if let Some(wake) = self.live[entry.id.0 as usize].take() {
-                return Some((entry.time, wake));
+            let slot = entry.id.slot();
+            if self.slots[slot].gen != entry.id.generation() {
+                continue; // cancelled; slot already recycled
             }
+            let wake = self.slots[slot]
+                .wake
+                .take()
+                .expect("live generation with empty slot");
+            self.release(slot);
+            return Some((entry.time, wake));
         }
         None
     }
 
     /// The number of live (non-cancelled) events still queued.
     pub fn live_len(&self) -> usize {
-        self.live.iter().filter(|w| w.is_some()).count()
+        self.live
     }
 
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live_len() == 0
+        self.live == 0
     }
 }
 
@@ -183,5 +235,49 @@ mod tests {
         q.schedule(t(15), Wake::Process(3));
         assert_eq!(q.pop(), Some((t(5), Wake::Process(2))));
         assert_eq!(q.pop(), Some((t(15), Wake::Process(3))));
+    }
+
+    #[test]
+    fn slots_are_recycled_not_grown() {
+        let mut q = EventQueue::new();
+        for round in 0..1_000u64 {
+            let id = q.schedule(t(round), Wake::Process(0));
+            if round % 2 == 0 {
+                q.cancel(id);
+            } else {
+                assert_eq!(q.pop(), Some((t(round), Wake::Process(0))));
+            }
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slots.len() <= 2,
+            "steady-state churn must reuse slots, got {}",
+            q.slots.len()
+        );
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(t(1), Wake::Process(1));
+        assert_eq!(q.pop(), Some((t(1), Wake::Process(1))));
+        // `b` reuses a's slot with a bumped generation.
+        let b = q.schedule(t(2), Wake::Process(2));
+        q.cancel(a); // stale: must be a no-op
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop(), Some((t(2), Wake::Process(2))));
+        let _ = b;
+    }
+
+    #[test]
+    fn cancelled_slot_reused_before_stale_heap_entry_pops() {
+        let mut q = EventQueue::new();
+        // Cancel frees the slot immediately; the tombstoned heap entry for
+        // `a` must not fire the reuser scheduled at an earlier time.
+        let a = q.schedule(t(10), Wake::Process(1));
+        q.cancel(a);
+        q.schedule(t(5), Wake::Process(2));
+        assert_eq!(q.pop(), Some((t(5), Wake::Process(2))));
+        assert_eq!(q.pop(), None);
     }
 }

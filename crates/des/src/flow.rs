@@ -58,6 +58,19 @@ pub struct FlowNet {
     free: Vec<usize>,
     last_settle: SimTime,
     active: usize,
+    /// Scratch for [`FlowNet::recompute`], reused across calls so the hot
+    /// path does no per-event allocation. `counts` and `residual` are
+    /// link-indexed and only the entries named by `touched` are ever
+    /// initialised or read; `counts` entries are zeroed again on exit.
+    scratch: RecomputeScratch,
+}
+
+#[derive(Debug, Default)]
+struct RecomputeScratch {
+    counts: Vec<usize>,
+    residual: Vec<f64>,
+    touched: Vec<u32>,
+    unfrozen: Vec<usize>,
 }
 
 impl FlowNet {
@@ -193,33 +206,51 @@ impl FlowNet {
     }
 
     /// Recomputes max-min fair rates with progressive filling.
+    ///
+    /// The work done here is proportional to the *active* flows and the
+    /// links they touch, never to the total number of links ever created:
+    /// links accumulate over a run (every simulated connection adds one),
+    /// and a naive scan over all of them on every start/completion turns
+    /// the whole simulation quadratic in request count. Tie-breaking and
+    /// floating-point evaluation order are kept exactly as the dense scan
+    /// had them (ascending link id, ascending flow slot), so computed
+    /// rates — and therefore virtual time — are bit-identical.
     fn recompute(&mut self) {
-        let n_links = self.links.len();
-        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
-        // Indices of unfrozen active flows.
-        let mut unfrozen: Vec<usize> = self
-            .flows
-            .iter()
-            .enumerate()
-            .filter_map(|(i, f)| f.as_ref().map(|_| i))
-            .collect();
-        // Flows on links with no finite capacity anywhere get infinite rate.
-        loop {
-            if unfrozen.is_empty() {
-                break;
-            }
-            // Count unfrozen flows per link.
-            let mut counts = vec![0usize; n_links];
-            for &fi in &unfrozen {
-                for l in &self.flows[fi].as_ref().expect("unfrozen flow exists").links {
-                    counts[l.0 as usize] += 1;
+        let RecomputeScratch {
+            counts,
+            residual,
+            touched,
+            unfrozen,
+        } = &mut self.scratch;
+        counts.resize(self.links.len(), 0);
+        residual.resize(self.links.len(), 0.0);
+        touched.clear();
+        // Indices of unfrozen active flows, ascending slot order.
+        unfrozen.clear();
+        for (i, f) in self.flows.iter().enumerate() {
+            let Some(f) = f else { continue };
+            unfrozen.push(i);
+            for l in &f.links {
+                if counts[l.0 as usize] == 0 {
+                    touched.push(l.0);
                 }
+                counts[l.0 as usize] += 1;
             }
+        }
+        // Bottleneck search must consider links in ascending id order so
+        // equal-share ties resolve exactly as the dense scan did.
+        touched.sort_unstable();
+        for &li in touched.iter() {
+            residual[li as usize] = self.links[li as usize].capacity;
+        }
+        // Flows on links with no finite capacity anywhere get infinite rate.
+        while !unfrozen.is_empty() {
             // Find the bottleneck link: min fair share among finite links
             // with unfrozen flows.
             let mut bottleneck: Option<(usize, f64)> = None;
-            for (li, link) in self.links.iter().enumerate() {
-                if counts[li] == 0 || link.capacity.is_infinite() {
+            for &li in touched.iter() {
+                let li = li as usize;
+                if counts[li] == 0 || self.links[li].capacity.is_infinite() {
                     continue;
                 }
                 let share = residual[li] / counts[li] as f64;
@@ -231,16 +262,18 @@ impl FlowNet {
             match bottleneck {
                 None => {
                     // Remaining flows are unconstrained.
-                    for &fi in &unfrozen {
+                    for &fi in unfrozen.iter() {
                         self.flows[fi].as_mut().expect("unfrozen flow exists").rate = f64::INFINITY;
                     }
                     break;
                 }
                 Some((bli, share)) => {
                     let share = share.max(0.0);
-                    // Freeze all unfrozen flows crossing the bottleneck.
-                    let mut still = Vec::with_capacity(unfrozen.len());
-                    for &fi in &unfrozen {
+                    // Freeze all unfrozen flows crossing the bottleneck,
+                    // compacting the survivors in place (order preserved).
+                    let mut kept = 0;
+                    for idx in 0..unfrozen.len() {
+                        let fi = unfrozen[idx];
                         let crosses = self.flows[fi]
                             .as_ref()
                             .expect("unfrozen flow exists")
@@ -251,15 +284,24 @@ impl FlowNet {
                             let f = self.flows[fi].as_mut().expect("unfrozen flow exists");
                             f.rate = share;
                             for l in &f.links {
-                                residual[l.0 as usize] = (residual[l.0 as usize] - share).max(0.0);
+                                let li = l.0 as usize;
+                                residual[li] = (residual[li] - share).max(0.0);
+                                counts[li] -= 1;
                             }
                         } else {
-                            still.push(fi);
+                            unfrozen[kept] = fi;
+                            kept += 1;
                         }
                     }
-                    unfrozen = still;
+                    unfrozen.truncate(kept);
                 }
             }
+        }
+        // Leave `counts` all-zero for the next call (`touched` names every
+        // entry that could have been incremented; frozen flows already
+        // decremented theirs, infinite-capacity rounds may not have).
+        for &li in touched.iter() {
+            counts[li as usize] = 0;
         }
     }
 }

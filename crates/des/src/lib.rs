@@ -10,10 +10,11 @@
 //!
 //! A [`Sim`] owns a virtual clock that only advances when an event fires.
 //! Simulated activities are **processes**: ordinary Rust closures running on
-//! their own OS thread, which block on simulation primitives through a
-//! [`Ctx`] handle. The scheduler and processes run in strict rendezvous —
-//! at any instant at most one of them executes — so simulations are
-//! deterministic regardless of host scheduling.
+//! OS threads borrowed from a parked worker pool (threads are reused across
+//! processes, named `sim-w{idx}`), which block on simulation primitives
+//! through a [`Ctx`] handle. The scheduler and processes run in strict
+//! rendezvous — at any instant at most one of them executes — so
+//! simulations are deterministic regardless of host scheduling.
 //!
 //! ## Example
 //!
@@ -34,6 +35,7 @@
 
 pub mod events;
 pub mod flow;
+mod pool;
 pub mod process;
 pub mod resources;
 pub mod sim;

@@ -1,20 +1,20 @@
 //! Thread-backed simulation processes and the [`Ctx`] handle they use to
 //! interact with the simulation kernel.
 //!
-//! Every process runs on its own OS thread but executes in strict
-//! rendezvous with the scheduler: the scheduler resumes exactly one process
-//! at a time and the process hands control back whenever it performs a
-//! simulation operation. Host thread scheduling therefore never influences
-//! simulation outcomes.
+//! Every process runs on an OS thread borrowed from the scheduler's worker
+//! pool but executes in strict rendezvous with the scheduler: the
+//! scheduler resumes exactly one process at a time and the
+//! process hands control back whenever it performs a simulation operation.
+//! Host thread scheduling therefore never influences simulation outcomes.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::flow::{FlowSpec, LinkId};
+use crate::pool::Rendezvous;
 use crate::resources::{LimiterId, SemId};
 use crate::units::{Bandwidth, ByteSize, SimDuration, SimTime};
 
@@ -104,10 +104,10 @@ pub fn is_shutdown_payload(payload: &(dyn std::any::Any + Send)) -> bool {
 /// reaches the corresponding instant.
 pub struct Ctx {
     pid: ProcessId,
-    name: String,
+    name: Arc<str>,
     clock: Arc<AtomicU64>,
-    yield_tx: Sender<(u32, YieldMsg)>,
-    resume_rx: Receiver<ResumeMsg>,
+    yield_tx: Arc<Rendezvous<(u32, YieldMsg)>>,
+    resume_rx: Arc<Rendezvous<ResumeMsg>>,
     rng: SmallRng,
 }
 
@@ -124,10 +124,10 @@ impl std::fmt::Debug for Ctx {
 impl Ctx {
     pub(crate) fn new(
         pid: ProcessId,
-        name: String,
+        name: Arc<str>,
         clock: Arc<AtomicU64>,
-        yield_tx: Sender<(u32, YieldMsg)>,
-        resume_rx: Receiver<ResumeMsg>,
+        yield_tx: Arc<Rendezvous<(u32, YieldMsg)>>,
+        resume_rx: Arc<Rendezvous<ResumeMsg>>,
         seed: u64,
     ) -> Self {
         let stream = seed ^ (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -163,14 +163,10 @@ impl Ctx {
     }
 
     fn call(&self, msg: YieldMsg) -> ResumeMsg {
-        // The scheduler only ever drops our channel on teardown; in that
-        // case unwind quietly.
-        if self.yield_tx.send((self.pid.0, msg)).is_err() {
-            std::panic::panic_any(ShutdownSignal);
-        }
+        self.yield_tx.send((self.pid.0, msg));
         match self.resume_rx.recv() {
-            Ok(ResumeMsg::Shutdown) | Err(_) => std::panic::panic_any(ShutdownSignal),
-            Ok(other) => other,
+            ResumeMsg::Shutdown => std::panic::panic_any(ShutdownSignal),
+            other => other,
         }
     }
 
@@ -350,13 +346,8 @@ impl Ctx {
             .collect())
     }
 
-    pub(crate) fn resume_rx_recv(&self) -> Option<ResumeMsg> {
-        self.resume_rx.recv().ok()
-    }
-
     pub(crate) fn finish(&self, result: Result<(), String>) {
-        // Best-effort: on teardown the scheduler may be gone already.
-        let _ = self.yield_tx.send((self.pid.0, YieldMsg::Finished(result)));
+        self.yield_tx.send((self.pid.0, YieldMsg::Finished(result)));
     }
 }
 

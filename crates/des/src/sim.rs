@@ -1,17 +1,13 @@
 //! The simulation scheduler: owns the clock, event queue, resources and
 //! process table, and runs the event loop to completion.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 use crate::events::{EventId, EventQueue, Wake};
 use crate::flow::{FlowNet, LinkId};
-use crate::process::{
-    panic_message, Ctx, JoinError, ProcessFn, ProcessId, ResumeMsg, ShutdownSignal, YieldMsg,
-};
+use crate::pool::{Job, Rendezvous, WorkerPool};
+use crate::process::{Ctx, JoinError, ProcessFn, ProcessId, ResumeMsg, YieldMsg};
 use crate::resources::{LimiterId, RateLimiter, SemId, Semaphore};
 use crate::units::{Bandwidth, SimTime};
 
@@ -20,7 +16,7 @@ use crate::units::{Bandwidth, SimTime};
 pub struct SimConfig {
     /// Seed for all per-process random streams.
     pub seed: u64,
-    /// Stack size for process threads, in bytes.
+    /// Stack size for pool worker threads, in bytes.
     pub stack_size: usize,
 }
 
@@ -75,6 +71,13 @@ pub struct SimReport {
     pub processes: usize,
     /// Total number of events dispatched.
     pub events: u64,
+    /// Most processes simultaneously created-but-not-finished at any
+    /// instant of the run.
+    pub peak_live_processes: usize,
+    /// OS threads the worker pool created over the whole run (its
+    /// high-water mark of simultaneously *running-or-blocked* process
+    /// bodies; threads are reused, never retired, until teardown).
+    pub pool_workers: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,13 +88,15 @@ enum PState {
 }
 
 struct Slot {
-    name: String,
-    resume_tx: Sender<ResumeMsg>,
+    name: Arc<str>,
     state: PState,
     /// What to send when this blocked process is next woken.
     resume_with: ResumeMsg,
     join_waiters: Vec<u32>,
-    thread: Option<JoinHandle<()>>,
+    /// The body, until the process first wakes and is handed to a worker.
+    body: Option<ProcessFn>,
+    /// Pool worker currently running this process, once bound.
+    worker: Option<u32>,
     /// Whether a panic in this process has been delivered to a joiner.
     panic_observed: bool,
 }
@@ -109,9 +114,11 @@ pub struct Sim {
     limiter_events: Vec<Option<EventId>>,
     flownet: FlowNet,
     flow_event: Option<EventId>,
-    yield_tx: Sender<(u32, YieldMsg)>,
-    yield_rx: Receiver<(u32, YieldMsg)>,
+    yields: Arc<Rendezvous<(u32, YieldMsg)>>,
+    pool: WorkerPool,
     events_dispatched: u64,
+    live_now: usize,
+    peak_live: usize,
     finished: bool,
 }
 
@@ -139,10 +146,12 @@ impl Sim {
 
     /// Creates a simulation with the given configuration.
     pub fn with_config(cfg: SimConfig) -> Self {
-        let (yield_tx, yield_rx) = mpsc::channel();
+        let clock = Arc::new(AtomicU64::new(0));
+        let yields: Arc<Rendezvous<(u32, YieldMsg)>> = Arc::new(Rendezvous::new());
+        let pool = WorkerPool::new(cfg.stack_size, Arc::clone(&clock), Arc::clone(&yields));
         Sim {
             cfg,
-            clock: Arc::new(AtomicU64::new(0)),
+            clock,
             queue: EventQueue::new(),
             procs: Vec::new(),
             sems: Vec::new(),
@@ -150,9 +159,11 @@ impl Sim {
             limiter_events: Vec::new(),
             flownet: FlowNet::new(),
             flow_event: None,
-            yield_tx,
-            yield_rx,
+            yields,
+            pool,
             events_dispatched: 0,
+            live_now: 0,
+            peak_live: 0,
             finished: false,
         }
     }
@@ -193,47 +204,21 @@ impl Sim {
         pid
     }
 
+    /// Registers a process slot. No OS thread is involved until the
+    /// process first wakes — see [`Sim::run_process`].
     fn create_process(&mut self, name: String, body: ProcessFn) -> ProcessId {
         let pid = ProcessId(self.procs.len() as u32);
-        let (resume_tx, resume_rx) = mpsc::channel::<ResumeMsg>();
-        let mut ctx = Ctx::new(
-            pid,
-            name.clone(),
-            Arc::clone(&self.clock),
-            self.yield_tx.clone(),
-            resume_rx,
-            self.cfg.seed,
-        );
-        let thread = std::thread::Builder::new()
-            .name(format!("sim-{}", name))
-            .stack_size(self.cfg.stack_size)
-            .spawn(move || {
-                // Wait for the first resume before running the body.
-                let result = catch_unwind(AssertUnwindSafe(|| match ctx.first_resume() {
-                    true => body(&mut ctx),
-                    false => std::panic::panic_any(ShutdownSignal),
-                }));
-                match result {
-                    Ok(()) => ctx.finish(Ok(())),
-                    Err(payload) => {
-                        if payload.downcast_ref::<ShutdownSignal>().is_some() {
-                            // Quiet teardown.
-                        } else {
-                            ctx.finish(Err(panic_message(payload.as_ref())));
-                        }
-                    }
-                }
-            })
-            .expect("failed to spawn simulation process thread");
         self.procs.push(Slot {
-            name,
-            resume_tx,
+            name: name.into(),
             state: PState::Ready,
             resume_with: ResumeMsg::Go,
             join_waiters: Vec::new(),
-            thread: Some(thread),
+            body: Some(body),
+            worker: None,
             panic_observed: false,
         });
+        self.live_now += 1;
+        self.peak_live = self.peak_live.max(self.live_now);
         pid
     }
 
@@ -277,7 +262,7 @@ impl Sim {
             if let PState::Finished(Err(message)) = &slot.state {
                 if !slot.panic_observed {
                     let err = SimError::ProcessPanicked {
-                        process: slot.name.clone(),
+                        process: slot.name.to_string(),
                         message: message.clone(),
                     };
                     self.teardown();
@@ -290,7 +275,7 @@ impl Sim {
             .procs
             .iter()
             .filter(|s| !matches!(s.state, PState::Finished(_)))
-            .map(|s| s.name.clone())
+            .map(|s| s.name.to_string())
             .collect();
         if !blocked.is_empty() {
             self.teardown();
@@ -300,6 +285,8 @@ impl Sim {
             end_time,
             processes: self.procs.len(),
             events: self.events_dispatched,
+            peak_live_processes: self.peak_live,
+            pool_workers: self.pool.worker_count(),
         };
         self.teardown();
         Ok(report)
@@ -331,6 +318,12 @@ impl Sim {
 
     /// Resumes process `pidx` and services its requests until it blocks or
     /// finishes.
+    ///
+    /// On a process's first wake it is bound to a pool worker: an idle
+    /// worker thread is reused if one exists, otherwise the pool grows by
+    /// one. Binding lazily means processes that are spawned but never
+    /// scheduled cost no thread at all, and the pool's size tracks the
+    /// *peak* number of concurrently live bodies, not the total spawned.
     fn run_process(&mut self, pidx: u32) {
         {
             let slot = &mut self.procs[pidx as usize];
@@ -338,17 +331,27 @@ impl Sim {
                 return;
             }
             let msg = std::mem::replace(&mut slot.resume_with, ResumeMsg::Go);
-            if slot.resume_tx.send(msg).is_err() {
-                // Thread died unexpectedly; treat as panic without message.
-                slot.state = PState::Finished(Err("process thread exited".into()));
-                return;
+            match slot.worker {
+                Some(widx) => self.pool.resume(widx, msg),
+                None => {
+                    debug_assert!(
+                        matches!(msg, ResumeMsg::Go),
+                        "first wake must be a plain Go"
+                    );
+                    let body = slot.body.take().expect("unbound process has no body");
+                    let job = Job {
+                        pid: ProcessId(pidx),
+                        name: Arc::clone(&slot.name),
+                        body,
+                        seed: self.cfg.seed,
+                    };
+                    let widx = self.pool.run(job);
+                    self.procs[pidx as usize].worker = Some(widx);
+                }
             }
         }
         loop {
-            let (from, msg) = self
-                .yield_rx
-                .recv()
-                .expect("process channel closed while running");
+            let (from, msg) = self.yields.recv();
             debug_assert_eq!(from, pidx, "yield from unexpected process");
             match self.handle_yield(pidx, msg) {
                 Flow::Continue => continue,
@@ -362,10 +365,10 @@ impl Sim {
     }
 
     fn reply(&self, pidx: u32, msg: ResumeMsg) {
-        self.procs[pidx as usize]
-            .resume_tx
-            .send(msg)
-            .expect("process vanished while awaiting reply");
+        let widx = self.procs[pidx as usize]
+            .worker
+            .expect("reply to a process that never ran");
+        self.pool.resume(widx, msg);
     }
 
     fn handle_yield(&mut self, pidx: u32, msg: YieldMsg) -> Flow {
@@ -457,11 +460,14 @@ impl Sim {
                 }
             }
             YieldMsg::Finished(result) => {
-                // Reap the thread: it exits right after sending this.
-                if let Some(handle) = self.procs[pidx as usize].thread.take() {
-                    let _ = handle.join();
+                // The worker is heading back to its command channel; return
+                // it to the idle stack for immediate reuse (no join).
+                let slot = &mut self.procs[pidx as usize];
+                if let Some(widx) = slot.worker.take() {
+                    self.pool.release(widx);
                 }
-                self.procs[pidx as usize].state = PState::Finished(result.clone());
+                slot.state = PState::Finished(result.clone());
+                self.live_now -= 1;
                 let waiters = std::mem::take(&mut self.procs[pidx as usize].join_waiters);
                 for w in waiters {
                     let jr = self.join_result(ProcessId(pidx), result.clone());
@@ -479,22 +485,31 @@ impl Sim {
             Err(message) => {
                 self.procs[target.index()].panic_observed = true;
                 Err(JoinError {
-                    process: self.procs[target.index()].name.clone(),
+                    process: self.procs[target.index()].name.to_string(),
                     message,
                 })
             }
         }
     }
 
+    /// Unwinds every still-bound process body, then exits and joins the
+    /// pool threads.
+    ///
+    /// At this point the scheduler is not servicing yields, so every bound,
+    /// unfinished process is parked on its worker's resume channel; the
+    /// [`ResumeMsg::Shutdown`] reply makes the body unwind quietly and the
+    /// worker fall through to its command channel, where the pool's `Exit`
+    /// awaits. Processes that were never scheduled have no thread — their
+    /// body closure is simply dropped with the slot.
     fn teardown(&mut self) {
         for slot in &mut self.procs {
             if !matches!(slot.state, PState::Finished(_)) {
-                let _ = slot.resume_tx.send(ResumeMsg::Shutdown);
-            }
-            if let Some(handle) = slot.thread.take() {
-                let _ = handle.join();
+                if let Some(widx) = slot.worker.take() {
+                    self.pool.resume(widx, ResumeMsg::Shutdown);
+                }
             }
         }
+        self.pool.shutdown();
     }
 }
 
@@ -512,18 +527,6 @@ enum Flow {
     Done,
 }
 
-impl Ctx {
-    /// Blocks until the scheduler delivers the initial resume. Returns
-    /// `false` when the simulation is shutting down before we ever ran.
-    pub(crate) fn first_resume(&self) -> bool {
-        match self.resume_rx_recv() {
-            Some(ResumeMsg::Go) => true,
-            Some(ResumeMsg::Shutdown) | None => false,
-            Some(other) => unreachable!("unexpected first resume: {:?}", other),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -536,6 +539,7 @@ mod tests {
         let report = Sim::new().run().expect("empty sim");
         assert_eq!(report.end_time, SimTime::ZERO);
         assert_eq!(report.processes, 0);
+        assert_eq!(report.pool_workers, 0);
     }
 
     #[test]
@@ -788,6 +792,10 @@ mod tests {
         let report = sim.run().expect("run");
         assert_eq!(report.processes, 51);
         assert_eq!(report.end_time.as_nanos(), 51 * 1_000_000);
+        // Every level blocks in a join while its child runs, so all 51
+        // bodies are live at the deepest point and each needs a worker.
+        assert_eq!(report.pool_workers, 51);
+        assert_eq!(report.peak_live_processes, 51);
     }
 
     #[test]
@@ -841,6 +849,64 @@ mod tests {
         let report = sim.run().expect("run");
         assert_eq!(counter.load(Ordering::SeqCst), 200);
         assert_eq!(report.processes, 200);
+        assert_eq!(report.peak_live_processes, 200);
+    }
+
+    #[test]
+    fn sequential_processes_reuse_one_worker() {
+        // 500 processes that never overlap in virtual time: the pool must
+        // run them all on a single reused OS thread.
+        let mut sim = Sim::new();
+        sim.spawn("root", |ctx| {
+            for i in 0..500u64 {
+                let child = ctx.spawn(format!("seq{}", i), |c| {
+                    c.sleep(SimDuration::from_millis(1));
+                });
+                ctx.join(child).expect("child ok");
+            }
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.processes, 501);
+        // Root is blocked in join while each child runs: two workers.
+        assert_eq!(report.pool_workers, 2, "thread churn is gone");
+        assert_eq!(report.peak_live_processes, 2);
+    }
+
+    #[test]
+    fn pool_grows_to_peak_concurrency_not_total() {
+        // Waves of 8 concurrent processes, 10 waves: 8 workers + the root.
+        let mut sim = Sim::new();
+        sim.spawn("root", |ctx| {
+            for _ in 0..10 {
+                let kids: Vec<_> = (0..8)
+                    .map(|i| {
+                        ctx.spawn(format!("wave{}", i), |c| {
+                            c.sleep(SimDuration::from_millis(3));
+                        })
+                    })
+                    .collect();
+                ctx.join_all(&kids).expect("wave ok");
+            }
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.processes, 81);
+        assert_eq!(report.pool_workers, 9, "pool sized by peak, not total");
+        assert_eq!(report.peak_live_processes, 9);
+    }
+
+    #[test]
+    fn spawned_but_never_scheduled_processes_cost_no_thread() {
+        // A deadlocked sim whose second process never gets its first wake
+        // must still tear down cleanly (the body is dropped, not run).
+        let mut sim = Sim::new();
+        let sem = sim.create_semaphore(0);
+        sim.spawn("stuck", move |ctx| {
+            // Spawn a child, then block forever before it could matter.
+            let _child = ctx.spawn("never-run", |c| c.sleep(SimDuration::from_secs(1)));
+            ctx.sem_acquire(sem, 1);
+        });
+        let err = sim.run().expect_err("deadlock");
+        assert!(matches!(err, SimError::Deadlock { .. }));
     }
 
     #[test]
@@ -928,5 +994,28 @@ mod tests {
             assert_eq!(ctx.fan_out("clamped", 0, jobs).expect("ok"), vec![0, 1]);
         });
         sim.run().expect("run");
+    }
+
+    #[test]
+    fn worker_reuse_keeps_per_process_rng_streams() {
+        // Two sequential processes share one worker thread but must draw
+        // from distinct, pid-seeded random streams.
+        use rand::Rng;
+        let draws = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        let d = Arc::clone(&draws);
+        sim.spawn("root", move |ctx| {
+            for i in 0..2 {
+                let d = Arc::clone(&d);
+                let child = ctx.spawn(format!("c{}", i), move |c| {
+                    d.lock().unwrap().push(c.rng().gen::<u64>());
+                });
+                ctx.join(child).expect("child ok");
+            }
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.pool_workers, 2);
+        let draws = draws.lock().unwrap();
+        assert_ne!(draws[0], draws[1], "streams must differ across processes");
     }
 }

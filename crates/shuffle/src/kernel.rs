@@ -1,0 +1,274 @@
+//! Zero-copy shuffle kernels: sort, partition, and key-scan over wire
+//! buffers.
+//!
+//! The historical data path decoded every downloaded chunk into a
+//! `Vec<R>`, sorted the records, and re-encoded them partition by
+//! partition — three full passes of allocation and copying per mapper.
+//! These kernels operate on the wire bytes directly: each record is
+//! represented by a *view* `(key, chunk, offset)` into the downloaded
+//! [`Bytes`] chunks, the views are sorted with `sort_unstable`, and
+//! record bytes are copied exactly once, from the source chunk into the
+//! output buffer. Keys are decoded once per record through
+//! [`SortRecord::key_from_wire`], which validates the wire form exactly
+//! as [`SortRecord::read_from`] would.
+//!
+//! # Ordering contract
+//!
+//! The views sort by the tuple `(key, chunk index, offset)`. For records
+//! with equal keys the `(chunk, offset)` tie-break is their global
+//! position in the concatenated input, so the unstable tuple sort
+//! reproduces, byte for byte, what a *stable* sort by key over the
+//! decoded records produced — the property the workspace's golden
+//! determinism digests pin.
+
+use bytes::Bytes;
+
+use crate::error::ShuffleError;
+use crate::record::SortRecord;
+
+/// One record's position in a chunk set: the sort key, the index of the
+/// chunk holding it, and its byte offset inside that chunk.
+type View<K> = (K, u32, u32);
+
+/// Builds the sorted view list over `chunks`, validating every record.
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if any chunk is not a whole number of valid
+/// records.
+fn sorted_views<R: SortRecord>(chunks: &[Bytes]) -> Result<Vec<View<R::Key>>, ShuffleError> {
+    let rec = R::WIRE_SIZE;
+    let mut total = 0usize;
+    for chunk in chunks {
+        if !chunk.len().is_multiple_of(rec) {
+            return Err(ShuffleError::Corrupt {
+                what: "record buffer length",
+            });
+        }
+        total += chunk.len() / rec;
+    }
+    let mut views: Vec<View<R::Key>> = Vec::with_capacity(total);
+    for (ci, chunk) in chunks.iter().enumerate() {
+        assert!(
+            chunk.len() <= u32::MAX as usize,
+            "chunk exceeds the kernel's 4 GiB view-offset range"
+        );
+        for (off, wire) in chunk.chunks_exact(rec).enumerate() {
+            views.push((R::key_from_wire(wire)?, ci as u32, (off * rec) as u32));
+        }
+    }
+    views.sort_unstable();
+    Ok(views)
+}
+
+/// Sorts every record in `chunks` and scatters the wire bytes into
+/// `parts` output buffers according to `part_of` (clamped to the last
+/// partition, like the map phase always has). Each bucket receives its
+/// records in global sorted order; record bytes are copied exactly once.
+///
+/// # Panics
+/// Panics if `parts` is zero.
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if any chunk is not a whole number of valid
+/// records.
+pub fn partition_sorted<R: SortRecord>(
+    chunks: &[Bytes],
+    parts: usize,
+    mut part_of: impl FnMut(&R::Key) -> usize,
+) -> Result<Vec<Vec<u8>>, ShuffleError> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let views = sorted_views::<R>(chunks)?;
+    let mut buckets: Vec<Vec<u8>> = (0..parts).map(|_| Vec::new()).collect();
+    for (key, ci, off) in &views {
+        let p = part_of(key).min(parts - 1);
+        let off = *off as usize;
+        buckets[p].extend_from_slice(&chunks[*ci as usize][off..off + R::WIRE_SIZE]);
+    }
+    Ok(buckets)
+}
+
+/// Sorts every record in `chunks` into one contiguous wire buffer — the
+/// VM baseline's whole-dataset in-memory sort, without ever decoding the
+/// records.
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if any chunk is not a whole number of valid
+/// records.
+pub fn sort_concat<R: SortRecord>(chunks: &[Bytes]) -> Result<Vec<u8>, ShuffleError> {
+    let views = sorted_views::<R>(chunks)?;
+    let mut out = Vec::with_capacity(views.len() * R::WIRE_SIZE);
+    for (_, ci, off) in &views {
+        let off = *off as usize;
+        out.extend_from_slice(&chunks[*ci as usize][off..off + R::WIRE_SIZE]);
+    }
+    Ok(out)
+}
+
+/// Calls `f` with each record's key, decoded straight from the wire in
+/// buffer order — the sample phase's reservoir feed, minus the decoded
+/// record vector it used to materialize.
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if the buffer is not a whole number of
+/// valid records.
+pub fn scan_keys<R: SortRecord>(
+    data: &[u8],
+    mut f: impl FnMut(R::Key),
+) -> Result<(), ShuffleError> {
+    if !data.len().is_multiple_of(R::WIRE_SIZE) {
+        return Err(ShuffleError::Corrupt {
+            what: "record buffer length",
+        });
+    }
+    for wire in data.chunks_exact(R::WIRE_SIZE) {
+        f(R::key_from_wire(wire)?);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::RangePartitioner;
+    use faaspipe_methcomp::synth::Synthesizer;
+    use faaspipe_methcomp::MethRecord;
+
+    /// The decode-sort-encode reference the kernels replace.
+    fn reference_partition<R: SortRecord>(
+        chunks: &[Bytes],
+        parts: usize,
+        part_of: impl Fn(&R::Key) -> usize,
+    ) -> Vec<Vec<u8>> {
+        let mut records: Vec<R> = Vec::new();
+        for chunk in chunks {
+            records.append(&mut SortRecord::read_all(chunk).expect("decode"));
+        }
+        records.sort_by_key(R::key);
+        let mut buckets: Vec<Vec<u8>> = (0..parts).map(|_| Vec::new()).collect();
+        for r in &records {
+            let p = part_of(&r.key()).min(parts - 1);
+            r.write_to(&mut buckets[p]);
+        }
+        buckets
+    }
+
+    fn meth_chunks(seed: u64, n: usize, pieces: usize) -> Vec<Bytes> {
+        let ds = Synthesizer::new(seed).generate_shuffled(n);
+        let per = n.div_ceil(pieces);
+        ds.records
+            .chunks(per)
+            .map(|c| Bytes::from(SortRecord::write_all(c)))
+            .collect()
+    }
+
+    #[test]
+    fn partition_matches_decode_sort_encode_for_meth_records() {
+        let chunks = meth_chunks(31, 2_000, 5);
+        let sample: Vec<_> = chunks
+            .iter()
+            .flat_map(|c| {
+                c.chunks_exact(MethRecord::WIRE_SIZE)
+                    .step_by(7)
+                    .map(|w| MethRecord::key_from_wire(w).expect("valid"))
+            })
+            .collect();
+        let parts = 4;
+        let partitioner = RangePartitioner::from_sample(sample, parts);
+        let got = partition_sorted::<MethRecord>(&chunks, parts, |k| partitioner.part(k))
+            .expect("kernel");
+        let want = reference_partition::<MethRecord>(&chunks, parts, |k| partitioner.part(k));
+        assert_eq!(got, want);
+    }
+
+    /// Equal keys with *different payload bytes* are the case where an
+    /// unstable sort could diverge from the stable reference; the
+    /// (chunk, offset) tie-break must keep them in global input order.
+    #[test]
+    fn equal_keys_keep_global_input_order() {
+        let ds = Synthesizer::new(32).generate_records(50);
+        let mut dupes = Vec::new();
+        for (i, r) in ds.records.iter().enumerate() {
+            for cov in 0..4u32 {
+                let mut d = *r;
+                d.coverage = cov * 100 + i as u32; // same key, distinct bytes
+                dupes.push(d);
+            }
+        }
+        let chunks: Vec<Bytes> = dupes
+            .chunks(17)
+            .map(|c| Bytes::from(SortRecord::write_all(c)))
+            .collect();
+        let got = partition_sorted::<MethRecord>(&chunks, 1, |_| 0).expect("kernel");
+        let want = reference_partition::<MethRecord>(&chunks, 1, |_| 0);
+        assert_eq!(got, want);
+        let concat = sort_concat::<MethRecord>(&chunks).expect("kernel");
+        assert_eq!(concat, want[0]);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(sort_concat::<u64>(&[]).expect("empty"), Vec::<u8>::new());
+        let empties = [Bytes::new(), Bytes::new()];
+        assert_eq!(
+            partition_sorted::<u64>(&empties, 3, |_| 9).expect("empties"),
+            vec![Vec::<u8>::new(); 3]
+        );
+    }
+
+    #[test]
+    fn corrupt_chunks_rejected() {
+        let torn = [Bytes::from_static(&[0u8; 7])];
+        assert!(matches!(
+            sort_concat::<u64>(&torn),
+            Err(ShuffleError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            partition_sorted::<u64>(&torn, 2, |_| 0),
+            Err(ShuffleError::Corrupt { .. })
+        ));
+        let ds = Synthesizer::new(33).generate_records(3);
+        let mut bytes = SortRecord::write_all(&ds.records);
+        bytes[17] = 9; // bad strand in record 0
+        assert!(matches!(
+            sort_concat::<MethRecord>(&[Bytes::from(bytes)]),
+            Err(ShuffleError::Corrupt {
+                what: "meth record strand"
+            })
+        ));
+    }
+
+    #[test]
+    fn scan_keys_visits_in_buffer_order() {
+        let values: Vec<u64> = vec![9, 2, 7, 2];
+        let data = SortRecord::write_all(&values);
+        let mut seen = Vec::new();
+        scan_keys::<u64>(&data, |k| seen.push(k)).expect("scan");
+        assert_eq!(seen, values);
+        assert!(scan_keys::<u64>(&data[..7], |_| {}).is_err());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Kernel output equals the decode-sort-encode reference on
+        /// arbitrary chunkings of arbitrary u64 data (heavy duplicates
+        /// included via the narrow value range).
+        #[test]
+        fn kernel_equals_reference_on_arbitrary_u64_chunks(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(0u64..30, 0..50),
+                0..6,
+            ),
+            parts in 1usize..5,
+        ) {
+            let encoded: Vec<Bytes> = chunks
+                .iter()
+                .map(|c| Bytes::from(SortRecord::write_all(c)))
+                .collect();
+            let part_of = |k: &u64| (*k as usize) % (parts + 1); // sometimes out of range
+            let got = partition_sorted::<u64>(&encoded, parts, part_of).expect("kernel");
+            let want = reference_partition::<u64>(&encoded, parts, part_of);
+            proptest::prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -16,13 +16,19 @@
 //!   is chosen appropriately;
 //! * a **VM-driven baseline** ([`vmsort`]): download everything into one
 //!   big instance, sort with all cores, upload — the hybrid pipeline's
-//!   shuffle stage.
+//!   shuffle stage;
+//! * **zero-copy kernels** ([`kernel`]): the mappers' sort + range
+//!   partition and the VM baseline's whole-dataset sort run straight
+//!   over the records' wire bytes — keys are decoded once per record,
+//!   record payloads are copied once and never materialized as decoded
+//!   vectors.
 //!
 //! The operator is generic over [`SortRecord`]; an implementation for
 //! methylation BED records is provided (the paper's workload).
 
 pub mod autotune;
 pub mod error;
+pub mod kernel;
 pub mod partitioner;
 pub mod plan;
 pub mod record;
@@ -38,9 +44,10 @@ pub use error::ShuffleError;
 pub use faaspipe_exchange::{
     with_retry, DataExchange, ExchangeEnv, ExchangeError, ExchangeKind, ExchangeStrategy,
 };
+pub use kernel::{partition_sorted, scan_keys, sort_concat};
 pub use partitioner::RangePartitioner;
 pub use plan::{RunInfo, SortManifest};
 pub use record::SortRecord;
-pub use sort::{serverless_sort, SortConfig, SortStats};
+pub use sort::{serverless_sort, streaming_merge, SortConfig, SortStats};
 pub use vmsort::{vm_sort, VmSortConfig, VmSortStats};
 pub use work::WorkModel;

@@ -28,6 +28,18 @@ pub trait SortRecord: Clone + Send + Sync + 'static {
     /// [`ShuffleError::Corrupt`] if the bytes are not a valid record.
     fn read_from(bytes: &[u8]) -> Result<Self, ShuffleError>;
 
+    /// Extracts the sort key straight from one record's wire form,
+    /// validating the record exactly as [`SortRecord::read_from`] would
+    /// (same [`ShuffleError::Corrupt`] variants for the same inputs) but
+    /// without materializing the record. The zero-copy shuffle kernels
+    /// ([`crate::kernel`]) sort and merge wire buffers through this.
+    ///
+    /// # Errors
+    /// [`ShuffleError::Corrupt`] if the bytes are not a valid record.
+    fn key_from_wire(bytes: &[u8]) -> Result<Self::Key, ShuffleError> {
+        Ok(Self::read_from(bytes)?.key())
+    }
+
     /// Parses a whole buffer of concatenated records.
     ///
     /// # Errors
@@ -72,6 +84,10 @@ impl SortRecord for u64 {
             .try_into()
             .map_err(|_| ShuffleError::Corrupt { what: "u64 record" })?;
         Ok(u64::from_le_bytes(arr))
+    }
+
+    fn key_from_wire(bytes: &[u8]) -> Result<u64, ShuffleError> {
+        Self::read_from(bytes)
     }
 }
 
@@ -133,6 +149,32 @@ impl SortRecord for MethRecord {
             meth_pct,
         })
     }
+
+    /// Validating fast path: decodes only the key fields, applying the
+    /// same checks in the same order as `read_from` (size, strand,
+    /// value ranges) so corrupt wire data reports identically.
+    fn key_from_wire(bytes: &[u8]) -> Result<Self::Key, ShuffleError> {
+        if bytes.len() != Self::WIRE_SIZE {
+            return Err(ShuffleError::Corrupt {
+                what: "meth record size",
+            });
+        }
+        let chrom = bytes[0];
+        let start = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+        let end = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+        let strand = bytes[17];
+        if strand > 1 {
+            return Err(ShuffleError::Corrupt {
+                what: "meth record strand",
+            });
+        }
+        if bytes[22] > 100 || end <= start {
+            return Err(ShuffleError::Corrupt {
+                what: "meth record fields",
+            });
+        }
+        Ok((chrom, start, end, strand))
+    }
 }
 
 #[cfg(test)]
@@ -179,5 +221,54 @@ mod tests {
         let mut bytes = SortRecord::write_all(&ds.records);
         bytes[17] = 9;
         assert!(<MethRecord as SortRecord>::read_all(&bytes).is_err());
+    }
+
+    #[test]
+    fn wire_keys_match_decoded_keys() {
+        let ds = Synthesizer::new(24).generate_shuffled(1_000);
+        let bytes = SortRecord::write_all(&ds.records);
+        for (rec, wire) in ds
+            .records
+            .iter()
+            .zip(bytes.chunks_exact(MethRecord::WIRE_SIZE))
+        {
+            assert_eq!(MethRecord::key_from_wire(wire).expect("valid"), rec.key());
+        }
+        let nums: Vec<u64> = vec![0, 1, u64::MAX, 0x0123_4567_89AB_CDEF];
+        let bytes = SortRecord::write_all(&nums);
+        for (n, wire) in nums.iter().zip(bytes.chunks_exact(8)) {
+            assert_eq!(u64::key_from_wire(wire).expect("valid"), *n);
+        }
+    }
+
+    /// `key_from_wire` must reject exactly what `read_from` rejects,
+    /// with the same error description.
+    #[test]
+    fn wire_keys_reject_what_read_from_rejects() {
+        fn corrupt_what(err: ShuffleError) -> &'static str {
+            match err {
+                ShuffleError::Corrupt { what } => what,
+                other => panic!("expected Corrupt, got {other:?}"),
+            }
+        }
+        let ds = Synthesizer::new(25).generate_records(1);
+        let good = SortRecord::write_all(&ds.records);
+        for mutate in [
+            |b: &mut Vec<u8>| b.truncate(10), // wrong size
+            |b: &mut Vec<u8>| b[17] = 7,      // bad strand
+            |b: &mut Vec<u8>| b[22] = 101,    // meth_pct out of range
+            |b: &mut Vec<u8>| {
+                // end <= start
+                let start = b[1..9].to_vec();
+                b[9..17].copy_from_slice(&start);
+            },
+        ] {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let via_read = corrupt_what(MethRecord::read_from(&bad).expect_err("read_from"));
+            let via_key = corrupt_what(MethRecord::key_from_wire(&bad).expect_err("key_from_wire"));
+            assert_eq!(via_read, via_key);
+        }
+        assert!(u64::key_from_wire(&[1, 2, 3]).is_err());
     }
 }

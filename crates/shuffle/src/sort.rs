@@ -33,6 +33,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 use crate::error::ShuffleError;
+use crate::kernel;
 use crate::partitioner::RangePartitioner;
 use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
@@ -212,12 +213,12 @@ pub(crate) fn kway_merge<R: SortRecord>(runs: Vec<Vec<R>>) -> Vec<R> {
 /// record vectors, so peak memory is one key per run plus the output —
 /// the difference between O(total records) and O(runs) scratch on
 /// W=128 sweeps. Ties break on run index, making the output identical
-/// to [`kway_merge`] over the decoded runs.
+/// to a stable `kway_merge` over the decoded runs.
 ///
 /// # Errors
 /// [`ShuffleError::Corrupt`] if any run is not a whole number of valid
 /// records.
-pub(crate) fn streaming_merge<R: SortRecord>(runs: &[Bytes]) -> Result<Vec<u8>, ShuffleError> {
+pub fn streaming_merge<R: SortRecord>(runs: &[Bytes]) -> Result<Vec<u8>, ShuffleError> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -246,7 +247,7 @@ pub(crate) fn streaming_merge<R: SortRecord>(runs: &[Bytes]) -> Result<Vec<u8>, 
     }
 
     let key_at = |run: &Bytes, cursor: usize| -> Result<R::Key, ShuffleError> {
-        Ok(R::read_from(&run[cursor..cursor + rec])?.key())
+        R::key_from_wire(&run[cursor..cursor + rec])
     };
 
     let mut cursors = vec![0usize; runs.len()];
@@ -395,12 +396,12 @@ pub fn serverless_sort<R: SortRecord>(
                                 client.get_range(c, &cfg.bucket, key, 0, span)
                             })
                             .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                            let records: Vec<R> = SortRecord::read_all(&data)
-                                .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
                             env.compute(fctx, cfg.work.parse_time(data.len()));
-                            for r in &records {
-                                reservoir.offer(r.key(), &mut rng);
-                            }
+                            // Keys feed the reservoir straight off the
+                            // wire, in buffer order — same draws as the
+                            // decoded-record loop this replaces.
+                            kernel::scan_keys::<R>(&data, |k| reservoir.offer(k, &mut rng))
+                                .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
                         }
                     } else {
                         // Fan the per-input range reads out; parsing
@@ -422,7 +423,7 @@ pub fn serverless_sort<R: SortRecord>(
                             let env = env.clone();
                             let trace = trace.clone();
                             let key = key.clone();
-                            jobs.push(move |cctx: &mut Ctx| -> Vec<R> {
+                            jobs.push(move |cctx: &mut Ctx| -> Bytes {
                                 trace.enter(cctx.pid(), parent);
                                 let client = store.connect_via(
                                     cctx,
@@ -437,18 +438,19 @@ pub fn serverless_sort<R: SortRecord>(
                                 env.compute(cctx, cfg.work.parse_time(data.len()));
                                 cctx.sem_release(cpu, 1);
                                 trace.exit(cctx.pid());
-                                SortRecord::read_all(&data)
-                                    .unwrap_or_else(|e| panic!("sample decode failed: {}", e))
+                                data
                             });
                         }
                         let name = format!("{}/sample-io", cfg.tag);
                         let chunks = fctx
                             .fan_out(&name, cfg.io_concurrency, jobs)
                             .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                        for records in &chunks {
-                            for r in records {
-                                reservoir.offer(r.key(), &mut rng);
-                            }
+                        // Keys stream off the wire in assignment order —
+                        // the reservoir sees the exact sequence the
+                        // decoded-record loop produced.
+                        for data in &chunks {
+                            kernel::scan_keys::<R>(data, |k| reservoir.offer(k, &mut rng))
+                                .unwrap_or_else(|e| panic!("sample decode failed: {}", e));
                         }
                     }
                     samples.lock().extend(reservoir.into_items());
@@ -487,7 +489,11 @@ pub fn serverless_sort<R: SortRecord>(
             let backend = Arc::clone(&backend);
             let assigned = Arc::clone(&assigned);
             faas.invoke_async(ctx, "map", format!("{}/map", cfg.tag), move |fctx, env| {
-                let mut records: Vec<R> = Vec::new();
+                // Downloaded chunks stay in wire form: the kernel sorts
+                // and partitions views into these buffers, so record
+                // payloads are copied once (chunk → partition bucket)
+                // instead of decoded, sorted, and re-encoded.
+                let mut chunks: Vec<Bytes> = Vec::new();
                 let mut read_bytes = 0usize;
                 if cfg.io_concurrency <= 1 {
                     let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
@@ -497,9 +503,7 @@ pub fn serverless_sort<R: SortRecord>(
                         })
                         .unwrap_or_else(|e| panic!("map read failed: {}", e));
                         read_bytes += data.len();
-                        let mut chunk: Vec<R> = SortRecord::read_all(&data)
-                            .unwrap_or_else(|e| panic!("map decode failed: {}", e));
-                        records.append(&mut chunk);
+                        chunks.push(data);
                     }
                     env.compute(fctx, cfg.work.sort_time(read_bytes));
                 } else {
@@ -510,20 +514,21 @@ pub fn serverless_sort<R: SortRecord>(
                     // single vCPU as it lands — downloads overlap
                     // compute, compute never overlaps itself. The chunks
                     // concatenate in assignment order, so the record
-                    // sequence (and after the stable sort below, the
-                    // output bytes) is identical to the sequential path.
-                    let chunks = split_chunks(&assigned, cfg.io_concurrency, R::WIRE_SIZE as u64);
+                    // sequence (and after the kernel's order-preserving
+                    // sort below, the output bytes) is identical to the
+                    // sequential path.
+                    let splits = split_chunks(&assigned, cfg.io_concurrency, R::WIRE_SIZE as u64);
                     let trace = store.trace_sink();
                     let parent = trace.current(fctx.pid());
                     let cpu = fctx.sem_create(1);
-                    let jobs: Vec<_> = chunks
+                    let jobs: Vec<_> = splits
                         .into_iter()
                         .map(|(key, off, len)| {
                             let store = Arc::clone(&store);
                             let cfg = Arc::clone(&cfg);
                             let env = env.clone();
                             let trace = trace.clone();
-                            move |cctx: &mut Ctx| -> Vec<R> {
+                            move |cctx: &mut Ctx| -> Bytes {
                                 trace.enter(cctx.pid(), parent);
                                 let client =
                                     store.connect_via(cctx, format!("{}/map", cfg.tag), &[env.nic]);
@@ -535,28 +540,24 @@ pub fn serverless_sort<R: SortRecord>(
                                 env.compute(cctx, cfg.work.sort_time(data.len()));
                                 cctx.sem_release(cpu, 1);
                                 trace.exit(cctx.pid());
-                                SortRecord::read_all(&data)
-                                    .unwrap_or_else(|e| panic!("map decode failed: {}", e))
+                                data
                             }
                         })
                         .collect();
                     let name = format!("{}/map-io", cfg.tag);
-                    let downloaded = fctx
+                    chunks = fctx
                         .fan_out(&name, cfg.io_concurrency, jobs)
                         .unwrap_or_else(|e| panic!("map read failed: {}", e));
-                    for mut chunk in downloaded {
-                        read_bytes += chunk.len() * R::WIRE_SIZE;
-                        records.append(&mut chunk);
-                    }
+                    read_bytes = chunks.iter().map(Bytes::len).sum();
                 }
-                records.sort_by_key(|r| r.key());
                 env.compute(fctx, cfg.work.partition_time(read_bytes));
-                // Records are sorted, so partitions are contiguous.
-                let mut buckets: Vec<Vec<u8>> = (0..w).map(|_| Vec::new()).collect();
-                for r in &records {
-                    let p = partitioner.part(&r.key()).min(w - 1);
-                    r.write_to(&mut buckets[p]);
-                }
+                // Sort + range-partition straight over the wire bytes.
+                // The kernel's (chunk, offset) tie-break keeps equal keys
+                // in global input order — byte-identical to the stable
+                // decoded-record sort this replaces. Buckets come back in
+                // sorted order, so partitions stay contiguous.
+                let buckets = kernel::partition_sorted::<R>(&chunks, w, |k| partitioner.part(k))
+                    .unwrap_or_else(|e| panic!("map decode failed: {}", e));
                 let parts: Vec<Bytes> = buckets.into_iter().map(Bytes::from).collect();
                 let xenv = ExchangeEnv {
                     host_links: vec![env.nic],

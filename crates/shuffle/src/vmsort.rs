@@ -123,38 +123,44 @@ pub fn vm_sort<R: SortRecord>(
             reason: format!("no inputs under '{}'", cfg.input_prefix),
         });
     }
-    let mut records: Vec<R> = Vec::new();
+    // Chunks stay in wire form; the kernel sorts over them in place.
+    let mut chunks: Vec<Bytes> = Vec::with_capacity(inputs.len());
     let mut input_bytes = 0u64;
     for obj in &inputs {
         let data = with_retry(ctx, cfg.retries, |c| client.get(c, &cfg.bucket, &obj.key))?;
         input_bytes += data.len() as u64;
-        let mut chunk: Vec<R> = SortRecord::read_all(&data)?;
-        records.append(&mut chunk);
+        chunks.push(data);
     }
     phase_end(ctx, &trace, p_download);
     let downloaded = ctx.now();
 
-    // In-memory sort using every core.
+    // In-memory sort using every core. The zero-copy kernel validates
+    // and sorts the wire bytes directly; its (chunk, offset) tie-break
+    // reproduces the stable decoded-record sort byte for byte.
     let p_sort = phase_begin(ctx, &trace, "sort", SimDuration::ZERO);
     vm.compute_parallel(
         ctx,
         cfg.work.sort_time(input_bytes as usize),
         cfg.profile.vcpus,
     );
-    records.sort_by_key(|r| r.key());
+    let sorted_bytes = Bytes::from(crate::kernel::sort_concat::<R>(&chunks)?);
+    drop(chunks);
     phase_end(ctx, &trace, p_sort);
     let sorted = ctx.now();
 
-    // Upload equal-size record ranges as the sorted runs.
+    // Upload equal-size record ranges as the sorted runs — O(1) slices
+    // of the one sorted buffer, so the retried PUTs clone refcounts,
+    // not record bytes.
     let p_upload = phase_begin(ctx, &trace, "upload", SimDuration::ZERO);
     let mut run_keys = Vec::with_capacity(cfg.runs);
     let mut run_infos = Vec::with_capacity(cfg.runs);
-    let per = records.len().div_ceil(cfg.runs).max(1);
+    let total_records = sorted_bytes.len() / R::WIRE_SIZE;
+    let per = total_records.div_ceil(cfg.runs).max(1);
     let mut output_bytes = 0u64;
     for j in 0..cfg.runs {
-        let lo = (j * per).min(records.len());
-        let hi = ((j + 1) * per).min(records.len());
-        let data = SortRecord::write_all(&records[lo..hi]);
+        let lo = (j * per).min(total_records);
+        let hi = ((j + 1) * per).min(total_records);
+        let data = sorted_bytes.slice(lo * R::WIRE_SIZE..hi * R::WIRE_SIZE);
         output_bytes += data.len() as u64;
         let key = format!("{}{:05}", cfg.output_prefix, j);
         run_infos.push(RunInfo {
@@ -163,7 +169,7 @@ pub fn vm_sort<R: SortRecord>(
             bytes: data.len() as u64,
         });
         with_retry(ctx, cfg.retries, |c| {
-            client.put(c, &cfg.bucket, &key, Bytes::from(data.clone()))
+            client.put(c, &cfg.bucket, &key, data.clone())
         })?;
         run_keys.push(key);
     }

@@ -12,6 +12,11 @@
 //!   host's CPU/context-switch counters, so a slowdown can be split into
 //!   "more work" vs "same work, slower".
 //!
+//! Both files also carry one **cluster** row (`scenario = "cluster"`): a
+//! fixed multi-tenant [`faaspipe_cluster`] service run whose concurrent
+//! per-run process trees exercise the pooled scheduler's many-live-process
+//! path that single pipeline runs cannot reach.
+//!
 //! Numbers are host-dependent by construction; CI runs this step
 //! non-gating (`--check` against the checked-in baseline, warn-only) and
 //! archives the artifact.
@@ -25,8 +30,11 @@
 use std::time::Instant;
 
 use faaspipe_bench::{results_dir, write_json};
+use faaspipe_cluster::TraceMode;
+use faaspipe_cluster::{run_cluster, ArrivalProcess, ClusterConfig, ClusterReport, TenantSpec};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe_des::SimDuration;
 use faaspipe_shuffle::ExchangeKind;
 
 struct SimRow {
@@ -56,6 +64,10 @@ faaspipe_json::json_object! {
 }
 
 struct HostRow {
+    /// Empty for the single-pipeline trajectory, `"cluster"` for the
+    /// multi-tenant service row. `opt` so baselines captured before the
+    /// cluster row existed still parse.
+    scenario: String,
     workers: usize,
     records: usize,
     wall_ms: f64,
@@ -70,6 +82,7 @@ struct HostRow {
 
 faaspipe_json::json_object! {
     HostRow {
+        opt scenario,
         req workers,
         req records,
         req wall_ms,
@@ -85,6 +98,37 @@ faaspipe_json::json_object! {
 
 const RECORDS: usize = 8_000;
 const HOST_WIDTHS: [usize; 3] = [64, 256, 1024];
+
+/// The fixed cluster workload: `CLUSTER_TENANTS` Table-1-shaped tenants
+/// (W = 8 each) fed by a seeded Poisson process, so the same arrival set
+/// (and event count) replays on every host.
+const CLUSTER_TENANTS: usize = 4;
+const CLUSTER_RECORDS: usize = 4_000;
+
+fn cluster_cfg(traced: bool) -> ClusterConfig {
+    let tenants = (0..CLUSTER_TENANTS)
+        .map(|i| TenantSpec::new(format!("t{}", i)))
+        .collect();
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_sec: 0.05,
+        horizon: SimDuration::from_secs(240),
+    };
+    let mut cfg = ClusterConfig::new(tenants, arrivals);
+    cfg.physical_records = CLUSTER_RECORDS;
+    if traced {
+        cfg.trace = TraceMode::InMemory;
+    }
+    cfg
+}
+
+fn timed_cluster(traced: bool) -> (f64, ClusterReport) {
+    let start = Instant::now();
+    let report = run_cluster(&cluster_cfg(traced)).expect("cluster run");
+    let wall = start.elapsed();
+    assert_eq!(report.failed, 0, "cluster runs must all complete");
+    assert!(report.completed > 0, "seeded arrivals must produce runs");
+    (wall.as_secs_f64() * 1e3, report)
+}
 
 /// Wall-clock regression factor that triggers the `--check` warning.
 /// Generous on purpose: shared CI runners jitter, and the check is
@@ -171,6 +215,33 @@ fn bench_sim() -> Vec<SimRow> {
             rows.push(row);
         }
     }
+    // One traced cluster run: concurrent per-tenant process trees over the
+    // shared store/platform, the many-live-process path the pipeline rows
+    // above never exercise.
+    let (wall_ms, report) = timed_cluster(true);
+    let row = SimRow {
+        backend: "cluster".to_string(),
+        workers: CLUSTER_TENANTS * 8,
+        records: CLUSTER_RECORDS,
+        wall_ms,
+        sim_latency_s: report.makespan.as_secs_f64(),
+        spans: report.trace.spans.len(),
+        events: report.sim.events,
+        peak_live_processes: report.sim.peak_live_processes,
+        pool_workers: report.sim.pool_workers,
+    };
+    println!(
+        "{:<10} {:>4}  {:>7.0}ms  {:>11.2}s  {:>7}  {:>9}  {:>5}  {:>5}",
+        row.backend,
+        row.workers,
+        row.wall_ms,
+        row.sim_latency_s,
+        row.spans,
+        row.events,
+        row.peak_live_processes,
+        row.pool_workers
+    );
+    rows.push(row);
     rows
 }
 
@@ -198,6 +269,7 @@ fn bench_host() -> Vec<HostRow> {
         let c1 = ctx_switches();
         assert!(outcome.verified, "W={} must verify", workers);
         let row = HostRow {
+            scenario: String::new(),
             workers,
             records: RECORDS,
             wall_ms: wall.as_secs_f64() * 1e3,
@@ -223,19 +295,51 @@ fn bench_host() -> Vec<HostRow> {
         );
         rows.push(row);
     }
+    // The untraced cluster row, with the same host counters as the
+    // trajectory points so a slowdown still splits into work vs speed.
+    let (u0, s0) = cpu_times();
+    let c0 = ctx_switches();
+    let (wall_ms, report) = timed_cluster(false);
+    let (u1, s1) = cpu_times();
+    let c1 = ctx_switches();
+    let row = HostRow {
+        scenario: "cluster".to_string(),
+        workers: CLUSTER_TENANTS * 8,
+        records: CLUSTER_RECORDS,
+        wall_ms,
+        sim_latency_s: report.makespan.as_secs_f64(),
+        events: report.sim.events,
+        peak_live_processes: report.sim.peak_live_processes,
+        pool_workers: report.sim.pool_workers,
+        user_cpu_s: u1 - u0,
+        sys_cpu_s: s1 - s0,
+        ctx_switches: c1.saturating_sub(c0),
+    };
+    println!(
+        "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  (cluster)",
+        row.workers,
+        row.wall_ms,
+        row.sim_latency_s,
+        row.events,
+        row.peak_live_processes,
+        row.pool_workers,
+        row.user_cpu_s,
+        row.sys_cpu_s,
+        row.ctx_switches
+    );
+    rows.push(row);
     rows
 }
 
 /// Compares fresh host rows against a checked-in baseline. Returns the
 /// number of regressed points (wall clock above `CHECK_FACTOR` × the
-/// baseline for the same worker count).
+/// baseline for the same scenario and worker count).
 fn check_against(baseline: &[HostRow], current: &[HostRow]) -> usize {
     let mut regressed = 0;
     for row in current {
-        let Some(base) = baseline
-            .iter()
-            .find(|b| b.workers == row.workers && b.records == row.records)
-        else {
+        let Some(base) = baseline.iter().find(|b| {
+            b.scenario == row.scenario && b.workers == row.workers && b.records == row.records
+        }) else {
             eprintln!(
                 "warning: no baseline point for W={} records={}; skipping",
                 row.workers, row.records

@@ -1,0 +1,119 @@
+//! SLO arithmetic: nearest-rank percentiles and the Jain fairness index.
+//!
+//! Percentiles use `select_nth_unstable_by` (expected O(n)) rather than a
+//! full sort; the property tests check both functions against naive
+//! reference implementations.
+
+/// Nearest-rank percentile: the smallest sample such that at least
+/// `p`% of the samples are ≤ it (`p` in `(0, 100]`). With an empty
+/// slice returns `0.0`.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    let idx = rank.clamp(1, n) - 1;
+    let mut v = samples.to_vec();
+    let (_, nth, _) = v.select_nth_unstable_by(idx, f64::total_cmp);
+    *nth
+}
+
+/// Jain's fairness index `(Σx)² / (n · Σx²)` over per-tenant allocations:
+/// `1.0` when all tenants see the same value, `1/n` when one tenant gets
+/// everything. Degenerate inputs (empty, or all zero) report `1.0` —
+/// nobody is being treated unfairly when nobody got anything.
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if xs.is_empty() || sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference: full sort, then index by the nearest-rank formula.
+    fn percentile_naive(samples: &[f64], p: f64) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut v = samples.to_vec();
+        v.sort_by(f64::total_cmp);
+        let n = v.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        v[rank.clamp(1, n) - 1]
+    }
+
+    /// Reference: the definition, computed in long form.
+    fn jain_naive(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let mean_sq = xs.iter().map(|x| x * x).sum::<f64>() / n;
+        if mean_sq == 0.0 {
+            return 1.0;
+        }
+        mean * mean / mean_sq
+    }
+
+    #[test]
+    fn percentile_nearest_rank_basics() {
+        let s = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&s, 50.0), 20.0);
+        assert_eq!(percentile(&s, 75.0), 30.0);
+        assert_eq!(percentile(&s, 99.0), 40.0);
+        assert_eq!(percentile(&s, 100.0), 40.0);
+        assert_eq!(percentile(&[5.0], 99.9), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn jain_extremes() {
+        assert_eq!(jain_fairness(&[3.0, 3.0, 3.0]), 1.0);
+        let skewed = jain_fairness(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skewed - 0.25).abs() < 1e-12, "got {skewed}");
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentile_matches_naive_reference(
+            samples in proptest::collection::vec(0.0_f64..1e6, 1..200),
+            p in 0.1_f64..100.0,
+        ) {
+            prop_assert_eq!(percentile(&samples, p), percentile_naive(&samples, p));
+        }
+
+        #[test]
+        fn percentile_is_a_sample_and_monotone_in_p(
+            samples in proptest::collection::vec(0.0_f64..1e6, 1..100),
+            p_lo in 1.0_f64..50.0,
+            p_hi in 50.0_f64..100.0,
+        ) {
+            let lo = percentile(&samples, p_lo);
+            let hi = percentile(&samples, p_hi);
+            prop_assert!(samples.contains(&lo));
+            prop_assert!(samples.contains(&hi));
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn jain_matches_naive_and_stays_in_range(
+            xs in proptest::collection::vec(0.0_f64..1e6, 1..50),
+        ) {
+            let j = jain_fairness(&xs);
+            let r = jain_naive(&xs);
+            prop_assert!((j - r).abs() < 1e-9, "{} vs {}", j, r);
+            let floor = 1.0 / xs.len() as f64;
+            prop_assert!(j >= floor - 1e-9 && j <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Integration tests for the cluster service layer.
+//!
+//! The pinned properties: a single-tenant cluster is *exactly* the
+//! standalone executor (same Table-1 latency and bill), same-seed
+//! cluster runs are deterministic down to the streamed trace bytes, and
+//! admission control behaves like admission control.
+
+use std::fs;
+
+use faaspipe_cluster::TraceMode;
+use faaspipe_cluster::{
+    run_cluster, AdmissionPolicy, Arrival, ArrivalProcess, ClusterConfig, ClusterError, TenantSpec,
+};
+use faaspipe_core::{run_methcomp_pipeline, PipelineConfig};
+use faaspipe_des::{SimDuration, SimTime};
+
+fn one_arrival() -> ArrivalProcess {
+    ArrivalProcess::Trace(vec![Arrival {
+        at: SimTime::ZERO,
+        tenant: 0,
+    }])
+}
+
+/// A small, fast cluster: N tenants, tiny per-run datasets.
+fn quick_cfg(tenants: Vec<TenantSpec>, arrivals: ArrivalProcess) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(tenants, arrivals);
+    cfg.physical_records = 2_000;
+    cfg
+}
+
+#[test]
+fn single_tenant_cluster_reproduces_table1_exactly() {
+    let mut pcfg = PipelineConfig::paper_table1();
+    pcfg.physical_records = 20_000;
+    let standalone = run_methcomp_pipeline(&pcfg).expect("standalone ok");
+
+    // ClusterConfig::new defaults mirror paper_table1 (same seed, same
+    // modelled size, same store/faas/work models); TenantSpec::new is the
+    // same pipeline shape. One arrival at t = 0, no admission limits.
+    let cfg = ClusterConfig::new(vec![TenantSpec::new("t0")], one_arrival());
+    let report = run_cluster(&cfg).expect("cluster ok");
+
+    assert_eq!(report.submitted, 1);
+    assert_eq!(report.completed, 1);
+    let run = &report.runs[0];
+    assert!(run.ok, "{:?}", run.error);
+    assert_eq!(run.queue_wait(), SimDuration::ZERO);
+    // The tentpole acceptance criterion: the service layer adds naming
+    // and accounting, not timing.
+    assert_eq!(
+        run.exec_latency(),
+        standalone.latency,
+        "cluster run must replay the standalone pipeline exactly"
+    );
+    // Same work, same bill — the tags changed, the charges did not.
+    assert_eq!(report.cost.total(), standalone.cost.total());
+    let tenant = report.tenant("t0").expect("tenant row");
+    assert_eq!(tenant.bill, standalone.cost.total());
+    assert!(tenant.store.total_requests() > 0);
+}
+
+#[test]
+fn same_seed_clusters_are_deterministic() {
+    let arrivals = ArrivalProcess::Poisson {
+        rate_per_sec: 0.01,
+        horizon: SimDuration::from_secs(400),
+    };
+    let mk = || {
+        let mut cfg = quick_cfg(
+            vec![TenantSpec::new("t0"), TenantSpec::new("t1")],
+            arrivals.clone(),
+        );
+        cfg.seed = 7;
+        cfg.verify = true;
+        cfg
+    };
+    let a = run_cluster(&mk()).expect("a ok");
+    let b = run_cluster(&mk()).expect("b ok");
+    assert!(a.submitted > 0);
+    assert_eq!(a.submitted, b.submitted);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.failed, 0);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.cost.total(), b.cost.total());
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.tenant, rb.tenant);
+        assert_eq!(ra.arrived, rb.arrived);
+        assert_eq!(ra.finished, rb.finished);
+    }
+}
+
+#[test]
+fn same_seed_clusters_stream_byte_identical_traces() {
+    let dir = std::env::temp_dir();
+    let paths = [
+        dir.join(format!("faaspipe-cluster-{}-a.jsonl", std::process::id())),
+        dir.join(format!("faaspipe-cluster-{}-b.jsonl", std::process::id())),
+    ];
+    let arrivals = ArrivalProcess::Trace(vec![
+        Arrival {
+            at: SimTime::ZERO,
+            tenant: 0,
+        },
+        Arrival {
+            at: SimTime::ZERO + SimDuration::from_secs(5),
+            tenant: 1,
+        },
+        Arrival {
+            at: SimTime::ZERO + SimDuration::from_secs(5),
+            tenant: 0,
+        },
+    ]);
+    for path in &paths {
+        let mut cfg = quick_cfg(
+            vec![TenantSpec::new("t0"), TenantSpec::new("t1")],
+            arrivals.clone(),
+        );
+        cfg.trace = TraceMode::Stream(path.clone());
+        let report = run_cluster(&cfg).expect("cluster ok");
+        assert_eq!(report.completed, 3);
+        // Streaming mode keeps nothing in memory.
+        assert!(report.trace.spans.is_empty());
+    }
+    let a = fs::read(&paths[0]).expect("trace a");
+    let b = fs::read(&paths[1]).expect("trace b");
+    for path in &paths {
+        let _ = fs::remove_file(path);
+    }
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "same seed must stream identical trace bytes");
+    let text = String::from_utf8(a).expect("utf8");
+    assert!(text.lines().all(|l| l.starts_with('{')));
+    assert!(text.contains("\"t0/r0\""), "run spans carry tenant names");
+    assert!(text.contains("t1/r1/"), "stage tags carry the run prefix");
+}
+
+#[test]
+fn concurrency_cap_queues_runs_fifo() {
+    let arrivals = ArrivalProcess::Trace(vec![
+        Arrival {
+            at: SimTime::ZERO,
+            tenant: 0,
+        },
+        Arrival {
+            at: SimTime::ZERO,
+            tenant: 0,
+        },
+        Arrival {
+            at: SimTime::ZERO,
+            tenant: 0,
+        },
+    ]);
+    let mut spec = TenantSpec::new("t0");
+    spec.admission = AdmissionPolicy::unlimited().with_max_concurrent(1);
+    let cfg = quick_cfg(vec![spec], arrivals);
+    let report = run_cluster(&cfg).expect("cluster ok");
+    assert_eq!(report.completed, 3);
+    let runs = &report.runs;
+    assert_eq!(runs[0].queue_wait(), SimDuration::ZERO);
+    // Each later run waits for its predecessor to finish.
+    assert!(runs[1].admitted >= runs[0].finished);
+    assert!(runs[2].admitted >= runs[1].finished);
+    let t = report.tenant("t0").expect("row");
+    assert!(t.mean_queue > 0.0);
+    assert!(t.p99 > t.p50, "queueing must spread the sojourn tail");
+}
+
+#[test]
+fn in_memory_trace_records_per_tenant_run_spans() {
+    let mut cfg = quick_cfg(vec![TenantSpec::new("t0")], one_arrival());
+    cfg.trace = TraceMode::InMemory;
+    let report = run_cluster(&cfg).expect("cluster ok");
+    let runs: Vec<_> = report
+        .trace
+        .spans
+        .iter()
+        .filter(|s| s.category == faaspipe_trace::Category::Run)
+        .collect();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(runs[0].name, "t0/r0");
+    assert!(runs[0].end.is_some());
+    assert!(report
+        .trace
+        .spans
+        .iter()
+        .any(|s| s.name.starts_with("t0/r0/sort")));
+}
+
+#[test]
+fn bad_configs_are_rejected() {
+    let cfg = ClusterConfig::new(vec![], one_arrival());
+    assert!(matches!(
+        run_cluster(&cfg),
+        Err(ClusterError::BadConfig { .. })
+    ));
+
+    let cfg = ClusterConfig::new(vec![TenantSpec::new("a/b")], one_arrival());
+    assert!(matches!(
+        run_cluster(&cfg),
+        Err(ClusterError::BadConfig { .. })
+    ));
+
+    let cfg = ClusterConfig::new(
+        vec![TenantSpec::new("t0"), TenantSpec::new("t0")],
+        one_arrival(),
+    );
+    assert!(matches!(
+        run_cluster(&cfg),
+        Err(ClusterError::BadConfig { .. })
+    ));
+
+    // Trace rows must name configured tenants.
+    let cfg = ClusterConfig::new(
+        vec![TenantSpec::new("t0")],
+        ArrivalProcess::Trace(vec![Arrival {
+            at: SimTime::ZERO,
+            tenant: 3,
+        }]),
+    );
+    assert!(matches!(
+        run_cluster(&cfg),
+        Err(ClusterError::BadConfig { .. })
+    ));
+}

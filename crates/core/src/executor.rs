@@ -62,6 +62,9 @@ pub struct StageResult {
 
 type ResultMap = Arc<Mutex<BTreeMap<String, Result<StageResult, String>>>>;
 
+/// A stage-driver process body, as handed to a DES spawn callback.
+type StageBody = Box<dyn FnOnce(&mut Ctx) + Send>;
+
 /// Handle to a spawned workflow: join `root` (or run the sim to
 /// completion) and collect results.
 #[derive(Debug)]
@@ -143,6 +146,22 @@ impl Executor {
     /// Panics if the DAG fails validation (construct via [`Dag::add_stage`]
     /// to make that impossible).
     pub fn spawn_dag(&self, sim: &mut Sim, dag: &Dag) -> DagHandle {
+        self.spawn_dag_with(dag, &mut |name, body| sim.spawn(name, body))
+    }
+
+    /// Like [`Executor::spawn_dag`], but launched from *inside* a running
+    /// simulation — the caller is a live process (a cluster's per-run
+    /// driver) and the DAG starts at the current virtual time.
+    /// `ctx.join(handle.root)` to rendezvous with completion.
+    pub fn spawn_dag_in(&self, ctx: &Ctx, dag: &Dag) -> DagHandle {
+        self.spawn_dag_with(dag, &mut |name, body| ctx.spawn(name, body))
+    }
+
+    fn spawn_dag_with(
+        &self,
+        dag: &Dag,
+        spawn: &mut dyn FnMut(String, StageBody) -> ProcessId,
+    ) -> DagHandle {
         dag.validate().expect("DAG must be valid");
         let results: ResultMap = Arc::new(Mutex::new(BTreeMap::new()));
         let mut pids: Vec<ProcessId> = Vec::with_capacity(dag.len());
@@ -157,53 +176,59 @@ impl Executor {
             let bucket = dag.bucket.clone();
             let exec = self.clone();
             let results2 = Arc::clone(&results);
-            let pid = sim.spawn(format!("stage:{}", stage.name), move |ctx| {
-                // Wait for dependencies; skip if any failed.
-                for (pid, name) in dep_pids.iter().zip(&dep_names) {
-                    if ctx.join(*pid).is_err() {
-                        results2.lock().insert(
-                            stage2.name.clone(),
-                            Err(format!("dependency driver '{}' crashed", name)),
-                        );
-                        return;
-                    }
-                }
-                {
-                    let map = results2.lock();
-                    for name in &dep_names {
-                        if matches!(map.get(name), Some(Err(_)) | None) {
-                            drop(map);
+            let pid = spawn(
+                format!("stage:{}", stage.name),
+                Box::new(move |ctx: &mut Ctx| {
+                    // Wait for dependencies; skip if any failed.
+                    for (pid, name) in dep_pids.iter().zip(&dep_names) {
+                        if ctx.join(*pid).is_err() {
                             results2.lock().insert(
                                 stage2.name.clone(),
-                                Err(format!("dependency '{}' failed", name)),
+                                Err(format!("dependency driver '{}' crashed", name)),
                             );
                             return;
                         }
                     }
-                }
-                exec.tracker.stage_start(ctx, &stage2.name);
-                let started = ctx.now();
-                let outcome = exec.run_stage(ctx, &bucket, &stage2);
-                exec.tracker.stage_end(ctx, &stage2.name);
-                let finished = ctx.now();
-                let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
-                    stage: stage2.name.clone(),
-                    started,
-                    finished,
-                    workers_used,
-                    output_bytes,
-                });
-                results2.lock().insert(stage2.name.clone(), entry);
-            });
+                    {
+                        let map = results2.lock();
+                        for name in &dep_names {
+                            if matches!(map.get(name), Some(Err(_)) | None) {
+                                drop(map);
+                                results2.lock().insert(
+                                    stage2.name.clone(),
+                                    Err(format!("dependency '{}' failed", name)),
+                                );
+                                return;
+                            }
+                        }
+                    }
+                    exec.tracker.stage_start(ctx, &stage2.name);
+                    let started = ctx.now();
+                    let outcome = exec.run_stage(ctx, &bucket, &stage2);
+                    exec.tracker.stage_end(ctx, &stage2.name);
+                    let finished = ctx.now();
+                    let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
+                        stage: stage2.name.clone(),
+                        started,
+                        finished,
+                        workers_used,
+                        output_bytes,
+                    });
+                    results2.lock().insert(stage2.name.clone(), entry);
+                }),
+            );
             pids.push(pid);
         }
         // Root process: the workflow completes when every stage driver has.
         let all = pids.clone();
-        let root = sim.spawn("workflow:root", move |ctx| {
-            for pid in all {
-                let _ = ctx.join(pid);
-            }
-        });
+        let root = spawn(
+            "workflow:root".to_string(),
+            Box::new(move |ctx: &mut Ctx| {
+                for pid in all {
+                    let _ = ctx.join(pid);
+                }
+            }),
+        );
         DagHandle { root, results }
     }
 
@@ -866,6 +891,58 @@ mod tests {
         // Both encodes produced archives for all four runs.
         assert_eq!(services.store.keys_untimed("data", "enc-mc/").len(), 4);
         assert_eq!(services.store.keys_untimed("data", "enc-gz/").len(), 4);
+    }
+
+    #[test]
+    fn spawn_dag_in_launches_from_a_live_process() {
+        // A cluster's per-run driver spawns the DAG mid-simulation; the
+        // stages start at the driver's current virtual time, not zero.
+        let (mut sim, services, ds) = setup(3_000, 2);
+        let exec = Executor::new(services.clone(), WorkModel::default(), Tracker::new());
+        let mut dag = Dag::new("late", "data");
+        dag.add_stage(
+            "sort",
+            StageKind::ShuffleSort {
+                workers: WorkerChoice::Fixed(2),
+                exchange: ExchangeKind::Coalesced,
+                io_concurrency: None,
+                input: "in/".into(),
+                output: "sorted/".into(),
+            },
+            &[],
+        )
+        .expect("sort");
+        let results: Arc<Mutex<Vec<StageResult>>> = Arc::new(Mutex::new(Vec::new()));
+        let results2 = Arc::clone(&results);
+        sim.spawn("run-driver", move |ctx| {
+            ctx.sleep(SimDuration::from_secs(40));
+            let handle = exec.spawn_dag_in(ctx, &dag);
+            ctx.join(handle.root).expect("workflow");
+            *results2.lock() = handle.ok_results().expect("ok");
+        });
+        sim.run().expect("sim ok");
+        let results = results.lock();
+        assert_eq!(results.len(), 1);
+        assert!(
+            results[0].started >= SimTime::ZERO + SimDuration::from_secs(40),
+            "stage must start after the driver launched it"
+        );
+        verify_outputs_sorted_only(&services, &ds, 2);
+    }
+
+    fn verify_outputs_sorted_only(services: &Services, ds: &Dataset, runs: usize) {
+        let mut expect = ds.clone();
+        expect.sort();
+        let mut all = Vec::new();
+        for j in 0..runs {
+            let run = services
+                .store
+                .peek("data", &format!("sorted/{:05}", j))
+                .expect("run exists");
+            let mut records: Vec<MethRecord> = SortRecord::read_all(&run).expect("decode");
+            all.append(&mut records);
+        }
+        assert_eq!(all, expect.records, "global sort order");
     }
 
     #[test]

@@ -95,10 +95,18 @@ impl PriceBook {
         }
         let mut vm = Money::ZERO;
         for rec in vm_records {
-            vm += self.vm_cost(rec, end);
-        }
-        if vm > Money::ZERO {
-            by_stage.entry("vm".to_string()).or_default().vm = vm;
+            let cost = self.vm_cost(rec, end);
+            vm += cost;
+            if cost > Money::ZERO {
+                // Scoped records (cluster tenants) bill to their scope;
+                // unscoped fleets keep the aggregate "vm" row.
+                let key = if rec.scope.is_empty() {
+                    "vm"
+                } else {
+                    rec.scope.as_str()
+                };
+                by_stage.entry(key.to_string()).or_default().vm += cost;
+            }
         }
         CostReport {
             functions,
@@ -220,12 +228,36 @@ mod tests {
         let rec = VmRecord {
             id: 0,
             profile: VmProfile::bx2_8x32(),
+            scope: String::new(),
             requested: SimTime::ZERO,
             ready: SimTime::ZERO + SimDuration::from_secs(52),
             released: Some(SimTime::ZERO + SimDuration::from_secs(3600)),
         };
         let cost = book.vm_cost(&rec, SimTime::MAX);
         assert_eq!(cost, Money::from_dollars(0.347));
+    }
+
+    #[test]
+    fn scoped_vm_records_bill_to_their_tenant() {
+        let book = PriceBook::default();
+        let mk = |scope: &str| VmRecord {
+            id: 0,
+            profile: VmProfile::bx2_8x32(),
+            scope: scope.to_string(),
+            requested: SimTime::ZERO,
+            ready: SimTime::ZERO,
+            released: Some(SimTime::ZERO + SimDuration::from_secs(3600)),
+        };
+        let report = book.assemble(
+            &[],
+            &StoreMetrics::new(),
+            &[mk("t0"), mk("t1"), mk("")],
+            SimTime::ZERO,
+        );
+        assert_eq!(report.by_stage["t0"].vm, Money::from_dollars(0.347));
+        assert_eq!(report.by_stage["t1"].vm, Money::from_dollars(0.347));
+        assert_eq!(report.by_stage["vm"].vm, Money::from_dollars(0.347));
+        assert_eq!(report.vm, Money::from_dollars(0.347 * 3.0));
     }
 
     #[test]
@@ -264,6 +296,7 @@ mod tests {
         let rec = VmRecord {
             id: 0,
             profile,
+            scope: String::new(),
             requested: SimTime::ZERO,
             ready: SimTime::ZERO,
             released: Some(SimTime::ZERO + SimDuration::from_secs(3600)),

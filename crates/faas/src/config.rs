@@ -25,6 +25,11 @@ pub struct FaasConfig {
     pub cpu_at_2048mb: f64,
     /// Probability an invocation crashes (for failure-injection tests).
     pub failure_rate: f64,
+    /// Partition the warm pool by tenant: a container parked by a tag
+    /// whose first `/`-segment is `t0` can only be claimed by `t0` tags,
+    /// the way real platforms never hand one tenant's container to
+    /// another. Off by default — single-tenant runs keep one pool.
+    pub tenant_scoped_pool: bool,
 }
 
 impl Default for FaasConfig {
@@ -38,6 +43,7 @@ impl Default for FaasConfig {
             nic_bw: Bandwidth::mib_per_sec(80.0),
             cpu_at_2048mb: 1.0,
             failure_rate: 0.0,
+            tenant_scoped_pool: false,
         }
     }
 }
@@ -65,6 +71,13 @@ impl FaasConfig {
     pub fn with_failure_rate(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "failure_rate must be in [0,1]");
         self.failure_rate = rate;
+        self
+    }
+
+    /// Returns the config with the warm pool partitioned by tenant (the
+    /// first `/`-segment of the invocation tag).
+    pub fn with_tenant_scoped_pool(mut self, scoped: bool) -> Self {
+        self.tenant_scoped_pool = scoped;
         self
     }
 }

@@ -96,10 +96,15 @@ impl FunctionEnv {
 /// The simulated functions platform.
 ///
 /// See the [crate docs](crate) for the model and an example.
+/// Warm-pool key: `(tenant scope, function name)`. The scope is `""`
+/// unless [`FaasConfig::tenant_scoped_pool`] is set, in which case it is
+/// the invocation tag's first `/`-segment.
+type PoolKey = (String, String);
+
 pub struct FunctionPlatform {
     cfg: FaasConfig,
     concurrency: SemId,
-    pool: Mutex<HashMap<String, Vec<WarmContainer>>>,
+    pool: Mutex<HashMap<PoolKey, Vec<WarmContainer>>>,
     records: Mutex<Vec<InvocationRecord>>,
     trace: Mutex<TraceSink>,
     next_inv: AtomicU64,
@@ -144,6 +149,15 @@ impl FunctionPlatform {
         self.pool.lock().values().map(|v| v.len()).sum()
     }
 
+    /// The pool partition an invocation tag claims from.
+    fn pool_scope(&self, tag: &str) -> String {
+        if self.cfg.tenant_scoped_pool {
+            tag.split('/').next().unwrap_or("").to_string()
+        } else {
+            String::new()
+        }
+    }
+
     /// The platform configuration.
     pub fn config(&self) -> &FaasConfig {
         &self.cfg
@@ -154,10 +168,26 @@ impl FunctionPlatform {
         self.records.lock().clone()
     }
 
-    /// Number of warm containers currently parked for `function`.
-    /// (Expired containers are evicted lazily, on the next invoke.)
+    /// Number of warm containers currently parked for `function`, summed
+    /// across tenant scopes. (Expired containers are evicted on the next
+    /// invoke — any invoke, not just one of the same function.)
     pub fn warm_count(&self, function: &str) -> usize {
-        self.pool.lock().get(function).map_or(0, |v| v.len())
+        self.pool
+            .lock()
+            .iter()
+            .filter(|((_, f), _)| f == function)
+            .map(|(_, v)| v.len())
+            .sum()
+    }
+
+    /// Number of warm containers parked for `function` in one tenant's
+    /// pool partition (`scope` is the tag's first `/`-segment; use `""`
+    /// when [`FaasConfig::tenant_scoped_pool`] is off).
+    pub fn warm_count_scoped(&self, scope: &str, function: &str) -> usize {
+        self.pool
+            .lock()
+            .get(&(scope.to_string(), function.to_string()))
+            .map_or(0, |v| v.len())
     }
 
     /// Drops all warm containers (simulates a platform-wide reset, used by
@@ -261,13 +291,21 @@ impl FunctionPlatform {
             trace.gauge("faas.queued_invocations", ctx.now(), q as f64);
             trace.span_end(queue, ctx.now());
         }
-        // Claim a warm container or cold-start a new one.
+        // Claim a warm container or cold-start a new one. Expiry is
+        // evaluated pool-wide, not just for this function's slot: with
+        // several tenants interleaving claims, a slot touched by no one
+        // would otherwise keep dead containers on the books (wrong
+        // `warm_count`s and an inflated `faas.warm_containers` gauge).
         let now = ctx.now();
+        let scope = self.pool_scope(&tag);
         let warm = {
             let mut pool = self.pool.lock();
-            let slot = pool.entry(function.clone()).or_default();
-            slot.retain(|c| c.expires >= now);
-            slot.pop()
+            pool.retain(|_, slot| {
+                slot.retain(|c| c.expires >= now);
+                !slot.is_empty()
+            });
+            pool.get_mut(&(scope.clone(), function.clone()))
+                .and_then(|slot| slot.pop())
         };
         if tracing {
             trace.gauge("faas.warm_containers", now, self.pool_size() as f64);
@@ -338,10 +376,11 @@ impl FunctionPlatform {
             std::panic::resume_unwind(payload);
         }
         let finished = ctx.now();
-        // Park the container and release the slot.
+        // Park the container (in its tenant's partition) and release the
+        // slot.
         {
             let mut pool = self.pool.lock();
-            pool.entry(function.clone())
+            pool.entry((scope, function.clone()))
                 .or_default()
                 .push(WarmContainer {
                     nic,
@@ -646,6 +685,62 @@ mod tests {
             .expect("compute span");
         assert_eq!(compute.parent, Some(inv.id));
         assert!(data.spans.iter().any(|s| s.category == Category::Queue));
+    }
+
+    #[test]
+    fn interleaved_tenants_do_not_share_warm_containers() {
+        // Two tenants interleave claims on the shared platform. With the
+        // pool partitioned by tenant, t1 must NOT pick up the container
+        // t0 just parked — on the pre-fix shared pool it warm-started
+        // on t0's container (and inherited its NIC).
+        let cfg = FaasConfig::default().with_tenant_scoped_pool(true);
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "t0/r0/sort/map", |_, env| assert!(env.cold))
+                .unwrap();
+            p.invoke(ctx, "f", "t1/r0/sort/map", |_, env| {
+                assert!(env.cold, "a tenant must not claim another's container")
+            })
+            .unwrap();
+            // Each tenant's own second claim is warm.
+            p.invoke(ctx, "f", "t0/r1/sort/map", |_, env| assert!(!env.cold))
+                .unwrap();
+            p.invoke(ctx, "f", "t1/r1/sort/map", |_, env| assert!(!env.cold))
+                .unwrap();
+        });
+        sim.run().expect("run");
+        assert_eq!(faas.warm_count_scoped("t0", "f"), 1);
+        assert_eq!(faas.warm_count_scoped("t1", "f"), 1);
+        assert_eq!(faas.warm_count("f"), 2);
+    }
+
+    #[test]
+    fn interleaved_claims_evict_expired_containers_globally() {
+        // Keep-alive expiry used to be evaluated only for the slot being
+        // claimed: tenant A's dead "f" container stayed on the books
+        // forever while tenant B kept invoking "g". Any claim now sweeps
+        // the whole pool.
+        let cfg = FaasConfig {
+            keep_alive: SimDuration::from_secs(1),
+            ..FaasConfig::default()
+        };
+        let (mut sim, faas) = platform_sim(cfg);
+        let p = faas.clone();
+        sim.spawn("driver", move |ctx| {
+            p.invoke(ctx, "f", "a", |_, _| {}).unwrap();
+            assert_eq!(p.warm_count("f"), 1);
+            ctx.sleep(SimDuration::from_secs(5));
+            // A *different* function's claim happens after "f"'s
+            // container expired; the expired container must be gone.
+            p.invoke(ctx, "g", "b", |_, _| {}).unwrap();
+            assert_eq!(
+                p.warm_count("f"),
+                0,
+                "expired container must not survive an interleaved claim"
+            );
+        });
+        sim.run().expect("run");
     }
 
     #[test]

@@ -105,6 +105,19 @@ impl StoreMetrics {
         }
         t
     }
+
+    /// Sum of all tags belonging to `scope`: the tag equals `scope` or
+    /// starts with `scope/`. With the cluster's `tenant/run/stage` tag
+    /// convention this is one tenant's store traffic.
+    pub fn total_for_scope(&self, scope: &str) -> TagMetrics {
+        let mut t = TagMetrics::default();
+        for (tag, m) in &self.per_tag {
+            if tag == scope || (tag.starts_with(scope) && tag[scope.len()..].starts_with('/')) {
+                t.merge(m);
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]

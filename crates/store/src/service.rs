@@ -30,6 +30,11 @@ pub struct ObjectStore {
     metrics: Mutex<StoreMetrics>,
     aggregate: LinkId,
     ops: LimiterId,
+    /// Per-tenant ops/s token buckets (admission control), keyed by the
+    /// client tag's first `/`-segment. Empty unless a cluster installs
+    /// scope limits; requests then pay the scope's bucket *after* the
+    /// global one.
+    scope_ops: Mutex<BTreeMap<String, LimiterId>>,
     next_upload: AtomicU64,
     trace: Mutex<TraceSink>,
     inflight: AtomicU64,
@@ -56,6 +61,7 @@ impl ObjectStore {
             metrics: Mutex::new(StoreMetrics::new()),
             aggregate,
             ops,
+            scope_ops: Mutex::new(BTreeMap::new()),
             next_upload: AtomicU64::new(1),
             trace: Mutex::new(TraceSink::disabled()),
             inflight: AtomicU64::new(0),
@@ -111,12 +117,40 @@ impl ObjectStore {
         let conn = ctx.link_create(self.cfg.per_connection_bw);
         let mut links = vec![conn, self.aggregate];
         links.extend_from_slice(host_links);
+        let tag = tag.into();
+        let scope_ops = {
+            let scopes = self.scope_ops.lock();
+            if scopes.is_empty() {
+                None
+            } else {
+                tag.split('/')
+                    .next()
+                    .and_then(|scope| scopes.get(scope).copied())
+            }
+        };
         StoreClient {
             store: Arc::clone(self),
             links,
-            tag: tag.into(),
+            tag,
+            scope_ops,
             trace: self.trace.lock().clone(),
         }
+    }
+
+    /// Installs a per-tenant ops/s token bucket: every request from a
+    /// client whose tag's first `/`-segment equals `scope` additionally
+    /// acquires from this bucket (on top of the store-wide limiter).
+    /// Call before spawning the tenant's processes — existing clients
+    /// are not re-resolved.
+    pub fn set_scope_ops_limit(
+        &self,
+        sim: &mut Sim,
+        scope: impl Into<String>,
+        ops_per_sec: f64,
+        burst: f64,
+    ) {
+        let limiter = sim.create_limiter(ops_per_sec, burst);
+        self.scope_ops.lock().insert(scope.into(), limiter);
     }
 
     /// Snapshot of the request metrics.
@@ -215,6 +249,8 @@ pub struct StoreClient {
     store: Arc<ObjectStore>,
     links: Vec<LinkId>,
     tag: String,
+    /// The tenant's ops bucket, resolved from the tag at connect time.
+    scope_ops: Option<LimiterId>,
     trace: TraceSink,
 }
 
@@ -250,6 +286,9 @@ impl StoreClient {
     fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<(), StoreError> {
         let cfg = &self.store.cfg;
         ctx.limiter_acquire(self.store.ops, 1.0);
+        if let Some(scope_ops) = self.scope_ops {
+            ctx.limiter_acquire(scope_ops, 1.0);
+        }
         let fate = cfg.failure.draw(ctx.rng());
         let latency = match fate {
             Fate::Slow(factor) => cfg.first_byte_latency.mul_f64(factor),
@@ -1450,5 +1489,54 @@ mod tests {
         store.create_bucket("b").expect("first");
         let err = store.create_bucket("b").expect_err("duplicate");
         assert!(matches!(err, StoreError::BucketAlreadyExists { .. }));
+    }
+
+    #[test]
+    fn scope_ops_limit_throttles_only_that_tenant() {
+        let mut sim = Sim::new();
+        let cfg = StoreConfig {
+            first_byte_latency: SimDuration::ZERO,
+            ..quiet_config()
+        };
+        let store = ObjectStore::install(&mut sim, cfg);
+        store.create_bucket("b").expect("bucket");
+        // t0 gets 1 op/s with a single-token burst; t1 is unlimited.
+        store.set_scope_ops_limit(&mut sim, "t0", 1.0, 1.0);
+        let finish = Arc::new(StdMutex::new(BTreeMap::new()));
+        for tenant in ["t0", "t1"] {
+            let handle = Arc::clone(&store);
+            let finish = Arc::clone(&finish);
+            sim.spawn(format!("{}-driver", tenant), move |ctx| {
+                let c = handle.connect(ctx, format!("{}/r0/sort", tenant));
+                for i in 0..3 {
+                    c.put(ctx, "b", &format!("{}/{}", tenant, i), Bytes::from("x"))
+                        .expect("put");
+                }
+                finish
+                    .lock()
+                    .unwrap()
+                    .insert(tenant, ctx.now().as_secs_f64());
+            });
+        }
+        sim.run().expect("run");
+        let finish = finish.lock().unwrap();
+        // Three ops at 1 op/s, first from the burst: t0 finishes at 2 s.
+        assert!((finish["t0"] - 2.0).abs() < 1e-6, "got {}", finish["t0"]);
+        assert!(finish["t1"] < 1e-6, "got {}", finish["t1"]);
+    }
+
+    #[test]
+    fn scoped_metrics_aggregate_by_tag_prefix() {
+        let mut m = StoreMetrics::new();
+        m.record("t0/r0/sort", RequestClass::ClassA, 10, 0, false);
+        m.record("t0/r1/sort", RequestClass::ClassB, 0, 5, false);
+        m.record("t1/r0/sort", RequestClass::ClassA, 7, 0, false);
+        m.record("t10/r0/sort", RequestClass::ClassA, 9, 0, false);
+        let t0 = m.total_for_scope("t0");
+        assert_eq!(t0.total_requests(), 2);
+        assert_eq!(t0.bytes_in.as_u64(), 10);
+        assert_eq!(t0.bytes_out.as_u64(), 5);
+        // "t10/..." must not leak into scope "t1".
+        assert_eq!(m.total_for_scope("t1").bytes_in.as_u64(), 7);
     }
 }

@@ -18,6 +18,9 @@ pub struct VmRecord {
     pub id: u64,
     /// Profile provisioned.
     pub profile: VmProfile,
+    /// Attribution scope of the provisioning handle (a tenant name in a
+    /// cluster run); `""` for the unscoped fleet.
+    pub scope: String,
     /// When provisioning was requested (billing starts here).
     pub requested: SimTime,
     /// When the instance became usable.
@@ -90,6 +93,8 @@ impl VmInstance {
 #[derive(Debug, Clone, Default)]
 pub struct VmFleet {
     inner: Arc<FleetInner>,
+    /// Attribution scope stamped on this handle's provisions.
+    scope: String,
 }
 
 #[derive(Debug, Default)]
@@ -106,6 +111,21 @@ impl VmFleet {
     /// Creates an empty fleet.
     pub fn new() -> VmFleet {
         VmFleet::default()
+    }
+
+    /// A handle onto the *same* fleet (shared ids, records, trace sink)
+    /// whose provisions are attributed to `scope` — how a cluster bills
+    /// one shared fleet's VMs to the tenants that asked for them.
+    pub fn scoped(&self, scope: impl Into<String>) -> VmFleet {
+        VmFleet {
+            inner: Arc::clone(&self.inner),
+            scope: scope.into(),
+        }
+    }
+
+    /// This handle's attribution scope (`""` for the unscoped fleet).
+    pub fn scope(&self) -> &str {
+        &self.scope
     }
 
     /// Routes per-VM spans and the active-instance gauge to `sink`. The
@@ -171,6 +191,7 @@ impl VmFleet {
         self.inner.records.lock().push(VmRecord {
             id,
             profile: profile.clone(),
+            scope: self.scope.clone(),
             requested,
             ready: ctx.now(),
             released: None,
@@ -327,6 +348,27 @@ mod tests {
             !data.spans.iter().any(|s| s.category == Category::ColdStart),
             "a background boot must not claim the critical path"
         );
+    }
+
+    #[test]
+    fn scoped_handles_share_the_fleet_but_stamp_attribution() {
+        let mut sim = Sim::new();
+        let fleet = VmFleet::new();
+        let t0 = fleet.scoped("t0");
+        let t1 = fleet.scoped("t1");
+        sim.spawn("driver", move |ctx| {
+            let a = t0.provision(ctx, VmProfile::bx2_4x16());
+            let b = t1.provision(ctx, VmProfile::bx2_4x16());
+            assert_ne!(a.id, b.id, "ids come from the shared fleet");
+            t0.release(ctx, a);
+            t1.release(ctx, b);
+        });
+        sim.run().expect("run");
+        let recs = fleet.records();
+        assert_eq!(recs.len(), 2, "one shared record book");
+        assert_eq!(recs[0].scope, "t0");
+        assert_eq!(recs[1].scope, "t1");
+        assert_eq!(fleet.scope(), "");
     }
 
     #[test]

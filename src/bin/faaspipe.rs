@@ -9,6 +9,8 @@
 //! faaspipe compress <in.bed> <out.mc>     METHCOMP-compress a bedMethyl file
 //! faaspipe decompress <in.mc> <out.bed>   decompress a METHCOMP archive
 //! faaspipe tune --gb X [--chunks N]       recommend a shuffle worker count
+//! faaspipe cluster [--tenants N] [--rate R] [--horizon S]
+//!                                         multi-tenant cluster simulation
 //! ```
 //!
 //! Exit status is non-zero on any error; messages go to stderr.
@@ -17,6 +19,9 @@ use std::process::ExitCode;
 
 use bytes::Bytes;
 
+use faaspipe::cluster::{
+    run_cluster, AdmissionPolicy, ArrivalProcess, ClusterConfig, TenantSpec, TraceMode,
+};
 use faaspipe::core::executor::{Executor, Services};
 use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe::core::pricing::PriceBook;
@@ -42,7 +47,10 @@ const USAGE: &str = "usage:
   faaspipe decompress <input.mc> <output.bed>
   faaspipe index <input.bed> <output.mcx>
   faaspipe query <archive.mcx> <chrom> <start> <end>
-  faaspipe tune --gb <size> [--chunks N] [--max-workers N] [--budget $]";
+  faaspipe tune --gb <size> [--chunks N] [--max-workers N] [--budget $]
+  faaspipe cluster [--tenants N] [--rate R] [--horizon S] [--records N] [--seed S]
+                   [--exchange B] [--arrivals <trace.txt>] [--max-concurrent N]
+                   [--store-ops OPS] [--stream-trace <out.jsonl>] [--verify]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +63,7 @@ fn main() -> ExitCode {
         Some("index") => cmd_index(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("tune") => cmd_tune(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("--help") | Some("-h") | None => {
             println!("{}", USAGE);
             Ok(())
@@ -363,6 +372,70 @@ fn two_paths(args: &[String], cmd: &str) -> Result<[String; 2], String> {
         [a, b] => Ok([(*a).clone(), (*b).clone()]),
         _ => Err(format!("{} requires <input> <output>", cmd)),
     }
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let tenants: usize = flag_parse(args, "--tenants", 2)?;
+    if tenants == 0 {
+        return Err("--tenants must be at least 1".into());
+    }
+    let rate: f64 = flag_parse(args, "--rate", 0.02)?;
+    let horizon: u64 = flag_parse(args, "--horizon", 300)?;
+    let records: usize = flag_parse(args, "--records", 20_000)?;
+    let exchange: ExchangeKind = flag_parse(args, "--exchange", ExchangeKind::Scatter)?;
+    let max_concurrent: Option<String> = flag(args, "--max-concurrent")?;
+    let store_ops: Option<String> = flag(args, "--store-ops")?;
+
+    let mut admission = AdmissionPolicy::unlimited();
+    if let Some(v) = max_concurrent {
+        let n: u64 = v
+            .parse()
+            .map_err(|_| format!("invalid value '{}' for --max-concurrent", v))?;
+        admission = admission.with_max_concurrent(n);
+    }
+    if let Some(v) = store_ops {
+        let ops: f64 = v
+            .parse()
+            .map_err(|_| format!("invalid value '{}' for --store-ops", v))?;
+        admission = admission.with_store_ops(ops, ops);
+    }
+
+    let specs: Vec<TenantSpec> = (0..tenants)
+        .map(|i| {
+            let mut t = TenantSpec::new(format!("t{}", i));
+            t.exchange = exchange;
+            t.admission = admission.clone();
+            t
+        })
+        .collect();
+
+    let arrivals = match flag(args, "--arrivals")? {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {}", path, e))?;
+            ArrivalProcess::from_trace_str(&text)?
+        }
+        None => ArrivalProcess::Poisson {
+            rate_per_sec: rate,
+            horizon: faaspipe::des::SimDuration::from_secs(horizon),
+        },
+    };
+
+    let mut cfg = ClusterConfig::new(specs, arrivals);
+    cfg.physical_records = records;
+    cfg.seed = flag_parse(args, "--seed", cfg.seed)?;
+    cfg.verify = args.iter().any(|a| a == "--verify");
+    if let Some(path) = flag(args, "--stream-trace")? {
+        cfg.trace = TraceMode::Stream(path.into());
+    }
+
+    let report = run_cluster(&cfg).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    println!("--- cost ---\n{}", report.cost.render());
+    if let TraceMode::Stream(path) = &cfg.trace {
+        eprintln!("streamed trace to {}", path.display());
+    }
+    Ok(())
 }
 
 fn cmd_tune(args: &[String]) -> Result<(), String> {

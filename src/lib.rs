@@ -13,8 +13,11 @@
 //! - [`exchange`] — pluggable intermediate data-exchange backends
 //!   (object storage, VM relay, direct function-to-function streaming)
 //! - [`core`] — workflow DAGs, JSON pipeline specs, executor, tracker, pricing
+//! - [`cluster`] — multi-tenant pipeline service: shared-cloud contention,
+//!   open-loop arrivals, admission control, per-tenant SLO metrics
 //! - [`trace`] — virtual-time tracing: spans, counters, exporters, critical path
 
+pub use faaspipe_cluster as cluster;
 pub use faaspipe_codec as codec;
 pub use faaspipe_core as core;
 pub use faaspipe_des as des;

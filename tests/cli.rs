@@ -272,3 +272,71 @@ fn run_rejects_bad_spec() {
     let out = bin().arg("run").arg(&spec).output().expect("run");
     assert!(!out.status.success());
 }
+
+#[test]
+fn cluster_runs_a_small_multi_tenant_simulation() {
+    let out = bin()
+        .args([
+            "cluster",
+            "--tenants",
+            "2",
+            "--rate",
+            "0.02",
+            "--horizon",
+            "150",
+            "--records",
+            "2000",
+        ])
+        .output()
+        .expect("cluster");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("cluster:"));
+    assert!(stdout.contains("t0"));
+    assert!(stdout.contains("t1"));
+    assert!(stdout.contains("TOTAL"));
+}
+
+#[test]
+fn cluster_accepts_an_arrival_trace_and_streams_a_trace_file() {
+    let arrivals = tmp("arrivals.txt");
+    std::fs::write(&arrivals, "# t tenant\n0 0\n2.5 1\n5 0\n").expect("write arrivals");
+    let trace = tmp("cluster-trace.jsonl");
+    let out = bin()
+        .arg("cluster")
+        .args(["--tenants", "2", "--records", "2000", "--arrivals"])
+        .arg(&arrivals)
+        .arg("--stream-trace")
+        .arg(&trace)
+        .output()
+        .expect("cluster");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 submitted"));
+    let streamed = std::fs::read_to_string(&trace).expect("trace file");
+    assert!(streamed.lines().count() > 10, "trace must hold JSONL lines");
+    assert!(streamed.contains("\"t0/r0\""));
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn cluster_rejects_bad_flags() {
+    let out = bin()
+        .args(["cluster", "--tenants", "0"])
+        .output()
+        .expect("cluster");
+    assert!(!out.status.success());
+
+    let out = bin()
+        .args(["cluster", "--max-concurrent", "banana"])
+        .output()
+        .expect("cluster");
+    assert!(!out.status.success());
+}

@@ -21,6 +21,7 @@
 //! | `repro_relay_sharding` | E16 — sharded relay fleet: W × shards frontier, cold vs pre-warmed |
 //! | `repro_io_concurrency` | E17 — intra-function parallel I/O: makespan vs the per-function I/O window |
 //! | `repro_cluster_contention` | E18 — multi-tenant cluster: offered-load → goodput knee, noisy neighbor vs admission |
+//! | `repro_autotuner` | E19 — calibrated cost model vs simulated ground truth; `--exchange auto` planner regret |
 //! | `bench_sim_wallclock` | BENCH_sim — host wall-clock cost of the simulator itself (non-gating) |
 //!
 //! Every binary prints a human-readable table and writes the raw rows as

@@ -577,7 +577,13 @@ fn drive_run(
         PipelineMode::PureServerless => StageKind::ShuffleSort {
             workers: spec.workers,
             exchange: spec.exchange,
-            io_concurrency: Some(spec.io_concurrency.max(1)),
+            // Under `auto` the planner owns the I/O window; an explicit
+            // backend keeps the tenant's configured one.
+            io_concurrency: if spec.exchange == ExchangeKind::Auto {
+                None
+            } else {
+                Some(spec.io_concurrency.max(1))
+            },
             input: "in/".into(),
             output: "sorted/".into(),
         },

@@ -17,6 +17,7 @@ use faaspipe_exchange::{
 };
 use faaspipe_faas::FunctionPlatform;
 use faaspipe_methcomp::{codec as mc_codec, Dataset, MethRecord};
+use faaspipe_plan::{ModelParams, Plan, Planner, SearchSpace, Workload};
 use faaspipe_shuffle::{
     serverless_sort, vm_sort, Autotuner, SortConfig, SortRecord, VmSortConfig, WorkModel,
 };
@@ -116,6 +117,10 @@ pub struct Executor {
     /// (job serialization + upload, invoke fan-out, COS future polling).
     /// Unbilled, but on the critical path.
     pub orchestration: SimDuration,
+    /// Calibrated model parameters for `--exchange auto` planning.
+    /// `None` derives parameters from the service configurations at
+    /// plan time ([`ModelParams::from_configs`]).
+    pub plan_params: Option<ModelParams>,
 }
 
 impl Executor {
@@ -128,6 +133,7 @@ impl Executor {
             max_autotune_workers: 64,
             io_concurrency: SortConfig::default().io_concurrency,
             orchestration: SimDuration::from_millis(8_000),
+            plan_params: None,
         }
     }
 
@@ -136,6 +142,14 @@ impl Executor {
     #[must_use]
     pub fn with_io_concurrency(mut self, io_concurrency: usize) -> Executor {
         self.io_concurrency = io_concurrency.max(1);
+        self
+    }
+
+    /// Supplies calibrated model parameters for `--exchange auto`
+    /// planning (see [`Executor::plan_params`]).
+    #[must_use]
+    pub fn with_plan_params(mut self, params: ModelParams) -> Executor {
+        self.plan_params = Some(params);
         self
     }
 
@@ -165,7 +179,20 @@ impl Executor {
         dag.validate().expect("DAG must be valid");
         let results: ResultMap = Arc::new(Mutex::new(BTreeMap::new()));
         let mut pids: Vec<ProcessId> = Vec::with_capacity(dag.len());
-        for stage in dag.stages() {
+        for (idx, stage) in dag.stages().iter().enumerate() {
+            // The planner's makespan objective extends through any encode
+            // stage fed by this one: a wide shuffle that leaves the encode
+            // gang more runs than workers is not actually faster.
+            let downstream_encode: usize = dag
+                .stages()
+                .iter()
+                .filter(|s| s.deps.iter().any(|d| d.0 == idx))
+                .filter_map(|s| match &s.kind {
+                    StageKind::Encode { workers, .. } => Some(*workers),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
             let dep_pids: Vec<ProcessId> = stage.deps.iter().map(|d| pids[d.0]).collect();
             let dep_names: Vec<String> = stage
                 .deps
@@ -204,7 +231,7 @@ impl Executor {
                     }
                     exec.tracker.stage_start(ctx, &stage2.name);
                     let started = ctx.now();
-                    let outcome = exec.run_stage(ctx, &bucket, &stage2);
+                    let outcome = exec.run_stage(ctx, &bucket, &stage2, downstream_encode);
                     exec.tracker.stage_end(ctx, &stage2.name);
                     let finished = ctx.now();
                     let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
@@ -259,6 +286,7 @@ impl Executor {
         ctx: &mut Ctx,
         bucket: &str,
         stage: &Stage,
+        downstream_encode: usize,
     ) -> Result<(usize, u64), String> {
         match &stage.kind {
             StageKind::ShuffleSort {
@@ -273,7 +301,8 @@ impl Executor {
                 &stage.name,
                 *workers,
                 *exchange,
-                io_concurrency.unwrap_or(self.io_concurrency),
+                *io_concurrency,
+                downstream_encode,
                 input,
                 output,
             ),
@@ -441,10 +470,112 @@ impl Executor {
                 .with_trace(trace);
                 Some(Arc::new(sharded))
             }
+            ExchangeKind::Auto => unreachable!(
+                "ExchangeKind::Auto is resolved by the planner before a backend is constructed"
+            ),
         }
     }
 
+    /// Resolves `--exchange auto` for one shuffle stage: LISTs the
+    /// stage's inputs to size the [`Workload`], runs the
+    /// [`Planner`] over the calibrated parameters (or config-derived
+    /// defaults), and records the decision as a zero-width
+    /// [`Category::Planner`] span plus a tracker note. Dimensions the
+    /// spec pins (a fixed worker count, an explicit `io_concurrency`)
+    /// constrain the search instead of being overridden.
     #[allow(clippy::too_many_arguments)]
+    fn plan_stage(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &str,
+        input: &str,
+        choice: WorkerChoice,
+        io_concurrency: Option<usize>,
+        downstream_encode: usize,
+    ) -> Result<Plan, String> {
+        let store = &self.services.store;
+        let client = store.connect(ctx, format!("{}/plan", stage));
+        let inputs = client
+            .list(ctx, bucket, input)
+            .map_err(|e| format!("plan list failed: {}", e))?;
+        if inputs.is_empty() {
+            return Err(format!("no shuffle inputs under '{}'", input));
+        }
+        let cfg = store.config();
+        let scaled: Vec<f64> = inputs
+            .iter()
+            .map(|o| cfg.scaled_len(o.len.as_u64() as usize) as f64)
+            .collect();
+        let data_bytes: f64 = scaled.iter().sum();
+        // The sample phase range-reads at most `sample_bytes` physical
+        // bytes per chunk; on the wire that is the scaled cap, clamped
+        // to the (scaled) chunk itself.
+        let sample_cap = cfg.scaled_len(SortConfig::default().sample_bytes as usize) as f64;
+        let sample_read_bytes =
+            scaled.iter().map(|&s| s.min(sample_cap)).sum::<f64>() / scaled.len() as f64;
+        let workload = Workload {
+            data_bytes,
+            input_chunks: inputs.len(),
+            sample_read_bytes,
+            encode_workers: downstream_encode,
+        };
+        let params = self.plan_params.clone().unwrap_or_else(|| {
+            let mut p = ModelParams::from_configs(
+                cfg,
+                self.services.faas.config(),
+                &RelayConfig::default(),
+                &DirectConfig::default(),
+                &self.work,
+            );
+            p.orchestration_s = self.orchestration.as_secs_f64();
+            p
+        });
+        let mut space = SearchSpace::default().cap_workers(self.max_autotune_workers);
+        if let WorkerChoice::Fixed(n) = choice {
+            space = space.pin_workers(n);
+        }
+        if let Some(k) = io_concurrency {
+            space = space.pin_io(k);
+        }
+        let plan = Planner::new(params).with_space(space).plan(&workload);
+        let trace = store.trace_sink();
+        if trace.is_enabled() {
+            let parent = trace.current(ctx.pid());
+            let span = trace.span_start(
+                Category::Planner,
+                "plan",
+                "driver",
+                "driver",
+                parent,
+                ctx.now(),
+            );
+            trace.attr(span, "workers", plan.workers);
+            trace.attr(span, "io_concurrency", plan.io_concurrency);
+            trace.attr(span, "exchange", plan.exchange.to_string());
+            trace.attr(span, "predicted_makespan_s", plan.predicted.makespan_s);
+            trace.attr(span, "predicted_cost_dollars", plan.predicted.cost_dollars);
+            trace.attr(span, "evaluated", plan.evaluated);
+            trace.attr(span, "pruned", plan.pruned);
+            trace.span_end(span, ctx.now());
+        }
+        self.tracker.note(
+            ctx,
+            stage,
+            format!(
+                "planner picked W={}, K={}, {} (predicted {:.1}s, ${:.4}; {} evaluated, {} pruned)",
+                plan.workers,
+                plan.io_concurrency,
+                plan.exchange,
+                plan.predicted.makespan_s,
+                plan.predicted.cost_dollars,
+                plan.evaluated,
+                plan.pruned
+            ),
+        );
+        Ok(plan)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn exec_shuffle(
         &self,
@@ -453,10 +584,40 @@ impl Executor {
         stage: &str,
         choice: WorkerChoice,
         exchange: ExchangeKind,
-        io_concurrency: usize,
+        io_concurrency: Option<usize>,
+        downstream_encode: usize,
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
+        // `auto` resolves every open dimension up front; explicit
+        // backends keep the historical path (and its virtual timings)
+        // untouched.
+        let planned = if exchange == ExchangeKind::Auto {
+            Some(self.plan_stage(
+                ctx,
+                bucket,
+                stage,
+                input,
+                choice,
+                io_concurrency,
+                downstream_encode,
+            )?)
+        } else {
+            None
+        };
+        if let Some(plan) = &planned {
+            return self.run_shuffle(
+                ctx,
+                bucket,
+                stage,
+                plan.workers,
+                plan.exchange,
+                plan.io_concurrency,
+                input,
+                output,
+            );
+        }
+        let io_concurrency = io_concurrency.unwrap_or(self.io_concurrency);
         let workers = match choice {
             WorkerChoice::Fixed(n) => n,
             WorkerChoice::Auto => {
@@ -504,6 +665,32 @@ impl Executor {
                 w
             }
         };
+        self.run_shuffle(
+            ctx,
+            bucket,
+            stage,
+            workers,
+            exchange,
+            io_concurrency,
+            input,
+            output,
+        )
+    }
+
+    /// Runs the serverless sort with fully resolved knobs (the shared
+    /// tail of the explicit and planned shuffle paths).
+    #[allow(clippy::too_many_arguments)]
+    fn run_shuffle(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        stage: &str,
+        workers: usize,
+        exchange: ExchangeKind,
+        io_concurrency: usize,
+        input: &str,
+        output: &str,
+    ) -> Result<(usize, u64), String> {
         let cfg = SortConfig {
             workers,
             bucket: bucket.to_string(),

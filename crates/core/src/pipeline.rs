@@ -90,6 +90,9 @@ pub struct PipelineConfig {
     /// Codec for the encode stage (METHCOMP, or the gzip-class baseline
     /// for the end-to-end codec comparison).
     pub encode_codec: EncodeCodec,
+    /// Calibrated model parameters for `exchange = auto` planning.
+    /// `None` plans from config-derived defaults.
+    pub plan_params: Option<faaspipe_plan::ModelParams>,
     /// Record a full execution trace (spans + counters) into
     /// [`PipelineOutcome::trace`]. Off by default: the disabled sink
     /// keeps instrumentation out of the hot path.
@@ -116,6 +119,7 @@ impl PipelineConfig {
             exchange: ExchangeKind::Scatter,
             io_concurrency: SortConfig::default().io_concurrency,
             encode_codec: EncodeCodec::Methcomp,
+            plan_params: None,
             trace: false,
         }
     }
@@ -274,13 +278,22 @@ pub fn run_methcomp_pipeline(cfg: &PipelineConfig) -> Result<PipelineOutcome, Pi
         fleet: fleet.clone(),
     };
     let work = cfg.work.clone().with_size_scale(scale);
-    let executor = Executor::new(services, work, tracker.clone());
+    let mut executor = Executor::new(services, work, tracker.clone());
+    if let Some(params) = &cfg.plan_params {
+        executor = executor.with_plan_params(params.clone());
+    }
     let mut dag = Dag::new("methcomp", "data");
     let sort_kind = match cfg.mode {
         PipelineMode::PureServerless => StageKind::ShuffleSort {
             workers: cfg.workers,
             exchange: cfg.exchange,
-            io_concurrency: Some(cfg.io_concurrency.max(1)),
+            // Under `auto` the planner owns the I/O window; an explicit
+            // backend keeps the configured one.
+            io_concurrency: if cfg.exchange == ExchangeKind::Auto {
+                None
+            } else {
+                Some(cfg.io_concurrency.max(1))
+            },
             input: "in/".into(),
             output: "sorted/".into(),
         },

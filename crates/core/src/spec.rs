@@ -204,7 +204,9 @@ impl PipelineSpec {
                 "shuffle_sort" => {
                     let exchange = match s.exchange.as_deref() {
                         None => ExchangeKind::Scatter,
-                        Some(name) => name.parse::<ExchangeKind>().map_err(|e| invalid(&e))?,
+                        Some(name) => name
+                            .parse::<ExchangeKind>()
+                            .map_err(|e| invalid(&e.to_string()))?,
                     };
                     StageKind::ShuffleSort {
                         workers: s

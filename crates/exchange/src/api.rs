@@ -6,7 +6,7 @@ use std::str::FromStr;
 use bytes::Bytes;
 use faaspipe_des::{Ctx, LinkId};
 
-use crate::error::ExchangeError;
+use crate::error::{ExchangeError, ExchangeParseError, ExchangeParseIssue};
 
 /// How an object-store backend lays intermediates out across keys.
 ///
@@ -48,6 +48,11 @@ pub enum ExchangeKind {
         /// `prepare`.
         prewarm: bool,
     },
+    /// Let the planner (`faaspipe-plan`) pick the backend — together
+    /// with W, K, and shard count — from its calibrated cost/latency
+    /// model. The executor resolves this to one of the concrete kinds
+    /// before the stage launches; it never reaches a backend factory.
+    Auto,
 }
 
 impl ExchangeKind {
@@ -70,6 +75,7 @@ impl ExchangeKind {
             ExchangeKind::VmRelay => "vm_relay",
             ExchangeKind::Direct => "direct",
             ExchangeKind::ShardedRelay { .. } => "sharded_relay",
+            ExchangeKind::Auto => "auto",
         }
     }
 
@@ -99,14 +105,21 @@ impl fmt::Display for ExchangeKind {
 }
 
 impl FromStr for ExchangeKind {
-    type Err = String;
+    type Err = ExchangeParseError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let fail = |issue| {
+            Err(ExchangeParseError {
+                input: s.to_string(),
+                issue,
+            })
+        };
         match s {
             "scatter" => Ok(ExchangeKind::Scatter),
             "coalesced" => Ok(ExchangeKind::Coalesced),
             "vm_relay" => Ok(ExchangeKind::VmRelay),
             "direct" => Ok(ExchangeKind::Direct),
+            "auto" => Ok(ExchangeKind::Auto),
             other => {
                 // `sharded_relay[:N][:prewarm]` — e.g. `sharded_relay`,
                 // `sharded_relay:8`, `sharded_relay:4:prewarm`.
@@ -119,27 +132,18 @@ impl FromStr for ExchangeKind {
                             prewarm = true;
                         } else if let Ok(n) = part.parse::<usize>() {
                             if n == 0 {
-                                return Err(format!(
-                                    "exchange '{}': shard count must be at least 1",
-                                    other
-                                ));
+                                return fail(ExchangeParseIssue::ZeroShards);
                             }
                             shards = n;
                         } else {
-                            return Err(format!(
-                                "exchange '{}': unknown parameter '{}' \
-                                 (expected a shard count or 'prewarm')",
-                                other, part
-                            ));
+                            return fail(ExchangeParseIssue::UnknownParameter {
+                                parameter: part.to_string(),
+                            });
                         }
                     }
                     return Ok(ExchangeKind::ShardedRelay { shards, prewarm });
                 }
-                Err(format!(
-                    "unknown exchange '{}' (expected scatter | coalesced | vm_relay | direct \
-                     | sharded_relay[:N][:prewarm])",
-                    other
-                ))
+                fail(ExchangeParseIssue::UnknownKind)
             }
         }
     }
@@ -263,14 +267,73 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
 
 #[cfg(test)]
 mod tests {
+    use proptest::prelude::*;
+
     use super::*;
+    use crate::error::EXCHANGE_KIND_FORMS;
 
     #[test]
     fn kind_round_trips_through_strings() {
         for kind in ExchangeKind::ALL {
             assert_eq!(kind.to_string().parse::<ExchangeKind>().unwrap(), kind);
         }
+        assert_eq!("auto".parse::<ExchangeKind>().unwrap(), ExchangeKind::Auto);
+        assert_eq!(ExchangeKind::Auto.to_string(), "auto");
         assert!("quantum".parse::<ExchangeKind>().is_err());
+    }
+
+    #[test]
+    fn parse_errors_list_the_valid_forms() {
+        for bad in ["quantum", "sharded_relay:0", "sharded_relay:fast", ""] {
+            let err = bad.parse::<ExchangeKind>().unwrap_err();
+            assert_eq!(err.input, bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(EXCHANGE_KIND_FORMS),
+                "error for '{}' must list the valid forms, got: {}",
+                bad,
+                msg
+            );
+        }
+        assert!("sharded_relay:fast"
+            .parse::<ExchangeKind>()
+            .unwrap_err()
+            .to_string()
+            .contains("unknown parameter 'fast'"));
+    }
+
+    fn any_kind() -> impl Strategy<Value = ExchangeKind> {
+        prop_oneof![
+            Just(ExchangeKind::Scatter),
+            Just(ExchangeKind::Coalesced),
+            Just(ExchangeKind::VmRelay),
+            Just(ExchangeKind::Direct),
+            Just(ExchangeKind::Auto),
+            (1usize..512, any::<bool>())
+                .prop_map(|(shards, prewarm)| ExchangeKind::ShardedRelay { shards, prewarm }),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn display_from_str_round_trips(kind in any_kind()) {
+            let text = kind.to_string();
+            prop_assert_eq!(text.parse::<ExchangeKind>().unwrap(), kind);
+        }
+
+        #[test]
+        fn junk_never_parses_and_always_names_the_grammar(
+            text in proptest::collection::vec(0usize..38, 0..24).prop_map(|ix| {
+                const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_:";
+                ix.into_iter().map(|i| CHARS[i] as char).collect::<String>()
+            }),
+        ) {
+            // Skip the strings that *are* in the grammar.
+            if let Err(err) = text.parse::<ExchangeKind>() {
+                prop_assert!(err.to_string().contains(EXCHANGE_KIND_FORMS));
+                prop_assert_eq!(err.input, text);
+            }
+        }
     }
 
     #[test]

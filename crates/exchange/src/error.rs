@@ -79,6 +79,64 @@ impl fmt::Display for ExchangeError {
 
 impl std::error::Error for ExchangeError {}
 
+/// The valid spellings of an exchange kind, listed by every parse error
+/// so callers never have to guess the grammar.
+pub const EXCHANGE_KIND_FORMS: &str =
+    "scatter | coalesced | vm_relay | direct | sharded_relay[:N][:prewarm] | auto";
+
+/// Why an [`ExchangeKind`](crate::ExchangeKind) string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExchangeParseIssue {
+    /// The base name matched none of the known backends.
+    UnknownKind,
+    /// `sharded_relay:0` — a relay fleet needs at least one shard.
+    ZeroShards,
+    /// A `sharded_relay` parameter was neither a shard count nor
+    /// `prewarm`.
+    UnknownParameter {
+        /// The offending parameter text.
+        parameter: String,
+    },
+}
+
+/// Error returned by `ExchangeKind::from_str`. One type for every
+/// failure mode; its [`std::fmt::Display`] output always ends with the full list of
+/// valid forms ([`EXCHANGE_KIND_FORMS`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExchangeParseError {
+    /// The input that failed to parse.
+    pub input: String,
+    /// What specifically was wrong with it.
+    pub issue: ExchangeParseIssue,
+}
+
+impl fmt::Display for ExchangeParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.issue {
+            ExchangeParseIssue::UnknownKind => {
+                write!(f, "unknown exchange '{}'", self.input)?;
+            }
+            ExchangeParseIssue::ZeroShards => {
+                write!(
+                    f,
+                    "exchange '{}': shard count must be at least 1",
+                    self.input
+                )?;
+            }
+            ExchangeParseIssue::UnknownParameter { parameter } => {
+                write!(
+                    f,
+                    "exchange '{}': unknown parameter '{}'",
+                    self.input, parameter
+                )?;
+            }
+        }
+        write!(f, " (expected {})", EXCHANGE_KIND_FORMS)
+    }
+}
+
+impl std::error::Error for ExchangeParseError {}
+
 impl From<StoreError> for ExchangeError {
     fn from(e: StoreError) -> Self {
         ExchangeError::Store(e)

@@ -38,7 +38,7 @@ mod vm_relay;
 
 pub use api::{DataExchange, ExchangeEnv, ExchangeKind, ExchangeStrategy};
 pub use direct::{DirectConfig, DirectExchange};
-pub use error::ExchangeError;
+pub use error::{ExchangeError, ExchangeParseError, ExchangeParseIssue, EXCHANGE_KIND_FORMS};
 pub use object_store::ObjectStoreExchange;
 pub use retry::{with_retry, Retryable};
 pub use sharded::{ShardedRelayConfig, ShardedRelayExchange};

@@ -1,0 +1,697 @@
+//! Fitting [`ModelParams`] from traced probe runs.
+//!
+//! The calibrator consumes `faaspipe-trace` snapshots of a handful of
+//! cheap, small probe runs plus the workload shape each probe ran
+//! ([`ProbeSpec`]), and fits every parameter it has evidence for:
+//!
+//! - **start classes**: cold/warm start latencies are the mean durations
+//!   of the platform's `ColdStart`/`WarmStart` spans (VM provisioning
+//!   spans are split out separately);
+//! - **orchestration**: mean duration of `Orchestration` spans;
+//! - **store latency + bandwidth**: an ordinary least-squares fit of
+//!   request duration against wire bytes over `StoreRequest` spans —
+//!   intercept is the first-byte latency, slope the inverse effective
+//!   per-connection bandwidth. Only probes with `io_concurrency == 1`
+//!   feed the fit, so windowed flows sharing one connection cannot
+//!   inflate the slope;
+//! - **compute rates**: effective wire-bytes/sec by phase, from the
+//!   `Compute` spans grouped under each invocation and the known byte
+//!   counts of the probe workload. Map invocations interleave chunk
+//!   sorts with one final partition pass; the last compute burst by
+//!   start time is the partition, everything before it is sort;
+//! - **encode output ratio**: traced archive PUT bytes over run GET
+//!   bytes in the encode stage;
+//! - **relay provisioning**: mean duration of `vm-provision` spans.
+//!
+//! Parameters with no evidence in any probe keep their `defaults`
+//! values, and [`CalibrationEvidence`] records exactly how many samples
+//! backed each fit so E19 (and a skeptical reader of
+//! `results/calibration.json`) can tell fitted from inherited numbers.
+//!
+//! Probe runs are pure functions of their seed, spans are visited in
+//! creation order, and every accumulation is order-stable — so the same
+//! probes always produce the same `Calibration`, byte-for-byte identical
+//! once serialized (the determinism test in `tests/planner.rs` checks
+//! precisely this).
+
+use faaspipe_trace::{Category, Span, SpanId, TraceData, Value};
+use std::collections::HashMap;
+
+use crate::model::ModelParams;
+
+/// The workload shape one probe ran with — the known byte counts the
+/// compute-rate fits divide by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbeSpec {
+    /// Human-readable probe name (lands in the evidence report).
+    pub label: String,
+    /// Sort worker count W of the probe.
+    pub workers: usize,
+    /// I/O window K of the probe.
+    pub io_concurrency: usize,
+    /// Total modelled (wire) bytes the probe sorted.
+    pub data_bytes: f64,
+    /// Number of staged input objects.
+    pub input_chunks: usize,
+    /// Wire bytes one sample-phase range read fetched.
+    pub sample_read_bytes: f64,
+}
+
+faaspipe_json::json_object! {
+    ProbeSpec {
+        req label,
+        req workers,
+        req io_concurrency,
+        req data_bytes,
+        req input_chunks,
+        req sample_read_bytes,
+    }
+}
+
+/// One traced probe: its workload shape and the recorded span data.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRun<'a> {
+    /// What the probe ran.
+    pub spec: &'a ProbeSpec,
+    /// What the simulator recorded.
+    pub trace: &'a TraceData,
+}
+
+/// Sample counts behind each fitted parameter — zero means the
+/// corresponding [`ModelParams`] field kept its default.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CalibrationEvidence {
+    /// Probe runs consumed.
+    pub probes: usize,
+    /// Container cold starts averaged into `cold_start_s`.
+    pub cold_starts: usize,
+    /// Warm pickups averaged into `warm_start_s`.
+    pub warm_starts: usize,
+    /// Orchestration gaps averaged into `orchestration_s`.
+    pub orchestrations: usize,
+    /// Store requests in the latency/bandwidth least-squares fit.
+    pub store_requests: usize,
+    /// Sample-phase compute bursts behind `parse_bps`.
+    pub parse_bursts: usize,
+    /// Map-phase sort bursts behind `sort_bps`.
+    pub sort_bursts: usize,
+    /// Map-phase partition bursts behind `partition_bps`.
+    pub partition_bursts: usize,
+    /// Reduce-phase merge bursts behind `merge_bps`.
+    pub merge_bursts: usize,
+    /// Encode bursts behind `encode_bps`.
+    pub encode_bursts: usize,
+    /// Encode-stage PUT/GET pairs behind `encode_output_ratio`.
+    pub encode_transfers: usize,
+    /// VM provisioning delays averaged into `relay_provision_s`.
+    pub vm_provisions: usize,
+}
+
+faaspipe_json::json_object! {
+    CalibrationEvidence {
+        req probes,
+        req cold_starts,
+        req warm_starts,
+        req orchestrations,
+        req store_requests,
+        req parse_bursts,
+        req sort_bursts,
+        req partition_bursts,
+        req merge_bursts,
+        req encode_bursts,
+        req encode_transfers,
+        req vm_provisions,
+    }
+}
+
+/// A fitted parameter set plus the evidence that backs it. Serializes
+/// to `results/calibration.json` via `faaspipe_json::to_string_pretty`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// The fitted (or default-inherited) model parameters.
+    pub params: ModelParams,
+    /// How many trace samples backed each fit.
+    pub evidence: CalibrationEvidence,
+}
+
+faaspipe_json::json_object! {
+    Calibration {
+        req params,
+        req evidence,
+    }
+}
+
+/// Running mean that stays deterministic under in-order accumulation.
+#[derive(Default)]
+struct Mean {
+    sum: f64,
+    n: usize,
+}
+
+impl Mean {
+    fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    fn get(&self, fallback: f64) -> f64 {
+        if self.n == 0 {
+            fallback
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+/// Bytes-vs-seconds accumulator for an effective-throughput fit.
+#[derive(Default)]
+struct Rate {
+    bytes: f64,
+    secs: f64,
+    n: usize,
+}
+
+impl Rate {
+    fn push(&mut self, bytes: f64, secs: f64) {
+        self.bytes += bytes;
+        self.secs += secs;
+        self.n += 1;
+    }
+
+    fn get(&self, fallback: f64) -> f64 {
+        if self.n == 0 || self.secs <= 0.0 || self.bytes <= 0.0 {
+            fallback
+        } else {
+            self.bytes / self.secs
+        }
+    }
+}
+
+fn attr_u64(span: &Span, key: &str) -> Option<u64> {
+    span.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        })
+}
+
+fn attr_str<'a>(span: &'a Span, key: &str) -> Option<&'a str> {
+    span.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+}
+
+fn duration_s(span: &Span) -> Option<f64> {
+    span.duration().map(|d| d.as_secs_f64())
+}
+
+/// Which pipeline phase an invocation tag belongs to, by suffix.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PhaseTag {
+    Sample,
+    Map,
+    Reduce,
+    Encode,
+}
+
+fn phase_of(tag: &str) -> Option<PhaseTag> {
+    if tag.ends_with("/sample") {
+        Some(PhaseTag::Sample)
+    } else if tag.ends_with("/map") {
+        Some(PhaseTag::Map)
+    } else if tag.ends_with("/reduce") {
+        Some(PhaseTag::Reduce)
+    } else if tag.ends_with("/enc") {
+        Some(PhaseTag::Encode)
+    } else {
+        None
+    }
+}
+
+/// Fits model parameters from `probes`, inheriting `defaults` for every
+/// parameter without trace evidence (relay request latency, NIC, memory
+/// and disk limits, the direct handshake, and the reserved snapshot
+/// start class never have probe evidence and always pass through).
+pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration {
+    let mut ev = CalibrationEvidence {
+        probes: probes.len(),
+        ..CalibrationEvidence::default()
+    };
+    let mut cold = Mean::default();
+    let mut warm = Mean::default();
+    let mut orch = Mean::default();
+    let mut provision = Mean::default();
+    let mut parse = Rate::default();
+    let mut sort = Rate::default();
+    let mut partition = Rate::default();
+    let mut merge = Rate::default();
+    let mut encode = Rate::default();
+    // (bytes, secs) pairs for the store least-squares fit.
+    let mut store_points: Vec<(f64, f64)> = Vec::new();
+    let mut enc_get_bytes = 0.0;
+    let mut enc_put_bytes = 0.0;
+
+    for probe in probes {
+        let spec = probe.spec;
+        let spans = &probe.trace.spans;
+        // Invocation id → phase, resolved from the "tag" attribute.
+        let mut inv_phase: HashMap<SpanId, PhaseTag> = HashMap::new();
+        for span in spans {
+            if span.category == Category::Invocation {
+                if let Some(phase) = attr_str(span, "tag").and_then(phase_of) {
+                    inv_phase.insert(span.id, phase);
+                }
+            }
+        }
+
+        // Map invocations interleave per-chunk sort bursts with one
+        // final partition burst; collect each map invocation's compute
+        // spans so the last-by-start can be split off as the partition.
+        let mut map_bursts: HashMap<SpanId, Vec<&Span>> = HashMap::new();
+        // Ordered list of map parents, for deterministic iteration.
+        let mut map_order: Vec<SpanId> = Vec::new();
+
+        let per_fn_bytes = spec.data_bytes / spec.workers.max(1) as f64;
+        let reads_per_fn = (spec.input_chunks.max(1) as f64 / spec.workers.max(1) as f64).ceil();
+
+        for span in spans {
+            match span.category {
+                Category::ColdStart => {
+                    if let Some(d) = duration_s(span) {
+                        if span.name == "vm-provision" {
+                            provision.push(d);
+                            ev.vm_provisions += 1;
+                        } else {
+                            cold.push(d);
+                            ev.cold_starts += 1;
+                        }
+                    }
+                }
+                Category::WarmStart => {
+                    if let Some(d) = duration_s(span) {
+                        warm.push(d);
+                        ev.warm_starts += 1;
+                    }
+                }
+                Category::Orchestration => {
+                    // The tracker logs zero-width note spans on the same
+                    // category; only real dispatch sleeps carry width.
+                    if let Some(d) = duration_s(span) {
+                        if d > 0.0 {
+                            orch.push(d);
+                            ev.orchestrations += 1;
+                        }
+                    }
+                }
+                Category::StoreRequest => {
+                    // Exchange backends (relay, direct) reuse the
+                    // StoreRequest category for their data-plane
+                    // transfers but run on their own tracks; only
+                    // genuine object-store requests inform the fit.
+                    if span.track != "store" {
+                        continue;
+                    }
+                    let bytes = (attr_u64(span, "bytes_in").unwrap_or(0)
+                        + attr_u64(span, "bytes_out").unwrap_or(0))
+                        as f64;
+                    if spec.io_concurrency <= 1 {
+                        if let Some(d) = duration_s(span) {
+                            store_points.push((bytes, d));
+                        }
+                    }
+                    // Encode-stage transfers also feed the output ratio.
+                    let lane_is_encode = span.lane.ends_with("/enc");
+                    if lane_is_encode {
+                        if span.name.starts_with("GET") {
+                            enc_get_bytes += attr_u64(span, "bytes_out").unwrap_or(0) as f64;
+                            ev.encode_transfers += 1;
+                        } else if span.name.starts_with("PUT") {
+                            enc_put_bytes += attr_u64(span, "bytes_in").unwrap_or(0) as f64;
+                        }
+                    }
+                }
+                Category::Compute => {
+                    let Some(parent) = span.parent else { continue };
+                    let Some(&phase) = inv_phase.get(&parent) else {
+                        continue;
+                    };
+                    let Some(d) = duration_s(span) else { continue };
+                    match phase {
+                        PhaseTag::Sample => {
+                            parse.push(reads_per_fn * spec.sample_read_bytes, d);
+                            ev.parse_bursts += 1;
+                        }
+                        PhaseTag::Map => {
+                            let entry = map_bursts.entry(parent).or_default();
+                            if entry.is_empty() {
+                                map_order.push(parent);
+                            }
+                            entry.push(span);
+                        }
+                        PhaseTag::Reduce => {
+                            merge.push(per_fn_bytes, d);
+                            ev.merge_bursts += 1;
+                        }
+                        PhaseTag::Encode => {
+                            // Per-burst bytes are attributed below from
+                            // traced GET sizes; here only the time sums.
+                            encode.push(0.0, d);
+                            ev.encode_bursts += 1;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // Split each map invocation's bursts: last-by-start is the
+        // partition pass over the function's full assignment, the rest
+        // together sorted the same bytes chunk by chunk.
+        for parent in map_order {
+            let mut bursts = map_bursts.remove(&parent).unwrap_or_default();
+            if bursts.is_empty() {
+                continue;
+            }
+            bursts.sort_by_key(|s| s.start);
+            let last = bursts.pop().expect("non-empty");
+            if let Some(d) = duration_s(last) {
+                partition.push(per_fn_bytes, d);
+                ev.partition_bursts += 1;
+            }
+            let sort_secs: f64 = bursts.iter().filter_map(|s| duration_s(s)).sum();
+            if sort_secs > 0.0 {
+                sort.push(per_fn_bytes, sort_secs);
+                ev.sort_bursts += bursts.len();
+            }
+        }
+    }
+
+    // Encode rate: total encode compute time vs total traced GET bytes.
+    let encode_bps = if encode.n > 0 && encode.secs > 0.0 && enc_get_bytes > 0.0 {
+        enc_get_bytes / encode.secs
+    } else {
+        defaults.encode_bps
+    };
+    let encode_output_ratio = if enc_get_bytes > 0.0 && enc_put_bytes > 0.0 {
+        enc_put_bytes / enc_get_bytes
+    } else {
+        defaults.encode_output_ratio
+    };
+
+    // Store least-squares: duration = latency + bytes / bandwidth.
+    let (store_latency_s, store_conn_bps) = fit_store(
+        &store_points,
+        defaults.store_latency_s,
+        defaults.store_conn_bps,
+    );
+    ev.store_requests = store_points.len();
+
+    let params = ModelParams {
+        cold_start_s: cold.get(defaults.cold_start_s),
+        snapshot_start_s: defaults.snapshot_start_s,
+        warm_start_s: warm.get(defaults.warm_start_s),
+        orchestration_s: orch.get(defaults.orchestration_s),
+        store_latency_s,
+        store_conn_bps,
+        store_agg_bps: defaults.store_agg_bps,
+        store_ops_per_sec: defaults.store_ops_per_sec,
+        fn_nic_bps: defaults.fn_nic_bps,
+        relay_latency_s: defaults.relay_latency_s,
+        relay_nic_bps: defaults.relay_nic_bps,
+        relay_mem_bytes: defaults.relay_mem_bytes,
+        relay_disk_bps: defaults.relay_disk_bps,
+        relay_provision_s: provision.get(defaults.relay_provision_s),
+        direct_handshake_s: defaults.direct_handshake_s,
+        parse_bps: parse.get(defaults.parse_bps),
+        sort_bps: sort.get(defaults.sort_bps),
+        partition_bps: partition.get(defaults.partition_bps),
+        merge_bps: merge.get(defaults.merge_bps),
+        encode_bps,
+        encode_output_ratio,
+    };
+    Calibration {
+        params,
+        evidence: ev,
+    }
+}
+
+/// Ordinary least squares of `secs = latency + bytes / bandwidth` over
+/// the collected store requests. Falls back to the defaults when the
+/// points are too few, degenerate (all one size), or the fit comes out
+/// non-physical (non-positive slope or negative intercept).
+fn fit_store(points: &[(f64, f64)], default_lat: f64, default_bps: f64) -> (f64, f64) {
+    if points.len() < 2 {
+        return (default_lat, default_bps);
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in points {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+    }
+    if sxx <= 0.0 {
+        return (default_lat, default_bps);
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    if slope <= 0.0 || intercept < 0.0 {
+        return (default_lat, default_bps);
+    }
+    (intercept, 1.0 / slope)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_des::{SimDuration, SimTime};
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        category: Category,
+        name: &str,
+        lane: &str,
+        start_s: u64,
+        dur_ms: u64,
+    ) -> Span {
+        let start = SimTime::from_nanos(start_s * 1_000_000_000);
+        Span {
+            id: SpanId::from_u64(id),
+            parent: parent.map(SpanId::from_u64),
+            category,
+            name: name.to_string(),
+            track: if category == Category::StoreRequest {
+                "store".to_string()
+            } else {
+                "faas".to_string()
+            },
+            lane: lane.to_string(),
+            start,
+            end: Some(start + SimDuration::from_millis(dur_ms)),
+            attrs: Vec::new(),
+        }
+    }
+
+    fn defaults() -> ModelParams {
+        ModelParams::from_configs(
+            &faaspipe_store::StoreConfig::default(),
+            &faaspipe_faas::FaasConfig::default(),
+            &faaspipe_exchange::RelayConfig::default(),
+            &faaspipe_exchange::DirectConfig::default(),
+            &faaspipe_shuffle::WorkModel::default(),
+        )
+    }
+
+    fn spec() -> ProbeSpec {
+        ProbeSpec {
+            label: "unit".to_string(),
+            workers: 2,
+            io_concurrency: 1,
+            data_bytes: 2.0e9,
+            input_chunks: 2,
+            sample_read_bytes: 1.0e6,
+        }
+    }
+
+    #[test]
+    fn empty_probes_inherit_defaults() {
+        let d = defaults();
+        let cal = calibrate(&[], &d);
+        assert_eq!(cal.params, d);
+        assert_eq!(cal.evidence, CalibrationEvidence::default());
+    }
+
+    #[test]
+    fn start_classes_are_mean_span_durations() {
+        let mut trace = TraceData::default();
+        trace.spans.push(span(
+            1,
+            None,
+            Category::ColdStart,
+            "cold-start",
+            "inv-1",
+            0,
+            400,
+        ));
+        trace.spans.push(span(
+            2,
+            None,
+            Category::ColdStart,
+            "cold-start",
+            "inv-2",
+            1,
+            600,
+        ));
+        trace.spans.push(span(
+            3,
+            None,
+            Category::WarmStart,
+            "warm-start",
+            "inv-3",
+            2,
+            30,
+        ));
+        trace.spans.push(span(
+            4,
+            None,
+            Category::Orchestration,
+            "orchestrate",
+            "driver",
+            3,
+            7500,
+        ));
+        trace.spans.push(span(
+            5,
+            None,
+            Category::ColdStart,
+            "vm-provision",
+            "vm-1",
+            4,
+            40_000,
+        ));
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &defaults(),
+        );
+        assert!((cal.params.cold_start_s - 0.5).abs() < 1e-9);
+        assert!((cal.params.warm_start_s - 0.03).abs() < 1e-9);
+        assert!((cal.params.orchestration_s - 7.5).abs() < 1e-9);
+        assert!((cal.params.relay_provision_s - 40.0).abs() < 1e-9);
+        assert_eq!(cal.evidence.cold_starts, 2);
+        assert_eq!(cal.evidence.vm_provisions, 1);
+    }
+
+    #[test]
+    fn map_bursts_split_into_sort_and_partition() {
+        let mut trace = TraceData::default();
+        let mut inv = span(1, None, Category::Invocation, "map", "inv-1", 0, 0);
+        inv.attrs.push(("tag".to_string(), Value::from("sort/map")));
+        trace.spans.push(inv);
+        // Two chunk sorts then one partition pass; per-fn bytes = 1e9.
+        trace.spans.push(span(
+            2,
+            Some(1),
+            Category::Compute,
+            "compute",
+            "inv-1",
+            1,
+            4_000,
+        ));
+        trace.spans.push(span(
+            3,
+            Some(1),
+            Category::Compute,
+            "compute",
+            "inv-1",
+            6,
+            4_000,
+        ));
+        trace.spans.push(span(
+            4,
+            Some(1),
+            Category::Compute,
+            "compute",
+            "inv-1",
+            11,
+            2_000,
+        ));
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &defaults(),
+        );
+        assert_eq!(cal.evidence.sort_bursts, 2);
+        assert_eq!(cal.evidence.partition_bursts, 1);
+        // 1e9 bytes / 8 s of sorting, 1e9 / 2 s of partitioning.
+        assert!((cal.params.sort_bps - 1.25e8).abs() / 1.25e8 < 1e-9);
+        assert!((cal.params.partition_bps - 5.0e8).abs() / 5.0e8 < 1e-9);
+    }
+
+    #[test]
+    fn store_fit_recovers_latency_and_bandwidth() {
+        let mut trace = TraceData::default();
+        // duration = 0.02 + bytes / 1e8, exactly linear.
+        for (i, bytes) in [1_000_000u64, 50_000_000, 200_000_000].iter().enumerate() {
+            let mut s = span(
+                i as u64 + 1,
+                None,
+                Category::StoreRequest,
+                "GET x",
+                "sort/map",
+                i as u64,
+                20 + bytes / 100_000,
+            );
+            s.attrs.push(("bytes_out".to_string(), Value::U64(*bytes)));
+            trace.spans.push(s);
+        }
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &defaults(),
+        );
+        assert_eq!(cal.evidence.store_requests, 3);
+        assert!((cal.params.store_latency_s - 0.02).abs() < 1e-6);
+        assert!((cal.params.store_conn_bps - 1.0e8).abs() / 1.0e8 < 1e-6);
+    }
+
+    #[test]
+    fn windowed_probes_are_excluded_from_the_store_fit() {
+        let mut trace = TraceData::default();
+        let mut s1 = span(1, None, Category::StoreRequest, "GET x", "sort/map", 0, 500);
+        s1.attrs
+            .push(("bytes_out".to_string(), Value::U64(1_000_000)));
+        trace.spans.push(s1);
+        let mut s = spec();
+        s.io_concurrency = 4;
+        let d = defaults();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &d,
+        );
+        assert_eq!(cal.evidence.store_requests, 0);
+        assert_eq!(cal.params.store_latency_s, d.store_latency_s);
+    }
+}

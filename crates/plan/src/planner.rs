@@ -1,0 +1,330 @@
+//! Enumerating and pruning the (W, K, backend, shards) space.
+//!
+//! The planner walks a ladder of worker counts, a ladder of I/O
+//! windows, and every exchange-backend family (scatter, coalesced,
+//! direct, and the relay with each shard count × {cold, prewarm}),
+//! asks the model ([`ModelParams::estimate`]) for each candidate, and
+//! keeps the predicted-fastest configuration with a deterministic
+//! tie-break (makespan, then bill, then fewer workers, then smaller
+//! window, then enumeration order).
+//!
+//! Before expanding a worker count's (K, backend) sub-space, the
+//! planner checks the model's cheap per-W lower bound
+//! ([`ModelParams::lower_bound`]) against the best makespan found so
+//! far and skips the whole sub-space when even the bound cannot win.
+//! Pruning is *sound* for ranking — the bound never exceeds any real
+//! estimate — so the pruned search returns exactly the exhaustive
+//! search's pick (asserted by a test below), just after fewer model
+//! evaluations. The whole search is closed-form arithmetic: the
+//! Criterion bench (`benches/plan.rs`) keeps a full enumeration well
+//! under a millisecond, which is what makes `--exchange auto` free at
+//! stage-launch time.
+
+use faaspipe_exchange::ExchangeKind;
+
+use crate::model::{Candidate, Estimate, ModelParams, Workload};
+
+/// The candidate grid the planner enumerates. [`SearchSpace::default`]
+/// covers the paper's experimental ranges; constraints narrow it when
+/// the user pins a dimension (e.g. `--workers 16 --exchange auto` plans
+/// only K, backend, and shards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSpace {
+    /// Worker-count ladder (ascending).
+    pub workers: Vec<usize>,
+    /// I/O-window ladder (ascending).
+    pub io_windows: Vec<usize>,
+    /// Relay shard counts to try (ascending).
+    pub relay_shards: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> SearchSpace {
+        SearchSpace {
+            workers: vec![2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256],
+            io_windows: vec![1, 2, 4, 8, 16],
+            relay_shards: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Drops worker counts above `cap` (the platform's account limit or
+    /// the executor's autotune ceiling). Always keeps at least the
+    /// smallest rung, clamped to the cap.
+    pub fn cap_workers(mut self, cap: usize) -> SearchSpace {
+        let cap = cap.max(1);
+        self.workers.retain(|&w| w <= cap);
+        if self.workers.is_empty() {
+            self.workers.push(cap);
+        }
+        self
+    }
+
+    /// Pins the worker count (a `"workers": N` spec with
+    /// `"exchange": "auto"` plans only the remaining dimensions).
+    pub fn pin_workers(mut self, w: usize) -> SearchSpace {
+        self.workers = vec![w.max(1)];
+        self
+    }
+
+    /// Pins the I/O window.
+    pub fn pin_io(mut self, k: usize) -> SearchSpace {
+        self.io_windows = vec![k.max(1)];
+        self
+    }
+}
+
+/// The planner's pick: a fully concrete configuration, the model's
+/// prediction for it, and search statistics for the trace span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Chosen worker count W.
+    pub workers: usize,
+    /// Chosen I/O window K.
+    pub io_concurrency: usize,
+    /// Chosen backend — always concrete, never [`ExchangeKind::Auto`].
+    pub exchange: ExchangeKind,
+    /// The model's estimate for the chosen configuration.
+    pub predicted: Estimate,
+    /// Candidates the model evaluated.
+    pub evaluated: usize,
+    /// Candidates skipped by the per-W lower-bound prune.
+    pub pruned: usize,
+}
+
+/// Searches a [`SearchSpace`] against a [`ModelParams`] fit.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    /// Model parameters (calibrated or config-derived).
+    pub params: ModelParams,
+    /// Candidate grid.
+    pub space: SearchSpace,
+}
+
+impl Planner {
+    /// A planner over the default grid.
+    pub fn new(params: ModelParams) -> Planner {
+        Planner {
+            params,
+            space: SearchSpace::default(),
+        }
+    }
+
+    /// Replaces the candidate grid.
+    pub fn with_space(mut self, space: SearchSpace) -> Planner {
+        self.space = space;
+        self
+    }
+
+    /// Every backend the grid expands for one (W, K) cell, in stable
+    /// enumeration order. `(shards = 1, prewarm = false)` is expressed
+    /// as the plain [`ExchangeKind::VmRelay`] so explicit-backend runs
+    /// and planned runs name identical configurations.
+    fn backends(&self) -> Vec<ExchangeKind> {
+        let mut out = vec![
+            ExchangeKind::Scatter,
+            ExchangeKind::Coalesced,
+            ExchangeKind::Direct,
+        ];
+        for &shards in &self.space.relay_shards {
+            for prewarm in [false, true] {
+                out.push(if shards == 1 && !prewarm {
+                    ExchangeKind::VmRelay
+                } else {
+                    ExchangeKind::ShardedRelay { shards, prewarm }
+                });
+            }
+        }
+        out
+    }
+
+    /// Runs the pruned search and returns the predicted-optimal plan.
+    ///
+    /// Deterministic: the grid is walked in a fixed order and ties
+    /// break on (makespan, bill, fewer workers, smaller window, first
+    /// seen), so a given (params, space, workload) always yields the
+    /// same plan.
+    pub fn plan(&self, wl: &Workload) -> Plan {
+        let backends = self.backends();
+        let cell = self.space.io_windows.len() * backends.len();
+        let mut best: Option<Plan> = None;
+        let mut evaluated = 0;
+        let mut pruned = 0;
+        // Walk the ladder top-down: wide fleets have small per-function
+        // transfers, so a strong incumbent appears early and the
+        // transfer-dominated small-W sub-spaces fail the bound.
+        for &w in self.space.workers.iter().rev() {
+            if let Some(b) = &best {
+                if self.params.lower_bound(wl, w) >= b.predicted.makespan_s {
+                    pruned += cell;
+                    continue;
+                }
+            }
+            for &k in &self.space.io_windows {
+                for &exchange in &backends {
+                    let cand = Candidate {
+                        workers: w,
+                        io_concurrency: k,
+                        exchange,
+                    };
+                    let predicted = self.params.estimate(wl, &cand);
+                    evaluated += 1;
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            let lhs = (predicted.makespan_s, predicted.cost_dollars, w, k);
+                            let rhs = (
+                                b.predicted.makespan_s,
+                                b.predicted.cost_dollars,
+                                b.workers,
+                                b.io_concurrency,
+                            );
+                            lhs.partial_cmp(&rhs) == Some(std::cmp::Ordering::Less)
+                        }
+                    };
+                    if better {
+                        best = Some(Plan {
+                            workers: w,
+                            io_concurrency: k,
+                            exchange,
+                            predicted,
+                            evaluated: 0,
+                            pruned: 0,
+                        });
+                    }
+                }
+            }
+        }
+        let mut plan = best.expect("search space is never empty");
+        plan.evaluated = evaluated;
+        plan.pruned = pruned;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faaspipe_exchange::{DirectConfig, RelayConfig};
+    use faaspipe_faas::FaasConfig;
+    use faaspipe_shuffle::WorkModel;
+    use faaspipe_store::StoreConfig;
+
+    fn params() -> ModelParams {
+        ModelParams::from_configs(
+            &StoreConfig::default(),
+            &FaasConfig::default(),
+            &RelayConfig::default(),
+            &DirectConfig::default(),
+            &WorkModel::default(),
+        )
+    }
+
+    fn workload() -> Workload {
+        Workload {
+            data_bytes: 3.5e9,
+            input_chunks: 8,
+            sample_read_bytes: 66.0e6,
+            encode_workers: 8,
+        }
+    }
+
+    #[test]
+    fn plan_is_concrete_and_deterministic() {
+        let planner = Planner::new(params());
+        let wl = workload();
+        let a = planner.plan(&wl);
+        let b = planner.plan(&wl);
+        assert_eq!(a, b);
+        assert!(a.exchange != ExchangeKind::Auto);
+        assert!(a.workers >= 2 && a.io_concurrency >= 1);
+        assert!(a.evaluated > 0);
+    }
+
+    #[test]
+    fn pruning_matches_the_exhaustive_search() {
+        let p = params();
+        let wl = workload();
+        let pruned = Planner::new(p.clone()).plan(&wl);
+        // Exhaustive reference: evaluate every candidate with no bound.
+        let planner = Planner::new(p.clone());
+        let mut best: Option<(f64, f64, usize, usize, ExchangeKind)> = None;
+        for &w in &planner.space.workers {
+            for &k in &planner.space.io_windows {
+                for exchange in planner.backends() {
+                    let e = p.estimate(
+                        &wl,
+                        &Candidate {
+                            workers: w,
+                            io_concurrency: k,
+                            exchange,
+                        },
+                    );
+                    let key = (e.makespan_s, e.cost_dollars, w, k, exchange);
+                    let better = match &best {
+                        None => true,
+                        Some(b) => {
+                            (key.0, key.1, key.2, key.3).partial_cmp(&(b.0, b.1, b.2, b.3))
+                                == Some(std::cmp::Ordering::Less)
+                        }
+                    };
+                    if better {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        let best = best.unwrap();
+        assert_eq!(pruned.workers, best.2);
+        assert_eq!(pruned.io_concurrency, best.3);
+        assert_eq!(pruned.exchange, best.4);
+        assert!(pruned.pruned > 0, "the bound should skip some sub-spaces");
+    }
+
+    #[test]
+    fn pinned_dimensions_are_respected() {
+        let plan = Planner::new(params())
+            .with_space(SearchSpace::default().pin_workers(16).pin_io(4))
+            .plan(&workload());
+        assert_eq!(plan.workers, 16);
+        assert_eq!(plan.io_concurrency, 4);
+    }
+
+    #[test]
+    fn cap_keeps_at_least_one_rung() {
+        let space = SearchSpace::default().cap_workers(1);
+        assert_eq!(space.workers, vec![1]);
+        let space = SearchSpace::default().cap_workers(64);
+        assert!(space.workers.iter().all(|&w| w <= 64));
+    }
+
+    #[test]
+    fn planner_beats_or_matches_the_naive_default() {
+        // The pick must be at least as good as the untuned W=8, K=1
+        // scatter configuration the paper starts from.
+        let p = params();
+        let wl = workload();
+        let plan = Planner::new(p.clone()).plan(&wl);
+        let naive = p.estimate(
+            &wl,
+            &Candidate {
+                workers: 8,
+                io_concurrency: 1,
+                exchange: ExchangeKind::Scatter,
+            },
+        );
+        assert!(plan.predicted.makespan_s <= naive.makespan_s);
+    }
+
+    #[test]
+    fn relay_single_cold_shard_is_named_vm_relay() {
+        let planner = Planner::new(params());
+        let backends = planner.backends();
+        assert!(backends.contains(&ExchangeKind::VmRelay));
+        assert!(!backends.contains(&ExchangeKind::ShardedRelay {
+            shards: 1,
+            prewarm: false
+        }));
+    }
+}

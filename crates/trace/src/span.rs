@@ -27,6 +27,12 @@ impl SpanId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from its raw value — for tooling that constructs
+    /// or rewrites span data outside a sink (`0` yields [`SpanId::NONE`]).
+    pub const fn from_u64(v: u64) -> SpanId {
+        SpanId(v)
+    }
 }
 
 /// What kind of activity a span covers. Determines the Chrome-trace
@@ -58,6 +64,10 @@ pub enum Category {
     Compute,
     /// Driver orchestration (phase gaps, polling cadence).
     Orchestration,
+    /// A planner decision (`--exchange auto`): zero-width in virtual
+    /// time, carries the chosen (W, K, backend, shards) and the model's
+    /// predicted makespan/cost as attributes.
+    Planner,
 }
 
 impl Category {
@@ -76,6 +86,7 @@ impl Category {
             Category::Queue => "queue",
             Category::Compute => "compute",
             Category::Orchestration => "orchestration",
+            Category::Planner => "planner",
         }
     }
 

@@ -22,6 +22,7 @@ use bytes::Bytes;
 use faaspipe::cluster::{
     run_cluster, AdmissionPolicy, ArrivalProcess, ClusterConfig, TenantSpec, TraceMode,
 };
+use faaspipe::core::dag::WorkerChoice;
 use faaspipe::core::executor::{Executor, Services};
 use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe::core::pricing::PriceBook;
@@ -40,7 +41,8 @@ use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceD
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]] [--io-concurrency K] [--trace-out <trace.json>]
+  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]|auto] [--io-concurrency K] [--trace-out <trace.json>]
+                  (--exchange auto plans workers, I/O window, backend, and shards from the cost model)
   faaspipe run <spec.json> [--records N] [--seed S] [--io-concurrency K] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>
@@ -91,12 +93,15 @@ fn flag(args: &[String], name: &str) -> Result<Option<String>, String> {
     }
 }
 
-fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+fn flag_parse<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
     match flag(args, name)? {
         None => Ok(default),
         Some(v) => v
             .parse()
-            .map_err(|_| format!("invalid value '{}' for {}", v, name)),
+            .map_err(|e| format!("invalid value '{}' for {}: {}", v, name, e)),
     }
 }
 
@@ -120,6 +125,11 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         cfg.physical_records = records;
         cfg.exchange = exchange;
         cfg.io_concurrency = io_concurrency;
+        // `auto` opens the worker count too: the planner picks W along
+        // with K, backend, and shards instead of the paper's fixed 8.
+        if exchange == ExchangeKind::Auto {
+            cfg.workers = WorkerChoice::Auto;
+        }
         cfg.trace = trace_out.is_some();
         let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
         eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);

@@ -13,6 +13,8 @@
 //! - [`exchange`] — pluggable intermediate data-exchange backends
 //!   (object storage, VM relay, direct function-to-function streaming)
 //! - [`core`] — workflow DAGs, JSON pipeline specs, executor, tracker, pricing
+//! - [`plan`] — calibrated cost/latency model and the `--exchange auto`
+//!   planner picking (W, K, backend, shards)
 //! - [`cluster`] — multi-tenant pipeline service: shared-cloud contention,
 //!   open-loop arrivals, admission control, per-tenant SLO metrics
 //! - [`trace`] — virtual-time tracing: spans, counters, exporters, critical path
@@ -24,6 +26,7 @@ pub use faaspipe_des as des;
 pub use faaspipe_exchange as exchange;
 pub use faaspipe_faas as faas;
 pub use faaspipe_methcomp as methcomp;
+pub use faaspipe_plan as plan;
 pub use faaspipe_shuffle as shuffle;
 pub use faaspipe_store as store;
 pub use faaspipe_trace as trace;

@@ -73,6 +73,9 @@ fn run_bytes_k(
                 },
             )))
         }
+        ExchangeKind::Auto => {
+            unreachable!("auto resolves to a concrete backend before the sort runs")
+        }
     };
     let out: Arc<Mutex<Vec<Bytes>>> = Arc::new(Mutex::new(Vec::new()));
     let out2 = Arc::clone(&out);

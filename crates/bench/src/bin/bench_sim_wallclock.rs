@@ -5,12 +5,19 @@
 //! * **BENCH_sim** — a small fixed batch of *traced* pipeline runs shaped
 //!   like the E15 `--quick` smoke: both object-store exchange layouts at
 //!   two worker counts. Catches tracing-path regressions.
-//! * **BENCH_host** — the scaling trajectory the pooled scheduler is
-//!   sized for: untraced coalesced runs at W ∈ {64, 256, 1024}. Each row
-//!   records the wall clock plus the simulator's own gauges
+//! * **BENCH_host** — the scaling trajectory the stackless scheduler is
+//!   sized for: untraced coalesced runs at W ∈ {64, 256, 1024, 4096}.
+//!   Each row records the wall clock plus the simulator's own gauges
 //!   (events dispatched, peak live processes, pool threads) and the
 //!   host's CPU/context-switch counters, so a slowdown can be split into
 //!   "more work" vs "same work, slower".
+//!
+//! `--check` additionally applies warn-only scheduler-health ceilings:
+//! the stackless loop needs no pool threads and context-switches only
+//! for CPU-offload handoffs, so pool workers on a trajectory row, a
+//! process thread count past the offload cap, or switch rates far above
+//! the event-loop baseline all flag a scheduler regression even when
+//! the wall clock still passes.
 //!
 //! Both files also carry one **cluster** row (`scenario = "cluster"`): a
 //! fixed multi-tenant [`faaspipe_cluster`] service run whose concurrent
@@ -97,7 +104,7 @@ faaspipe_json::json_object! {
 }
 
 const RECORDS: usize = 8_000;
-const HOST_WIDTHS: [usize; 3] = [64, 256, 1024];
+const HOST_WIDTHS: [usize; 4] = [64, 256, 1024, 4096];
 
 /// The fixed cluster workload: `CLUSTER_TENANTS` Table-1-shaped tenants
 /// (W = 8 each) fed by a seeded Poisson process, so the same arrival set
@@ -331,6 +338,65 @@ fn bench_host() -> Vec<HostRow> {
     rows
 }
 
+/// Context-switch ceiling for `--check`, in switches per 1000 dispatched
+/// events. The stackless loop measures ~3–30 (allocator and offload
+/// housekeeping plus CI-runner noise); the old thread-per-process
+/// scheduler sat near 10_000. 100 splits those regimes with wide margin
+/// on both sides.
+const CTXSW_PER_KEVENT_CEILING: f64 = 100.0;
+
+/// Process thread-count ceiling for `--check`: the event-loop thread,
+/// the CPU-offload pool (capped at min(cores, 8)), and slack for the
+/// harness. Warn-only, like the other health ceilings.
+const THREADS_CEILING: usize = 16;
+
+/// Current `Threads:` count from /proc/self/status (0 off-Linux).
+fn host_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Warn-only scheduler-health ceilings, applied to the fresh rows in
+/// `--check` mode. Never contributes to the exit code: these counters
+/// are host-shaped and exist to annotate the CI log, not to gate.
+fn health_warnings(rows: &[HostRow]) {
+    for row in rows {
+        if row.pool_workers > 0 {
+            eprintln!(
+                "warning: {} W={} ran {} pool worker threads — the stackless loop \
+                 should keep every process on the event-loop thread",
+                if row.scenario.is_empty() { "trajectory" } else { &row.scenario },
+                row.workers,
+                row.pool_workers
+            );
+        }
+        if row.events > 0 {
+            let per_kevent = row.ctx_switches as f64 / (row.events as f64 / 1e3);
+            if per_kevent > CTXSW_PER_KEVENT_CEILING {
+                eprintln!(
+                    "warning: W={} made {:.0} context switches per 1000 events \
+                     (ceiling {:.0}) — processes may be landing on threads again",
+                    row.workers, per_kevent, CTXSW_PER_KEVENT_CEILING
+                );
+            }
+        }
+    }
+    let threads = host_threads();
+    if threads > THREADS_CEILING {
+        eprintln!(
+            "warning: process holds {} threads after the trajectory (ceiling {}) — \
+             expected only the event loop plus the capped offload pool",
+            threads, THREADS_CEILING
+        );
+    }
+}
+
 /// Compares fresh host rows against a checked-in baseline. Returns the
 /// number of regressed points (wall clock above `CHECK_FACTOR` × the
 /// baseline for the same scenario and worker count).
@@ -395,6 +461,7 @@ fn main() {
     write_json("BENCH_host", &host_rows);
 
     if let Some(baseline) = baseline {
+        health_warnings(&host_rows);
         let regressed = check_against(&baseline, &host_rows);
         if regressed > 0 {
             eprintln!(

@@ -415,25 +415,28 @@ pub fn run_cluster(cfg: &ClusterConfig) -> Result<ClusterReport, ClusterError> {
         let shared = Arc::clone(&shared);
         let specs: Vec<TenantSpec> = cfg.tenants.clone();
         let arrivals = arrivals.clone();
-        sim.spawn("cluster:arrivals", move |ctx: &mut Ctx| {
+        sim.spawn_task("cluster:arrivals", move |ctx: Ctx| async move {
             let mut runs = Vec::with_capacity(arrivals.len());
             for (seq, a) in arrivals.iter().enumerate() {
                 let wait = a.at.saturating_duration_since(ctx.now());
                 if wait > SimDuration::ZERO {
-                    ctx.sleep(wait);
+                    ctx.sleep_async(wait).await;
                 }
                 let shared = Arc::clone(&shared);
                 let spec = specs[a.tenant].clone();
                 let gate = gates[a.tenant];
                 let name = format!("{}/r{}", spec.name, seq);
-                runs.push(ctx.spawn(name, move |ctx: &mut Ctx| {
-                    execute_run(ctx, &shared, &spec, gate, seq);
-                }));
+                runs.push(
+                    ctx.spawn_task(name, move |mut ctx: Ctx| async move {
+                        execute_run(&mut ctx, &shared, &spec, gate, seq).await;
+                    })
+                    .await,
+                );
             }
             for pid in runs {
                 // Run-level failures are captured in the outcome list;
                 // a panicked run process must not kill the driver.
-                let _ = ctx.join(pid);
+                let _ = ctx.join_async(pid).await;
             }
         });
     }
@@ -484,7 +487,13 @@ fn validate(cfg: &ClusterConfig) -> Result<(), ClusterError> {
 
 /// The body of one run's root process: admission, input staging, the
 /// two-stage DAG via [`Executor::spawn_dag_in`], and outcome recording.
-fn execute_run(ctx: &mut Ctx, shared: &Shared, spec: &TenantSpec, gate: TenantGate, seq: usize) {
+async fn execute_run(
+    ctx: &mut Ctx,
+    shared: &Shared,
+    spec: &TenantSpec,
+    gate: TenantGate,
+    seq: usize,
+) {
     let run_name = format!("{}/r{}", spec.name, seq);
     let arrived = ctx.now();
     let span = if shared.tracing {
@@ -503,7 +512,7 @@ fn execute_run(ctx: &mut Ctx, shared: &Shared, spec: &TenantSpec, gate: TenantGa
         SpanId::NONE
     };
 
-    gate.admit(ctx);
+    gate.admit_async(ctx).await;
     let admitted = ctx.now();
     if shared.tracing {
         shared.sink.attr(
@@ -524,7 +533,7 @@ fn execute_run(ctx: &mut Ctx, shared: &Shared, spec: &TenantSpec, gate: TenantGa
         error: None,
     };
 
-    match drive_run(ctx, shared, spec, &run_name, seq) {
+    match drive_run(ctx, shared, spec, &run_name, seq).await {
         Ok((started, finished)) => {
             outcome.started = started;
             outcome.finished = finished;
@@ -536,7 +545,7 @@ fn execute_run(ctx: &mut Ctx, shared: &Shared, spec: &TenantSpec, gate: TenantGa
         }
     }
 
-    gate.release(ctx);
+    gate.release_async(ctx).await;
     if shared.tracing {
         shared.sink.span_end(span, ctx.now());
     }
@@ -545,7 +554,7 @@ fn execute_run(ctx: &mut Ctx, shared: &Shared, spec: &TenantSpec, gate: TenantGa
 
 /// Stages the input, runs the DAG, and (optionally) verifies outputs.
 /// Returns `(first stage start, last stage end)`.
-fn drive_run(
+async fn drive_run(
     ctx: &mut Ctx,
     shared: &Shared,
     spec: &TenantSpec,
@@ -623,8 +632,8 @@ fn drive_run(
         fleet: shared.fleet.scoped(spec.name.clone()),
     };
     let executor = Executor::new(services, shared.work.clone(), tracker);
-    let handle = executor.spawn_dag_in(ctx, &dag);
-    ctx.join(handle.root).map_err(|e| e.to_string())?;
+    let handle = executor.spawn_dag_in_async(ctx, &dag).await;
+    ctx.join_async(handle.root).await.map_err(|e| e.to_string())?;
     let mut stages = handle.ok_results()?;
     stages.sort_by_key(|s| s.started);
     let started = stages

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use faaspipe_des::{Ctx, ProcessId, Sim, SimDuration, SimTime};
+use faaspipe_des::{Ctx, LocalBoxFuture, ProcessId, Sim, SimDuration, SimTime};
 use faaspipe_exchange::{
     DataExchange, DirectConfig, DirectExchange, ExchangeKind, RelayConfig, ShardedRelayConfig,
     ShardedRelayExchange, VmRelayExchange,
@@ -19,7 +19,8 @@ use faaspipe_faas::FunctionPlatform;
 use faaspipe_methcomp::{codec as mc_codec, Dataset, MethRecord};
 use faaspipe_plan::{ModelParams, Plan, Planner, SearchSpace, Workload};
 use faaspipe_shuffle::{
-    serverless_sort, vm_sort, Autotuner, SortConfig, SortRecord, VmSortConfig, WorkModel,
+    serverless_sort_async, vm_sort_async, Autotuner, SortConfig, SortRecord, VmSortConfig,
+    WorkModel,
 };
 use faaspipe_store::ObjectStore;
 use faaspipe_trace::Category;
@@ -63,8 +64,32 @@ pub struct StageResult {
 
 type ResultMap = Arc<Mutex<BTreeMap<String, Result<StageResult, String>>>>;
 
-/// A stage-driver process body, as handed to a DES spawn callback.
-type StageBody = Box<dyn FnOnce(&mut Ctx) + Send>;
+/// A stage-driver process body: an async closure over the driver's
+/// [`Ctx`], boxed so both spawn entry points (from outside the sim and
+/// from a live process) can hand it to the scheduler as a stackless task.
+type StageBody = Box<dyn for<'a> FnOnce(&'a mut Ctx) -> LocalBoxFuture<'a, ()> + Send>;
+
+/// Where DAG driver processes are spawned from: the sim itself (before
+/// `run`) or a live process (a cluster's per-run driver). Either way the
+/// drivers are stackless tasks — they cost no OS thread while suspended.
+enum DagSpawner<'s> {
+    Sim(&'s mut Sim),
+    Live(&'s Ctx),
+}
+
+impl DagSpawner<'_> {
+    async fn spawn(&mut self, name: String, body: StageBody) -> ProcessId {
+        match self {
+            DagSpawner::Sim(sim) => {
+                sim.spawn_task(name, move |mut ctx: Ctx| async move { body(&mut ctx).await })
+            }
+            DagSpawner::Live(ctx) => {
+                ctx.spawn_task(name, move |mut ctx: Ctx| async move { body(&mut ctx).await })
+                    .await
+            }
+        }
+    }
+}
 
 /// Handle to a spawned workflow: join `root` (or run the sim to
 /// completion) and collect results.
@@ -160,7 +185,9 @@ impl Executor {
     /// Panics if the DAG fails validation (construct via [`Dag::add_stage`]
     /// to make that impossible).
     pub fn spawn_dag(&self, sim: &mut Sim, dag: &Dag) -> DagHandle {
-        self.spawn_dag_with(dag, &mut |name, body| sim.spawn(name, body))
+        // Spawning into an un-started sim never suspends, so the single
+        // eager poll of `run_blocking` completes the whole future.
+        faaspipe_des::run_blocking(self.spawn_dag_with(dag, DagSpawner::Sim(sim)))
     }
 
     /// Like [`Executor::spawn_dag`], but launched from *inside* a running
@@ -168,14 +195,15 @@ impl Executor {
     /// driver) and the DAG starts at the current virtual time.
     /// `ctx.join(handle.root)` to rendezvous with completion.
     pub fn spawn_dag_in(&self, ctx: &Ctx, dag: &Dag) -> DagHandle {
-        self.spawn_dag_with(dag, &mut |name, body| ctx.spawn(name, body))
+        faaspipe_des::run_blocking(self.spawn_dag_in_async(ctx, dag))
     }
 
-    fn spawn_dag_with(
-        &self,
-        dag: &Dag,
-        spawn: &mut dyn FnMut(String, StageBody) -> ProcessId,
-    ) -> DagHandle {
+    /// Async form of [`Executor::spawn_dag_in`] for stackless callers.
+    pub async fn spawn_dag_in_async(&self, ctx: &Ctx, dag: &Dag) -> DagHandle {
+        self.spawn_dag_with(dag, DagSpawner::Live(ctx)).await
+    }
+
+    async fn spawn_dag_with(&self, dag: &Dag, mut spawner: DagSpawner<'_>) -> DagHandle {
         dag.validate().expect("DAG must be valid");
         let results: ResultMap = Arc::new(Mutex::new(BTreeMap::new()));
         let mut pids: Vec<ProcessId> = Vec::with_capacity(dag.len());
@@ -203,69 +231,78 @@ impl Executor {
             let bucket = dag.bucket.clone();
             let exec = self.clone();
             let results2 = Arc::clone(&results);
-            let pid = spawn(
-                format!("stage:{}", stage.name),
-                Box::new(move |ctx: &mut Ctx| {
-                    // Wait for dependencies; skip if any failed.
-                    for (pid, name) in dep_pids.iter().zip(&dep_names) {
-                        if ctx.join(*pid).is_err() {
-                            results2.lock().insert(
-                                stage2.name.clone(),
-                                Err(format!("dependency driver '{}' crashed", name)),
-                            );
-                            return;
-                        }
-                    }
-                    {
-                        let map = results2.lock();
-                        for name in &dep_names {
-                            if matches!(map.get(name), Some(Err(_)) | None) {
-                                drop(map);
-                                results2.lock().insert(
-                                    stage2.name.clone(),
-                                    Err(format!("dependency '{}' failed", name)),
-                                );
-                                return;
+            let pid = spawner
+                .spawn(
+                    format!("stage:{}", stage.name),
+                    Box::new(move |ctx: &mut Ctx| {
+                        Box::pin(async move {
+                            // Wait for dependencies; skip if any failed.
+                            for (pid, name) in dep_pids.iter().zip(&dep_names) {
+                                if ctx.join_async(*pid).await.is_err() {
+                                    results2.lock().insert(
+                                        stage2.name.clone(),
+                                        Err(format!("dependency driver '{}' crashed", name)),
+                                    );
+                                    return;
+                                }
                             }
-                        }
-                    }
-                    exec.tracker.stage_start(ctx, &stage2.name);
-                    let started = ctx.now();
-                    let outcome = exec.run_stage(ctx, &bucket, &stage2, downstream_encode);
-                    exec.tracker.stage_end(ctx, &stage2.name);
-                    let finished = ctx.now();
-                    let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
-                        stage: stage2.name.clone(),
-                        started,
-                        finished,
-                        workers_used,
-                        output_bytes,
-                    });
-                    results2.lock().insert(stage2.name.clone(), entry);
-                }),
-            );
+                            {
+                                let map = results2.lock();
+                                for name in &dep_names {
+                                    if matches!(map.get(name), Some(Err(_)) | None) {
+                                        drop(map);
+                                        results2.lock().insert(
+                                            stage2.name.clone(),
+                                            Err(format!("dependency '{}' failed", name)),
+                                        );
+                                        return;
+                                    }
+                                }
+                            }
+                            exec.tracker.stage_start(ctx, &stage2.name);
+                            let started = ctx.now();
+                            let outcome =
+                                exec.run_stage(ctx, &bucket, &stage2, downstream_encode).await;
+                            exec.tracker.stage_end(ctx, &stage2.name);
+                            let finished = ctx.now();
+                            let entry = outcome.map(|(workers_used, output_bytes)| StageResult {
+                                stage: stage2.name.clone(),
+                                started,
+                                finished,
+                                workers_used,
+                                output_bytes,
+                            });
+                            results2.lock().insert(stage2.name.clone(), entry);
+                        }) as LocalBoxFuture<'_, ()>
+                    }),
+                )
+                .await;
             pids.push(pid);
         }
         // Root process: the workflow completes when every stage driver has.
         let all = pids.clone();
-        let root = spawn(
-            "workflow:root".to_string(),
-            Box::new(move |ctx: &mut Ctx| {
-                for pid in all {
-                    let _ = ctx.join(pid);
-                }
-            }),
-        );
+        let root = spawner
+            .spawn(
+                "workflow:root".to_string(),
+                Box::new(move |ctx: &mut Ctx| {
+                    Box::pin(async move {
+                        for pid in all {
+                            let _ = ctx.join_async(pid).await;
+                        }
+                    }) as LocalBoxFuture<'_, ()>
+                }),
+            )
+            .await;
         DagHandle { root, results }
     }
 
     /// Charges one driver orchestration phase (job serialization,
     /// invoke fan-out, future polling), recording it as an
     /// [`Category::Orchestration`] span when tracing is on.
-    fn orchestrate(&self, ctx: &Ctx) {
+    async fn orchestrate(&self, ctx: &Ctx) {
         let trace = self.services.store.trace_sink();
         if !trace.is_enabled() {
-            ctx.sleep(self.orchestration);
+            ctx.sleep_async(self.orchestration).await;
             return;
         }
         let parent = trace.current(ctx.pid());
@@ -277,11 +314,11 @@ impl Executor {
             parent,
             ctx.now(),
         );
-        ctx.sleep(self.orchestration);
+        ctx.sleep_async(self.orchestration).await;
         trace.span_end(span, ctx.now());
     }
 
-    fn run_stage(
+    async fn run_stage(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -295,17 +332,20 @@ impl Executor {
                 io_concurrency,
                 input,
                 output,
-            } => self.exec_shuffle(
-                ctx,
-                bucket,
-                &stage.name,
-                *workers,
-                *exchange,
-                *io_concurrency,
-                downstream_encode,
-                input,
-                output,
-            ),
+            } => {
+                self.exec_shuffle(
+                    ctx,
+                    bucket,
+                    &stage.name,
+                    *workers,
+                    *exchange,
+                    *io_concurrency,
+                    downstream_encode,
+                    input,
+                    output,
+                )
+                .await
+            }
             StageKind::VmSort {
                 profile,
                 runs,
@@ -313,7 +353,7 @@ impl Executor {
                 output,
             } => {
                 // Job submission overhead before the VM work starts.
-                self.orchestrate(ctx);
+                self.orchestrate(ctx).await;
                 let cfg = VmSortConfig {
                     bucket: bucket.to_string(),
                     input_prefix: input.clone(),
@@ -326,9 +366,14 @@ impl Executor {
                     release: true,
                     manifest_key: None,
                 };
-                let stats =
-                    vm_sort::<MethRecord>(ctx, &self.services.fleet, &self.services.store, &cfg)
-                        .map_err(|e| format!("vm sort failed: {}", e))?;
+                let stats = vm_sort_async::<MethRecord>(
+                    ctx,
+                    &self.services.fleet,
+                    &self.services.store,
+                    &cfg,
+                )
+                .await
+                .map_err(|e| format!("vm sort failed: {}", e))?;
                 self.tracker.note(
                     ctx,
                     &stage.name,
@@ -347,16 +392,22 @@ impl Executor {
                 workers,
                 input,
                 output,
-            } => self.exec_encode(ctx, bucket, &stage.name, *codec, *workers, input, output),
+            } => {
+                self.exec_encode(ctx, bucket, &stage.name, *codec, *workers, input, output)
+                    .await
+            }
             StageKind::Decode {
                 workers,
                 input,
                 output,
-            } => self.exec_decode(ctx, bucket, &stage.name, *workers, input, output),
+            } => {
+                self.exec_decode(ctx, bucket, &stage.name, *workers, input, output)
+                    .await
+            }
         }
     }
 
-    fn exec_decode(
+    async fn exec_decode(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -365,11 +416,12 @@ impl Executor {
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
-        self.orchestrate(ctx);
+        self.orchestrate(ctx).await;
         let store = &self.services.store;
-        let client = store.connect(ctx, format!("{}/driver", stage));
+        let client = store.connect_async(ctx, format!("{}/driver", stage)).await;
         let inputs = client
-            .list(ctx, bucket, input)
+            .list_async(ctx, bucket, input)
+            .await
             .map_err(|e| format!("decode list failed: {}", e))?;
         if inputs.is_empty() {
             return Err(format!("no decode inputs under '{}'", input));
@@ -392,32 +444,42 @@ impl Executor {
             let bucket = bucket.to_string();
             let stage2 = stage.to_string();
             let output = output.to_string();
-            let h = self.services.faas.invoke_async(
-                ctx,
-                "decode",
-                format!("{}/dec", stage),
-                move |fctx, env| {
-                    let client = store.connect_via(fctx, format!("{}/dec", stage2), &[env.nic]);
-                    for key in &assigned {
-                        let archive = client
-                            .get(fctx, &bucket, key)
-                            .unwrap_or_else(|e| panic!("decode read failed: {}", e));
-                        let dataset = mc_codec::decompress(&archive)
-                            .unwrap_or_else(|e| panic!("archive corrupt: {}", e));
-                        let data = SortRecord::write_all(&dataset.records);
-                        env.compute(fctx, work.methcomp_decode_time(data.len()));
-                        *written.lock() += data.len() as u64;
-                        let leaf = key.rsplit('/').next().unwrap_or(key);
-                        let out_key = format!("{}{}", output, leaf);
-                        client
-                            .put(fctx, &bucket, &out_key, Bytes::from(data))
-                            .unwrap_or_else(|e| panic!("decode write failed: {}", e));
-                    }
-                },
-            );
+            let h = self
+                .services
+                .faas
+                .invoke_task(
+                    ctx,
+                    "decode",
+                    format!("{}/dec", stage),
+                    async move |fctx: &mut Ctx, env: faaspipe_faas::FunctionEnv| {
+                        let client = store
+                            .connect_via_async(fctx, format!("{}/dec", stage2), &[env.nic])
+                            .await;
+                        for key in &assigned {
+                            let archive = client
+                                .get_async(fctx, &bucket, key)
+                                .await
+                                .unwrap_or_else(|e| panic!("decode read failed: {}", e));
+                            let dataset = mc_codec::decompress(&archive)
+                                .unwrap_or_else(|e| panic!("archive corrupt: {}", e));
+                            let data = SortRecord::write_all(&dataset.records);
+                            env.compute_async(fctx, work.methcomp_decode_time(data.len()))
+                                .await;
+                            *written.lock() += data.len() as u64;
+                            let leaf = key.rsplit('/').next().unwrap_or(key);
+                            let out_key = format!("{}{}", output, leaf);
+                            client
+                                .put_async(fctx, &bucket, &out_key, Bytes::from(data))
+                                .await
+                                .unwrap_or_else(|e| panic!("decode write failed: {}", e));
+                        }
+                    },
+                )
+                .await;
             handles.push(h);
         }
-        ctx.join_all(&handles)
+        ctx.join_all_async(&handles)
+            .await
             .map_err(|e| format!("decode task failed: {}", e))?;
         let bytes = *written.lock();
         Ok((workers.min(inputs.len()), bytes))
@@ -484,7 +546,7 @@ impl Executor {
     /// spec pins (a fixed worker count, an explicit `io_concurrency`)
     /// constrain the search instead of being overridden.
     #[allow(clippy::too_many_arguments)]
-    fn plan_stage(
+    async fn plan_stage(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -495,9 +557,10 @@ impl Executor {
         downstream_encode: usize,
     ) -> Result<Plan, String> {
         let store = &self.services.store;
-        let client = store.connect(ctx, format!("{}/plan", stage));
+        let client = store.connect_async(ctx, format!("{}/plan", stage)).await;
         let inputs = client
-            .list(ctx, bucket, input)
+            .list_async(ctx, bucket, input)
+            .await
             .map_err(|e| format!("plan list failed: {}", e))?;
         if inputs.is_empty() {
             return Err(format!("no shuffle inputs under '{}'", input));
@@ -577,7 +640,7 @@ impl Executor {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_shuffle(
+    async fn exec_shuffle(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -593,40 +656,49 @@ impl Executor {
         // backends keep the historical path (and its virtual timings)
         // untouched.
         let planned = if exchange == ExchangeKind::Auto {
-            Some(self.plan_stage(
-                ctx,
-                bucket,
-                stage,
-                input,
-                choice,
-                io_concurrency,
-                downstream_encode,
-            )?)
+            Some(
+                self.plan_stage(
+                    ctx,
+                    bucket,
+                    stage,
+                    input,
+                    choice,
+                    io_concurrency,
+                    downstream_encode,
+                )
+                .await?,
+            )
         } else {
             None
         };
         if let Some(plan) = &planned {
-            return self.run_shuffle(
-                ctx,
-                bucket,
-                stage,
-                plan.workers,
-                plan.exchange,
-                plan.io_concurrency,
-                input,
-                output,
-            );
+            return self
+                .run_shuffle(
+                    ctx,
+                    bucket,
+                    stage,
+                    plan.workers,
+                    plan.exchange,
+                    plan.io_concurrency,
+                    input,
+                    output,
+                )
+                .await;
         }
         let io_concurrency = io_concurrency.unwrap_or(self.io_concurrency);
         let workers = match choice {
             WorkerChoice::Fixed(n) => n,
             WorkerChoice::Auto => {
                 let store = &self.services.store;
-                let tuner = Autotuner::probe(ctx, store, bucket)
+                let tuner = Autotuner::probe_async(ctx, store, bucket)
+                    .await
                     .map_err(|e| format!("autotune probe failed: {}", e))?;
-                let client = store.connect(ctx, format!("{}/autotune", stage));
+                let client = store
+                    .connect_async(ctx, format!("{}/autotune", stage))
+                    .await;
                 let inputs = client
-                    .list(ctx, bucket, input)
+                    .list_async(ctx, bucket, input)
+                    .await
                     .map_err(|e| format!("autotune list failed: {}", e))?;
                 let modeled: f64 = inputs
                     .iter()
@@ -675,12 +747,13 @@ impl Executor {
             input,
             output,
         )
+        .await
     }
 
     /// Runs the serverless sort with fully resolved knobs (the shared
     /// tail of the explicit and planned shuffle paths).
     #[allow(clippy::too_many_arguments)]
-    fn run_shuffle(
+    async fn run_shuffle(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -710,9 +783,14 @@ impl Executor {
             io_concurrency: io_concurrency.max(1),
             manifest_key: None,
         };
-        let stats =
-            serverless_sort::<MethRecord>(ctx, &self.services.faas, &self.services.store, &cfg)
-                .map_err(|e| format!("serverless sort failed: {}", e))?;
+        let stats = serverless_sort_async::<MethRecord>(
+            ctx,
+            &self.services.faas,
+            &self.services.store,
+            &cfg,
+        )
+        .await
+        .map_err(|e| format!("serverless sort failed: {}", e))?;
         self.tracker.note(
             ctx,
             stage,
@@ -728,7 +806,7 @@ impl Executor {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_encode(
+    async fn exec_encode(
         &self,
         ctx: &mut Ctx,
         bucket: &str,
@@ -738,11 +816,12 @@ impl Executor {
         input: &str,
         output: &str,
     ) -> Result<(usize, u64), String> {
-        self.orchestrate(ctx);
+        self.orchestrate(ctx).await;
         let store = &self.services.store;
-        let client = store.connect(ctx, format!("{}/driver", stage));
+        let client = store.connect_async(ctx, format!("{}/driver", stage)).await;
         let inputs = client
-            .list(ctx, bucket, input)
+            .list_async(ctx, bucket, input)
+            .await
             .map_err(|e| format!("encode list failed: {}", e))?;
         if inputs.is_empty() {
             return Err(format!("no encode inputs under '{}'", input));
@@ -765,41 +844,65 @@ impl Executor {
             let bucket = bucket.to_string();
             let stage2 = stage.to_string();
             let output = output.to_string();
-            let h = self.services.faas.invoke_async(
-                ctx,
-                "encode",
-                format!("{}/enc", stage),
-                move |fctx, env| {
-                    let client = store.connect_via(fctx, format!("{}/enc", stage2), &[env.nic]);
-                    for key in &assigned {
-                        let data = client
-                            .get(fctx, &bucket, key)
-                            .unwrap_or_else(|e| panic!("encode read failed: {}", e));
-                        let records: Vec<MethRecord> = SortRecord::read_all(&data)
-                            .unwrap_or_else(|e| panic!("encode decode failed: {}", e));
-                        let dataset = Dataset::new(records);
-                        let packed = match codec {
-                            EncodeCodec::Methcomp => {
-                                env.compute(fctx, work.methcomp_encode_time(data.len()));
-                                mc_codec::compress(&dataset)
-                            }
-                            EncodeCodec::Gzipish => {
-                                env.compute(fctx, work.gzip_encode_time(data.len()));
-                                faaspipe_codec::gzipish::compress(dataset.to_text().as_bytes())
-                            }
-                        };
-                        *written.lock() += packed.len() as u64;
-                        let leaf = key.rsplit('/').next().unwrap_or(key);
-                        let out_key = format!("{}{}", output, leaf);
-                        client
-                            .put(fctx, &bucket, &out_key, Bytes::from(packed))
-                            .unwrap_or_else(|e| panic!("encode write failed: {}", e));
-                    }
-                },
-            );
+            let h = self
+                .services
+                .faas
+                .invoke_task(
+                    ctx,
+                    "encode",
+                    format!("{}/enc", stage),
+                    async move |fctx: &mut Ctx, env: faaspipe_faas::FunctionEnv| {
+                        let client = store
+                            .connect_via_async(fctx, format!("{}/enc", stage2), &[env.nic])
+                            .await;
+                        for key in &assigned {
+                            let data = client
+                                .get_async(fctx, &bucket, key)
+                                .await
+                                .unwrap_or_else(|e| panic!("encode read failed: {}", e));
+                            let records: Vec<MethRecord> = SortRecord::read_all(&data)
+                                .unwrap_or_else(|e| panic!("encode decode failed: {}", e));
+                            let dataset = Dataset::new(records);
+                            // The codec kernels run on the offload pool;
+                            // the virtual charge is identical to the old
+                            // inline compute + kernel sequence.
+                            let packed = match codec {
+                                EncodeCodec::Methcomp => {
+                                    env.compute_offload(
+                                        fctx,
+                                        work.methcomp_encode_time(data.len()),
+                                        move || mc_codec::compress(&dataset),
+                                    )
+                                    .await
+                                }
+                                EncodeCodec::Gzipish => {
+                                    env.compute_offload(
+                                        fctx,
+                                        work.gzip_encode_time(data.len()),
+                                        move || {
+                                            faaspipe_codec::gzipish::compress(
+                                                dataset.to_text().as_bytes(),
+                                            )
+                                        },
+                                    )
+                                    .await
+                                }
+                            };
+                            *written.lock() += packed.len() as u64;
+                            let leaf = key.rsplit('/').next().unwrap_or(key);
+                            let out_key = format!("{}{}", output, leaf);
+                            client
+                                .put_async(fctx, &bucket, &out_key, Bytes::from(packed))
+                                .await
+                                .unwrap_or_else(|e| panic!("encode write failed: {}", e));
+                        }
+                    },
+                )
+                .await;
             handles.push(h);
         }
-        ctx.join_all(&handles)
+        ctx.join_all_async(&handles)
+            .await
             .map_err(|e| format!("encode task failed: {}", e))?;
         let bytes = *written.lock();
         Ok((workers.min(inputs.len()), bytes))

@@ -1,14 +1,35 @@
-//! Thread-backed simulation processes and the [`Ctx`] handle they use to
-//! interact with the simulation kernel.
+//! Simulation processes and the [`Ctx`] handle they use to interact with
+//! the simulation kernel.
 //!
-//! Every process runs on an OS thread borrowed from the scheduler's worker
-//! pool but executes in strict rendezvous with the scheduler: the
-//! scheduler resumes exactly one process at a time and the
-//! process hands control back whenever it performs a simulation operation.
-//! Host thread scheduling therefore never influences simulation outcomes.
+//! Processes come in two flavors sharing one process table and one
+//! virtual-time schedule:
+//!
+//! * **Stackless tasks** (the default for new code): the body is an
+//!   `async` future polled by the scheduler on its own thread. Every
+//!   simulation operation (`sleep_async`, `sem_acquire_async`,
+//!   `transfer_async`, `spawn_task`, `join_async`, …) is a yield point —
+//!   the future deposits its request in a shared [`OpCell`] and returns
+//!   `Poll::Pending`; the scheduler services the request and re-polls
+//!   when the virtual-time condition is met. A suspended task is a small
+//!   heap-allocated state machine, not a parked OS thread.
+//! * **Thread-backed closures** (the legacy bridge): the body is a plain
+//!   `FnOnce(&mut Ctx)` run on a worker thread borrowed from the
+//!   scheduler's pool, in strict rendezvous with the scheduler. The same
+//!   async operations resolve *eagerly* through the rendezvous in this
+//!   mode, so async helpers can be driven from blocking code with
+//!   [`run_blocking`].
+//!
+//! In both modes the scheduler resumes exactly one process at a time, so
+//! host thread scheduling never influences simulation outcomes.
 
+use std::any::Any;
+use std::cell::RefCell;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context as PollContext, Poll, Waker};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,8 +73,30 @@ impl std::fmt::Display for JoinError {
 
 impl std::error::Error for JoinError {}
 
-/// The body of a simulation process.
+/// The body of a thread-backed simulation process.
 pub type ProcessFn = Box<dyn FnOnce(&mut Ctx) + Send + 'static>;
+
+/// A boxed future pinned on the scheduler thread. Task futures are
+/// created and polled only there, so they need not be `Send`.
+pub type LocalBoxFuture<'a, T> = Pin<Box<dyn Future<Output = T> + 'a>>;
+
+/// The body of a stackless simulation process: receives its owned
+/// [`Ctx`] and returns the process future. The closure crosses threads
+/// (a thread-backed parent may spawn tasks), the future it creates never
+/// does.
+pub(crate) type TaskFn = Box<dyn FnOnce(Ctx) -> LocalBoxFuture<'static, ()> + Send + 'static>;
+
+/// A CPU-heavy kernel dispatched to the offload pool, type-erased.
+pub(crate) type OffloadJob = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send + 'static>;
+
+/// Result of an offload job: the kernel's output, or its panic payload.
+pub(crate) type OffloadOutcome = std::thread::Result<Box<dyn Any + Send>>;
+
+/// Either flavor of process body, as carried by a spawn request.
+pub(crate) enum ProcessBody {
+    Blocking(ProcessFn),
+    Task(TaskFn),
+}
 
 /// Requests a process sends to the scheduler. Every request is acknowledged
 /// before the process continues; "blocking" requests are acknowledged only
@@ -67,13 +110,13 @@ pub(crate) enum YieldMsg {
     LimiterAcquire(LimiterId, f64),
     LinkCreate(Bandwidth),
     Transfer(FlowSpec),
-    Spawn { name: String, body: ProcessFn },
+    Spawn { name: String, body: ProcessBody },
     Join(ProcessId),
+    Offload { d: SimDuration, job: OffloadJob },
     Finished(Result<(), String>),
 }
 
 /// Scheduler replies.
-#[derive(Debug, Clone)]
 pub(crate) enum ResumeMsg {
     Go,
     Sem(SemId),
@@ -81,7 +124,30 @@ pub(crate) enum ResumeMsg {
     Link(LinkId),
     Pid(ProcessId),
     JoinResult(Result<(), JoinError>),
+    /// Internal: the process sleeps until its offload deadline; the
+    /// scheduler converts this to [`ResumeMsg::OffloadDone`] at wake,
+    /// host-blocking for the kernel result only then.
+    OffloadWait(u64),
+    OffloadDone(OffloadOutcome),
     Shutdown,
+}
+
+impl std::fmt::Debug for ResumeMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeMsg::Go => write!(f, "Go"),
+            ResumeMsg::Sem(id) => write!(f, "Sem({:?})", id),
+            ResumeMsg::Limiter(id) => write!(f, "Limiter({:?})", id),
+            ResumeMsg::Link(id) => write!(f, "Link({:?})", id),
+            ResumeMsg::Pid(pid) => write!(f, "Pid({:?})", pid),
+            ResumeMsg::JoinResult(r) => write!(f, "JoinResult({:?})", r),
+            ResumeMsg::OffloadWait(t) => write!(f, "OffloadWait({})", t),
+            ResumeMsg::OffloadDone(r) => {
+                write!(f, "OffloadDone({})", if r.is_ok() { "ok" } else { "panicked" })
+            }
+            ResumeMsg::Shutdown => write!(f, "Shutdown"),
+        }
+    }
 }
 
 /// Marker panic payload used to unwind process threads on teardown.
@@ -97,17 +163,112 @@ pub fn is_shutdown_payload(payload: &(dyn std::any::Any + Send)) -> bool {
     payload.downcast_ref::<ShutdownSignal>().is_some()
 }
 
+/// The one-slot mailbox between a suspended task and the scheduler:
+/// the task's pending operation goes in `request`, the scheduler's
+/// answer comes back in `reply`. Single-threaded by construction (both
+/// sides run on the scheduler thread), hence plain `RefCell`s.
+#[derive(Default)]
+pub(crate) struct OpCell {
+    pub(crate) request: RefCell<Option<YieldMsg>>,
+    pub(crate) reply: RefCell<Option<ResumeMsg>>,
+}
+
+/// How a [`Ctx`] reaches the scheduler.
+enum CtxMode {
+    /// Legacy bridge: rendezvous channels to the scheduler thread.
+    Thread {
+        yield_tx: Arc<Rendezvous<(u32, YieldMsg)>>,
+        resume_rx: Arc<Rendezvous<ResumeMsg>>,
+    },
+    /// Stackless task: a mailbox shared with the scheduler's slot.
+    Task { cell: Rc<OpCell> },
+}
+
+/// Leaf future for one simulation operation of a stackless task. First
+/// poll deposits the request and suspends; the scheduler answers (now or
+/// at the wake instant) and re-polls, completing the future.
+struct OpFuture {
+    cell: Rc<OpCell>,
+    msg: Option<YieldMsg>,
+}
+
+impl Future for OpFuture {
+    type Output = ResumeMsg;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut PollContext<'_>) -> Poll<ResumeMsg> {
+        let this = self.get_mut();
+        if let Some(msg) = this.msg.take() {
+            let prev = this.cell.request.borrow_mut().replace(msg);
+            debug_assert!(
+                prev.is_none(),
+                "a task submitted a simulation op while another is pending"
+            );
+            return Poll::Pending;
+        }
+        match this.cell.reply.borrow_mut().take() {
+            Some(ResumeMsg::Shutdown) => std::panic::panic_any(ShutdownSignal),
+            Some(reply) => Poll::Ready(reply),
+            // Spurious poll before the scheduler answered; stay suspended.
+            None => Poll::Pending,
+        }
+    }
+}
+
+/// Drives `fut` to completion from blocking (thread-backed) process code.
+///
+/// Inside a thread-backed process every simulation op resolves eagerly
+/// through the scheduler rendezvous, so the future completes in a single
+/// poll. Calling this inside a *stackless* process panics — `.await` the
+/// operation instead.
+pub fn run_blocking<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let mut cx = PollContext::from_waker(Waker::noop());
+    match fut.as_mut().poll(&mut cx) {
+        Poll::Ready(v) => v,
+        Poll::Pending => panic!(
+            "run_blocking suspended: blocking facades only work on \
+             thread-backed processes; `.await` the async variant instead"
+        ),
+    }
+}
+
+/// Future adapter that converts a panic during `poll` into an `Err`,
+/// allowing async process code to observe panics across `.await` points
+/// (the async analogue of `std::panic::catch_unwind` around a closure).
+pub struct CatchUnwind<F>(F);
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = std::thread::Result<F::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut PollContext<'_>) -> Poll<Self::Output> {
+        // SAFETY: structural pinning of the only field; it is never moved.
+        let inner = unsafe { self.map_unchecked_mut(|s| &mut s.0) };
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| inner.poll(cx))) {
+            Ok(Poll::Ready(v)) => Poll::Ready(Ok(v)),
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => Poll::Ready(Err(payload)),
+        }
+    }
+}
+
+/// Wraps `fut` so a panic in its body resolves to `Err(payload)` instead
+/// of unwinding through the caller.
+pub fn catch_unwind_future<F: Future>(fut: F) -> CatchUnwind<F> {
+    CatchUnwind(fut)
+}
+
 /// Handle through which a process body interacts with the simulation.
 ///
 /// All methods that model the passage of time or contention **block in
-/// virtual time**: the calling closure is suspended until the scheduler
-/// reaches the corresponding instant.
+/// virtual time**: the calling process is suspended until the scheduler
+/// reaches the corresponding instant. Plain methods (`sleep`, `join`, …)
+/// are for thread-backed closures; `_async` variants are for stackless
+/// tasks (and also work, resolving eagerly, on thread-backed processes).
 pub struct Ctx {
     pid: ProcessId,
     name: Arc<str>,
     clock: Arc<AtomicU64>,
-    yield_tx: Arc<Rendezvous<(u32, YieldMsg)>>,
-    resume_rx: Arc<Rendezvous<ResumeMsg>>,
+    mode: CtxMode,
     rng: SmallRng,
 }
 
@@ -122,7 +283,12 @@ impl std::fmt::Debug for Ctx {
 }
 
 impl Ctx {
-    pub(crate) fn new(
+    fn seeded_rng(pid: ProcessId, seed: u64) -> SmallRng {
+        let stream = seed ^ (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        SmallRng::seed_from_u64(stream)
+    }
+
+    pub(crate) fn new_thread(
         pid: ProcessId,
         name: Arc<str>,
         clock: Arc<AtomicU64>,
@@ -130,14 +296,31 @@ impl Ctx {
         resume_rx: Arc<Rendezvous<ResumeMsg>>,
         seed: u64,
     ) -> Self {
-        let stream = seed ^ (pid.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         Ctx {
             pid,
             name,
             clock,
-            yield_tx,
-            resume_rx,
-            rng: SmallRng::seed_from_u64(stream),
+            mode: CtxMode::Thread {
+                yield_tx,
+                resume_rx,
+            },
+            rng: Ctx::seeded_rng(pid, seed),
+        }
+    }
+
+    pub(crate) fn new_task(
+        pid: ProcessId,
+        name: Arc<str>,
+        clock: Arc<AtomicU64>,
+        cell: Rc<OpCell>,
+        seed: u64,
+    ) -> Self {
+        Ctx {
+            pid,
+            name,
+            clock,
+            mode: CtxMode::Task { cell },
+            rng: Ctx::seeded_rng(pid, seed),
         }
     }
 
@@ -163,10 +346,37 @@ impl Ctx {
     }
 
     fn call(&self, msg: YieldMsg) -> ResumeMsg {
-        self.yield_tx.send((self.pid.0, msg));
-        match self.resume_rx.recv() {
-            ResumeMsg::Shutdown => std::panic::panic_any(ShutdownSignal),
-            other => other,
+        match &self.mode {
+            CtxMode::Thread {
+                yield_tx,
+                resume_rx,
+            } => {
+                yield_tx.send((self.pid.0, msg));
+                match resume_rx.recv() {
+                    ResumeMsg::Shutdown => std::panic::panic_any(ShutdownSignal),
+                    other => other,
+                }
+            }
+            CtxMode::Task { .. } => panic!(
+                "process '{}' used a blocking simulation op inside a stackless \
+                 task; use the `_async` variant and `.await` it",
+                self.name
+            ),
+        }
+    }
+
+    /// One simulation op, in either mode: eager rendezvous on a
+    /// thread-backed process, suspend-and-resume on a stackless task.
+    async fn call_async(&self, msg: YieldMsg) -> ResumeMsg {
+        match &self.mode {
+            CtxMode::Thread { .. } => self.call(msg),
+            CtxMode::Task { cell } => {
+                OpFuture {
+                    cell: Rc::clone(cell),
+                    msg: Some(msg),
+                }
+                .await
+            }
         }
     }
 
@@ -178,15 +388,67 @@ impl Ctx {
         }
     }
 
+    /// Async variant of [`Ctx::sleep`].
+    pub async fn sleep_async(&self, d: SimDuration) {
+        match self.call_async(YieldMsg::Sleep(d)).await {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sleep: {:?}", other),
+        }
+    }
+
     /// Charges `d` of virtual CPU time. Identical to [`Ctx::sleep`]; the
     /// distinct name keeps call sites self-describing.
     pub fn compute(&self, d: SimDuration) {
         self.sleep(d);
     }
 
+    /// Async variant of [`Ctx::compute`].
+    pub async fn compute_async(&self, d: SimDuration) {
+        self.sleep_async(d).await;
+    }
+
+    /// Charges `d` of virtual CPU time *and* runs `job`, a genuinely
+    /// CPU-heavy host kernel, on the offload thread pool.
+    ///
+    /// The virtual-time schedule is byte-for-byte identical to
+    /// `ctx.compute(d)` followed by running `job()` inline: the process
+    /// wakes at `now + d` exactly as a sleep would, and the kernel result
+    /// is collected (host-blocking if the kernel is still running) only at
+    /// that wake. On a thread-backed process the job simply runs inline.
+    pub async fn offload<R, J>(&self, d: SimDuration, job: J) -> R
+    where
+        R: Send + 'static,
+        J: FnOnce() -> R + Send + 'static,
+    {
+        match &self.mode {
+            CtxMode::Thread { .. } => {
+                self.sleep(d);
+                job()
+            }
+            CtxMode::Task { .. } => {
+                let erased: OffloadJob = Box::new(move || Box::new(job()) as Box<dyn Any + Send>);
+                match self.call_async(YieldMsg::Offload { d, job: erased }).await {
+                    ResumeMsg::OffloadDone(Ok(any)) => *any
+                        .downcast::<R>()
+                        .expect("offload job returned a value of the wrong type"),
+                    ResumeMsg::OffloadDone(Err(payload)) => std::panic::resume_unwind(payload),
+                    other => unreachable!("unexpected resume for offload: {:?}", other),
+                }
+            }
+        }
+    }
+
     /// Creates a counting semaphore with `permits` initial permits.
     pub fn sem_create(&self, permits: u64) -> SemId {
         match self.call(YieldMsg::SemCreate(permits)) {
+            ResumeMsg::Sem(id) => id,
+            other => unreachable!("unexpected resume for sem_create: {:?}", other),
+        }
+    }
+
+    /// Async variant of [`Ctx::sem_create`].
+    pub async fn sem_create_async(&self, permits: u64) -> SemId {
+        match self.call_async(YieldMsg::SemCreate(permits)).await {
             ResumeMsg::Sem(id) => id,
             other => unreachable!("unexpected resume for sem_create: {:?}", other),
         }
@@ -200,9 +462,25 @@ impl Ctx {
         }
     }
 
+    /// Async variant of [`Ctx::sem_acquire`].
+    pub async fn sem_acquire_async(&self, id: SemId, n: u64) {
+        match self.call_async(YieldMsg::SemAcquire(id, n)).await {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sem_acquire: {:?}", other),
+        }
+    }
+
     /// Releases `n` permits.
     pub fn sem_release(&self, id: SemId, n: u64) {
         match self.call(YieldMsg::SemRelease(id, n)) {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for sem_release: {:?}", other),
+        }
+    }
+
+    /// Async variant of [`Ctx::sem_release`].
+    pub async fn sem_release_async(&self, id: SemId, n: u64) {
+        match self.call_async(YieldMsg::SemRelease(id, n)).await {
             ResumeMsg::Go => {}
             other => unreachable!("unexpected resume for sem_release: {:?}", other),
         }
@@ -217,6 +495,17 @@ impl Ctx {
         }
     }
 
+    /// Async variant of [`Ctx::limiter_create`].
+    pub async fn limiter_create_async(&self, rate: f64, burst: f64) -> LimiterId {
+        match self
+            .call_async(YieldMsg::LimiterCreate { rate, burst })
+            .await
+        {
+            ResumeMsg::Limiter(id) => id,
+            other => unreachable!("unexpected resume for limiter_create: {:?}", other),
+        }
+    }
+
     /// Takes `tokens` from the limiter, blocking in virtual time until they
     /// have accrued (FIFO).
     pub fn limiter_acquire(&self, id: LimiterId, tokens: f64) {
@@ -226,9 +515,25 @@ impl Ctx {
         }
     }
 
+    /// Async variant of [`Ctx::limiter_acquire`].
+    pub async fn limiter_acquire_async(&self, id: LimiterId, tokens: f64) {
+        match self.call_async(YieldMsg::LimiterAcquire(id, tokens)).await {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for limiter_acquire: {:?}", other),
+        }
+    }
+
     /// Creates a bandwidth-constrained link in the fluid-flow network.
     pub fn link_create(&self, capacity: Bandwidth) -> LinkId {
         match self.call(YieldMsg::LinkCreate(capacity)) {
+            ResumeMsg::Link(id) => id,
+            other => unreachable!("unexpected resume for link_create: {:?}", other),
+        }
+    }
+
+    /// Async variant of [`Ctx::link_create`].
+    pub async fn link_create_async(&self, capacity: Bandwidth) -> LinkId {
+        match self.call_async(YieldMsg::LinkCreate(capacity)).await {
             ResumeMsg::Link(id) => id,
             other => unreachable!("unexpected resume for link_create: {:?}", other),
         }
@@ -247,15 +552,54 @@ impl Ctx {
         }
     }
 
-    /// Spawns a child process that starts at the current virtual time.
+    /// Async variant of [`Ctx::transfer`].
+    pub async fn transfer_async(&self, bytes: ByteSize, links: &[LinkId]) {
+        match self
+            .call_async(YieldMsg::Transfer(FlowSpec {
+                bytes,
+                links: links.to_vec(),
+            }))
+            .await
+        {
+            ResumeMsg::Go => {}
+            other => unreachable!("unexpected resume for transfer: {:?}", other),
+        }
+    }
+
+    /// Spawns a thread-backed child process that starts at the current
+    /// virtual time. Only callable from a thread-backed process; stackless
+    /// tasks spawn children with [`Ctx::spawn_task`].
     pub fn spawn<F>(&self, name: impl Into<String>, body: F) -> ProcessId
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
         match self.call(YieldMsg::Spawn {
             name: name.into(),
-            body: Box::new(body),
+            body: ProcessBody::Blocking(Box::new(body)),
         }) {
+            ResumeMsg::Pid(pid) => pid,
+            other => unreachable!("unexpected resume for spawn: {:?}", other),
+        }
+    }
+
+    /// Spawns a stackless child process that starts at the current virtual
+    /// time. `f` receives the child's owned [`Ctx`] and returns its future.
+    ///
+    /// Works from both process flavors (thread-backed callers can wrap it
+    /// in [`run_blocking`]).
+    pub async fn spawn_task<F, Fut>(&self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(Ctx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let body: TaskFn = Box::new(move |ctx| Box::pin(f(ctx)) as LocalBoxFuture<'static, ()>);
+        match self
+            .call_async(YieldMsg::Spawn {
+                name: name.into(),
+                body: ProcessBody::Task(body),
+            })
+            .await
+        {
             ResumeMsg::Pid(pid) => pid,
             other => unreachable!("unexpected resume for spawn: {:?}", other),
         }
@@ -267,6 +611,17 @@ impl Ctx {
     /// Returns [`JoinError`] if the joined process panicked.
     pub fn join(&self, pid: ProcessId) -> Result<(), JoinError> {
         match self.call(YieldMsg::Join(pid)) {
+            ResumeMsg::JoinResult(res) => res,
+            other => unreachable!("unexpected resume for join: {:?}", other),
+        }
+    }
+
+    /// Async variant of [`Ctx::join`].
+    ///
+    /// # Errors
+    /// Returns [`JoinError`] if the joined process panicked.
+    pub async fn join_async(&self, pid: ProcessId) -> Result<(), JoinError> {
+        match self.call_async(YieldMsg::Join(pid)).await {
             ResumeMsg::JoinResult(res) => res,
             other => unreachable!("unexpected resume for join: {:?}", other),
         }
@@ -287,16 +642,32 @@ impl Ctx {
         }
     }
 
+    /// Async variant of [`Ctx::join_all`].
+    ///
+    /// # Errors
+    /// Returns the first [`JoinError`] if any joined process panicked.
+    pub async fn join_all_async(&self, pids: &[ProcessId]) -> Result<(), JoinError> {
+        let mut first_err = None;
+        for &pid in pids {
+            if let Err(e) = self.join_async(pid).await {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
     /// Runs `jobs` with at most `window` of them in flight, then returns
     /// their results in job order.
     ///
-    /// Spawns `min(window, jobs.len())` worker processes — not one per
-    /// job, so a thousand-job fan-out costs `window` OS threads, never a
-    /// thousand — that greedily pull jobs off a shared queue in job
-    /// order: the moment a worker finishes one job it starts the next,
-    /// so the virtual-time schedule is the same greedy one a
-    /// semaphore-per-job design yields. Workers are spawned in job-queue
-    /// order (deterministic pid assignment) and named `"{name}#{w}"`.
+    /// Spawns `min(window, jobs.len())` thread-backed worker processes
+    /// that greedily pull jobs off a shared queue in job order: the
+    /// moment a worker finishes one job it starts the next, so the
+    /// virtual-time schedule is the same greedy one a semaphore-per-job
+    /// design yields. Workers are spawned in job-queue order
+    /// (deterministic pid assignment) and named `"{name}#{w}"`.
     ///
     /// A window of `0` is treated as `1`.
     ///
@@ -305,7 +676,9 @@ impl Ctx {
     /// kills the worker that ran the job — queued jobs that worker would
     /// have pulled later may never run — but sibling workers keep
     /// draining the queue and every worker is awaited, so the fan-out
-    /// itself never deadlocks.
+    /// itself never deadlocks. A job whose result slot stayed empty
+    /// (its worker died before running it) is also reported as a
+    /// [`JoinError`], never as an internal panic.
     pub fn fan_out<T, F>(
         &self,
         name: &str,
@@ -340,15 +713,88 @@ impl Ctx {
         }
         self.join_all(&pids)?;
         let mut slots = results.lock().expect("fan_out results");
-        Ok(slots
-            .iter_mut()
-            .map(|s| s.take().expect("fan_out job finished without a result"))
-            .collect())
+        collect_fan_out(name, &mut slots)
+    }
+
+    /// Async variant of [`Ctx::fan_out`]: identical windowed scheduling,
+    /// but jobs are async closures and the workers are stackless tasks —
+    /// a thousand-job fan-out costs zero OS threads.
+    ///
+    /// # Errors
+    /// Same contract as [`Ctx::fan_out`].
+    pub async fn fan_out_async<T, F>(
+        &self,
+        name: &str,
+        window: usize,
+        jobs: Vec<F>,
+    ) -> Result<Vec<T>, JoinError>
+    where
+        T: Send + 'static,
+        F: AsyncFnOnce(&mut Ctx) -> T + Send + 'static,
+    {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let total = jobs.len();
+        let workers = window.max(1).min(total);
+        let queue: Arc<std::sync::Mutex<std::collections::VecDeque<(usize, F)>>> = Arc::new(
+            std::sync::Mutex::new(jobs.into_iter().enumerate().collect()),
+        );
+        let results: Arc<std::sync::Mutex<Vec<Option<T>>>> =
+            Arc::new(std::sync::Mutex::new((0..total).map(|_| None).collect()));
+        let mut pids = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let queue = Arc::clone(&queue);
+            let slot = Arc::clone(&results);
+            let pid = self
+                .spawn_task(format!("{}#{}", name, w), move |mut cctx: Ctx| async move {
+                    loop {
+                        let next = queue.lock().expect("fan_out queue").pop_front();
+                        let Some((i, job)) = next else { break };
+                        let value = job(&mut cctx).await;
+                        slot.lock().expect("fan_out slot")[i] = Some(value);
+                    }
+                })
+                .await;
+            pids.push(pid);
+        }
+        self.join_all_async(&pids).await?;
+        let mut slots = results.lock().expect("fan_out results");
+        collect_fan_out(name, &mut slots)
     }
 
     pub(crate) fn finish(&self, result: Result<(), String>) {
-        self.yield_tx.send((self.pid.0, YieldMsg::Finished(result)));
+        match &self.mode {
+            CtxMode::Thread { yield_tx, .. } => {
+                yield_tx.send((self.pid.0, YieldMsg::Finished(result)));
+            }
+            CtxMode::Task { .. } => {
+                unreachable!("tasks finish by returning from their future")
+            }
+        }
     }
+}
+
+/// Collects fan-out results, turning any missing slot into a
+/// [`JoinError`] (a worker died before running that job).
+fn collect_fan_out<T>(name: &str, slots: &mut [Option<T>]) -> Result<Vec<T>, JoinError> {
+    let mut out = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter_mut().enumerate() {
+        match slot.take() {
+            Some(v) => out.push(v),
+            None => {
+                return Err(JoinError {
+                    process: name.to_string(),
+                    message: format!(
+                        "fan_out job {} never produced a result (its worker \
+                         died before running it)",
+                        i
+                    ),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Renders a panic payload into a human-readable message.

@@ -1,13 +1,20 @@
 //! The simulation scheduler: owns the clock, event queue, resources and
 //! process table, and runs the event loop to completion.
 
+use std::future::Future;
+use std::panic::AssertUnwindSafe;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::{Context as PollContext, Poll, Waker};
 
 use crate::events::{EventId, EventQueue, Wake};
 use crate::flow::{FlowNet, LinkId};
-use crate::pool::{Job, Rendezvous, WorkerPool};
-use crate::process::{Ctx, JoinError, ProcessFn, ProcessId, ResumeMsg, YieldMsg};
+use crate::pool::{Job, OffloadPool, Rendezvous, WorkerPool};
+use crate::process::{
+    panic_message, Ctx, JoinError, LocalBoxFuture, OpCell, ProcessBody, ProcessId, ResumeMsg,
+    TaskFn, YieldMsg,
+};
 use crate::resources::{LimiterId, RateLimiter, SemId, Semaphore};
 use crate::units::{Bandwidth, SimTime};
 
@@ -75,9 +82,13 @@ pub struct SimReport {
     /// instant of the run.
     pub peak_live_processes: usize,
     /// OS threads the worker pool created over the whole run (its
-    /// high-water mark of simultaneously *running-or-blocked* process
-    /// bodies; threads are reused, never retired, until teardown).
+    /// high-water mark of simultaneously *running-or-blocked*
+    /// thread-backed process bodies; threads are reused, never retired,
+    /// until teardown). Stackless tasks never count here.
     pub pool_workers: usize,
+    /// OS threads the CPU-offload pool created over the whole run
+    /// (lazy, capped at `min(host cores, 8)`).
+    pub offload_workers: usize,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,16 +98,28 @@ enum PState {
     Finished(Result<(), String>),
 }
 
+/// A started stackless process: its suspended continuation plus the
+/// mailbox it exchanges ops with the scheduler through.
+struct TaskState {
+    /// The process future; `None` only transiently while being polled.
+    future: Option<LocalBoxFuture<'static, ()>>,
+    cell: Rc<OpCell>,
+}
+
 struct Slot {
     name: Arc<str>,
     state: PState,
     /// What to send when this blocked process is next woken.
     resume_with: ResumeMsg,
     join_waiters: Vec<u32>,
-    /// The body, until the process first wakes and is handed to a worker.
-    body: Option<ProcessFn>,
-    /// Pool worker currently running this process, once bound.
+    /// The body, until the process first wakes and is bound to its
+    /// backing (pool worker thread or task future).
+    body: Option<ProcessBody>,
+    /// Pool worker currently running this process, once bound
+    /// (thread-backed processes only).
     worker: Option<u32>,
+    /// The continuation, once started (stackless processes only).
+    task: Option<TaskState>,
     /// Whether a panic in this process has been delivered to a joiner.
     panic_observed: bool,
 }
@@ -116,6 +139,7 @@ pub struct Sim {
     flow_event: Option<EventId>,
     yields: Arc<Rendezvous<(u32, YieldMsg)>>,
     pool: WorkerPool,
+    offload: OffloadPool,
     events_dispatched: u64,
     live_now: usize,
     peak_live: usize,
@@ -161,6 +185,7 @@ impl Sim {
             flow_event: None,
             yields,
             pool,
+            offload: OffloadPool::new(),
             events_dispatched: 0,
             live_now: 0,
             peak_live: 0,
@@ -194,19 +219,36 @@ impl Sim {
         self.flownet.add_link(capacity)
     }
 
-    /// Spawns a root process that starts at the current virtual time.
+    /// Spawns a thread-backed root process that starts at the current
+    /// virtual time. Prefer [`Sim::spawn_task`] for new code; this is the
+    /// bridge for bodies that block the host thread.
     pub fn spawn<F>(&mut self, name: impl Into<String>, body: F) -> ProcessId
     where
         F: FnOnce(&mut Ctx) + Send + 'static,
     {
-        let pid = self.create_process(name.into(), Box::new(body));
+        let pid = self.create_process(name.into(), ProcessBody::Blocking(Box::new(body)));
         self.queue.schedule(self.now(), Wake::Process(pid.0));
         pid
     }
 
-    /// Registers a process slot. No OS thread is involved until the
-    /// process first wakes — see [`Sim::run_process`].
-    fn create_process(&mut self, name: String, body: ProcessFn) -> ProcessId {
+    /// Spawns a stackless root process that starts at the current virtual
+    /// time. `f` receives the process's owned [`Ctx`] and returns its
+    /// future; the future is created and polled on the scheduler thread
+    /// and costs no OS thread while suspended.
+    pub fn spawn_task<F, Fut>(&mut self, name: impl Into<String>, f: F) -> ProcessId
+    where
+        F: FnOnce(Ctx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
+        let body: TaskFn = Box::new(move |ctx| Box::pin(f(ctx)) as LocalBoxFuture<'static, ()>);
+        let pid = self.create_process(name.into(), ProcessBody::Task(body));
+        self.queue.schedule(self.now(), Wake::Process(pid.0));
+        pid
+    }
+
+    /// Registers a process slot. No OS thread and no future is involved
+    /// until the process first wakes — see [`Sim::run_process`].
+    fn create_process(&mut self, name: String, body: ProcessBody) -> ProcessId {
         let pid = ProcessId(self.procs.len() as u32);
         self.procs.push(Slot {
             name: name.into(),
@@ -215,6 +257,7 @@ impl Sim {
             join_waiters: Vec::new(),
             body: Some(body),
             worker: None,
+            task: None,
             panic_observed: false,
         });
         self.live_now += 1;
@@ -287,6 +330,7 @@ impl Sim {
             events: self.events_dispatched,
             peak_live_processes: self.peak_live,
             pool_workers: self.pool.worker_count(),
+            offload_workers: self.offload.worker_count(),
         };
         self.teardown();
         Ok(report)
@@ -319,37 +363,82 @@ impl Sim {
     /// Resumes process `pidx` and services its requests until it blocks or
     /// finishes.
     ///
-    /// On a process's first wake it is bound to a pool worker: an idle
-    /// worker thread is reused if one exists, otherwise the pool grows by
-    /// one. Binding lazily means processes that are spawned but never
-    /// scheduled cost no thread at all, and the pool's size tracks the
-    /// *peak* number of concurrently live bodies, not the total spawned.
+    /// On a process's first wake it is bound to its backing: a stackless
+    /// body becomes a future polled in place, a blocking body is handed
+    /// to a pool worker (an idle thread is reused if one exists,
+    /// otherwise the pool grows by one). Binding lazily means processes
+    /// that are spawned but never scheduled cost nothing, and the thread
+    /// pool's size tracks the *peak* number of concurrently live blocking
+    /// bodies, not the total spawned.
     fn run_process(&mut self, pidx: u32) {
-        {
-            let slot = &mut self.procs[pidx as usize];
-            if matches!(slot.state, PState::Finished(_)) {
-                return;
-            }
-            let msg = std::mem::replace(&mut slot.resume_with, ResumeMsg::Go);
-            match slot.worker {
-                Some(widx) => self.pool.resume(widx, msg),
-                None => {
-                    debug_assert!(
-                        matches!(msg, ResumeMsg::Go),
-                        "first wake must be a plain Go"
-                    );
-                    let body = slot.body.take().expect("unbound process has no body");
+        let pi = pidx as usize;
+        if matches!(self.procs[pi].state, PState::Finished(_)) {
+            return;
+        }
+        if self.procs[pi].worker.is_none() && self.procs[pi].task.is_none() {
+            // First wake: bind the body.
+            debug_assert!(
+                matches!(self.procs[pi].resume_with, ResumeMsg::Go),
+                "first wake must be a plain Go"
+            );
+            match self.procs[pi].body.take().expect("unbound process has no body") {
+                ProcessBody::Blocking(body) => {
                     let job = Job {
                         pid: ProcessId(pidx),
-                        name: Arc::clone(&slot.name),
+                        name: Arc::clone(&self.procs[pi].name),
                         body,
                         seed: self.cfg.seed,
                     };
                     let widx = self.pool.run(job);
-                    self.procs[pidx as usize].worker = Some(widx);
+                    self.procs[pi].worker = Some(widx);
+                    self.pump_thread(pidx);
+                }
+                ProcessBody::Task(f) => {
+                    let cell = Rc::new(OpCell::default());
+                    let ctx = Ctx::new_task(
+                        ProcessId(pidx),
+                        Arc::clone(&self.procs[pi].name),
+                        Arc::clone(&self.clock),
+                        Rc::clone(&cell),
+                        self.cfg.seed,
+                    );
+                    // Creating the future runs no user code (that happens
+                    // at first poll, below).
+                    let future = f(ctx);
+                    self.procs[pi].task = Some(TaskState {
+                        future: Some(future),
+                        cell,
+                    });
+                    self.poll_task(pidx);
                 }
             }
+            return;
         }
+        let msg = std::mem::replace(&mut self.procs[pi].resume_with, ResumeMsg::Go);
+        if let Some(widx) = self.procs[pi].worker {
+            self.pool.resume(widx, msg);
+            self.pump_thread(pidx);
+        } else {
+            // A bound, unfinished task is always suspended in exactly one
+            // op; deliver the answer it is waiting for, then poll. Offload
+            // results are collected here — at the virtual-time deadline —
+            // so host completion order never reorders events.
+            let msg = match msg {
+                ResumeMsg::OffloadWait(token) => ResumeMsg::OffloadDone(self.offload.wait(token)),
+                m => m,
+            };
+            {
+                let cell = &self.procs[pi].task.as_ref().expect("bound task has state").cell;
+                let prev = cell.reply.borrow_mut().replace(msg);
+                debug_assert!(prev.is_none(), "task woken with a stale reply pending");
+            }
+            self.poll_task(pidx);
+        }
+    }
+
+    /// Services a thread-backed process's yields until it blocks or
+    /// finishes (the worker thread runs; this thread waits in `recv`).
+    fn pump_thread(&mut self, pidx: u32) {
         loop {
             let (from, msg) = self.yields.recv();
             debug_assert_eq!(from, pidx, "yield from unexpected process");
@@ -364,11 +453,75 @@ impl Sim {
         }
     }
 
+    /// Polls a stackless process's future, servicing the op it deposits
+    /// on each suspension, until it blocks in virtual time, finishes, or
+    /// panics.
+    fn poll_task(&mut self, pidx: u32) {
+        loop {
+            let ts = self.procs[pidx as usize]
+                .task
+                .as_mut()
+                .expect("poll_task on a non-task process");
+            let mut future = ts.future.take().expect("task future missing");
+            let mut cx = PollContext::from_waker(Waker::noop());
+            let polled =
+                std::panic::catch_unwind(AssertUnwindSafe(|| future.as_mut().poll(&mut cx)));
+            match polled {
+                Ok(Poll::Pending) => {
+                    let ts = self.procs[pidx as usize].task.as_mut().expect("task state");
+                    ts.future = Some(future);
+                    let Some(msg) = ts.cell.request.borrow_mut().take() else {
+                        // The future suspended without a simulation op
+                        // pending — it awaited something the scheduler
+                        // cannot resolve. Fail the process rather than
+                        // hang the simulation.
+                        self.procs[pidx as usize].task = None;
+                        self.finish_process(
+                            pidx,
+                            Err("stackless process suspended outside a simulation op \
+                                 (awaited a non-simulation future)"
+                                .to_string()),
+                        );
+                        return;
+                    };
+                    match self.handle_yield(pidx, msg) {
+                        Flow::Continue => continue,
+                        Flow::Blocked => {
+                            self.procs[pidx as usize].state = PState::Blocked;
+                            return;
+                        }
+                        Flow::Done => unreachable!("tasks finish by returning, not yielding"),
+                    }
+                }
+                Ok(Poll::Ready(())) => {
+                    drop(future);
+                    self.procs[pidx as usize].task = None;
+                    self.finish_process(pidx, Ok(()));
+                    return;
+                }
+                Err(payload) => {
+                    drop(future);
+                    self.procs[pidx as usize].task = None;
+                    self.finish_process(pidx, Err(panic_message(payload.as_ref())));
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Delivers a scheduler reply to a running process: through the pool
+    /// rendezvous for thread-backed bodies, into the op mailbox for
+    /// stackless ones (consumed on the next poll).
     fn reply(&self, pidx: u32, msg: ResumeMsg) {
-        let widx = self.procs[pidx as usize]
-            .worker
-            .expect("reply to a process that never ran");
-        self.pool.resume(widx, msg);
+        let slot = &self.procs[pidx as usize];
+        if let Some(widx) = slot.worker {
+            self.pool.resume(widx, msg);
+        } else if let Some(ts) = &slot.task {
+            let prev = ts.cell.reply.borrow_mut().replace(msg);
+            debug_assert!(prev.is_none(), "task replied to twice");
+        } else {
+            panic!("reply to a process that never ran");
+        }
     }
 
     fn handle_yield(&mut self, pidx: u32, msg: YieldMsg) -> Flow {
@@ -459,23 +612,40 @@ impl Sim {
                     }
                 }
             }
+            YieldMsg::Offload { d, job } => {
+                // The kernel starts on the offload pool *now* (in host
+                // time) but the process sleeps until `now + d` in virtual
+                // time — the event this schedules is indistinguishable
+                // from a plain `Sleep(d)`, so offloading a kernel can
+                // never change the event schedule.
+                let token = self.offload.submit(job);
+                self.procs[pidx as usize].resume_with = ResumeMsg::OffloadWait(token);
+                self.queue.schedule(now + d, Wake::Process(pidx));
+                Flow::Blocked
+            }
             YieldMsg::Finished(result) => {
-                // The worker is heading back to its command channel; return
-                // it to the idle stack for immediate reuse (no join).
-                let slot = &mut self.procs[pidx as usize];
-                if let Some(widx) = slot.worker.take() {
-                    self.pool.release(widx);
-                }
-                slot.state = PState::Finished(result.clone());
-                self.live_now -= 1;
-                let waiters = std::mem::take(&mut self.procs[pidx as usize].join_waiters);
-                for w in waiters {
-                    let jr = self.join_result(ProcessId(pidx), result.clone());
-                    self.procs[w as usize].resume_with = ResumeMsg::JoinResult(jr);
-                    self.schedule_wake(w);
-                }
+                self.finish_process(pidx, result);
                 Flow::Done
             }
+        }
+    }
+
+    /// Marks `pidx` finished, releases its backing, and wakes joiners.
+    fn finish_process(&mut self, pidx: u32, result: Result<(), String>) {
+        let slot = &mut self.procs[pidx as usize];
+        // A thread-backed worker is heading back to its command channel;
+        // return it to the idle stack for immediate reuse (no join). Task
+        // futures were already dropped by the caller.
+        if let Some(widx) = slot.worker.take() {
+            self.pool.release(widx);
+        }
+        slot.state = PState::Finished(result.clone());
+        self.live_now -= 1;
+        let waiters = std::mem::take(&mut self.procs[pidx as usize].join_waiters);
+        for w in waiters {
+            let jr = self.join_result(ProcessId(pidx), result.clone());
+            self.procs[w as usize].resume_with = ResumeMsg::JoinResult(jr);
+            self.schedule_wake(w);
         }
     }
 
@@ -492,15 +662,16 @@ impl Sim {
         }
     }
 
-    /// Unwinds every still-bound process body, then exits and joins the
-    /// pool threads.
+    /// Unwinds every still-bound blocking process body, then exits and
+    /// joins the pool and offload threads.
     ///
     /// At this point the scheduler is not servicing yields, so every bound,
-    /// unfinished process is parked on its worker's resume channel; the
-    /// [`ResumeMsg::Shutdown`] reply makes the body unwind quietly and the
-    /// worker fall through to its command channel, where the pool's `Exit`
-    /// awaits. Processes that were never scheduled have no thread — their
-    /// body closure is simply dropped with the slot.
+    /// unfinished thread-backed process is parked on its worker's resume
+    /// channel; the [`ResumeMsg::Shutdown`] reply makes the body unwind
+    /// quietly and the worker fall through to its command channel, where
+    /// the pool's `Exit` awaits. Stackless processes need no unwinding —
+    /// their suspended futures (and never-started bodies) are simply
+    /// dropped with the slot.
     fn teardown(&mut self) {
         for slot in &mut self.procs {
             if !matches!(slot.state, PState::Finished(_)) {
@@ -508,8 +679,10 @@ impl Sim {
                     self.pool.resume(widx, ResumeMsg::Shutdown);
                 }
             }
+            slot.task = None;
         }
         self.pool.shutdown();
+        self.offload.shutdown();
     }
 }
 
@@ -994,6 +1167,350 @@ mod tests {
             assert_eq!(ctx.fan_out("clamped", 0, jobs).expect("ok"), vec![0, 1]);
         });
         sim.run().expect("run");
+    }
+
+    #[test]
+    fn task_sleep_advances_clock_without_pool_threads() {
+        let mut sim = Sim::new();
+        sim.spawn_task("sleeper", |ctx| async move {
+            ctx.sleep_async(SimDuration::from_secs(5)).await;
+            ctx.sleep_async(SimDuration::from_millis(250)).await;
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time.as_nanos(), 5_250_000_000);
+        assert_eq!(report.pool_workers, 0, "stackless bodies cost no threads");
+    }
+
+    #[test]
+    fn tasks_and_threads_share_one_virtual_schedule() {
+        // The same workload, thread-backed vs task-backed, must produce
+        // identical end times, event counts, and interleavings.
+        fn run_flavor(tasks: bool) -> (u64, u64, Vec<u64>) {
+            let log = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Sim::new();
+            for i in 0..3u64 {
+                let log = Arc::clone(&log);
+                if tasks {
+                    sim.spawn_task(format!("p{}", i), move |ctx| async move {
+                        ctx.sleep_async(SimDuration::from_millis(10 * (3 - i))).await;
+                        log.lock().unwrap().push(i);
+                    });
+                } else {
+                    sim.spawn(format!("p{}", i), move |ctx| {
+                        ctx.sleep(SimDuration::from_millis(10 * (3 - i)));
+                        log.lock().unwrap().push(i);
+                    });
+                }
+            }
+            let report = sim.run().expect("run");
+            let order = log.lock().unwrap().clone();
+            (report.end_time.as_nanos(), report.events, order)
+        }
+        assert_eq!(run_flavor(false), run_flavor(true));
+    }
+
+    #[test]
+    fn task_spawns_and_joins_task_children() {
+        let out = Arc::new(Mutex::new(0u64));
+        let mut sim = Sim::new();
+        let out2 = Arc::clone(&out);
+        sim.spawn_task("parent", move |ctx| async move {
+            let out3 = Arc::clone(&out2);
+            let child = ctx
+                .spawn_task("child", move |cctx| async move {
+                    cctx.sleep_async(SimDuration::from_secs(1)).await;
+                    *out3.lock().unwrap() = 42;
+                })
+                .await;
+            ctx.join_async(child).await.expect("child ok");
+            assert_eq!(ctx.now().as_secs_f64(), 1.0);
+            assert_eq!(*out2.lock().unwrap(), 42);
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(*out.lock().unwrap(), 42);
+        assert_eq!(report.pool_workers, 0);
+    }
+
+    #[test]
+    fn blocking_process_drives_task_children_via_run_blocking() {
+        // The legacy bridge: a thread-backed driver uses the async API
+        // eagerly through run_blocking.
+        use crate::process::run_blocking;
+        let mut sim = Sim::new();
+        sim.spawn("driver", |ctx| {
+            let child = run_blocking(ctx.spawn_task("t", |c| async move {
+                c.sleep_async(SimDuration::from_secs(2)).await;
+            }));
+            ctx.join(child).expect("child ok");
+            assert_eq!(ctx.now().as_secs_f64(), 2.0);
+            run_blocking(ctx.sleep_async(SimDuration::from_secs(1)));
+            assert_eq!(ctx.now().as_secs_f64(), 3.0);
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.end_time.as_secs_f64(), 3.0);
+        assert_eq!(report.pool_workers, 1, "only the driver needs a thread");
+    }
+
+    #[test]
+    fn task_panic_is_observed_by_joiner() {
+        let mut sim = Sim::new();
+        sim.spawn_task("parent", |ctx| async move {
+            let child = ctx
+                .spawn_task("bad", |_c| async move { panic!("boom") })
+                .await;
+            let err = ctx.join_async(child).await.expect_err("child panicked");
+            assert_eq!(err.process, "bad");
+            assert!(err.message.contains("boom"));
+        });
+        sim.run().expect("observed panic is not a sim error");
+    }
+
+    #[test]
+    fn unobserved_task_panic_fails_run() {
+        let mut sim = Sim::new();
+        sim.spawn_task("bad", |_ctx| async move { panic!("kaboom") });
+        let err = sim.run().expect_err("must fail");
+        assert!(matches!(err, SimError::ProcessPanicked { .. }));
+    }
+
+    #[test]
+    fn task_semaphores_and_limiters_match_blocking_semantics() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        let sem = sim.create_semaphore(1);
+        for i in 0..4u64 {
+            let log = Arc::clone(&log);
+            sim.spawn_task(format!("w{}", i), move |ctx| async move {
+                ctx.sem_acquire_async(sem, 1).await;
+                log.lock().unwrap().push((i, ctx.now()));
+                ctx.sleep_async(SimDuration::from_secs(1)).await;
+                ctx.sem_release_async(sem, 1).await;
+            });
+        }
+        sim.run().expect("run");
+        let log = log.lock().unwrap();
+        for (i, (w, at)) in log.iter().enumerate() {
+            assert_eq!(*w, i as u64);
+            assert_eq!(at.as_secs_f64(), i as f64);
+        }
+    }
+
+    #[test]
+    fn task_transfers_share_links_fairly() {
+        let mut sim = Sim::new();
+        let link = sim.create_link(Bandwidth::bytes_per_sec(100.0));
+        let done = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..2u64 {
+            let done = Arc::clone(&done);
+            sim.spawn_task(format!("t{}", i), move |ctx| async move {
+                ctx.transfer_async(ByteSize::new(100), &[link]).await;
+                done.lock().unwrap().push((i, ctx.now()));
+            });
+        }
+        sim.run().expect("run");
+        for (_, at) in done.lock().unwrap().iter() {
+            assert!((at.as_secs_f64() - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn task_rng_streams_match_blocking_streams() {
+        // RNG seeding depends only on (seed, pid) — never on the backing.
+        use rand::Rng;
+        fn draw(tasks: bool) -> Vec<u64> {
+            let out = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = Sim::new();
+            let out2 = Arc::clone(&out);
+            if tasks {
+                sim.spawn_task("r", move |mut ctx| async move {
+                    let v: Vec<u64> = (0..8).map(|_| ctx.rng().gen()).collect();
+                    out2.lock().unwrap().extend(v);
+                });
+            } else {
+                sim.spawn("r", move |ctx| {
+                    let v: Vec<u64> = (0..8).map(|_| ctx.rng().gen()).collect();
+                    out2.lock().unwrap().extend(v);
+                });
+            }
+            sim.run().expect("run");
+            let v = out.lock().unwrap().clone();
+            v
+        }
+        assert_eq!(draw(false), draw(true));
+    }
+
+    #[test]
+    fn fan_out_async_returns_results_in_job_order() {
+        let mut sim = Sim::new();
+        sim.spawn_task("parent", |ctx| async move {
+            let jobs: Vec<_> = (0..6u64)
+                .map(|i| {
+                    async move |cctx: &mut Ctx| {
+                        cctx.sleep_async(SimDuration::from_millis(60 - 10 * i)).await;
+                        i * 2
+                    }
+                })
+                .collect();
+            let out = ctx.fan_out_async("job", 6, jobs).await.expect("fan_out ok");
+            assert_eq!(out, vec![0, 2, 4, 6, 8, 10]);
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.pool_workers, 0);
+    }
+
+    #[test]
+    fn fan_out_async_window_bounds_concurrency() {
+        let inflight = Arc::new(Mutex::new((0u32, 0u32)));
+        let mut sim = Sim::new();
+        let inflight2 = Arc::clone(&inflight);
+        sim.spawn_task("parent", move |ctx| async move {
+            let jobs: Vec<_> = (0..4)
+                .map(|_| {
+                    let inflight = Arc::clone(&inflight2);
+                    async move |cctx: &mut Ctx| {
+                        {
+                            let mut g = inflight.lock().unwrap();
+                            g.0 += 1;
+                            g.1 = g.1.max(g.0);
+                        }
+                        cctx.sleep_async(SimDuration::from_secs(1)).await;
+                        inflight.lock().unwrap().0 -= 1;
+                    }
+                })
+                .collect();
+            ctx.fan_out_async("bounded", 2, jobs).await.expect("ok");
+            assert_eq!(ctx.now().as_secs_f64(), 2.0, "2 waves of 2 jobs");
+        });
+        sim.run().expect("run");
+        assert_eq!(inflight.lock().unwrap().1, 2, "window caps concurrency");
+    }
+
+    #[test]
+    fn offload_matches_compute_schedule_exactly() {
+        // compute(d) + inline kernel and offload(d, kernel) must yield
+        // identical end times and event counts.
+        fn run_inline() -> (u64, u64, u64) {
+            let out = Arc::new(AtomicU64::new(0));
+            let mut sim = Sim::new();
+            let out2 = Arc::clone(&out);
+            sim.spawn_task("k", move |ctx| async move {
+                ctx.compute_async(SimDuration::from_millis(7)).await;
+                let v = (0..1000u64).sum::<u64>();
+                ctx.sleep_async(SimDuration::from_millis(3)).await;
+                out2.store(v, Ordering::SeqCst);
+            });
+            let report = sim.run().expect("run");
+            (
+                report.end_time.as_nanos(),
+                report.events,
+                out.load(Ordering::SeqCst),
+            )
+        }
+        fn run_offloaded() -> (u64, u64, u64) {
+            let out = Arc::new(AtomicU64::new(0));
+            let mut sim = Sim::new();
+            let out2 = Arc::clone(&out);
+            sim.spawn_task("k", move |ctx| async move {
+                let v = ctx
+                    .offload(SimDuration::from_millis(7), || (0..1000u64).sum::<u64>())
+                    .await;
+                ctx.sleep_async(SimDuration::from_millis(3)).await;
+                out2.store(v, Ordering::SeqCst);
+            });
+            let report = sim.run().expect("run");
+            assert!(report.offload_workers >= 1);
+            (
+                report.end_time.as_nanos(),
+                report.events,
+                out.load(Ordering::SeqCst),
+            )
+        }
+        assert_eq!(run_inline(), run_offloaded());
+    }
+
+    #[test]
+    fn offload_panic_propagates_into_the_task() {
+        let mut sim = Sim::new();
+        sim.spawn_task("parent", |ctx| async move {
+            let child = ctx
+                .spawn_task("kern", |cctx| async move {
+                    let _: u64 = cctx
+                        .offload(SimDuration::from_millis(1), || panic!("kernel died"))
+                        .await;
+                })
+                .await;
+            let err = ctx.join_async(child).await.expect_err("kernel panic");
+            assert!(err.message.contains("kernel died"));
+        });
+        sim.run().expect("observed panic is fine");
+    }
+
+    #[test]
+    fn offload_runs_inline_on_thread_backed_processes() {
+        let mut sim = Sim::new();
+        sim.spawn("driver", |ctx| {
+            use crate::process::run_blocking;
+            let v: u64 = run_blocking(ctx.offload(SimDuration::from_millis(5), || 99));
+            assert_eq!(v, 99);
+            assert_eq!(ctx.now().as_nanos(), 5_000_000);
+        });
+        let report = sim.run().expect("run");
+        assert_eq!(report.offload_workers, 0, "thread bodies run kernels inline");
+    }
+
+    #[test]
+    fn blocked_task_deadlock_is_reported() {
+        let mut sim = Sim::new();
+        let sem = sim.create_semaphore(0);
+        sim.spawn_task("stuck", move |ctx| async move {
+            ctx.sem_acquire_async(sem, 1).await;
+        });
+        let err = sim.run().expect_err("deadlock");
+        match err {
+            SimError::Deadlock { blocked } => assert_eq!(blocked, vec!["stuck".to_string()]),
+            other => panic!("unexpected error {:?}", other),
+        }
+    }
+
+    #[test]
+    fn zero_sleep_tasks_round_robin_with_threads() {
+        // A task and a thread-backed process alternating zero-sleeps
+        // interleave exactly as two thread-backed processes would.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Sim::new();
+        let l0 = Arc::clone(&log);
+        sim.spawn_task("p0", move |ctx| async move {
+            for _ in 0..3 {
+                l0.lock().unwrap().push(0u64);
+                ctx.sleep_async(SimDuration::ZERO).await;
+            }
+        });
+        let l1 = Arc::clone(&log);
+        sim.spawn("p1", move |ctx| {
+            for _ in 0..3 {
+                l1.lock().unwrap().push(1u64);
+                ctx.sleep(SimDuration::ZERO);
+            }
+        });
+        sim.run().expect("run");
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn many_tasks_scale_without_threads() {
+        let mut sim = Sim::new();
+        let counter = Arc::new(AtomicU64::new(0));
+        for i in 0..2000u64 {
+            let counter = Arc::clone(&counter);
+            sim.spawn_task(format!("n{}", i), move |ctx| async move {
+                ctx.sleep_async(SimDuration::from_millis(i % 50)).await;
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let report = sim.run().expect("run");
+        assert_eq!(counter.load(Ordering::SeqCst), 2000);
+        assert_eq!(report.pool_workers, 0);
+        assert_eq!(report.peak_live_processes, 2000);
     }
 
     #[test]

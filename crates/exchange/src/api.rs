@@ -4,7 +4,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use bytes::Bytes;
-use faaspipe_des::{Ctx, LinkId};
+use faaspipe_des::{run_blocking, Ctx, LinkId, LocalBoxFuture};
 
 use crate::error::{ExchangeError, ExchangeParseError, ExchangeParseIssue};
 
@@ -209,15 +209,39 @@ impl ExchangeEnv {
 /// Implementations must be idempotent under re-invocation: a crashed
 /// mapper's re-run re-writes the same partitions, a reducer may read the
 /// same partition twice.
+///
+/// Backends implement the `*_async` methods (returning boxed local
+/// futures so the trait stays object-safe); the plain methods are
+/// blocking facades over them for thread-backed processes, and resolve
+/// eagerly there.
 pub trait DataExchange: fmt::Debug + Send + Sync {
     /// A short stable name for traces and tables (e.g. `"cos"`,
     /// `"vm-relay"`, `"direct"`).
     fn name(&self) -> &'static str;
 
+    /// Async form of [`DataExchange::prepare`] for stackless processes.
+    fn prepare_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        maps: usize,
+        parts: usize,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>>;
+
     /// Driver-side setup before the map phase: allocates bookkeeping for
     /// a `maps` × `parts` exchange and provisions backing resources (the
     /// VM-relay backend pays its provisioning delay here).
-    fn prepare(&self, ctx: &mut Ctx, maps: usize, parts: usize) -> Result<(), ExchangeError>;
+    fn prepare(&self, ctx: &mut Ctx, maps: usize, parts: usize) -> Result<(), ExchangeError> {
+        run_blocking(self.prepare_async(ctx, maps, parts))
+    }
+
+    /// Async form of [`DataExchange::write_partitions`].
+    fn write_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        map: usize,
+        parts: Vec<Bytes>,
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>>;
 
     /// Stores mapper `map`'s partitions (`parts[j]` goes to reducer
     /// `j`). Returns the number of payload bytes written.
@@ -227,7 +251,18 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         env: &ExchangeEnv,
         map: usize,
         parts: Vec<Bytes>,
-    ) -> Result<u64, ExchangeError>;
+    ) -> Result<u64, ExchangeError> {
+        run_blocking(self.write_partitions_async(ctx, env, map, parts))
+    }
+
+    /// Async form of [`DataExchange::read_partition`].
+    fn read_partition_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> LocalBoxFuture<'a, Result<Bytes, ExchangeError>>;
 
     /// Fetches the partition mapper `map` wrote for reducer `part`.
     fn read_partition(
@@ -236,13 +271,32 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         env: &ExchangeEnv,
         map: usize,
         part: usize,
-    ) -> Result<Bytes, ExchangeError>;
+    ) -> Result<Bytes, ExchangeError> {
+        run_blocking(self.read_partition_async(ctx, env, map, part))
+    }
+
+    /// Async form of [`DataExchange::read_partitions`]. The default
+    /// implementation is a sequential loop; backends override it to keep
+    /// up to `env.io_window` requests in flight concurrently.
+    fn read_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        reqs: &'a [(usize, usize)],
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            let mut out = Vec::with_capacity(reqs.len());
+            for &(map, part) in reqs {
+                out.push(self.read_partition_async(ctx, env, map, part).await?);
+            }
+            Ok(out)
+        })
+    }
 
     /// Fetches a batch of partitions, `reqs[i] = (map, part)`, returning
     /// the payloads in request order.
     ///
-    /// The default implementation is today's sequential loop. Backends
-    /// override it to keep up to `env.io_window` requests in flight
+    /// Backends keep up to `env.io_window` requests in flight
     /// concurrently (sharing the caller's NIC links); with
     /// `env.io_window <= 1` every implementation must fall back to the
     /// exact sequential behavior.
@@ -252,17 +306,33 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         env: &ExchangeEnv,
         reqs: &[(usize, usize)],
     ) -> Result<Vec<Bytes>, ExchangeError> {
-        reqs.iter()
-            .map(|&(map, part)| self.read_partition(ctx, env, map, part))
-            .collect()
+        run_blocking(self.read_partitions_async(ctx, env, reqs))
     }
 
+    /// Async form of [`DataExchange::list`].
+    fn list_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<Vec<String>, ExchangeError>>;
+
     /// Lists the exchange's current intermediate objects (diagnostic).
-    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError>;
+    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
+        run_blocking(self.list_async(ctx, env))
+    }
+
+    /// Async form of [`DataExchange::cleanup`].
+    fn cleanup_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>>;
 
     /// Driver-side teardown after the reduce phase: releases backing
     /// resources (the VM-relay backend stops its billing clock here).
-    fn cleanup(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<(), ExchangeError>;
+    fn cleanup(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<(), ExchangeError> {
+        run_blocking(self.cleanup_async(ctx, env))
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use bytes::Bytes;
-use faaspipe_des::{ByteSize, Ctx, LinkId, SimDuration, SimTime};
+use faaspipe_des::{ByteSize, Ctx, LinkId, LocalBoxFuture, SimDuration, SimTime};
 use faaspipe_store::failure::Fate;
 use faaspipe_store::FailurePolicy;
 use faaspipe_trace::{Category, SpanId, TraceSink};
@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 
 use crate::api::{DataExchange, ExchangeEnv};
 use crate::error::ExchangeError;
-use crate::retry::with_retry;
+use crate::retry::with_retry_async;
 
 /// Tuning of the [`DirectExchange`].
 #[derive(Debug, Clone)]
@@ -165,7 +165,7 @@ impl DirectCore {
     }
 
     /// One rendezvous + stream attempt for a single partition.
-    fn stream_part(
+    async fn stream_part(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
@@ -178,7 +178,7 @@ impl DirectCore {
             Fate::Slow(factor) => self.cfg.handshake.mul_f64(factor),
             _ => self.cfg.handshake,
         };
-        ctx.sleep(handshake);
+        ctx.sleep_async(handshake).await;
         if matches!(fate, Fate::Fail) {
             self.span_end(ctx, span, 0, true);
             return Err(ExchangeError::PeerTimeout { map, part });
@@ -193,7 +193,7 @@ impl DirectCore {
                     return Err(ExchangeError::PeerTimeout { map, part });
                 }
                 None => {
-                    ctx.sleep(self.cfg.poll);
+                    ctx.sleep_async(self.cfg.poll).await;
                     waited = waited.saturating_add(self.cfg.poll);
                 }
             }
@@ -216,7 +216,7 @@ impl DirectCore {
         } else {
             SpanId::NONE
         };
-        ctx.transfer(ByteSize::new(wire), &links);
+        ctx.transfer_async(ByteSize::new(wire), &links).await;
         if !flow.is_none() {
             self.trace.span_end(flow, ctx.now());
         }
@@ -238,121 +238,148 @@ impl DataExchange for DirectExchange {
         "direct"
     }
 
-    fn prepare(&self, _ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
+    fn prepare_async<'a>(
+        &'a self,
+        _ctx: &'a mut Ctx,
+        _maps: usize,
+        _parts: usize,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
         let mut state = self.core.state.lock();
         state.parts.clear();
         state.buffered = 0;
-        Ok(())
+        Box::pin(async { Ok(()) })
     }
 
-    fn write_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn write_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         parts: Vec<Bytes>,
-    ) -> Result<u64, ExchangeError> {
-        // Registration is one cheap rendezvous call: the data itself
-        // stays in the sender's memory, so no bytes move here (and
-        // there is nothing to parallelize — `io_window` is moot).
-        let span = self
-            .core
-            .span_begin(ctx, "REGISTER", &env.tag, map, parts.len());
-        ctx.sleep(self.core.cfg.handshake);
-        let sender_nic = env.host_links.first().copied();
-        let now = ctx.now();
-        let mut written = 0u64;
-        {
-            let mut state = self.core.state.lock();
-            for (j, data) in parts.into_iter().enumerate() {
-                written += data.len() as u64;
-                let wire = self.core.scaled(data.len());
-                // Idempotent overwrite for re-invoked mappers.
-                if let Some(old) = state.parts.remove(&(map, j)) {
-                    state.buffered -= old.wire;
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            // Registration is one cheap rendezvous call: the data itself
+            // stays in the sender's memory, so no bytes move here (and
+            // there is nothing to parallelize — `io_window` is moot).
+            let span = self
+                .core
+                .span_begin(ctx, "REGISTER", &env.tag, map, parts.len());
+            ctx.sleep_async(self.core.cfg.handshake).await;
+            let sender_nic = env.host_links.first().copied();
+            let now = ctx.now();
+            let mut written = 0u64;
+            {
+                let mut state = self.core.state.lock();
+                for (j, data) in parts.into_iter().enumerate() {
+                    written += data.len() as u64;
+                    let wire = self.core.scaled(data.len());
+                    // Idempotent overwrite for re-invoked mappers.
+                    if let Some(old) = state.parts.remove(&(map, j)) {
+                        state.buffered -= old.wire;
+                    }
+                    state.buffered += wire;
+                    state.parts.insert(
+                        (map, j),
+                        DirectPart {
+                            data,
+                            wire,
+                            sender_nic,
+                            written_at: now,
+                        },
+                    );
                 }
-                state.buffered += wire;
-                state.parts.insert(
-                    (map, j),
-                    DirectPart {
-                        data,
-                        wire,
-                        sender_nic,
-                        written_at: now,
-                    },
-                );
+                if self.core.trace.is_enabled() {
+                    self.core
+                        .trace
+                        .gauge("direct.buffered_bytes", now, state.buffered as f64);
+                }
             }
-            if self.core.trace.is_enabled() {
-                self.core
-                    .trace
-                    .gauge("direct.buffered_bytes", now, state.buffered as f64);
-            }
-        }
-        self.core.span_end(ctx, span, written, false);
-        Ok(written)
-    }
-
-    fn read_partition(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
-        map: usize,
-        part: usize,
-    ) -> Result<Bytes, ExchangeError> {
-        with_retry(ctx, env.retries, |c| {
-            self.core.stream_part(c, env, map, part)
+            self.core.span_end(ctx, span, written, false);
+            Ok(written)
         })
     }
 
-    fn read_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
-        reqs: &[(usize, usize)],
-    ) -> Result<Vec<Bytes>, ExchangeError> {
-        if env.io_window <= 1 || reqs.len() <= 1 {
-            return reqs
-                .iter()
-                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
-                .collect();
-        }
-        let trace = self.core.trace.clone();
-        let parent = trace.current(ctx.pid());
-        let jobs: Vec<_> = reqs
-            .iter()
-            .map(|&(map, part)| {
-                let core = self.core.clone();
-                let env = env.clone();
-                let trace = trace.clone();
-                move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
-                    trace.enter(cctx.pid(), parent);
-                    let res =
-                        with_retry(cctx, env.retries, |c| core.stream_part(c, &env, map, part));
-                    trace.exit(cctx.pid());
-                    res
-                }
+    fn read_partition_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        map: usize,
+        part: usize,
+    ) -> LocalBoxFuture<'a, Result<Bytes, ExchangeError>> {
+        Box::pin(async move {
+            with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                self.core.stream_part(c, env, map, part).await
             })
-            .collect();
-        let name = format!("{}-get", env.tag);
-        ctx.fan_out(&name, env.io_window, jobs)
-            .unwrap_or_else(|e| panic!("windowed direct read crashed: {}", e))
-            .into_iter()
-            .collect()
+            .await
+        })
     }
 
-    fn list(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        ctx.sleep(self.core.cfg.handshake);
-        Ok(self
-            .core
-            .state
-            .lock()
-            .parts
-            .keys()
-            .map(|(m, j)| format!("direct/{:05}/{:05}", m, j))
-            .collect())
+    fn read_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        reqs: &'a [(usize, usize)],
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            if env.io_window <= 1 || reqs.len() <= 1 {
+                let mut out = Vec::with_capacity(reqs.len());
+                for &(map, part) in reqs {
+                    out.push(self.read_partition_async(ctx, env, map, part).await?);
+                }
+                return Ok(out);
+            }
+            let trace = self.core.trace.clone();
+            let parent = trace.current(ctx.pid());
+            let jobs: Vec<_> = reqs
+                .iter()
+                .map(|&(map, part)| {
+                    let core = self.core.clone();
+                    let env = env.clone();
+                    let trace = trace.clone();
+                    async move |cctx: &mut Ctx| {
+                        trace.enter(cctx.pid(), parent);
+                        let res: Result<Bytes, ExchangeError> =
+                            with_retry_async(cctx, env.retries, async |c: &mut Ctx| {
+                                core.stream_part(c, &env, map, part).await
+                            })
+                            .await;
+                        trace.exit(cctx.pid());
+                        res
+                    }
+                })
+                .collect();
+            let name = format!("{}-get", env.tag);
+            ctx.fan_out_async(&name, env.io_window, jobs)
+                .await
+                .unwrap_or_else(|e| panic!("windowed direct read crashed: {}", e))
+                .into_iter()
+                .collect()
+        })
     }
 
-    fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
+    fn list_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<Vec<String>, ExchangeError>> {
+        Box::pin(async move {
+            ctx.sleep_async(self.core.cfg.handshake).await;
+            Ok(self
+                .core
+                .state
+                .lock()
+                .parts
+                .keys()
+                .map(|(m, j)| format!("direct/{:05}/{:05}", m, j))
+                .collect())
+        })
+    }
+
+    fn cleanup_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
         let mut state = self.core.state.lock();
         state.parts.clear();
         state.buffered = 0;
@@ -361,7 +388,7 @@ impl DataExchange for DirectExchange {
                 .trace
                 .gauge("direct.buffered_bytes", ctx.now(), 0.0);
         }
-        Ok(())
+        Box::pin(async { Ok(()) })
     }
 }
 

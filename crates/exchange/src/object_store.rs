@@ -3,13 +3,13 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use faaspipe_des::Ctx;
+use faaspipe_des::{Ctx, LocalBoxFuture};
 use faaspipe_store::ObjectStore;
 use parking_lot::Mutex;
 
 use crate::api::{DataExchange, ExchangeEnv, ExchangeStrategy};
 use crate::error::ExchangeError;
-use crate::retry::with_retry;
+use crate::retry::with_retry_async;
 
 /// Exchange through the simulated COS, in either the `Scatter` (W²
 /// objects) or `Coalesced` (W objects + byte-range reads) layout.
@@ -70,7 +70,7 @@ impl ObjectStoreExchange {
     /// aggregate throughput scales with the window until the caller's
     /// NIC or the store's aggregate cap saturates). Results come back in
     /// plan order.
-    fn fetch_windowed(
+    async fn fetch_windowed(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
@@ -87,19 +87,23 @@ impl ObjectStoreExchange {
                 let links = env.host_links.clone();
                 let retries = env.retries;
                 let trace = trace.clone();
-                move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
+                async move |cctx: &mut Ctx| {
                     trace.enter(cctx.pid(), parent);
-                    let client = store.connect_via(cctx, tag, &links);
-                    let res = match plan {
+                    let client = store.connect_via_async(cctx, tag, &links).await;
+                    let res: Result<Bytes, ExchangeError> = match plan {
                         Fetch::Empty => Ok(Bytes::new()),
-                        Fetch::Get(key) => {
-                            with_retry(cctx, retries, |c| client.get(c, &bucket, &key))
-                                .map_err(ExchangeError::from)
-                        }
-                        Fetch::Range(key, off, len) => with_retry(cctx, retries, |c| {
-                            client.get_range(c, &bucket, &key, off, len)
+                        Fetch::Get(key) => with_retry_async(cctx, retries, async |c: &mut Ctx| {
+                            client.get_async(c, &bucket, &key).await
                         })
+                        .await
                         .map_err(ExchangeError::from),
+                        Fetch::Range(key, off, len) => {
+                            with_retry_async(cctx, retries, async |c: &mut Ctx| {
+                                client.get_range_async(c, &bucket, &key, off, len).await
+                            })
+                            .await
+                            .map_err(ExchangeError::from)
+                        }
                     };
                     trace.exit(cctx.pid());
                     res
@@ -108,7 +112,8 @@ impl ObjectStoreExchange {
             .collect();
         let name = format!("{}-get", env.tag);
         let results = ctx
-            .fan_out(&name, env.io_window, jobs)
+            .fan_out_async(&name, env.io_window, jobs)
+            .await
             .unwrap_or_else(|e| panic!("windowed store read crashed: {}", e));
         results.into_iter().collect()
     }
@@ -132,149 +137,127 @@ impl DataExchange for ObjectStoreExchange {
         }
     }
 
-    fn prepare(&self, _ctx: &mut Ctx, maps: usize, _parts: usize) -> Result<(), ExchangeError> {
+    fn prepare_async<'a>(
+        &'a self,
+        _ctx: &'a mut Ctx,
+        maps: usize,
+        _parts: usize,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
         *self.offsets.lock() = vec![Vec::new(); maps];
-        Ok(())
+        Box::pin(async { Ok(()) })
     }
 
-    fn write_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn write_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         parts: Vec<Bytes>,
-    ) -> Result<u64, ExchangeError> {
-        let mut written = 0u64;
-        match self.layout {
-            ExchangeStrategy::Scatter if env.io_window > 1 && parts.len() > 1 => {
-                written = parts.iter().map(|d| d.len() as u64).sum();
-                let trace = self.store.trace_sink();
-                let parent = trace.current(ctx.pid());
-                let jobs: Vec<_> = parts
-                    .into_iter()
-                    .enumerate()
-                    .map(|(j, data)| {
-                        let store = Arc::clone(&self.store);
-                        let bucket = self.bucket.clone();
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            let mut written = 0u64;
+            match self.layout {
+                ExchangeStrategy::Scatter if env.io_window > 1 && parts.len() > 1 => {
+                    written = parts.iter().map(|d| d.len() as u64).sum();
+                    let trace = self.store.trace_sink();
+                    let parent = trace.current(ctx.pid());
+                    let jobs: Vec<_> = parts
+                        .into_iter()
+                        .enumerate()
+                        .map(|(j, data)| {
+                            let store = Arc::clone(&self.store);
+                            let bucket = self.bucket.clone();
+                            let key = self.scatter_key(map, j);
+                            let tag = env.tag.clone();
+                            let links = env.host_links.clone();
+                            let retries = env.retries;
+                            let trace = trace.clone();
+                            async move |cctx: &mut Ctx| {
+                                trace.enter(cctx.pid(), parent);
+                                let client = store.connect_via_async(cctx, tag, &links).await;
+                                let res: Result<(), ExchangeError> =
+                                    with_retry_async(cctx, retries, async |c: &mut Ctx| {
+                                        client.put_async(c, &bucket, &key, data.clone()).await
+                                    })
+                                    .await
+                                    .map(|_| ())
+                                    .map_err(ExchangeError::from);
+                                trace.exit(cctx.pid());
+                                res
+                            }
+                        })
+                        .collect();
+                    let name = format!("{}-put", env.tag);
+                    ctx.fan_out_async(&name, env.io_window, jobs)
+                        .await
+                        .unwrap_or_else(|e| panic!("windowed store write crashed: {}", e))
+                        .into_iter()
+                        .collect::<Result<Vec<()>, ExchangeError>>()?;
+                }
+                ExchangeStrategy::Scatter => {
+                    let client = self
+                        .store
+                        .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                        .await;
+                    for (j, data) in parts.into_iter().enumerate() {
+                        written += data.len() as u64;
                         let key = self.scatter_key(map, j);
-                        let tag = env.tag.clone();
-                        let links = env.host_links.clone();
-                        let retries = env.retries;
-                        let trace = trace.clone();
-                        move |cctx: &mut Ctx| -> Result<(), ExchangeError> {
-                            trace.enter(cctx.pid(), parent);
-                            let client = store.connect_via(cctx, tag, &links);
-                            let res = with_retry(cctx, retries, |c| {
-                                client.put(c, &bucket, &key, data.clone())
-                            })
-                            .map(|_| ())
-                            .map_err(ExchangeError::from);
-                            trace.exit(cctx.pid());
-                            res
-                        }
+                        with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                            client.put_async(c, &self.bucket, &key, data.clone()).await
+                        })
+                        .await?;
+                    }
+                }
+                ExchangeStrategy::Coalesced => {
+                    let client = self
+                        .store
+                        .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                        .await;
+                    let mut table = Vec::with_capacity(parts.len());
+                    let total: usize = parts.iter().map(Bytes::len).sum();
+                    let mut blob = Vec::with_capacity(total);
+                    for data in &parts {
+                        table.push((blob.len() as u64, data.len() as u64));
+                        blob.extend_from_slice(data);
+                    }
+                    written += blob.len() as u64;
+                    let key = self.coalesced_key(map);
+                    let blob = Bytes::from(blob);
+                    with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                        client.put_async(c, &self.bucket, &key, blob.clone()).await
                     })
-                    .collect();
-                let name = format!("{}-put", env.tag);
-                ctx.fan_out(&name, env.io_window, jobs)
-                    .unwrap_or_else(|e| panic!("windowed store write crashed: {}", e))
-                    .into_iter()
-                    .collect::<Result<Vec<()>, ExchangeError>>()?;
-            }
-            ExchangeStrategy::Scatter => {
-                let client = self
-                    .store
-                    .connect_via(ctx, env.tag.clone(), &env.host_links);
-                for (j, data) in parts.into_iter().enumerate() {
-                    written += data.len() as u64;
-                    let key = self.scatter_key(map, j);
-                    with_retry(ctx, env.retries, |c| {
-                        client.put(c, &self.bucket, &key, data.clone())
-                    })?;
+                    .await?;
+                    let mut offsets = self.offsets.lock();
+                    if offsets.len() <= map {
+                        offsets.resize(map + 1, Vec::new());
+                    }
+                    offsets[map] = table;
                 }
             }
-            ExchangeStrategy::Coalesced => {
-                let client = self
-                    .store
-                    .connect_via(ctx, env.tag.clone(), &env.host_links);
-                let mut table = Vec::with_capacity(parts.len());
-                let total: usize = parts.iter().map(Bytes::len).sum();
-                let mut blob = Vec::with_capacity(total);
-                for data in &parts {
-                    table.push((blob.len() as u64, data.len() as u64));
-                    blob.extend_from_slice(data);
-                }
-                written += blob.len() as u64;
-                let key = self.coalesced_key(map);
-                let blob = Bytes::from(blob);
-                with_retry(ctx, env.retries, |c| {
-                    client.put(c, &self.bucket, &key, blob.clone())
-                })?;
-                let mut offsets = self.offsets.lock();
-                if offsets.len() <= map {
-                    offsets.resize(map + 1, Vec::new());
-                }
-                offsets[map] = table;
-            }
-        }
-        Ok(written)
+            Ok(written)
+        })
     }
 
-    fn read_partition(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn read_partition_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         part: usize,
-    ) -> Result<Bytes, ExchangeError> {
-        let client = self
-            .store
-            .connect_via(ctx, env.tag.clone(), &env.host_links);
-        match self.layout {
-            ExchangeStrategy::Scatter => {
-                let key = self.scatter_key(map, part);
-                Ok(with_retry(ctx, env.retries, |c| {
-                    client.get(c, &self.bucket, &key)
-                })?)
-            }
-            ExchangeStrategy::Coalesced => {
-                let (off, len) = *self
-                    .offsets
-                    .lock()
-                    .get(map)
-                    .and_then(|table| table.get(part))
-                    .ok_or(ExchangeError::MissingPartition { map, part })?;
-                if len == 0 {
-                    // Nothing to fetch; skip the request entirely (the
-                    // coalesced layout's request saving in action).
-                    return Ok(Bytes::new());
+    ) -> LocalBoxFuture<'a, Result<Bytes, ExchangeError>> {
+        Box::pin(async move {
+            let client = self
+                .store
+                .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                .await;
+            match self.layout {
+                ExchangeStrategy::Scatter => {
+                    let key = self.scatter_key(map, part);
+                    Ok(with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                        client.get_async(c, &self.bucket, &key).await
+                    })
+                    .await?)
                 }
-                let key = self.coalesced_key(map);
-                Ok(with_retry(ctx, env.retries, |c| {
-                    client.get_range(c, &self.bucket, &key, off, len)
-                })?)
-            }
-        }
-    }
-
-    fn read_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
-        reqs: &[(usize, usize)],
-    ) -> Result<Vec<Bytes>, ExchangeError> {
-        if env.io_window <= 1 || reqs.len() <= 1 {
-            return reqs
-                .iter()
-                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
-                .collect();
-        }
-        // Resolve every request to a fetch plan up front (the coalesced
-        // offset lookups can fail, and zero-length partitions must skip
-        // the request even on the windowed path).
-        let plans = reqs
-            .iter()
-            .map(|&(map, part)| match self.layout {
-                ExchangeStrategy::Scatter => Ok(Fetch::Get(self.scatter_key(map, part))),
                 ExchangeStrategy::Coalesced => {
                     let (off, len) = *self
                         .offsets
@@ -282,30 +265,88 @@ impl DataExchange for ObjectStoreExchange {
                         .get(map)
                         .and_then(|table| table.get(part))
                         .ok_or(ExchangeError::MissingPartition { map, part })?;
-                    Ok(if len == 0 {
-                        Fetch::Empty
-                    } else {
-                        Fetch::Range(self.coalesced_key(map), off, len)
+                    if len == 0 {
+                        // Nothing to fetch; skip the request entirely (the
+                        // coalesced layout's request saving in action).
+                        return Ok(Bytes::new());
+                    }
+                    let key = self.coalesced_key(map);
+                    Ok(with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                        client
+                            .get_range_async(c, &self.bucket, &key, off, len)
+                            .await
                     })
+                    .await?)
                 }
+            }
+        })
+    }
+
+    fn read_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        reqs: &'a [(usize, usize)],
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            if env.io_window <= 1 || reqs.len() <= 1 {
+                let mut out = Vec::with_capacity(reqs.len());
+                for &(map, part) in reqs {
+                    out.push(self.read_partition_async(ctx, env, map, part).await?);
+                }
+                return Ok(out);
+            }
+            // Resolve every request to a fetch plan up front (the coalesced
+            // offset lookups can fail, and zero-length partitions must skip
+            // the request even on the windowed path).
+            let plans = reqs
+                .iter()
+                .map(|&(map, part)| match self.layout {
+                    ExchangeStrategy::Scatter => Ok(Fetch::Get(self.scatter_key(map, part))),
+                    ExchangeStrategy::Coalesced => {
+                        let (off, len) = *self
+                            .offsets
+                            .lock()
+                            .get(map)
+                            .and_then(|table| table.get(part))
+                            .ok_or(ExchangeError::MissingPartition { map, part })?;
+                        Ok(if len == 0 {
+                            Fetch::Empty
+                        } else {
+                            Fetch::Range(self.coalesced_key(map), off, len)
+                        })
+                    }
+                })
+                .collect::<Result<Vec<Fetch>, ExchangeError>>()?;
+            self.fetch_windowed(ctx, env, plans).await
+        })
+    }
+
+    fn list_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<Vec<String>, ExchangeError>> {
+        Box::pin(async move {
+            let client = self
+                .store
+                .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                .await;
+            let objects = with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                client.list_async(c, &self.bucket, &self.prefix).await
             })
-            .collect::<Result<Vec<Fetch>, ExchangeError>>()?;
-        self.fetch_windowed(ctx, env, plans)
+            .await?;
+            Ok(objects.into_iter().map(|o| o.key).collect())
+        })
     }
 
-    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        let client = self
-            .store
-            .connect_via(ctx, env.tag.clone(), &env.host_links);
-        let objects = with_retry(ctx, env.retries, |c| {
-            client.list(c, &self.bucket, &self.prefix)
-        })?;
-        Ok(objects.into_iter().map(|o| o.key).collect())
-    }
-
-    fn cleanup(&self, _ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
+    fn cleanup_async<'a>(
+        &'a self,
+        _ctx: &'a mut Ctx,
+        _env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
         // Intentionally retained: see the type-level docs.
-        Ok(())
+        Box::pin(async { Ok(()) })
     }
 }
 

@@ -36,16 +36,36 @@ pub fn with_retry<T, E: Retryable>(
     attempts: u32,
     mut op: impl FnMut(&mut Ctx) -> Result<T, E>,
 ) -> Result<T, E> {
+    faaspipe_des::run_blocking(with_retry_async(ctx, attempts, async move |c: &mut Ctx| {
+        op(c)
+    }))
+}
+
+/// Async form of [`with_retry`] for stackless processes: `op` is an
+/// async closure re-invoked per attempt, with the same deterministic
+/// jittered virtual-time backoff between attempts.
+///
+/// # Errors
+/// The last retryable error if every attempt failed, or the first
+/// non-retryable error.
+pub async fn with_retry_async<T, E: Retryable, Op>(
+    ctx: &mut Ctx,
+    attempts: u32,
+    mut op: Op,
+) -> Result<T, E>
+where
+    Op: AsyncFnMut(&mut Ctx) -> Result<T, E>,
+{
     let attempts = attempts.max(1);
     let mut last = None;
     for attempt in 0..attempts {
-        match op(ctx) {
+        match op(ctx).await {
             Ok(v) => return Ok(v),
             Err(e) if e.is_retryable() => {
                 last = Some(e);
                 if attempt + 1 < attempts {
                     let pause = backoff(ctx, attempt);
-                    ctx.sleep(pause);
+                    ctx.sleep_async(pause).await;
                 }
             }
             Err(e) => return Err(e),

@@ -15,13 +15,13 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use faaspipe_des::Ctx;
+use faaspipe_des::{Ctx, LocalBoxFuture};
 use faaspipe_trace::TraceSink;
 use faaspipe_vm::VmFleet;
 
 use crate::api::{DataExchange, ExchangeEnv};
 use crate::error::ExchangeError;
-use crate::retry::with_retry;
+use crate::retry::with_retry_async;
 use crate::vm_relay::{relay_gets_windowed, relay_puts_windowed, RelayConfig, RelayShard};
 
 /// Tuning of the [`ShardedRelayExchange`].
@@ -124,97 +124,130 @@ impl DataExchange for ShardedRelayExchange {
         "sharded-relay"
     }
 
-    fn prepare(&self, ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
-        // All shards boot as parallel processes, so a cold prepare
-        // costs one provisioning delay, not N. With prewarm the boots
-        // keep running in the background and the caller overlaps them
-        // with its next phase.
-        let pending: Vec<_> = self
-            .shards
-            .iter()
-            .filter_map(|s| s.begin_provision(ctx, self.prewarm))
-            .collect();
-        if !self.prewarm {
-            for pid in pending {
-                let _ = ctx.join(pid);
+    fn prepare_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _maps: usize,
+        _parts: usize,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
+        Box::pin(async move {
+            // All shards boot as parallel processes, so a cold prepare
+            // costs one provisioning delay, not N. With prewarm the boots
+            // keep running in the background and the caller overlaps them
+            // with its next phase.
+            let mut pending = Vec::new();
+            for shard in &self.shards {
+                if let Some(pid) = shard.begin_provision(ctx, self.prewarm).await {
+                    pending.push(pid);
+                }
             }
-        }
-        Ok(())
+            if !self.prewarm {
+                for pid in pending {
+                    let _ = ctx.join_async(pid).await;
+                }
+            }
+            Ok(())
+        })
     }
 
-    fn write_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn write_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         parts: Vec<Bytes>,
-    ) -> Result<u64, ExchangeError> {
-        let written = parts.iter().map(|d| d.len() as u64).sum();
-        if env.io_window > 1 && parts.len() > 1 {
-            // Routing happens here in the caller; children only move
-            // bytes, so the cell→shard mapping stays identical to the
-            // sequential path.
-            let items = parts
-                .into_iter()
-                .enumerate()
-                .map(|(j, data)| (self.route(map, j).clone(), map, j, data))
-                .collect();
-            relay_puts_windowed(ctx, env, items)?;
-            return Ok(written);
-        }
-        for (j, data) in parts.into_iter().enumerate() {
-            let shard = self.route(map, j);
-            with_retry(ctx, env.retries, |c| shard.put_part(c, env, map, j, &data))?;
-        }
-        Ok(written)
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            let written = parts.iter().map(|d| d.len() as u64).sum();
+            if env.io_window > 1 && parts.len() > 1 {
+                // Routing happens here in the caller; children only move
+                // bytes, so the cell→shard mapping stays identical to the
+                // sequential path.
+                let items = parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, data)| (self.route(map, j).clone(), map, j, data))
+                    .collect();
+                relay_puts_windowed(ctx, env, items).await?;
+                return Ok(written);
+            }
+            for (j, data) in parts.into_iter().enumerate() {
+                let shard = self.route(map, j);
+                with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                    shard.put_part(c, env, map, j, &data).await
+                })
+                .await?;
+            }
+            Ok(written)
+        })
     }
 
-    fn read_partition(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn read_partition_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         part: usize,
-    ) -> Result<Bytes, ExchangeError> {
-        let shard = self.route(map, part);
-        with_retry(ctx, env.retries, |c| shard.get_part(c, env, map, part))
+    ) -> LocalBoxFuture<'a, Result<Bytes, ExchangeError>> {
+        Box::pin(async move {
+            let shard = self.route(map, part);
+            with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                shard.get_part(c, env, map, part).await
+            })
+            .await
+        })
     }
 
-    fn read_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
-        reqs: &[(usize, usize)],
-    ) -> Result<Vec<Bytes>, ExchangeError> {
-        if env.io_window <= 1 || reqs.len() <= 1 {
-            return reqs
+    fn read_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        reqs: &'a [(usize, usize)],
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            if env.io_window <= 1 || reqs.len() <= 1 {
+                let mut out = Vec::with_capacity(reqs.len());
+                for &(map, part) in reqs {
+                    out.push(self.read_partition_async(ctx, env, map, part).await?);
+                }
+                return Ok(out);
+            }
+            let items = reqs
                 .iter()
-                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .map(|&(map, part)| (self.route(map, part).clone(), map, part))
                 .collect();
-        }
-        let items = reqs
-            .iter()
-            .map(|&(map, part)| (self.route(map, part).clone(), map, part))
-            .collect();
-        relay_gets_windowed(ctx, env, items)
+            relay_gets_windowed(ctx, env, items).await
+        })
     }
 
-    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        // One metered LIST per shard; the concatenation is sorted so
-        // output does not depend on shard layout.
-        let mut keys = Vec::new();
-        for shard in &self.shards {
-            keys.extend(shard.list_keys(ctx, env)?);
-        }
-        keys.sort();
-        Ok(keys)
+    fn list_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<Vec<String>, ExchangeError>> {
+        Box::pin(async move {
+            // One metered LIST per shard; the concatenation is sorted so
+            // output does not depend on shard layout.
+            let mut keys = Vec::new();
+            for shard in &self.shards {
+                keys.extend(shard.list_keys(ctx, env).await?);
+            }
+            keys.sort();
+            Ok(keys)
+        })
     }
 
-    fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
-        for shard in &self.shards {
-            shard.shutdown(ctx);
-        }
-        Ok(())
+    fn cleanup_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
+        Box::pin(async move {
+            for shard in &self.shards {
+                shard.shutdown(ctx).await;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -427,10 +460,13 @@ mod tests {
             let (mut ok, mut down) = (0usize, 0usize);
             for m in 0..4usize {
                 for j in 0..4usize {
-                    match ex2
-                        .route(m, j)
-                        .put_part(ctx, &env, m, j, &Bytes::from_static(b"z"))
-                    {
+                    match faaspipe_des::run_blocking(ex2.route(m, j).put_part(
+                        ctx,
+                        &env,
+                        m,
+                        j,
+                        &Bytes::from_static(b"z"),
+                    )) {
                         Ok(()) => ok += 1,
                         Err(ExchangeError::RelayDown { .. }) => down += 1,
                         Err(e) => panic!("unexpected error: {:?}", e),

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use faaspipe_des::{Bandwidth, ByteSize, Ctx, LinkId, ProcessId, SimDuration};
+use faaspipe_des::{Bandwidth, ByteSize, Ctx, LinkId, LocalBoxFuture, ProcessId, SimDuration};
 use faaspipe_store::failure::Fate;
 use faaspipe_store::FailurePolicy;
 use faaspipe_trace::{Category, SpanId, TraceSink};
@@ -19,7 +19,7 @@ use parking_lot::Mutex;
 
 use crate::api::{DataExchange, ExchangeEnv};
 use crate::error::ExchangeError;
-use crate::retry::with_retry;
+use crate::retry::with_retry_async;
 
 /// Tuning of the [`VmRelayExchange`] (and, per shard, of the
 /// [`ShardedRelayExchange`](crate::ShardedRelayExchange)).
@@ -155,7 +155,7 @@ impl RelayShard {
     /// does not claim the critical path — the residual wait is
     /// attributed where a request actually blocks
     /// ([`RelayShard::await_ready`]).
-    pub(crate) fn begin_provision(&self, ctx: &Ctx, background: bool) -> Option<ProcessId> {
+    pub(crate) async fn begin_provision(&self, ctx: &Ctx, background: bool) -> Option<ProcessId> {
         {
             let state = self.state.lock();
             if state.vm.is_some() {
@@ -166,27 +166,32 @@ impl RelayShard {
             }
         }
         // Between the check above and the bookkeeping below nothing
-        // yields to the scheduler (`spawn` replies without advancing
-        // virtual time or running the child), so a second process
-        // cannot slip in and start a duplicate boot.
+        // yields to the scheduler except the spawn rendezvous itself
+        // (`spawn_task` replies without advancing virtual time or
+        // running the child), so a second process cannot slip in and
+        // start a duplicate boot.
         let fleet = self.fleet.clone();
         let profile = self.cfg.profile.clone();
         let shared = Arc::clone(&self.state);
         let trace = self.trace.clone();
         let parent = trace.current(ctx.pid());
-        let pid = ctx.spawn(format!("{}/provision", self.label), move |pctx| {
-            // Parent the fleet's spans to whoever kicked the boot off.
-            trace.enter(pctx.pid(), parent);
-            let vm = if background {
-                fleet.provision_prewarmed(pctx, profile)
-            } else {
-                fleet.provision(pctx, profile)
-            };
-            trace.exit(pctx.pid());
-            let mut state = shared.lock();
-            state.vm = Some(vm);
-            state.provisioning = None;
-        });
+        let pid = ctx
+            .spawn_task(format!("{}/provision", self.label), move |pctx: Ctx| {
+                async move {
+                    // Parent the fleet's spans to whoever kicked the boot off.
+                    trace.enter(pctx.pid(), parent);
+                    let vm = if background {
+                        fleet.provision_prewarmed_async(&pctx, profile).await
+                    } else {
+                        fleet.provision_async(&pctx, profile).await
+                    };
+                    trace.exit(pctx.pid());
+                    let mut state = shared.lock();
+                    state.vm = Some(vm);
+                    state.provisioning = None;
+                }
+            })
+            .await;
         self.state.lock().provisioning = Some(pid);
         Some(pid)
     }
@@ -195,7 +200,7 @@ impl RelayShard {
     /// charging the wait to the critical path as a cold start (this is
     /// the part of a pre-warmed boot that foreground work could *not*
     /// hide).
-    pub(crate) fn await_ready(&self, ctx: &Ctx) {
+    pub(crate) async fn await_ready(&self, ctx: &Ctx) {
         let pending = { self.state.lock().provisioning };
         let Some(pid) = pending else { return };
         let span = if self.trace.is_enabled() {
@@ -211,7 +216,7 @@ impl RelayShard {
         } else {
             SpanId::NONE
         };
-        let _ = ctx.join(pid);
+        let _ = ctx.join_async(pid).await;
         self.trace.span_end(span, ctx.now());
     }
 
@@ -219,8 +224,12 @@ impl RelayShard {
     /// Returns the relay's NIC. A request against a dead or absent relay
     /// still pays the round-trip latency before the failure is observed
     /// — retry storms against a crashed relay are not free.
-    fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<LinkId, ExchangeError> {
-        self.await_ready(ctx);
+    async fn request_overhead(
+        &self,
+        ctx: &mut Ctx,
+        op: &'static str,
+    ) -> Result<LinkId, ExchangeError> {
+        self.await_ready(ctx).await;
         let outcome = {
             let mut state = self.state.lock();
             if state.crashed {
@@ -248,7 +257,7 @@ impl RelayShard {
             Err(e) => {
                 // The caller learns of the failure only after the wire
                 // round-trip (a dead relay looks like a timeout).
-                ctx.sleep(self.cfg.request_latency);
+                ctx.sleep_async(self.cfg.request_latency).await;
                 return Err(e);
             }
         };
@@ -257,7 +266,7 @@ impl RelayShard {
             Fate::Slow(factor) => self.cfg.request_latency.mul_f64(factor),
             _ => self.cfg.request_latency,
         };
-        ctx.sleep(latency);
+        ctx.sleep_async(latency).await;
         if matches!(fate, Fate::Fail) {
             return Err(ExchangeError::RelayUnavailable { op });
         }
@@ -303,7 +312,7 @@ impl RelayShard {
 
     /// Moves `wire` scaled bytes between the caller and the relay,
     /// recording a flow span.
-    fn transfer(&self, ctx: &Ctx, env: &ExchangeEnv, nic: LinkId, wire: u64, parent: SpanId) {
+    async fn transfer(&self, ctx: &Ctx, env: &ExchangeEnv, nic: LinkId, wire: u64, parent: SpanId) {
         let mut links = env.host_links.clone();
         links.push(nic);
         let flow = if self.trace.is_enabled() {
@@ -315,13 +324,13 @@ impl RelayShard {
         } else {
             SpanId::NONE
         };
-        ctx.transfer(ByteSize::new(wire), &links);
+        ctx.transfer_async(ByteSize::new(wire), &links).await;
         if !flow.is_none() {
             self.trace.span_end(flow, ctx.now());
         }
     }
 
-    pub(crate) fn put_part(
+    pub(crate) async fn put_part(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
@@ -330,7 +339,7 @@ impl RelayShard {
         data: &Bytes,
     ) -> Result<(), ExchangeError> {
         let span = self.span_begin(ctx, "PUT", &env.tag, Some((map, part)));
-        let nic = match self.request_overhead(ctx, "PUT") {
+        let nic = match self.request_overhead(ctx, "PUT").await {
             Ok(nic) => nic,
             Err(e) => {
                 self.span_end(ctx, span, 0, true);
@@ -338,7 +347,7 @@ impl RelayShard {
             }
         };
         let wire = self.scaled(data.len());
-        self.transfer(ctx, env, nic, wire, span);
+        self.transfer(ctx, env, nic, wire, span).await;
         let spilled = {
             let mut state = self.state.lock();
             // Idempotent overwrite: drop the old copy's accounting first.
@@ -364,18 +373,22 @@ impl RelayShard {
                     .gauge(&self.mem_gauge, ctx.now(), state.mem_used as f64);
                 if spilled {
                     self.trace.add(&self.spill_counter, ctx.now(), wire as f64);
+                    // Marks the request for the calibrator: its span
+                    // duration includes a disk pass on top of the wire.
+                    self.trace.attr(span, "spilled", true);
                 }
             }
             spilled
         };
         if spilled {
-            ctx.sleep(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)));
+            ctx.sleep_async(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)))
+                .await;
         }
         self.span_end(ctx, span, wire, false);
         Ok(())
     }
 
-    pub(crate) fn get_part(
+    pub(crate) async fn get_part(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
@@ -383,7 +396,7 @@ impl RelayShard {
         part: usize,
     ) -> Result<Bytes, ExchangeError> {
         let span = self.span_begin(ctx, "GET", &env.tag, Some((map, part)));
-        let nic = match self.request_overhead(ctx, "GET") {
+        let nic = match self.request_overhead(ctx, "GET").await {
             Ok(nic) => nic,
             Err(e) => {
                 self.span_end(ctx, span, 0, true);
@@ -402,9 +415,11 @@ impl RelayShard {
             }
         };
         if spilled {
-            ctx.sleep(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)));
+            self.trace.attr(span, "spilled", true);
+            ctx.sleep_async(self.cfg.disk_bw.transfer_time(ByteSize::new(wire)))
+                .await;
         }
-        self.transfer(ctx, env, nic, wire, span);
+        self.transfer(ctx, env, nic, wire, span).await;
         self.span_end(ctx, span, wire, false);
         Ok(data)
     }
@@ -413,13 +428,13 @@ impl RelayShard {
     /// requires a live VM, bumps the request counter (so it can trip
     /// `crash_after_requests`), and is subject to failure injection —
     /// exactly like PUT/GET.
-    pub(crate) fn list_keys(
+    pub(crate) async fn list_keys(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
     ) -> Result<Vec<String>, ExchangeError> {
         let span = self.span_begin(ctx, "LIST", &env.tag, None);
-        if let Err(e) = self.request_overhead(ctx, "LIST") {
+        if let Err(e) = self.request_overhead(ctx, "LIST").await {
             self.span_end(ctx, span, 0, true);
             return Err(e);
         }
@@ -436,8 +451,8 @@ impl RelayShard {
 
     /// Waits out any in-flight boot (releasing mid-boot would leak the
     /// billing record), clears the object table, and releases the VM.
-    pub(crate) fn shutdown(&self, ctx: &Ctx) {
-        self.await_ready(ctx);
+    pub(crate) async fn shutdown(&self, ctx: &Ctx) {
+        self.await_ready(ctx).await;
         let vm = {
             let mut state = self.state.lock();
             state.objects.clear();
@@ -529,7 +544,7 @@ impl VmRelayExchange {
 /// item in child processes, at most `env.io_window` in flight. Items
 /// carry their target shard so the sharded backend can mix shards in
 /// one batch. Request spans parent to the caller's current span.
-pub(crate) fn relay_puts_windowed(
+pub(crate) async fn relay_puts_windowed(
     ctx: &mut Ctx,
     env: &ExchangeEnv,
     items: Vec<(RelayShard, usize, usize, Bytes)>,
@@ -545,17 +560,20 @@ pub(crate) fn relay_puts_windowed(
         .map(|(shard, map, part, data)| {
             let env = env.clone();
             let trace = trace.clone();
-            move |cctx: &mut Ctx| -> Result<(), ExchangeError> {
+            async move |cctx: &mut Ctx| {
                 trace.enter(cctx.pid(), parent);
-                let res = with_retry(cctx, env.retries, |c| {
-                    shard.put_part(c, &env, map, part, &data)
-                });
+                let res: Result<(), ExchangeError> =
+                    with_retry_async(cctx, env.retries, async |c: &mut Ctx| {
+                        shard.put_part(c, &env, map, part, &data).await
+                    })
+                    .await;
                 trace.exit(cctx.pid());
                 res
             }
         })
         .collect();
-    ctx.fan_out(&name, env.io_window, jobs)
+    ctx.fan_out_async(&name, env.io_window, jobs)
+        .await
         .unwrap_or_else(|e| panic!("windowed relay write crashed: {}", e))
         .into_iter()
         .collect::<Result<Vec<()>, ExchangeError>>()?;
@@ -564,7 +582,7 @@ pub(crate) fn relay_puts_windowed(
 
 /// Windowed relay GETs: one retried [`RelayShard::get_part`] per item,
 /// at most `env.io_window` in flight; payloads return in item order.
-pub(crate) fn relay_gets_windowed(
+pub(crate) async fn relay_gets_windowed(
     ctx: &mut Ctx,
     env: &ExchangeEnv,
     items: Vec<(RelayShard, usize, usize)>,
@@ -580,15 +598,20 @@ pub(crate) fn relay_gets_windowed(
         .map(|(shard, map, part)| {
             let env = env.clone();
             let trace = trace.clone();
-            move |cctx: &mut Ctx| -> Result<Bytes, ExchangeError> {
+            async move |cctx: &mut Ctx| {
                 trace.enter(cctx.pid(), parent);
-                let res = with_retry(cctx, env.retries, |c| shard.get_part(c, &env, map, part));
+                let res: Result<Bytes, ExchangeError> =
+                    with_retry_async(cctx, env.retries, async |c: &mut Ctx| {
+                        shard.get_part(c, &env, map, part).await
+                    })
+                    .await;
                 trace.exit(cctx.pid());
                 res
             }
         })
         .collect();
-    ctx.fan_out(&name, env.io_window, jobs)
+    ctx.fan_out_async(&name, env.io_window, jobs)
+        .await
         .unwrap_or_else(|e| panic!("windowed relay read crashed: {}", e))
         .into_iter()
         .collect()
@@ -599,79 +622,107 @@ impl DataExchange for VmRelayExchange {
         "vm-relay"
     }
 
-    fn prepare(&self, ctx: &mut Ctx, _maps: usize, _parts: usize) -> Result<(), ExchangeError> {
-        // Provisioning charges the profile's delay and opens the VM's
-        // billing + trace spans through the fleet. The boot runs in a
-        // provisioner process so that every concurrent caller — not
-        // just the first — waits on the *same* VM instead of racing to
-        // provision its own.
-        if let Some(pid) = self.shard.begin_provision(ctx, false) {
-            let _ = ctx.join(pid);
-        }
-        Ok(())
+    fn prepare_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _maps: usize,
+        _parts: usize,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
+        Box::pin(async move {
+            // Provisioning charges the profile's delay and opens the VM's
+            // billing + trace spans through the fleet. The boot runs in a
+            // provisioner process so that every concurrent caller — not
+            // just the first — waits on the *same* VM instead of racing to
+            // provision its own.
+            if let Some(pid) = self.shard.begin_provision(ctx, false).await {
+                let _ = ctx.join_async(pid).await;
+            }
+            Ok(())
+        })
     }
 
-    fn write_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn write_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         parts: Vec<Bytes>,
-    ) -> Result<u64, ExchangeError> {
-        let written = parts.iter().map(|d| d.len() as u64).sum();
-        if env.io_window > 1 && parts.len() > 1 {
-            let items = parts
-                .into_iter()
-                .enumerate()
-                .map(|(j, data)| (self.shard.clone(), map, j, data))
-                .collect();
-            relay_puts_windowed(ctx, env, items)?;
-            return Ok(written);
-        }
-        for (j, data) in parts.into_iter().enumerate() {
-            with_retry(ctx, env.retries, |c| {
-                self.shard.put_part(c, env, map, j, &data)
-            })?;
-        }
-        Ok(written)
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            let written = parts.iter().map(|d| d.len() as u64).sum();
+            if env.io_window > 1 && parts.len() > 1 {
+                let items = parts
+                    .into_iter()
+                    .enumerate()
+                    .map(|(j, data)| (self.shard.clone(), map, j, data))
+                    .collect();
+                relay_puts_windowed(ctx, env, items).await?;
+                return Ok(written);
+            }
+            for (j, data) in parts.into_iter().enumerate() {
+                with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                    self.shard.put_part(c, env, map, j, &data).await
+                })
+                .await?;
+            }
+            Ok(written)
+        })
     }
 
-    fn read_partition(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
+    fn read_partition_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
         map: usize,
         part: usize,
-    ) -> Result<Bytes, ExchangeError> {
-        with_retry(ctx, env.retries, |c| self.shard.get_part(c, env, map, part))
+    ) -> LocalBoxFuture<'a, Result<Bytes, ExchangeError>> {
+        Box::pin(async move {
+            with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                self.shard.get_part(c, env, map, part).await
+            })
+            .await
+        })
     }
 
-    fn read_partitions(
-        &self,
-        ctx: &mut Ctx,
-        env: &ExchangeEnv,
-        reqs: &[(usize, usize)],
-    ) -> Result<Vec<Bytes>, ExchangeError> {
-        if env.io_window <= 1 || reqs.len() <= 1 {
-            return reqs
+    fn read_partitions_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        reqs: &'a [(usize, usize)],
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            if env.io_window <= 1 || reqs.len() <= 1 {
+                let mut out = Vec::with_capacity(reqs.len());
+                for &(map, part) in reqs {
+                    out.push(self.read_partition_async(ctx, env, map, part).await?);
+                }
+                return Ok(out);
+            }
+            let items = reqs
                 .iter()
-                .map(|&(map, part)| self.read_partition(ctx, env, map, part))
+                .map(|&(map, part)| (self.shard.clone(), map, part))
                 .collect();
-        }
-        let items = reqs
-            .iter()
-            .map(|&(map, part)| (self.shard.clone(), map, part))
-            .collect();
-        relay_gets_windowed(ctx, env, items)
+            relay_gets_windowed(ctx, env, items).await
+        })
     }
 
-    fn list(&self, ctx: &mut Ctx, env: &ExchangeEnv) -> Result<Vec<String>, ExchangeError> {
-        self.shard.list_keys(ctx, env)
+    fn list_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<Vec<String>, ExchangeError>> {
+        Box::pin(async move { self.shard.list_keys(ctx, env).await })
     }
 
-    fn cleanup(&self, ctx: &mut Ctx, _env: &ExchangeEnv) -> Result<(), ExchangeError> {
-        self.shard.shutdown(ctx);
-        Ok(())
+    fn cleanup_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        _env: &'a ExchangeEnv,
+    ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
+        Box::pin(async move {
+            self.shard.shutdown(ctx).await;
+            Ok(())
+        })
     }
 }
 
@@ -887,8 +938,9 @@ mod tests {
             let env = driver_env();
             ex2.prepare(ctx, 1, 2).expect("prepare");
             let put = |ctx: &mut Ctx, part: usize, len: usize| {
-                ex2.shard
-                    .put_part(ctx, &driver_env(), 0, part, &Bytes::from(vec![9u8; len]))
+                let env = driver_env();
+                let data = Bytes::from(vec![9u8; len]);
+                faaspipe_des::run_blocking(ex2.shard.put_part(ctx, &env, 0, part, &data))
                     .expect("put");
             };
             let _ = env;

@@ -7,7 +7,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use rand::Rng;
 
-use faaspipe_des::{Ctx, LinkId, ProcessId, SemId, Sim, SimDuration, SimTime};
+use faaspipe_des::{
+    catch_unwind_future, run_blocking, Ctx, LinkId, ProcessId, SemId, Sim, SimDuration, SimTime,
+};
 use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::config::FaasConfig;
@@ -76,7 +78,35 @@ impl FunctionEnv {
     /// Charges `work` of single-vCPU compute time, scaled by this
     /// instance's CPU share (half a vCPU takes twice as long).
     pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
-        let span = if self.trace.is_enabled() {
+        run_blocking(self.compute_async(ctx, work));
+    }
+
+    /// Async form of [`FunctionEnv::compute`] for stackless processes.
+    pub async fn compute_async(&self, ctx: &Ctx, work: SimDuration) {
+        let span = self.compute_span(ctx);
+        ctx.compute_async(work.mul_f64(1.0 / self.cpu_share)).await;
+        self.trace.span_end(span, ctx.now());
+    }
+
+    /// Charges compute like [`FunctionEnv::compute_async`] while running
+    /// the CPU-heavy host `job` on the simulator's offload pool. The
+    /// virtual schedule (and the emitted span) is identical to charging
+    /// the compute and running the kernel inline.
+    pub async fn compute_offload<R, J>(&self, ctx: &Ctx, work: SimDuration, job: J) -> R
+    where
+        R: Send + 'static,
+        J: FnOnce() -> R + Send + 'static,
+    {
+        let span = self.compute_span(ctx);
+        let out = ctx
+            .offload(work.mul_f64(1.0 / self.cpu_share), job)
+            .await;
+        self.trace.span_end(span, ctx.now());
+        out
+    }
+
+    fn compute_span(&self, ctx: &Ctx) -> SpanId {
+        if self.trace.is_enabled() {
             self.trace.span_start(
                 Category::Compute,
                 "compute",
@@ -87,9 +117,7 @@ impl FunctionEnv {
             )
         } else {
             SpanId::NONE
-        };
-        ctx.compute(work.mul_f64(1.0 / self.cpu_share));
-        self.trace.span_end(span, ctx.now());
+        }
     }
 }
 
@@ -223,8 +251,47 @@ impl FunctionPlatform {
         let parent = trace.current(ctx.pid());
         let pname = format!("fn:{}:{}", function, tag);
         ctx.spawn(pname, move |fctx| {
-            platform.run_invocation(fctx, function, tag, requested, trace, parent, body);
+            run_blocking(platform.run_invocation(
+                fctx,
+                function,
+                tag,
+                requested,
+                trace,
+                parent,
+                async move |c: &mut Ctx, env: FunctionEnv| body(c, &env),
+            ));
         })
+    }
+
+    /// Invokes `function` as a **stackless task** and returns the child
+    /// process id; `ctx.join_async` it to rendezvous. Identical platform
+    /// semantics (and virtual-time schedule) to
+    /// [`FunctionPlatform::invoke_async`], but the invocation costs a
+    /// heap-allocated state machine instead of an OS thread — use this
+    /// form for wide fan-outs.
+    pub async fn invoke_task<F>(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        function: impl Into<String>,
+        tag: impl Into<String>,
+        body: F,
+    ) -> ProcessId
+    where
+        F: AsyncFnOnce(&mut Ctx, FunctionEnv) + Send + 'static,
+    {
+        let platform = Arc::clone(self);
+        let function = function.into();
+        let tag = tag.into();
+        let requested = ctx.now();
+        let trace = self.trace.lock().clone();
+        let parent = trace.current(ctx.pid());
+        let pname = format!("fn:{}:{}", function, tag);
+        ctx.spawn_task(pname, move |mut fctx: Ctx| async move {
+            platform
+                .run_invocation(&mut fctx, function, tag, requested, trace, parent, body)
+                .await;
+        })
+        .await
     }
 
     /// Invokes `function` and blocks the calling process until it returns.
@@ -247,7 +314,7 @@ impl FunctionPlatform {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_invocation<F>(
+    async fn run_invocation<F>(
         self: Arc<Self>,
         ctx: &mut Ctx,
         function: String,
@@ -257,7 +324,7 @@ impl FunctionPlatform {
         parent: SpanId,
         body: F,
     ) where
-        F: FnOnce(&mut Ctx, &FunctionEnv) + Send + 'static,
+        F: AsyncFnOnce(&mut Ctx, FunctionEnv) + Send + 'static,
     {
         let tracing = trace.is_enabled();
         let (inv, lane) = if tracing {
@@ -285,7 +352,7 @@ impl FunctionPlatform {
         } else {
             SpanId::NONE
         };
-        ctx.sem_acquire(self.concurrency, 1);
+        ctx.sem_acquire_async(self.concurrency, 1).await;
         if tracing {
             let q = self.queued.fetch_sub(1, Ordering::SeqCst) - 1;
             trace.gauge("faas.queued_invocations", ctx.now(), q as f64);
@@ -313,12 +380,12 @@ impl FunctionPlatform {
         let start_at = ctx.now();
         let (nic, cold) = match warm {
             Some(c) => {
-                ctx.sleep(self.cfg.warm_start);
+                ctx.sleep_async(self.cfg.warm_start).await;
                 (c.nic, false)
             }
             None => {
-                ctx.sleep(self.cfg.cold_start);
-                (ctx.link_create(self.cfg.nic_bw), true)
+                ctx.sleep_async(self.cfg.cold_start).await;
+                (ctx.link_create_async(self.cfg.nic_bw).await, true)
             }
         };
         if tracing {
@@ -334,7 +401,7 @@ impl FunctionPlatform {
         if self.cfg.failure_rate > 0.0 && ctx.rng().gen::<f64>() < self.cfg.failure_rate {
             // Crash before user code, releasing the slot first so the
             // platform is not poisoned.
-            ctx.sem_release(self.concurrency, 1);
+            ctx.sem_release_async(self.concurrency, 1).await;
             if tracing {
                 trace.attr(inv, "failed", true);
                 trace.span_end(inv, ctx.now());
@@ -359,7 +426,8 @@ impl FunctionPlatform {
         }
         // A crashing body must still release the platform's concurrency
         // slot (its container dies with it and is not parked).
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx, &env)));
+        let result =
+            catch_unwind_future(std::panic::AssertUnwindSafe(body(ctx, env.clone()))).await;
         if tracing {
             trace.exit(ctx.pid());
             let r = self.running.fetch_sub(1, Ordering::SeqCst) - 1;
@@ -367,7 +435,7 @@ impl FunctionPlatform {
         }
         if let Err(payload) = result {
             if !faaspipe_des::is_shutdown_payload(payload.as_ref()) {
-                ctx.sem_release(self.concurrency, 1);
+                ctx.sem_release_async(self.concurrency, 1).await;
             }
             if tracing {
                 trace.attr(inv, "failed", true);
@@ -387,7 +455,7 @@ impl FunctionPlatform {
                     expires: finished + self.cfg.keep_alive,
                 });
         }
-        ctx.sem_release(self.concurrency, 1);
+        ctx.sem_release_async(self.concurrency, 1).await;
         if tracing {
             trace.gauge("faas.warm_containers", finished, self.pool_size() as f64);
             trace.attr(inv, "cold", cold);

@@ -21,7 +21,20 @@
 //!   start time is the partition, everything before it is sort;
 //! - **encode output ratio**: traced archive PUT bytes over run GET
 //!   bytes in the encode stage;
-//! - **relay provisioning**: mean duration of `vm-provision` spans.
+//! - **relay provisioning**: mean duration of `vm-provision` spans;
+//! - **relay NIC**: the peak aggregate throughput over concurrently
+//!   active relay `xfer` flows — but only from probes whose fleet can
+//!   saturate the relay (`W · fn_nic ≥ relay_nic`); an unsaturated
+//!   probe observes the functions' NICs, not the relay's, and must
+//!   inherit the default;
+//! - **relay memory + disk**: when a probe overflows the relay
+//!   (`*.spilled_bytes` counter is non-zero), the capacity is the peak
+//!   of the `*.mem_bytes` gauge and the disk bandwidth comes from the
+//!   `spilled`-marked request spans' duration residual after the wire
+//!   flow and request latency are subtracted;
+//! - **direct handshake**: the minimum residual of a direct `STREAM`
+//!   span over its nested `xfer` flow — the minimum, because any
+//!   rendezvous polling only ever adds time on top of the handshake.
 //!
 //! Parameters with no evidence in any probe keep their `defaults`
 //! values, and [`CalibrationEvidence`] records exactly how many samples
@@ -105,6 +118,14 @@ pub struct CalibrationEvidence {
     pub encode_transfers: usize,
     /// VM provisioning delays averaged into `relay_provision_s`.
     pub vm_provisions: usize,
+    /// Relay `xfer` flows (from saturation-capable probes) behind
+    /// `relay_nic_bps`.
+    pub relay_flows: usize,
+    /// Spilled relay requests behind `relay_mem_bytes` and
+    /// `relay_disk_bps`.
+    pub relay_spills: usize,
+    /// Direct STREAM/flow pairs behind `direct_handshake_s`.
+    pub direct_handshakes: usize,
 }
 
 faaspipe_json::json_object! {
@@ -121,6 +142,9 @@ faaspipe_json::json_object! {
         req encode_bursts,
         req encode_transfers,
         req vm_provisions,
+        req relay_flows,
+        req relay_spills,
+        req direct_handshakes,
     }
 }
 
@@ -208,6 +232,14 @@ fn attr_str<'a>(span: &'a Span, key: &str) -> Option<&'a str> {
         })
 }
 
+fn attr_bool(span: &Span, key: &str) -> bool {
+    span.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| matches!(v, Value::Bool(true)))
+        .unwrap_or(false)
+}
+
 fn duration_s(span: &Span) -> Option<f64> {
     span.duration().map(|d| d.as_secs_f64())
 }
@@ -236,9 +268,12 @@ fn phase_of(tag: &str) -> Option<PhaseTag> {
 }
 
 /// Fits model parameters from `probes`, inheriting `defaults` for every
-/// parameter without trace evidence (relay request latency, NIC, memory
-/// and disk limits, the direct handshake, and the reserved snapshot
-/// start class never have probe evidence and always pass through).
+/// parameter without trace evidence (the relay request latency and the
+/// reserved snapshot start class never have probe evidence and always
+/// pass through; the relay NIC/memory/disk and the direct handshake are
+/// fitted when the probe set includes relay/direct runs that exercise
+/// them — see the module docs for the saturation and spill
+/// requirements).
 pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration {
     let mut ev = CalibrationEvidence {
         probes: probes.len(),
@@ -257,17 +292,44 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
     let mut store_points: Vec<(f64, f64)> = Vec::new();
     let mut enc_get_bytes = 0.0;
     let mut enc_put_bytes = 0.0;
+    // Peak aggregate relay throughput over saturation-capable probes.
+    let mut relay_nic_peak = 0.0f64;
+    // Peak relay memory gauge in probes that actually spilled.
+    let mut relay_mem_peak = 0.0f64;
+    let mut relay_disk = Rate::default();
+    // Running minimum STREAM-minus-flow residual (rendezvous polling
+    // only ever adds on top of the handshake, so min is the handshake).
+    let mut direct_hs: Option<f64> = None;
 
     for probe in probes {
         let spec = probe.spec;
         let spans = &probe.trace.spans;
         // Invocation id → phase, resolved from the "tag" attribute.
         let mut inv_phase: HashMap<SpanId, PhaseTag> = HashMap::new();
+        // Exchange request span → its nested wire-flow duration.
+        let mut flow_dur: HashMap<SpanId, f64> = HashMap::new();
+        // (start_s, end_s, wire_bytes) of relay wire flows, span order.
+        let mut relay_flows: Vec<(f64, f64, f64)> = Vec::new();
         for span in spans {
-            if span.category == Category::Invocation {
-                if let Some(phase) = attr_str(span, "tag").and_then(phase_of) {
-                    inv_phase.insert(span.id, phase);
+            match span.category {
+                Category::Invocation => {
+                    if let Some(phase) = attr_str(span, "tag").and_then(phase_of) {
+                        inv_phase.insert(span.id, phase);
+                    }
                 }
+                Category::Flow if span.name == "xfer" => {
+                    let Some(d) = duration_s(span) else { continue };
+                    if let Some(parent) = span.parent {
+                        flow_dur.insert(parent, d);
+                    }
+                    if span.track == "relay" && d > 0.0 {
+                        if let Some(wire) = attr_u64(span, "wire_bytes") {
+                            let start = span.start.as_secs_f64();
+                            relay_flows.push((start, start + d, wire as f64));
+                        }
+                    }
+                }
+                _ => {}
             }
         }
 
@@ -310,14 +372,7 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
                         }
                     }
                 }
-                Category::StoreRequest => {
-                    // Exchange backends (relay, direct) reuse the
-                    // StoreRequest category for their data-plane
-                    // transfers but run on their own tracks; only
-                    // genuine object-store requests inform the fit.
-                    if span.track != "store" {
-                        continue;
-                    }
+                Category::StoreRequest if span.track == "store" => {
                     let bytes = (attr_u64(span, "bytes_in").unwrap_or(0)
                         + attr_u64(span, "bytes_out").unwrap_or(0))
                         as f64;
@@ -335,6 +390,39 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
                         } else if span.name.starts_with("PUT") {
                             enc_put_bytes += attr_u64(span, "bytes_in").unwrap_or(0) as f64;
                         }
+                    }
+                }
+                // Relay/direct data-plane requests run on their own
+                // tracks; their spans fit the relay disk and the direct
+                // handshake instead of the store line.
+                Category::StoreRequest if span.track == "relay" => {
+                    if !attr_bool(span, "spilled") || attr_bool(span, "failed") {
+                        continue;
+                    }
+                    let Some(d) = duration_s(span) else { continue };
+                    let Some(&flow) = flow_dur.get(&span.id) else {
+                        continue;
+                    };
+                    let wire = attr_u64(span, "bytes").unwrap_or(0) as f64;
+                    // Span = request latency + wire flow + disk pass.
+                    let disk_s = d - flow - defaults.relay_latency_s;
+                    if wire > 0.0 && disk_s > 0.0 {
+                        relay_disk.push(wire, disk_s);
+                        ev.relay_spills += 1;
+                    }
+                }
+                Category::StoreRequest if span.track == "direct" => {
+                    if span.name != "STREAM" || attr_bool(span, "failed") {
+                        continue;
+                    }
+                    let Some(d) = duration_s(span) else { continue };
+                    let Some(&flow) = flow_dur.get(&span.id) else {
+                        continue;
+                    };
+                    let residual = d - flow;
+                    if residual >= 0.0 {
+                        direct_hs = Some(direct_hs.map_or(residual, |m| m.min(residual)));
+                        ev.direct_handshakes += 1;
                     }
                 }
                 Category::Compute => {
@@ -391,6 +479,57 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
                 ev.sort_bursts += bursts.len();
             }
         }
+
+        // Relay NIC: peak aggregate throughput over a busy period — a
+        // maximal chain of time-overlapping relay flows. All its bytes
+        // crossed the relay NIC within the period, so bytes/duration
+        // never exceeds the capacity, and reaches it when the period is
+        // saturated. Only a fleet whose aggregate function NICs exceed
+        // the relay NIC can saturate it — an unsaturated probe would
+        // "fit" the functions' NICs instead, so it contributes nothing.
+        let can_saturate =
+            spec.workers.max(1) as f64 * defaults.fn_nic_bps >= defaults.relay_nic_bps;
+        if can_saturate && !relay_flows.is_empty() {
+            // Flows are in span-creation order, i.e. sorted by start.
+            let (mut s0, mut e0, mut bytes) = (relay_flows[0].0, relay_flows[0].1, 0.0f64);
+            let mut flush = |s0: f64, e0: f64, bytes: f64| {
+                if e0 > s0 && bytes > 0.0 {
+                    relay_nic_peak = relay_nic_peak.max(bytes / (e0 - s0));
+                }
+            };
+            for &(s, e, b) in &relay_flows {
+                if s > e0 {
+                    flush(s0, e0, bytes);
+                    s0 = s;
+                    e0 = e;
+                    bytes = 0.0;
+                }
+                e0 = e0.max(e);
+                bytes += b;
+            }
+            flush(s0, e0, bytes);
+            ev.relay_flows += relay_flows.len();
+        }
+
+        // Relay memory: once a shard spilled, its memory gauge peaked at
+        // (just under) the configured capacity.
+        for spilled in &probe.trace.counters {
+            let Some(label) = spilled.name.strip_suffix(".spilled_bytes") else {
+                continue;
+            };
+            if spilled.last_value() <= 0.0 {
+                continue;
+            }
+            let mem_name = format!("{}.mem_bytes", label);
+            if let Some(mem) = probe.trace.counters.iter().find(|c| c.name == mem_name) {
+                let peak = mem
+                    .points
+                    .iter()
+                    .map(|&(_, v)| v)
+                    .fold(0.0f64, f64::max);
+                relay_mem_peak = relay_mem_peak.max(peak);
+            }
+        }
     }
 
     // Encode rate: total encode compute time vs total traced GET bytes.
@@ -424,11 +563,19 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
         store_ops_per_sec: defaults.store_ops_per_sec,
         fn_nic_bps: defaults.fn_nic_bps,
         relay_latency_s: defaults.relay_latency_s,
-        relay_nic_bps: defaults.relay_nic_bps,
-        relay_mem_bytes: defaults.relay_mem_bytes,
-        relay_disk_bps: defaults.relay_disk_bps,
+        relay_nic_bps: if relay_nic_peak > 0.0 {
+            relay_nic_peak
+        } else {
+            defaults.relay_nic_bps
+        },
+        relay_mem_bytes: if relay_mem_peak > 0.0 {
+            relay_mem_peak
+        } else {
+            defaults.relay_mem_bytes
+        },
+        relay_disk_bps: relay_disk.get(defaults.relay_disk_bps),
         relay_provision_s: provision.get(defaults.relay_provision_s),
-        direct_handshake_s: defaults.direct_handshake_s,
+        direct_handshake_s: direct_hs.unwrap_or(defaults.direct_handshake_s),
         parse_bps: parse.get(defaults.parse_bps),
         sort_bps: sort.get(defaults.sort_bps),
         partition_bps: partition.get(defaults.partition_bps),
@@ -672,6 +819,166 @@ mod tests {
         assert_eq!(cal.evidence.store_requests, 3);
         assert!((cal.params.store_latency_s - 0.02).abs() < 1e-6);
         assert!((cal.params.store_conn_bps - 1.0e8).abs() / 1.0e8 < 1e-6);
+    }
+
+    fn span_on(
+        track: &str,
+        id: u64,
+        parent: Option<u64>,
+        category: Category,
+        name: &str,
+        start_ms: u64,
+        dur_ms: u64,
+    ) -> Span {
+        let mut s = span(id, parent, category, name, "sort/reduce", 0, dur_ms);
+        s.start = SimTime::from_nanos(start_ms * 1_000_000);
+        s.end = Some(s.start + SimDuration::from_millis(dur_ms));
+        s.track = track.to_string();
+        s
+    }
+
+    #[test]
+    fn direct_handshake_is_the_minimum_stream_residual() {
+        let mut trace = TraceData::default();
+        // STREAM = 150 ms with a 100 ms nested flow → 50 ms residual.
+        trace
+            .spans
+            .push(span_on("direct", 1, None, Category::StoreRequest, "STREAM", 0, 150));
+        let mut flow = span_on("direct", 2, Some(1), Category::Flow, "xfer", 50, 100);
+        flow.attrs
+            .push(("wire_bytes".to_string(), Value::U64(1_000_000)));
+        trace.spans.push(flow);
+        // A second STREAM that caught a 300 ms rendezvous poll on top —
+        // polling only adds, so the fit must keep the minimum.
+        trace
+            .spans
+            .push(span_on("direct", 3, None, Category::StoreRequest, "STREAM", 200, 450));
+        let mut flow2 = span_on("direct", 4, Some(3), Category::Flow, "xfer", 550, 100);
+        flow2
+            .attrs
+            .push(("wire_bytes".to_string(), Value::U64(1_000_000)));
+        trace.spans.push(flow2);
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &defaults(),
+        );
+        assert_eq!(cal.evidence.direct_handshakes, 2);
+        assert!((cal.params.direct_handshake_s - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relay_nic_fits_only_from_saturation_capable_probes() {
+        let d = defaults();
+        let mut trace = TraceData::default();
+        // Two relay flows fully overlapping in time, 100 MB over 1 s
+        // each → 200 MB/s aggregate at every midpoint.
+        for id in [1u64, 2] {
+            let mut flow = span_on("relay", id, None, Category::Flow, "xfer", 0, 1_000);
+            flow.attrs
+                .push(("wire_bytes".to_string(), Value::U64(100_000_000)));
+            trace.spans.push(flow);
+        }
+        // W=2 cannot saturate the default 2 GB/s relay NIC: inherit.
+        let mut small = spec();
+        small.workers = 2;
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &small,
+                trace: &trace,
+            }],
+            &d,
+        );
+        assert_eq!(cal.evidence.relay_flows, 0);
+        assert_eq!(cal.params.relay_nic_bps, d.relay_nic_bps);
+        // A wide-enough fleet makes the same flows valid evidence.
+        let mut wide = spec();
+        wide.workers = 64;
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &wide,
+                trace: &trace,
+            }],
+            &d,
+        );
+        assert_eq!(cal.evidence.relay_flows, 2);
+        assert!((cal.params.relay_nic_bps - 2.0e8).abs() / 2.0e8 < 1e-9);
+    }
+
+    #[test]
+    fn relay_spill_fits_memory_capacity_and_disk_bandwidth() {
+        use faaspipe_trace::{CounterKind, CounterSeries};
+        let d = defaults();
+        let mut trace = TraceData::default();
+        // A spilled GET: latency + 2 s disk + 1 s flow. 700 MB wire →
+        // disk at 350 MB/s.
+        let mut get = span_on(
+            "relay",
+            1,
+            None,
+            Category::StoreRequest,
+            "GET",
+            0,
+            3_000 + (d.relay_latency_s * 1e3) as u64,
+        );
+        get.attrs.push(("bytes".to_string(), Value::U64(700_000_000)));
+        get.attrs.push(("spilled".to_string(), Value::Bool(true)));
+        trace.spans.push(get);
+        let mut flow = span_on("relay", 2, Some(1), Category::Flow, "xfer", 2_100, 1_000);
+        flow.attrs
+            .push(("wire_bytes".to_string(), Value::U64(700_000_000)));
+        trace.spans.push(flow);
+        // The shard's gauges: memory peaked at 1 GB before spilling.
+        trace.counters.push(CounterSeries {
+            name: "relay.mem_bytes".to_string(),
+            kind: CounterKind::Gauge,
+            points: vec![
+                (SimTime::from_nanos(0), 4.0e8),
+                (SimTime::from_nanos(1), 1.0e9),
+            ],
+        });
+        trace.counters.push(CounterSeries {
+            name: "relay.spilled_bytes".to_string(),
+            kind: CounterKind::Cumulative,
+            points: vec![(SimTime::from_nanos(1), 7.0e8)],
+        });
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &d,
+        );
+        assert_eq!(cal.evidence.relay_spills, 1);
+        assert!((cal.params.relay_mem_bytes - 1.0e9).abs() < 1.0);
+        assert!((cal.params.relay_disk_bps - 3.5e8).abs() / 3.5e8 < 1e-6);
+    }
+
+    #[test]
+    fn unspilled_relay_probes_inherit_memory_and_disk_defaults() {
+        use faaspipe_trace::{CounterKind, CounterSeries};
+        let d = defaults();
+        let mut trace = TraceData::default();
+        trace.counters.push(CounterSeries {
+            name: "relay.mem_bytes".to_string(),
+            kind: CounterKind::Gauge,
+            points: vec![(SimTime::from_nanos(0), 5.0e8)],
+        });
+        let s = spec();
+        let cal = calibrate(
+            &[ProbeRun {
+                spec: &s,
+                trace: &trace,
+            }],
+            &d,
+        );
+        assert_eq!(cal.evidence.relay_spills, 0);
+        assert_eq!(cal.params.relay_mem_bytes, d.relay_mem_bytes);
+        assert_eq!(cal.params.relay_disk_bps, d.relay_disk_bps);
     }
 
     #[test]

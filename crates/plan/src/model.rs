@@ -199,6 +199,13 @@ fn windows(n: f64, k: f64) -> f64 {
     (n / k.max(1.0)).ceil()
 }
 
+/// How many gather windows the direct exchange spends convoyed before
+/// partition-size skew spreads the reducers over distinct senders.
+/// Fitted on the E17 direct sweep (W ∈ {8, 32}, K ∈ {1..16}): the
+/// implied desync horizon ranges 1.4–4.5 windows; 3 keeps every cell
+/// within ±11% of the simulator.
+const DIRECT_CONVOY_WINDOWS: f64 = 3.0;
+
 impl Default for ModelParams {
     /// Parameters derived from every service's default configuration —
     /// the right baseline when no deployment-specific configs are at
@@ -284,6 +291,21 @@ impl ModelParams {
     /// faster than the ops/s throttle admits them.
     fn ops_floor_s(&self, reqs: f64) -> f64 {
         reqs / self.store_ops_per_sec
+    }
+
+    /// Extra direct-gather seconds lost to the rendezvous convoy. Every
+    /// reducer walks the senders in the same order, so the first gather
+    /// windows put all `w` receiver flows on the same `min(k, w)` sender
+    /// NICs: a convoyed window moves `k` partitions at `nic/w` per flow
+    /// instead of streaming at full NIC rate, costing `(w - k)` extra
+    /// partition-transfer times. Skew in the range-partitioned sizes
+    /// decorrelates the flows after about [`DIRECT_CONVOY_WINDOWS`]
+    /// windows, after which `d / nic` (already charged by the caller) is
+    /// the right rate. Charging only the handshake here — the pre-fix
+    /// behaviour — under-estimated K ≤ 2 direct runs by ~20–25%.
+    fn direct_convoy_s(&self, d: f64, w: f64, k: f64) -> f64 {
+        let part = d / w;
+        DIRECT_CONVOY_WINDOWS * (w - k.min(w)).max(0.0) * part / self.fn_nic_bps
     }
 
     /// Download/compute overlap for a K-windowed phase: sequential when
@@ -380,7 +402,9 @@ impl ModelParams {
                 (windows(w, k) * lat + d / bw, w * w)
             }
             ExchangeKind::Direct => (
-                windows(w, k) * self.direct_handshake_s + d / self.fn_nic_bps,
+                windows(w, k) * self.direct_handshake_s
+                    + d / self.fn_nic_bps
+                    + self.direct_convoy_s(d, w, k),
                 0.0,
             ),
             ExchangeKind::VmRelay | ExchangeKind::ShardedRelay { .. } => (
@@ -689,6 +713,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn direct_gather_charges_the_rendezvous_convoy() {
+        // ROADMAP item 3: at K ≤ 2 all reducers convoy on the same
+        // senders for the first windows; the model must charge that
+        // serialization instead of assuming fully-overlapped streaming.
+        let p = params();
+        let wl = workload();
+        let w = 8.0;
+        let d = wl.data_bytes / w;
+        let k1 = p.estimate(&wl, &cand(8, 1, ExchangeKind::Direct));
+        let k2 = p.estimate(&wl, &cand(8, 2, ExchangeKind::Direct));
+        let k8 = p.estimate(&wl, &cand(8, 8, ExchangeKind::Direct));
+        // Convoy cost decays with K and vanishes once K >= W.
+        assert!(k1.reduce_s > k2.reduce_s && k2.reduce_s > k8.reduce_s);
+        assert!((p.direct_convoy_s(d, w, 8.0)).abs() < 1e-12);
+        // The K=1 vs K=W reduce gap is at least the convoy term alone
+        // (handshake windowing adds a little more on top).
+        let convoy = p.direct_convoy_s(d, w, 1.0);
+        assert!(convoy > 0.0);
+        assert!(
+            k1.reduce_s - k8.reduce_s >= convoy - 1e-9,
+            "K=1 reduce {:.2}s vs K=8 {:.2}s, convoy {:.2}s",
+            k1.reduce_s,
+            k8.reduce_s,
+            convoy
+        );
     }
 
     #[test]

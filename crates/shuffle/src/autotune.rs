@@ -242,11 +242,25 @@ impl Autotuner {
         store: &Arc<ObjectStore>,
         bucket: &str,
     ) -> Result<Autotuner, StoreError> {
-        let client = store.connect(ctx, "autotune/probe");
+        faaspipe_des::run_blocking(Autotuner::probe_async(ctx, store, bucket))
+    }
+
+    /// Async form of [`Autotuner::probe`] for stackless processes.
+    ///
+    /// # Errors
+    /// Propagates store failures.
+    pub async fn probe_async(
+        ctx: &mut Ctx,
+        store: &Arc<ObjectStore>,
+        bucket: &str,
+    ) -> Result<Autotuner, StoreError> {
+        let client = store.connect_async(ctx, "autotune/probe").await;
         // Latency: average 3 empty PUTs.
         let t0 = ctx.now();
         for i in 0..3 {
-            client.put(ctx, bucket, &format!("__probe/lat{}", i), Bytes::new())?;
+            client
+                .put_async(ctx, bucket, &format!("__probe/lat{}", i), Bytes::new())
+                .await?;
         }
         let lat = ctx.now().saturating_duration_since(t0).as_secs_f64() / 3.0;
         // Bandwidth: one 4 MiB (modelled) round trip, netting out latency.
@@ -256,18 +270,20 @@ impl Autotuner {
         let physical = ((4.0 * 1024.0 * 1024.0 / scale).round() as usize).max(1);
         let payload = Bytes::from(vec![0u8; physical]);
         let t0 = ctx.now();
-        client.put(ctx, bucket, "__probe/bw", payload)?;
+        client.put_async(ctx, bucket, "__probe/bw", payload).await?;
         let up = ctx.now().saturating_duration_since(t0).as_secs_f64();
         let t0 = ctx.now();
-        let got = client.get(ctx, bucket, "__probe/bw")?;
+        let got = client.get_async(ctx, bucket, "__probe/bw").await?;
         let down = ctx.now().saturating_duration_since(t0).as_secs_f64();
         let wire = store.config().scaled_len(got.len()) as f64;
         let bw = (2.0 * wire) / ((up - lat).max(1e-6) + (down - lat).max(1e-6));
         // Clean up probe objects.
         for i in 0..3 {
-            client.delete(ctx, bucket, &format!("__probe/lat{}", i))?;
+            client
+                .delete_async(ctx, bucket, &format!("__probe/lat{}", i))
+                .await?;
         }
-        client.delete(ctx, bucket, "__probe/bw")?;
+        client.delete_async(ctx, bucket, "__probe/bw").await?;
         Ok(Autotuner {
             measured_latency_s: lat,
             measured_conn_bw: bw,

@@ -78,6 +78,23 @@ impl SortManifest {
         Ok(())
     }
 
+    /// Async form of [`SortManifest::write`] for stackless processes.
+    ///
+    /// # Errors
+    /// Store failures surfaced by the PUT.
+    pub async fn write_async(
+        &self,
+        ctx: &mut Ctx,
+        client: &StoreClient,
+        bucket: &str,
+        key: &str,
+    ) -> Result<(), ShuffleError> {
+        client
+            .put_async(ctx, bucket, key, Bytes::from(self.to_bytes()))
+            .await?;
+        Ok(())
+    }
+
     /// Reads a manifest through a store client (one timed GET).
     ///
     /// # Errors

@@ -22,11 +22,11 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use faaspipe_des::{Ctx, SimDuration, SimTime};
+use faaspipe_des::{Ctx, LocalBoxFuture, ProcessId, SimDuration, SimTime};
 use faaspipe_exchange::{
-    with_retry, DataExchange, ExchangeEnv, ExchangeStrategy, ObjectStoreExchange,
+    with_retry_async, DataExchange, ExchangeEnv, ExchangeStrategy, ObjectStoreExchange,
 };
-use faaspipe_faas::FunctionPlatform;
+use faaspipe_faas::{FunctionEnv, FunctionPlatform};
 use faaspipe_store::ObjectStore;
 use faaspipe_trace::{Category, SpanId, TraceSink};
 use rand::rngs::SmallRng;
@@ -310,14 +310,32 @@ pub fn serverless_sort<R: SortRecord>(
     store: &Arc<ObjectStore>,
     cfg: &SortConfig,
 ) -> Result<SortStats, ShuffleError> {
+    faaspipe_des::run_blocking(serverless_sort_async::<R>(ctx, faas, store, cfg))
+}
+
+/// Async form of [`serverless_sort`] for stackless (task-backed)
+/// drivers. The sync wrapper above is a [`faaspipe_des::run_blocking`]
+/// facade over this, so both flavors execute the identical virtual-time
+/// schedule.
+///
+/// # Errors
+/// Same contract as [`serverless_sort`].
+pub async fn serverless_sort_async<R: SortRecord>(
+    ctx: &mut Ctx,
+    faas: &Arc<FunctionPlatform>,
+    store: &Arc<ObjectStore>,
+    cfg: &SortConfig,
+) -> Result<SortStats, ShuffleError> {
     if cfg.workers == 0 {
         return Err(ShuffleError::BadConfig {
             reason: "workers must be positive".to_string(),
         });
     }
     let started = ctx.now();
-    let driver = store.connect(ctx, format!("{}/driver", cfg.tag));
-    let inputs = driver.list(ctx, &cfg.bucket, &cfg.input_prefix)?;
+    let driver = store
+        .connect_async(ctx, format!("{}/driver", cfg.tag))
+        .await;
+    let inputs = driver.list_async(ctx, &cfg.bucket, &cfg.input_prefix).await?;
     if inputs.is_empty() {
         return Err(ShuffleError::BadConfig {
             reason: format!("no inputs under '{}'", cfg.input_prefix),
@@ -345,10 +363,10 @@ pub fn serverless_sort<R: SortRecord>(
             cfg.exchange,
         )),
     };
-    backend.prepare(ctx, w, w)?;
+    backend.prepare_async(ctx, w, w).await?;
 
     // ---- Phase 0: sample keys with range reads (one fn per mapper). ----
-    let p_sample = phase_begin(ctx, &trace, "sample", cfg.orchestration);
+    let p_sample = phase_begin(ctx, &trace, "sample", cfg.orchestration).await;
     let samples: Arc<Mutex<Vec<R::Key>>> = Arc::new(Mutex::new(Vec::new()));
     let mut tasks: Vec<TaskFactory> = Vec::new();
     for m in 0..w {
@@ -372,11 +390,13 @@ pub fn serverless_sort<R: SortRecord>(
             let samples = Arc::clone(&samples);
             let cfg = Arc::clone(&cfg);
             let assigned = Arc::clone(&assigned);
-            faas.invoke_async(
+            let tag = format!("{}/sample", cfg.tag);
+            spawn_invocation(
+                Arc::clone(&faas),
                 ctx,
                 "sample",
-                format!("{}/sample", cfg.tag),
-                move |fctx, env| {
+                tag,
+                async move |fctx: &mut Ctx, env: FunctionEnv| {
                     let mut reservoir = Reservoir::new(cfg.sample_capacity);
                     // Seeded from the logical mapper index, and offered
                     // to in assignment order on both I/O paths below, so
@@ -384,19 +404,21 @@ pub fn serverless_sort<R: SortRecord>(
                     // `io_concurrency`.
                     let mut rng = SmallRng::seed_from_u64(cfg.sample_seed ^ splitmix(m as u64));
                     if cfg.io_concurrency <= 1 {
-                        let client =
-                            store.connect_via(fctx, format!("{}/sample", cfg.tag), &[env.nic]);
+                        let client = store
+                            .connect_via_async(fctx, format!("{}/sample", cfg.tag), &[env.nic])
+                            .await;
                         for (key, len) in assigned.iter() {
                             let span = cfg.sample_bytes.min(*len);
                             let span = span - span % R::WIRE_SIZE as u64;
                             if span == 0 {
                                 continue;
                             }
-                            let data = with_retry(fctx, cfg.retries, |c| {
-                                client.get_range(c, &cfg.bucket, key, 0, span)
+                            let data = with_retry_async(fctx, cfg.retries, async |c: &mut Ctx| {
+                                client.get_range_async(c, &cfg.bucket, key, 0, span).await
                             })
+                            .await
                             .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                            env.compute(fctx, cfg.work.parse_time(data.len()));
+                            env.compute_async(fctx, cfg.work.parse_time(data.len())).await;
                             // Keys feed the reservoir straight off the
                             // wire, in buffer order — same draws as the
                             // decoded-record loop this replaces.
@@ -410,7 +432,7 @@ pub fn serverless_sort<R: SortRecord>(
                         // this process, in assignment order.
                         let trace = store.trace_sink();
                         let parent = trace.current(fctx.pid());
-                        let cpu = fctx.sem_create(1);
+                        let cpu = fctx.sem_create_async(1).await;
                         let mut jobs = Vec::new();
                         for (key, len) in assigned.iter() {
                             let span = cfg.sample_bytes.min(*len);
@@ -423,27 +445,32 @@ pub fn serverless_sort<R: SortRecord>(
                             let env = env.clone();
                             let trace = trace.clone();
                             let key = key.clone();
-                            jobs.push(move |cctx: &mut Ctx| -> Bytes {
+                            jobs.push(async move |cctx: &mut Ctx| {
                                 trace.enter(cctx.pid(), parent);
-                                let client = store.connect_via(
-                                    cctx,
-                                    format!("{}/sample", cfg.tag),
-                                    &[env.nic],
-                                );
-                                let data = with_retry(cctx, cfg.retries, |c| {
-                                    client.get_range(c, &cfg.bucket, &key, 0, span)
-                                })
-                                .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                                cctx.sem_acquire(cpu, 1);
-                                env.compute(cctx, cfg.work.parse_time(data.len()));
-                                cctx.sem_release(cpu, 1);
+                                let client = store
+                                    .connect_via_async(
+                                        cctx,
+                                        format!("{}/sample", cfg.tag),
+                                        &[env.nic],
+                                    )
+                                    .await;
+                                let data =
+                                    with_retry_async(cctx, cfg.retries, async |c: &mut Ctx| {
+                                        client.get_range_async(c, &cfg.bucket, &key, 0, span).await
+                                    })
+                                    .await
+                                    .unwrap_or_else(|e| panic!("sample read failed: {}", e));
+                                cctx.sem_acquire_async(cpu, 1).await;
+                                env.compute_async(cctx, cfg.work.parse_time(data.len())).await;
+                                cctx.sem_release_async(cpu, 1).await;
                                 trace.exit(cctx.pid());
                                 data
                             });
                         }
                         let name = format!("{}/sample-io", cfg.tag);
                         let chunks = fctx
-                            .fan_out(&name, cfg.io_concurrency, jobs)
+                            .fan_out_async(&name, cfg.io_concurrency, jobs)
+                            .await
                             .unwrap_or_else(|e| panic!("sample read failed: {}", e));
                         // Keys stream off the wire in assignment order —
                         // the reservoir sees the exact sequence the
@@ -458,14 +485,14 @@ pub fn serverless_sort<R: SortRecord>(
             )
         }));
     }
-    run_phase(ctx, "sample", cfg.task_attempts, &tasks)?;
+    run_phase(ctx, "sample", cfg.task_attempts, &tasks).await?;
     phase_end(ctx, &trace, p_sample);
     let sample_done = ctx.now();
     let sample = std::mem::take(&mut *samples.lock());
     let partitioner = Arc::new(RangePartitioner::from_sample(sample, w));
 
     // ---- Phase 1: map — local sort, range partition, exchange write. ----
-    let p_map = phase_begin(ctx, &trace, "map", cfg.orchestration);
+    let p_map = phase_begin(ctx, &trace, "map", cfg.orchestration).await;
     let map_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
     // Byte-range input assignment: every mapper reads an equal,
     // record-aligned slice of the input space regardless of how the data
@@ -488,96 +515,129 @@ pub fn serverless_sort<R: SortRecord>(
             let map_bytes = Arc::clone(&map_bytes);
             let backend = Arc::clone(&backend);
             let assigned = Arc::clone(&assigned);
-            faas.invoke_async(ctx, "map", format!("{}/map", cfg.tag), move |fctx, env| {
-                // Downloaded chunks stay in wire form: the kernel sorts
-                // and partitions views into these buffers, so record
-                // payloads are copied once (chunk → partition bucket)
-                // instead of decoded, sorted, and re-encoded.
-                let mut chunks: Vec<Bytes> = Vec::new();
-                let mut read_bytes = 0usize;
-                if cfg.io_concurrency <= 1 {
-                    let client = store.connect_via(fctx, format!("{}/map", cfg.tag), &[env.nic]);
-                    for (key, off, len) in assigned.iter() {
-                        let data = with_retry(fctx, cfg.retries, |c| {
-                            client.get_range(c, &cfg.bucket, key, *off, *len)
-                        })
-                        .unwrap_or_else(|e| panic!("map read failed: {}", e));
-                        read_bytes += data.len();
-                        chunks.push(data);
+            let tag = format!("{}/map", cfg.tag);
+            spawn_invocation(
+                Arc::clone(&faas),
+                ctx,
+                "map",
+                tag,
+                async move |fctx: &mut Ctx, env: FunctionEnv| {
+                    // Downloaded chunks stay in wire form: the kernel sorts
+                    // and partitions views into these buffers, so record
+                    // payloads are copied once (chunk → partition bucket)
+                    // instead of decoded, sorted, and re-encoded.
+                    let mut chunks: Vec<Bytes> = Vec::new();
+                    let mut read_bytes = 0usize;
+                    if cfg.io_concurrency <= 1 {
+                        let client = store
+                            .connect_via_async(fctx, format!("{}/map", cfg.tag), &[env.nic])
+                            .await;
+                        for (key, off, len) in assigned.iter() {
+                            let data = with_retry_async(fctx, cfg.retries, async |c: &mut Ctx| {
+                                client
+                                    .get_range_async(c, &cfg.bucket, key, *off, *len)
+                                    .await
+                            })
+                            .await
+                            .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                            read_bytes += data.len();
+                            chunks.push(data);
+                        }
+                        env.compute_async(fctx, cfg.work.sort_time(read_bytes)).await;
+                    } else {
+                        // Double-buffered pipeline: split the assignment into
+                        // ~2·K record-aligned chunks, keep K downloads in
+                        // flight on separate store connections, and charge
+                        // each chunk's share of the sort compute on the
+                        // single vCPU as it lands — downloads overlap
+                        // compute, compute never overlaps itself. The chunks
+                        // concatenate in assignment order, so the record
+                        // sequence (and after the kernel's order-preserving
+                        // sort below, the output bytes) is identical to the
+                        // sequential path.
+                        let splits =
+                            split_chunks(&assigned, cfg.io_concurrency, R::WIRE_SIZE as u64);
+                        let trace = store.trace_sink();
+                        let parent = trace.current(fctx.pid());
+                        let cpu = fctx.sem_create_async(1).await;
+                        let jobs: Vec<_> = splits
+                            .into_iter()
+                            .map(|(key, off, len)| {
+                                let store = Arc::clone(&store);
+                                let cfg = Arc::clone(&cfg);
+                                let env = env.clone();
+                                let trace = trace.clone();
+                                async move |cctx: &mut Ctx| {
+                                    trace.enter(cctx.pid(), parent);
+                                    let client = store
+                                        .connect_via_async(
+                                            cctx,
+                                            format!("{}/map", cfg.tag),
+                                            &[env.nic],
+                                        )
+                                        .await;
+                                    let data =
+                                        with_retry_async(cctx, cfg.retries, async |c: &mut Ctx| {
+                                            client
+                                                .get_range_async(c, &cfg.bucket, &key, off, len)
+                                                .await
+                                        })
+                                        .await
+                                        .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                                    cctx.sem_acquire_async(cpu, 1).await;
+                                    env.compute_async(cctx, cfg.work.sort_time(data.len())).await;
+                                    cctx.sem_release_async(cpu, 1).await;
+                                    trace.exit(cctx.pid());
+                                    data
+                                }
+                            })
+                            .collect();
+                        let name = format!("{}/map-io", cfg.tag);
+                        chunks = fctx
+                            .fan_out_async(&name, cfg.io_concurrency, jobs)
+                            .await
+                            .unwrap_or_else(|e| panic!("map read failed: {}", e));
+                        read_bytes = chunks.iter().map(Bytes::len).sum();
                     }
-                    env.compute(fctx, cfg.work.sort_time(read_bytes));
-                } else {
-                    // Double-buffered pipeline: split the assignment into
-                    // ~2·K record-aligned chunks, keep K downloads in
-                    // flight on separate store connections, and charge
-                    // each chunk's share of the sort compute on the
-                    // single vCPU as it lands — downloads overlap
-                    // compute, compute never overlaps itself. The chunks
-                    // concatenate in assignment order, so the record
-                    // sequence (and after the kernel's order-preserving
-                    // sort below, the output bytes) is identical to the
-                    // sequential path.
-                    let splits = split_chunks(&assigned, cfg.io_concurrency, R::WIRE_SIZE as u64);
-                    let trace = store.trace_sink();
-                    let parent = trace.current(fctx.pid());
-                    let cpu = fctx.sem_create(1);
-                    let jobs: Vec<_> = splits
-                        .into_iter()
-                        .map(|(key, off, len)| {
-                            let store = Arc::clone(&store);
-                            let cfg = Arc::clone(&cfg);
-                            let env = env.clone();
-                            let trace = trace.clone();
-                            move |cctx: &mut Ctx| -> Bytes {
-                                trace.enter(cctx.pid(), parent);
-                                let client =
-                                    store.connect_via(cctx, format!("{}/map", cfg.tag), &[env.nic]);
-                                let data = with_retry(cctx, cfg.retries, |c| {
-                                    client.get_range(c, &cfg.bucket, &key, off, len)
-                                })
-                                .unwrap_or_else(|e| panic!("map read failed: {}", e));
-                                cctx.sem_acquire(cpu, 1);
-                                env.compute(cctx, cfg.work.sort_time(data.len()));
-                                cctx.sem_release(cpu, 1);
-                                trace.exit(cctx.pid());
-                                data
-                            }
+                    // Sort + range-partition straight over the wire bytes,
+                    // offloaded to the simulator's worker pool while the
+                    // partition compute is charged in virtual time — the
+                    // schedule and span are identical to charging the
+                    // compute and running the kernel inline. The kernel's
+                    // (chunk, offset) tie-break keeps equal keys in global
+                    // input order. Buckets come back in sorted order, so
+                    // partitions stay contiguous.
+                    let buckets = {
+                        let partitioner = Arc::clone(&partitioner);
+                        let chunks = std::mem::take(&mut chunks);
+                        env.compute_offload(fctx, cfg.work.partition_time(read_bytes), move || {
+                            kernel::partition_sorted::<R>(&chunks, w, |k| partitioner.part(k))
                         })
-                        .collect();
-                    let name = format!("{}/map-io", cfg.tag);
-                    chunks = fctx
-                        .fan_out(&name, cfg.io_concurrency, jobs)
-                        .unwrap_or_else(|e| panic!("map read failed: {}", e));
-                    read_bytes = chunks.iter().map(Bytes::len).sum();
-                }
-                env.compute(fctx, cfg.work.partition_time(read_bytes));
-                // Sort + range-partition straight over the wire bytes.
-                // The kernel's (chunk, offset) tie-break keeps equal keys
-                // in global input order — byte-identical to the stable
-                // decoded-record sort this replaces. Buckets come back in
-                // sorted order, so partitions stay contiguous.
-                let buckets = kernel::partition_sorted::<R>(&chunks, w, |k| partitioner.part(k))
-                    .unwrap_or_else(|e| panic!("map decode failed: {}", e));
-                let parts: Vec<Bytes> = buckets.into_iter().map(Bytes::from).collect();
-                let xenv = ExchangeEnv {
-                    host_links: vec![env.nic],
-                    tag: format!("{}/map", cfg.tag),
-                    retries: cfg.retries,
-                    io_window: cfg.io_concurrency.max(1),
-                };
-                let written = backend
-                    .write_partitions(fctx, &xenv, m, parts)
-                    .unwrap_or_else(|e| panic!("map exchange write failed: {}", e));
-                *map_bytes.lock() += written;
-            })
+                        .await
+                        .unwrap_or_else(|e| panic!("map decode failed: {}", e))
+                    };
+                    let parts: Vec<Bytes> = buckets.into_iter().map(Bytes::from).collect();
+                    let xenv = ExchangeEnv {
+                        host_links: vec![env.nic],
+                        tag: format!("{}/map", cfg.tag),
+                        retries: cfg.retries,
+                        io_window: cfg.io_concurrency.max(1),
+                    };
+                    let written = backend
+                        .write_partitions_async(fctx, &xenv, m, parts)
+                        .await
+                        .unwrap_or_else(|e| panic!("map exchange write failed: {}", e));
+                    *map_bytes.lock() += written;
+                },
+            )
         }));
     }
-    run_phase(ctx, "map", cfg.task_attempts, &tasks)?;
+    run_phase(ctx, "map", cfg.task_attempts, &tasks).await?;
     phase_end(ctx, &trace, p_map);
     let map_done = ctx.now();
 
     // ---- Phase 2: reduce — gather, k-way merge, write runs. ----
-    let p_reduce = phase_begin(ctx, &trace, "reduce", cfg.orchestration);
+    let p_reduce = phase_begin(ctx, &trace, "reduce", cfg.orchestration).await;
     let out_bytes: Arc<Mutex<u64>> = Arc::new(Mutex::new(0));
     let run_infos: Arc<Mutex<Vec<Option<RunInfo>>>> = Arc::new(Mutex::new(vec![None; w]));
     let mut tasks: Vec<TaskFactory> = Vec::new();
@@ -594,12 +654,16 @@ pub fn serverless_sort<R: SortRecord>(
             let out_bytes = Arc::clone(&out_bytes);
             let run_infos = Arc::clone(&run_infos);
             let backend = Arc::clone(&backend);
-            faas.invoke_async(
+            let tag = format!("{}/reduce", cfg.tag);
+            spawn_invocation(
+                Arc::clone(&faas),
                 ctx,
                 "reduce",
-                format!("{}/reduce", cfg.tag),
-                move |fctx, env| {
-                    let client = store.connect_via(fctx, format!("{}/reduce", cfg.tag), &[env.nic]);
+                tag,
+                async move |fctx: &mut Ctx, env: FunctionEnv| {
+                    let client = store
+                        .connect_via_async(fctx, format!("{}/reduce", cfg.tag), &[env.nic])
+                        .await;
                     let xenv = ExchangeEnv {
                         host_links: vec![env.nic],
                         tag: format!("{}/reduce", cfg.tag),
@@ -613,11 +677,18 @@ pub fn serverless_sort<R: SortRecord>(
                     // whole runs up front.
                     let reqs: Vec<(usize, usize)> = (0..w).map(|m| (m, j)).collect();
                     let runs = backend
-                        .read_partitions(fctx, &xenv, &reqs)
+                        .read_partitions_async(fctx, &xenv, &reqs)
+                        .await
                         .unwrap_or_else(|e| panic!("reduce gather failed: {}", e));
                     let gathered: usize = runs.iter().map(Bytes::len).sum();
-                    env.compute(fctx, cfg.work.merge_time(gathered));
-                    let merged = streaming_merge::<R>(&runs)
+                    // The merge kernel runs on the offload pool while the
+                    // merge compute is charged in virtual time — same
+                    // schedule and span as the inline form.
+                    let merged = env
+                        .compute_offload(fctx, cfg.work.merge_time(gathered), move || {
+                            streaming_merge::<R>(&runs)
+                        })
+                        .await
                         .unwrap_or_else(|e| panic!("reduce decode failed: {}", e));
                     let records = (merged.len() / R::WIRE_SIZE) as u64;
                     // One shared buffer: `Bytes::clone` inside the retry
@@ -630,20 +701,21 @@ pub fn serverless_sort<R: SortRecord>(
                         records,
                         bytes: data.len() as u64,
                     });
-                    with_retry(fctx, cfg.retries, |c| {
-                        client.put(c, &cfg.bucket, &key, data.clone())
+                    with_retry_async(fctx, cfg.retries, async |c: &mut Ctx| {
+                        client.put_async(c, &cfg.bucket, &key, data.clone()).await
                     })
+                    .await
                     .unwrap_or_else(|e| panic!("reduce write failed: {}", e));
                 },
             )
         }));
     }
-    run_phase(ctx, "reduce", cfg.task_attempts, &tasks)?;
+    run_phase(ctx, "reduce", cfg.task_attempts, &tasks).await?;
     phase_end(ctx, &trace, p_reduce);
     // Release exchange resources (the relay VM stops billing here; the
     // object-store backend keeps its intermediates for inspection).
     let xenv = ExchangeEnv::driver(format!("{}/driver", cfg.tag), cfg.retries);
-    backend.cleanup(ctx, &xenv)?;
+    backend.cleanup_async(ctx, &xenv).await?;
     let output_bytes = *out_bytes.lock();
     if let Some(manifest_key) = &cfg.manifest_key {
         let manifest = SortManifest {
@@ -653,7 +725,9 @@ pub fn serverless_sort<R: SortRecord>(
             output_bytes,
             runs: run_infos.lock().iter().flatten().cloned().collect(),
         };
-        manifest.write(ctx, &driver, &cfg.bucket, manifest_key)?;
+        manifest
+            .write_async(ctx, &driver, &cfg.bucket, manifest_key)
+            .await?;
     }
     let finished = ctx.now();
 
@@ -705,14 +779,14 @@ fn assign_spans(
 /// [`Category::Orchestration`] leaf. The phase is pushed onto the
 /// driver's open-span stack so invocations spawned during it nest under
 /// it. Pair with [`phase_end`].
-pub(crate) fn phase_begin(
+pub(crate) async fn phase_begin(
     ctx: &Ctx,
     trace: &TraceSink,
     name: &str,
     orchestration: SimDuration,
 ) -> SpanId {
     if !trace.is_enabled() {
-        ctx.sleep(orchestration);
+        ctx.sleep_async(orchestration).await;
         return SpanId::NONE;
     }
     let parent = trace.current(ctx.pid());
@@ -730,7 +804,7 @@ pub(crate) fn phase_begin(
     } else {
         SpanId::NONE
     };
-    ctx.sleep(orchestration);
+    ctx.sleep_async(orchestration).await;
     trace.span_end(sleep, ctx.now());
     span
 }
@@ -746,28 +820,44 @@ pub(crate) fn phase_end(ctx: &Ctx, trace: &TraceSink, span: SpanId) {
 
 /// A re-invocable task: every call spawns a fresh invocation of the same
 /// work (all captured state is shared and idempotent).
-type TaskFactory = Box<dyn Fn(&Ctx) -> faaspipe_des::ProcessId>;
+type TaskFactory = Box<dyn for<'a> Fn(&'a Ctx) -> LocalBoxFuture<'a, ProcessId>>;
+
+/// Spawns one stackless invocation through
+/// [`FunctionPlatform::invoke_task`], boxing the spawn future so task
+/// factories can be stored type-erased. Everything the invocation body
+/// needs is owned by `body`, so the returned future borrows only `ctx`.
+fn spawn_invocation<'a, F>(
+    faas: Arc<FunctionPlatform>,
+    ctx: &'a Ctx,
+    function: &'static str,
+    tag: String,
+    body: F,
+) -> LocalBoxFuture<'a, ProcessId>
+where
+    F: AsyncFnOnce(&mut Ctx, FunctionEnv) + Send + 'static,
+{
+    Box::pin(async move { faas.invoke_task(ctx, function, tag, body).await })
+}
 
 /// Spawns every task, joins them, and re-invokes crashed tasks up to
 /// `attempts` total tries each — the Lithops-style task retry that makes
 /// the operator survive injected invocation failures.
-fn run_phase(
+async fn run_phase(
     ctx: &Ctx,
     phase: &'static str,
     attempts: u32,
     tasks: &[TaskFactory],
 ) -> Result<(), ShuffleError> {
     let attempts = attempts.max(1);
-    let mut pending: Vec<(usize, faaspipe_des::ProcessId)> = tasks
-        .iter()
-        .enumerate()
-        .map(|(i, spawn)| (i, spawn(ctx)))
-        .collect();
+    let mut pending: Vec<(usize, ProcessId)> = Vec::with_capacity(tasks.len());
+    for (i, spawn) in tasks.iter().enumerate() {
+        pending.push((i, spawn(ctx).await));
+    }
     let mut last_error = String::new();
     for attempt in 1..=attempts {
         let mut failed = Vec::new();
         for (i, pid) in pending.drain(..) {
-            if let Err(e) = ctx.join(pid) {
+            if let Err(e) = ctx.join_async(pid).await {
                 last_error = e.to_string();
                 failed.push(i);
             }
@@ -776,7 +866,9 @@ fn run_phase(
             return Ok(());
         }
         if attempt < attempts {
-            pending = failed.into_iter().map(|i| (i, tasks[i](ctx))).collect();
+            for i in failed {
+                pending.push((i, tasks[i](ctx).await));
+            }
         }
     }
     Err(ShuffleError::TaskFailed {

@@ -19,7 +19,7 @@ use crate::plan::{RunInfo, SortManifest};
 use crate::record::SortRecord;
 use crate::sort::{phase_begin, phase_end};
 use crate::work::WorkModel;
-use faaspipe_exchange::with_retry;
+use faaspipe_exchange::with_retry_async;
 
 /// Configuration of one VM-driven sort.
 #[derive(Debug, Clone)]
@@ -104,6 +104,19 @@ pub fn vm_sort<R: SortRecord>(
     store: &Arc<ObjectStore>,
     cfg: &VmSortConfig,
 ) -> Result<VmSortStats, ShuffleError> {
+    faaspipe_des::run_blocking(vm_sort_async::<R>(ctx, fleet, store, cfg))
+}
+
+/// Async form of [`vm_sort`] for stackless processes.
+///
+/// # Errors
+/// Same as [`vm_sort`].
+pub async fn vm_sort_async<R: SortRecord>(
+    ctx: &mut Ctx,
+    fleet: &VmFleet,
+    store: &Arc<ObjectStore>,
+    cfg: &VmSortConfig,
+) -> Result<VmSortStats, ShuffleError> {
     if cfg.runs == 0 {
         return Err(ShuffleError::BadConfig {
             reason: "runs must be positive".to_string(),
@@ -111,13 +124,15 @@ pub fn vm_sort<R: SortRecord>(
     }
     let started = ctx.now();
     let trace = store.trace_sink();
-    let vm = fleet.provision(ctx, cfg.profile.clone());
+    let vm = fleet.provision_async(ctx, cfg.profile.clone()).await;
     let provisioned = ctx.now();
     // All VM traffic flows through the instance's single NIC.
-    let client = store.connect_via(ctx, cfg.tag.clone(), &[vm.nic]);
+    let client = store
+        .connect_via_async(ctx, cfg.tag.clone(), &[vm.nic])
+        .await;
 
-    let p_download = phase_begin(ctx, &trace, "download", SimDuration::ZERO);
-    let inputs = client.list(ctx, &cfg.bucket, &cfg.input_prefix)?;
+    let p_download = phase_begin(ctx, &trace, "download", SimDuration::ZERO).await;
+    let inputs = client.list_async(ctx, &cfg.bucket, &cfg.input_prefix).await?;
     if inputs.is_empty() {
         return Err(ShuffleError::BadConfig {
             reason: format!("no inputs under '{}'", cfg.input_prefix),
@@ -127,7 +142,10 @@ pub fn vm_sort<R: SortRecord>(
     let mut chunks: Vec<Bytes> = Vec::with_capacity(inputs.len());
     let mut input_bytes = 0u64;
     for obj in &inputs {
-        let data = with_retry(ctx, cfg.retries, |c| client.get(c, &cfg.bucket, &obj.key))?;
+        let data = with_retry_async(ctx, cfg.retries, async |c: &mut Ctx| {
+            client.get_async(c, &cfg.bucket, &obj.key).await
+        })
+        .await?;
         input_bytes += data.len() as u64;
         chunks.push(data);
     }
@@ -136,22 +154,28 @@ pub fn vm_sort<R: SortRecord>(
 
     // In-memory sort using every core. The zero-copy kernel validates
     // and sorts the wire bytes directly; its (chunk, offset) tie-break
-    // reproduces the stable decoded-record sort byte for byte.
-    let p_sort = phase_begin(ctx, &trace, "sort", SimDuration::ZERO);
-    vm.compute_parallel(
-        ctx,
-        cfg.work.sort_time(input_bytes as usize),
-        cfg.profile.vcpus,
-    );
-    let sorted_bytes = Bytes::from(crate::kernel::sort_concat::<R>(&chunks)?);
-    drop(chunks);
+    // reproduces the stable decoded-record sort byte for byte. The
+    // kernel itself runs on the simulator's offload pool.
+    let p_sort = phase_begin(ctx, &trace, "sort", SimDuration::ZERO).await;
+    let sorted_bytes = {
+        let chunks = std::mem::take(&mut chunks);
+        let sorted: Result<Vec<u8>, ShuffleError> = vm
+            .compute_parallel_offload(
+                ctx,
+                cfg.work.sort_time(input_bytes as usize),
+                cfg.profile.vcpus,
+                move || crate::kernel::sort_concat::<R>(&chunks),
+            )
+            .await;
+        Bytes::from(sorted?)
+    };
     phase_end(ctx, &trace, p_sort);
     let sorted = ctx.now();
 
     // Upload equal-size record ranges as the sorted runs — O(1) slices
     // of the one sorted buffer, so the retried PUTs clone refcounts,
     // not record bytes.
-    let p_upload = phase_begin(ctx, &trace, "upload", SimDuration::ZERO);
+    let p_upload = phase_begin(ctx, &trace, "upload", SimDuration::ZERO).await;
     let mut run_keys = Vec::with_capacity(cfg.runs);
     let mut run_infos = Vec::with_capacity(cfg.runs);
     let total_records = sorted_bytes.len() / R::WIRE_SIZE;
@@ -168,9 +192,10 @@ pub fn vm_sort<R: SortRecord>(
             records: (hi - lo) as u64,
             bytes: data.len() as u64,
         });
-        with_retry(ctx, cfg.retries, |c| {
-            client.put(c, &cfg.bucket, &key, data.clone())
-        })?;
+        with_retry_async(ctx, cfg.retries, async |c: &mut Ctx| {
+            client.put_async(c, &cfg.bucket, &key, data.clone()).await
+        })
+        .await?;
         run_keys.push(key);
     }
     if let Some(manifest_key) = &cfg.manifest_key {
@@ -181,7 +206,9 @@ pub fn vm_sort<R: SortRecord>(
             output_bytes,
             runs: run_infos,
         };
-        manifest.write(ctx, &client, &cfg.bucket, manifest_key)?;
+        manifest
+            .write_async(ctx, &client, &cfg.bucket, manifest_key)
+            .await?;
     }
     phase_end(ctx, &trace, p_upload);
     let finished = ctx.now();

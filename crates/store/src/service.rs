@@ -6,7 +6,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use faaspipe_des::{ByteSize, Ctx, LimiterId, LinkId, Sim, SimTime};
+use faaspipe_des::{run_blocking, ByteSize, Ctx, LimiterId, LinkId, Sim, SimTime};
 use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::config::StoreConfig;
@@ -102,7 +102,12 @@ impl ObjectStore {
     /// attribution. The connection gets its own per-connection bandwidth
     /// link.
     pub fn connect(self: &Arc<Self>, ctx: &Ctx, tag: impl Into<String>) -> StoreClient {
-        self.connect_via(ctx, tag, &[])
+        run_blocking(self.connect_async(ctx, tag))
+    }
+
+    /// Async form of [`ObjectStore::connect`] for stackless processes.
+    pub async fn connect_async(self: &Arc<Self>, ctx: &Ctx, tag: impl Into<String>) -> StoreClient {
+        self.connect_via_async(ctx, tag, &[]).await
     }
 
     /// Like [`ObjectStore::connect`], but transfers additionally traverse
@@ -114,7 +119,17 @@ impl ObjectStore {
         tag: impl Into<String>,
         host_links: &[LinkId],
     ) -> StoreClient {
-        let conn = ctx.link_create(self.cfg.per_connection_bw);
+        run_blocking(self.connect_via_async(ctx, tag, host_links))
+    }
+
+    /// Async form of [`ObjectStore::connect_via`] for stackless processes.
+    pub async fn connect_via_async(
+        self: &Arc<Self>,
+        ctx: &Ctx,
+        tag: impl Into<String>,
+        host_links: &[LinkId],
+    ) -> StoreClient {
+        let conn = ctx.link_create_async(self.cfg.per_connection_bw).await;
         let mut links = vec![conn, self.aggregate];
         links.extend_from_slice(host_links);
         let tag = tag.into();
@@ -283,18 +298,18 @@ impl StoreClient {
     /// Charges the fixed request overhead: an ops/s slot plus first-byte
     /// latency (possibly inflated by fault injection). Returns an injected
     /// error without touching state when the failure policy says so.
-    fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<(), StoreError> {
+    async fn request_overhead(&self, ctx: &mut Ctx, op: &'static str) -> Result<(), StoreError> {
         let cfg = &self.store.cfg;
-        ctx.limiter_acquire(self.store.ops, 1.0);
+        ctx.limiter_acquire_async(self.store.ops, 1.0).await;
         if let Some(scope_ops) = self.scope_ops {
-            ctx.limiter_acquire(scope_ops, 1.0);
+            ctx.limiter_acquire_async(scope_ops, 1.0).await;
         }
         let fate = cfg.failure.draw(ctx.rng());
         let latency = match fate {
             Fate::Slow(factor) => cfg.first_byte_latency.mul_f64(factor),
             _ => cfg.first_byte_latency,
         };
-        ctx.sleep(latency);
+        ctx.sleep_async(latency).await;
         if matches!(fate, Fate::Fail) {
             return Err(StoreError::Injected { op });
         }
@@ -365,7 +380,7 @@ impl StoreClient {
         (flows as f64 * per_conn).min(self.store.cfg.aggregate_bw.as_bytes_per_sec())
     }
 
-    fn transfer_scaled(&self, ctx: &Ctx, real_len: usize, parent: SpanId) {
+    async fn transfer_scaled(&self, ctx: &Ctx, real_len: usize, parent: SpanId) {
         let wire = self.store.cfg.scaled_len(real_len);
         let flow = if self.trace.is_enabled() {
             let flows = self.store.inflight.fetch_add(1, Ordering::SeqCst) + 1;
@@ -384,7 +399,7 @@ impl StoreClient {
         } else {
             SpanId::NONE
         };
-        ctx.transfer(ByteSize::new(wire), &self.links);
+        ctx.transfer_async(ByteSize::new(wire), &self.links).await;
         if !flow.is_none() {
             let flows = self.store.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
             let now = ctx.now();
@@ -410,13 +425,24 @@ impl StoreClient {
         key: &str,
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
+        run_blocking(self.put_async(ctx, bucket, key, data))
+    }
+
+    /// Async form of [`StoreClient::put`] for stackless processes.
+    pub async fn put_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<PutResult, StoreError> {
         let wire = self.store.cfg.scaled_len(data.len());
         let span = self.trace_begin(ctx, "PUT", key);
-        if let Err(e) = self.request_overhead(ctx, "PUT") {
+        if let Err(e) = self.request_overhead(ctx, "PUT").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
-        self.transfer_scaled(ctx, data.len(), span);
+        self.transfer_scaled(ctx, data.len(), span).await;
         let result = self.commit_put(ctx, bucket, key, data);
         self.finish(ctx, span, RequestClass::ClassA, wire, 0, result.is_err());
         result
@@ -460,13 +486,24 @@ impl StoreClient {
         key: &str,
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
+        run_blocking(self.put_if_absent_async(ctx, bucket, key, data))
+    }
+
+    /// Async form of [`StoreClient::put_if_absent`] for stackless processes.
+    pub async fn put_if_absent_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+        data: Bytes,
+    ) -> Result<PutResult, StoreError> {
         let span = self.trace_begin(ctx, "PUT", key);
-        if let Err(e) = self.request_overhead(ctx, "PUT") {
+        if let Err(e) = self.request_overhead(ctx, "PUT").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let wire = self.store.cfg.scaled_len(data.len());
-        self.transfer_scaled(ctx, data.len(), span);
+        self.transfer_scaled(ctx, data.len(), span).await;
         // Validated atomically at commit (see put_if_match): checking
         // before the blocking transfer would let two creators race.
         let result = {
@@ -517,13 +554,25 @@ impl StoreClient {
         expected_etag: u64,
         data: Bytes,
     ) -> Result<PutResult, StoreError> {
+        run_blocking(self.put_if_match_async(ctx, bucket, key, expected_etag, data))
+    }
+
+    /// Async form of [`StoreClient::put_if_match`] for stackless processes.
+    pub async fn put_if_match_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+        expected_etag: u64,
+        data: Bytes,
+    ) -> Result<PutResult, StoreError> {
         let span = self.trace_begin(ctx, "PUT", key);
-        if let Err(e) = self.request_overhead(ctx, "PUT") {
+        if let Err(e) = self.request_overhead(ctx, "PUT").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
         let wire = self.store.cfg.scaled_len(data.len());
-        self.transfer_scaled(ctx, data.len(), span);
+        self.transfer_scaled(ctx, data.len(), span).await;
         // The condition is validated atomically at commit time — checking
         // before the (blocking, virtual-time) transfer would be a TOCTOU
         // hole letting two writers race past each other.
@@ -563,8 +612,18 @@ impl StoreClient {
     /// [`StoreError::NoSuchBucket`] / [`StoreError::NoSuchKey`] when
     /// missing; [`StoreError::Injected`] under fault injection.
     pub fn get(&self, ctx: &mut Ctx, bucket: &str, key: &str) -> Result<Bytes, StoreError> {
+        run_blocking(self.get_async(ctx, bucket, key))
+    }
+
+    /// Async form of [`StoreClient::get`] for stackless processes.
+    pub async fn get_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+    ) -> Result<Bytes, StoreError> {
         let span = self.trace_begin(ctx, "GET", key);
-        if let Err(e) = self.request_overhead(ctx, "GET") {
+        if let Err(e) = self.request_overhead(ctx, "GET").await {
             self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
@@ -576,7 +635,7 @@ impl StoreClient {
             }
             Ok(data) => {
                 let wire = self.store.cfg.scaled_len(data.len());
-                self.transfer_scaled(ctx, data.len(), span);
+                self.transfer_scaled(ctx, data.len(), span).await;
                 self.finish(ctx, span, RequestClass::ClassB, 0, wire, false);
                 Ok(data)
             }
@@ -595,8 +654,20 @@ impl StoreClient {
         offset: u64,
         len: u64,
     ) -> Result<Bytes, StoreError> {
+        run_blocking(self.get_range_async(ctx, bucket, key, offset, len))
+    }
+
+    /// Async form of [`StoreClient::get_range`] for stackless processes.
+    pub async fn get_range_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<Bytes, StoreError> {
         let span = self.trace_begin(ctx, "GET", key);
-        if let Err(e) = self.request_overhead(ctx, "GET") {
+        if let Err(e) = self.request_overhead(ctx, "GET").await {
             self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
@@ -620,7 +691,7 @@ impl StoreClient {
             }
             Ok(slice) => {
                 let wire = self.store.cfg.scaled_len(slice.len());
-                self.transfer_scaled(ctx, slice.len(), span);
+                self.transfer_scaled(ctx, slice.len(), span).await;
                 self.finish(ctx, span, RequestClass::ClassB, 0, wire, false);
                 Ok(slice)
             }
@@ -653,8 +724,18 @@ impl StoreClient {
         bucket: &str,
         key: &str,
     ) -> Result<ObjectSummary, StoreError> {
+        run_blocking(self.head_async(ctx, bucket, key))
+    }
+
+    /// Async form of [`StoreClient::head`] for stackless processes.
+    pub async fn head_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+    ) -> Result<ObjectSummary, StoreError> {
         let span = self.trace_begin(ctx, "HEAD", key);
-        if let Err(e) = self.request_overhead(ctx, "HEAD") {
+        if let Err(e) = self.request_overhead(ctx, "HEAD").await {
             self.finish(ctx, span, RequestClass::ClassB, 0, 0, true);
             return Err(e);
         }
@@ -690,7 +771,17 @@ impl StoreClient {
     /// Only infrastructure errors ([`StoreError::Injected`],
     /// [`StoreError::NoSuchBucket`]) are returned.
     pub fn exists(&self, ctx: &mut Ctx, bucket: &str, key: &str) -> Result<bool, StoreError> {
-        match self.head(ctx, bucket, key) {
+        run_blocking(self.exists_async(ctx, bucket, key))
+    }
+
+    /// Async form of [`StoreClient::exists`] for stackless processes.
+    pub async fn exists_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+    ) -> Result<bool, StoreError> {
+        match self.head_async(ctx, bucket, key).await {
             Ok(_) => Ok(true),
             Err(StoreError::NoSuchKey { .. }) => Ok(false),
             Err(e) => Err(e),
@@ -707,8 +798,18 @@ impl StoreClient {
         bucket: &str,
         prefix: &str,
     ) -> Result<Vec<ObjectSummary>, StoreError> {
+        run_blocking(self.list_async(ctx, bucket, prefix))
+    }
+
+    /// Async form of [`StoreClient::list`] for stackless processes.
+    pub async fn list_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        prefix: &str,
+    ) -> Result<Vec<ObjectSummary>, StoreError> {
         let span = self.trace_begin(ctx, "LIST", prefix);
-        if let Err(e) = self.request_overhead(ctx, "LIST") {
+        if let Err(e) = self.request_overhead(ctx, "LIST").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
@@ -753,8 +854,20 @@ impl StoreClient {
         start_after: &str,
         max_keys: usize,
     ) -> Result<(Vec<ObjectSummary>, Option<String>), StoreError> {
+        run_blocking(self.list_page_async(ctx, bucket, prefix, start_after, max_keys))
+    }
+
+    /// Async form of [`StoreClient::list_page`] for stackless processes.
+    pub async fn list_page_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        prefix: &str,
+        start_after: &str,
+        max_keys: usize,
+    ) -> Result<(Vec<ObjectSummary>, Option<String>), StoreError> {
         let span = self.trace_begin(ctx, "LIST", prefix);
-        if let Err(e) = self.request_overhead(ctx, "LIST") {
+        if let Err(e) = self.request_overhead(ctx, "LIST").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
@@ -803,8 +916,18 @@ impl StoreClient {
     /// # Errors
     /// [`StoreError::NoSuchBucket`] if the bucket is unknown.
     pub fn delete(&self, ctx: &mut Ctx, bucket: &str, key: &str) -> Result<(), StoreError> {
+        run_blocking(self.delete_async(ctx, bucket, key))
+    }
+
+    /// Async form of [`StoreClient::delete`] for stackless processes.
+    pub async fn delete_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+    ) -> Result<(), StoreError> {
         let span = self.trace_begin(ctx, "DELETE", key);
-        if let Err(e) = self.request_overhead(ctx, "DELETE") {
+        if let Err(e) = self.request_overhead(ctx, "DELETE").await {
             self.finish(ctx, span, RequestClass::Delete, 0, 0, true);
             return Err(e);
         }
@@ -838,8 +961,20 @@ impl StoreClient {
         dst_bucket: &str,
         dst_key: &str,
     ) -> Result<PutResult, StoreError> {
+        run_blocking(self.copy_async(ctx, src_bucket, src_key, dst_bucket, dst_key))
+    }
+
+    /// Async form of [`StoreClient::copy`] for stackless processes.
+    pub async fn copy_async(
+        &self,
+        ctx: &mut Ctx,
+        src_bucket: &str,
+        src_key: &str,
+        dst_bucket: &str,
+        dst_key: &str,
+    ) -> Result<PutResult, StoreError> {
         let span = self.trace_begin(ctx, "COPY", src_key);
-        if let Err(e) = self.request_overhead(ctx, "COPY") {
+        if let Err(e) = self.request_overhead(ctx, "COPY").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
@@ -861,7 +996,8 @@ impl StoreClient {
         } else {
             SpanId::NONE
         };
-        ctx.transfer(ByteSize::new(wire), &self.links[1..2]);
+        ctx.transfer_async(ByteSize::new(wire), &self.links[1..2])
+            .await;
         self.trace.span_end(flow, ctx.now());
         let result = self.commit_put(ctx, dst_bucket, dst_key, data);
         self.finish(ctx, span, RequestClass::ClassA, 0, 0, result.is_err());
@@ -878,8 +1014,18 @@ impl StoreClient {
         bucket: &str,
         key: &str,
     ) -> Result<MultipartUpload, StoreError> {
+        run_blocking(self.create_multipart_async(ctx, bucket, key))
+    }
+
+    /// Async form of [`StoreClient::create_multipart`] for stackless processes.
+    pub async fn create_multipart_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        key: &str,
+    ) -> Result<MultipartUpload, StoreError> {
         let span = self.trace_begin(ctx, "POST", key);
-        if let Err(e) = self.request_overhead(ctx, "POST") {
+        if let Err(e) = self.request_overhead(ctx, "POST").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
@@ -919,15 +1065,27 @@ impl StoreClient {
         part_number: u32,
         data: Bytes,
     ) -> Result<(), StoreError> {
+        run_blocking(self.upload_part_async(ctx, bucket, upload, part_number, data))
+    }
+
+    /// Async form of [`StoreClient::upload_part`] for stackless processes.
+    pub async fn upload_part_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        upload: MultipartUpload,
+        part_number: u32,
+        data: Bytes,
+    ) -> Result<(), StoreError> {
         let wire = self.store.cfg.scaled_len(data.len());
         let span = self.trace_begin(ctx, "PUT", "");
         self.trace.attr(span, "upload_id", upload.id);
         self.trace.attr(span, "part", part_number);
-        if let Err(e) = self.request_overhead(ctx, "PUT") {
+        if let Err(e) = self.request_overhead(ctx, "PUT").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
-        self.transfer_scaled(ctx, data.len(), span);
+        self.transfer_scaled(ctx, data.len(), span).await;
         let result = {
             let mut buckets = self.store.buckets.lock();
             match buckets.get_mut(bucket) {
@@ -960,9 +1118,19 @@ impl StoreClient {
         bucket: &str,
         upload: MultipartUpload,
     ) -> Result<PutResult, StoreError> {
+        run_blocking(self.complete_multipart_async(ctx, bucket, upload))
+    }
+
+    /// Async form of [`StoreClient::complete_multipart`] for stackless processes.
+    pub async fn complete_multipart_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        upload: MultipartUpload,
+    ) -> Result<PutResult, StoreError> {
         let span = self.trace_begin(ctx, "POST", "");
         self.trace.attr(span, "upload_id", upload.id);
-        if let Err(e) = self.request_overhead(ctx, "POST") {
+        if let Err(e) = self.request_overhead(ctx, "POST").await {
             self.finish(ctx, span, RequestClass::ClassA, 0, 0, true);
             return Err(e);
         }
@@ -1006,9 +1174,19 @@ impl StoreClient {
         bucket: &str,
         upload: MultipartUpload,
     ) -> Result<(), StoreError> {
+        run_blocking(self.abort_multipart_async(ctx, bucket, upload))
+    }
+
+    /// Async form of [`StoreClient::abort_multipart`] for stackless processes.
+    pub async fn abort_multipart_async(
+        &self,
+        ctx: &mut Ctx,
+        bucket: &str,
+        upload: MultipartUpload,
+    ) -> Result<(), StoreError> {
         let span = self.trace_begin(ctx, "DELETE", "");
         self.trace.attr(span, "upload_id", upload.id);
-        if let Err(e) = self.request_overhead(ctx, "DELETE") {
+        if let Err(e) = self.request_overhead(ctx, "DELETE").await {
             self.finish(ctx, span, RequestClass::Delete, 0, 0, true);
             return Err(e);
         }

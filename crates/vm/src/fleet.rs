@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use faaspipe_des::{Ctx, LinkId, SimDuration, SimTime};
+use faaspipe_des::{run_blocking, Ctx, LinkId, SimDuration, SimTime};
 use faaspipe_trace::{Category, SpanId, TraceSink};
 
 use crate::profile::VmProfile;
@@ -56,17 +56,65 @@ pub struct VmInstance {
 impl VmInstance {
     /// Charges single-threaded compute time.
     pub fn compute(&self, ctx: &Ctx, work: SimDuration) {
+        run_blocking(self.compute_async(ctx, work));
+    }
+
+    /// Async form of [`VmInstance::compute`] for stackless processes.
+    pub async fn compute_async(&self, ctx: &Ctx, work: SimDuration) {
         let span = self.compute_span(ctx, 1);
-        ctx.compute(work);
+        ctx.compute_async(work).await;
         self.trace.span_end(span, ctx.now());
     }
 
     /// Charges `work` of single-vCPU compute parallelised across
     /// `threads` threads, with the profile's parallel efficiency.
     pub fn compute_parallel(&self, ctx: &Ctx, work: SimDuration, threads: u32) {
+        run_blocking(self.compute_parallel_async(ctx, work, threads));
+    }
+
+    /// Async form of [`VmInstance::compute_parallel`].
+    pub async fn compute_parallel_async(&self, ctx: &Ctx, work: SimDuration, threads: u32) {
         let span = self.compute_span(ctx, threads);
-        ctx.compute(work.mul_f64(1.0 / self.profile.speedup(threads)));
+        ctx.compute_async(work.mul_f64(1.0 / self.profile.speedup(threads)))
+            .await;
         self.trace.span_end(span, ctx.now());
+    }
+
+    /// Charges compute time for a CPU-heavy host kernel: the virtual
+    /// charge is identical to [`VmInstance::compute_async`], while the
+    /// real `job` runs on the simulator's offload pool.
+    pub async fn compute_offload<R, J>(&self, ctx: &Ctx, work: SimDuration, job: J) -> R
+    where
+        R: Send + 'static,
+        J: FnOnce() -> R + Send + 'static,
+    {
+        let span = self.compute_span(ctx, 1);
+        let out = ctx.offload(work, job).await;
+        self.trace.span_end(span, ctx.now());
+        out
+    }
+
+    /// Parallel-speedup variant of [`VmInstance::compute_offload`]: the
+    /// virtual charge is identical to
+    /// [`VmInstance::compute_parallel_async`], while the real `job` runs
+    /// on the simulator's offload pool.
+    pub async fn compute_parallel_offload<R, J>(
+        &self,
+        ctx: &Ctx,
+        work: SimDuration,
+        threads: u32,
+        job: J,
+    ) -> R
+    where
+        R: Send + 'static,
+        J: FnOnce() -> R + Send + 'static,
+    {
+        let span = self.compute_span(ctx, threads);
+        let out = ctx
+            .offload(work.mul_f64(1.0 / self.profile.speedup(threads)), job)
+            .await;
+        self.trace.span_end(span, ctx.now());
+        out
     }
 
     fn compute_span(&self, ctx: &Ctx, threads: u32) -> SpanId {
@@ -137,7 +185,12 @@ impl VmFleet {
     /// Provisions an instance, blocking the calling process for the
     /// profile's provisioning delay. Billing starts at the request.
     pub fn provision(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
-        self.provision_inner(ctx, profile, true)
+        run_blocking(self.provision_inner(ctx, profile, true))
+    }
+
+    /// Async form of [`VmFleet::provision`] for stackless processes.
+    pub async fn provision_async(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
+        self.provision_inner(ctx, profile, true).await
     }
 
     /// Like [`VmFleet::provision`] — same delay, billing, and `VmTask`
@@ -146,15 +199,25 @@ impl VmFleet {
     /// background while other work runs: the caller attributes the
     /// *residual* wait it actually suffers at the point it blocks.
     pub fn provision_prewarmed(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
-        self.provision_inner(ctx, profile, false)
+        run_blocking(self.provision_inner(ctx, profile, false))
     }
 
-    fn provision_inner(&self, ctx: &Ctx, profile: VmProfile, on_critical_path: bool) -> VmInstance {
+    /// Async form of [`VmFleet::provision_prewarmed`].
+    pub async fn provision_prewarmed_async(&self, ctx: &Ctx, profile: VmProfile) -> VmInstance {
+        self.provision_inner(ctx, profile, false).await
+    }
+
+    async fn provision_inner(
+        &self,
+        ctx: &Ctx,
+        profile: VmProfile,
+        on_critical_path: bool,
+    ) -> VmInstance {
         let requested = ctx.now();
         let trace = self.inner.trace.lock().clone();
         let parent = trace.current(ctx.pid());
-        ctx.sleep(profile.provisioning);
-        let nic = ctx.link_create(profile.nic_bw);
+        ctx.sleep_async(profile.provisioning).await;
+        let nic = ctx.link_create_async(profile.nic_bw).await;
         let id = self.inner.next_id.fetch_add(1, Ordering::SeqCst);
         let span = if trace.is_enabled() {
             let ready = ctx.now();

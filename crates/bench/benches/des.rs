@@ -69,10 +69,54 @@ fn bench_flow_recompute(c: &mut Criterion) {
     });
 }
 
+/// Sustained churn at high concurrency: `n` NIC-limited flows over one
+/// shared backbone, then a scheduler-style drain loop (advance to the
+/// next completion, tick, repeat) that retires every flow. Each start
+/// and each tick triggers a rate recompute with ~n flows active, so
+/// this is the stress case the incremental flow network must keep
+/// proportional to *what changed* — before the rewrite its cost grew
+/// with the full active set per event.
+fn flow_stress(n: u32) {
+    let mut net = FlowNet::new();
+    let backbone = net.add_link(Bandwidth::mib_per_sec(10_000.0));
+    let mut now = SimTime::ZERO;
+    for i in 0..n {
+        let nic = net.add_link(Bandwidth::mib_per_sec(100.0));
+        // Staggered sizes so completions spread out instead of
+        // coalescing into one tick.
+        net.start(
+            now,
+            FlowSpec {
+                bytes: ByteSize::kib(64 + (i as u64 % 97) * 16),
+                links: vec![nic, backbone],
+            },
+            i,
+        );
+    }
+    let mut woken = Vec::new();
+    while let Some(t) = net.next_completion(now) {
+        now = t;
+        net.tick(now, &mut woken);
+    }
+    assert_eq!(net.active_flows(), 0);
+}
+
+fn bench_flow_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_stress");
+    g.sample_size(10);
+    for n in [1_000u32, 10_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let name = format!("start_drain_{}_concurrent", n);
+        g.bench_function(&name, |b| b.iter(|| flow_stress(black_box(n))));
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_process_churn,
-    bench_flow_recompute
+    bench_flow_recompute,
+    bench_flow_stress
 );
 criterion_main!(benches);

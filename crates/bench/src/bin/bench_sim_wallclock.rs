@@ -6,11 +6,14 @@
 //!   like the E15 `--quick` smoke: both object-store exchange layouts at
 //!   two worker counts. Catches tracing-path regressions.
 //! * **BENCH_host** — the scaling trajectory the stackless scheduler is
-//!   sized for: untraced coalesced runs at W ∈ {64, 256, 1024, 4096}.
-//!   Each row records the wall clock plus the simulator's own gauges
-//!   (events dispatched, peak live processes, pool threads) and the
-//!   host's CPU/context-switch counters, so a slowdown can be split into
-//!   "more work" vs "same work, slower".
+//!   sized for: untraced coalesced runs at W ∈ {64, 256, 1024, 4096,
+//!   8192, 16384}. Each row records the wall clock plus the simulator's
+//!   own gauges (events dispatched, peak live processes, pool threads),
+//!   the host's CPU/context-switch counters, the per-event unit cost
+//!   (µs of wall per dispatched event — flat means the scheduler scales
+//!   with what changed), and a per-row peak-RSS gauge (`VmHWM`, reset
+//!   before each run), so a slowdown can be split into "more work" vs
+//!   "same work, slower" and a memory blow-up is visible per width.
 //!
 //! `--check` additionally applies warn-only scheduler-health ceilings:
 //! the stackless loop needs no pool threads and context-switches only
@@ -85,6 +88,17 @@ struct HostRow {
     user_cpu_s: f64,
     sys_cpu_s: f64,
     ctx_switches: u64,
+    /// Host microseconds of wall clock per dispatched event — the
+    /// scheduler's unit cost. Flat across the trajectory means per-event
+    /// work is O(what changed); growth with W means a superlinear term
+    /// crept back in. `opt` for pre-PR-9 baselines.
+    us_per_event: f64,
+    /// Peak resident set (`VmHWM`, KiB) attributable to this row: the
+    /// kernel high-water mark is reset before each run via
+    /// `/proc/self/clear_refs`. 0 when the gauge is unavailable
+    /// (off-Linux, or no permission to reset). `opt` for pre-PR-9
+    /// baselines.
+    peak_rss_kib: u64,
 }
 
 faaspipe_json::json_object! {
@@ -100,11 +114,13 @@ faaspipe_json::json_object! {
         req user_cpu_s,
         req sys_cpu_s,
         req ctx_switches,
+        opt us_per_event,
+        opt peak_rss_kib,
     }
 }
 
 const RECORDS: usize = 8_000;
-const HOST_WIDTHS: [usize; 4] = [64, 256, 1024, 4096];
+const HOST_WIDTHS: [usize; 6] = [64, 256, 1024, 4096, 8192, 16384];
 
 /// The fixed cluster workload: `CLUSTER_TENANTS` Table-1-shaped tenants
 /// (W = 8 each) fed by a seeded Poisson process, so the same arrival set
@@ -151,6 +167,30 @@ fn cpu_times() -> (f64, f64) {
     let ut: f64 = fields.get(13).and_then(|s| s.parse().ok()).unwrap_or(0.0);
     let st: f64 = fields.get(14).and_then(|s| s.parse().ok()).unwrap_or(0.0);
     (ut / tick, st / tick)
+}
+
+/// Resets the kernel's peak-RSS high-water mark (`VmHWM`) for this
+/// process so the next [`peak_rss_kib`] read is attributable to the work
+/// since the reset. Needs write access to `/proc/self/clear_refs`
+/// (normally granted to the process itself); quietly a no-op elsewhere —
+/// the gauge then reports a whole-process high-water mark instead, which
+/// is still an upper bound.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Peak resident set size in KiB (`VmHWM`), falling back to the current
+/// `VmRSS` and then to 0 when `/proc` is unavailable.
+fn peak_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for key in ["VmHWM:", "VmRSS:"] {
+        if let Some(v) = status.lines().find_map(|l| l.strip_prefix(key)) {
+            if let Some(kib) = v.split_whitespace().next().and_then(|n| n.parse().ok()) {
+                return kib;
+            }
+        }
+    }
+    0
 }
 
 /// Total context switches (voluntary + involuntary) across all live
@@ -257,8 +297,18 @@ fn bench_host() -> Vec<HostRow> {
     println!();
     println!("BENCH_host — untraced coalesced scaling trajectory:");
     println!(
-        "{:<5}  {:>10}  {:>12}  {:>9}  {:>5}  {:>5}  {:>7}  {:>7}  {:>9}",
-        "W", "wall", "sim-latency", "events", "peak", "pool", "user", "sys", "ctxsw"
+        "{:<5}  {:>10}  {:>12}  {:>9}  {:>5}  {:>5}  {:>7}  {:>7}  {:>9}  {:>8}  {:>9}",
+        "W",
+        "wall",
+        "sim-latency",
+        "events",
+        "peak",
+        "pool",
+        "user",
+        "sys",
+        "ctxsw",
+        "µs/evt",
+        "peakRSS"
     );
     for workers in HOST_WIDTHS {
         let mut cfg = PipelineConfig::paper_table1();
@@ -269,9 +319,11 @@ fn bench_host() -> Vec<HostRow> {
         cfg.trace = false;
         let (u0, s0) = cpu_times();
         let c0 = ctx_switches();
+        reset_peak_rss();
         let start = Instant::now();
         let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
         let wall = start.elapsed();
+        let rss = peak_rss_kib();
         let (u1, s1) = cpu_times();
         let c1 = ctx_switches();
         assert!(outcome.verified, "W={} must verify", workers);
@@ -287,9 +339,11 @@ fn bench_host() -> Vec<HostRow> {
             user_cpu_s: u1 - u0,
             sys_cpu_s: s1 - s0,
             ctx_switches: c1.saturating_sub(c0),
+            us_per_event: wall.as_secs_f64() * 1e6 / outcome.sim.events.max(1) as f64,
+            peak_rss_kib: rss,
         };
         println!(
-            "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}",
+            "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  {:>8.2}  {:>7}KiB",
             row.workers,
             row.wall_ms,
             row.sim_latency_s,
@@ -298,7 +352,9 @@ fn bench_host() -> Vec<HostRow> {
             row.pool_workers,
             row.user_cpu_s,
             row.sys_cpu_s,
-            row.ctx_switches
+            row.ctx_switches,
+            row.us_per_event,
+            row.peak_rss_kib
         );
         rows.push(row);
     }
@@ -306,7 +362,9 @@ fn bench_host() -> Vec<HostRow> {
     // trajectory points so a slowdown still splits into work vs speed.
     let (u0, s0) = cpu_times();
     let c0 = ctx_switches();
+    reset_peak_rss();
     let (wall_ms, report) = timed_cluster(false);
+    let rss = peak_rss_kib();
     let (u1, s1) = cpu_times();
     let c1 = ctx_switches();
     let row = HostRow {
@@ -321,9 +379,11 @@ fn bench_host() -> Vec<HostRow> {
         user_cpu_s: u1 - u0,
         sys_cpu_s: s1 - s0,
         ctx_switches: c1.saturating_sub(c0),
+        us_per_event: wall_ms * 1e3 / report.sim.events.max(1) as f64,
+        peak_rss_kib: rss,
     };
     println!(
-        "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  (cluster)",
+        "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  {:>8.2}  {:>7}KiB  (cluster)",
         row.workers,
         row.wall_ms,
         row.sim_latency_s,
@@ -332,7 +392,9 @@ fn bench_host() -> Vec<HostRow> {
         row.pool_workers,
         row.user_cpu_s,
         row.sys_cpu_s,
-        row.ctx_switches
+        row.ctx_switches,
+        row.us_per_event,
+        row.peak_rss_kib
     );
     rows.push(row);
     rows
@@ -371,7 +433,11 @@ fn health_warnings(rows: &[HostRow]) {
             eprintln!(
                 "warning: {} W={} ran {} pool worker threads — the stackless loop \
                  should keep every process on the event-loop thread",
-                if row.scenario.is_empty() { "trajectory" } else { &row.scenario },
+                if row.scenario.is_empty() {
+                    "trajectory"
+                } else {
+                    &row.scenario
+                },
                 row.workers,
                 row.pool_workers
             );

@@ -633,7 +633,9 @@ async fn drive_run(
     };
     let executor = Executor::new(services, shared.work.clone(), tracker);
     let handle = executor.spawn_dag_in_async(ctx, &dag).await;
-    ctx.join_async(handle.root).await.map_err(|e| e.to_string())?;
+    ctx.join_async(handle.root)
+        .await
+        .map_err(|e| e.to_string())?;
     let mut stages = handle.ok_results()?;
     stages.sort_by_key(|s| s.started);
     let started = stages

@@ -81,11 +81,17 @@ impl DagSpawner<'_> {
     async fn spawn(&mut self, name: String, body: StageBody) -> ProcessId {
         match self {
             DagSpawner::Sim(sim) => {
-                sim.spawn_task(name, move |mut ctx: Ctx| async move { body(&mut ctx).await })
+                sim.spawn_task(
+                    name,
+                    move |mut ctx: Ctx| async move { body(&mut ctx).await },
+                )
             }
             DagSpawner::Live(ctx) => {
-                ctx.spawn_task(name, move |mut ctx: Ctx| async move { body(&mut ctx).await })
-                    .await
+                ctx.spawn_task(
+                    name,
+                    move |mut ctx: Ctx| async move { body(&mut ctx).await },
+                )
+                .await
             }
         }
     }
@@ -261,8 +267,9 @@ impl Executor {
                             }
                             exec.tracker.stage_start(ctx, &stage2.name);
                             let started = ctx.now();
-                            let outcome =
-                                exec.run_stage(ctx, &bucket, &stage2, downstream_encode).await;
+                            let outcome = exec
+                                .run_stage(ctx, &bucket, &stage2, downstream_encode)
+                                .await;
                             exec.tracker.stage_end(ctx, &stage2.name);
                             let finished = ctx.now();
                             let entry = outcome.map(|(workers_used, output_bytes)| StageResult {

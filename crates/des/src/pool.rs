@@ -453,7 +453,9 @@ mod tests {
     #[test]
     fn offload_pool_runs_jobs_and_reports_panics() {
         let mut pool = OffloadPool::new();
-        let t1 = pool.submit(Box::new(|| Box::new(21u64 * 2) as Box<dyn std::any::Any + Send>));
+        let t1 = pool.submit(Box::new(|| {
+            Box::new(21u64 * 2) as Box<dyn std::any::Any + Send>
+        }));
         let t2 = pool.submit(Box::new(|| panic!("kernel exploded")));
         let ok = pool.wait(t1).expect("job ok");
         assert_eq!(*ok.downcast::<u64>().expect("u64"), 42);

@@ -8,7 +8,7 @@
 //!   `async` future polled by the scheduler on its own thread. Every
 //!   simulation operation (`sleep_async`, `sem_acquire_async`,
 //!   `transfer_async`, `spawn_task`, `join_async`, …) is a yield point —
-//!   the future deposits its request in a shared [`OpCell`] and returns
+//!   the future deposits its request in a shared `OpCell` and returns
 //!   `Poll::Pending`; the scheduler services the request and re-polls
 //!   when the virtual-time condition is met. A suspended task is a small
 //!   heap-allocated state machine, not a parked OS thread.
@@ -143,7 +143,11 @@ impl std::fmt::Debug for ResumeMsg {
             ResumeMsg::JoinResult(r) => write!(f, "JoinResult({:?})", r),
             ResumeMsg::OffloadWait(t) => write!(f, "OffloadWait({})", t),
             ResumeMsg::OffloadDone(r) => {
-                write!(f, "OffloadDone({})", if r.is_ok() { "ok" } else { "panicked" })
+                write!(
+                    f,
+                    "OffloadDone({})",
+                    if r.is_ok() { "ok" } else { "panicked" }
+                )
             }
             ResumeMsg::Shutdown => write!(f, "Shutdown"),
         }
@@ -737,11 +741,97 @@ impl Ctx {
         }
         let total = jobs.len();
         let workers = window.max(1).min(total);
-        let queue: Arc<std::sync::Mutex<std::collections::VecDeque<(usize, F)>>> = Arc::new(
-            std::sync::Mutex::new(jobs.into_iter().enumerate().collect()),
-        );
-        let results: Arc<std::sync::Mutex<Vec<Option<T>>>> =
-            Arc::new(std::sync::Mutex::new((0..total).map(|_| None).collect()));
+        let slots = (0..total).map(|_| None).collect();
+        self.fan_out_async_driver(name, workers, jobs.into_iter().enumerate().collect(), slots)
+            .await
+    }
+
+    /// Sparse variant of [`Ctx::fan_out_async`]: runs only the supplied
+    /// `(slot, job)` pairs of a logical `total`-job fan-out, filling
+    /// every elided slot with `fill()` — but spawns exactly the worker
+    /// processes the *logical* fan-out would (`min(window.max(1),
+    /// total)`), so pid assignment and the virtual-time schedule do not
+    /// depend on how many jobs the caller elided. Exchange backends use
+    /// this to skip zero-byte fetches (which touch no simulated
+    /// resource) without perturbing the simulation.
+    ///
+    /// Job slots must be unique and `< total`; jobs run in the order
+    /// given.
+    ///
+    /// # Errors
+    /// Same contract as [`Ctx::fan_out`].
+    pub async fn fan_out_sparse_async<T, F>(
+        &self,
+        name: &str,
+        window: usize,
+        total: usize,
+        jobs: Vec<(usize, F)>,
+        mut fill: impl FnMut() -> T,
+    ) -> Result<Vec<T>, JoinError>
+    where
+        T: Send + 'static,
+        F: AsyncFnOnce(&mut Ctx) -> T + Send + 'static,
+    {
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = window.max(1).min(total);
+        let mut slots: Vec<Option<T>> = (0..total).map(|_| Some(fill())).collect();
+        for &(i, _) in &jobs {
+            slots[i] = None;
+        }
+        self.fan_out_async_driver(name, workers, jobs, slots).await
+    }
+
+    /// Worker-pinned fan-out: runs `jobs` with the worker processes a
+    /// `logical_total`-job fan-out would spawn (`min(window.max(1),
+    /// logical_total)`), even when `jobs` is shorter — or empty. Results
+    /// come back in job order (compact: one entry per job, unlike
+    /// [`Ctx::fan_out_sparse_async`] which returns the logical length).
+    ///
+    /// This is the fully-sparse sibling of `fan_out_sparse_async` for
+    /// callers that never want to materialise a `logical_total`-length
+    /// vector at all; a `logical_total` of `0` runs nothing.
+    ///
+    /// # Errors
+    /// Same contract as [`Ctx::fan_out`].
+    pub async fn fan_out_pinned_async<T, F>(
+        &self,
+        name: &str,
+        window: usize,
+        logical_total: usize,
+        jobs: Vec<F>,
+    ) -> Result<Vec<T>, JoinError>
+    where
+        T: Send + 'static,
+        F: AsyncFnOnce(&mut Ctx) -> T + Send + 'static,
+    {
+        if logical_total == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = window.max(1).min(logical_total);
+        let slots = (0..jobs.len()).map(|_| None).collect();
+        self.fan_out_async_driver(name, workers, jobs.into_iter().enumerate().collect(), slots)
+            .await
+    }
+
+    /// Shared engine behind the async fan-outs: `workers` queue-draining
+    /// tasks over pre-indexed `jobs`, results scattered into `slots`
+    /// (already holding the fill value for any slot no job will write).
+    async fn fan_out_async_driver<T, F>(
+        &self,
+        name: &str,
+        workers: usize,
+        jobs: Vec<(usize, F)>,
+        slots: Vec<Option<T>>,
+    ) -> Result<Vec<T>, JoinError>
+    where
+        T: Send + 'static,
+        F: AsyncFnOnce(&mut Ctx) -> T + Send + 'static,
+    {
+        let queue: Arc<std::sync::Mutex<std::collections::VecDeque<(usize, F)>>> =
+            Arc::new(std::sync::Mutex::new(jobs.into_iter().collect()));
+        let results: Arc<std::sync::Mutex<Vec<Option<T>>>> = Arc::new(std::sync::Mutex::new(slots));
         let mut pids = Vec::with_capacity(workers);
         for w in 0..workers {
             let queue = Arc::clone(&queue);

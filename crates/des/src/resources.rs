@@ -155,8 +155,16 @@ impl RateLimiter {
     /// the processes to resume. A tiny epsilon absorbs float residue from
     /// incremental refills.
     pub fn tick(&mut self, now: SimTime) -> Vec<u32> {
-        self.refill(now);
         let mut woken = Vec::new();
+        self.tick_into(now, &mut woken);
+        woken
+    }
+
+    /// [`RateLimiter::tick`] into a caller-owned buffer (cleared first),
+    /// so the scheduler can amortise the allocation across ticks.
+    pub fn tick_into(&mut self, now: SimTime, woken: &mut Vec<u32>) {
+        woken.clear();
+        self.refill(now);
         while let Some(&(pid, want)) = self.waiters.front() {
             if self.tokens >= want - 1e-9 {
                 self.tokens -= want;
@@ -166,7 +174,6 @@ impl RateLimiter {
                 break;
             }
         }
-        woken
     }
 
     /// When the head-of-line request will be satisfiable, if anyone waits.

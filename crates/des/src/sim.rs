@@ -52,6 +52,14 @@ pub enum SimError {
         /// Names of the blocked processes.
         blocked: Vec<String>,
     },
+    /// A rate recompute left a transfer frozen at a non-positive rate
+    /// with bytes still to move. Max-min filling cannot produce this
+    /// from a well-formed topology, so it means a rate-computation bug
+    /// (or float pathology) that would otherwise hang the run silently.
+    FlowStalled {
+        /// Name of the process whose transfer starved.
+        process: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -62,6 +70,13 @@ impl std::fmt::Display for SimError {
             }
             SimError::Deadlock { blocked } => {
                 write!(f, "simulation deadlocked; blocked processes: {:?}", blocked)
+            }
+            SimError::FlowStalled { process } => {
+                write!(
+                    f,
+                    "transfer by process '{}' stalled at a non-positive rate",
+                    process
+                )
             }
         }
     }
@@ -137,6 +152,12 @@ pub struct Sim {
     limiter_events: Vec<Option<EventId>>,
     flownet: FlowNet,
     flow_event: Option<EventId>,
+    /// Reusable buffer for flow/limiter tick wake lists, so steady-state
+    /// ticks do no per-event allocation.
+    tick_woken: Vec<u32>,
+    /// First fatal condition observed while dispatching (e.g. a stalled
+    /// flow); checked after every event and terminates the run loudly.
+    fatal: Option<SimError>,
     yields: Arc<Rendezvous<(u32, YieldMsg)>>,
     pool: WorkerPool,
     offload: OffloadPool,
@@ -183,6 +204,8 @@ impl Sim {
             limiter_events: Vec::new(),
             flownet: FlowNet::new(),
             flow_event: None,
+            tick_woken: Vec::new(),
+            fatal: None,
             yields,
             pool,
             offload: OffloadPool::new(),
@@ -280,22 +303,33 @@ impl Sim {
                 Wake::Process(pidx) => self.run_process(pidx),
                 Wake::FlowTick => {
                     self.flow_event = None;
-                    let woken = self.flownet.tick(time);
-                    for pidx in woken {
+                    let mut woken = std::mem::take(&mut self.tick_woken);
+                    self.flownet.tick(time, &mut woken);
+                    for &pidx in &woken {
                         self.procs[pidx as usize].resume_with = ResumeMsg::Go;
                         self.schedule_wake(pidx);
                     }
+                    woken.clear();
+                    self.tick_woken = woken;
+                    self.check_flow_stall();
                     self.reschedule_flow_tick();
                 }
                 Wake::LimiterTick(li) => {
                     self.limiter_events[li as usize] = None;
-                    let woken = self.limiters[li as usize].tick(time);
-                    for pidx in woken {
+                    let mut woken = std::mem::take(&mut self.tick_woken);
+                    self.limiters[li as usize].tick_into(time, &mut woken);
+                    for &pidx in &woken {
                         self.procs[pidx as usize].resume_with = ResumeMsg::Go;
                         self.schedule_wake(pidx);
                     }
+                    woken.clear();
+                    self.tick_woken = woken;
                     self.reschedule_limiter_tick(li);
                 }
+            }
+            if let Some(err) = self.fatal.take() {
+                self.teardown();
+                return Err(err);
             }
         }
         self.finished = true;
@@ -341,6 +375,18 @@ impl Sim {
         self.queue.schedule(self.now(), Wake::Process(pidx));
     }
 
+    /// Records a fatal error if the last rate recompute starved a flow;
+    /// the run loop terminates with it after the current event.
+    fn check_flow_stall(&mut self) {
+        if let Some(waker) = self.flownet.take_stalled() {
+            if self.fatal.is_none() {
+                self.fatal = Some(SimError::FlowStalled {
+                    process: self.procs[waker as usize].name.to_string(),
+                });
+            }
+        }
+    }
+
     fn reschedule_flow_tick(&mut self) {
         if let Some(ev) = self.flow_event.take() {
             self.queue.cancel(ev);
@@ -381,7 +427,11 @@ impl Sim {
                 matches!(self.procs[pi].resume_with, ResumeMsg::Go),
                 "first wake must be a plain Go"
             );
-            match self.procs[pi].body.take().expect("unbound process has no body") {
+            match self.procs[pi]
+                .body
+                .take()
+                .expect("unbound process has no body")
+            {
                 ProcessBody::Blocking(body) => {
                     let job = Job {
                         pid: ProcessId(pidx),
@@ -428,7 +478,11 @@ impl Sim {
                 m => m,
             };
             {
-                let cell = &self.procs[pi].task.as_ref().expect("bound task has state").cell;
+                let cell = &self.procs[pi]
+                    .task
+                    .as_ref()
+                    .expect("bound task has state")
+                    .cell;
                 let prev = cell.reply.borrow_mut().replace(msg);
                 debug_assert!(prev.is_none(), "task woken with a stale reply pending");
             }
@@ -581,6 +635,7 @@ impl Sim {
             YieldMsg::Transfer(spec) => {
                 self.flownet.start(now, spec, pidx);
                 self.procs[pidx as usize].resume_with = ResumeMsg::Go;
+                self.check_flow_stall();
                 self.reschedule_flow_tick();
                 Flow::Blocked
             }
@@ -1192,7 +1247,8 @@ mod tests {
                 let log = Arc::clone(&log);
                 if tasks {
                     sim.spawn_task(format!("p{}", i), move |ctx| async move {
-                        ctx.sleep_async(SimDuration::from_millis(10 * (3 - i))).await;
+                        ctx.sleep_async(SimDuration::from_millis(10 * (3 - i)))
+                            .await;
                         log.lock().unwrap().push(i);
                     });
                 } else {
@@ -1346,7 +1402,8 @@ mod tests {
             let jobs: Vec<_> = (0..6u64)
                 .map(|i| {
                     async move |cctx: &mut Ctx| {
-                        cctx.sleep_async(SimDuration::from_millis(60 - 10 * i)).await;
+                        cctx.sleep_async(SimDuration::from_millis(60 - 10 * i))
+                            .await;
                         i * 2
                     }
                 })
@@ -1455,7 +1512,10 @@ mod tests {
             assert_eq!(ctx.now().as_nanos(), 5_000_000);
         });
         let report = sim.run().expect("run");
-        assert_eq!(report.offload_workers, 0, "thread bodies run kernels inline");
+        assert_eq!(
+            report.offload_workers, 0,
+            "thread bodies run kernels inline"
+        );
     }
 
     #[test]

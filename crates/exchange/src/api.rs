@@ -255,6 +255,55 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         run_blocking(self.write_partitions_async(ctx, env, map, parts))
     }
 
+    /// Async form of [`DataExchange::write_run`]. The default
+    /// implementation reconstructs the dense partition vector (cheap
+    /// zero-copy [`Bytes::slice`]s of `run`, empty slots for absent
+    /// cuts) and delegates to
+    /// [`write_partitions_async`](DataExchange::write_partitions_async),
+    /// so every backend's store traffic — and therefore its virtual
+    /// time — is exactly what the dense write produced. Backends whose
+    /// wire format already concatenates the partitions override it to
+    /// skip the dense vector entirely.
+    fn write_run_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        map: usize,
+        run: Bytes,
+        cuts: Vec<(u32, u64, u64)>,
+        parts_len: usize,
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            let mut parts = vec![Bytes::new(); parts_len];
+            for &(part, off, len) in &cuts {
+                parts[part as usize] = run.slice(off as usize..(off + len) as usize);
+            }
+            self.write_partitions_async(ctx, env, map, parts).await
+        })
+    }
+
+    /// Stores mapper `map`'s partitions given as one contiguous `run`
+    /// buffer plus its sparse cut list: `cuts[i] = (part, offset, len)`
+    /// says partition `part` is `run[offset..offset + len]`, cuts are
+    /// part-ascending and non-overlapping, and every partition in
+    /// `0..parts_len` absent from `cuts` is empty. Equivalent to
+    /// [`DataExchange::write_partitions`] with the reconstructed dense
+    /// vector — same bytes on the wire, same virtual time — but a
+    /// backend that stores the concatenation anyway (the coalesced
+    /// object-store layout) does O(cuts) host work instead of
+    /// O(parts_len). Returns the number of payload bytes written.
+    fn write_run(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        map: usize,
+        run: Bytes,
+        cuts: Vec<(u32, u64, u64)>,
+        parts_len: usize,
+    ) -> Result<u64, ExchangeError> {
+        run_blocking(self.write_run_async(ctx, env, map, run, cuts, parts_len))
+    }
+
     /// Async form of [`DataExchange::read_partition`].
     fn read_partition_async<'a>(
         &'a self,
@@ -307,6 +356,49 @@ pub trait DataExchange: fmt::Debug + Send + Sync {
         reqs: &[(usize, usize)],
     ) -> Result<Vec<Bytes>, ExchangeError> {
         run_blocking(self.read_partitions_async(ctx, env, reqs))
+    }
+
+    /// Async form of [`DataExchange::read_gather`]. The default
+    /// implementation is the dense batch read over `(m, part)` for every
+    /// `m < maps` with the zero-length runs dropped afterwards; backends
+    /// whose bookkeeping knows which partitions are empty override it to
+    /// do work proportional to the *non-empty* runs only.
+    fn read_gather_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        maps: usize,
+        part: usize,
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            let reqs: Vec<(usize, usize)> = (0..maps).map(|m| (m, part)).collect();
+            let runs = self.read_partitions_async(ctx, env, &reqs).await?;
+            Ok(runs.into_iter().filter(|r| !r.is_empty()).collect())
+        })
+    }
+
+    /// A reducer's whole-column gather: the non-empty runs of partition
+    /// `part` from mappers `0..maps`, in ascending mapper order.
+    ///
+    /// Virtual time is identical to reading the column with
+    /// [`DataExchange::read_partitions`] — the same store requests go
+    /// out, over the same windowed schedule — but the return value skips
+    /// zero-length runs, so a W-wide gather whose column holds k
+    /// non-empty partitions costs O(k) host work on backends that
+    /// override it, not O(W). Dropping empty runs is merge-neutral: a
+    /// k-way merge's output never depends on the empty runs' positions.
+    ///
+    /// # Errors
+    /// [`ExchangeError::MissingPartition`] if any mapper in `0..maps`
+    /// never wrote partition `part`.
+    fn read_gather(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        maps: usize,
+        part: usize,
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        run_blocking(self.read_gather_async(ctx, env, maps, part))
     }
 
     /// Async form of [`DataExchange::list`].

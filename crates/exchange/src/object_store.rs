@@ -25,8 +25,121 @@ pub struct ObjectStoreExchange {
     bucket: String,
     prefix: String,
     layout: ExchangeStrategy,
-    /// Per-mapper `(offset, length)` tables for the coalesced layout.
-    offsets: Mutex<Vec<Vec<(u64, u64)>>>,
+    /// Sparse per-mapper offset tables for the coalesced layout.
+    index: Mutex<CoalescedIndex>,
+}
+
+/// Sparse per-mapper offset index for the coalesced layout: only
+/// non-empty partitions get `(part, offset, len)` entries, with a
+/// per-mapper part count to tell "written but empty" apart from "never
+/// written". The dense W×W table this replaces held 268M entries at
+/// W=16384 — nearly all zero-length once records spread thin.
+#[derive(Default)]
+struct CoalescedIndex {
+    /// Per mapper: how many partitions its write produced (0 = never
+    /// written).
+    parts_len: Vec<u32>,
+    /// Per mapper: `(part, offset, len)` for non-empty partitions only,
+    /// part-ascending (so lookups binary-search).
+    tables: Vec<Vec<(u32, u64, u64)>>,
+    /// Per *part*: `(map, offset, len)` for non-empty partitions only,
+    /// map-ascending — the reducer-side view of `tables`, rebuilt lazily
+    /// after writes so a whole-column gather is O(non-empty).
+    by_part: Vec<Vec<(u32, u64, u64)>>,
+    by_part_valid: bool,
+    /// Mappers recorded so far (each counted once).
+    recorded: usize,
+    /// Minimum `parts_len` among recorded mappers (`u32::MAX` if none):
+    /// the O(1) availability fast path for gathers.
+    min_parts_len: u32,
+}
+
+impl CoalescedIndex {
+    fn reset(&mut self, maps: usize) {
+        self.parts_len.clear();
+        self.parts_len.resize(maps, 0);
+        self.tables.clear();
+        self.tables.resize_with(maps, Vec::new);
+        self.by_part.clear();
+        self.by_part_valid = false;
+        self.recorded = 0;
+        self.min_parts_len = u32::MAX;
+    }
+
+    fn record(&mut self, map: usize, parts_len: usize, table: Vec<(u32, u64, u64)>) {
+        if self.parts_len.len() <= map {
+            self.parts_len.resize(map + 1, 0);
+            self.tables.resize_with(map + 1, Vec::new);
+        }
+        if self.parts_len[map] == 0 {
+            self.recorded += 1;
+        }
+        self.parts_len[map] = parts_len as u32;
+        self.min_parts_len = self.min_parts_len.min(parts_len as u32);
+        self.tables[map] = table;
+        self.by_part_valid = false;
+    }
+
+    /// The non-empty `(map, offset, len)` entries of column `part` over
+    /// mappers `0..maps`, map-ascending, after verifying every one of
+    /// those mappers wrote the column (same first-failure the dense
+    /// per-request lookups produced).
+    fn gather(&mut self, maps: usize, part: usize) -> Result<Vec<(u32, u64, u64)>, ExchangeError> {
+        let complete = self.recorded == self.parts_len.len()
+            && maps <= self.parts_len.len()
+            && (part as u32) < self.min_parts_len;
+        if !complete {
+            for map in 0..maps {
+                let written = self.parts_len.get(map).copied().unwrap_or(0);
+                if part >= written as usize {
+                    return Err(ExchangeError::MissingPartition { map, part });
+                }
+            }
+        }
+        if !self.by_part_valid {
+            let parts = self.parts_len.iter().copied().max().unwrap_or(0) as usize;
+            self.by_part.clear();
+            self.by_part.resize_with(parts, Vec::new);
+            for (m, table) in self.tables.iter().enumerate() {
+                for &(p, off, len) in table {
+                    self.by_part[p as usize].push((m as u32, off, len));
+                }
+            }
+            self.by_part_valid = true;
+        }
+        Ok(self
+            .by_part
+            .get(part)
+            .map(|column| {
+                column
+                    .iter()
+                    .copied()
+                    .filter(|&(m, _, _)| (m as usize) < maps)
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// `Ok(Some((off, len)))` for a non-empty partition, `Ok(None)` for
+    /// a written-but-empty one, `Err(MissingPartition)` otherwise —
+    /// exactly the semantics the dense table's `get(map).get(part)` had.
+    fn lookup(&self, map: usize, part: usize) -> Result<Option<(u64, u64)>, ExchangeError> {
+        let parts_len = *self
+            .parts_len
+            .get(map)
+            .ok_or(ExchangeError::MissingPartition { map, part })?;
+        if part >= parts_len as usize {
+            return Err(ExchangeError::MissingPartition { map, part });
+        }
+        let table = &self.tables[map];
+        match table.binary_search_by_key(&(part as u32), |&(p, _, _)| p) {
+            Ok(i) => {
+                let (_, off, len) = table[i];
+                Ok(Some((off, len)))
+            }
+            Err(_) => Ok(None),
+        }
+    }
 }
 
 impl std::fmt::Debug for ObjectStoreExchange {
@@ -53,7 +166,7 @@ impl ObjectStoreExchange {
             bucket: bucket.into(),
             prefix: prefix.into(),
             layout,
-            offsets: Mutex::new(Vec::new()),
+            index: Mutex::new(CoalescedIndex::default()),
         }
     }
 
@@ -70,10 +183,78 @@ impl ObjectStoreExchange {
     /// aggregate throughput scales with the window until the caller's
     /// NIC or the store's aggregate cap saturates). Results come back in
     /// plan order.
+    ///
+    /// [`Fetch::Empty`] plans never leave the host: they issue no store
+    /// request, touch no simulated resource, and draw no randomness, so
+    /// their jobs are elided outright and their result slots pre-filled.
+    /// The worker count is pinned to the *full* plan count
+    /// ([`Ctx::fan_out_sparse_async`]), which keeps pid assignment and
+    /// the virtual-time schedule byte-identical to a fan-out that ran
+    /// the empty jobs — without materialising W² closures per stage at
+    /// large W.
     async fn fetch_windowed(
         &self,
         ctx: &mut Ctx,
         env: &ExchangeEnv,
+        plans: Vec<Fetch>,
+    ) -> Result<Vec<Bytes>, ExchangeError> {
+        let trace = self.store.trace_sink();
+        let parent = trace.current(ctx.pid());
+        let total = plans.len();
+        let jobs: Vec<_> = plans
+            .into_iter()
+            .enumerate()
+            .filter(|(_, plan)| !matches!(plan, Fetch::Empty))
+            .map(|(i, plan)| {
+                let store = Arc::clone(&self.store);
+                let bucket = self.bucket.clone();
+                let tag = env.tag.clone();
+                let links = env.host_links.clone();
+                let retries = env.retries;
+                let trace = trace.clone();
+                let job = async move |cctx: &mut Ctx| {
+                    trace.enter(cctx.pid(), parent);
+                    let client = store.connect_via_async(cctx, tag, &links).await;
+                    let res: Result<Bytes, ExchangeError> = match plan {
+                        Fetch::Empty => Ok(Bytes::new()),
+                        Fetch::Get(key) => with_retry_async(cctx, retries, async |c: &mut Ctx| {
+                            client.get_async(c, &bucket, &key).await
+                        })
+                        .await
+                        .map_err(ExchangeError::from),
+                        Fetch::Range(key, off, len) => {
+                            with_retry_async(cctx, retries, async |c: &mut Ctx| {
+                                client.get_range_async(c, &bucket, &key, off, len).await
+                            })
+                            .await
+                            .map_err(ExchangeError::from)
+                        }
+                    };
+                    trace.exit(cctx.pid());
+                    res
+                };
+                (i, job)
+            })
+            .collect();
+        let name = format!("{}-get", env.tag);
+        let results = ctx
+            .fan_out_sparse_async(&name, env.io_window, total, jobs, || Ok(Bytes::new()))
+            .await
+            .unwrap_or_else(|e| panic!("windowed store read crashed: {}", e));
+        results.into_iter().collect()
+    }
+
+    /// [`ObjectStoreExchange::fetch_windowed`] for a pre-filtered plan
+    /// list: every plan is a real request, and the worker count is
+    /// pinned to what a `logical_total`-plan fan-out would spawn, so a
+    /// gather that elided its empty column entries keeps the exact
+    /// virtual-time schedule of the dense one. Returns one payload per
+    /// plan, in plan order.
+    async fn fetch_pinned(
+        &self,
+        ctx: &mut Ctx,
+        env: &ExchangeEnv,
+        logical_total: usize,
         plans: Vec<Fetch>,
     ) -> Result<Vec<Bytes>, ExchangeError> {
         let trace = self.store.trace_sink();
@@ -112,7 +293,7 @@ impl ObjectStoreExchange {
             .collect();
         let name = format!("{}-get", env.tag);
         let results = ctx
-            .fan_out_async(&name, env.io_window, jobs)
+            .fan_out_pinned_async(&name, env.io_window, logical_total, jobs)
             .await
             .unwrap_or_else(|e| panic!("windowed store read crashed: {}", e));
         results.into_iter().collect()
@@ -143,7 +324,7 @@ impl DataExchange for ObjectStoreExchange {
         maps: usize,
         _parts: usize,
     ) -> LocalBoxFuture<'a, Result<(), ExchangeError>> {
-        *self.offsets.lock() = vec![Vec::new(); maps];
+        self.index.lock().reset(maps);
         Box::pin(async { Ok(()) })
     }
 
@@ -213,11 +394,13 @@ impl DataExchange for ObjectStoreExchange {
                         .store
                         .connect_via_async(ctx, env.tag.clone(), &env.host_links)
                         .await;
-                    let mut table = Vec::with_capacity(parts.len());
+                    let mut table = Vec::new();
                     let total: usize = parts.iter().map(Bytes::len).sum();
                     let mut blob = Vec::with_capacity(total);
-                    for data in &parts {
-                        table.push((blob.len() as u64, data.len() as u64));
+                    for (j, data) in parts.iter().enumerate() {
+                        if !data.is_empty() {
+                            table.push((j as u32, blob.len() as u64, data.len() as u64));
+                        }
                         blob.extend_from_slice(data);
                     }
                     written += blob.len() as u64;
@@ -227,14 +410,54 @@ impl DataExchange for ObjectStoreExchange {
                         client.put_async(c, &self.bucket, &key, blob.clone()).await
                     })
                     .await?;
-                    let mut offsets = self.offsets.lock();
-                    if offsets.len() <= map {
-                        offsets.resize(map + 1, Vec::new());
-                    }
-                    offsets[map] = table;
+                    self.index.lock().record(map, parts.len(), table);
                 }
             }
             Ok(written)
+        })
+    }
+
+    fn write_run_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        map: usize,
+        run: Bytes,
+        cuts: Vec<(u32, u64, u64)>,
+        parts_len: usize,
+    ) -> LocalBoxFuture<'a, Result<u64, ExchangeError>> {
+        Box::pin(async move {
+            match self.layout {
+                // The coalesced blob IS the run (partitions concatenated in
+                // part order), so PUT it as-is — identical bytes, key, and
+                // virtual time to the dense write — and file the cut list
+                // straight into the sparse index: O(cuts) host work where
+                // the dense path scanned all `parts_len` slots.
+                ExchangeStrategy::Coalesced => {
+                    let client = self
+                        .store
+                        .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                        .await;
+                    let written = run.len() as u64;
+                    let key = self.coalesced_key(map);
+                    with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                        client.put_async(c, &self.bucket, &key, run.clone()).await
+                    })
+                    .await?;
+                    self.index.lock().record(map, parts_len, cuts);
+                    Ok(written)
+                }
+                // Scatter stores one object per partition either way;
+                // reconstruct the dense vector (zero-copy slices) and take
+                // the ordinary write path.
+                ExchangeStrategy::Scatter => {
+                    let mut parts = vec![Bytes::new(); parts_len];
+                    for &(part, off, len) in &cuts {
+                        parts[part as usize] = run.slice(off as usize..(off + len) as usize);
+                    }
+                    self.write_partitions_async(ctx, env, map, parts).await
+                }
+            }
         })
     }
 
@@ -259,17 +482,11 @@ impl DataExchange for ObjectStoreExchange {
                     .await?)
                 }
                 ExchangeStrategy::Coalesced => {
-                    let (off, len) = *self
-                        .offsets
-                        .lock()
-                        .get(map)
-                        .and_then(|table| table.get(part))
-                        .ok_or(ExchangeError::MissingPartition { map, part })?;
-                    if len == 0 {
+                    let Some((off, len)) = self.index.lock().lookup(map, part)? else {
                         // Nothing to fetch; skip the request entirely (the
                         // coalesced layout's request saving in action).
                         return Ok(Bytes::new());
-                    }
+                    };
                     let key = self.coalesced_key(map);
                     Ok(with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
                         client
@@ -298,27 +515,78 @@ impl DataExchange for ObjectStoreExchange {
             }
             // Resolve every request to a fetch plan up front (the coalesced
             // offset lookups can fail, and zero-length partitions must skip
-            // the request even on the windowed path).
-            let plans = reqs
-                .iter()
-                .map(|&(map, part)| match self.layout {
-                    ExchangeStrategy::Scatter => Ok(Fetch::Get(self.scatter_key(map, part))),
-                    ExchangeStrategy::Coalesced => {
-                        let (off, len) = *self
-                            .offsets
-                            .lock()
-                            .get(map)
-                            .and_then(|table| table.get(part))
-                            .ok_or(ExchangeError::MissingPartition { map, part })?;
-                        Ok(if len == 0 {
-                            Fetch::Empty
-                        } else {
-                            Fetch::Range(self.coalesced_key(map), off, len)
+            // the request even on the windowed path). One lock hold covers
+            // the whole batch — the old per-request locking was W lock
+            // round-trips per reducer.
+            let plans = match self.layout {
+                ExchangeStrategy::Scatter => reqs
+                    .iter()
+                    .map(|&(map, part)| Fetch::Get(self.scatter_key(map, part)))
+                    .collect(),
+                ExchangeStrategy::Coalesced => {
+                    let index = self.index.lock();
+                    reqs.iter()
+                        .map(|&(map, part)| {
+                            Ok(match index.lookup(map, part)? {
+                                Some((off, len)) => Fetch::Range(self.coalesced_key(map), off, len),
+                                None => Fetch::Empty,
+                            })
                         })
-                    }
-                })
-                .collect::<Result<Vec<Fetch>, ExchangeError>>()?;
+                        .collect::<Result<Vec<Fetch>, ExchangeError>>()?
+                }
+            };
             self.fetch_windowed(ctx, env, plans).await
+        })
+    }
+
+    fn read_gather_async<'a>(
+        &'a self,
+        ctx: &'a mut Ctx,
+        env: &'a ExchangeEnv,
+        maps: usize,
+        part: usize,
+    ) -> LocalBoxFuture<'a, Result<Vec<Bytes>, ExchangeError>> {
+        Box::pin(async move {
+            if matches!(self.layout, ExchangeStrategy::Scatter) {
+                // Every scatter partition is a real object — empty ones
+                // included — so the dense column read (and its W real
+                // GETs) is the correct cost model.
+                let reqs: Vec<(usize, usize)> = (0..maps).map(|m| (m, part)).collect();
+                let runs = self.read_partitions_async(ctx, env, &reqs).await?;
+                return Ok(runs.into_iter().filter(|r| !r.is_empty()).collect());
+            }
+            // Coalesced: resolve the column straight from the by-part
+            // index — one lock, O(non-empty) — and only then touch the
+            // simulation.
+            let entries = self.index.lock().gather(maps, part)?;
+            if env.io_window <= 1 || maps <= 1 {
+                // Sequential data plane: one request at a time on the
+                // caller's own process, exactly as the dense column loop
+                // behaved for its non-empty entries (one flow in flight,
+                // so sharing a connection is rate-identical to the dense
+                // loop's connection-per-request).
+                let client = self
+                    .store
+                    .connect_via_async(ctx, env.tag.clone(), &env.host_links)
+                    .await;
+                let mut out = Vec::with_capacity(entries.len());
+                for &(map, off, len) in &entries {
+                    let key = self.coalesced_key(map as usize);
+                    let data = with_retry_async(ctx, env.retries, async |c: &mut Ctx| {
+                        client
+                            .get_range_async(c, &self.bucket, &key, off, len)
+                            .await
+                    })
+                    .await?;
+                    out.push(data);
+                }
+                return Ok(out);
+            }
+            let plans: Vec<Fetch> = entries
+                .iter()
+                .map(|&(map, off, len)| Fetch::Range(self.coalesced_key(map as usize), off, len))
+                .collect();
+            self.fetch_pinned(ctx, env, maps, plans).await
         })
     }
 
@@ -454,6 +722,99 @@ mod tests {
             ex.prepare(ctx, 1, 1).expect("prepare");
             let err = ex.read_partition(ctx, &env, 0, 0).expect_err("missing");
             assert_eq!(err, ExchangeError::MissingPartition { map: 0, part: 0 });
+        });
+        sim.run().expect("sim ok");
+    }
+
+    /// `write_run` must be observationally identical to
+    /// `write_partitions` with the reconstructed dense vector, on both
+    /// layouts: same stored bytes, same request count, same reads.
+    #[test]
+    fn write_run_matches_write_partitions_on_both_layouts() {
+        for layout in [ExchangeStrategy::Scatter, ExchangeStrategy::Coalesced] {
+            let mut sim = Sim::new();
+            let store = ObjectStore::install(&mut sim, StoreConfig::default());
+            store.create_bucket("data").expect("bucket");
+            let dense = Arc::new(ObjectStoreExchange::new(
+                Arc::clone(&store),
+                "data",
+                "dense/",
+                layout,
+            ));
+            let sparse = Arc::new(ObjectStoreExchange::new(
+                Arc::clone(&store),
+                "data",
+                "sparse/",
+                layout,
+            ));
+            let (d2, s2) = (Arc::clone(&dense), Arc::clone(&sparse));
+            sim.spawn("driver", move |ctx| {
+                let env = ExchangeEnv::driver("test", 3);
+                d2.prepare(ctx, 1, 4).expect("prepare");
+                s2.prepare(ctx, 1, 4).expect("prepare");
+                // Partitions 1 and 3 empty — the sparse-cut case.
+                let parts = vec![
+                    Bytes::from("aa"),
+                    Bytes::new(),
+                    Bytes::from("cccc"),
+                    Bytes::new(),
+                ];
+                let w_dense = d2
+                    .write_partitions(ctx, &env, 0, parts.clone())
+                    .expect("dense write");
+                let run = Bytes::from("aacccc");
+                let cuts = vec![(0u32, 0u64, 2u64), (2, 2, 4)];
+                let w_sparse = s2.write_run(ctx, &env, 0, run, cuts, 4).expect("run write");
+                assert_eq!(w_dense, w_sparse);
+                for (j, want) in parts.iter().enumerate() {
+                    let a = d2.read_partition(ctx, &env, 0, j).expect("dense read");
+                    let b = s2.read_partition(ctx, &env, 0, j).expect("sparse read");
+                    assert_eq!(a, b, "layout {:?} part {}", layout, j);
+                    assert_eq!(&a, want);
+                }
+            });
+            sim.run().expect("sim ok");
+            // Identical stored objects, key-for-key (modulo the prefix).
+            let dense_keys = store.keys_untimed("data", "dense/");
+            let sparse_keys = store.keys_untimed("data", "sparse/");
+            assert_eq!(dense_keys.len(), sparse_keys.len());
+        }
+    }
+
+    /// A reducer's gather returns only the non-empty runs of its
+    /// column, map-ascending, without issuing requests for the empty
+    /// ones — and still fails loudly on a truly unwritten mapper.
+    #[test]
+    fn read_gather_skips_empty_runs_and_flags_missing_mappers() {
+        let mut sim = Sim::new();
+        let store = ObjectStore::install(&mut sim, StoreConfig::default());
+        store.create_bucket("data").expect("bucket");
+        let ex = Arc::new(ObjectStoreExchange::new(
+            Arc::clone(&store),
+            "data",
+            "part/",
+            ExchangeStrategy::Coalesced,
+        ));
+        let ex2 = Arc::clone(&ex);
+        sim.spawn("driver", move |ctx| {
+            let env = ExchangeEnv::driver("test", 3);
+            ex2.prepare(ctx, 3, 2).expect("prepare");
+            ex2.write_partitions(ctx, &env, 0, vec![Bytes::from("a0"), Bytes::new()])
+                .expect("write");
+            ex2.write_partitions(ctx, &env, 1, vec![Bytes::new(), Bytes::from("b1")])
+                .expect("write");
+            ex2.write_partitions(ctx, &env, 2, vec![Bytes::from("c0"), Bytes::from("c1")])
+                .expect("write");
+            let col0 = ex2.read_gather(ctx, &env, 3, 0).expect("gather 0");
+            assert_eq!(col0, vec![Bytes::from("a0"), Bytes::from("c0")]);
+            let col1 = ex2.read_gather(ctx, &env, 3, 1).expect("gather 1");
+            assert_eq!(col1, vec![Bytes::from("b1"), Bytes::from("c1")]);
+            // Asking for more mappers than ever wrote is a loud error,
+            // exactly like the dense batch read.
+            let err = ex2
+                .read_gather(ctx, &env, 4, 0)
+                .expect_err("missing mapper");
+            assert_eq!(err, ExchangeError::MissingPartition { map: 3, part: 0 });
         });
         sim.run().expect("sim ok");
     }

@@ -98,9 +98,7 @@ impl FunctionEnv {
         J: FnOnce() -> R + Send + 'static,
     {
         let span = self.compute_span(ctx);
-        let out = ctx
-            .offload(work.mul_f64(1.0 / self.cpu_share), job)
-            .await;
+        let out = ctx.offload(work.mul_f64(1.0 / self.cpu_share), job).await;
         self.trace.span_end(span, ctx.now());
         out
     }

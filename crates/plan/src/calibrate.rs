@@ -522,11 +522,7 @@ pub fn calibrate(probes: &[ProbeRun<'_>], defaults: &ModelParams) -> Calibration
             }
             let mem_name = format!("{}.mem_bytes", label);
             if let Some(mem) = probe.trace.counters.iter().find(|c| c.name == mem_name) {
-                let peak = mem
-                    .points
-                    .iter()
-                    .map(|&(_, v)| v)
-                    .fold(0.0f64, f64::max);
+                let peak = mem.points.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
                 relay_mem_peak = relay_mem_peak.max(peak);
             }
         }
@@ -841,18 +837,30 @@ mod tests {
     fn direct_handshake_is_the_minimum_stream_residual() {
         let mut trace = TraceData::default();
         // STREAM = 150 ms with a 100 ms nested flow → 50 ms residual.
-        trace
-            .spans
-            .push(span_on("direct", 1, None, Category::StoreRequest, "STREAM", 0, 150));
+        trace.spans.push(span_on(
+            "direct",
+            1,
+            None,
+            Category::StoreRequest,
+            "STREAM",
+            0,
+            150,
+        ));
         let mut flow = span_on("direct", 2, Some(1), Category::Flow, "xfer", 50, 100);
         flow.attrs
             .push(("wire_bytes".to_string(), Value::U64(1_000_000)));
         trace.spans.push(flow);
         // A second STREAM that caught a 300 ms rendezvous poll on top —
         // polling only adds, so the fit must keep the minimum.
-        trace
-            .spans
-            .push(span_on("direct", 3, None, Category::StoreRequest, "STREAM", 200, 450));
+        trace.spans.push(span_on(
+            "direct",
+            3,
+            None,
+            Category::StoreRequest,
+            "STREAM",
+            200,
+            450,
+        ));
         let mut flow2 = span_on("direct", 4, Some(3), Category::Flow, "xfer", 550, 100);
         flow2
             .attrs
@@ -924,7 +932,8 @@ mod tests {
             0,
             3_000 + (d.relay_latency_s * 1e3) as u64,
         );
-        get.attrs.push(("bytes".to_string(), Value::U64(700_000_000)));
+        get.attrs
+            .push(("bytes".to_string(), Value::U64(700_000_000)));
         get.attrs.push(("spilled".to_string(), Value::Bool(true)));
         trace.spans.push(get);
         let mut flow = span_on("relay", 2, Some(1), Category::Flow, "xfer", 2_100, 1_000);

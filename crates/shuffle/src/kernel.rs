@@ -87,6 +87,64 @@ pub fn partition_sorted<R: SortRecord>(
     Ok(buckets)
 }
 
+/// The sparse cut list [`partition_sorted_run`] returns alongside the
+/// sorted run: one `(partition, byte offset, byte len)` entry per
+/// *non-empty* partition, partition-ascending and tiling the run
+/// contiguously. The same triple shape feeds
+/// `DataExchange::write_run` and the coalesced offset index.
+pub type RunCuts = Vec<(u32, u64, u64)>;
+
+/// [`partition_sorted`] without the W-length bucket vector: returns the
+/// records as **one** sorted wire buffer plus the sparse `(part,
+/// offset, len)` cut list of its non-empty partitions.
+///
+/// Because `part_of` must be monotone over the sort order (a range
+/// partitioner is — equal keys share a partition, and partition ids
+/// never decrease as keys grow), each partition's records form one
+/// contiguous slice of the sorted run, and the run is byte-identical to
+/// concatenating [`partition_sorted`]'s buckets in partition order. At
+/// W-wide shuffles this turns the mapper's per-task memory from O(W)
+/// bucket headers (W² across a stage) into O(non-empty partitions).
+///
+/// # Panics
+/// Panics if `parts` is zero or `part_of` assigns a smaller partition
+/// to a later sorted key (a non-monotone partitioner cannot produce
+/// contiguous partitions).
+///
+/// # Errors
+/// [`ShuffleError::Corrupt`] if any chunk is not a whole number of valid
+/// records.
+pub fn partition_sorted_run<R: SortRecord>(
+    chunks: &[Bytes],
+    parts: usize,
+    mut part_of: impl FnMut(&R::Key) -> usize,
+) -> Result<(Vec<u8>, RunCuts), ShuffleError> {
+    assert!(parts > 0, "cannot partition into zero parts");
+    let views = sorted_views::<R>(chunks)?;
+    let mut run = Vec::with_capacity(views.len() * R::WIRE_SIZE);
+    let mut cuts: RunCuts = Vec::new();
+    for (key, ci, off) in &views {
+        let p = part_of(key).min(parts - 1) as u32;
+        match cuts.last_mut() {
+            Some(cut) if cut.0 == p => cut.2 += R::WIRE_SIZE as u64,
+            Some(cut) => {
+                assert!(
+                    cut.0 < p,
+                    "partitioner must be monotone over sorted keys \
+                     (partition {} follows {})",
+                    p,
+                    cut.0
+                );
+                cuts.push((p, run.len() as u64, R::WIRE_SIZE as u64));
+            }
+            None => cuts.push((p, run.len() as u64, R::WIRE_SIZE as u64)),
+        }
+        let off = *off as usize;
+        run.extend_from_slice(&chunks[*ci as usize][off..off + R::WIRE_SIZE]);
+    }
+    Ok((run, cuts))
+}
+
 /// Sorts every record in `chunks` into one contiguous wire buffer — the
 /// VM baseline's whole-dataset in-memory sort, without ever decoding the
 /// records.
@@ -205,8 +263,65 @@ mod tests {
         assert_eq!(concat, want[0]);
     }
 
+    /// Reconstructs the dense bucket vector from a run + sparse cuts.
+    fn dense_from_run(run: &[u8], cuts: &[(u32, u64, u64)], parts: usize) -> Vec<Vec<u8>> {
+        let mut buckets = vec![Vec::new(); parts];
+        for &(p, off, len) in cuts {
+            buckets[p as usize] = run[off as usize..(off + len) as usize].to_vec();
+        }
+        buckets
+    }
+
+    #[test]
+    fn run_is_bucket_concat_and_cuts_reconstruct_buckets() {
+        let chunks = meth_chunks(34, 2_000, 5);
+        let sample: Vec<_> = chunks
+            .iter()
+            .flat_map(|c| {
+                c.chunks_exact(MethRecord::WIRE_SIZE)
+                    .step_by(7)
+                    .map(|w| MethRecord::key_from_wire(w).expect("valid"))
+            })
+            .collect();
+        let parts = 4;
+        let partitioner = RangePartitioner::from_sample(sample, parts);
+        let buckets = partition_sorted::<MethRecord>(&chunks, parts, |k| partitioner.part(k))
+            .expect("kernel");
+        let (run, cuts) =
+            partition_sorted_run::<MethRecord>(&chunks, parts, |k| partitioner.part(k))
+                .expect("kernel");
+        assert_eq!(
+            run,
+            buckets.concat(),
+            "run must equal the blob the dense write built"
+        );
+        assert_eq!(dense_from_run(&run, &cuts, parts), buckets);
+        assert!(
+            cuts.windows(2).all(|w| w[0].0 < w[1].0),
+            "cuts part-ascending"
+        );
+        assert!(
+            cuts.windows(2).all(|w| w[0].1 + w[0].2 == w[1].1),
+            "cuts tile the run contiguously"
+        );
+        assert!(
+            cuts.iter().all(|c| c.2 > 0),
+            "cuts only for non-empty partitions"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn non_monotone_partitioner_panics() {
+        let values: Vec<u64> = (0..10).collect();
+        let chunks = [Bytes::from(SortRecord::write_all(&values))];
+        let _ = partition_sorted_run::<u64>(&chunks, 2, |k| (*k as usize + 1) % 2);
+    }
+
     #[test]
     fn empty_and_degenerate_inputs() {
+        let (run, cuts) = partition_sorted_run::<u64>(&[], 3, |_| 0).expect("empty run");
+        assert!(run.is_empty() && cuts.is_empty());
         assert_eq!(sort_concat::<u64>(&[]).expect("empty"), Vec::<u8>::new());
         let empties = [Bytes::new(), Bytes::new()];
         assert_eq!(
@@ -269,6 +384,30 @@ mod tests {
             let got = partition_sorted::<u64>(&encoded, parts, part_of).expect("kernel");
             let want = reference_partition::<u64>(&encoded, parts, part_of);
             proptest::prop_assert_eq!(got, want);
+        }
+
+        /// The run kernel agrees with the bucket kernel under any
+        /// *monotone* partitioner (the clamp to the last partition
+        /// keeps out-of-range ids monotone too).
+        #[test]
+        fn run_kernel_equals_bucket_kernel_on_arbitrary_u64_chunks(
+            chunks in proptest::collection::vec(
+                proptest::collection::vec(0u64..30, 0..50),
+                0..6,
+            ),
+            parts in 1usize..5,
+            div in 1u64..9,
+        ) {
+            let encoded: Vec<Bytes> = chunks
+                .iter()
+                .map(|c| Bytes::from(SortRecord::write_all(c)))
+                .collect();
+            let part_of = |k: &u64| (k / div) as usize; // monotone, sometimes out of range
+            let buckets = partition_sorted::<u64>(&encoded, parts, part_of).expect("kernel");
+            let (run, cuts) =
+                partition_sorted_run::<u64>(&encoded, parts, part_of).expect("kernel");
+            proptest::prop_assert_eq!(&run, &buckets.concat());
+            proptest::prop_assert_eq!(dense_from_run(&run, &cuts, parts), buckets);
         }
     }
 }

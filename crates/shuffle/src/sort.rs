@@ -335,7 +335,9 @@ pub async fn serverless_sort_async<R: SortRecord>(
     let driver = store
         .connect_async(ctx, format!("{}/driver", cfg.tag))
         .await;
-    let inputs = driver.list_async(ctx, &cfg.bucket, &cfg.input_prefix).await?;
+    let inputs = driver
+        .list_async(ctx, &cfg.bucket, &cfg.input_prefix)
+        .await?;
     if inputs.is_empty() {
         return Err(ShuffleError::BadConfig {
             reason: format!("no inputs under '{}'", cfg.input_prefix),
@@ -418,7 +420,8 @@ pub async fn serverless_sort_async<R: SortRecord>(
                             })
                             .await
                             .unwrap_or_else(|e| panic!("sample read failed: {}", e));
-                            env.compute_async(fctx, cfg.work.parse_time(data.len())).await;
+                            env.compute_async(fctx, cfg.work.parse_time(data.len()))
+                                .await;
                             // Keys feed the reservoir straight off the
                             // wire, in buffer order — same draws as the
                             // decoded-record loop this replaces.
@@ -461,7 +464,8 @@ pub async fn serverless_sort_async<R: SortRecord>(
                                     .await
                                     .unwrap_or_else(|e| panic!("sample read failed: {}", e));
                                 cctx.sem_acquire_async(cpu, 1).await;
-                                env.compute_async(cctx, cfg.work.parse_time(data.len())).await;
+                                env.compute_async(cctx, cfg.work.parse_time(data.len()))
+                                    .await;
                                 cctx.sem_release_async(cpu, 1).await;
                                 trace.exit(cctx.pid());
                                 data
@@ -543,7 +547,8 @@ pub async fn serverless_sort_async<R: SortRecord>(
                             read_bytes += data.len();
                             chunks.push(data);
                         }
-                        env.compute_async(fctx, cfg.work.sort_time(read_bytes)).await;
+                        env.compute_async(fctx, cfg.work.sort_time(read_bytes))
+                            .await;
                     } else {
                         // Double-buffered pipeline: split the assignment into
                         // ~2·K record-aligned chunks, keep K downloads in
@@ -585,7 +590,8 @@ pub async fn serverless_sort_async<R: SortRecord>(
                                         .await
                                         .unwrap_or_else(|e| panic!("map read failed: {}", e));
                                     cctx.sem_acquire_async(cpu, 1).await;
-                                    env.compute_async(cctx, cfg.work.sort_time(data.len())).await;
+                                    env.compute_async(cctx, cfg.work.sort_time(data.len()))
+                                        .await;
                                     cctx.sem_release_async(cpu, 1).await;
                                     trace.exit(cctx.pid());
                                     data
@@ -605,18 +611,22 @@ pub async fn serverless_sort_async<R: SortRecord>(
                     // schedule and span are identical to charging the
                     // compute and running the kernel inline. The kernel's
                     // (chunk, offset) tie-break keeps equal keys in global
-                    // input order. Buckets come back in sorted order, so
-                    // partitions stay contiguous.
-                    let buckets = {
+                    // input order. The range partitioner is monotone over
+                    // the sort order, so the sorted run IS the partitions
+                    // concatenated in part order — the kernel hands back
+                    // that one buffer plus the sparse cut list, and the
+                    // write side never materialises W per-partition
+                    // buffers (the mapper-side O(W) term of the old W²
+                    // host cost).
+                    let (run, cuts) = {
                         let partitioner = Arc::clone(&partitioner);
                         let chunks = std::mem::take(&mut chunks);
                         env.compute_offload(fctx, cfg.work.partition_time(read_bytes), move || {
-                            kernel::partition_sorted::<R>(&chunks, w, |k| partitioner.part(k))
+                            kernel::partition_sorted_run::<R>(&chunks, w, |k| partitioner.part(k))
                         })
                         .await
                         .unwrap_or_else(|e| panic!("map decode failed: {}", e))
                     };
-                    let parts: Vec<Bytes> = buckets.into_iter().map(Bytes::from).collect();
                     let xenv = ExchangeEnv {
                         host_links: vec![env.nic],
                         tag: format!("{}/map", cfg.tag),
@@ -624,7 +634,7 @@ pub async fn serverless_sort_async<R: SortRecord>(
                         io_window: cfg.io_concurrency.max(1),
                     };
                     let written = backend
-                        .write_partitions_async(fctx, &xenv, m, parts)
+                        .write_run_async(fctx, &xenv, m, Bytes::from(run), cuts, w)
                         .await
                         .unwrap_or_else(|e| panic!("map exchange write failed: {}", e));
                     *map_bytes.lock() += written;
@@ -670,14 +680,17 @@ pub async fn serverless_sort_async<R: SortRecord>(
                         retries: cfg.retries,
                         io_window: cfg.io_concurrency.max(1),
                     };
-                    // Gather the W map outputs for this partition through
-                    // the backend's windowed batch read (a sequential loop
-                    // when io_concurrency == 1), keeping the raw wire
+                    // Gather this partition's non-empty map outputs
+                    // through the backend's sparse column read (the same
+                    // store requests as a dense W-wide batch read — a
+                    // sequential loop when io_concurrency == 1 — but
+                    // O(non-empty) host work), keeping the raw wire
                     // bytes so the merge can stream without decoding
-                    // whole runs up front.
-                    let reqs: Vec<(usize, usize)> = (0..w).map(|m| (m, j)).collect();
+                    // whole runs up front. Dropping empty runs is
+                    // merge-neutral: the (key, run) tie-break preserves
+                    // the non-empty runs' relative order.
                     let runs = backend
-                        .read_partitions_async(fctx, &xenv, &reqs)
+                        .read_gather_async(fctx, &xenv, w, j)
                         .await
                         .unwrap_or_else(|e| panic!("reduce gather failed: {}", e));
                     let gathered: usize = runs.iter().map(Bytes::len).sum();

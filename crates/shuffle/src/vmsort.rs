@@ -132,7 +132,9 @@ pub async fn vm_sort_async<R: SortRecord>(
         .await;
 
     let p_download = phase_begin(ctx, &trace, "download", SimDuration::ZERO).await;
-    let inputs = client.list_async(ctx, &cfg.bucket, &cfg.input_prefix).await?;
+    let inputs = client
+        .list_async(ctx, &cfg.bucket, &cfg.input_prefix)
+        .await?;
     if inputs.is_empty() {
         return Err(ShuffleError::BadConfig {
             reason: format!("no inputs under '{}'", cfg.input_prefix),

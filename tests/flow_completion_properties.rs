@@ -1,0 +1,150 @@
+//! Property tests pinning the flow network's incremental
+//! earliest-completion index to the reference full scan.
+//!
+//! [`FlowNet::next_completion`] answers the scheduler's "when does the
+//! next transfer finish?" in O(1) by folding each flow's completion
+//! deadline into a maintained minimum during `recompute`.
+//! [`FlowNet::next_completion_reference`] is the original O(flows) scan,
+//! kept as the oracle. These tests drive random interleavings of flow
+//! starts, arbitrary-time ticks, and scheduler-style
+//! advance-to-completion ticks over random topologies, asserting the two
+//! agree (to the nanosecond) after every operation and across a full
+//! drain to quiescence.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use faaspipe::des::flow::FlowNet;
+use faaspipe::des::{Bandwidth, ByteSize, FlowSpec, LinkId, SimDuration, SimTime};
+
+// Ops are `(kind, bytes, link-bits, dt)` tuples: kind 0 starts a flow,
+// kind 1 advances an arbitrary `dt` and ticks, kind 2 advances exactly
+// to the predicted completion and ticks (the scheduler's own pattern,
+// which exercises the O(1) fast path at the same timestamp as the
+// preceding settle).
+
+fn non_empty_subset(links: &[LinkId], bits: u8) -> Vec<LinkId> {
+    let picked: Vec<LinkId> = links
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| (bits >> (i % 8)) & 1 == 1)
+        .map(|(_, &l)| l)
+        .collect();
+    if picked.is_empty() {
+        vec![links[bits as usize % links.len()]]
+    } else {
+        picked
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every start/tick — and at every step of a drain to
+    /// quiescence — the incremental index and the reference scan return
+    /// the same completion instant.
+    #[test]
+    fn incremental_next_completion_matches_reference_scan(
+        caps in vec(1u64..=4096, 1..6),
+        ops in vec((0u8..3, 1u64..=1 << 28, any::<u8>(), 1u64..50_000_000), 1..80),
+    ) {
+        let mut net = FlowNet::new();
+        let mut links: Vec<LinkId> = caps
+            .iter()
+            .map(|&c| net.add_link(Bandwidth::mib_per_sec(c as f64 / 16.0)))
+            .collect();
+        // One infinite-capacity link so some subsets yield unbounded
+        // (immediately-completing) flows — the ZERO-delay edge case.
+        links.push(net.add_link(Bandwidth::UNLIMITED));
+
+        let mut now = SimTime::ZERO;
+        let mut woken = Vec::new();
+        let mut waker = 0u32;
+        for &(kind, bytes, bits, dt) in &ops {
+            match kind {
+                0 => {
+                    let spec = FlowSpec {
+                        bytes: ByteSize::new(bytes),
+                        links: non_empty_subset(&links, bits),
+                    };
+                    net.start(now, spec, waker);
+                    waker += 1;
+                }
+                1 => {
+                    now = now.saturating_add(SimDuration::from_nanos(dt));
+                    net.tick(now, &mut woken);
+                }
+                _ => {
+                    if let Some(t) = net.next_completion(now) {
+                        now = t;
+                        net.tick(now, &mut woken);
+                    }
+                }
+            }
+            prop_assert_eq!(
+                net.next_completion(now),
+                net.next_completion_reference(now),
+                "index diverged from reference after op ({}, {}, {}, {})",
+                kind, bytes, bits, dt
+            );
+        }
+
+        // Drain exactly as the scheduler does: jump to each predicted
+        // completion and tick there until the network is quiet.
+        let mut rounds = 0usize;
+        while let Some(t) = net.next_completion(now) {
+            prop_assert_eq!(Some(t), net.next_completion_reference(now));
+            now = t;
+            net.tick(now, &mut woken);
+            prop_assert_eq!(
+                net.next_completion(now),
+                net.next_completion_reference(now),
+                "index diverged from reference during drain"
+            );
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "drain did not converge");
+        }
+        prop_assert_eq!(net.active_flows(), 0, "drain left active flows");
+    }
+
+    /// Probing at a timestamp *between* events (where the cached minimum
+    /// is measured from an older settle instant) must also agree with
+    /// the scan — this exercises the fallback path's equivalence.
+    #[test]
+    fn off_schedule_probes_match_reference_scan(
+        caps in vec(1u64..=1024, 1..4),
+        starts in vec((1u64..=1 << 24, any::<u8>()), 1..20),
+        probe_ns in vec(1u64..10_000_000, 1..20),
+    ) {
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = caps
+            .iter()
+            .map(|&c| net.add_link(Bandwidth::mib_per_sec(c as f64)))
+            .collect();
+        let mut now = SimTime::ZERO;
+        for (i, &(bytes, bits)) in starts.iter().enumerate() {
+            let spec = FlowSpec {
+                bytes: ByteSize::new(bytes),
+                links: non_empty_subset(&links, bits),
+            };
+            net.start(now, spec, i as u32);
+        }
+        for &ns in &probe_ns {
+            let probe = now.saturating_add(SimDuration::from_nanos(ns));
+            prop_assert_eq!(
+                net.next_completion(probe),
+                net.next_completion_reference(probe),
+                "off-schedule probe diverged"
+            );
+        }
+        let mut woken = Vec::new();
+        let mut rounds = 0usize;
+        while let Some(t) = net.next_completion(now) {
+            now = t;
+            net.tick(now, &mut woken);
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "drain did not converge");
+        }
+        prop_assert_eq!(net.active_flows(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Bit-identity pins for the O(active)-free flow network (PR 9).
+//!
+//! The flow-network rewrite (incremental bottleneck search, indexed
+//! completions, link-membership lists) and the coalesced-exchange
+//! restructuring (sparse offsets, empty-fetch elision) are host-side
+//! optimisations only: same seed ⇒ byte-identical virtual time, event
+//! counts, and trace exports. These goldens pin the BENCH_host
+//! trajectory itself — the coalesced pure-serverless sort at W ∈
+//! {64, 256, 1024} — which the `pooled_determinism` suite (scatter /
+//! relay modes) does not cover.
+//!
+//! The constants were captured from the tree immediately before the
+//! flow-network rewrite landed. Re-capture (after an *intentional*
+//! model change only) with:
+//! `FAASPIPE_PRINT_GOLDEN=1 cargo test --release --test flow_scale_goldens -- --nocapture`
+
+use faaspipe::codec::checksum::Crc32;
+use faaspipe::core::dag::WorkerChoice;
+use faaspipe::core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
+use faaspipe::shuffle::ExchangeKind;
+use faaspipe::trace::chrome_trace_json;
+
+fn print_golden() -> bool {
+    std::env::var("FAASPIPE_PRINT_GOLDEN").is_ok()
+}
+
+/// Digest of one traced BENCH_host-shaped run: `(latency ns, events,
+/// trace crc32)`. The trace crc folds every span the run emitted, so
+/// any drift in virtual-time trajectory, pid assignment, or span
+/// attribution shows up here.
+fn coalesced_digest(workers: usize) -> (u64, u64, u32) {
+    let mut cfg = PipelineConfig::paper_table1();
+    cfg.mode = PipelineMode::PureServerless;
+    cfg.physical_records = 8_000;
+    cfg.workers = WorkerChoice::Fixed(workers);
+    cfg.exchange = ExchangeKind::Coalesced;
+    cfg.trace = true;
+    let out = run_methcomp_pipeline(&cfg).expect("pipeline ok");
+    assert!(out.verified, "W={} run must verify", workers);
+    let mut crc = Crc32::new();
+    crc.update(chrome_trace_json(&out.trace).as_bytes());
+    (out.latency.as_nanos(), out.sim.events, crc.finish())
+}
+
+fn check(workers: usize, golden: (u64, u64, u32)) {
+    let (latency, events, crc) = coalesced_digest(workers);
+    if print_golden() {
+        println!(
+            "GOLDEN coalesced W={}: latency_ns={} events={} trace_crc=0x{:08X}",
+            workers, latency, events, crc
+        );
+        return;
+    }
+    assert_eq!(latency, golden.0, "W={} sim latency drifted", workers);
+    assert_eq!(events, golden.1, "W={} event count drifted", workers);
+    assert_eq!(crc, golden.2, "W={} trace bytes drifted", workers);
+}
+
+#[test]
+fn coalesced_w64_matches_pre_rewrite_goldens() {
+    check(
+        64,
+        (
+            GOLDEN_W64_LATENCY_NS,
+            GOLDEN_W64_EVENTS,
+            GOLDEN_W64_TRACE_CRC,
+        ),
+    );
+}
+
+#[test]
+fn coalesced_w256_matches_pre_rewrite_goldens() {
+    check(
+        256,
+        (
+            GOLDEN_W256_LATENCY_NS,
+            GOLDEN_W256_EVENTS,
+            GOLDEN_W256_TRACE_CRC,
+        ),
+    );
+}
+
+#[test]
+fn coalesced_w1024_matches_pre_rewrite_goldens() {
+    check(
+        1024,
+        (
+            GOLDEN_W1024_LATENCY_NS,
+            GOLDEN_W1024_EVENTS,
+            GOLDEN_W1024_TRACE_CRC,
+        ),
+    );
+}
+
+const GOLDEN_W64_LATENCY_NS: u64 = 58_488_927_061;
+const GOLDEN_W64_EVENTS: u64 = 14_311;
+const GOLDEN_W64_TRACE_CRC: u32 = 0xB462_75BA;
+const GOLDEN_W256_LATENCY_NS: u64 = 58_600_069_029;
+const GOLDEN_W256_EVENTS: u64 = 43_169;
+const GOLDEN_W256_TRACE_CRC: u32 = 0x1B81_EA7B;
+const GOLDEN_W1024_LATENCY_NS: u64 = 65_987_114_080;
+const GOLDEN_W1024_EVENTS: u64 = 111_327;
+const GOLDEN_W1024_TRACE_CRC: u32 = 0x9003_F2B7;

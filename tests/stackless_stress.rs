@@ -83,7 +83,11 @@ fn fan_out_job_panic_mid_queue_yields_join_error() {
     });
 
     let report = sim.run().expect("observed panic must not fail the run");
-    assert_eq!(saw_error.load(Ordering::SeqCst), 1, "caller got the JoinError");
+    assert_eq!(
+        saw_error.load(Ordering::SeqCst),
+        1,
+        "caller got the JoinError"
+    );
     assert_eq!(
         completed.load(Ordering::SeqCst),
         7,
@@ -133,10 +137,7 @@ fn run_once(seed: u64) -> (u64, u64, usize, u64, usize) {
                                 kctx.sleep_async(SimDuration::from_micros(nap)).await;
                                 let draw = kctx.rng().next_u64();
                                 let stamp = kctx.now().as_nanos();
-                                checksum.fetch_add(
-                                    draw ^ stamp ^ (b << 32 | k),
-                                    Ordering::SeqCst,
-                                );
+                                checksum.fetch_add(draw ^ stamp ^ (b << 32 | k), Ordering::SeqCst);
                             })
                             .await;
                         kids.push(kid);
@@ -146,8 +147,7 @@ fn run_once(seed: u64) -> (u64, u64, usize, u64, usize) {
                     let jobs: Vec<_> = (0..FAN_JOBS_PER_BATCH)
                         .map(|j| {
                             async move |fctx: &mut Ctx| {
-                                fctx.sleep_async(SimDuration::from_micros(j % 5 + 1))
-                                    .await;
+                                fctx.sleep_async(SimDuration::from_micros(j % 5 + 1)).await;
                                 fctx.rng().next_u64().wrapping_add(j)
                             }
                         })
@@ -156,19 +156,16 @@ fn run_once(seed: u64) -> (u64, u64, usize, u64, usize) {
                         .fan_out_async("fan", FAN_WINDOW, jobs)
                         .await
                         .expect("fan_out completes");
-                    let folded = fanned
-                        .iter()
-                        .fold(0u64, |acc, v| acc.wrapping_add(*v));
+                    let folded = fanned.iter().fold(0u64, |acc, v| acc.wrapping_add(*v));
                     bctx.join_all_async(&kids).await.expect("kids complete");
-                    checksum.fetch_add(
-                        folded ^ bctx.now().as_nanos(),
-                        Ordering::SeqCst,
-                    );
+                    checksum.fetch_add(folded ^ bctx.now().as_nanos(), Ordering::SeqCst);
                 })
                 .await;
             batches.push(pid);
         }
-        ctx.join_all_async(&batches).await.expect("batches complete");
+        ctx.join_all_async(&batches)
+            .await
+            .expect("batches complete");
         // Sample the host thread count while the event loop is live —
         // after run() returns the pools have been dropped, so this is
         // the only honest observation point.
@@ -222,7 +219,10 @@ fn fifty_thousand_stackless_processes_complete_deterministically() {
     assert_eq!(end_a, end_b, "virtual end time must be seed-deterministic");
     assert_eq!(events_a, events_b, "event count must be seed-deterministic");
     assert_eq!(procs_a, procs_b, "process count must be seed-deterministic");
-    assert_eq!(sum_a, sum_b, "rng/timestamp checksum must be seed-deterministic");
+    assert_eq!(
+        sum_a, sum_b,
+        "rng/timestamp checksum must be seed-deterministic"
+    );
 
     // And a different seed must actually change the random streams —
     // guards against the checksum degenerating into a constant.

@@ -27,6 +27,19 @@
 //! per-run process trees exercise the pooled scheduler's many-live-process
 //! path that single pipeline runs cannot reach.
 //!
+//! Both batches run through the [`faaspipe_sweep`] engine. Unlike the
+//! repro binaries, `--jobs` here defaults to **1** regardless of core
+//! count or `FAASPIPE_JOBS` absence: the per-row CPU / context-switch /
+//! peak-RSS gauges read process-wide `/proc` counters, which are only
+//! attributable to a row when rows run one at a time. Passing
+//! `--jobs N` (or setting `FAASPIPE_JOBS`) opts into concurrent cells:
+//! per-row host counters are then recorded as 0 (simulator gauges and
+//! wall clock stay per-row), and the process-wide deltas move to the
+//! sweep-aggregate row. `BENCH_host.json` always ends with that
+//! aggregate row (`scenario = "sweep"`, `workers = 0`): sweep wall
+//! clock, cells/s, aggregate simulated events/s, and the job count —
+//! the engine's own throughput trend, `--check`ed like any other row.
+//!
 //! Numbers are host-dependent by construction; CI runs this step
 //! non-gating (`--check` against the checked-in baseline, warn-only) and
 //! archives the artifact.
@@ -46,6 +59,7 @@ use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_des::SimDuration;
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 
 struct SimRow {
     backend: String,
@@ -96,9 +110,20 @@ struct HostRow {
     /// Peak resident set (`VmHWM`, KiB) attributable to this row: the
     /// kernel high-water mark is reset before each run via
     /// `/proc/self/clear_refs`. 0 when the gauge is unavailable
-    /// (off-Linux, or no permission to reset). `opt` for pre-PR-9
+    /// (off-Linux, or no permission to reset), or when the sweep ran
+    /// with `--jobs > 1` (concurrent rows share the process gauge — the
+    /// sweep-aggregate row carries it instead). `opt` for pre-PR-9
     /// baselines.
     peak_rss_kib: u64,
+    /// Sweep-aggregate fields, non-zero only on the `scenario = "sweep"`
+    /// row: cell count, completed cells per wall-clock second, and
+    /// aggregate simulated events dispatched per wall-clock second
+    /// across the whole BENCH_host batch. `opt` for pre-PR-10 baselines.
+    cells: usize,
+    cells_per_sec: f64,
+    agg_events_per_sec: f64,
+    /// Worker threads the sweep ran with (the aggregate row only).
+    jobs: usize,
 }
 
 faaspipe_json::json_object! {
@@ -116,6 +141,10 @@ faaspipe_json::json_object! {
         req ctx_switches,
         opt us_per_event,
         opt peak_rss_kib,
+        opt cells,
+        opt cells_per_sec,
+        opt agg_events_per_sec,
+        opt jobs,
     }
 }
 
@@ -218,82 +247,179 @@ fn ctx_switches() -> u64 {
     total
 }
 
-fn bench_sim() -> Vec<SimRow> {
-    let mut rows: Vec<SimRow> = Vec::new();
-    println!("BENCH_sim — traced pipeline runs (host wall clock):");
-    println!(
-        "{:<10} {:>4}  {:>9}  {:>12}  {:>7}  {:>9}  {:>5}  {:>5}",
-        "backend", "W", "wall", "sim-latency", "spans", "events", "peak", "pool"
-    );
+fn bench_sim(jobs: usize) -> Vec<SimRow> {
+    // Each cell times its own run: wall_ms is per-row wherever the cell
+    // lands (contention inflates it at --jobs > 1, which the doc header
+    // flags; CI measures serially).
+    let mut sweep: Sweep<SimRow> = Sweep::new();
     for backend in [ExchangeKind::Scatter, ExchangeKind::Coalesced] {
         for workers in [4usize, 8] {
-            let mut cfg = PipelineConfig::paper_table1();
-            cfg.mode = PipelineMode::PureServerless;
-            cfg.physical_records = RECORDS;
-            cfg.workers = WorkerChoice::Fixed(workers);
-            cfg.exchange = backend;
-            cfg.trace = true;
-            let start = Instant::now();
-            let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
-            let wall = start.elapsed();
-            assert!(outcome.verified, "{} W={} must verify", backend, workers);
-            let row = SimRow {
-                backend: backend.to_string(),
-                workers,
-                records: RECORDS,
-                wall_ms: wall.as_secs_f64() * 1e3,
-                sim_latency_s: outcome.latency.as_secs_f64(),
-                spans: outcome.trace.spans.len(),
-                events: outcome.sim.events,
-                peak_live_processes: outcome.sim.peak_live_processes,
-                pool_workers: outcome.sim.pool_workers,
-            };
-            println!(
-                "{:<10} {:>4}  {:>7.0}ms  {:>11.2}s  {:>7}  {:>9}  {:>5}  {:>5}",
-                row.backend,
-                row.workers,
-                row.wall_ms,
-                row.sim_latency_s,
-                row.spans,
-                row.events,
-                row.peak_live_processes,
-                row.pool_workers
-            );
-            rows.push(row);
+            sweep.push(format!("sim {} W={}", backend, workers), move || {
+                let mut cfg = PipelineConfig::paper_table1();
+                cfg.mode = PipelineMode::PureServerless;
+                cfg.physical_records = RECORDS;
+                cfg.workers = WorkerChoice::Fixed(workers);
+                cfg.exchange = backend;
+                cfg.trace = true;
+                let start = Instant::now();
+                let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+                let wall = start.elapsed();
+                assert!(outcome.verified, "{} W={} must verify", backend, workers);
+                SimRow {
+                    backend: backend.to_string(),
+                    workers,
+                    records: RECORDS,
+                    wall_ms: wall.as_secs_f64() * 1e3,
+                    sim_latency_s: outcome.latency.as_secs_f64(),
+                    spans: outcome.trace.spans.len(),
+                    events: outcome.sim.events,
+                    peak_live_processes: outcome.sim.peak_live_processes,
+                    pool_workers: outcome.sim.pool_workers,
+                }
+            });
         }
     }
     // One traced cluster run: concurrent per-tenant process trees over the
     // shared store/platform, the many-live-process path the pipeline rows
     // above never exercise.
-    let (wall_ms, report) = timed_cluster(true);
-    let row = SimRow {
-        backend: "cluster".to_string(),
-        workers: CLUSTER_TENANTS * 8,
-        records: CLUSTER_RECORDS,
-        wall_ms,
-        sim_latency_s: report.makespan.as_secs_f64(),
-        spans: report.trace.spans.len(),
-        events: report.sim.events,
-        peak_live_processes: report.sim.peak_live_processes,
-        pool_workers: report.sim.pool_workers,
-    };
+    sweep.push("sim cluster", || {
+        let (wall_ms, report) = timed_cluster(true);
+        SimRow {
+            backend: "cluster".to_string(),
+            workers: CLUSTER_TENANTS * 8,
+            records: CLUSTER_RECORDS,
+            wall_ms,
+            sim_latency_s: report.makespan.as_secs_f64(),
+            spans: report.trace.spans.len(),
+            events: report.sim.events,
+            peak_live_processes: report.sim.peak_live_processes,
+            pool_workers: report.sim.pool_workers,
+        }
+    });
+    let rows = sweep.run_expect(jobs);
+
+    println!("BENCH_sim — traced pipeline runs (host wall clock):");
     println!(
-        "{:<10} {:>4}  {:>7.0}ms  {:>11.2}s  {:>7}  {:>9}  {:>5}  {:>5}",
-        row.backend,
-        row.workers,
-        row.wall_ms,
-        row.sim_latency_s,
-        row.spans,
-        row.events,
-        row.peak_live_processes,
-        row.pool_workers
+        "{:<10} {:>4}  {:>9}  {:>12}  {:>7}  {:>9}  {:>5}  {:>5}",
+        "backend", "W", "wall", "sim-latency", "spans", "events", "peak", "pool"
     );
-    rows.push(row);
+    for row in &rows {
+        println!(
+            "{:<10} {:>4}  {:>7.0}ms  {:>11.2}s  {:>7}  {:>9}  {:>5}  {:>5}",
+            row.backend,
+            row.workers,
+            row.wall_ms,
+            row.sim_latency_s,
+            row.spans,
+            row.events,
+            row.peak_live_processes,
+            row.pool_workers
+        );
+    }
     rows
 }
 
-fn bench_host() -> Vec<HostRow> {
-    let mut rows: Vec<HostRow> = Vec::new();
+/// Process-wide counter snapshot taken around a single cell (only
+/// attributable when cells run one at a time).
+fn row_counters_before(serial: bool) -> (f64, f64, u64) {
+    if !serial {
+        return (0.0, 0.0, 0);
+    }
+    let (u, s) = cpu_times();
+    let c = ctx_switches();
+    reset_peak_rss();
+    (u, s, c)
+}
+
+fn bench_host(jobs: usize) -> Vec<HostRow> {
+    let serial = jobs == 1;
+    let mut sweep: Sweep<HostRow> = Sweep::new();
+    for workers in HOST_WIDTHS {
+        sweep.push(format!("host W={}", workers), move || {
+            let mut cfg = PipelineConfig::paper_table1();
+            cfg.mode = PipelineMode::PureServerless;
+            cfg.physical_records = RECORDS;
+            cfg.workers = WorkerChoice::Fixed(workers);
+            cfg.exchange = ExchangeKind::Coalesced;
+            cfg.trace = false;
+            let (u0, s0, c0) = row_counters_before(serial);
+            let start = Instant::now();
+            let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
+            let wall = start.elapsed();
+            let rss = if serial { peak_rss_kib() } else { 0 };
+            let (u1, s1) = if serial { cpu_times() } else { (0.0, 0.0) };
+            let c1 = if serial { ctx_switches() } else { 0 };
+            assert!(outcome.verified, "W={} must verify", workers);
+            HostRow {
+                scenario: String::new(),
+                workers,
+                records: RECORDS,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                sim_latency_s: outcome.latency.as_secs_f64(),
+                events: outcome.sim.events,
+                peak_live_processes: outcome.sim.peak_live_processes,
+                pool_workers: outcome.sim.pool_workers,
+                user_cpu_s: u1 - u0,
+                sys_cpu_s: s1 - s0,
+                ctx_switches: c1.saturating_sub(c0),
+                us_per_event: wall.as_secs_f64() * 1e6 / outcome.sim.events.max(1) as f64,
+                peak_rss_kib: rss,
+                cells: 0,
+                cells_per_sec: 0.0,
+                agg_events_per_sec: 0.0,
+                jobs: 0,
+            }
+        });
+    }
+    // The untraced cluster row, with the same host counters as the
+    // trajectory points so a slowdown still splits into work vs speed.
+    sweep.push("host cluster", move || {
+        let (u0, s0, c0) = row_counters_before(serial);
+        let (wall_ms, report) = timed_cluster(false);
+        let rss = if serial { peak_rss_kib() } else { 0 };
+        let (u1, s1) = if serial { cpu_times() } else { (0.0, 0.0) };
+        let c1 = if serial { ctx_switches() } else { 0 };
+        HostRow {
+            scenario: "cluster".to_string(),
+            workers: CLUSTER_TENANTS * 8,
+            records: CLUSTER_RECORDS,
+            wall_ms,
+            sim_latency_s: report.makespan.as_secs_f64(),
+            events: report.sim.events,
+            peak_live_processes: report.sim.peak_live_processes,
+            pool_workers: report.sim.pool_workers,
+            user_cpu_s: u1 - u0,
+            sys_cpu_s: s1 - s0,
+            ctx_switches: c1.saturating_sub(c0),
+            us_per_event: wall_ms * 1e3 / report.sim.events.max(1) as f64,
+            peak_rss_kib: rss,
+            cells: 0,
+            cells_per_sec: 0.0,
+            agg_events_per_sec: 0.0,
+            jobs: 0,
+        }
+    });
+
+    // Process-wide deltas around the whole batch feed the aggregate row;
+    // they are valid at any job count because they never claim to be
+    // per-row.
+    let (sweep_u0, sweep_s0) = cpu_times();
+    let sweep_c0 = ctx_switches();
+    if !serial {
+        reset_peak_rss();
+    }
+    let (mut rows, stats) = sweep.run_expect_stats(jobs);
+    let (sweep_u1, sweep_s1) = cpu_times();
+    let sweep_c1 = ctx_switches();
+    // At --jobs 1 every cell resets the high-water mark, so the batch
+    // peak is the max of the per-row gauges; concurrent cells share the
+    // gauge and the whole-batch reading is the only attributable one.
+    let sweep_rss = if serial {
+        rows.iter().map(|r| r.peak_rss_kib).max().unwrap_or(0)
+    } else {
+        peak_rss_kib()
+    };
+
     println!();
     println!("BENCH_host — untraced coalesced scaling trajectory:");
     println!(
@@ -310,40 +436,9 @@ fn bench_host() -> Vec<HostRow> {
         "µs/evt",
         "peakRSS"
     );
-    for workers in HOST_WIDTHS {
-        let mut cfg = PipelineConfig::paper_table1();
-        cfg.mode = PipelineMode::PureServerless;
-        cfg.physical_records = RECORDS;
-        cfg.workers = WorkerChoice::Fixed(workers);
-        cfg.exchange = ExchangeKind::Coalesced;
-        cfg.trace = false;
-        let (u0, s0) = cpu_times();
-        let c0 = ctx_switches();
-        reset_peak_rss();
-        let start = Instant::now();
-        let outcome = run_methcomp_pipeline(&cfg).expect("pipeline run");
-        let wall = start.elapsed();
-        let rss = peak_rss_kib();
-        let (u1, s1) = cpu_times();
-        let c1 = ctx_switches();
-        assert!(outcome.verified, "W={} must verify", workers);
-        let row = HostRow {
-            scenario: String::new(),
-            workers,
-            records: RECORDS,
-            wall_ms: wall.as_secs_f64() * 1e3,
-            sim_latency_s: outcome.latency.as_secs_f64(),
-            events: outcome.sim.events,
-            peak_live_processes: outcome.sim.peak_live_processes,
-            pool_workers: outcome.sim.pool_workers,
-            user_cpu_s: u1 - u0,
-            sys_cpu_s: s1 - s0,
-            ctx_switches: c1.saturating_sub(c0),
-            us_per_event: wall.as_secs_f64() * 1e6 / outcome.sim.events.max(1) as f64,
-            peak_rss_kib: rss,
-        };
+    for row in &rows {
         println!(
-            "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  {:>8.2}  {:>7}KiB",
+            "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  {:>8.2}  {:>7}KiB{}",
             row.workers,
             row.wall_ms,
             row.sim_latency_s,
@@ -354,49 +449,45 @@ fn bench_host() -> Vec<HostRow> {
             row.sys_cpu_s,
             row.ctx_switches,
             row.us_per_event,
-            row.peak_rss_kib
+            row.peak_rss_kib,
+            if row.scenario.is_empty() {
+                ""
+            } else {
+                "  (cluster)"
+            }
         );
-        rows.push(row);
     }
-    // The untraced cluster row, with the same host counters as the
-    // trajectory points so a slowdown still splits into work vs speed.
-    let (u0, s0) = cpu_times();
-    let c0 = ctx_switches();
-    reset_peak_rss();
-    let (wall_ms, report) = timed_cluster(false);
-    let rss = peak_rss_kib();
-    let (u1, s1) = cpu_times();
-    let c1 = ctx_switches();
-    let row = HostRow {
-        scenario: "cluster".to_string(),
-        workers: CLUSTER_TENANTS * 8,
-        records: CLUSTER_RECORDS,
-        wall_ms,
-        sim_latency_s: report.makespan.as_secs_f64(),
-        events: report.sim.events,
-        peak_live_processes: report.sim.peak_live_processes,
-        pool_workers: report.sim.pool_workers,
-        user_cpu_s: u1 - u0,
-        sys_cpu_s: s1 - s0,
-        ctx_switches: c1.saturating_sub(c0),
-        us_per_event: wall_ms * 1e3 / report.sim.events.max(1) as f64,
-        peak_rss_kib: rss,
+
+    let sweep_wall_s = stats.wall.as_secs_f64();
+    let agg_events: u64 = rows.iter().map(|r| r.events).sum();
+    let sweep_row = HostRow {
+        scenario: "sweep".to_string(),
+        workers: 0,
+        records: RECORDS,
+        wall_ms: sweep_wall_s * 1e3,
+        sim_latency_s: 0.0,
+        events: agg_events,
+        peak_live_processes: 0,
+        pool_workers: 0,
+        user_cpu_s: sweep_u1 - sweep_u0,
+        sys_cpu_s: sweep_s1 - sweep_s0,
+        ctx_switches: sweep_c1.saturating_sub(sweep_c0),
+        us_per_event: sweep_wall_s * 1e6 / agg_events.max(1) as f64,
+        peak_rss_kib: sweep_rss,
+        cells: stats.cells,
+        cells_per_sec: stats.cells_per_sec(),
+        agg_events_per_sec: agg_events as f64 / sweep_wall_s.max(f64::EPSILON),
+        jobs: stats.jobs,
     };
     println!(
-        "{:<5}  {:>8.0}ms  {:>11.2}s  {:>9}  {:>5}  {:>5}  {:>6.2}s  {:>6.2}s  {:>9}  {:>8.2}  {:>7}KiB  (cluster)",
-        row.workers,
-        row.wall_ms,
-        row.sim_latency_s,
-        row.events,
-        row.peak_live_processes,
-        row.pool_workers,
-        row.user_cpu_s,
-        row.sys_cpu_s,
-        row.ctx_switches,
-        row.us_per_event,
-        row.peak_rss_kib
+        "sweep: {} cells in {:.0}ms on {} thread(s) — {:.2} cells/s, {:.0} events/s aggregate",
+        sweep_row.cells,
+        sweep_row.wall_ms,
+        sweep_row.jobs,
+        sweep_row.cells_per_sec,
+        sweep_row.agg_events_per_sec
     );
-    rows.push(row);
+    rows.push(sweep_row);
     rows
 }
 
@@ -442,7 +533,11 @@ fn health_warnings(rows: &[HostRow]) {
                 row.pool_workers
             );
         }
-        if row.events > 0 {
+        // The aggregate row's switches include the sweep engine's own
+        // worker handoffs at --jobs > 1; the ceiling only describes the
+        // serial event loop.
+        let concurrent_aggregate = row.scenario == "sweep" && row.jobs > 1;
+        if row.events > 0 && !concurrent_aggregate {
             let per_kevent = row.ctx_switches as f64 / (row.events as f64 / 1e3);
             if per_kevent > CTXSW_PER_KEVENT_CEILING {
                 eprintln!(
@@ -502,16 +597,46 @@ fn check_against(baseline: &[HostRow], current: &[HostRow]) -> usize {
     regressed
 }
 
+/// Jobs for this binary: explicit `--jobs` / `FAASPIPE_JOBS` wins, but
+/// the *default* is 1 (not the core count) — serial rows are the only
+/// ones whose host counters mean anything.
+fn bench_jobs(args: &[String]) -> usize {
+    let explicit = args
+        .iter()
+        .any(|a| a == "--jobs" || a.starts_with("--jobs="))
+        || std::env::var_os(faaspipe_sweep::JOBS_ENV).is_some();
+    if explicit {
+        faaspipe_sweep::jobs_from_args_or_exit(args)
+    } else {
+        1
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.first().map(String::as_str) == Some("--check");
+    let check = args.iter().any(|a| a == "--check");
+    let jobs = bench_jobs(&args);
+    // The first positional argument (after stripping the flags and the
+    // `--jobs` value) is an optional baseline path for --check.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => {}
+            "--jobs" => {
+                let _ = it.next();
+            }
+            s if s.starts_with("--jobs=") => {}
+            _ => positional.push(a),
+        }
+    }
 
     // In check mode the baseline must be read before measuring: the
     // fresh rows overwrite `results/BENCH_host.json` afterwards (that
     // file is both the checked-in baseline and the uploaded artifact).
     let baseline: Option<Vec<HostRow>> = if check {
-        let path = args
-            .get(1)
+        let path = positional
+            .first()
             .map(std::path::PathBuf::from)
             .unwrap_or_else(|| results_dir().join("BENCH_host.json"));
         let text = std::fs::read_to_string(&path)
@@ -521,8 +646,8 @@ fn main() {
         None
     };
 
-    let sim_rows = bench_sim();
-    let host_rows = bench_host();
+    let sim_rows = bench_sim(jobs);
+    let host_rows = bench_host(jobs);
     write_json("BENCH_sim", &sim_rows);
     write_json("BENCH_host", &host_rows);
 

@@ -20,17 +20,25 @@
 //!    every scenario.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_autotuner [-- --quick]
+//! cargo run --release -p faaspipe-bench --bin repro_autotuner [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the grids and record count to a CI smoke run and
 //! skips the error/regret assertions.
+//!
+//! All three acts are sweep-engine grids ([`faaspipe_sweep`], `--jobs`
+//! worker threads, default `FAASPIPE_JOBS` / core count): the calibration
+//! probes, the 52-point model-error grid, and the per-scenario regret
+//! sweeps each run as independent sims with results gathered in
+//! submission order — `results/calibration.json` and the report are
+//! byte-identical to a serial run.
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_plan::{calibrate, Candidate, ModelParams, ProbeRun, ProbeSpec, Workload};
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 use faaspipe_trace::{Category, TraceData, Value};
 
 struct ModelRow {
@@ -210,7 +218,9 @@ fn auto_run(records: usize, modeled: u64, params: &ModelParams) -> (f64, usize, 
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let records = if quick { 8_000 } else { SWEEP_RECORDS };
     const GB_3_5: u64 = 3_500_000_000;
 
@@ -221,14 +231,26 @@ fn main() {
     // NICs > one relay NIC) and overflows its 24 GiB memory (34 GB
     // modeled), so NIC, memory capacity, and disk spill bandwidth all
     // leave the config defaults behind.
+    //
+    // The probes are independent traced sims; the sweep engine returns
+    // them in submission order, so the calibrator sees the same probe
+    // sequence (and fits the same parameters, byte-for-byte) at every
+    // job count.
     const GB_34: u64 = 34_000_000_000;
-    let probes_raw = [
-        probe(records, GB_3_5, 4, 1, ExchangeKind::Scatter),
-        probe(records, GB_3_5, 4, 4, ExchangeKind::Scatter),
-        probe(records, GB_3_5, 4, 1, ExchangeKind::VmRelay),
-        probe(records, GB_3_5, 4, 1, ExchangeKind::Direct),
-        probe(records, GB_34, 32, 4, ExchangeKind::VmRelay),
+    let probe_grid: [(u64, usize, usize, ExchangeKind); 5] = [
+        (GB_3_5, 4, 1, ExchangeKind::Scatter),
+        (GB_3_5, 4, 4, ExchangeKind::Scatter),
+        (GB_3_5, 4, 1, ExchangeKind::VmRelay),
+        (GB_3_5, 4, 1, ExchangeKind::Direct),
+        (GB_34, 32, 4, ExchangeKind::VmRelay),
     ];
+    let mut sweep: Sweep<(ProbeSpec, TraceData)> = Sweep::new();
+    for (modeled, w, k, exchange) in probe_grid {
+        sweep.push(format!("probe W={} K={} {}", w, k, exchange), move || {
+            probe(records, modeled, w, k, exchange)
+        });
+    }
+    let probes_raw: Vec<(ProbeSpec, TraceData)> = sweep.run_expect(jobs);
     let defaults = {
         let cfg = base_cfg(records, GB_3_5);
         ModelParams::from_configs(
@@ -324,8 +346,16 @@ fn main() {
         "{:<5} {:>3} {:>3}  {:<22} {:>9} {:>9} {:>8}",
         "exp", "W", "K", "backend", "sim", "model", "err"
     );
+    // Simulated ground truth for every grid point, via the sweep engine;
+    // model estimates are closed-form and stay on this thread.
+    let mut sweep: Sweep<f64> = Sweep::new();
     for &(exp, w, k, backend) in &grid {
-        let (sim_s, _) = simulate(records, GB_3_5, w, k, backend, false);
+        sweep.push(format!("{} W={} K={} {}", exp, w, k, backend), move || {
+            simulate(records, GB_3_5, w, k, backend, false).0
+        });
+    }
+    let sims: Vec<f64> = sweep.run_expect(jobs);
+    for (&(exp, w, k, backend), &sim_s) in grid.iter().zip(&sims) {
         let est = params.estimate(
             &wl,
             &Candidate {
@@ -373,43 +403,63 @@ fn main() {
             ("7GB", 7_000_000_000),
         ]
     };
-    let mut regret_rows: Vec<RegretRow> = Vec::new();
-    for &(name, modeled) in scenarios {
-        // The reference: a simulated sweep over the strongest backends
-        // and the W/K ranges the experiments cover.
-        let mut sweep: Vec<(usize, usize, ExchangeKind)> = Vec::new();
-        let (ws, ks): (&[usize], &[usize]) = if quick {
-            (&[4, 8], &[4])
-        } else {
-            (&[4, 8, 16, 32, 64], &[4, 16])
-        };
-        for &w in ws {
-            for &k in ks {
-                sweep.push((w, k, ExchangeKind::Scatter));
-                sweep.push((w, k, ExchangeKind::Coalesced));
-                sweep.push((w, k, ExchangeKind::Direct));
-                if !quick {
-                    sweep.push((
-                        w,
-                        k,
-                        ExchangeKind::ShardedRelay {
-                            shards: 4,
-                            prewarm: true,
-                        },
-                    ));
-                }
+    // The reference grid per scenario: a simulated sweep over the
+    // strongest backends and the W/K ranges the experiments cover.
+    let mut reference: Vec<(usize, usize, ExchangeKind)> = Vec::new();
+    let (ws, ks): (&[usize], &[usize]) = if quick {
+        (&[4, 8], &[4])
+    } else {
+        (&[4, 8, 16, 32, 64], &[4, 16])
+    };
+    for &w in ws {
+        for &k in ks {
+            reference.push((w, k, ExchangeKind::Scatter));
+            reference.push((w, k, ExchangeKind::Coalesced));
+            reference.push((w, k, ExchangeKind::Direct));
+            if !quick {
+                reference.push((
+                    w,
+                    k,
+                    ExchangeKind::ShardedRelay {
+                        shards: 4,
+                        prewarm: true,
+                    },
+                ));
             }
         }
+    }
+    // All scenarios' reference sims and the auto runs go through the
+    // engine together; results unzip back per scenario by position.
+    let mut sweep: Sweep<f64> = Sweep::new();
+    for &(name, modeled) in scenarios {
+        for &(w, k, backend) in &reference {
+            sweep.push(format!("{} W={} K={} {}", name, w, k, backend), move || {
+                simulate(records, modeled, w, k, backend, false).0
+            });
+        }
+    }
+    let reference_sims: Vec<f64> = sweep.run_expect(jobs);
+    let mut auto_sweep: Sweep<(f64, usize, usize, String)> = Sweep::new();
+    for &(name, modeled) in scenarios {
+        let params = params.clone();
+        auto_sweep.push(format!("{} auto", name), move || {
+            auto_run(records, modeled, &params)
+        });
+    }
+    let auto_runs = auto_sweep.run_expect(jobs);
+
+    let mut regret_rows: Vec<RegretRow> = Vec::new();
+    for (si, &(name, modeled)) in scenarios.iter().enumerate() {
+        let sims = &reference_sims[si * reference.len()..(si + 1) * reference.len()];
         let mut best_s = f64::INFINITY;
         let mut best_desc = String::new();
-        for &(w, k, backend) in &sweep {
-            let (sim_s, _) = simulate(records, modeled, w, k, backend, false);
+        for (&(w, k, backend), &sim_s) in reference.iter().zip(sims) {
             if sim_s < best_s {
                 best_s = sim_s;
                 best_desc = format!("W={} K={} {}", w, k, backend);
             }
         }
-        let (picked_s, w, k, backend) = auto_run(records, modeled, &params);
+        let (picked_s, w, k, backend) = auto_runs[si].clone();
         let regret = picked_s / best_s - 1.0;
         println!(
             "\n{}: auto picked W={} K={} {} -> {:.2}s; grid best {} -> {:.2}s; regret {:+.1}%",

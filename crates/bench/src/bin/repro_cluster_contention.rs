@@ -17,11 +17,14 @@
 //! store-ops budget on the noisy tenant) restoring the victims' p99.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_cluster_contention [-- --quick]
+//! cargo run --release -p faaspipe-bench --bin repro_cluster_contention [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks both scenarios to a CI smoke run (two rates, short
-//! horizon, no knee/noisy assertions).
+//! horizon, no knee/noisy assertions). Each (backend, rate) knee point
+//! and each noisy-neighbor scenario is an independent cluster sim; they
+//! run through the [`faaspipe_sweep`] engine (`--jobs` worker threads,
+//! default `FAASPIPE_JOBS` / core count) with serial-identical output.
 
 use faaspipe_bench::write_json;
 use faaspipe_cluster::{
@@ -30,6 +33,7 @@ use faaspipe_cluster::{
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_des::SimDuration;
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 
 struct KneeRow {
     backend: String,
@@ -220,7 +224,9 @@ fn noisy_scenario(
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let (rates, horizon_s, records): (&[f64], u64, usize) = if quick {
         (&[0.02, 0.05], 150, 1_500)
     } else {
@@ -235,24 +241,30 @@ fn main() {
     ];
 
     // --- Scenario 1: the offered-load → goodput knee. ---
-    let mut knee_rows: Vec<KneeRow> = Vec::new();
-    println!("knee sweep: 4 tenants, 32 fn slots, 250 store ops/s");
-    println!("backend             rate/s   runs   p50 s    p99 s  goodput/s fairness");
+    // Each (backend, rate) point is a full cluster sim; run the grid
+    // through the sweep engine, then print in submission order.
+    let mut sweep: Sweep<KneeRow> = Sweep::new();
     for backend in backends {
         for &rate in rates {
-            let (row, _) = knee_point(backend, rate, horizon_s, records);
-            println!(
-                "{:<18} {:>7.3} {:>6} {:>7.1} {:>8.1} {:>10.3} {:>8.3}",
-                row.backend,
-                row.rate_per_sec,
-                row.submitted,
-                row.p50_s,
-                row.p99_s,
-                row.goodput_rate,
-                row.fairness,
-            );
-            knee_rows.push(row);
+            sweep.push(format!("{} rate={}", backend, rate), move || {
+                knee_point(backend, rate, horizon_s, records).0
+            });
         }
+    }
+    let knee_rows: Vec<KneeRow> = sweep.run_expect(jobs);
+    println!("knee sweep: 4 tenants, 32 fn slots, 250 store ops/s");
+    println!("backend             rate/s   runs   p50 s    p99 s  goodput/s fairness");
+    for row in &knee_rows {
+        println!(
+            "{:<18} {:>7.3} {:>6} {:>7.1} {:>8.1} {:>10.3} {:>8.3}",
+            row.backend,
+            row.rate_per_sec,
+            row.submitted,
+            row.p50_s,
+            row.p99_s,
+            row.goodput_rate,
+            row.fairness,
+        );
     }
 
     if !quick {
@@ -289,9 +301,17 @@ fn main() {
     write_json("repro_cluster_contention", &knee_rows);
 
     // --- Scenario 2: noisy neighbor, without and with admission. ---
+    // The two scenarios are independent sims too — a two-cell sweep.
     let noisy_horizon = if quick { 160 } else { 600 };
-    let (mut rows_off, report_off) = noisy_scenario(false, noisy_horizon, records);
-    let (rows_on, report_on) = noisy_scenario(true, noisy_horizon, records);
+    let mut sweep: Sweep<(Vec<NoisyRow>, ClusterReport)> = Sweep::new();
+    for admission in [false, true] {
+        sweep.push(format!("noisy admission={}", admission), move || {
+            noisy_scenario(admission, noisy_horizon, records)
+        });
+    }
+    let mut noisy = sweep.run_expect(jobs).into_iter();
+    let (mut rows_off, report_off) = noisy.next().expect("no-admission scenario");
+    let (rows_on, report_on) = noisy.next().expect("admission scenario");
     println!("\nnoisy neighbor: 3 victims (W=8) + 1 noisy (W=48), 64 fn slots");
     println!("--- without admission ---\n{}", report_off.render());
     println!("--- with admission (noisy: 1 concurrent run, 60 store ops/s) ---");

@@ -15,16 +15,20 @@
 //! skips persistence but gates on rendezvous.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_exchange_backends [-- --quick]
+//! cargo run --release -p faaspipe-bench --bin repro_exchange_backends [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the sweep to a CI smoke run (small W, few records,
-//! no tuned-bracket assertions).
+//! no tuned-bracket assertions). The W × backend grid runs through the
+//! [`faaspipe_sweep`] engine — independent sims across up to `--jobs`
+//! OS threads (default `FAASPIPE_JOBS` / core count), with results and
+//! all printed tables byte-identical to `--jobs 1`.
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 use faaspipe_trace::{critical_path, flame_rows, TraceData};
 
 struct Row {
@@ -91,12 +95,26 @@ fn run(workers: usize, records: usize, backend: ExchangeKind) -> (Row, TraceData
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let (worker_sweep, records): (&[usize], usize) = if quick {
         (&[4, 8], 8_000)
     } else {
         (&WORKERS, SWEEP_RECORDS)
     };
+
+    // The whole W × backend grid as independent sweep cells; results come
+    // back in submission order, so the tables below print identically at
+    // every job count.
+    let mut sweep: Sweep<(Row, TraceData)> = Sweep::new();
+    for &w in worker_sweep {
+        for kind in ExchangeKind::ALL {
+            sweep.push(format!("W={} {}", w, kind), move || run(w, records, kind));
+        }
+    }
+    let mut results = sweep.run_expect(jobs).into_iter();
+
     let mut rows: Vec<Row> = Vec::new();
     let mut best: Vec<(ExchangeKind, Row, TraceData)> = Vec::new();
     println!("latency seconds (cost $) by backend:");
@@ -107,7 +125,7 @@ fn main() {
     for &w in worker_sweep {
         let mut cells = Vec::new();
         for kind in ExchangeKind::ALL {
-            let (row, trace) = run(w, records, kind);
+            let (row, trace) = results.next().expect("one result per cell");
             cells.push(format!("{:.2} (${:.4})", row.latency_s, row.cost_dollars));
             match best.iter_mut().find(|(k, _, _)| *k == kind) {
                 Some(slot) if slot.1.latency_s <= row.latency_s => {}

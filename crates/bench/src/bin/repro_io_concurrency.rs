@@ -12,16 +12,20 @@
 //! that); what moves is the critical path's store-I/O share.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_io_concurrency [-- --quick]
+//! cargo run --release -p faaspipe-bench --bin repro_io_concurrency [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the sweep to a CI smoke run (W=8, K ∈ {1,4}, the
-//! two object-store backends, few records, loose assertions).
+//! two object-store backends, few records, loose assertions). The
+//! K × W × backend grid runs through the [`faaspipe_sweep`] engine
+//! (`--jobs` worker threads, default `FAASPIPE_JOBS` / core count);
+//! output is byte-identical to serial.
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 use faaspipe_trace::critical_path;
 
 struct Row {
@@ -86,7 +90,9 @@ fn run(k: usize, workers: usize, records: usize, backend: ExchangeKind) -> Row {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let (windows, workers_sweep, backends, records): (&[usize], &[usize], &[ExchangeKind], usize) =
         if quick {
             (
@@ -99,6 +105,19 @@ fn main() {
             (&WINDOWS, &[8, 32], &ExchangeKind::ALL, SWEEP_RECORDS)
         };
 
+    // One cell per (W, backend, K) point, in curve order.
+    let mut sweep: Sweep<Row> = Sweep::new();
+    for &w in workers_sweep {
+        for &backend in backends {
+            for &k in windows {
+                sweep.push(format!("{} W={} K={}", backend, w, k), move || {
+                    run(k, w, records, backend)
+                });
+            }
+        }
+    }
+    let mut results = sweep.run_expect(jobs).into_iter();
+
     let mut rows: Vec<Row> = Vec::new();
     for &w in workers_sweep {
         for &backend in backends {
@@ -109,7 +128,7 @@ fn main() {
             );
             let mut curve: Vec<Row> = Vec::new();
             for &k in windows {
-                let row = run(k, w, records, backend);
+                let row = results.next().expect("one row per cell");
                 println!(
                     "{:>3}  {:>9.2}s  {:>9.2}s  {:>9.2}s  ${:>8.4}",
                     k, row.latency_s, row.sort_latency_s, row.store_io_s, row.cost_dollars

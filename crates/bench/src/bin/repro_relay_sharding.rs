@@ -12,16 +12,19 @@
 //! path?
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_relay_sharding [-- --quick]
+//! cargo run --release -p faaspipe-bench --bin repro_relay_sharding [-- --quick] [--jobs N]
 //! ```
 //!
 //! `--quick` shrinks the sweep to a CI smoke run (small W, few records,
-//! no frontier assertions).
+//! no frontier assertions). The W × shards × prewarm grid runs through
+//! the [`faaspipe_sweep`] engine (`--jobs` worker threads, default
+//! `FAASPIPE_JOBS` / core count); output is byte-identical to serial.
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::ExchangeKind;
+use faaspipe_sweep::Sweep;
 use faaspipe_trace::critical_path;
 
 struct Row {
@@ -98,41 +101,46 @@ fn run(workers: usize, records: usize, backend: ExchangeKind) -> Row {
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let (worker_sweep, shard_sweep, records): (&[usize], &[usize], usize) = if quick {
         (&[8], &[1, 2], 8_000)
     } else {
         (&[8, 16, 32, 64, 128], &SHARDS, SWEEP_RECORDS)
     };
 
-    let mut rows: Vec<Row> = Vec::new();
+    // Every (W, backend[, shards, prewarm]) point is an independent sim;
+    // cells are pushed in row order so the returned vector *is* `rows`.
+    let mut sweep: Sweep<Row> = Sweep::new();
+    for &w in worker_sweep {
+        sweep.push(format!("W={} coalesced", w), move || {
+            run(w, records, ExchangeKind::Coalesced)
+        });
+        sweep.push(format!("W={} vm_relay", w), move || {
+            run(w, records, ExchangeKind::VmRelay)
+        });
+        for &n in shard_sweep {
+            for prewarm in [false, true] {
+                let kind = ExchangeKind::ShardedRelay { shards: n, prewarm };
+                sweep.push(format!("W={} {}", w, kind), move || run(w, records, kind));
+            }
+        }
+    }
+    let rows: Vec<Row> = sweep.run_expect(jobs);
+
+    let mut ordered = rows.iter();
     println!("makespan seconds (cost $); relay shards cold → prewarm:");
     for &w in worker_sweep {
-        let cos = run(w, records, ExchangeKind::Coalesced);
-        let relay = run(w, records, ExchangeKind::VmRelay);
+        let cos = ordered.next().expect("coalesced row");
+        let relay = ordered.next().expect("relay row");
         println!(
             "W={:<3}  coalesced {:.2}s (${:.4})   vm_relay {:.2}s (${:.4})",
             w, cos.latency_s, cos.cost_dollars, relay.latency_s, relay.cost_dollars
         );
-        rows.push(cos);
-        rows.push(relay);
         for &n in shard_sweep {
-            let cold = run(
-                w,
-                records,
-                ExchangeKind::ShardedRelay {
-                    shards: n,
-                    prewarm: false,
-                },
-            );
-            let warm = run(
-                w,
-                records,
-                ExchangeKind::ShardedRelay {
-                    shards: n,
-                    prewarm: true,
-                },
-            );
+            let cold = ordered.next().expect("cold shard row");
+            let warm = ordered.next().expect("warm shard row");
             println!(
                 "       shards={:<2} {:.2}s (${:.4}, cold-start {:.1}s) → {:.2}s (${:.4}, cold-start {:.1}s)",
                 n,
@@ -143,8 +151,6 @@ fn main() {
                 warm.cost_dollars,
                 warm.cold_start_s
             );
-            rows.push(cold);
-            rows.push(warm);
         }
     }
 

@@ -7,13 +7,19 @@
 //! the empirical optimum.
 //!
 //! ```text
-//! cargo run --release -p faaspipe-bench --bin repro_worker_sweep
+//! cargo run --release -p faaspipe-bench --bin repro_worker_sweep [-- --jobs N]
 //! ```
+//!
+//! The 12-point worker sweep plus the autotuned run are 13 independent
+//! sims; they run through the [`faaspipe_sweep`] engine (`--jobs` worker
+//! threads, default `FAASPIPE_JOBS` / core count) with serial-identical
+//! output.
 
 use faaspipe_bench::{write_json, SWEEP_RECORDS};
 use faaspipe_core::dag::WorkerChoice;
 use faaspipe_core::pipeline::{run_methcomp_pipeline, PipelineConfig, PipelineMode};
 use faaspipe_shuffle::{TuningModel, WorkModel};
+use faaspipe_sweep::Sweep;
 use faaspipe_trace::{critical_path, Breakdown};
 
 struct SweepRow {
@@ -92,8 +98,19 @@ fn run(workers: WorkerChoice) -> (usize, f64, f64, f64, Breakdown) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = faaspipe_sweep::jobs_from_args_or_exit(&args);
     let sweep = [1usize, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128];
     let model = analytic_model();
+
+    // The fixed-W grid plus the autotuned run, all independent sims.
+    let mut grid: Sweep<(usize, f64, f64, f64, Breakdown)> = Sweep::new();
+    for &w in &sweep {
+        grid.push(format!("W={}", w), move || run(WorkerChoice::Fixed(w)));
+    }
+    grid.push("W=auto", || run(WorkerChoice::Auto));
+    let mut results = grid.run_expect(jobs).into_iter();
+
     let mut rows = Vec::new();
     let mut max_model_err: f64 = 0.0;
     println!(
@@ -101,7 +118,7 @@ fn main() {
          | measured: compute  store-io  cold  queue  other"
     );
     for &w in &sweep {
-        let (_, latency, sort, cost, b) = run(WorkerChoice::Fixed(w));
+        let (_, latency, sort, cost, b) = results.next().expect("one row per W");
         let predicted = model.breakdown(w).total_s() + ORCHESTRATION_S;
         let err = (predicted - sort).abs() / sort * 100.0;
         max_model_err = max_model_err.max(err);
@@ -150,7 +167,7 @@ fn main() {
     let best_latency = best.latency_s;
     let worst_latency = rows.iter().map(|r| r.latency_s).fold(f64::MIN, f64::max);
 
-    let (picked, latency, sort, cost, b) = run(WorkerChoice::Auto);
+    let (picked, latency, sort, cost, b) = results.next().expect("autotuned row");
     println!(
         "autotuner picked {} workers: {:.2}s (sort {:.2}s, ${:.4})",
         picked, latency, sort, cost

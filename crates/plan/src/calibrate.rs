@@ -45,7 +45,12 @@
 //! creation order, and every accumulation is order-stable — so the same
 //! probes always produce the same `Calibration`, byte-for-byte identical
 //! once serialized (the determinism test in `tests/planner.rs` checks
-//! precisely this).
+//! precisely this). The probe runs themselves may execute concurrently
+//! (each is a shared-nothing sim; E19 drives them through
+//! `faaspipe-sweep`): the calibrator only sees the finished
+//! `ProbeRun` slice, and because that slice arrives in submission
+//! order regardless of which probe finished first, the fit — and
+//! `results/calibration.json` — is identical at every job count.
 
 use faaspipe_trace::{Category, Span, SpanId, TraceData, Value};
 use std::collections::HashMap;

@@ -1,0 +1,515 @@
+//! # faaspipe-sweep — cross-simulation parallelism
+//!
+//! Everything that matters for reproducing the paper's tables is a *grid*
+//! of independent simulations: E15/E16/E17 sweep W × backend × K, E19
+//! validates the planner over a 52-point grid, E18 sweeps offered load,
+//! and the calibrator runs a handful of probe sims. A single simulation
+//! is strictly single-threaded by design (the DES event loop owns `Rc`
+//! internals and is not `Send`), so the only parallelism axis left is
+//! *across* simulations — and the grids are embarrassingly parallel.
+//!
+//! [`Sweep`] is a work-queue engine over a bounded pool of OS threads:
+//!
+//! * **Shared-nothing by construction.** A cell is an
+//!   `FnOnce() -> R + Send` closure that constructs *and* runs its `Sim`
+//!   entirely on the worker thread it lands on. Only the closure
+//!   (configuration) goes in and only the `Send` result row comes out;
+//!   no simulator state ever crosses a thread boundary.
+//! * **Deterministic result ordering.** Results are returned in
+//!   submission order regardless of completion order, so downstream
+//!   printing, JSON archival, and golden comparisons are byte-identical
+//!   at every job count. Simulated (virtual) time cannot observe host
+//!   scheduling at all: each sim's clock advances only through its own
+//!   event queue, seeded from its own config.
+//! * **Bounded concurrency.** `run(jobs)` never has more than `jobs`
+//!   cells in flight; `jobs == 1` executes the cells inline on the
+//!   calling thread in submission order — the historical serial path,
+//!   with no threads spawned.
+//! * **Panic isolation.** A panicking cell is caught and reported as a
+//!   [`CellFailure`] carrying its grid coordinates (label + index) while
+//!   sibling cells keep running to completion.
+//! * **Live progress.** Each completed cell logs
+//!   `sweep: [done/total] label (ms)` to stderr; stdout stays clean for
+//!   the experiment tables.
+//!
+//! The job count is resolved from (highest priority first) a `--jobs N`
+//! CLI flag, the `FAASPIPE_JOBS` environment variable, and the host's
+//! available cores — see [`jobs_from_args`].
+//!
+//! ```
+//! let mut sweep = faaspipe_sweep::Sweep::new();
+//! for w in [4usize, 8, 16] {
+//!     sweep.push(format!("W={}", w), move || w * w);
+//! }
+//! assert_eq!(sweep.run_expect(2), vec![16, 64, 256]);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Environment variable consulted by [`default_jobs`] when no `--jobs`
+/// flag is given.
+pub const JOBS_ENV: &str = "FAASPIPE_JOBS";
+
+/// One grid cell that could not produce a result because its body
+/// panicked. Carries enough identity to name the failing configuration
+/// without re-running the grid.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Submission index of the cell (position in the result vector).
+    pub index: usize,
+    /// The label the cell was pushed with — its grid coordinates.
+    pub label: String,
+    /// The panic payload, stringified.
+    pub panic: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cell #{} [{}] panicked: {}",
+            self.index, self.label, self.panic
+        )
+    }
+}
+
+/// Per-cell outcome: the row, or the panic that replaced it.
+pub type CellResult<R> = Result<R, CellFailure>;
+
+/// Timing summary of one [`Sweep::run`] call, for throughput reporting
+/// (cells/s rows in `BENCH_host.json`).
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Number of cells executed (including panicked ones).
+    pub cells: usize,
+    /// Worker threads the run was bounded to.
+    pub jobs: usize,
+    /// Host wall clock of the whole sweep.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Completed cells per host second.
+    pub fn cells_per_sec(&self) -> f64 {
+        self.cells as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Results (in submission order) plus run statistics.
+#[derive(Debug)]
+pub struct SweepOutcome<R> {
+    /// One entry per pushed cell, in submission order.
+    pub results: Vec<CellResult<R>>,
+    /// Wall-clock / throughput summary.
+    pub stats: SweepStats,
+}
+
+impl<R> SweepOutcome<R> {
+    /// Unwraps every cell, panicking with an aggregate report if any
+    /// cell failed. All cells have already run to completion when this
+    /// is called — one poisoned configuration never cancels siblings.
+    pub fn expect_all(self) -> Vec<R> {
+        let mut rows = Vec::with_capacity(self.results.len());
+        let mut failures: Vec<CellFailure> = Vec::new();
+        for res in self.results {
+            match res {
+                Ok(row) => rows.push(row),
+                Err(f) => failures.push(f),
+            }
+        }
+        if !failures.is_empty() {
+            let report: Vec<String> = failures.iter().map(|f| f.to_string()).collect();
+            panic!(
+                "{} of {} sweep cells failed:\n  {}",
+                failures.len(),
+                failures.len() + rows.len(),
+                report.join("\n  ")
+            );
+        }
+        rows
+    }
+}
+
+struct Cell<R> {
+    label: String,
+    body: Box<dyn FnOnce() -> R + Send>,
+}
+
+/// A grid of independent simulations to execute across OS threads.
+///
+/// Push cells in the order their results should come back, then [`run`]
+/// with a job bound. See the crate docs for the guarantees.
+///
+/// [`run`]: Sweep::run
+pub struct Sweep<R> {
+    cells: Vec<Cell<R>>,
+}
+
+impl<R> Default for Sweep<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R> Sweep<R> {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep { cells: Vec::new() }
+    }
+
+    /// Adds a cell. `label` names the grid coordinates (e.g.
+    /// `"W=32 coalesced K=4"`) and is what a panic report or progress
+    /// line shows; `body` must construct and run its simulation entirely
+    /// inside the closure and return only `Send` data.
+    pub fn push<F>(&mut self, label: impl Into<String>, body: F)
+    where
+        F: FnOnce() -> R + Send + 'static,
+    {
+        self.cells.push(Cell {
+            label: label.into(),
+            body: Box::new(body),
+        });
+    }
+
+    /// Number of cells pushed so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no cells have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl<R: Send> Sweep<R> {
+    /// Executes every cell with at most `jobs` in flight and returns the
+    /// results in submission order. `jobs` is clamped to `1..=len`;
+    /// `jobs == 1` runs inline on the calling thread with no spawns.
+    pub fn run(self, jobs: usize) -> SweepOutcome<R> {
+        let total = self.cells.len();
+        let jobs = jobs.max(1).min(total.max(1));
+        let start = Instant::now();
+        let progress = Progress::new(total);
+
+        let mut slots: Vec<Option<CellResult<R>>> = (0..total).map(|_| None).collect();
+        if jobs == 1 {
+            for (index, cell) in self.cells.into_iter().enumerate() {
+                slots[index] = Some(run_cell(index, cell, &progress));
+            }
+        } else {
+            let queue: Mutex<VecDeque<(usize, Cell<R>)>> =
+                Mutex::new(self.cells.into_iter().enumerate().collect());
+            let results: Mutex<&mut Vec<Option<CellResult<R>>>> = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for worker in 0..jobs {
+                    let queue = &queue;
+                    let results = &results;
+                    let progress = &progress;
+                    std::thread::Builder::new()
+                        .name(format!("sweep-w{}", worker))
+                        .spawn_scoped(scope, move || loop {
+                            let Some((index, cell)) =
+                                queue.lock().expect("sweep queue").pop_front()
+                            else {
+                                break;
+                            };
+                            let res = run_cell(index, cell, progress);
+                            results.lock().expect("sweep results")[index] = Some(res);
+                        })
+                        .expect("spawn sweep worker");
+                }
+            });
+        }
+
+        let results: Vec<CellResult<R>> = slots
+            .into_iter()
+            .map(|slot| slot.expect("every sweep cell ran"))
+            .collect();
+        SweepOutcome {
+            results,
+            stats: SweepStats {
+                cells: total,
+                jobs,
+                wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// [`run`](Sweep::run), then [`expect_all`](SweepOutcome::expect_all):
+    /// the rows in submission order, panicking with every failed cell's
+    /// coordinates after all siblings have finished.
+    pub fn run_expect(self, jobs: usize) -> Vec<R> {
+        self.run(jobs).expect_all()
+    }
+
+    /// Like [`run_expect`](Sweep::run_expect) but also returns the run's
+    /// [`SweepStats`] for throughput reporting.
+    pub fn run_expect_stats(self, jobs: usize) -> (Vec<R>, SweepStats) {
+        let outcome = self.run(jobs);
+        let stats = outcome.stats.clone();
+        (outcome.expect_all(), stats)
+    }
+}
+
+fn run_cell<R>(index: usize, cell: Cell<R>, progress: &Progress) -> CellResult<R> {
+    let label = cell.label;
+    let body = cell.body;
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(body));
+    let wall = start.elapsed();
+    match outcome {
+        Ok(row) => {
+            progress.done(&label, wall, true);
+            Ok(row)
+        }
+        Err(payload) => {
+            progress.done(&label, wall, false);
+            Err(CellFailure {
+                index,
+                label,
+                panic: panic_message(payload.as_ref()),
+            })
+        }
+    }
+}
+
+/// Stringifies a panic payload (the common `&str` / `String` cases, with
+/// a fallback for exotic payloads).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Completion counter + stderr reporter shared by the workers. `stdout`
+/// is never touched: experiment tables print after the sweep, from the
+/// ordered results, so they are byte-identical at every job count.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+}
+
+impl Progress {
+    fn new(total: usize) -> Self {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+        }
+    }
+
+    fn done(&self, label: &str, wall: Duration, ok: bool) {
+        let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let width = self.total.to_string().len();
+        eprintln!(
+            "sweep: [{:>w$}/{}] {} {} ({} ms)",
+            n,
+            self.total,
+            if ok { "done" } else { "PANIC" },
+            label,
+            wall.as_millis(),
+            w = width,
+        );
+    }
+}
+
+/// Validates a jobs value: a positive integer.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "invalid jobs value '{}' (expected an integer >= 1)",
+            value
+        )),
+    }
+}
+
+/// The job bound used when no `--jobs` flag is given: `FAASPIPE_JOBS` if
+/// set and valid (a warning is printed otherwise), else the host's
+/// available cores, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var(JOBS_ENV) {
+        match parse_jobs(&v) {
+            Ok(n) => return n,
+            Err(e) => eprintln!("warning: {}: {}; falling back to core count", JOBS_ENV, e),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves the job bound for an experiment binary: `--jobs N` /
+/// `--jobs=N` from `args` if present (an invalid or missing value is an
+/// error), else [`default_jobs`].
+pub fn jobs_from_args(args: &[String]) -> Result<usize, String> {
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(v) = arg.strip_prefix("--jobs=") {
+            return parse_jobs(v);
+        }
+        if arg == "--jobs" {
+            return match args.get(i + 1) {
+                Some(v) => parse_jobs(v),
+                None => Err("--jobs requires a value".to_string()),
+            };
+        }
+    }
+    Ok(default_jobs())
+}
+
+/// [`jobs_from_args`] for binaries without structured error handling:
+/// prints the error and exits with status 2.
+pub fn jobs_from_args_or_exit(args: &[String]) -> usize {
+    jobs_from_args(args).unwrap_or_else(|e| {
+        eprintln!("error: {}", e);
+        std::process::exit(2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        // Earlier cells sleep longer, so completion order is the reverse
+        // of submission order — the results must not be.
+        let mut sweep = Sweep::new();
+        for i in 0..6usize {
+            sweep.push(format!("cell{}", i), move || {
+                std::thread::sleep(Duration::from_millis(5 * (6 - i) as u64));
+                i * 10
+            });
+        }
+        let rows = sweep.run_expect(6);
+        assert_eq!(rows, vec![0, 10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn serial_runs_inline_without_threads() {
+        let main_thread = std::thread::current().id();
+        let mut sweep = Sweep::new();
+        for i in 0..3usize {
+            sweep.push(format!("c{}", i), move || (i, std::thread::current().id()));
+        }
+        for (i, (idx, tid)) in sweep.run_expect(1).into_iter().enumerate() {
+            assert_eq!(i, idx);
+            assert_eq!(tid, main_thread, "jobs=1 must run on the caller's thread");
+        }
+    }
+
+    #[test]
+    fn concurrency_is_bounded_by_jobs() {
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut sweep = Sweep::new();
+        for i in 0..12usize {
+            let in_flight = Arc::clone(&in_flight);
+            let peak = Arc::clone(&peak);
+            sweep.push(format!("c{}", i), move || {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(3));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                i
+            });
+        }
+        let rows = sweep.run_expect(3);
+        assert_eq!(rows, (0..12).collect::<Vec<_>>());
+        assert!(
+            peak.load(Ordering::SeqCst) <= 3,
+            "at most `jobs` cells may be in flight, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn panicking_cell_reports_coordinates_and_spares_siblings() {
+        let mut sweep = Sweep::new();
+        for i in 0..5usize {
+            sweep.push(format!("W={} k={}", 4 << i, i), move || {
+                if i == 2 {
+                    panic!("poisoned cell");
+                }
+                i
+            });
+        }
+        let outcome = sweep.run(2);
+        assert_eq!(outcome.results.len(), 5);
+        for (i, res) in outcome.results.iter().enumerate() {
+            if i == 2 {
+                let failure = res.as_ref().expect_err("cell 2 must fail");
+                assert_eq!(failure.index, 2);
+                assert_eq!(failure.label, "W=16 k=2");
+                assert!(failure.panic.contains("poisoned cell"));
+            } else {
+                assert_eq!(*res.as_ref().expect("sibling survives"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn expect_all_panics_with_every_failed_cell() {
+        let mut sweep = Sweep::new();
+        sweep.push("good", || 1usize);
+        sweep.push("bad-cell", || panic!("boom"));
+        let err = catch_unwind(AssertUnwindSafe(|| sweep.run_expect(2)))
+            .expect_err("must propagate failure");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("bad-cell"), "message was: {}", msg);
+        assert!(msg.contains("boom"), "message was: {}", msg);
+    }
+
+    #[test]
+    fn jobs_clamped_and_empty_sweep_ok() {
+        let sweep: Sweep<usize> = Sweep::new();
+        let outcome = sweep.run(8);
+        assert!(outcome.results.is_empty());
+        assert_eq!(outcome.stats.jobs, 1);
+
+        let mut sweep = Sweep::new();
+        sweep.push("only", || 7usize);
+        let outcome = sweep.run(64);
+        assert_eq!(outcome.stats.jobs, 1, "jobs clamps to the cell count");
+        assert_eq!(outcome.expect_all(), vec![7]);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("-1").is_err());
+        assert!(parse_jobs("lots").is_err());
+
+        let args = |v: &[&str]| -> Vec<String> { v.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(jobs_from_args(&args(&["--quick", "--jobs", "3"])), Ok(3));
+        assert_eq!(jobs_from_args(&args(&["--jobs=5"])), Ok(5));
+        assert!(jobs_from_args(&args(&["--jobs"])).is_err());
+        assert!(jobs_from_args(&args(&["--jobs", "zero"])).is_err());
+        // No flag: falls back to env/cores, which is at least 1.
+        assert!(jobs_from_args(&args(&["--quick"])).expect("default") >= 1);
+    }
+
+    #[test]
+    fn stats_reflect_the_run() {
+        let mut sweep = Sweep::new();
+        for i in 0..4usize {
+            sweep.push(format!("c{}", i), move || i);
+        }
+        let (rows, stats) = sweep.run_expect_stats(2);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(stats.cells, 4);
+        assert_eq!(stats.jobs, 2);
+        assert!(stats.cells_per_sec() > 0.0);
+    }
+}

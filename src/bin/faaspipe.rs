@@ -1,7 +1,7 @@
 //! The `faaspipe` command-line tool.
 //!
 //! ```text
-//! faaspipe table1 [--records N] [--exchange B] [--io-concurrency K] [--trace-out F]
+//! faaspipe table1 [--records N] [--exchange B] [--io-concurrency K] [--trace-out F] [--jobs N]
 //!                                         reproduce the paper's Table 1
 //! faaspipe run <spec.json> [--records N] [--seed S] [--io-concurrency K] [--trace-out F]
 //!                                         execute a JSON workflow spec
@@ -41,8 +41,9 @@ use faaspipe::trace::{chrome_trace_json, critical_path, Category, SpanId, TraceD
 use faaspipe::vm::VmFleet;
 
 const USAGE: &str = "usage:
-  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]|auto] [--io-concurrency K] [--trace-out <trace.json>]
-                  (--exchange auto plans workers, I/O window, backend, and shards from the cost model)
+  faaspipe table1 [--records N] [--exchange scatter|coalesced|vm_relay|direct|sharded_relay[:N][:prewarm]|auto] [--io-concurrency K] [--trace-out <trace.json>] [--jobs N]
+                  (--exchange auto plans workers, I/O window, backend, and shards from the cost model;
+                   --jobs runs the two pipeline modes concurrently, default FAASPIPE_JOBS / core count)
   faaspipe run <spec.json> [--records N] [--seed S] [--io-concurrency K] [--trace-out <trace.json>]
   faaspipe synth --records N --out <file.bed> [--shuffled] [--seed S]
   faaspipe compress <input.bed> <output.mc>
@@ -117,23 +118,39 @@ fn cmd_table1(args: &[String]) -> Result<(), String> {
         return Err("--io-concurrency must be at least 1".into());
     }
     let trace_out = flag(args, "--trace-out")?;
+    let jobs = faaspipe::sweep::jobs_from_args(args)?;
+    let traced = trace_out.is_some();
+    // The two pipeline modes are independent sims; run them through the
+    // sweep engine (they land back in mode order, so the table and the
+    // merged trace are identical at any job count).
+    let mut sweep = faaspipe::sweep::Sweep::new();
+    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
+        sweep.push(mode.to_string(), move || {
+            let mut cfg = PipelineConfig::paper_table1();
+            cfg.mode = mode;
+            cfg.physical_records = records;
+            cfg.exchange = exchange;
+            cfg.io_concurrency = io_concurrency;
+            // `auto` opens the worker count too: the planner picks W
+            // along with K, backend, and shards instead of the paper's
+            // fixed 8.
+            if exchange == ExchangeKind::Auto {
+                cfg.workers = WorkerChoice::Auto;
+            }
+            cfg.trace = traced;
+            run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())
+        });
+    }
+    let outcomes = sweep.run_expect(jobs);
     let mut rows = Vec::new();
     let mut traces: Vec<(String, TraceData)> = Vec::new();
-    for mode in [PipelineMode::PureServerless, PipelineMode::VmHybrid] {
-        let mut cfg = PipelineConfig::paper_table1();
-        cfg.mode = mode;
-        cfg.physical_records = records;
-        cfg.exchange = exchange;
-        cfg.io_concurrency = io_concurrency;
-        // `auto` opens the worker count too: the planner picks W along
-        // with K, backend, and shards instead of the paper's fixed 8.
-        if exchange == ExchangeKind::Auto {
-            cfg.workers = WorkerChoice::Auto;
-        }
-        cfg.trace = trace_out.is_some();
-        let outcome = run_methcomp_pipeline(&cfg).map_err(|e| e.to_string())?;
+    for (mode, outcome) in [PipelineMode::PureServerless, PipelineMode::VmHybrid]
+        .into_iter()
+        .zip(outcomes)
+    {
+        let outcome = outcome?;
         eprintln!("--- {} ---\n{}", mode, outcome.tracker_log);
-        if cfg.trace {
+        if traced {
             let breakdown =
                 critical_path(&outcome.trace).ok_or("traced run produced no breakdown")?;
             eprintln!("{}", breakdown.render());

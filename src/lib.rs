@@ -17,6 +17,8 @@
 //!   planner picking (W, K, backend, shards)
 //! - [`cluster`] — multi-tenant pipeline service: shared-cloud contention,
 //!   open-loop arrivals, admission control, per-tenant SLO metrics
+//! - [`sweep`] — cross-simulation parallelism: a work-queue engine running
+//!   independent sims across OS threads with deterministic result ordering
 //! - [`trace`] — virtual-time tracing: spans, counters, exporters, critical path
 
 pub use faaspipe_cluster as cluster;
@@ -29,5 +31,6 @@ pub use faaspipe_methcomp as methcomp;
 pub use faaspipe_plan as plan;
 pub use faaspipe_shuffle as shuffle;
 pub use faaspipe_store as store;
+pub use faaspipe_sweep as sweep;
 pub use faaspipe_trace as trace;
 pub use faaspipe_vm as vm;

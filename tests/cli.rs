@@ -212,6 +212,42 @@ fn table1_accepts_an_exchange_backend() {
 }
 
 #[test]
+fn table1_jobs_flag_is_output_invariant() {
+    // The two pipeline modes run as sweep cells; the rendered table
+    // (stdout) must not depend on the job count.
+    let serial = bin()
+        .args(["table1", "--records", "4000", "--jobs", "1"])
+        .output()
+        .expect("table1 --jobs 1");
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    let parallel = bin()
+        .args(["table1", "--records", "4000", "--jobs", "4"])
+        .output()
+        .expect("table1 --jobs 4");
+    assert!(
+        parallel.status.success(),
+        "{}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&serial.stdout),
+        String::from_utf8_lossy(&parallel.stdout),
+        "table must be byte-identical at any --jobs"
+    );
+
+    let out = bin()
+        .args(["table1", "--jobs", "0"])
+        .output()
+        .expect("table1 --jobs 0");
+    assert!(!out.status.success(), "--jobs 0 must be rejected");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("jobs"));
+}
+
+#[test]
 fn table1_accepts_a_parameterized_sharded_exchange() {
     let out = bin()
         .args([
